@@ -1,0 +1,1 @@
+bench/ablations.ml: Benchmarks List Printf Spectr Spectr_linalg Spectr_platform Util

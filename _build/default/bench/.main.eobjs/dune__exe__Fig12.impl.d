@@ -1,0 +1,1 @@
+bench/fig12.ml: Automaton Event Format List Printf Spectr Spectr_automata String Synthesis Util Verify

@@ -1,0 +1,1 @@
+bench/fig13.ml: Benchmarks Format List Printf Spectr Spectr_platform Trace Util

@@ -1,0 +1,1 @@
+bench/fig14.ml: Benchmarks List Printf Spectr Spectr_platform Util Workload

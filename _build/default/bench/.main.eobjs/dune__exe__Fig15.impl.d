@@ -1,0 +1,1 @@
+bench/fig15.ml: Array Hashtbl List Printf Spectr Spectr_sysid String Util Validation

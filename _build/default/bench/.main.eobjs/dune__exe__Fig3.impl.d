@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Benchmarks Mimo Printf Soc Spectr Spectr_control Spectr_linalg Spectr_platform Util

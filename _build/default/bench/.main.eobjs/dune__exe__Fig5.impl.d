@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Dataset Printf Spectr Spectr_sysid Util Validation

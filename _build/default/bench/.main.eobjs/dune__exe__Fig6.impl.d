@@ -1,0 +1,1 @@
+bench/fig6.ml: List Printf Spectr Util

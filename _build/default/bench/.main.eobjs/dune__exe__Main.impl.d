@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig12 Fig13 Fig14 Fig15 Fig3 Fig5 Fig6 List Overhead Printf String Sys Table1

@@ -1,0 +1,1 @@
+bench/overhead.ml: Analyze Bechamel Benchmark Benchmarks Hashtbl Instance List Measure Printf Soc Spectr Spectr_control Spectr_platform Staged Test Time Toolkit Util

@@ -1,0 +1,60 @@
+(* Figure 14: steady-state error (QoS and power) for every benchmark,
+   manager and phase.  Positive = under the reference (power saved / QoS
+   missed); negative = exceeding the reference. *)
+
+open Spectr_platform
+
+let run () =
+  Util.heading
+    "Figure 14: steady-state error (%) per benchmark x manager x phase";
+  let managers = Util.fresh_managers () in
+  let results =
+    (* benchmark -> manager -> metrics *)
+    List.map
+      (fun w ->
+        let cfg = Spectr.Scenario.default_config w in
+        let per_manager =
+          List.map
+            (fun (name, manager) ->
+              let trace = Spectr.Scenario.run ~manager cfg in
+              (name, Spectr.Metrics.per_phase ~trace ~config:cfg))
+            managers
+        in
+        (w.Workload.name, per_manager))
+      Benchmarks.all_qos
+  in
+  let manager_names = List.map fst managers in
+  let table ?(fmt = format_of_string " %+9.1f") phase extract label =
+    Util.subheading label;
+    Printf.printf "%-14s" "benchmark";
+    List.iter (fun m -> Printf.printf " %9s" m) manager_names;
+    print_newline ();
+    List.iter
+      (fun (bench, per_manager) ->
+        Printf.printf "%-14s" bench;
+        List.iter
+          (fun (_, metrics) -> Printf.printf fmt (extract metrics phase))
+          per_manager;
+        print_newline ())
+      results
+  in
+  let qos m phase = Spectr.Metrics.qos_of m phase in
+  let power m phase = Spectr.Metrics.power_of m phase in
+  table "safe" qos "(a) QoS steady-state error, Phase 1 (safe)";
+  table "safe" power "(b) power steady-state error, Phase 1 (safe)";
+  table "emergency" qos "(c) QoS steady-state error, Phase 2 (emergency)";
+  table "emergency" power "(d) power steady-state error, Phase 2 (emergency)";
+  table "disturbance" qos "(e) QoS steady-state error, Phase 3 (disturbance)";
+  table "disturbance" power
+    "(f) power steady-state error, Phase 3 (disturbance)";
+  let energy metrics phase =
+    (List.find (fun m -> m.Spectr.Metrics.phase_name = phase) metrics)
+      .Spectr.Metrics.energy_per_heartbeat_j
+  in
+  table ~fmt:(format_of_string " %9.4f") "safe" energy
+    "(g, extension) energy per unit of QoS work, Phase 1 (J/heartbeat)";
+  print_endline
+    "\nShape check (paper): in (a)/(b) SPECTR and MM-Perf save power while\n\
+     meeting QoS and MM-Pow/FS consume the budget while exceeding QoS; in\n\
+     (e)/(f) MM-Perf has the best QoS but violates the TDP (negative\n\
+     power error) while the others sit at or under the limit."

@@ -1,0 +1,26 @@
+(* Figure 6: multiply-add operations required per MIMO controller
+   invocation as core count grows, for model orders 2, 4 and 8. *)
+
+let run () =
+  Util.heading "Figure 6: MIMO operation count vs core count";
+  Printf.printf "%8s %14s %14s %14s\n" "#cores" "order 2" "order 4" "order 8";
+  List.iter
+    (fun cores ->
+      Printf.printf "%8d %14.3e %14.3e %14.3e\n" cores
+        (Spectr.Ops_cost.paper_curve ~cores ~order:2)
+        (Spectr.Ops_cost.paper_curve ~cores ~order:4)
+        (Spectr.Ops_cost.paper_curve ~cores ~order:8))
+    [ 2; 4; 8; 12; 16; 24; 32; 40; 48; 56; 64; 70 ];
+  Printf.printf
+    "\nPer-invocation (Eq. 1-2 matrix-vector) counts for reference:\n";
+  Printf.printf "%8s %14s %14s %14s\n" "#cores" "order 2" "order 4" "order 8";
+  List.iter
+    (fun cores ->
+      Printf.printf "%8d %14d %14d %14d\n" cores
+        (Spectr.Ops_cost.invocation_ops ~cores ~order:2)
+        (Spectr.Ops_cost.invocation_ops ~cores ~order:4)
+        (Spectr.Ops_cost.invocation_ops ~cores ~order:8))
+    [ 2; 8; 32; 70 ];
+  print_endline
+    "\nShape check (paper): superlinear growth with core count; the model\n\
+     order becomes insignificant once #cores >> order."

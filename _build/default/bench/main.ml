@@ -1,0 +1,39 @@
+(* SPECTR benchmark harness: regenerates every table and figure of the
+   paper's evaluation.
+
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- fig13   # just one (table1, fig3, fig5,
+                                         # fig6, fig12, fig13, fig14,
+                                         # fig15, overhead, ablations)
+
+   See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("fig3", Fig3.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("fig15", Fig15.run);
+    ("overhead", Overhead.run);
+    ("ablations", Ablations.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,32 @@
+(* Shared helpers for the benchmark harness. *)
+
+let heading title =
+  Printf.printf "\n=============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "=============================================================\n"
+
+let subheading title = Printf.printf "\n--- %s\n" title
+
+(* Print a time series subsampled to at most [points] rows. *)
+let print_series ~columns ~time rows =
+  let n = Array.length time in
+  let points = 30 in
+  let stride = max 1 (n / points) in
+  Printf.printf "%8s" "time";
+  List.iter (fun c -> Printf.printf " %10s" c) columns;
+  print_newline ();
+  let i = ref 0 in
+  while !i < n do
+    Printf.printf "%8.2f" time.(!i);
+    List.iter (fun v -> Printf.printf " %10.3f" v.(!i)) rows;
+    print_newline ();
+    i := !i + stride
+  done
+
+let fresh_managers () =
+  [
+    ("SPECTR", fst (Spectr.Spectr_manager.make ()));
+    ("MM-Pow", Spectr.Mm.make_pow ());
+    ("MM-Perf", Spectr.Mm.make_perf ());
+    ("FS", Spectr.Fs.make ());
+  ]

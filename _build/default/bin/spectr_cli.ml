@@ -1,0 +1,186 @@
+(* spectr — command-line interface to the SPECTR library.
+
+   Subcommands:
+     synthesize   synthesize + verify the case-study supervisor, export DOT
+     identify     run an identification experiment and print the report
+     scenario     run a manager through the 3-phase scenario, export CSV
+     list         list benchmarks, managers and subsystems
+*)
+
+open Cmdliner
+open Spectr_platform
+
+(* ------------------------------------------------------------------ *)
+(* synthesize                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let synthesize dot_path show_closed_loop =
+  let plant = Spectr.Plant_model.composed () in
+  let sup, stats = Spectr.Supervisor.synthesize () in
+  Format.printf "plant:      %a@." Spectr_automata.Automaton.pp plant;
+  Format.printf "spec:       %a@." Spectr_automata.Automaton.pp
+    Spectr.Spec.three_band;
+  Format.printf "supervisor: %a@." Spectr_automata.Automaton.pp sup;
+  Format.printf "synthesis:  %a@." Spectr_automata.Synthesis.pp_stats stats;
+  Format.printf "non-blocking: %b, controllable: %b@."
+    (Spectr_automata.Verify.is_nonblocking sup)
+    (Spectr_automata.Verify.is_controllable ~plant ~supervisor:sup);
+  (match dot_path with
+  | Some path ->
+      Spectr_automata.Dot.write_file sup ~path;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if show_closed_loop then begin
+    let cl = Spectr_automata.Verify.closed_loop ~plant ~supervisor:sup in
+    Format.printf "closed loop: %a@." Spectr_automata.Automaton.pp cl
+  end
+
+let synthesize_cmd =
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Export the supervisor as Graphviz DOT.")
+  in
+  let closed =
+    Arg.(value & flag & info [ "closed-loop" ] ~doc:"Also build and summarize S || G.")
+  in
+  Cmd.v
+    (Cmd.info "synthesize" ~doc:"Synthesize and verify the case-study supervisor")
+    Term.(const synthesize $ dot $ closed)
+
+(* ------------------------------------------------------------------ *)
+(* identify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let subsystem_of_string = function
+  | "big-2x2" -> Some Spectr.Design_flow.Big_2x2
+  | "little-2x2" -> Some Spectr.Design_flow.Little_2x2
+  | "fs-4x2" -> Some Spectr.Design_flow.Fs_4x2
+  | "large-10x10" -> Some Spectr.Design_flow.Large_10x10
+  | _ -> None
+
+let identify name length order =
+  match subsystem_of_string name with
+  | None ->
+      Printf.eprintf
+        "unknown subsystem %S (big-2x2, little-2x2, fs-4x2, large-10x10)\n" name;
+      exit 1
+  | Some subsystem ->
+      let ident = Spectr.Design_flow.identify ~length ~order subsystem in
+      Format.printf "%a@." Spectr_sysid.Validation.pp_report
+        ident.Spectr.Design_flow.report;
+      let ss = ident.Spectr.Design_flow.statespace in
+      Format.printf "realization: %a@." Spectr_control.Statespace.pp ss;
+      Format.printf "DC gain (standardized):@.%a@." Spectr_linalg.Matrix.pp
+        (Spectr_control.Statespace.dc_gain ss)
+
+let identify_cmd =
+  let subsystem =
+    Arg.(
+      value
+      & pos 0 string "big-2x2"
+      & info [] ~docv:"SUBSYSTEM"
+          ~doc:"big-2x2, little-2x2, fs-4x2 or large-10x10.")
+  in
+  let length =
+    Arg.(value & opt int 1200 & info [ "n"; "length" ] ~doc:"Experiment length (50 ms periods).")
+  in
+  let order =
+    Arg.(value & opt int 2 & info [ "order" ] ~doc:"ARX order (na = nb).")
+  in
+  Cmd.v
+    (Cmd.info "identify" ~doc:"Run a system-identification experiment")
+    Term.(const identify $ subsystem $ length $ order)
+
+(* ------------------------------------------------------------------ *)
+(* scenario                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let manager_of_string = function
+  | "spectr" -> Some (fst (Spectr.Spectr_manager.make ()))
+  | "mm-pow" -> Some (Spectr.Mm.make_pow ())
+  | "mm-perf" -> Some (Spectr.Mm.make_perf ())
+  | "fs" -> Some (Spectr.Fs.make ())
+  | "siso" -> Some (Spectr.Siso.make ())
+  | _ -> None
+
+let scenario manager_name bench_name csv_path seed =
+  let workload =
+    match Benchmarks.by_name bench_name with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "unknown benchmark %S\n" bench_name;
+        exit 1
+  in
+  let manager =
+    match manager_of_string manager_name with
+    | Some m -> m
+    | None ->
+        Printf.eprintf
+          "unknown manager %S (spectr, mm-pow, mm-perf, fs, siso)\n"
+          manager_name;
+        exit 1
+  in
+  let config =
+    { (Spectr.Scenario.default_config workload) with seed = Int64.of_int seed }
+  in
+  let trace = Spectr.Scenario.run ~manager config in
+  List.iter
+    (fun m -> Format.printf "%a@." Spectr.Metrics.pp_phase_metrics m)
+    (Spectr.Metrics.per_phase ~trace ~config);
+  match csv_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Trace.to_csv trace);
+      close_out oc;
+      Printf.printf "wrote %d rows to %s\n" (Trace.length trace) path
+  | None -> ()
+
+let scenario_cmd =
+  let manager =
+    Arg.(
+      value & opt string "spectr"
+      & info [ "m"; "manager" ] ~doc:"spectr, mm-pow, mm-perf, fs or siso.")
+  in
+  let bench =
+    Arg.(value & opt string "x264" & info [ "b"; "benchmark" ] ~doc:"QoS benchmark.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the full trace as CSV.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a resource manager through the 3-phase scenario")
+    Term.(const scenario $ manager $ bench $ csv $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let list_all () =
+  print_endline "benchmarks:";
+  List.iter
+    (fun w ->
+      Printf.printf "  %-14s max %.1f HB/s, min %.1f HB/s\n" w.Workload.name
+        (Perf_model.max_qos_rate w) (Perf_model.min_qos_rate w))
+    (Benchmarks.microbench :: Benchmarks.all_qos);
+  print_endline "managers: spectr, mm-pow, mm-perf, fs, siso";
+  print_endline "subsystems: big-2x2, little-2x2, fs-4x2, large-10x10"
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, managers and subsystems")
+    Term.(const list_all $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "spectr" ~version:"1.0.0"
+      ~doc:"Supervisory control for many-core resource management"
+  in
+  exit (Cmd.eval (Cmd.group info [ synthesize_cmd; identify_cmd; scenario_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/mobile_qos.ml: Arg Array Benchmarks Cmd Cmdliner Format Fs List Metrics Mm Printf Scenario Spectr Spectr_manager Spectr_platform String Term Trace Workload

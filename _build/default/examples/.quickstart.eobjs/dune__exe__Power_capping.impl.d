@@ -1,0 +1,1 @@
+examples/power_capping.ml: Benchmarks Format List Manager Perf_model Printf Scenario Soc Spectr Spectr_automata Spectr_manager Spectr_platform Supervisor

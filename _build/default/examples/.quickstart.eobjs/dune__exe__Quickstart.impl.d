@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automaton Compose Dot Event Format List Spectr_automata String Synthesis Verify

@@ -1,0 +1,1 @@
+examples/scalability.ml: Array Design_flow List Ops_cost Printf Spectr Spectr_sysid

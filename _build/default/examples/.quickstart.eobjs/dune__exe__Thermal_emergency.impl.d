@@ -1,0 +1,1 @@
+examples/thermal_emergency.ml: Benchmarks Float Manager Mm Perf_model Printf Soc Spectr Spectr_manager Spectr_platform Thermal_governor

@@ -1,0 +1,1 @@
+lib/automata/automaton.ml: Array Event Format Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/automata/compose.ml: Automaton Event Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/automata/dot.ml: Automaton Buffer Event Fun List Printf String

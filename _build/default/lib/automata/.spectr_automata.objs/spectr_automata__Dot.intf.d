@@ -1,0 +1,1 @@
+lib/automata/dot.mli: Automaton

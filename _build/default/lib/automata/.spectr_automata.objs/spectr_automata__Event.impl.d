@@ -1,0 +1,1 @@
+lib/automata/event.ml: Format Map Printf Set String

@@ -1,0 +1,1 @@
+lib/automata/event.mli: Format Map Set

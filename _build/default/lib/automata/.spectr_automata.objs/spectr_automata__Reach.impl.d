@@ -1,0 +1,1 @@
+lib/automata/reach.ml: Array Automaton List Queue

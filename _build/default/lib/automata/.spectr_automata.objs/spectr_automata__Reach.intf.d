@@ -1,0 +1,1 @@
+lib/automata/reach.mli: Automaton

@@ -1,0 +1,1 @@
+lib/automata/synthesis.ml: Array Automaton Event Format Hashtbl List Option Queue Reach

@@ -1,0 +1,1 @@
+lib/automata/synthesis.mli: Automaton Format

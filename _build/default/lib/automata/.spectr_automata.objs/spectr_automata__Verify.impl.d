@@ -1,0 +1,1 @@
+lib/automata/verify.ml: Array Automaton Compose Event Hashtbl Option Queue Reach Result

@@ -1,0 +1,1 @@
+lib/automata/verify.mli: Automaton Event

@@ -1,0 +1,258 @@
+type transition = { src : string; event : Event.t; dst : string }
+
+type t = {
+  name : string;
+  state_names : string array;
+  index : (string, int) Hashtbl.t;
+  alphabet : Event.Set.t;
+  delta : (int * string, int) Hashtbl.t; (* (src index, event name) -> dst *)
+  trans : (int * Event.t * int) array; (* sorted by (src, event) *)
+  initial : int;
+  marked : bool array;
+  forbidden : bool array;
+}
+
+let name a = a.name
+let alphabet a = a.alphabet
+let num_states a = Array.length a.state_names
+let num_transitions a = Array.length a.trans
+let states a = Array.to_list a.state_names
+let initial a = a.state_names.(a.initial)
+let initial_index a = a.initial
+
+let index_of_state a s =
+  match Hashtbl.find_opt a.index s with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Automaton %s: unknown state %S" a.name s)
+
+let state_of_index a i =
+  if i < 0 || i >= num_states a then
+    invalid_arg (Printf.sprintf "Automaton %s: index %d out of range" a.name i);
+  a.state_names.(i)
+
+let mem_state a s = Hashtbl.mem a.index s
+let is_marked_index a i = a.marked.(i)
+let is_forbidden_index a i = a.forbidden.(i)
+let is_marked a s = a.marked.(index_of_state a s)
+let is_forbidden a s = a.forbidden.(index_of_state a s)
+
+let marked a = List.filteri (fun i _ -> a.marked.(i)) (states a)
+
+let forbidden a = List.filteri (fun i _ -> a.forbidden.(i)) (states a)
+
+let step_index a i e = Hashtbl.find_opt a.delta (i, Event.name e)
+
+let step a s e =
+  Option.map (state_of_index a) (step_index a (index_of_state a s) e)
+
+let enabled_index a i =
+  Event.Set.elements
+    (Event.Set.filter (fun e -> step_index a i e <> None) a.alphabet)
+
+let enabled a s = enabled_index a (index_of_state a s)
+
+let transitions a =
+  Array.to_list a.trans
+  |> List.map (fun (s, e, d) ->
+         { src = a.state_names.(s); event = e; dst = a.state_names.(d) })
+
+let fold_transitions f a acc =
+  Array.fold_left (fun acc (s, e, d) -> f s e d acc) acc a.trans
+
+let create ?marked ?(forbidden = []) ?(alphabet = []) ~name ~initial
+    ~transitions () =
+  (* Collect states in first-seen order, initial state first. *)
+  let index = Hashtbl.create 16 in
+  let order = ref [] in
+  let intern s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length index in
+        Hashtbl.add index s i;
+        order := s :: !order;
+        i
+  in
+  let initial_i = intern initial in
+  List.iter
+    (fun (src, _, dst) ->
+      ignore (intern src);
+      ignore (intern dst))
+    transitions;
+  let check_known kind s =
+    if not (Hashtbl.mem index s) then
+      invalid_arg
+        (Printf.sprintf "Automaton %s: %s state %S unknown" name kind s)
+  in
+  Option.iter (List.iter (check_known "marked")) marked;
+  List.iter (check_known "forbidden") forbidden;
+  let n = Hashtbl.length index in
+  let state_names = Array.make n "" in
+  List.iter (fun s -> state_names.(Hashtbl.find index s) <- s) !order;
+  let delta = Hashtbl.create 16 in
+  let events = ref (Event.set_of_list alphabet) in
+  let by_name = Hashtbl.create 16 in
+  Event.Set.iter (fun e -> Hashtbl.replace by_name (Event.name e) e) !events;
+  List.iter
+    (fun (src, e, dst) ->
+      events := Event.Set.add e !events;
+      Hashtbl.replace by_name (Event.name e) e;
+      let si = Hashtbl.find index src and di = Hashtbl.find index dst in
+      match Hashtbl.find_opt delta (si, Event.name e) with
+      | Some d when d <> di ->
+          invalid_arg
+            (Printf.sprintf
+               "Automaton %s: nondeterministic on %S from state %S" name
+               (Event.name e) src)
+      | Some _ -> ()
+      | None -> Hashtbl.add delta (si, Event.name e) di)
+    transitions;
+  let trans =
+    Hashtbl.fold
+      (fun (si, ename) di acc -> (si, Hashtbl.find by_name ename, di) :: acc)
+      delta []
+    |> List.sort (fun (s1, e1, _) (s2, e2, _) ->
+           match compare s1 s2 with 0 -> Event.compare e1 e2 | c -> c)
+    |> Array.of_list
+  in
+  let marked_arr =
+    match marked with
+    | None -> Array.make n true
+    | Some l ->
+        let m = Array.make n false in
+        List.iter (fun s -> m.(Hashtbl.find index s) <- true) l;
+        m
+  in
+  let forbidden_arr = Array.make n false in
+  List.iter (fun s -> forbidden_arr.(Hashtbl.find index s) <- true) forbidden;
+  {
+    name;
+    state_names;
+    index;
+    alphabet = !events;
+    delta;
+    trans;
+    initial = initial_i;
+    marked = marked_arr;
+    forbidden = forbidden_arr;
+  }
+
+let of_transitions ?marked ?forbidden ~name ~initial trans =
+  create ?marked ?forbidden ~name ~initial
+    ~transitions:(List.map (fun { src; event; dst } -> (src, event, dst)) trans)
+    ()
+
+let accepts a w =
+  let rec go i = function
+    | [] -> a.marked.(i)
+    | e :: rest -> (
+        match step_index a i e with None -> false | Some j -> go j rest)
+  in
+  go a.initial w
+
+let trace a w =
+  let rec go i = function
+    | [] -> Some (state_of_index a i)
+    | e :: rest -> (
+        match step_index a i e with None -> None | Some j -> go j rest)
+  in
+  go a.initial w
+
+let restrict_states a ~keep =
+  if not (keep (initial a)) then None
+  else begin
+    let kept = Array.map keep a.state_names in
+    let transitions =
+      fold_transitions
+        (fun s e d acc ->
+          if kept.(s) && kept.(d) then
+            (a.state_names.(s), e, a.state_names.(d)) :: acc
+          else acc)
+        a []
+    in
+    (* A kept state with no remaining transition survives only if it is the
+       initial state; marked/forbidden lists must mention known states. *)
+    let survives i =
+      kept.(i)
+      && (i = a.initial
+         || List.exists
+              (fun (s, _, d) -> s = a.state_names.(i) || d = a.state_names.(i))
+              transitions)
+    in
+    let marked_list =
+      List.filteri (fun i _ -> survives i && a.marked.(i)) (states a)
+    in
+    let forbidden_list =
+      List.filteri (fun i _ -> survives i && a.forbidden.(i)) (states a)
+    in
+    Some
+      (create ~marked:marked_list ~forbidden:forbidden_list
+         ~alphabet:(Event.Set.elements a.alphabet) ~name:a.name
+         ~initial:(initial a) ~transitions ())
+  end
+
+let rename a name = { a with name }
+
+let relabel_states a f =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      let s' = f s in
+      match Hashtbl.find_opt seen s' with
+      | Some other when other <> s ->
+          invalid_arg
+            (Printf.sprintf "Automaton.relabel_states: %S and %S collide"
+               other s)
+      | _ -> Hashtbl.replace seen s' s)
+    a.state_names;
+  let transitions =
+    fold_transitions
+      (fun s e d acc -> (f a.state_names.(s), e, f a.state_names.(d)) :: acc)
+      a []
+  in
+  create
+    ~marked:(List.map f (marked a))
+    ~forbidden:(List.map f (forbidden a))
+    ~alphabet:(Event.Set.elements a.alphabet) ~name:a.name
+    ~initial:(f (initial a)) ~transitions ()
+
+let isomorphic a b =
+  Event.Set.equal a.alphabet b.alphabet
+  &&
+  let map_ab = Hashtbl.create 16 in
+  let map_ba = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let bind i j =
+    match (Hashtbl.find_opt map_ab i, Hashtbl.find_opt map_ba j) with
+    | Some j', _ when j' <> j -> false
+    | _, Some i' when i' <> i -> false
+    | Some _, Some _ -> true
+    | _ ->
+        Hashtbl.replace map_ab i j;
+        Hashtbl.replace map_ba j i;
+        Queue.push (i, j) queue;
+        true
+  in
+  let ok = ref (bind a.initial b.initial) in
+  while !ok && not (Queue.is_empty queue) do
+    let i, j = Queue.pop queue in
+    if a.marked.(i) <> b.marked.(j) || a.forbidden.(i) <> b.forbidden.(j) then
+      ok := false
+    else
+      Event.Set.iter
+        (fun e ->
+          match (step_index a i e, step_index b j e) with
+          | None, None -> ()
+          | Some i', Some j' -> if not (bind i' j') then ok := false
+          | _ -> ok := false)
+        a.alphabet
+  done;
+  !ok
+
+let pp ppf a =
+  Format.fprintf ppf "%s: %d states, %d transitions, %d events, initial %S"
+    a.name (num_states a) (num_transitions a)
+    (Event.Set.cardinal a.alphabet)
+    (initial a)

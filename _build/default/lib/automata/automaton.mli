@@ -1,0 +1,126 @@
+(** Deterministic finite automata — the plant, specification and supervisor
+    models of supervisory control theory.
+
+    An automaton is the 5-tuple ⟨Q, Σ, δ, i, M⟩ of the paper's §4.3.1:
+    states Q, alphabet Σ, partial transition function δ : Q×Σ → Q, initial
+    state i and marked (accepted) states M.  We additionally carry a set of
+    {e forbidden} states, the ✗-marked states of specifications
+    (Fig. 12c): synthesis must prune them and everything that uncontrollably
+    reaches them.
+
+    States are referred to externally by name (a [string]) and internally
+    by a dense index; the public API deals in names, the traversal API
+    ({!fold_transitions}, {!step_index}) in indices for efficiency. *)
+
+type t
+
+type transition = { src : string; event : Event.t; dst : string }
+
+(** {1 Construction} *)
+
+val create :
+  ?marked:string list ->
+  ?forbidden:string list ->
+  ?alphabet:Event.t list ->
+  name:string ->
+  initial:string ->
+  transitions:(string * Event.t * string) list ->
+  unit ->
+  t
+(** [create ~name ~initial ~transitions ()] builds an automaton.  States
+    are collected from [initial], the transition endpoints, [marked] and
+    [forbidden]; the alphabet is the union of [alphabet] (optional extra
+    events, e.g. events the component never participates in but should
+    synchronize on — rarely needed) and the transition events.
+
+    Raises [Invalid_argument] when:
+    - two transitions from the same state on the same event disagree
+      (nondeterminism);
+    - [marked]/[forbidden] mention unknown states — they must appear in a
+      transition or be the initial state.
+
+    If [marked] is omitted, every state is marked (the common convention
+    for plants whose marking is irrelevant); an explicit [~marked:[]]
+    marks no state. *)
+
+val of_transitions :
+  ?marked:string list ->
+  ?forbidden:string list ->
+  name:string ->
+  initial:string ->
+  transition list ->
+  t
+(** Record-based variant of {!create}. *)
+
+(** {1 Inspection} *)
+
+val name : t -> string
+val alphabet : t -> Event.Set.t
+val states : t -> string list
+(** All state names, in index order. *)
+
+val num_states : t -> int
+val num_transitions : t -> int
+val initial : t -> string
+val marked : t -> string list
+val forbidden : t -> string list
+val is_marked : t -> string -> bool
+val is_forbidden : t -> string -> bool
+val mem_state : t -> string -> bool
+
+val step : t -> string -> Event.t -> string option
+(** [step a q e] is δ(q,e), or [None] when undefined.  Raises
+    [Invalid_argument] on an unknown state name. *)
+
+val enabled : t -> string -> Event.t list
+(** Events with a transition defined from the given state, sorted. *)
+
+val transitions : t -> transition list
+
+val accepts : t -> Event.t list -> bool
+(** [accepts a w] — does the word [w] lead from the initial state to a
+    marked state (never visiting an undefined transition)? *)
+
+val trace : t -> Event.t list -> string option
+(** The state reached by a word from the initial state, or [None] when
+    the word leaves the defined transition structure. *)
+
+(** {1 Index-based traversal}
+
+    For algorithms (composition, reachability, synthesis).  Indices are
+    stable for a given value of [t] and range over [0 .. num_states-1]. *)
+
+val index_of_state : t -> string -> int
+val state_of_index : t -> int -> string
+val initial_index : t -> int
+val step_index : t -> int -> Event.t -> int option
+val enabled_index : t -> int -> Event.t list
+val is_marked_index : t -> int -> bool
+val is_forbidden_index : t -> int -> bool
+
+val fold_transitions : (int -> Event.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Surgery} *)
+
+val restrict_states : t -> keep:(string -> bool) -> t option
+(** Sub-automaton induced by the states satisfying [keep] (transitions
+    with both endpoints kept).  [None] when the initial state is not
+    kept.  The alphabet is preserved. *)
+
+val rename : t -> string -> t
+(** Same automaton under a new name. *)
+
+val relabel_states : t -> (string -> string) -> t
+(** Apply a renaming function to every state name.  Raises
+    [Invalid_argument] when the renaming is not injective on states. *)
+
+(** {1 Comparison} *)
+
+val isomorphic : t -> t -> bool
+(** True when the two automata are identical up to state renaming
+    (checked by parallel traversal from the initial states — sound and
+    complete for deterministic automata with all states reachable;
+    unreachable states are ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** Short human-readable summary (name, counts, initial state). *)

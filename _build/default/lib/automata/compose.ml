@@ -1,0 +1,64 @@
+(* Reachable synchronous product.  δ((qa,qb), e) is defined per the
+   standard definition: both step on shared events, one steps on a private
+   event, undefined otherwise. *)
+
+let pair a b =
+  let sigma_a = Automaton.alphabet a and sigma_b = Automaton.alphabet b in
+  let alphabet = Event.Set.union sigma_a sigma_b in
+  let name_of ia ib =
+    Automaton.state_of_index a ia ^ "." ^ Automaton.state_of_index b ib
+  in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let transitions = ref [] in
+  let marked = ref [] in
+  let forbidden = ref [] in
+  let visit (ia, ib) =
+    if not (Hashtbl.mem seen (ia, ib)) then begin
+      Hashtbl.add seen (ia, ib) ();
+      Queue.push (ia, ib) queue;
+      if Automaton.is_marked_index a ia && Automaton.is_marked_index b ib then
+        marked := name_of ia ib :: !marked;
+      if
+        Automaton.is_forbidden_index a ia || Automaton.is_forbidden_index b ib
+      then forbidden := name_of ia ib :: !forbidden
+    end
+  in
+  let start = (Automaton.initial_index a, Automaton.initial_index b) in
+  visit start;
+  while not (Queue.is_empty queue) do
+    let ia, ib = Queue.pop queue in
+    Event.Set.iter
+      (fun e ->
+        let in_a = Event.Set.mem e sigma_a in
+        let in_b = Event.Set.mem e sigma_b in
+        let next =
+          match (in_a, in_b) with
+          | true, true -> (
+              match (Automaton.step_index a ia e, Automaton.step_index b ib e)
+              with
+              | Some ja, Some jb -> Some (ja, jb)
+              | _ -> None)
+          | true, false ->
+              Option.map (fun ja -> (ja, ib)) (Automaton.step_index a ia e)
+          | false, true ->
+              Option.map (fun jb -> (ia, jb)) (Automaton.step_index b ib e)
+          | false, false -> None
+        in
+        match next with
+        | None -> ()
+        | Some (ja, jb) ->
+            visit (ja, jb);
+            transitions := (name_of ia ib, e, name_of ja jb) :: !transitions)
+      alphabet
+  done;
+  Automaton.create ~marked:!marked ~forbidden:!forbidden
+    ~alphabet:(Event.Set.elements alphabet)
+    ~name:(Automaton.name a ^ "||" ^ Automaton.name b)
+    ~initial:(name_of (fst start) (snd start))
+    ~transitions:!transitions ()
+
+let all = function
+  | [] -> invalid_arg "Compose.all: empty list"
+  | [ a ] -> a
+  | a :: rest -> List.fold_left pair a rest

@@ -1,0 +1,15 @@
+(** Synchronous composition of automata (the ‖ operator of §4.3.1).
+
+    Common events synchronize; private events interleave.  Only the
+    reachable part of the product is constructed, so composing many small
+    sub-plants stays tractable — this is the modular-decomposition lever
+    the paper relies on for scalability. *)
+
+val pair : Automaton.t -> Automaton.t -> Automaton.t
+(** [pair a b] is A ‖ B.  Product states are named ["qa.qb"], matching the
+    paper's Figure 12b.  A product state is marked iff both components are
+    marked, and forbidden iff either component is forbidden.  The alphabet
+    is Σ_A ∪ Σ_B. *)
+
+val all : Automaton.t list -> Automaton.t
+(** Left fold of {!pair}.  Raises [Invalid_argument] on the empty list. *)

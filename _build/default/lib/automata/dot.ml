@@ -1,0 +1,46 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot a =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n"
+       (escape (Automaton.name a)));
+  Buffer.add_string buf "  __init [shape=point, style=invis];\n";
+  List.iter
+    (fun s ->
+      let shape, extra =
+        if Automaton.is_forbidden a s then ("box", ", color=red, fontcolor=red")
+        else if Automaton.is_marked a s then ("doublecircle", "")
+        else ("circle", "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [shape=%s%s];\n" (escape s) shape extra))
+    (Automaton.states a);
+  Buffer.add_string buf
+    (Printf.sprintf "  __init -> \"%s\";\n" (escape (Automaton.initial a)));
+  List.iter
+    (fun { Automaton.src; event; dst } ->
+      let label =
+        if Event.is_controllable event then Event.name event
+        else Event.name event ^ "!"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape src)
+           (escape dst) (escape label)))
+    (Automaton.transitions a);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file a ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot a))

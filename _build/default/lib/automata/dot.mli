@@ -1,0 +1,12 @@
+(** Graphviz export, for visualizing plants, specifications and
+    synthesized supervisors (the figures of the paper's Fig. 12 were
+    rendered from equivalent exports of the Supremica tool). *)
+
+val to_dot : Automaton.t -> string
+(** A [digraph] in DOT syntax.  Marked (accepted) states are drawn as
+    double circles, forbidden states as red boxes, the initial state gets
+    an incoming arrow from a point node; uncontrollable events are
+    suffixed with [!]. *)
+
+val write_file : Automaton.t -> path:string -> unit
+(** Write {!to_dot} output to [path]. *)

@@ -1,0 +1,31 @@
+type t = { name : string; controllable : bool }
+
+let controllable name = { name; controllable = true }
+let uncontrollable name = { name; controllable = false }
+let name e = e.name
+let is_controllable e = e.controllable
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c = 0 && a.controllable <> b.controllable then
+    invalid_arg
+      (Printf.sprintf "Event.compare: %S has inconsistent controllability"
+         a.name)
+  else c
+
+let equal a b = compare a b = 0
+
+let pp ppf e =
+  if e.controllable then Format.pp_print_string ppf e.name
+  else Format.fprintf ppf "%s!" e.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let set_of_list l = Set.of_list l

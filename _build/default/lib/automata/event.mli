@@ -1,0 +1,34 @@
+(** Events of a discrete-event system.
+
+    Following Ramadge–Wonham supervisory control theory, every event is
+    either {e controllable} (the supervisor may disable it — e.g. a
+    gain-switch command) or {e uncontrollable} (generated spontaneously by
+    the plant — e.g. a power-budget violation).  Events are identified by
+    name; two events with equal names are the same event and must agree on
+    controllability. *)
+
+type t = private { name : string; controllable : bool }
+
+val controllable : string -> t
+(** A controllable event. *)
+
+val uncontrollable : string -> t
+(** An uncontrollable event. *)
+
+val name : t -> string
+val is_controllable : t -> bool
+
+val compare : t -> t -> int
+(** Total order by name.  Raises [Invalid_argument] when two events share
+    a name but disagree on controllability — that is always a modelling
+    bug worth failing loudly on. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints [name] followed by [!] for uncontrollable events, matching the
+    convention of SCT textbooks. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t

@@ -1,0 +1,78 @@
+let accessible_indices a =
+  let n = Automaton.num_states a in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(Automaton.initial_index a) <- true;
+  Queue.push (Automaton.initial_index a) queue;
+  (* forward adjacency *)
+  let succ = Array.make n [] in
+  Automaton.fold_transitions
+    (fun s _ d () -> succ.(s) <- d :: succ.(s))
+    a ();
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    List.iter
+      (fun j ->
+        if not seen.(j) then begin
+          seen.(j) <- true;
+          Queue.push j queue
+        end)
+      succ.(i)
+  done;
+  seen
+
+let coaccessible_indices a =
+  let n = Automaton.num_states a in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let pred = Array.make n [] in
+  Automaton.fold_transitions
+    (fun s _ d () -> pred.(d) <- s :: pred.(d))
+    a ();
+  for i = 0 to n - 1 do
+    if Automaton.is_marked_index a i then begin
+      seen.(i) <- true;
+      Queue.push i queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    List.iter
+      (fun j ->
+        if not seen.(j) then begin
+          seen.(j) <- true;
+          Queue.push j queue
+        end)
+      pred.(i)
+  done;
+  seen
+
+let restrict a flags =
+  Automaton.restrict_states a ~keep:(fun s ->
+      flags.(Automaton.index_of_state a s))
+
+let accessible a =
+  match restrict a (accessible_indices a) with
+  | Some a' -> a'
+  | None -> assert false (* the initial state is always accessible *)
+
+let coaccessible a = restrict a (coaccessible_indices a)
+
+(* Removing blocking states can strand states that were only reachable or
+   coaccessible through them, so iterate to a fixpoint. *)
+let rec trim a =
+  let acc = accessible_indices a in
+  let coacc = coaccessible_indices a in
+  let both = Array.map2 ( && ) acc coacc in
+  match restrict a both with
+  | None -> None
+  | Some a' ->
+      if Automaton.num_states a' = Automaton.num_states a then Some a'
+      else trim a'
+
+let is_trim a =
+  let acc = accessible_indices a in
+  let coacc = coaccessible_indices a in
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (x && coacc.(i)) then ok := false) acc;
+  !ok

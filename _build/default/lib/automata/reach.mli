@@ -1,0 +1,27 @@
+(** Reachability analysis: accessible, coaccessible and trim parts.
+
+    These are the building blocks of the paper's §4.3.4 non-blocking
+    check: an automaton is non-blocking exactly when every accessible
+    state is coaccessible (can still reach a marked state). *)
+
+val accessible_indices : Automaton.t -> bool array
+(** [accessible_indices a] flags states reachable from the initial
+    state. *)
+
+val coaccessible_indices : Automaton.t -> bool array
+(** Flags states from which some marked state is reachable (computed by
+    backward traversal from the marked states). *)
+
+val accessible : Automaton.t -> Automaton.t
+(** Sub-automaton of reachable states (never empty: the initial state is
+    always reachable). *)
+
+val coaccessible : Automaton.t -> Automaton.t option
+(** Sub-automaton of coaccessible states; [None] when the initial state
+    itself cannot reach a marked state (empty supervisor). *)
+
+val trim : Automaton.t -> Automaton.t option
+(** Accessible ∧ coaccessible part — the "trimming algorithm" of §4.3.4.
+    [None] when the result would not contain the initial state. *)
+
+val is_trim : Automaton.t -> bool

@@ -1,0 +1,253 @@
+type stats = {
+  product_states : int;
+  removed_uncontrollable : int;
+  removed_blocking : int;
+  removed_forbidden : int;
+  iterations : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "product %d states; removed %d forbidden, %d uncontrollable, %d blocking; \
+     %d fixpoint iterations"
+    s.product_states s.removed_forbidden s.removed_uncontrollable
+    s.removed_blocking s.iterations
+
+type error = Empty_supervisor
+
+(* The synthesis works on the reachable product of plant and spec, kept as
+   explicit (plant index, spec index) pairs so controllability can consult
+   the plant component directly. *)
+
+type product = {
+  states : (int * int) array; (* product index -> (plant, spec) *)
+  trans : (int * Event.t * int) list; (* product transitions *)
+  succ : (Event.t * int) list array; (* outgoing, by product index *)
+  pred : int list array; (* incoming (source indices) *)
+  marked : bool array;
+  forbidden : bool array;
+  initial : int;
+}
+
+let build_product plant spec =
+  let sigma_g = Automaton.alphabet plant in
+  let sigma_e = Automaton.alphabet spec in
+  let alphabet = Event.Set.union sigma_g sigma_e in
+  let index = Hashtbl.create 64 in
+  let pair_of = Hashtbl.create 64 in
+  let n = ref 0 in
+  let intern p =
+    match Hashtbl.find_opt index p with
+    | Some i -> i
+    | None ->
+        let i = !n in
+        incr n;
+        Hashtbl.add index p i;
+        Hashtbl.add pair_of i p;
+        i
+  in
+  let queue = Queue.create () in
+  let start =
+    intern (Automaton.initial_index plant, Automaton.initial_index spec)
+  in
+  Queue.push start queue;
+  let trans = ref [] in
+  let explored = Hashtbl.create 64 in
+  Hashtbl.add explored start ();
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let ig, ie = Hashtbl.find pair_of i in
+    Event.Set.iter
+      (fun e ->
+        let in_g = Event.Set.mem e sigma_g in
+        let in_e = Event.Set.mem e sigma_e in
+        let next =
+          match (in_g, in_e) with
+          | true, true -> (
+              match
+                (Automaton.step_index plant ig e, Automaton.step_index spec ie e)
+              with
+              | Some jg, Some je -> Some (jg, je)
+              | _ -> None)
+          | true, false ->
+              Option.map (fun jg -> (jg, ie)) (Automaton.step_index plant ig e)
+          | false, true ->
+              Option.map (fun je -> (ig, je)) (Automaton.step_index spec ie e)
+          | false, false -> None
+        in
+        match next with
+        | None -> ()
+        | Some p ->
+            let j = intern p in
+            trans := (i, e, j) :: !trans;
+            if not (Hashtbl.mem explored j) then begin
+              Hashtbl.add explored j ();
+              Queue.push j queue
+            end)
+      alphabet
+  done;
+  let states = Array.init !n (fun i -> Hashtbl.find pair_of i) in
+  let total = Array.length states in
+  let succ = Array.make total [] in
+  let pred = Array.make total [] in
+  List.iter
+    (fun (i, e, j) ->
+      succ.(i) <- (e, j) :: succ.(i);
+      pred.(j) <- i :: pred.(j))
+    !trans;
+  let marked =
+    Array.map
+      (fun (ig, ie) ->
+        Automaton.is_marked_index plant ig && Automaton.is_marked_index spec ie)
+      states
+  in
+  let forbidden =
+    Array.map
+      (fun (ig, ie) ->
+        Automaton.is_forbidden_index plant ig
+        || Automaton.is_forbidden_index spec ie)
+      states
+  in
+  { states; trans = !trans; succ; pred; marked; forbidden; initial = start }
+
+(* One uncontrollability pass: mark good states bad when the plant enables
+   an uncontrollable event that either leaves the product (spec disables
+   it) or lands on a bad state.  Returns the number newly removed. *)
+let uncontrollable_pass plant spec product good =
+  let sigma_e = Automaton.alphabet spec in
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (ig, _ie) ->
+        if good.(i) then begin
+          let plant_enabled = Automaton.enabled_index plant ig in
+          let violated =
+            List.exists
+              (fun e ->
+                (not (Event.is_controllable e))
+                &&
+                (* where does the product go on e from i? *)
+                match List.assoc_opt e product.succ.(i) with
+                | Some j -> not good.(j)
+                | None ->
+                    (* No product transition on a plant-enabled
+                       uncontrollable event.  A plant-private event always
+                       has a product transition, so this means the spec's
+                       alphabet contains [e] and the spec disabled it:
+                       an uncontrollable escape. *)
+                    assert (Event.Set.mem e sigma_e);
+                    true)
+              plant_enabled
+          in
+          if violated then begin
+            good.(i) <- false;
+            incr removed;
+            changed := true
+          end
+        end)
+      product.states
+  done;
+  !removed
+
+(* Trimming pass restricted to the good region: bad-out states that cannot
+   reach a good marked state, or cannot be reached from the initial state
+   through good states. *)
+let blocking_pass product good =
+  let n = Array.length product.states in
+  (* coaccessible within good *)
+  let coacc = Array.make n false in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if good.(i) && product.marked.(i) then begin
+      coacc.(i) <- true;
+      Queue.push i queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    List.iter
+      (fun i ->
+        if good.(i) && not coacc.(i) then begin
+          coacc.(i) <- true;
+          Queue.push i queue
+        end)
+      product.pred.(j)
+  done;
+  let removed = ref 0 in
+  for i = 0 to n - 1 do
+    if good.(i) && not coacc.(i) then begin
+      good.(i) <- false;
+      incr removed
+    end
+  done;
+  !removed
+
+let supcon ~plant ~spec =
+  let product = build_product plant spec in
+  let n = Array.length product.states in
+  let good = Array.make n true in
+  let removed_forbidden = ref 0 in
+  Array.iteri
+    (fun i f ->
+      if f then begin
+        good.(i) <- false;
+        incr removed_forbidden
+      end)
+    product.forbidden;
+  let removed_unc = ref 0 in
+  let removed_blk = ref 0 in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    let u = uncontrollable_pass plant spec product good in
+    let b = blocking_pass product good in
+    removed_unc := !removed_unc + u;
+    removed_blk := !removed_blk + b;
+    if u = 0 && b = 0 then continue := false
+  done;
+  let stats =
+    {
+      product_states = n;
+      removed_uncontrollable = !removed_unc;
+      removed_blocking = !removed_blk;
+      removed_forbidden = !removed_forbidden;
+      iterations = !iterations;
+    }
+  in
+  if not good.(product.initial) then Error Empty_supervisor
+  else begin
+    let name_of i =
+      let ig, ie = product.states.(i) in
+      Automaton.state_of_index plant ig ^ "." ^ Automaton.state_of_index spec ie
+    in
+    let transitions =
+      List.filter_map
+        (fun (i, e, j) ->
+          if good.(i) && good.(j) then Some (name_of i, e, name_of j)
+          else None)
+        product.trans
+    in
+    let marked = ref [] in
+    Array.iteri
+      (fun i g -> if g && product.marked.(i) then marked := name_of i :: !marked)
+      good;
+    let alphabet =
+      Event.Set.union (Automaton.alphabet plant) (Automaton.alphabet spec)
+    in
+    let sup =
+      Automaton.create ~marked:!marked
+        ~alphabet:(Event.Set.elements alphabet)
+        ~name:("sup(" ^ Automaton.name plant ^ "," ^ Automaton.name spec ^ ")")
+        ~initial:(name_of product.initial) ~transitions ()
+    in
+    (* Only the accessible part is meaningful (pruning can disconnect). *)
+    Ok (Reach.accessible sup, stats)
+  end
+
+let supcon_exn ~plant ~spec =
+  match supcon ~plant ~spec with
+  | Ok (sup, _) -> sup
+  | Error Empty_supervisor -> failwith "Synthesis.supcon: empty supervisor"

@@ -1,0 +1,46 @@
+(** Ramadge–Wonham supervisor synthesis (the "Synthesis" box of Fig. 11).
+
+    Given a plant model [G] and an intended-behaviour specification [E],
+    {!supcon} computes the {e supremal controllable and non-blocking}
+    sub-behaviour of [G ‖ E]: the least restrictive supervisor that
+    - never disables an uncontrollable event the plant can generate
+      (controllability, §4.3.4),
+    - never paints the system into a corner from which no marked state is
+      reachable (non-blocking),
+    - never enters a forbidden (✗) state of the specification.
+
+    The algorithm is the classical fixpoint of the paper's §4.3.4: the
+    trimming pass and the uncontrollable-state extension pass "must be run
+    successively and iteratively, until they return the same result". *)
+
+type stats = {
+  product_states : int;  (** Reachable states of G ‖ E before pruning. *)
+  removed_uncontrollable : int;
+      (** States removed because an uncontrollable plant event escaped the
+          good region. *)
+  removed_blocking : int;  (** States removed by trimming passes. *)
+  removed_forbidden : int;  (** Forbidden states removed up front. *)
+  iterations : int;  (** Fixpoint rounds until stable. *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type error =
+  | Empty_supervisor
+      (** The initial state itself is uncontrollably bad: no supervisor
+          satisfying the specification exists. *)
+
+val supcon :
+  plant:Automaton.t ->
+  spec:Automaton.t ->
+  (Automaton.t * stats, error) result
+(** [supcon ~plant ~spec] synthesizes the supervisor.  Product states are
+    named ["qG.qE"] as in Fig. 12d.  The returned automaton is both the
+    supervisor realization and the closed-loop behaviour (standard for
+    state-feedback RW supervisors); it is guaranteed controllable w.r.t.
+    [plant], non-blocking and trim — properties re-checked by
+    {!Verify.controllable} and {!Verify.nonblocking} in the test-suite. *)
+
+val supcon_exn : plant:Automaton.t -> spec:Automaton.t -> Automaton.t
+(** Like {!supcon} but raising [Failure] on an empty result and dropping
+    the statistics; convenient in examples. *)

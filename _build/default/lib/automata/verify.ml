@@ -1,0 +1,82 @@
+type blocking_witness = { state : string }
+
+let nonblocking a =
+  let acc = Reach.accessible_indices a in
+  let coacc = Reach.coaccessible_indices a in
+  let witness = ref None in
+  Array.iteri
+    (fun i reachable ->
+      if reachable && (not coacc.(i)) && !witness = None then
+        witness := Some { state = Automaton.state_of_index a i })
+    acc;
+  match !witness with None -> Ok () | Some w -> Error w
+
+let is_nonblocking a = Result.is_ok (nonblocking a)
+
+type controllability_witness = {
+  supervisor_state : string;
+  plant_state : string;
+  event : Event.t;
+}
+
+(* Walk the reachable product of supervisor and plant; at each pair check
+   that every uncontrollable plant-enabled event (that the supervisor's
+   alphabet contains) is supervisor-enabled. *)
+let controllable ~plant ~supervisor =
+  let sigma_s = Automaton.alphabet supervisor in
+  let sigma_g = Automaton.alphabet plant in
+  let alphabet = Event.Set.union sigma_s sigma_g in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let start = (Automaton.initial_index supervisor, Automaton.initial_index plant) in
+  Hashtbl.add seen start ();
+  Queue.push start queue;
+  let witness = ref None in
+  while !witness = None && not (Queue.is_empty queue) do
+    let is_, ig = Queue.pop queue in
+    Event.Set.iter
+      (fun e ->
+        if !witness = None then begin
+          let in_s = Event.Set.mem e sigma_s in
+          let in_g = Event.Set.mem e sigma_g in
+          let s_step = if in_s then Automaton.step_index supervisor is_ e else None in
+          let g_step = if in_g then Automaton.step_index plant ig e else None in
+          (* controllability violation: plant enables an uncontrollable
+             event the supervisor's alphabet contains but disables here *)
+          if
+            in_g && in_s && g_step <> None && s_step = None
+            && not (Event.is_controllable e)
+          then
+            witness :=
+              Some
+                {
+                  supervisor_state = Automaton.state_of_index supervisor is_;
+                  plant_state = Automaton.state_of_index plant ig;
+                  event = e;
+                }
+          else begin
+            let next =
+              match (in_s, in_g) with
+              | true, true -> (
+                  match (s_step, g_step) with
+                  | Some js, Some jg -> Some (js, jg)
+                  | _ -> None)
+              | true, false -> Option.map (fun js -> (js, ig)) s_step
+              | false, true -> Option.map (fun jg -> (is_, jg)) g_step
+              | false, false -> None
+            in
+            match next with
+            | Some p when not (Hashtbl.mem seen p) ->
+                Hashtbl.add seen p ();
+                Queue.push p queue
+            | _ -> ()
+          end
+        end)
+      alphabet
+  done;
+  match !witness with None -> Ok () | Some w -> Error w
+
+let is_controllable ~plant ~supervisor =
+  Result.is_ok (controllable ~plant ~supervisor)
+
+let closed_loop ~plant ~supervisor = Compose.pair supervisor plant

@@ -1,0 +1,1 @@
+lib/control/kalman.ml: Format Matrix Riccati Spectr_linalg

@@ -1,0 +1,1 @@
+lib/control/kalman.mli: Format Matrix Riccati Spectr_linalg

@@ -1,0 +1,1 @@
+lib/control/lqg.ml: Array Format Kalman Lqr Matrix Riccati Spectr_linalg Statespace

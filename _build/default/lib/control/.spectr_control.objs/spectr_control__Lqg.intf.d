@@ -1,0 +1,1 @@
+lib/control/lqg.mli: Format Kalman Lqr Matrix Spectr_linalg Statespace

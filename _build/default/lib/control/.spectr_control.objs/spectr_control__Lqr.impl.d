@@ -1,0 +1,1 @@
+lib/control/lqr.ml: Array Format Matrix Riccati Spectr_linalg

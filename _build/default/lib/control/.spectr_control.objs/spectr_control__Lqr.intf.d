@@ -1,0 +1,1 @@
+lib/control/lqr.mli: Format Matrix Riccati Spectr_linalg

@@ -1,0 +1,1 @@
+lib/control/mimo.ml: Array Float Kalman List Lqg Matrix Option Printf Spectr_linalg Statespace

@@ -1,0 +1,1 @@
+lib/control/mimo.mli: Lqg

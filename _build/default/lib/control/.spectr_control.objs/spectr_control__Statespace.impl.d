@@ -1,0 +1,1 @@
+lib/control/statespace.ml: Array Format Matrix Spectr_linalg

@@ -1,0 +1,1 @@
+lib/control/statespace.mli: Format Matrix Spectr_linalg

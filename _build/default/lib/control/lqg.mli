@@ -1,0 +1,69 @@
+(** LQG tracking-controller design (the paper's low-level MIMO
+    controllers).
+
+    The design augments the identified plant with one integrator per
+    measured output so that constant references are tracked with zero
+    steady-state error:
+
+    {v x⁺ = A x + B u                     (plant, D = 0 required)
+   z⁺ = z + (r − y)                   (tracking-error integrators)
+   u  = −Kx x̂ − Kz z                  (augmented LQR feedback)
+   x̂  ← Kalman estimate from (u, y) v}
+
+    The output-priority weights [q_y] are the paper's Tracking Error Cost
+    matrix Q — e.g. 30:1 FPS-over-power for the MM-Perf configuration of
+    §2.1 — and [r_u] its Control Effort Cost matrix R — e.g. 2:1
+    frequency-over-cores of §5.  A complete set of gains for one
+    operating mode is a {!gains} value; the supervisor's gain scheduling
+    switches between such values at runtime ({!Mimo.switch_gains}). *)
+
+open Spectr_linalg
+
+type gains = {
+  label : string;  (** Mode name, e.g. ["qos"] or ["power"]. *)
+  model : Statespace.t;  (** The design model (for the estimator). *)
+  kx : Matrix.t;  (** m×n state-feedback gain. *)
+  kz : Matrix.t;  (** m×p integrator gain. *)
+  l : Matrix.t;  (** n×p Kalman filter gain. *)
+  leak : float;
+      (** Integrator leak λ ∈ (0, 1]: z⁺ = λz + (r − y).  1 means exact
+          integral action; {!design} retries with slightly leaky
+          integrators when the exact augmentation makes the Riccati
+          value-iteration diverge (numerically unstabilizable integrator
+          directions). *)
+}
+
+type error =
+  | Lqr_failed of Lqr.error
+  | Kalman_failed of Kalman.error
+  | Feedthrough_unsupported
+      (** The design requires D = 0 (standard for identified
+          computing-system models: actuation takes effect next period). *)
+  | Bad_weights of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val design :
+  ?q_integrator:float array ->
+  ?process_noise:float ->
+  ?measurement_noise:float ->
+  label:string ->
+  model:Statespace.t ->
+  q_y:float array ->
+  r_u:float array ->
+  unit ->
+  (gains, error) result
+(** [design ~label ~model ~q_y ~r_u ()] computes one gain set.
+
+    - [q_y]: per-output tracking weights (length p).  The state cost is
+      CᵀQyC so that output deviations, not raw states, are penalized.
+    - [r_u]: per-input effort weights (length m); all must be > 0.
+    - [q_integrator]: per-output integrator weights (default: [q_y]
+      scaled by 0.1) — larger values track faster but overshoot more.
+    - [process_noise] / [measurement_noise]: scalar covariance levels for
+      the Kalman design (defaults 0.01 / 0.1, matching the identified
+      models' residual levels). *)
+
+val closed_loop_stable : gains -> bool
+(** Check that the augmented closed-loop matrix is (empirically) stable —
+    the §6 Step-8 robustness gate. *)

@@ -1,0 +1,30 @@
+(** Discrete-time Linear–Quadratic Regulator design.
+
+    Minimizes  Σ xᵀQx + uᵀRu  subject to  x⁺ = Ax + Bu, yielding the
+    state-feedback law u = −Kx with
+
+    {v K = (R + BᵀPB)⁻¹ BᵀPA v}
+
+    where P solves the DARE ({!Spectr_linalg.Riccati}).  Q is the paper's
+    Tracking Error Cost and R its Control Effort Cost (§2.1). *)
+
+open Spectr_linalg
+
+type design = {
+  k : Matrix.t;  (** m×n feedback gain. *)
+  p : Matrix.t;  (** DARE solution (cost-to-go). *)
+}
+
+type error =
+  | Riccati_failed of Riccati.error
+  | Bad_weights of string
+      (** Q/R dimensions wrong, or R not symmetric positive definite
+          (checked via a Cholesky-style pivot test). *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val design :
+  a:Matrix.t -> b:Matrix.t -> q:Matrix.t -> r:Matrix.t -> (design, error) result
+
+val closed_loop_matrix : a:Matrix.t -> b:Matrix.t -> k:Matrix.t -> Matrix.t
+(** A − BK, the closed-loop state matrix (for stability checks). *)

@@ -1,0 +1,174 @@
+open Spectr_linalg
+
+type channel = {
+  name : string;
+  offset : float;
+  scale : float;
+  min : float;
+  max : float;
+}
+
+let channel ?(offset = 0.) ?(scale = 1.) ?(min = neg_infinity)
+    ?(max = infinity) name =
+  if scale = 0. then invalid_arg "Mimo.channel: zero scale";
+  if min > max then invalid_arg "Mimo.channel: min > max";
+  { name; offset; scale; min; max }
+
+type t = {
+  gains : (string * Lqg.gains) list;
+  mutable active : Lqg.gains;
+  inputs : channel array;
+  outputs : channel array;
+  refs : float array; (* physical reference values, mutable entries *)
+  z_clamp : float;
+  mutable xhat : Matrix.t; (* n x 1 predicted state *)
+  mutable z : Matrix.t; (* p x 1 integrator *)
+  mutable u_prev : Matrix.t; (* m x 1 normalized previous command *)
+  mutable last : float array option;
+}
+
+let dims g =
+  ( Statespace.order g.Lqg.model,
+    Statespace.num_inputs g.Lqg.model,
+    Statespace.num_outputs g.Lqg.model )
+
+let create ?(z_clamp = 20.) ~gains ~initial ~inputs ~outputs ~refs () =
+  if z_clamp <= 0. then invalid_arg "Mimo.create: z_clamp <= 0";
+  (match gains with [] -> invalid_arg "Mimo.create: no gain sets" | _ -> ());
+  let labels = List.map (fun g -> g.Lqg.label) gains in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup labels with
+  | Some l -> invalid_arg (Printf.sprintf "Mimo.create: duplicate label %S" l)
+  | None -> ());
+  let d0 = dims (List.hd gains) in
+  List.iter
+    (fun g ->
+      if dims g <> d0 then
+        invalid_arg "Mimo.create: gain sets disagree on dimensions")
+    gains;
+  let n, m, p = d0 in
+  if Array.length inputs <> m then invalid_arg "Mimo.create: inputs length";
+  if Array.length outputs <> p then invalid_arg "Mimo.create: outputs length";
+  if Array.length refs <> p then invalid_arg "Mimo.create: refs length";
+  let active =
+    match List.find_opt (fun g -> g.Lqg.label = initial) gains with
+    | Some g -> g
+    | None -> invalid_arg (Printf.sprintf "Mimo.create: unknown label %S" initial)
+  in
+  {
+    gains = List.map (fun g -> (g.Lqg.label, g)) gains;
+    active;
+    inputs;
+    outputs;
+    refs = Array.copy refs;
+    z_clamp;
+    xhat = Matrix.zeros ~rows:n ~cols:1;
+    z = Matrix.zeros ~rows:p ~cols:1;
+    u_prev = Matrix.zeros ~rows:m ~cols:1;
+    last = None;
+  }
+
+let normalize ch v = (v -. ch.offset) /. ch.scale
+let denormalize ch v = (v *. ch.scale) +. ch.offset
+let clamp ch v = Float.min ch.max (Float.max ch.min v)
+
+let step ctrl ~measured =
+  let g = ctrl.active in
+  let model = g.Lqg.model in
+  let p = Statespace.num_outputs model in
+  let m = Statespace.num_inputs model in
+  if Array.length measured <> p then invalid_arg "Mimo.step: measured length";
+  (* 1. normalize measurements and references *)
+  let y =
+    Matrix.init ~rows:p ~cols:1 (fun i _ -> normalize ctrl.outputs.(i) measured.(i))
+  in
+  let r =
+    Matrix.init ~rows:p ~cols:1 (fun i _ ->
+        normalize ctrl.outputs.(i) ctrl.refs.(i))
+  in
+  (* 2. Kalman measurement update on the predicted state *)
+  let xfilt = Kalman.correct ~l:g.Lqg.l ~c:model.Statespace.c ~xhat:ctrl.xhat ~y in
+  (* 3. integrator update with the current tracking error (conditional
+        anti-windup applied after saturation below) *)
+  let err = Matrix.sub r y in
+  let z_candidate = Matrix.add (Matrix.scale g.Lqg.leak ctrl.z) err in
+  (* 4. feedback law on normalized deviations *)
+  let u_unsat =
+    Matrix.neg
+      (Matrix.add (Matrix.mul g.Lqg.kx xfilt) (Matrix.mul g.Lqg.kz z_candidate))
+  in
+  (* 5. saturate in physical units *)
+  let phys = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let ch = ctrl.inputs.(i) in
+    phys.(i) <- clamp ch (denormalize ch (Matrix.get u_unsat i 0))
+  done;
+  let u_norm =
+    Matrix.init ~rows:m ~cols:1 (fun i _ -> normalize ctrl.inputs.(i) phys.(i))
+  in
+  (* 6. anti-windup by integrator clamping: each integrator state is
+        bounded to ±z_clamp (normalized units).  During an infeasible
+        phase the integrators wind to the clamp — sustaining a maximal
+        command, which is the desired behaviour for a prioritized
+        objective — and unwinding after recovery takes a bounded number
+        of periods instead of growing with the infeasible duration. *)
+  ctrl.z <-
+    Matrix.map
+      (fun z -> Float.max (-.ctrl.z_clamp) (Float.min ctrl.z_clamp z))
+      z_candidate;
+  (* 7. time update with the saturated command *)
+  let x_next, _ = Statespace.step model ~x:xfilt ~u:u_norm in
+  ctrl.xhat <- x_next;
+  ctrl.u_prev <- u_norm;
+  ctrl.last <- Some (Array.copy phys);
+  phys
+
+let switch_gains ctrl label =
+  match List.assoc_opt label ctrl.gains with
+  | None ->
+      invalid_arg (Printf.sprintf "Mimo.switch_gains: unknown label %S" label)
+  | Some g when g == ctrl.active -> ()
+  | Some g ->
+      (* Bumpless transfer: the integrator contribution to the command
+         must be continuous across the switch, so solve
+         Kz_new · z_new = Kz_old · z_old in the least-squares sense.
+         Without this, a wound integrator reinterpreted under different
+         gains slams the actuators and can limit-cycle the supervisor. *)
+      let contribution = Matrix.mul ctrl.active.Lqg.kz ctrl.z in
+      let kz = g.Lqg.kz in
+      let kzt = Matrix.transpose kz in
+      let p = Matrix.rows ctrl.z in
+      let gram =
+        Matrix.add (Matrix.mul kzt kz) (Matrix.scale 1e-9 (Matrix.identity p))
+      in
+      (match Matrix.solve gram (Matrix.mul kzt contribution) with
+      | z_new -> ctrl.z <- z_new
+      | exception Failure _ -> ());
+      ctrl.active <- g
+
+let current_gains ctrl = ctrl.active.Lqg.label
+let available_gains ctrl = List.map fst ctrl.gains
+
+let set_reference ctrl ~index value =
+  if index < 0 || index >= Array.length ctrl.refs then
+    invalid_arg "Mimo.set_reference: index";
+  ctrl.refs.(index) <- value
+
+let reference ctrl ~index =
+  if index < 0 || index >= Array.length ctrl.refs then
+    invalid_arg "Mimo.reference: index";
+  ctrl.refs.(index)
+
+let reset ctrl =
+  let n, m, p = dims ctrl.active in
+  ctrl.xhat <- Matrix.zeros ~rows:n ~cols:1;
+  ctrl.z <- Matrix.zeros ~rows:p ~cols:1;
+  ctrl.u_prev <- Matrix.zeros ~rows:m ~cols:1;
+  ctrl.last <- None
+
+let num_inputs ctrl = Array.length ctrl.inputs
+let num_outputs ctrl = Array.length ctrl.outputs
+let last_command ctrl = Option.map Array.copy ctrl.last

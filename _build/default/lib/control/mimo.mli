@@ -1,0 +1,86 @@
+(** Runtime MIMO tracking controller with gain scheduling.
+
+    This is the low-level "leaf controller" of the SPECTR hierarchy
+    (Fig. 9): an LQG regulator executing every control period, exposing
+    exactly the two hooks the supervisory controller drives —
+    {!switch_gains} (gain scheduling) and {!set_reference} (reference
+    regulation).
+
+    The controller operates internally on {e normalized} signals: each
+    physical input/output channel carries an [offset]/[scale] pair (from
+    the identification experiment's operating point) plus saturation
+    limits for actuators.  Actuator saturation is handled with
+    conditional-integration anti-windup: integrators freeze on the
+    saturated channels. *)
+
+type channel = {
+  name : string;
+  offset : float;  (** Operating-point value subtracted before control. *)
+  scale : float;  (** Normalization divisor (≠ 0). *)
+  min : float;  (** Physical lower saturation bound. *)
+  max : float;  (** Physical upper saturation bound. *)
+}
+
+val channel :
+  ?offset:float -> ?scale:float -> ?min:float -> ?max:float -> string -> channel
+(** Channel with defaults: offset 0, scale 1, unbounded limits.  Raises
+    [Invalid_argument] when [scale = 0] or [min > max]. *)
+
+type t
+(** Mutable controller instance. *)
+
+val create :
+  ?z_clamp:float ->
+  gains:Lqg.gains list ->
+  initial:string ->
+  inputs:channel array ->
+  outputs:channel array ->
+  refs:float array ->
+  unit ->
+  t
+(** [create ~gains ~initial ~inputs ~outputs ~refs ()] builds a
+    controller.  [gains] are the predesigned gain sets (§3.2: "computing
+    control parameters for different policies offline"); [initial]
+    selects the starting mode by label.  [inputs] describe the m actuator
+    channels, [outputs] the p sensor channels, [refs] the initial
+    physical reference values (length p).  [z_clamp] bounds each
+    integrator state to ±z_clamp normalized units (default 20) — the
+    anti-windup mechanism: during an infeasible phase integrators wind
+    to the clamp, sustaining a maximal command, and unwind in a bounded
+    number of periods afterwards.
+
+    Raises [Invalid_argument] when labels are duplicated, [initial] is
+    unknown, any gain set disagrees on (m, p, n), array lengths are
+    inconsistent, or [z_clamp <= 0]. *)
+
+val step : t -> measured:float array -> float array
+(** One control period: consume the physical measurements (length p) and
+    produce the physical actuator commands (length m), saturated to the
+    channel limits.  Mirrors the 50 ms daemon invocation of §5. *)
+
+val switch_gains : t -> string -> unit
+(** Gain scheduling: point the controller at a different stored gain set.
+    Controller state (estimate and integrators) is preserved, so the
+    switch is bumpless and costs O(1) — "changing the coefficient arrays
+    at runtime takes effect immediately" (§5.3).  Raises
+    [Invalid_argument] on an unknown label. *)
+
+val current_gains : t -> string
+(** Label of the active gain set. *)
+
+val available_gains : t -> string list
+
+val set_reference : t -> index:int -> float -> unit
+(** Reference regulation: update one physical reference value (e.g. the
+    supervisor lowering a cluster's power budget). *)
+
+val reference : t -> index:int -> float
+
+val reset : t -> unit
+(** Zero the estimator state and integrators. *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+
+val last_command : t -> float array option
+(** Most recent actuator command, if any step has executed. *)

@@ -1,0 +1,77 @@
+open Spectr_linalg
+
+type t = { a : Matrix.t; b : Matrix.t; c : Matrix.t; d : Matrix.t }
+
+let create ~a ~b ~c ?d () =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Statespace.create: A not square";
+  if Matrix.rows b <> n then invalid_arg "Statespace.create: B rows <> n";
+  if Matrix.cols c <> n then invalid_arg "Statespace.create: C cols <> n";
+  let m = Matrix.cols b and p = Matrix.rows c in
+  let d = match d with Some d -> d | None -> Matrix.zeros ~rows:p ~cols:m in
+  if Matrix.rows d <> p || Matrix.cols d <> m then
+    invalid_arg "Statespace.create: D not p x m";
+  { a; b; c; d }
+
+let order sys = Matrix.rows sys.a
+let num_inputs sys = Matrix.cols sys.b
+let num_outputs sys = Matrix.rows sys.c
+
+let step sys ~x ~u =
+  let x' = Matrix.add (Matrix.mul sys.a x) (Matrix.mul sys.b u) in
+  let y = Matrix.add (Matrix.mul sys.c x) (Matrix.mul sys.d u) in
+  (x', y)
+
+let simulate sys ?x0 ~u () =
+  let x0 =
+    match x0 with Some x -> x | None -> Matrix.zeros ~rows:(order sys) ~cols:1
+  in
+  let x = ref x0 in
+  Array.map
+    (fun ut ->
+      let x', y = step sys ~x:!x ~u:ut in
+      x := x';
+      y)
+    u
+
+let dc_gain sys =
+  let n = order sys in
+  let i_minus_a = Matrix.sub (Matrix.identity n) sys.a in
+  Matrix.add (Matrix.mul sys.c (Matrix.solve i_minus_a sys.b)) sys.d
+
+let spectral_radius_bound sys =
+  let n = order sys in
+  (* deterministic "random" start vector *)
+  let v = ref (Matrix.init ~rows:n ~cols:1 (fun i _ -> 1. +. (0.1 *. float_of_int i))) in
+  let radius = ref 0. in
+  for _ = 1 to 50 do
+    let w = Matrix.mul sys.a !v in
+    let nw = Matrix.frobenius_norm w in
+    let nv = Matrix.frobenius_norm !v in
+    if nv > 0. && nw > 0. then begin
+      radius := nw /. nv;
+      v := Matrix.scale (1. /. nw) w
+    end
+  done;
+  !radius
+
+let is_stable ?(steps = 200) sys =
+  let n = order sys in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    let x = ref (Matrix.init ~rows:n ~cols:1 (fun i _ -> if i = k then 1. else 0.)) in
+    for _ = 1 to steps do
+      x := Matrix.mul sys.a !x
+    done;
+    if Matrix.frobenius_norm !x > 1e3 then ok := false
+  done;
+  !ok
+
+let operation_count sys =
+  let n = order sys and m = num_inputs sys and p = num_outputs sys in
+  (* x' = Ax + Bu : n*n + n*m multiply-adds;  y = Cx + Du : p*n + p*m. *)
+  (n * n) + (n * m) + (p * n) + (p * m)
+
+let pp ppf sys =
+  Format.fprintf ppf "state-space: n=%d, m=%d, p=%d" (order sys)
+    (num_inputs sys) (num_outputs sys)

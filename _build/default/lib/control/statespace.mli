@@ -1,0 +1,61 @@
+(** Discrete-time linear state-space models
+
+    {v x(t+1) = A x(t) + B u(t)
+   y(t)   = C x(t) + D u(t) v}
+
+    — Equations (1)–(2) of the paper.  These models come from black-box
+    system identification ({!Spectr_sysid.Arx}) and are the design input
+    to {!Lqr}, {!Kalman} and {!Lqg}. *)
+
+open Spectr_linalg
+
+type t = private {
+  a : Matrix.t;  (** n×n state matrix. *)
+  b : Matrix.t;  (** n×m input matrix. *)
+  c : Matrix.t;  (** p×n output matrix. *)
+  d : Matrix.t;  (** p×m feedthrough matrix. *)
+}
+
+val create : a:Matrix.t -> b:Matrix.t -> c:Matrix.t -> ?d:Matrix.t -> unit -> t
+(** Validates dimensional consistency ([d] defaults to the zero matrix).
+    Raises [Invalid_argument] on mismatch. *)
+
+val order : t -> int
+(** Number of states n. *)
+
+val num_inputs : t -> int
+(** Number of control inputs m. *)
+
+val num_outputs : t -> int
+(** Number of measured outputs p. *)
+
+val step : t -> x:Matrix.t -> u:Matrix.t -> Matrix.t * Matrix.t
+(** [step sys ~x ~u] is [(x', y)]: the next state and current output.
+    [x] is n×1, [u] is m×1. *)
+
+val simulate : t -> ?x0:Matrix.t -> u:Matrix.t array -> unit -> Matrix.t array
+(** Output sequence for an input sequence (each u m×1); [x0] defaults to
+    the origin. *)
+
+val dc_gain : t -> Matrix.t
+(** Steady-state gain [C (I − A)⁻¹ B + D].  Raises [Failure] when
+    (I − A) is singular (integrating plant). *)
+
+val spectral_radius_bound : t -> float
+(** An easily-computed upper estimate of |λ|max of A via 50 steps of the
+    power iteration on a random vector — used in stability sanity checks
+    (a value < 1 certifies nothing, but > 1 after many iterations flags a
+    clearly unstable model). *)
+
+val is_stable : ?steps:int -> t -> bool
+(** Empirical BIBO check: iterate x ← Ax from a set of basis vectors and
+    verify the norm does not blow up after [steps] (default 200)
+    iterations.  Sound for diagnosable growth; used by design-flow
+    robustness checks. *)
+
+val operation_count : t -> int
+(** Multiply–add operations for one controller invocation (the matrix
+    products of Equations (1) and (2)) — the cost model behind the
+    paper's Figure 6. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/design_flow.ml: Array Arx Benchmarks Dataset Excitation Float Format Guardband Int64 List Lqg Mimo Printf Soc Spectr_control Spectr_linalg Spectr_platform Spectr_sysid Statespace Validation

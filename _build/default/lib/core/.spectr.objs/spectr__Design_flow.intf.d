@@ -1,0 +1,1 @@
+lib/core/design_flow.mli: Arx Dataset Lqg Mimo Spectr_control Spectr_sysid Statespace Validation

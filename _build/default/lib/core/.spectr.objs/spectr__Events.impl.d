@@ -1,0 +1,1 @@
+lib/core/events.ml: Event List Spectr_automata

@@ -1,0 +1,1 @@
+lib/core/fs.ml: Array Design_flow Manager Mimo Soc Spectr_control Spectr_platform

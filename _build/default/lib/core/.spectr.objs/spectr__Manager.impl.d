@@ -1,0 +1,1 @@
+lib/core/manager.ml: Float Soc Spectr_platform

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Soc Spectr_platform

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Format List Printf Scenario Spectr_linalg Spectr_platform Stats Trace

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Format Scenario Spectr_platform Trace

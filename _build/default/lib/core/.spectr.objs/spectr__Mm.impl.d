@@ -1,0 +1,1 @@
+lib/core/mm.ml: Array Design_flow Float Manager Mimo Soc Spectr_control Spectr_platform

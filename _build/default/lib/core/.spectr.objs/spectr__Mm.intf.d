@@ -1,0 +1,1 @@
+lib/core/mm.mli: Manager

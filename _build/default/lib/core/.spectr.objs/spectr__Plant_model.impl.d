@@ -1,0 +1,1 @@
+lib/core/plant_model.ml: Automaton Compose Events Spectr_automata

@@ -1,0 +1,1 @@
+lib/core/plant_model.mli: Automaton Spectr_automata

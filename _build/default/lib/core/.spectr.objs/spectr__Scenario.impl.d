@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Float Heartbeats List Manager Perf_model Soc Spectr_platform Trace Workload

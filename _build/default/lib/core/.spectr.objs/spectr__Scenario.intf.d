@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Manager Spectr_platform Trace Workload

@@ -1,0 +1,1 @@
+lib/core/siso.ml: Float Manager Mm Pid Soc Spectr_control Spectr_platform

@@ -1,0 +1,1 @@
+lib/core/spectr_manager.ml: Array Design_flow Manager Mimo Mm Soc Spectr_control Spectr_platform Supervisor

@@ -1,0 +1,1 @@
+lib/core/spectr_manager.mli: Manager Supervisor

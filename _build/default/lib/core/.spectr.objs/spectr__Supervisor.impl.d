@@ -1,0 +1,1 @@
+lib/core/supervisor.ml: Automaton Event Events Float List Option Plant_model Spec Spectr_automata Synthesis Verify

@@ -1,0 +1,1 @@
+lib/core/supervisor.mli: Automaton Spectr_automata Synthesis

@@ -1,0 +1,1 @@
+lib/core/thermal_governor.ml:

@@ -1,0 +1,276 @@
+open Spectr_control
+open Spectr_sysid
+open Spectr_platform
+
+type subsystem = Big_2x2 | Little_2x2 | Fs_4x2 | Large_10x10
+
+let subsystem_name = function
+  | Big_2x2 -> "big-2x2"
+  | Little_2x2 -> "little-2x2"
+  | Fs_4x2 -> "fs-4x2"
+  | Large_10x10 -> "large-10x10"
+
+type identified = {
+  subsystem : subsystem;
+  model : Arx.model;
+  statespace : Statespace.t;
+  input_channels : Mimo.channel array;
+  output_channels : Mimo.channel array;
+  report : Validation.report;
+  dataset : Dataset.t;
+}
+
+(* Physical description of one experiment channel. *)
+type phys = {
+  ch_name : string;
+  lo : float; (* excitation range *)
+  hi : float;
+  sat_min : float; (* actuator saturation; outputs use infinities *)
+  sat_max : float;
+}
+
+(* Excitation ranges are deliberately narrower than the actuator limits:
+   black-box identification of a nonlinear plant (P ∝ V²f, Amdahl core
+   scaling) needs a quasi-linear neighbourhood around the operating
+   point; the controllers may still saturate out to the full physical
+   range at runtime. *)
+let input_spec = function
+  | Big_2x2 ->
+      [|
+        { ch_name = "big-freq-ghz"; lo = 0.8; hi = 1.8; sat_min = 0.2; sat_max = 2.0 };
+        { ch_name = "big-cores"; lo = 2.; hi = 4.; sat_min = 1.; sat_max = 4. };
+      |]
+  | Little_2x2 ->
+      [|
+        { ch_name = "little-freq-ghz"; lo = 0.4; hi = 1.2; sat_min = 0.2; sat_max = 1.4 };
+        { ch_name = "little-cores"; lo = 2.; hi = 4.; sat_min = 1.; sat_max = 4. };
+      |]
+  | Fs_4x2 ->
+      [|
+        { ch_name = "big-freq-ghz"; lo = 0.8; hi = 1.8; sat_min = 0.2; sat_max = 2.0 };
+        { ch_name = "big-cores"; lo = 2.; hi = 4.; sat_min = 1.; sat_max = 4. };
+        { ch_name = "little-freq-ghz"; lo = 0.4; hi = 1.2; sat_min = 0.2; sat_max = 1.4 };
+        { ch_name = "little-cores"; lo = 2.; hi = 4.; sat_min = 1.; sat_max = 4. };
+      |]
+  | Large_10x10 ->
+      (* A 10-knob controller has no quasi-linear neighbourhood to hide
+         in: its actuators span their full range (the §2.2 argument). *)
+      Array.append
+        (Array.init 8 (fun i ->
+             {
+               ch_name = Printf.sprintf "idle-core%d" i;
+               lo = 0.;
+               hi = 0.9;
+               sat_min = 0.;
+               sat_max = 0.9;
+             }))
+        [|
+          { ch_name = "big-freq-ghz"; lo = 0.8; hi = 1.8; sat_min = 0.2; sat_max = 2.0 };
+          { ch_name = "little-freq-ghz"; lo = 0.4; hi = 1.2; sat_min = 0.2; sat_max = 1.4 };
+        |]
+
+let output_names = function
+  | Big_2x2 -> [| "qos"; "big-power" |]
+  | Little_2x2 -> [| "little-gips"; "little-power" |]
+  | Fs_4x2 -> [| "qos"; "chip-power" |]
+  | Large_10x10 ->
+      Array.append
+        (Array.init 8 (fun i -> Printf.sprintf "core%d-gips" i))
+        [| "big-power"; "little-power" |]
+
+let background_load = function
+  | Big_2x2 -> 0
+  | Little_2x2 -> 8
+  | Fs_4x2 -> 4
+  | Large_10x10 -> 4
+
+(* Apply one excitation row to the SoC and return the actually-applied
+   physical input vector (after OPP quantization and rounding). *)
+let apply_inputs subsystem soc row =
+  match subsystem with
+  | Big_2x2 ->
+      let f = Soc.set_frequency soc Soc.Big (row.(0) *. 1000.) in
+      let cores = int_of_float (Float.round row.(1)) in
+      Soc.set_active_cores soc Soc.Big cores;
+      [| float_of_int f /. 1000.; float_of_int (Soc.active_cores soc Soc.Big) |]
+  | Little_2x2 ->
+      let f = Soc.set_frequency soc Soc.Little (row.(0) *. 1000.) in
+      let cores = int_of_float (Float.round row.(1)) in
+      Soc.set_active_cores soc Soc.Little cores;
+      [|
+        float_of_int f /. 1000.; float_of_int (Soc.active_cores soc Soc.Little);
+      |]
+  | Fs_4x2 ->
+      let bf = Soc.set_frequency soc Soc.Big (row.(0) *. 1000.) in
+      Soc.set_active_cores soc Soc.Big (int_of_float (Float.round row.(1)));
+      let lf = Soc.set_frequency soc Soc.Little (row.(2) *. 1000.) in
+      Soc.set_active_cores soc Soc.Little (int_of_float (Float.round row.(3)));
+      [|
+        float_of_int bf /. 1000.;
+        float_of_int (Soc.active_cores soc Soc.Big);
+        float_of_int lf /. 1000.;
+        float_of_int (Soc.active_cores soc Soc.Little);
+      |]
+  | Large_10x10 ->
+      for i = 0 to 7 do
+        Soc.set_idle_fraction soc ~core:i row.(i)
+      done;
+      let bf = Soc.set_frequency soc Soc.Big (row.(8) *. 1000.) in
+      let lf = Soc.set_frequency soc Soc.Little (row.(9) *. 1000.) in
+      Array.append
+        (Array.init 8 (fun i -> Soc.idle_fraction soc ~core:i))
+        [| float_of_int bf /. 1000.; float_of_int lf /. 1000. |]
+
+let read_outputs subsystem (obs : Soc.observation) =
+  match subsystem with
+  | Big_2x2 -> [| obs.Soc.qos_rate; obs.Soc.big_power |]
+  | Little_2x2 -> [| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
+  | Fs_4x2 -> [| obs.Soc.qos_rate; obs.Soc.chip_power |]
+  | Large_10x10 ->
+      Array.append
+        (Array.map (fun v -> v /. 1e9) obs.Soc.per_core_ips)
+        [| obs.Soc.big_power; obs.Soc.little_power |]
+
+let identify ?(seed = 17L) ?(length = 1200) ?(order = 2) subsystem =
+  let config = { Soc.default_config with seed } in
+  let soc = Soc.create ~config ~qos:Benchmarks.microbench () in
+  Soc.set_background_tasks soc (background_load subsystem);
+  let phys_in = input_spec subsystem in
+  (* Independent random staircases per channel (distinct dwell times and
+     RNG streams) so the regression can separate actuator effects. *)
+  let excitation =
+    let master = Spectr_linalg.Prng.create (Int64.add seed 1L) in
+    let per_channel =
+      Array.mapi
+        (fun i p ->
+          let g = Spectr_linalg.Prng.split master in
+          Excitation.random_staircase g ~lo:p.lo ~hi:p.hi ~hold:(8 + (3 * i))
+            ~length ())
+        phys_in
+    in
+    Array.init length (fun k ->
+        Array.map (fun ch -> ch.(k)) per_channel)
+  in
+  let u = Array.make length [||] in
+  let y = Array.make length [||] in
+  (* Same loop order as the runtime daemon (measure, then actuate), so
+     y(t) responds to u(t−1) — the one-period actuation delay the ARX
+     lag structure assumes. *)
+  for t = 0 to length - 1 do
+    let obs = Soc.step soc ~dt:0.05 in
+    y.(t) <- read_outputs subsystem obs;
+    u.(t) <- apply_inputs subsystem soc excitation.(t)
+  done;
+  let raw = Dataset.create ~u ~y in
+  (* Standardize: identification on deviations around the operating
+     point, scaled to unit variance — the controller channels carry the
+     (mean, std) back to physical units. *)
+  let m = Dataset.num_inputs raw and p = Dataset.num_outputs raw in
+  let stat_of arr =
+    let mean = Spectr_linalg.Stats.mean arr in
+    let std = Float.max 1e-6 (Spectr_linalg.Stats.std arr) in
+    (mean, std)
+  in
+  let u_stats = Array.init m (fun i -> stat_of (Dataset.input_channel raw i)) in
+  let y_stats = Array.init p (fun i -> stat_of (Dataset.output_channel raw i)) in
+  let standardize stats row =
+    Array.mapi
+      (fun i v ->
+        let mean, std = stats.(i) in
+        (v -. mean) /. std)
+      row
+  in
+  let data =
+    Dataset.create
+      ~u:(Array.map (standardize u_stats) raw.Dataset.u)
+      ~y:(Array.map (standardize y_stats) raw.Dataset.y)
+  in
+  let est, held_out = Dataset.split data ~at:0.65 in
+  let model =
+    match Arx.fit ~na:order ~nb:order est with
+    | Ok m -> m
+    | Error e ->
+        failwith
+          (Format.asprintf "Design_flow.identify(%s): %a"
+             (subsystem_name subsystem) Arx.pp_error e)
+  in
+  let report =
+    Validation.validate ~output_names:(output_names subsystem) ~model held_out
+  in
+  let input_channels =
+    Array.mapi
+      (fun i ph ->
+        let mean, std = u_stats.(i) in
+        Mimo.channel ~offset:mean ~scale:std ~min:ph.sat_min ~max:ph.sat_max
+          ph.ch_name)
+      phys_in
+  in
+  let output_channels =
+    Array.mapi
+      (fun i name ->
+        let mean, std = y_stats.(i) in
+        Mimo.channel ~offset:mean ~scale:std name)
+      (output_names subsystem)
+  in
+  {
+    subsystem;
+    model;
+    statespace = Arx.to_statespace model;
+    input_channels;
+    output_channels;
+    report;
+    dataset = data;
+  }
+
+type goal = { label : string; q_y : float array }
+
+let design_gains ?r_u ident goals =
+  let m = Statespace.num_inputs ident.statespace in
+  let p = Statespace.num_outputs ident.statespace in
+  let r_u =
+    match r_u with
+    | Some r -> r
+    | None ->
+        (* Paper §5: frequency twice as cheap to move as core count. *)
+        Array.init m (fun i -> if i mod 2 = 0 then 1. else 2.)
+  in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | goal :: rest -> (
+        if Array.length goal.q_y <> p then
+          Error
+            (Printf.sprintf "goal %s: q_y must have %d entries" goal.label p)
+        else
+          let w_max = Array.fold_left Float.max 1e-9 goal.q_y in
+          (* Integrator weights square the output-priority ratio so the
+             priority objective's integrator dominates steady-state
+             conflicts: a 30:1 Q ratio yields 900:1 integral authority —
+             the fixed controller pins its priority output at the
+             reference and lets the other float, as in Fig. 3. *)
+          let q_integrator =
+            Array.map (fun w -> 0.1 *. w *. w /. w_max) goal.q_y
+          in
+          match
+            Lqg.design ~q_integrator ~label:goal.label ~model:ident.statespace
+              ~q_y:goal.q_y ~r_u ()
+          with
+          | Error e ->
+              Error (Format.asprintf "goal %s: %a" goal.label Lqg.pp_error e)
+          | Ok gains ->
+              (* Robustness gate (Step 8); skipped for very wide systems
+                 where the 2^p uncertainty corners explode. *)
+              if
+                p <= 4
+                && not
+                     (Guardband.robustly_stable Guardband.paper_defaults ~gains)
+              then
+                Error
+                  (Printf.sprintf "goal %s: not robust under guardbands"
+                     goal.label)
+              else build (gains :: acc) rest)
+  in
+  build [] goals
+
+let build_mimo ident ~gains ~initial ~refs =
+  Mimo.create ~gains ~initial ~inputs:ident.input_channels
+    ~outputs:ident.output_channels ~refs ()

@@ -1,0 +1,70 @@
+(** The systematic design flow of §6, as an executable pipeline.
+
+    For each subsystem (Step 2's "identify the minimal subsystems"):
+    excite the simulated platform with staircase inputs running the
+    identification microbenchmark (Step 5), standardize the data, fit an
+    ARX model and cross-validate it (R² ≥ 0.8 gate of Step 2/§6), realize
+    it in state space, then design one LQG gain set per ⟨goal,
+    condition⟩ pair (Steps 6–7) and run the robustness gate (Step 8).
+
+    The same entry points power the scalability experiments: Figure 5
+    (model accuracy 2×2 vs 10×10), Figure 15 (residual autocorrelation
+    2×2 / 4×2 / 10×10). *)
+
+open Spectr_control
+open Spectr_sysid
+
+type subsystem =
+  | Big_2x2  (** Inputs (big freq GHz, big cores) ↦ (QoS rate, big power). *)
+  | Little_2x2
+      (** Inputs (little freq, little cores) ↦ (little GIPS, little
+          power); background load keeps the cluster busy during the
+          experiment. *)
+  | Fs_4x2
+      (** All four cluster knobs ↦ (QoS rate, chip power) — the paper's
+          full-system comparison controller. *)
+  | Large_10x10
+      (** 8 per-core idle-insertion knobs + 2 cluster frequencies ↦
+          8 per-core GIPS + 2 cluster powers (Figure 4, right). *)
+
+val subsystem_name : subsystem -> string
+
+type identified = {
+  subsystem : subsystem;
+  model : Arx.model;
+  statespace : Statespace.t;
+  input_channels : Mimo.channel array;
+      (** Physical channel descriptions (offset/scale from the experiment
+          operating point, saturation from the platform limits). *)
+  output_channels : Mimo.channel array;
+  report : Validation.report;  (** Cross-validation on held-out data. *)
+  dataset : Dataset.t;  (** The standardized identification dataset. *)
+}
+
+val identify :
+  ?seed:int64 -> ?length:int -> ?order:int -> subsystem -> identified
+(** Run the identification experiment on a fresh simulated SoC running
+    the microbenchmark.  [length] is the number of 50 ms periods
+    (default 1200: 60 simulated seconds); [order] is na = nb (default
+    2). *)
+
+type goal = {
+  label : string;  (** Gain-set name, e.g. ["qos"]. *)
+  q_y : float array;  (** Output-priority weights (Tracking Error Cost). *)
+}
+
+val design_gains :
+  ?r_u:float array ->
+  identified ->
+  goal list ->
+  (Lqg.gains list, string) result
+(** One LQG gain set per goal (Step 7).  [r_u] defaults to the paper's
+    2:1 frequency-over-cores effort costs, extended cyclically for wider
+    input vectors.  Fails with a message naming the goal when a design
+    does not come out robustly stable under the paper's uncertainty
+    guardbands (Step 8). *)
+
+val build_mimo :
+  identified -> gains:Lqg.gains list -> initial:string -> refs:float array -> Mimo.t
+(** Assemble the runtime leaf controller from an identification result
+    and designed gain sets (Step 9). *)

@@ -1,0 +1,42 @@
+open Spectr_automata
+
+let critical = Event.uncontrollable "critical"
+let above_target = Event.uncontrollable "aboveTarget"
+let below_target = Event.uncontrollable "belowTarget"
+let safe_power = Event.uncontrollable "safePower"
+let qos_met = Event.uncontrollable "QoSmet"
+let qos_not_met = Event.uncontrollable "QoSnotMet"
+let power_safe_qos_met = Event.uncontrollable "powerSafeQoSMet"
+let power_safe_qos_not_met = Event.uncontrollable "powerSafeQoSNotMet"
+let switch_power = Event.controllable "switchPower"
+let switch_qos = Event.controllable "switchQoS"
+let increase_big_power = Event.controllable "increaseBigPower"
+let decrease_big_power = Event.controllable "decreaseBigPower"
+let increase_little_power = Event.controllable "increaseLittlePower"
+let decrease_little_power = Event.controllable "decreaseLittlePower"
+let decrease_critical_power = Event.controllable "decreaseCriticalPower"
+let control_power = Event.controllable "controlPower"
+let hold_budget = Event.controllable "holdBudget"
+
+let all =
+  [
+    critical;
+    above_target;
+    below_target;
+    safe_power;
+    qos_met;
+    qos_not_met;
+    power_safe_qos_met;
+    power_safe_qos_not_met;
+    switch_power;
+    switch_qos;
+    increase_big_power;
+    decrease_big_power;
+    increase_little_power;
+    decrease_little_power;
+    decrease_critical_power;
+    control_power;
+    hold_budget;
+  ]
+
+let by_name name = List.find_opt (fun e -> Event.name e = name) all

@@ -1,0 +1,26 @@
+open Spectr_control
+open Spectr_platform
+
+let make ?(seed = 17L) () =
+  let ident = Design_flow.identify ~seed Design_flow.Fs_4x2 in
+  let gains =
+    match
+      Design_flow.design_gains ident
+        [ { Design_flow.label = "power"; q_y = [| 0.1; 30. |] } ]
+    with
+    | Ok g -> g
+    | Error msg -> failwith ("Fs: " ^ msg)
+  in
+  let ctrl =
+    Design_flow.build_mimo ident ~gains ~initial:"power" ~refs:[| 60.; 5. |]
+  in
+  let step ~now:_ ~qos_ref ~envelope ~obs soc =
+    Mimo.set_reference ctrl ~index:0 qos_ref;
+    Mimo.set_reference ctrl ~index:1 envelope;
+    let u =
+      Mimo.step ctrl ~measured:[| obs.Soc.qos_rate; obs.Soc.chip_power |]
+    in
+    Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1);
+    Manager.apply_cluster soc Soc.Little ~freq_ghz:u.(2) ~cores:u.(3)
+  in
+  { Manager.name = "FS"; step }

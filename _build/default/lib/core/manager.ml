@@ -1,0 +1,16 @@
+open Spectr_platform
+
+type t = {
+  name : string;
+  step :
+    now:float ->
+    qos_ref:float ->
+    envelope:float ->
+    obs:Soc.observation ->
+    Soc.t ->
+    unit;
+}
+
+let apply_cluster soc cluster ~freq_ghz ~cores =
+  ignore (Soc.set_frequency soc cluster (freq_ghz *. 1000.));
+  Soc.set_active_cores soc cluster (int_of_float (Float.round cores))

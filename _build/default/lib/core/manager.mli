@@ -1,0 +1,27 @@
+(** Common interface for runtime resource managers.
+
+    A manager owns its leaf controllers (and, for SPECTR, the
+    supervisor); the {!Scenario} driver invokes {!step} once per
+    controller period with the fresh sensor observation, the current QoS
+    reference and the current power envelope (both of which may change
+    between phases), and the manager applies its actuation decisions to
+    the SoC. *)
+
+open Spectr_platform
+
+type t = {
+  name : string;
+      (** Display name: ["SPECTR"], ["MM-Pow"], ["MM-Perf"], ["FS"]. *)
+  step :
+    now:float ->
+    qos_ref:float ->
+    envelope:float ->
+    obs:Soc.observation ->
+    Soc.t ->
+    unit;
+}
+
+val apply_cluster :
+  Soc.t -> Soc.cluster -> freq_ghz:float -> cores:float -> unit
+(** Helper shared by all managers: quantize and apply a (frequency GHz,
+    core count) command pair to one cluster. *)

@@ -1,0 +1,75 @@
+open Spectr_linalg
+open Spectr_platform
+
+type phase_metrics = {
+  phase_name : string;
+  qos_error_pct : float;
+  power_error_pct : float;
+  power_settling_s : float option;
+  compliance_time_s : float option;
+  energy_j : float;
+  energy_per_heartbeat_j : float;
+}
+
+(* First time from which chip power stays at or under the envelope (with
+   a 2 % allowance) for the rest of the phase. *)
+let compliance_time ~envelope ~dt power =
+  let n = Array.length power in
+  let limit = envelope *. 1.02 in
+  let rec last_violation i acc =
+    if i >= n then acc
+    else last_violation (i + 1) (if power.(i) <= limit then acc else i)
+  in
+  let lv = last_violation 0 (-1) in
+  if lv = n - 1 then None else Some (float_of_int (lv + 1) *. dt)
+
+let per_phase ~trace ~config =
+  let bounds = Scenario.phase_bounds config in
+  List.map
+    (fun (phase_name, from, upto) ->
+      let qos = Trace.column_slice trace "qos" ~from ~upto in
+      let power = Trace.column_slice trace "power" ~from ~upto in
+      let envelope = (Trace.column_slice trace "envelope" ~from ~upto).(0) in
+      let n = Array.length qos in
+      let tail = max 1 (int_of_float (0.4 *. float_of_int n)) in
+      let dt = config.Scenario.controller_period in
+      let energy_j = dt *. Array.fold_left ( +. ) 0. power in
+      let heartbeats = dt *. Array.fold_left ( +. ) 0. qos in
+      {
+        phase_name;
+        qos_error_pct =
+          Stats.steady_state_error ~reference:config.Scenario.qos_ref
+            ~measured:qos ~tail;
+        power_error_pct =
+          Stats.steady_state_error ~reference:envelope ~measured:power ~tail;
+        power_settling_s =
+          Stats.settling_time ~reference:envelope ~band:0.05
+            ~dt:config.Scenario.controller_period power;
+        compliance_time_s =
+          compliance_time ~envelope ~dt:config.Scenario.controller_period
+            power;
+        energy_j;
+        energy_per_heartbeat_j =
+          (if heartbeats > 0. then energy_j /. heartbeats else infinity);
+      })
+    bounds
+
+let pp_phase_metrics ppf m =
+  let pp_time = function
+    | Some s -> Printf.sprintf "%.2fs" s
+    | None -> "never"
+  in
+  Format.fprintf ppf
+    "%-12s qos %+7.2f%%  power %+7.2f%%  settle %s  comply %s  %.3f J/HB"
+    m.phase_name m.qos_error_pct m.power_error_pct
+    (pp_time m.power_settling_s)
+    (pp_time m.compliance_time_s)
+    m.energy_per_heartbeat_j
+
+let find metrics name =
+  match List.find_opt (fun m -> m.phase_name = name) metrics with
+  | Some m -> m
+  | None -> raise Not_found
+
+let qos_of metrics name = (find metrics name).qos_error_pct
+let power_of metrics name = (find metrics name).power_error_pct

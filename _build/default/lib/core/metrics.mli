@@ -1,0 +1,39 @@
+(** Evaluation metrics of §5.1: per-phase steady-state error (the bars of
+    Figure 14) and settling time after reference changes.
+
+    Sign convention follows the paper: error = reference − measured, as a
+    percentage of the reference.  "Negative values indicate that the
+    power/QoS exceeds the reference value, positive values indicate power
+    savings or failure to meet QoS." *)
+
+open Spectr_platform
+
+type phase_metrics = {
+  phase_name : string;
+  qos_error_pct : float;  (** Steady-state QoS error (% of reference). *)
+  power_error_pct : float;
+      (** Steady-state power error vs the phase envelope (%). *)
+  power_settling_s : float option;
+      (** Time for chip power to settle within 5 % of the envelope after
+          the phase starts; [None] when it never settles. *)
+  compliance_time_s : float option;
+      (** Time until chip power drops to (and stays at or under) the
+          envelope — the §5.1.1 responsiveness comparison after a
+          thermal-emergency reference drop.  [None] when the phase never
+          becomes compliant. *)
+  energy_j : float;  (** Chip energy over the phase (J). *)
+  energy_per_heartbeat_j : float;
+      (** Energy efficiency: joules per heartbeat of QoS work done —
+          the "meet QoS while minimizing energy" goal of §4.2; [infinity]
+          when no heartbeat was delivered. *)
+}
+
+val per_phase : trace:Trace.t -> config:Scenario.config -> phase_metrics list
+(** Steady-state errors use the last 40 % of each phase's samples. *)
+
+val pp_phase_metrics : Format.formatter -> phase_metrics -> unit
+
+val qos_of : phase_metrics list -> string -> float
+(** QoS error of the named phase.  Raises [Not_found] on a bad name. *)
+
+val power_of : phase_metrics list -> string -> float

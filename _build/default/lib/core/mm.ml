@@ -1,0 +1,59 @@
+open Spectr_control
+open Spectr_platform
+
+let qos_weights = [| 30.; 0.1 |]
+let power_weights = [| 0.1; 30. |]
+let little_power_budget = 0.45
+
+let design_or_fail ident goals =
+  match Design_flow.design_gains ident goals with
+  | Ok gains -> gains
+  | Error msg -> failwith ("Mm: " ^ msg)
+
+let make ~label ~name ?(seed = 17L) () =
+  let ident_big = Design_flow.identify ~seed Design_flow.Big_2x2 in
+  let ident_little = Design_flow.identify ~seed Design_flow.Little_2x2 in
+  let goals =
+    [
+      { Design_flow.label = "qos"; q_y = qos_weights };
+      { Design_flow.label = "power"; q_y = power_weights };
+    ]
+  in
+  let big =
+    Design_flow.build_mimo ident_big
+      ~gains:(design_or_fail ident_big goals)
+      ~initial:label ~refs:[| 60.; 4. |]
+  in
+  (* A performance-oriented manager wants the Little cluster fast (it
+     absorbs background work, shielding the QoS app); a power-oriented
+     one wants it capped.  The priority output of the chosen gain set is
+     the one that gets pinned. *)
+  let little_gips_ref = if label = "qos" then 3.0 else 0.0 in
+  let little =
+    Design_flow.build_mimo ident_little
+      ~gains:(design_or_fail ident_little goals)
+      ~initial:label
+      ~refs:[| little_gips_ref; little_power_budget |]
+  in
+  let step ~now:_ ~qos_ref ~envelope ~obs soc =
+    (* The fixed managers still receive the system references; they lack
+       coordination, not information. *)
+    Mimo.set_reference big ~index:0 qos_ref;
+    Mimo.set_reference big ~index:1
+      (Float.max 0.5 (envelope -. little_power_budget));
+    Mimo.set_reference little ~index:1 little_power_budget;
+    let u_big =
+      Mimo.step big ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |]
+    in
+    Manager.apply_cluster soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1);
+    let u_little =
+      Mimo.step little
+        ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
+    in
+    Manager.apply_cluster soc Soc.Little ~freq_ghz:u_little.(0)
+      ~cores:u_little.(1)
+  in
+  { Manager.name; step }
+
+let make_perf ?seed () = make ~label:"qos" ~name:"MM-Perf" ?seed ()
+let make_pow ?seed () = make ~label:"power" ~name:"MM-Pow" ?seed ()

@@ -1,0 +1,27 @@
+(** The uncoordinated multi-MIMO baselines of §5: two fixed-gain 2×2 LQG
+    controllers, one per cluster, "representatives of a state-of-the-art
+    solution [Pothukuchi et al. ISCA'16], one prioritizing power and the
+    other prioritizing performance".
+
+    Both receive the same references SPECTR does (the QoS target and the
+    power envelope, split statically between the clusters) but have no
+    supervisor: gains never switch and budgets never rebalance. *)
+
+val qos_weights : float array
+(** Performance-over-power Tracking Error Cost.  The paper's ratio is
+    30:1 over reference-normalized outputs; our channels are normalized
+    by the identification experiment's σ instead, which amplifies power
+    deviations ≈ 5×, so the same effective priority needs a larger raw
+    ratio (30 : 0.1). *)
+
+val power_weights : float array
+(** The power-over-performance mirror of {!qos_weights}. *)
+
+val little_power_budget : float
+(** Static share of the envelope reserved for the Little cluster (W). *)
+
+val make_perf : ?seed:int64 -> unit -> Manager.t
+(** MM-Perf: performance-oriented gains on both clusters. *)
+
+val make_pow : ?seed:int64 -> unit -> Manager.t
+(** MM-Pow: power-oriented gains on both clusters. *)

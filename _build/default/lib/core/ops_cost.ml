@@ -1,0 +1,17 @@
+let inputs_outputs ~cores = (2 * cores, 2 * cores)
+
+let check ~cores ~order =
+  if cores <= 0 then invalid_arg "Ops_cost: cores <= 0";
+  if order <= 0 then invalid_arg "Ops_cost: order <= 0"
+
+let invocation_ops ~cores ~order =
+  check ~cores ~order;
+  let m, p = inputs_outputs ~cores in
+  let rows = m + order and cols = p + order in
+  (* x' = A x + B u ; y = C x + D u *)
+  (rows * cols) + (rows * m) + (p * cols) + (p * m)
+
+let paper_curve ~cores ~order =
+  check ~cores ~order;
+  let n = float_of_int ((2 * cores) + order) in
+  n ** 4.

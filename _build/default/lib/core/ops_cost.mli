@@ -1,0 +1,30 @@
+(** Analytic controller-cost model behind Figure 6.
+
+    Scaling a single MIMO to [c] cores duplicates its control inputs and
+    measured outputs per core (§2.3: "our 2×2 MIMO would turn into a 4×4
+    MIMO"), so m = p = 2c.  The paper sizes the A matrix as
+    (#inputs + order) × (#outputs + order) — 4×4 for a second-order 2×2
+    MIMO, 6×6 for the fourth-order model, 7×6 with a third actuator.
+
+    Two counts are provided:
+
+    - {!invocation_ops} — multiply–adds of one controller invocation
+      (the matrix–vector products of Equations (1)–(2)); grows
+      quadratically with core count;
+    - {!paper_curve} — the count Figure 6 plots, which matches the
+      square of the A-matrix entry count ((2c+o)⁴): the cost of the
+      matrix–matrix products in the controller's internal covariance /
+      Riccati updates.  This reproduces the figure's magnitudes
+      (10² → ≈10⁹ over 2–70 cores) and both of its qualitative claims —
+      growth is superlinear in core count, and the model order becomes
+      insignificant once #cores ≫ order. *)
+
+val inputs_outputs : cores:int -> int * int
+(** (m, p) = (2c, 2c). *)
+
+val invocation_ops : cores:int -> order:int -> int
+(** Multiply–adds per invocation of Equations (1)–(2).  Raises
+    [Invalid_argument] on non-positive arguments. *)
+
+val paper_curve : cores:int -> order:int -> float
+(** The Figure-6 series: ((2c + order)²)². *)

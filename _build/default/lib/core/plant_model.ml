@@ -1,0 +1,50 @@
+open Spectr_automata
+
+let qos_management =
+  Automaton.create ~marked:[ "Eval" ] ~name:"QoSManagement" ~initial:"Eval"
+    ~transitions:
+      [
+        (* QoS observations *)
+        ("Eval", Events.qos_not_met, "Raise");
+        ("Eval", Events.power_safe_qos_not_met, "Raise");
+        ("Eval", Events.qos_met, "Lower");
+        ("Eval", Events.power_safe_qos_met, "Lower");
+        (* budget reactions; holdBudget is the do-nothing fallback the
+           supervisor uses when budget moves are disabled (capped mode)
+           or inappropriate.  It must stay private to this sub-plant. *)
+        ("Raise", Events.increase_big_power, "Eval");
+        ("Raise", Events.increase_little_power, "Eval");
+        ("Raise", Events.hold_budget, "Eval");
+        ("Lower", Events.decrease_big_power, "Eval");
+        ("Lower", Events.decrease_little_power, "Eval");
+        ("Lower", Events.hold_budget, "Eval");
+      ]
+    ()
+
+let power_capping =
+  Automaton.create ~marked:[ "Safe" ] ~name:"PowerCapping" ~initial:"Safe"
+    ~transitions:
+      [
+        ("Safe", Events.below_target, "Safe");
+        ("Safe", Events.safe_power, "Safe");
+        ("Safe", Events.above_target, "Watch");
+        ("Safe", Events.critical, "Emergency");
+        (* Inside the capping band: tighten budgets, stay vigilant. *)
+        ("Watch", Events.control_power, "Safe");
+        ("Watch", Events.critical, "Emergency");
+        (* Budget violated: the gain switch takes effect within one
+           control period. *)
+        ("Emergency", Events.switch_power, "Capped");
+        (* While capped: a renewed violation demands a deeper cut, after
+           which the system is assumed sub-critical (Cooling). *)
+        ("Capped", Events.above_target, "Capped");
+        ("Capped", Events.critical, "StillHot");
+        ("Capped", Events.safe_power, "Restore");
+        ("StillHot", Events.decrease_critical_power, "Cooling");
+        ("Cooling", Events.above_target, "Cooling");
+        ("Cooling", Events.safe_power, "Restore");
+        ("Restore", Events.switch_qos, "Safe");
+      ]
+    ()
+
+let composed () = Compose.pair qos_management power_capping

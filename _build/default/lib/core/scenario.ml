@@ -1,0 +1,119 @@
+open Spectr_platform
+
+type phase = {
+  phase_name : string;
+  duration_s : float;
+  envelope : float;
+  background_tasks : int;
+}
+
+type config = {
+  workload : Workload.t;
+  qos_ref : float;
+  phases : phase list;
+  controller_period : float;
+  seed : int64;
+}
+
+let default_phases ?(tdp = 5.0) ?(emergency = 3.5) () =
+  [
+    { phase_name = "safe"; duration_s = 5.; envelope = tdp; background_tasks = 0 };
+    {
+      phase_name = "emergency";
+      duration_s = 5.;
+      envelope = emergency;
+      background_tasks = 0;
+    };
+    {
+      phase_name = "disturbance";
+      duration_s = 5.;
+      envelope = tdp;
+      background_tasks = 16;
+    };
+  ]
+
+let default_config ?(seed = 42L) ?qos_ref workload =
+  let qos_ref =
+    match qos_ref with
+    | Some r -> r
+    | None ->
+        if workload.Workload.name = "x264" then 60.
+        else 0.75 *. Perf_model.max_qos_rate workload
+  in
+  {
+    workload;
+    qos_ref;
+    phases = default_phases ();
+    controller_period = 0.05;
+    seed;
+  }
+
+let columns =
+  [
+    "time";
+    "qos";
+    "qos_ref";
+    "power";
+    "envelope";
+    "big_power";
+    "little_power";
+    "big_freq_mhz";
+    "big_cores";
+    "little_freq_mhz";
+    "little_cores";
+    "background";
+    "phase";
+  ]
+
+let steps_of_phase config ph =
+  int_of_float (Float.round (ph.duration_s /. config.controller_period))
+
+let run ~manager config =
+  let soc_config = { Soc.default_config with seed = config.seed } in
+  let soc = Soc.create ~config:soc_config ~qos:config.workload () in
+  let trace = Trace.create ~columns in
+  (* QoS is observed through the Heartbeats monitor (§5): the application
+     issues heartbeats as it completes work and the managers read the
+     windowed rate, not an instantaneous sensor. *)
+  let hb = Heartbeats.create ~window:0.25 ~reference:config.qos_ref () in
+  List.iteri
+    (fun phase_idx ph ->
+      Soc.set_background_tasks soc ph.background_tasks;
+      for _ = 1 to steps_of_phase config ph do
+        let raw = Soc.step soc ~dt:config.controller_period in
+        Heartbeats.beat hb ~now:raw.Soc.time
+          ~count:(raw.Soc.qos_rate *. config.controller_period);
+        let obs =
+          { raw with Soc.qos_rate = Heartbeats.rate hb ~now:raw.Soc.time }
+        in
+        manager.Manager.step ~now:obs.Soc.time ~qos_ref:config.qos_ref
+          ~envelope:ph.envelope ~obs soc;
+        Trace.add trace
+          [|
+            obs.Soc.time;
+            obs.Soc.qos_rate;
+            config.qos_ref;
+            obs.Soc.chip_power;
+            ph.envelope;
+            obs.Soc.big_power;
+            obs.Soc.little_power;
+            float_of_int (Soc.frequency soc Soc.Big);
+            float_of_int (Soc.active_cores soc Soc.Big);
+            float_of_int (Soc.frequency soc Soc.Little);
+            float_of_int (Soc.active_cores soc Soc.Little);
+            float_of_int ph.background_tasks;
+            float_of_int phase_idx;
+          |]
+      done)
+    config.phases;
+  trace
+
+let phase_bounds config =
+  let _, bounds =
+    List.fold_left
+      (fun (start, acc) ph ->
+        let n = steps_of_phase config ph in
+        (start + n, (ph.phase_name, start, start + n) :: acc))
+      (0, []) config.phases
+  in
+  List.rev bounds

@@ -1,0 +1,49 @@
+(** The three-phase evaluation scenario of §5:
+
+    1. {e Safe Phase} — the QoS application alone, reference achievable
+       within TDP; goal: meet QoS, minimize power.
+    2. {e Emergency Phase} — same QoS reference, power envelope reduced
+       (emulated thermal emergency).
+    3. {e Workload Disturbance Phase} — envelope back at TDP, background
+       tasks make the QoS reference unachievable within the budget.
+
+    {!run} drives a manager through the phases on a fresh simulated SoC
+    at the 50 ms controller period and records everything into a
+    {!Spectr_platform.Trace}. *)
+
+open Spectr_platform
+
+type phase = {
+  phase_name : string;
+  duration_s : float;
+  envelope : float;  (** Power budget during the phase (W). *)
+  background_tasks : int;
+}
+
+type config = {
+  workload : Workload.t;
+  qos_ref : float;
+  phases : phase list;
+  controller_period : float;  (** Seconds; 0.05 as in §5. *)
+  seed : int64;
+}
+
+val default_phases : ?tdp:float -> ?emergency:float -> unit -> phase list
+(** The paper's scenario: 5 s Safe at [tdp] (default 5 W), 5 s Emergency
+    at [emergency] (default 3.5 W), 5 s Disturbance at [tdp] with 10
+    background tasks. *)
+
+val default_config : ?seed:int64 -> ?qos_ref:float -> Workload.t -> config
+(** 60 FPS reference for x264; for the other benchmarks the reference is
+    75 % of the workload's maximum achievable rate (an achievable-within-
+    TDP target, as in Phase 1 of the paper). *)
+
+val run : manager:Manager.t -> config -> Trace.t
+(** Execute the scenario.  The trace has columns [time], [qos],
+    [qos_ref], [power], [envelope], [big_power], [little_power],
+    [big_freq_mhz], [big_cores], [little_freq_mhz], [little_cores],
+    [background], [phase] (phase index as a float). *)
+
+val phase_bounds : config -> (string * int * int) list
+(** Sample-index range [(name, from, upto)] of each phase in a trace
+    produced by {!run} (upto exclusive). *)

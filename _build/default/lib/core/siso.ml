@@ -1,0 +1,42 @@
+open Spectr_control
+open Spectr_platform
+
+let make ?seed () =
+  ignore seed;
+  let dt = 0.05 in
+  (* QoS -> Big frequency: ~40 FPS of range per GHz near the operating
+     point, so a gain of a few hundredths of GHz per FPS of error. *)
+  let qos_pid =
+    Pid.create
+      (Pid.config ~u_min:(-0.8) ~u_max:1.0 ~kp:0.008 ~ki:0.12 ~kd:0. ~dt ())
+      ~reference:60.
+  in
+  (* Big power -> active cores: positive error (below budget) adds
+     cores.  Slow outer loop (integral-dominated). *)
+  let cores_pid =
+    Pid.create
+      (Pid.config ~u_min:(-1.5) ~u_max:1.5 ~kp:0.2 ~ki:0.6 ~kd:0. ~dt ())
+      ~reference:4.5
+  in
+  (* Little power -> little frequency. *)
+  let little_pid =
+    Pid.create
+      (Pid.config ~u_min:(-0.4) ~u_max:0.8 ~kp:0.4 ~ki:1.2 ~kd:0. ~dt ())
+      ~reference:0.3
+  in
+  (* Each PID produces a bounded deviation around a mid-range operating
+     point (frequency 1.0 GHz, 2.5 cores, little 0.6 GHz). *)
+  let step ~now:_ ~qos_ref ~envelope ~obs soc =
+    Pid.set_reference qos_pid qos_ref;
+    Pid.set_reference cores_pid (Float.max 0.5 (envelope -. Mm.little_power_budget));
+    let freq = 1.0 +. Pid.step qos_pid ~measured:obs.Soc.qos_rate in
+    let cores = 2.5 +. Pid.step cores_pid ~measured:obs.Soc.big_power in
+    Manager.apply_cluster soc Soc.Big
+      ~freq_ghz:(Float.max 0.2 (Float.min 2.0 freq))
+      ~cores:(Float.max 1. (Float.min 4. cores));
+    let lfreq = 0.6 +. Pid.step little_pid ~measured:obs.Soc.little_power in
+    Manager.apply_cluster soc Soc.Little
+      ~freq_ghz:(Float.max 0.2 (Float.min 1.4 lfreq))
+      ~cores:2.
+  in
+  { Manager.name = "SISO"; step }

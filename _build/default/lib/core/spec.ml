@@ -1,0 +1,38 @@
+open Spectr_automata
+
+let three_band =
+  Automaton.create ~marked:[ "Uncapped" ] ~forbidden:[ "Threshold" ]
+    ~name:"ThreeBandCapping" ~initial:"Uncapped"
+    ~transitions:
+      [
+        (* Normal operation: budget moves allowed. *)
+        ("Uncapped", Events.increase_big_power, "Uncapped");
+        ("Uncapped", Events.increase_little_power, "Uncapped");
+        ("Uncapped", Events.decrease_big_power, "Uncapped");
+        ("Uncapped", Events.decrease_little_power, "Uncapped");
+        ("Uncapped", Events.control_power, "Uncapped");
+        ("Uncapped", Events.safe_power, "Uncapped");
+        ("Uncapped", Events.critical, "C1");
+        (* Consecutive-violation counter: mitigation must complete before
+           the third critical interval. *)
+        ("C1", Events.switch_power, "Capped");
+        ("C1", Events.critical, "C2");
+        ("C2", Events.switch_power, "Capped");
+        ("C2", Events.critical, "Threshold");
+        (* Capped mode: budget increases are explicitly forbidden (they
+           lead to the forbidden state, so synthesis must disable them);
+           cuts and bookkeeping only. *)
+        ("Capped", Events.increase_big_power, "Threshold");
+        ("Capped", Events.increase_little_power, "Threshold");
+        ("Capped", Events.decrease_big_power, "Capped");
+        ("Capped", Events.decrease_little_power, "Capped");
+        ("Capped", Events.decrease_critical_power, "Capped");
+        ("Capped", Events.control_power, "Capped");
+        ("Capped", Events.critical, "CapHot");
+        ("Capped", Events.safe_power, "CapSafe");
+        ("CapHot", Events.decrease_critical_power, "Capped");
+        ("CapHot", Events.control_power, "CapHot");
+        ("CapHot", Events.critical, "Threshold");
+        ("CapSafe", Events.switch_qos, "Uncapped");
+      ]
+    ()

@@ -1,0 +1,23 @@
+(** Intended-behaviour specification (Figure 12c).
+
+    The three-band power-capping specification restricts the plant:
+
+    - the chip may stay above the capping threshold for {e at most three
+      consecutive control intervals} — the third consecutive [critical]
+      without a completed mitigation reaches the forbidden [Threshold]
+      state (drawn with a red cross in the paper);
+    - while capped (power-oriented gains active), budget {e increases}
+      lead to the forbidden state — synthesis must disable those
+      controllable events, leaving only [controlPower] bookkeeping and
+      [decreaseCriticalPower] cuts — and the supervisor must return to
+      QoS gains ([switchQoS]) only after power re-enters the safe region
+      ([safePower]).
+
+    Synthesis against {!Plant_model.composed} prunes the forbidden state
+    and every state that uncontrollably reaches it. *)
+
+open Spectr_automata
+
+val three_band : Automaton.t
+(** States: Uncapped (initial, marked), C1, C2, Threshold (forbidden),
+    Capped, CapHot, CapSafe. *)

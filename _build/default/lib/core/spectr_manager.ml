@@ -1,0 +1,66 @@
+open Spectr_control
+open Spectr_platform
+
+let design_or_fail ident goals =
+  match Design_flow.design_gains ident goals with
+  | Ok gains -> gains
+  | Error msg -> failwith ("Spectr_manager: " ^ msg)
+
+let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true) () =
+  if supervisor_divisor < 1 then
+    invalid_arg "Spectr_manager.make: supervisor_divisor < 1";
+  let ident_big = Design_flow.identify ~seed Design_flow.Big_2x2 in
+  let ident_little = Design_flow.identify ~seed Design_flow.Little_2x2 in
+  let goals =
+    [
+      { Design_flow.label = "qos"; q_y = Mm.qos_weights };
+      { Design_flow.label = "power"; q_y = Mm.power_weights };
+    ]
+  in
+  let big =
+    Design_flow.build_mimo ident_big
+      ~gains:(design_or_fail ident_big goals)
+      ~initial:"qos" ~refs:[| 60.; 4. |]
+  in
+  (* In QoS mode the Little cluster is kept moderately fast so it can
+     absorb background interference; in power mode the gain switch makes
+     its power budget the pinned objective. *)
+  let little =
+    Design_flow.build_mimo ident_little
+      ~gains:(design_or_fail ident_little goals)
+      ~initial:"qos"
+      ~refs:[| 2.0; 0.3 |]
+  in
+  let commands =
+    {
+      Supervisor.switch_gains =
+        (fun label ->
+          if gain_scheduling then begin
+            Mimo.switch_gains big label;
+            Mimo.switch_gains little label
+          end);
+      set_big_power_ref = (fun v -> Mimo.set_reference big ~index:1 v);
+      set_little_power_ref = (fun v -> Mimo.set_reference little ~index:1 v);
+    }
+  in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  let tick = ref 0 in
+  let step ~now:_ ~qos_ref ~envelope ~obs soc =
+    Mimo.set_reference big ~index:0 qos_ref;
+    (* Supervisor period: every [supervisor_divisor] controller periods. *)
+    if !tick mod supervisor_divisor = 0 then
+      Supervisor.step sup ~qos:obs.Soc.qos_rate ~qos_ref
+        ~power:obs.Soc.chip_power ~envelope;
+    incr tick;
+    let u_big =
+      Mimo.step big ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |]
+    in
+    Manager.apply_cluster soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1);
+    let u_little =
+      Mimo.step little
+        ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
+    in
+    Manager.apply_cluster soc Soc.Little ~freq_ghz:u_little.(0)
+      ~cores:u_little.(1)
+  in
+  ({ Manager.name = "SPECTR"; step }, sup)

@@ -1,0 +1,21 @@
+(** The full SPECTR resource manager (Figure 9 / Figure 10): two
+    per-cluster 2×2 LQG leaf controllers, each carrying both QoS- and
+    power-oriented gain sets, orchestrated by the synthesized supervisory
+    controller.
+
+    The supervisor runs every [supervisor_divisor] controller periods
+    (default 2: 100 ms over a 50 ms loop, as in §5) and acts only through
+    the two SCT mechanisms of §3.2 — gain scheduling and reference
+    (budget) regulation. *)
+
+val make :
+  ?seed:int64 ->
+  ?supervisor_divisor:int ->
+  ?gain_scheduling:bool ->
+  unit ->
+  Manager.t * Supervisor.t
+(** Returns the manager and a handle on its supervisor (for inspecting
+    mode, budgets and synthesis statistics).  [gain_scheduling:false]
+    builds the ablation variant whose supervisor still regulates budgets
+    but never switches gains.  Raises [Invalid_argument] when
+    [supervisor_divisor < 1]. *)

@@ -1,0 +1,249 @@
+open Spectr_automata
+
+type commands = {
+  switch_gains : string -> unit;
+  set_big_power_ref : float -> unit;
+  set_little_power_ref : float -> unit;
+}
+
+type config = {
+  qos_tolerance : float;
+  capping_target : float;
+  uncapping_threshold : float;
+  big_budget_step : float;
+  big_budget_min : float;
+  little_budget_step : float;
+  little_budget_min : float;
+  little_budget_max : float;
+  critical_cut : float;
+  max_actions_per_step : int;
+  min_capped_dwell : int;
+      (* supervisor periods that must elapse in power mode before
+         switching back to QoS gains (uncapping hysteresis) *)
+}
+
+let default_config =
+  {
+    qos_tolerance = 0.02;
+    capping_target = 0.97;
+    uncapping_threshold = 0.90;
+    big_budget_step = 0.25;
+    big_budget_min = 0.8;
+    little_budget_step = 0.1;
+    little_budget_min = 0.15;
+    little_budget_max = 1.0;
+    critical_cut = 0.9;
+    max_actions_per_step = 4;
+    min_capped_dwell = 10;
+  }
+
+let synthesize () =
+  let plant = Plant_model.composed () in
+  match Synthesis.supcon ~plant ~spec:Spec.three_band with
+  | Error Synthesis.Empty_supervisor ->
+      failwith "Supervisor.synthesize: empty supervisor"
+  | Ok (sup, stats) ->
+      (match Verify.nonblocking sup with
+      | Ok () -> ()
+      | Error { Verify.state } ->
+          failwith ("Supervisor.synthesize: blocking at " ^ state));
+      (match Verify.controllable ~plant ~supervisor:sup with
+      | Ok () -> ()
+      | Error w ->
+          failwith
+            ("Supervisor.synthesize: uncontrollable at " ^ w.Verify.plant_state));
+      (sup, stats)
+
+type t = {
+  config : config;
+  commands : commands;
+  auto : Automaton.t;
+  stats : Synthesis.stats;
+  mutable current : string;
+  mutable mode : string; (* "qos" | "power" *)
+  mutable mode_age : int; (* supervisor periods since the last switch *)
+  mutable big_ref : float;
+  mutable little_ref : float;
+  (* Most recent measurements, consulted by the action policy. *)
+  mutable last_qos : float;
+  mutable last_qos_ref : float;
+  mutable last_power : float;
+  mutable last_envelope : float;
+}
+
+let create ?(config = default_config) ~commands ~envelope () =
+  if envelope <= 0. then invalid_arg "Supervisor.create: envelope <= 0";
+  let auto, stats = synthesize () in
+  let big_ref = Float.max config.big_budget_min (envelope -. 0.6) in
+  let little_ref = 0.3 in
+  commands.set_big_power_ref big_ref;
+  commands.set_little_power_ref little_ref;
+  {
+    config;
+    commands;
+    auto;
+    stats;
+    current = Automaton.initial auto;
+    mode = "qos";
+    mode_age = 0;
+    big_ref;
+    little_ref;
+    last_qos = 0.;
+    last_qos_ref = 1.;
+    last_power = 0.;
+    last_envelope = envelope;
+  }
+
+let state t = t.current
+let gains_mode t = t.mode
+let big_power_ref t = t.big_ref
+let little_power_ref t = t.little_ref
+let synthesis_stats t = t.stats
+let automaton t = t.auto
+
+(* --- actions --------------------------------------------------------- *)
+
+(* The two cluster budgets must jointly respect the envelope: the Big
+   budget is clamped to what the Little allocation leaves.  The Little
+   cluster rarely draws its full budget, so only 90 % of it is reserved —
+   transient overshoots are caught by the critical-event feedback loop
+   rather than by static conservatism. *)
+let big_budget_cap t = t.last_envelope -. (0.9 *. t.little_ref)
+
+let set_big t v =
+  let v = Float.max t.config.big_budget_min (Float.min v (big_budget_cap t)) in
+  if v <> t.big_ref then begin
+    t.big_ref <- v;
+    t.commands.set_big_power_ref v
+  end
+
+let set_little t v =
+  let v =
+    Float.max t.config.little_budget_min (Float.min v t.config.little_budget_max)
+  in
+  if v <> t.little_ref then begin
+    t.little_ref <- v;
+    t.commands.set_little_power_ref v
+  end
+
+let execute t event =
+  let name = Event.name event in
+  (match name with
+  | "switchPower" ->
+      t.mode <- "power";
+      t.mode_age <- 0;
+      t.commands.switch_gains "power"
+  | "switchQoS" ->
+      t.mode <- "qos";
+      t.mode_age <- 0;
+      t.commands.switch_gains "qos"
+  | "increaseBigPower" -> set_big t (t.big_ref +. t.config.big_budget_step)
+  | "decreaseBigPower" -> set_big t (t.big_ref -. t.config.big_budget_step)
+  | "increaseLittlePower" ->
+      set_little t (t.little_ref +. t.config.little_budget_step);
+      (* a bigger Little allocation shrinks the Big budget cap *)
+      set_big t t.big_ref
+  | "decreaseLittlePower" ->
+      set_little t (t.little_ref -. t.config.little_budget_step)
+  | "decreaseCriticalPower" ->
+      set_big t (t.big_ref *. t.config.critical_cut);
+      set_little t t.config.little_budget_min
+  | "controlPower" ->
+      (* Capping-band bookkeeping: re-clamp budgets to the envelope. *)
+      set_big t t.big_ref;
+      set_little t t.little_ref
+  | "holdBudget" -> ()
+  | _ -> ());
+  match Automaton.step t.auto t.current event with
+  | Some next -> t.current <- next
+  | None -> () (* execute is only called on enabled events *)
+
+(* The budget policy: among the controllable events the supervisor leaves
+   enabled in the current state, pick the most useful one.  Returns None
+   when no enabled controllable remains. *)
+let choose_action t =
+  let enabled =
+    List.filter Event.is_controllable (Automaton.enabled t.auto t.current)
+  in
+  let has e = List.exists (Event.equal e) enabled in
+  let c = t.config in
+  let qos_surplus = t.last_qos -. (t.last_qos_ref *. (1. +. c.qos_tolerance)) in
+  let headroom = big_budget_cap t -. t.big_ref in
+  if enabled = [] then None
+  else if has Events.switch_power then Some Events.switch_power
+  else if has Events.decrease_critical_power then
+    Some Events.decrease_critical_power
+  else if has Events.switch_qos && t.mode_age >= c.min_capped_dwell then
+    Some Events.switch_qos
+  else if has Events.increase_big_power && headroom > 0.01 then
+    Some Events.increase_big_power
+  else if
+    has Events.increase_little_power
+    && t.little_ref < c.little_budget_max -. 0.01
+    && headroom <= 0.01
+  then Some Events.increase_little_power
+  else if has Events.decrease_big_power && qos_surplus > 0. then
+    Some Events.decrease_big_power
+  else if
+    has Events.decrease_little_power
+    && t.little_ref > c.little_budget_min +. 0.01
+    && qos_surplus > 0.
+  then Some Events.decrease_little_power
+  else if has Events.control_power then Some Events.control_power
+  else if has Events.hold_budget then Some Events.hold_budget
+  else None
+
+let run_controllables t =
+  let rec go budget =
+    if budget > 0 then
+      match choose_action t with
+      | None -> ()
+      | Some e ->
+          execute t e;
+          go (budget - 1)
+  in
+  go t.config.max_actions_per_step
+
+(* Feed one uncontrollable event if the supervisor defines it here. *)
+let feed t event =
+  match Automaton.step t.auto t.current event with
+  | Some next ->
+      t.current <- next;
+      run_controllables t
+  | None -> ()
+
+let step t ~qos ~qos_ref ~power ~envelope =
+  t.mode_age <- t.mode_age + 1;
+  t.last_qos <- qos;
+  t.last_qos_ref <- qos_ref;
+  t.last_power <- power;
+  (if envelope <> t.last_envelope then begin
+     t.last_envelope <- envelope;
+     (* Re-clamp budgets immediately on an envelope change (thermal
+        emergency or recovery). *)
+     set_big t t.big_ref
+   end);
+  let c = t.config in
+  (* Power-band event. *)
+  let power_event =
+    if power > envelope then Some Events.critical
+    else if power > c.capping_target *. envelope then Some Events.above_target
+    else if power < c.uncapping_threshold *. envelope then
+      if t.mode = "power" then Some Events.safe_power
+      else Some Events.below_target
+    else None
+  in
+  Option.iter (feed t) power_event;
+  (* QoS event. *)
+  let qos_ok = qos >= qos_ref *. (1. -. c.qos_tolerance) in
+  let power_ok = power <= envelope in
+  let qos_event =
+    match (power_ok, qos_ok) with
+    | true, true -> Events.power_safe_qos_met
+    | true, false -> Events.power_safe_qos_not_met
+    | false, true -> Events.qos_met
+    | false, false -> Events.qos_not_met
+  in
+  feed t qos_event;
+  (* Give the budget policy a chance even when no event fired. *)
+  run_controllables t

@@ -1,0 +1,84 @@
+(** The SPECTR supervisory controller: offline synthesis plus the runtime
+    execution engine that drives the leaf controllers.
+
+    Offline, {!synthesize} runs the §4.3 pipeline — compose the
+    {!Plant_model} sub-plants, restrict by the {!Spec}, synthesize with
+    {!Spectr_automata.Synthesis.supcon} and verify non-blocking and
+    controllability — producing the verified supervisor automaton
+    (Fig. 12d).
+
+    At runtime (every supervisor period, 2× the controller period in
+    §5), {!step} translates sensor readings into the uncontrollable
+    events of the high-level plant model, walks the supervisor automaton,
+    and among the controllable events the supervisor leaves enabled picks
+    actions by a budget policy: gain switches and per-cluster power
+    reference moves.  The chosen commands are delivered through the
+    {!commands} closures, decoupling the supervisor from any particular
+    leaf-controller implementation (§4.1: "the flexibility to incorporate
+    any pre-verified off-the-shelf controllers"). *)
+
+open Spectr_automata
+
+type commands = {
+  switch_gains : string -> unit;
+      (** Called with ["qos"] or ["power"] on a gain-schedule switch. *)
+  set_big_power_ref : float -> unit;
+      (** New Big-cluster power budget (W). *)
+  set_little_power_ref : float -> unit;
+}
+
+type config = {
+  qos_tolerance : float;  (** Relative QoS-met band (default 0.02). *)
+  capping_target : float;
+      (** Capping-target band edge as a fraction of the envelope
+          (default 0.97) — middle band of the three-band algorithm. *)
+  uncapping_threshold : float;  (** Lowest band edge (default 0.90). *)
+  big_budget_step : float;  (** Budget increment, W (default 0.25). *)
+  big_budget_min : float;  (** Floor for the Big budget (default 0.8). *)
+  little_budget_step : float;  (** Default 0.1. *)
+  little_budget_min : float;  (** Default 0.15. *)
+  little_budget_max : float;  (** Default 1.0. *)
+  critical_cut : float;
+      (** Multiplicative emergency cut factor (default 0.9). *)
+  max_actions_per_step : int;  (** Command budget per invocation (4). *)
+  min_capped_dwell : int;
+      (** Uncapping hysteresis: supervisor periods that must elapse in
+          power mode before [switchQoS] may fire (default 10 — one
+          second at the 100 ms supervisor period).  Prevents gain-switch
+          chatter when the capped power level sits below the uncapping
+          threshold. *)
+}
+
+val default_config : config
+
+val synthesize : unit -> Automaton.t * Synthesis.stats
+(** Synthesize and verify the case-study supervisor.  Raises [Failure]
+    if the supervisor were empty or failed verification — both are
+    structurally impossible for the shipped models and covered by
+    tests. *)
+
+type t
+
+val create : ?config:config -> commands:commands -> envelope:float -> unit -> t
+(** A runtime supervisor starting in QoS mode with the Big budget at
+    [envelope] minus the Little floor.  Synthesis runs once per
+    {!create}.  Raises [Invalid_argument] when [envelope <= 0]. *)
+
+val step :
+  t -> qos:float -> qos_ref:float -> power:float -> envelope:float -> unit
+(** One supervisor period: ingest the measured QoS rate, its reference,
+    the measured chip power and the current power envelope (which may
+    have changed — a thermal emergency), then emit commands.  Command
+    closures are invoked synchronously, before [step] returns. *)
+
+val state : t -> string
+(** Current supervisor-automaton state name (e.g.
+    ["Eval.Safe.Uncapped"]). *)
+
+val gains_mode : t -> string
+(** ["qos"] or ["power"]. *)
+
+val big_power_ref : t -> float
+val little_power_ref : t -> float
+val synthesis_stats : t -> Synthesis.stats
+val automaton : t -> Automaton.t

@@ -1,0 +1,23 @@
+type t = {
+  trip_c : float;
+  release_c : float;
+  tdp : float;
+  emergency_envelope : float;
+  mutable is_tripped : bool;
+}
+
+let create ?(trip_c = 70.) ?(release_c = 62.) ~tdp ~emergency_envelope () =
+  if release_c >= trip_c then
+    invalid_arg "Thermal_governor.create: release_c >= trip_c";
+  if emergency_envelope >= tdp then
+    invalid_arg "Thermal_governor.create: emergency envelope >= TDP";
+  { trip_c; release_c; tdp; emergency_envelope; is_tripped = false }
+
+let envelope t ~temperature_c =
+  if t.is_tripped then begin
+    if temperature_c < t.release_c then t.is_tripped <- false
+  end
+  else if temperature_c > t.trip_c then t.is_tripped <- true;
+  if t.is_tripped then t.emergency_envelope else t.tdp
+
+let tripped t = t.is_tripped

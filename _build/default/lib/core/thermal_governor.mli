@@ -1,0 +1,35 @@
+(** Temperature-driven power-envelope governor.
+
+    The paper's Emergency phase "emulat[es] a thermal emergency" by
+    scripting a power-envelope drop.  This module closes that loop: it
+    watches the die-temperature sensor and derives the envelope the
+    resource managers receive — TDP normally, the emergency envelope
+    after the trip point, with hysteresis on release (a two-point
+    thermostat, the simplest sound policy and the one Linux's thermal
+    zones implement).
+
+    The governor is deliberately outside the supervisor: in the SPECTR
+    architecture the envelope is a {e system goal input} ("Variable Goals
+    and Policies", Fig. 9), produced by firmware or the OS thermal
+    subsystem, and every manager — supervised or not — receives the same
+    goal. *)
+
+type t
+
+val create :
+  ?trip_c:float ->
+  ?release_c:float ->
+  tdp:float ->
+  emergency_envelope:float ->
+  unit ->
+  t
+(** Defaults: trip 70 °C, release 62 °C.  Raises [Invalid_argument] when
+    [release_c >= trip_c] or the emergency envelope is not below the
+    TDP. *)
+
+val envelope : t -> temperature_c:float -> float
+(** Current power envelope given the latest temperature reading.
+    Stateful: once tripped, stays at the emergency envelope until the
+    temperature falls below the release point. *)
+
+val tripped : t -> bool

@@ -1,0 +1,1 @@
+lib/linalg/riccati.ml: Format Matrix

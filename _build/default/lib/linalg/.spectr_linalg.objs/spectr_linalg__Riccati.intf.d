@@ -1,0 +1,1 @@
+lib/linalg/riccati.mli: Format Matrix

@@ -1,0 +1,130 @@
+(** Dense matrices of floats.
+
+    This is the numerical workhorse underneath the state-space controllers
+    ({!Spectr_control.Statespace}, {!Spectr_control.Lqr}) and the system
+    identification routines ({!Spectr_sysid.Arx}).  Matrices are immutable
+    from the caller's point of view: every operation returns a fresh matrix.
+
+    Dimensions are checked and mismatches raise [Invalid_argument] with a
+    message naming the offending operation. *)
+
+type t
+(** A dense row-major matrix. *)
+
+(** {1 Construction} *)
+
+val create : rows:int -> cols:int -> float -> t
+(** [create ~rows ~cols x] is the [rows]×[cols] matrix filled with [x].
+    Raises [Invalid_argument] if a dimension is not positive. *)
+
+val zeros : rows:int -> cols:int -> t
+(** All-zero matrix. *)
+
+val identity : int -> t
+(** [identity n] is the n×n identity. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+(** [init ~rows ~cols f] has entry [f i j] at row [i], column [j]
+    (0-indexed). *)
+
+val of_arrays : float array array -> t
+(** [of_arrays a] copies [a] (an array of rows).  Raises [Invalid_argument]
+    on an empty or ragged array. *)
+
+val of_list : float list list -> t
+(** List-of-rows variant of {!of_arrays}. *)
+
+val row_vector : float array -> t
+(** 1×n matrix. *)
+
+val col_vector : float array -> t
+(** n×1 matrix. *)
+
+val diagonal : float array -> t
+(** Square matrix with the given diagonal and zeros elsewhere. *)
+
+(** {1 Access} *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** [get m i j] is entry (i,j); raises [Invalid_argument] out of range. *)
+
+val to_arrays : t -> float array array
+(** Fresh array-of-rows copy. *)
+
+val row : t -> int -> float array
+(** Copy of row [i]. *)
+
+val col : t -> int -> float array
+(** Copy of column [j]. *)
+
+val to_scalar : t -> float
+(** The single entry of a 1×1 matrix; raises [Invalid_argument] otherwise. *)
+
+(** {1 Algebra} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Matrix product; raises [Invalid_argument] on inner-dimension
+    mismatch. *)
+
+val scale : float -> t -> t
+val neg : t -> t
+val transpose : t -> t
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val hcat : t -> t -> t
+(** Horizontal concatenation [\[a b\]]. *)
+
+val vcat : t -> t -> t
+(** Vertical concatenation. *)
+
+val block : t array array -> t
+(** Assemble a block matrix from a rectangular grid of compatible blocks. *)
+
+val submatrix : t -> row:int -> col:int -> rows:int -> cols:int -> t
+(** Extract a [rows]×[cols] block whose top-left corner is ([row],[col]). *)
+
+(** {1 Solving} *)
+
+val solve : t -> t -> t
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting; [b] may have several columns.
+    Raises [Failure "Matrix.solve: singular"] if [a] is (numerically)
+    singular, and [Invalid_argument] if [a] is not square or dimensions
+    mismatch. *)
+
+val inverse : t -> t
+(** [inverse a = solve a (identity n)].  Same exceptions as {!solve}. *)
+
+val determinant : t -> float
+(** Determinant via the LU factorization used by {!solve}. *)
+
+(** {1 Norms and predicates} *)
+
+val frobenius_norm : t -> float
+val max_abs : t -> float
+(** Largest absolute entry. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Entry-wise comparison within [tol] (default [1e-9]); [false] when
+    shapes differ. *)
+
+val is_square : t -> bool
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val trace : t -> float
+(** Sum of diagonal entries of a square matrix. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line fixed-point rendering, for debugging and test output. *)
+
+val to_string : t -> string

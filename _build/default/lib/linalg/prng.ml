@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = int64 g in
+  { state = mix s }
+
+let float g =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (int64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let uniform g ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float g)
+
+let gaussian g ~mu ~sigma =
+  let rec nonzero () =
+    let u = float g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = float g in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: n <= 0";
+  (* Shift by 2 so the value fits OCaml's 63-bit native int without
+     wrapping negative. *)
+  let x = Int64.to_int (Int64.shift_right_logical (int64 g) 2) in
+  x mod n

@@ -1,0 +1,59 @@
+type error =
+  | Dimension_mismatch of string
+  | Not_converged of { iterations : int; residual : float }
+  | Singular
+
+let pp_error ppf = function
+  | Dimension_mismatch s -> Format.fprintf ppf "dimension mismatch: %s" s
+  | Not_converged { iterations; residual } ->
+      Format.fprintf ppf "no convergence after %d iterations (residual %g)"
+        iterations residual
+  | Singular -> Format.fprintf ppf "R + B'PB singular"
+
+let check_dims ~a ~b ~q ~r =
+  let n = Matrix.rows a in
+  let m = Matrix.cols b in
+  if Matrix.cols a <> n then Error (Dimension_mismatch "A not square")
+  else if Matrix.rows b <> n then Error (Dimension_mismatch "B rows <> n")
+  else if Matrix.rows q <> n || Matrix.cols q <> n then
+    Error (Dimension_mismatch "Q not n x n")
+  else if Matrix.rows r <> m || Matrix.cols r <> m then
+    Error (Dimension_mismatch "R not m x m")
+  else Ok (n, m)
+
+(* One step of the Riccati difference equation:
+   P' = A'PA - A'PB (R + B'PB)^-1 B'PA + Q *)
+let step ~a ~b ~q ~r p =
+  let at = Matrix.transpose a in
+  let bt = Matrix.transpose b in
+  let atp = Matrix.mul at p in
+  let atpa = Matrix.mul atp a in
+  let atpb = Matrix.mul atp b in
+  let btpb = Matrix.mul (Matrix.mul bt p) b in
+  let inner = Matrix.add r btpb in
+  match Matrix.solve inner (Matrix.transpose atpb) with
+  | exception Failure _ -> Error Singular
+  | x ->
+      (* x = (R + B'PB)^-1 B'PA,  so the correction term is  A'PB * x *)
+      Ok (Matrix.add q (Matrix.sub atpa (Matrix.mul atpb x)))
+
+let solve ?(max_iter = 10_000) ?(tol = 1e-10) ~a ~b ~q ~r () =
+  match check_dims ~a ~b ~q ~r with
+  | Error _ as e -> e
+  | Ok _ ->
+      let rec loop i p =
+        match step ~a ~b ~q ~r p with
+        | Error _ as e -> e
+        | Ok p' ->
+            let diff = Matrix.max_abs (Matrix.sub p' p) in
+            if diff <= tol then Ok p'
+            else if i >= max_iter then
+              Error (Not_converged { iterations = i; residual = diff })
+            else loop (i + 1) p'
+      in
+      loop 0 q
+
+let residual ~a ~b ~q ~r p =
+  match step ~a ~b ~q ~r p with
+  | Error _ -> infinity
+  | Ok p' -> Matrix.max_abs (Matrix.sub p' p)

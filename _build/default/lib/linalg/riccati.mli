@@ -1,0 +1,40 @@
+(** Discrete algebraic Riccati equation (DARE) solver.
+
+    The DARE
+
+    {v P = Aᵀ P A − Aᵀ P B (R + Bᵀ P B)⁻¹ Bᵀ P A + Q v}
+
+    underlies both LQR gain design and steady-state Kalman filtering
+    ({!Spectr_control.Lqr}, {!Spectr_control.Kalman}).  We solve it by
+    fixed-point iteration of the Riccati difference equation, which
+    converges for stabilizable (A,B) with detectable (A,Q^½) — the regime
+    of all controllers in this library (matrices are small: ≤ ~20×20). *)
+
+type error =
+  | Dimension_mismatch of string
+      (** Shapes of A, B, Q, R are inconsistent. *)
+  | Not_converged of { iterations : int; residual : float }
+      (** Fixed-point iteration failed to reach tolerance. *)
+  | Singular
+      (** (R + BᵀPB) became singular during iteration. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  a:Matrix.t ->
+  b:Matrix.t ->
+  q:Matrix.t ->
+  r:Matrix.t ->
+  unit ->
+  (Matrix.t, error) result
+(** [solve ~a ~b ~q ~r ()] returns the stabilizing solution [P] of the
+    DARE.  [q] must be n×n positive semidefinite, [r] m×m positive
+    definite, where [a] is n×n and [b] is n×m.  Default [max_iter] is
+    10_000 and [tol] (max-abs difference between successive iterates)
+    is [1e-10]. *)
+
+val residual : a:Matrix.t -> b:Matrix.t -> q:Matrix.t -> r:Matrix.t -> Matrix.t -> float
+(** Max-abs entry of [AᵀPA − P − AᵀPB(R+BᵀPB)⁻¹BᵀPA + Q]; a direct check
+    that [P] solves the equation. *)

@@ -1,0 +1,149 @@
+let require_nonempty name x =
+  if Array.length x = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty" name)
+
+let mean x =
+  require_nonempty "mean" x;
+  Array.fold_left ( +. ) 0. x /. float_of_int (Array.length x)
+
+let variance x =
+  require_nonempty "variance" x;
+  let m = mean x in
+  Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. x
+  /. float_of_int (Array.length x)
+
+let std x = sqrt (variance x)
+
+let demean x =
+  let m = mean x in
+  Array.map (fun v -> v -. m) x
+
+let autocorrelation x k =
+  require_nonempty "autocorrelation" x;
+  let n = Array.length x in
+  let k = abs k in
+  if k >= n then invalid_arg "Stats.autocorrelation: lag too large";
+  let xd = demean x in
+  let denom = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. xd in
+  if denom = 0. then 0.
+  else begin
+    let num = ref 0. in
+    for t = 0 to n - 1 - k do
+      num := !num +. (xd.(t) *. xd.(t + k))
+    done;
+    !num /. denom
+  end
+
+let autocorrelations x ~max_lag =
+  Array.init
+    ((2 * max_lag) + 1)
+    (fun i ->
+      let k = i - max_lag in
+      (k, autocorrelation x k))
+
+let cross_correlation x y k =
+  require_nonempty "cross_correlation" x;
+  if Array.length x <> Array.length y then
+    invalid_arg "Stats.cross_correlation: length mismatch";
+  let n = Array.length x in
+  if abs k >= n then invalid_arg "Stats.cross_correlation: lag too large";
+  let xd = demean x and yd = demean y in
+  let sx = Array.fold_left (fun a v -> a +. (v *. v)) 0. xd in
+  let sy = Array.fold_left (fun a v -> a +. (v *. v)) 0. yd in
+  let denom = sqrt (sx *. sy) in
+  if denom = 0. then 0.
+  else begin
+    let num = ref 0. in
+    (* positive k: y lags x *)
+    if k >= 0 then
+      for t = 0 to n - 1 - k do
+        num := !num +. (xd.(t) *. yd.(t + k))
+      done
+    else
+      for t = 0 to n - 1 + k do
+        num := !num +. (xd.(t - k) *. yd.(t))
+      done;
+    !num /. denom
+  end
+
+let confidence_interval_99 n =
+  if n <= 0 then invalid_arg "Stats.confidence_interval_99: n <= 0";
+  2.576 /. sqrt (float_of_int n)
+
+let check_pair name actual predicted =
+  require_nonempty name actual;
+  if Array.length actual <> Array.length predicted then
+    invalid_arg (Printf.sprintf "Stats.%s: length mismatch" name)
+
+let r_squared ~actual ~predicted =
+  check_pair "r_squared" actual predicted;
+  let m = mean actual in
+  let ss_tot =
+    Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. actual
+  in
+  let ss_res = ref 0. in
+  Array.iteri
+    (fun i v -> ss_res := !ss_res +. ((v -. predicted.(i)) ** 2.))
+    actual;
+  if ss_tot = 0. then if !ss_res = 0. then 1. else neg_infinity
+  else 1. -. (!ss_res /. ss_tot)
+
+let fit_percent ~actual ~predicted =
+  check_pair "fit_percent" actual predicted;
+  let m = mean actual in
+  let norm f = sqrt (Array.fold_left (fun a i -> a +. (f i ** 2.)) 0.
+                       (Array.init (Array.length actual) Fun.id)) in
+  let err = norm (fun i -> actual.(i) -. predicted.(i)) in
+  let dev = norm (fun i -> actual.(i) -. m) in
+  if dev = 0. then if err = 0. then 100. else neg_infinity
+  else 100. *. (1. -. (err /. dev))
+
+let rmse ~actual ~predicted =
+  check_pair "rmse" actual predicted;
+  let n = Array.length actual in
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    s := !s +. ((actual.(i) -. predicted.(i)) ** 2.)
+  done;
+  sqrt (!s /. float_of_int n)
+
+let percentile x p =
+  require_nonempty "percentile" x;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let steady_state_error ~reference ~measured ~tail =
+  require_nonempty "steady_state_error" measured;
+  if tail <= 0 then invalid_arg "Stats.steady_state_error: tail <= 0";
+  let n = Array.length measured in
+  let k = min tail n in
+  let s = ref 0. in
+  for i = n - k to n - 1 do
+    s := !s +. (reference -. measured.(i))
+  done;
+  let avg = !s /. float_of_int k in
+  if reference = 0. then avg else 100. *. avg /. reference
+
+let settling_time ~reference ~band ~dt y =
+  let n = Array.length y in
+  if n = 0 then None
+  else begin
+    let tol = abs_float (band *. reference) in
+    let within i = abs_float (y.(i) -. reference) <= tol in
+    (* earliest index from which all later samples stay in the band *)
+    let rec last_violation i acc =
+      if i >= n then acc
+      else last_violation (i + 1) (if within i then acc else i)
+    in
+    let lv = last_violation 0 (-1) in
+    if lv = n - 1 then None else Some (float_of_int (lv + 1) *. dt)
+  end

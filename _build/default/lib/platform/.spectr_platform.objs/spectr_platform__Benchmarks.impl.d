@@ -1,0 +1,1 @@
+lib/platform/benchmarks.ml: List Workload

@@ -1,0 +1,1 @@
+lib/platform/benchmarks.mli: Workload

@@ -1,0 +1,1 @@
+lib/platform/perf_model.ml: Float Opp Workload

@@ -1,0 +1,1 @@
+lib/platform/power_model.ml: Opp

@@ -1,0 +1,1 @@
+lib/platform/power_model.mli: Opp

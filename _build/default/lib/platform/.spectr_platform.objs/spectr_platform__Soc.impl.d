@@ -1,0 +1,1 @@
+lib/platform/soc.ml: Array Float Opp Perf_model Power_model Prng Spectr_linalg Workload

@@ -1,0 +1,1 @@
+lib/platform/soc.mli: Workload

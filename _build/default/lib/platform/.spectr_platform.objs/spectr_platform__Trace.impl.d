@@ -1,0 +1,1 @@
+lib/platform/trace.ml: Array Buffer List Printf String

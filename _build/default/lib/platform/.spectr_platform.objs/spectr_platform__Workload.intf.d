@@ -1,0 +1,1 @@
+lib/platform/workload.mli:

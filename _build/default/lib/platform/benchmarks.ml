@@ -1,0 +1,73 @@
+(* Instructions-per-heartbeat values are calibrated against Perf_model's
+   CPI law so that each benchmark reaches roughly 1.3x its experiment
+   reference rate at full Big-cluster allocation; see test_platform.ml's
+   achievability tests. *)
+
+let x264 =
+  Workload.create ~name:"x264" ~parallel_fraction:0.81 ~freq_scaling:2.0
+    ~base_ipc_big:1.2 ~instructions_per_heartbeat:4.25e7 ~complexity_wobble:0.12
+    ()
+
+let bodytrack =
+  Workload.create ~name:"bodytrack" ~parallel_fraction:0.80 ~freq_scaling:2.3
+    ~base_ipc_big:1.1 ~instructions_per_heartbeat:5.0e7 ~complexity_wobble:0.08
+    ()
+
+let canneal =
+  Workload.create ~name:"canneal" ~parallel_fraction:0.60 ~freq_scaling:1.6
+    ~base_ipc_big:0.8 ~instructions_per_heartbeat:2.6e7 ~complexity_wobble:0.05
+    ~phases:
+      [
+        (* Serialized input processing: extra cores barely help, and the
+           per-unit work is heavier while parsing. *)
+        { duration_s = 20.; parallel_fraction = 0.15; demand_scale = 1.25 };
+        { duration_s = infinity; parallel_fraction = 0.60; demand_scale = 1. };
+      ]
+    ()
+
+let streamcluster =
+  Workload.create ~name:"streamcluster" ~parallel_fraction:0.81
+    ~freq_scaling:1.5 ~base_ipc_big:0.9 ~instructions_per_heartbeat:3.7e7
+    ~complexity_wobble:0.06 ()
+
+let kmeans =
+  Workload.create ~name:"kmeans" ~parallel_fraction:0.78 ~freq_scaling:2.1
+    ~base_ipc_big:1.0 ~instructions_per_heartbeat:4.2e7 ~complexity_wobble:0.07
+    ()
+
+let knn =
+  Workload.create ~name:"knn" ~parallel_fraction:0.72 ~freq_scaling:1.8
+    ~base_ipc_big:0.9 ~instructions_per_heartbeat:3.4e7 ~complexity_wobble:0.06
+    ()
+
+let least_squares =
+  Workload.create ~name:"lesq" ~parallel_fraction:0.82 ~freq_scaling:2.4
+    ~base_ipc_big:1.1 ~instructions_per_heartbeat:5.6e7 ~complexity_wobble:0.05
+    ()
+
+let linear_regression =
+  Workload.create ~name:"lr" ~parallel_fraction:0.80 ~freq_scaling:2.3
+    ~base_ipc_big:1.05 ~instructions_per_heartbeat:5.1e7 ~complexity_wobble:0.05
+    ()
+
+let microbench =
+  Workload.create ~name:"microbench" ~parallel_fraction:0.95 ~freq_scaling:2.8
+    ~base_ipc_big:1.3 ~instructions_per_heartbeat:4.0e7 ~complexity_wobble:0.
+    ()
+
+let all_qos =
+  [
+    bodytrack;
+    canneal;
+    kmeans;
+    knn;
+    least_squares;
+    linear_regression;
+    streamcluster;
+    x264;
+  ]
+
+let by_name name =
+  List.find_opt
+    (fun w -> w.Workload.name = name)
+    (microbench :: all_qos)

@@ -1,0 +1,38 @@
+type t = {
+  window : float;
+  mutable reference : float;
+  mutable total : float;
+  mutable samples : (float * float) list; (* (time, count), newest first *)
+  mutable last_time : float;
+}
+
+let create ?(window = 0.5) ~reference () =
+  if window <= 0. then invalid_arg "Heartbeats.create: window <= 0";
+  if reference <= 0. then invalid_arg "Heartbeats.create: reference <= 0";
+  { window; reference; total = 0.; samples = []; last_time = neg_infinity }
+
+let beat t ~now ~count =
+  if now < t.last_time then invalid_arg "Heartbeats.beat: time went backwards";
+  t.last_time <- now;
+  t.total <- t.total +. count;
+  t.samples <- (now, count) :: t.samples
+
+let rate t ~now =
+  let cutoff = now -. t.window in
+  (* Drop samples older than the window (list is newest-first). *)
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | (time, _) :: _ when time <= cutoff -> List.rev acc
+    | s :: rest -> keep (s :: acc) rest
+  in
+  t.samples <- keep [] t.samples;
+  let sum = List.fold_left (fun acc (_, c) -> acc +. c) 0. t.samples in
+  sum /. t.window
+
+let reference t = t.reference
+
+let set_reference t r =
+  if r <= 0. then invalid_arg "Heartbeats.set_reference: reference <= 0";
+  t.reference <- r
+
+let total t = t.total

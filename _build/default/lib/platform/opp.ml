@@ -1,0 +1,57 @@
+type t = { name : string; freqs_mhz : int array; volts : float array }
+
+let create ~name ~points =
+  if points = [] then invalid_arg "Opp.create: empty table";
+  let freqs = Array.of_list (List.map fst points) in
+  let volts = Array.of_list (List.map snd points) in
+  Array.iteri
+    (fun i f ->
+      if i > 0 && f <= freqs.(i - 1) then
+        invalid_arg "Opp.create: frequencies must ascend")
+    freqs;
+  Array.iter
+    (fun v -> if v <= 0. then invalid_arg "Opp.create: voltage must be positive")
+    volts;
+  { name; freqs_mhz = freqs; volts }
+
+(* Linear voltage ramps approximating the Exynos 5422 tables. *)
+let ramp ~name ~lo_mhz ~hi_mhz ~lo_v ~hi_v =
+  let n = ((hi_mhz - lo_mhz) / 100) + 1 in
+  let points =
+    List.init n (fun i ->
+        let f = lo_mhz + (i * 100) in
+        let frac = float_of_int (f - lo_mhz) /. float_of_int (hi_mhz - lo_mhz) in
+        (f, lo_v +. ((hi_v -. lo_v) *. frac)))
+  in
+  create ~name ~points
+
+let big = ramp ~name:"big-a15" ~lo_mhz:200 ~hi_mhz:2000 ~lo_v:0.90 ~hi_v:1.3625
+let little = ramp ~name:"little-a7" ~lo_mhz:200 ~hi_mhz:1400 ~lo_v:0.90 ~hi_v:1.25
+
+let min_freq t = t.freqs_mhz.(0)
+let max_freq t = t.freqs_mhz.(Array.length t.freqs_mhz - 1)
+let num_points t = Array.length t.freqs_mhz
+
+let nearest t f_mhz =
+  let best = ref t.freqs_mhz.(0) in
+  let best_d = ref (abs_float (float_of_int !best -. f_mhz)) in
+  Array.iter
+    (fun f ->
+      let d = abs_float (float_of_int f -. f_mhz) in
+      if d < !best_d then begin
+        best := f;
+        best_d := d
+      end)
+    t.freqs_mhz;
+  !best
+
+let index t f =
+  let rec find i =
+    if i >= Array.length t.freqs_mhz then
+      invalid_arg (Printf.sprintf "Opp.index: %d MHz not an OPP of %s" f t.name)
+    else if t.freqs_mhz.(i) = f then i
+    else find (i + 1)
+  in
+  find 0
+
+let voltage t f = t.volts.(index t f)

@@ -1,0 +1,38 @@
+(** DVFS operating performance points (OPPs).
+
+    Voltage/frequency tables modelled after the Exynos 5422's cpufreq
+    tables: the Little (Cortex-A7) cluster spans 200–1400 MHz, the Big
+    (Cortex-A15) cluster 200–2000 MHz, both in 100 MHz steps, with supply
+    voltage rising roughly linearly across the range.  DVFS is per
+    cluster, as on the real part (§4.2, footnote 4). *)
+
+type t = private {
+  name : string;
+  freqs_mhz : int array;  (** Ascending available frequencies. *)
+  volts : float array;  (** Supply voltage at each OPP. *)
+}
+
+val create : name:string -> points:(int * float) list -> t
+(** Raises [Invalid_argument] on an empty table, non-ascending
+    frequencies, or non-positive voltage. *)
+
+val big : t
+(** Cortex-A15 cluster table (200–2000 MHz). *)
+
+val little : t
+(** Cortex-A7 cluster table (200–1400 MHz). *)
+
+val min_freq : t -> int
+val max_freq : t -> int
+val num_points : t -> int
+
+val nearest : t -> float -> int
+(** [nearest table f_mhz] is the available frequency closest to [f_mhz]
+    (ties resolve downward), clamped to the table range. *)
+
+val voltage : t -> int -> float
+(** Voltage at an exact table frequency.  Raises [Invalid_argument] when
+    the frequency is not an OPP — call {!nearest} first. *)
+
+val index : t -> int -> int
+(** Index of an exact table frequency. *)

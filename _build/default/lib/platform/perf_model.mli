@@ -1,0 +1,64 @@
+(** Analytic performance model for the heterogeneous clusters.
+
+    Per-core throughput follows a CPI law linear in frequency,
+
+    {v CPI(f) = a + b·f      (f in GHz) v}
+
+    where [a] is the compute CPI and [b·f] the memory-stall CPI (stall
+    cycles scale with the clock because DRAM latency is constant in
+    seconds).  The coefficients are derived per workload so that the
+    speedup over the Big cluster's full DVFS range equals the workload's
+    [freq_scaling].  Multi-threaded scaling follows Amdahl's law with the
+    phase-dependent parallel fraction.
+
+    Frequencies in MHz throughout, matching {!Opp}. *)
+
+type cluster = Big | Little
+
+val cpi_coefficients : Workload.t -> cluster -> float * float
+(** (a, b) of the CPI law for one core of the given cluster.  Little
+    cores share the memory coefficient [b] (same DRAM) but scale the
+    compute term by [1 / little_ipc_ratio]. *)
+
+val contention : float
+(** Shared-DRAM bandwidth contention: fractional inflation of the
+    memory-stall CPI per additional busy core.  The source of the
+    per-core cross-coupling that degrades large (10×10) model
+    identification (§2.2, Figures 5/15). *)
+
+val contention_factor : busy_cores:float -> float
+(** 1 + contention·(busy − 1), clamped at busy ≥ 1. *)
+
+val core_ips : ?busy_cores:float -> Workload.t -> cluster -> freq_mhz:int -> float
+(** Instructions per second of one fully-busy core when [busy_cores]
+    (default 4) cores compete for memory bandwidth. *)
+
+val cluster_ips :
+  Workload.t ->
+  cluster ->
+  freq_mhz:int ->
+  effective_cores:float ->
+  parallel_fraction:float ->
+  float
+(** Throughput of the application on [effective_cores] (may be
+    fractional when background work steals capacity) at the given
+    frequency: single-core IPS × Amdahl speedup.  Raises when
+    [effective_cores <= 0]. *)
+
+val qos_rate :
+  Workload.t ->
+  cluster ->
+  freq_mhz:int ->
+  effective_cores:float ->
+  parallel_fraction:float ->
+  demand_scale:float ->
+  float
+(** Heartbeats (or frames) per second: {!cluster_ips} divided by the
+    (possibly phase-scaled) instructions per heartbeat. *)
+
+val max_qos_rate : Workload.t -> float
+(** Rate at the maximum allocation the experiments use: 4 Big cores at
+    the top OPP, nominal parallel fraction, no disturbance. *)
+
+val min_qos_rate : Workload.t -> float
+(** Rate at the minimum allocation: 1 Big core at the bottom OPP. *)

@@ -1,0 +1,36 @@
+type params = {
+  cdyn_w_per_v2ghz : float;
+  leak_w_per_core : float;
+  gated_w_per_core : float;
+  uncore_w : float;
+}
+
+let params ~cdyn_w_per_v2ghz ~leak_w_per_core ~gated_w_per_core ~uncore_w =
+  if
+    cdyn_w_per_v2ghz < 0. || leak_w_per_core < 0. || gated_w_per_core < 0.
+    || uncore_w < 0.
+  then invalid_arg "Power_model.params: negative parameter";
+  { cdyn_w_per_v2ghz; leak_w_per_core; gated_w_per_core; uncore_w }
+
+let big_params =
+  params ~cdyn_w_per_v2ghz:0.324 ~leak_w_per_core:0.05 ~gated_w_per_core:0.01
+    ~uncore_w:0.15
+
+let little_params =
+  params ~cdyn_w_per_v2ghz:0.0686 ~leak_w_per_core:0.015
+    ~gated_w_per_core:0.005 ~uncore_w:0.05
+
+let v0 = 0.9
+
+let cluster_power p ~table ~freq_mhz ~active_cores ~total_cores ~utilization =
+  if active_cores < 0 || active_cores > total_cores then
+    invalid_arg "Power_model.cluster_power: active_cores out of range";
+  if utilization < 0. || utilization > 1. then
+    invalid_arg "Power_model.cluster_power: utilization out of range";
+  let v = Opp.voltage table freq_mhz in
+  let f_ghz = float_of_int freq_mhz /. 1000. in
+  let dynamic = p.cdyn_w_per_v2ghz *. v *. v *. f_ghz *. utilization in
+  let leak = p.leak_w_per_core *. (v /. v0) *. (v /. v0) in
+  (float_of_int active_cores *. (dynamic +. leak))
+  +. (float_of_int (total_cores - active_cores) *. p.gated_w_per_core)
+  +. p.uncore_w

@@ -1,0 +1,44 @@
+(** Analytic cluster power model.
+
+    Per cluster:
+
+    {v P = Σ_active ( C_dyn · V² · f · util + P_leak · (V/V₀)² )
+     + (#gated cores) · P_gated + P_uncore v}
+
+    with parameters calibrated so the Big cluster peaks around 5.4 W at
+    the 2 GHz OPP (driving the paper's 5 W TDP into saturation) and the
+    Little cluster around 0.8 W — matching the 2–5.5 W range of
+    Figure 13's power traces. *)
+
+type params = private {
+  cdyn_w_per_v2ghz : float;  (** Effective switching capacitance. *)
+  leak_w_per_core : float;  (** Leakage per powered core at V₀ = 0.9 V. *)
+  gated_w_per_core : float;  (** Residual draw of a power-gated core. *)
+  uncore_w : float;  (** Cluster-shared (L2, interconnect) draw. *)
+}
+
+val params :
+  cdyn_w_per_v2ghz:float ->
+  leak_w_per_core:float ->
+  gated_w_per_core:float ->
+  uncore_w:float ->
+  params
+(** Raises [Invalid_argument] on negative values. *)
+
+val big_params : params
+(** Cortex-A15 cluster calibration. *)
+
+val little_params : params
+(** Cortex-A7 cluster calibration. *)
+
+val cluster_power :
+  params ->
+  table:Opp.t ->
+  freq_mhz:int ->
+  active_cores:int ->
+  total_cores:int ->
+  utilization:float ->
+  float
+(** Power draw in watts.  [freq_mhz] must be an OPP of [table];
+    [utilization] ∈ [0,1] scales only the dynamic term.  Raises
+    [Invalid_argument] on out-of-range arguments. *)

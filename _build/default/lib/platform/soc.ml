@@ -1,0 +1,270 @@
+open Spectr_linalg
+
+type cluster = Big | Little
+
+type config = {
+  seed : int64;
+  power_noise : float;
+  qos_noise : float;
+  ips_noise : float;
+  background_task_util : float;
+  ambient_c : float;
+  thermal_resistance : float;
+  thermal_tau : float;
+}
+
+let default_config =
+  {
+    seed = 0x5EC7Ab1E5EC7AL;
+    power_noise = 0.015;
+    qos_noise = 0.02;
+    ips_noise = 0.05;
+    background_task_util = 0.6;
+    ambient_c = 30.;
+    thermal_resistance = 8.;
+    thermal_tau = 3.;
+  }
+
+type observation = {
+  time : float;
+  big_power : float;
+  little_power : float;
+  chip_power : float;
+  qos_rate : float;
+  big_ips : float;
+  little_ips : float;
+  per_core_ips : float array;
+  temperature_c : float;
+}
+
+type t = {
+  config : config;
+  qos : Workload.t;
+  rng : Prng.t;
+  mutable now : float;
+  mutable big_freq : int;
+  mutable little_freq : int;
+  mutable big_active : int;
+  mutable little_active : int;
+  idle : float array; (* 8 entries *)
+  mutable n_background : int;
+  mutable temperature_c : float;
+}
+
+let create ?(config = default_config) ~qos () =
+  {
+    config;
+    qos;
+    rng = Prng.create config.seed;
+    now = 0.;
+    big_freq = 1000;
+    little_freq = 1000;
+    big_active = 4;
+    little_active = 4;
+    idle = Array.make 8 0.;
+    n_background = 0;
+    temperature_c = config.ambient_c;
+  }
+
+let table = function Big -> Opp.big | Little -> Opp.little
+
+let set_frequency soc cluster f_mhz =
+  let f = Opp.nearest (table cluster) f_mhz in
+  (match cluster with
+  | Big -> soc.big_freq <- f
+  | Little -> soc.little_freq <- f);
+  f
+
+let frequency soc = function Big -> soc.big_freq | Little -> soc.little_freq
+
+let set_active_cores soc cluster n =
+  let n = max 1 (min 4 n) in
+  match cluster with
+  | Big -> soc.big_active <- n
+  | Little -> soc.little_active <- n
+
+let active_cores soc = function
+  | Big -> soc.big_active
+  | Little -> soc.little_active
+
+let set_idle_fraction soc ~core f =
+  if core < 0 || core >= 8 then invalid_arg "Soc.set_idle_fraction: core";
+  soc.idle.(core) <- Float.max 0. (Float.min 0.9 f)
+
+let idle_fraction soc ~core =
+  if core < 0 || core >= 8 then invalid_arg "Soc.idle_fraction: core";
+  soc.idle.(core)
+
+let set_background_tasks soc n =
+  if n < 0 then invalid_arg "Soc.set_background_tasks: negative";
+  soc.n_background <- n
+
+let background_tasks soc = soc.n_background
+let time soc = soc.now
+let temperature soc = soc.temperature_c
+
+(* --- internal physics ------------------------------------------------ *)
+
+(* Capacity (in core-fractions) of the active cores of a cluster after
+   idle-cycle injection.  Big cores are 0-3, Little 4-7. *)
+let capacity soc = function
+  | Big ->
+      let c = ref 0. in
+      for i = 0 to soc.big_active - 1 do
+        c := !c +. (1. -. soc.idle.(i))
+      done;
+      !c
+  | Little ->
+      let c = ref 0. in
+      for i = 0 to soc.little_active - 1 do
+        c := !c +. (1. -. soc.idle.(4 + i))
+      done;
+      !c
+
+(* HMP placement of background work: the scheduler fills the Little
+   cluster first, then spills onto Big where the spilled tasks time-share
+   with the QoS application's four threads CFS-style (proportional to
+   runnable demand).  Returns (little_bg_util, big_bg_util) in
+   core-fractions. *)
+let qos_threads = 4.
+
+let background_placement soc =
+  let demand =
+    float_of_int soc.n_background *. soc.config.background_task_util
+  in
+  let little_cap = capacity soc Little in
+  let little_used = Float.min demand little_cap in
+  let spill = demand -. little_used in
+  let big_cap = capacity soc Big in
+  let big_used =
+    if spill <= 0. then 0.
+    else begin
+      (* Fair sharing on the Big cluster: the QoS app's threads and the
+         spilled background demand split capacity proportionally. *)
+      let share = big_cap *. spill /. (qos_threads +. spill) in
+      Float.min spill share
+    end
+  in
+  (little_used, big_used)
+
+(* Effective cores available to the QoS application on the Big cluster. *)
+let qos_effective_cores soc =
+  let _, big_bg = background_placement soc in
+  Float.max 0.1 (capacity soc Big -. big_bg)
+
+(* Slow sinusoidal scene-complexity variation. *)
+let complexity_factor soc =
+  1.
+  +. soc.qos.Workload.complexity_wobble
+     *. sin (2. *. Float.pi *. soc.now /. 8.)
+
+let current_phase soc = Workload.phase_at soc.qos soc.now
+
+let qos_ips_now soc =
+  let phase = current_phase soc in
+  Perf_model.cluster_ips soc.qos Perf_model.Big ~freq_mhz:soc.big_freq
+    ~effective_cores:(qos_effective_cores soc)
+    ~parallel_fraction:phase.Workload.parallel_fraction
+
+let true_qos_rate soc =
+  let phase = current_phase soc in
+  qos_ips_now soc
+  /. (soc.qos.Workload.instructions_per_heartbeat
+     *. phase.Workload.demand_scale *. complexity_factor soc)
+
+let utilization soc cluster =
+  (* The QoS application saturates whatever Big capacity it is given;
+     background work saturates its stolen share too.  Little runs only
+     background work. *)
+  match cluster with
+  | Big ->
+      let cap = capacity soc Big in
+      if soc.big_active = 0 then 0.
+      else Float.min 1. (cap /. float_of_int soc.big_active)
+  | Little ->
+      let little_bg, _ = background_placement soc in
+      if soc.little_active = 0 then 0.
+      else Float.min 1. (little_bg /. float_of_int soc.little_active)
+
+let cluster_power_now soc cluster =
+  let params =
+    match cluster with
+    | Big -> Power_model.big_params
+    | Little -> Power_model.little_params
+  in
+  Power_model.cluster_power params ~table:(table cluster)
+    ~freq_mhz:(frequency soc cluster)
+    ~active_cores:(active_cores soc cluster)
+    ~total_cores:4
+    ~utilization:(utilization soc cluster)
+
+let true_chip_power soc =
+  cluster_power_now soc Big +. cluster_power_now soc Little
+
+(* Per-core IPS for the PMU readings.  The cluster throughput is spread
+   over the active cores proportionally to their non-idled capacity. *)
+let per_core_ips_now soc =
+  let result = Array.make 8 0. in
+  let big_cap = capacity soc Big in
+  let big_total = qos_ips_now soc in
+  let little_bg, big_bg = background_placement soc in
+  (* background work on Big runs at the core's native (contended) rate *)
+  let bg_big_ips =
+    big_bg
+    *. Perf_model.core_ips ~busy_cores:big_cap soc.qos Perf_model.Big
+         ~freq_mhz:soc.big_freq
+  in
+  for i = 0 to soc.big_active - 1 do
+    let share = if big_cap > 0. then (1. -. soc.idle.(i)) /. big_cap else 0. in
+    result.(i) <- share *. (big_total +. bg_big_ips)
+  done;
+  let little_cap = capacity soc Little in
+  let little_ips_total =
+    little_bg
+    *. Perf_model.core_ips ~busy_cores:(Float.max 1. little_bg) soc.qos
+         Perf_model.Little ~freq_mhz:soc.little_freq
+  in
+  for i = 0 to soc.little_active - 1 do
+    let share =
+      if little_cap > 0. then (1. -. soc.idle.(4 + i)) /. little_cap else 0.
+    in
+    result.(4 + i) <- share *. little_ips_total
+  done;
+  result
+
+let noisy soc sigma_rel v =
+  if sigma_rel <= 0. then v
+  else v *. (1. +. Prng.gaussian soc.rng ~mu:0. ~sigma:sigma_rel)
+
+let step soc ~dt =
+  if dt <= 0. then invalid_arg "Soc.step: dt <= 0";
+  soc.now <- soc.now +. dt;
+  (* First-order thermal RC: the die relaxes toward ambient + R_th * P
+     with time constant tau. *)
+  let c = soc.config in
+  let t_target = c.ambient_c +. (c.thermal_resistance *. true_chip_power soc) in
+  let alpha = Float.min 1. (dt /. c.thermal_tau) in
+  soc.temperature_c <- soc.temperature_c +. (alpha *. (t_target -. soc.temperature_c));
+  let big_power = noisy soc soc.config.power_noise (cluster_power_now soc Big) in
+  let little_power =
+    noisy soc soc.config.power_noise (cluster_power_now soc Little)
+  in
+  let qos_rate = noisy soc soc.config.qos_noise (true_qos_rate soc) in
+  let per_core =
+    Array.map (fun v -> noisy soc soc.config.ips_noise v) (per_core_ips_now soc)
+  in
+  let big_ips = per_core.(0) +. per_core.(1) +. per_core.(2) +. per_core.(3) in
+  let little_ips =
+    per_core.(4) +. per_core.(5) +. per_core.(6) +. per_core.(7)
+  in
+  {
+    time = soc.now;
+    big_power;
+    little_power;
+    chip_power = big_power +. little_power;
+    qos_rate;
+    big_ips;
+    little_ips;
+    per_core_ips = per_core;
+    temperature_c = noisy soc 0.01 soc.temperature_c;
+  }

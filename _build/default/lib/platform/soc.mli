@@ -1,0 +1,94 @@
+(** The simulated Exynos-class big.LITTLE SoC.
+
+    Two quad-core clusters sharing memory: an out-of-order Big cluster
+    hosting the (pinned) QoS application's four threads, and an in-order
+    Little cluster absorbing background work, mirroring the experimental
+    setup of Figure 10.  Actuators and sensors match the ODROID-XU3:
+    per-cluster DVFS and active-core count as control inputs, per-cluster
+    power sensors and a Heartbeats QoS monitor as measured outputs, plus
+    per-core PMU (IPS) readings and per-core idle-cycle injection for the
+    large-controller experiments of Figures 4/5/15.
+
+    The simulator advances in discrete steps ({!step}); all noise comes
+    from an explicit seed, so runs are reproducible. *)
+
+type cluster = Big | Little
+
+type config = {
+  seed : int64;
+  power_noise : float;  (** Relative σ of the power sensors (default 0.015). *)
+  qos_noise : float;  (** Relative σ of heartbeat-rate measurement (0.02). *)
+  ips_noise : float;  (** Relative σ of the PMU IPS readings (0.01). *)
+  background_task_util : float;
+      (** Core-fraction demanded by each background task (0.6). *)
+  ambient_c : float;  (** Ambient temperature (30 °C). *)
+  thermal_resistance : float;
+      (** Junction-to-ambient thermal resistance, °C per watt (8):
+          5.4 W sustained drives the die toward ≈ 73 °C. *)
+  thermal_tau : float;  (** First-order thermal time constant, s (3). *)
+}
+
+val default_config : config
+
+type observation = {
+  time : float;  (** Simulated seconds since creation. *)
+  big_power : float;  (** Noisy Big-cluster power sensor (W). *)
+  little_power : float;
+  chip_power : float;  (** Sum of the two cluster sensors. *)
+  qos_rate : float;  (** Noisy heartbeat rate of the QoS app (HB/s or FPS). *)
+  big_ips : float;  (** Aggregate Big-cluster instructions/s. *)
+  little_ips : float;
+  per_core_ips : float array;  (** 8 entries: Big cores 0–3, Little 4–7. *)
+  temperature_c : float;  (** Noisy die-temperature sensor (°C). *)
+}
+
+type t
+
+val create : ?config:config -> qos:Workload.t -> unit -> t
+
+(** {1 Actuators (control inputs)} *)
+
+val set_frequency : t -> cluster -> float -> int
+(** Request a cluster frequency in MHz; the value is quantized to the
+    nearest OPP, which is returned. *)
+
+val frequency : t -> cluster -> int
+
+val set_active_cores : t -> cluster -> int -> unit
+(** Number of un-gated cores, clamped to [1, 4]. *)
+
+val active_cores : t -> cluster -> int
+
+val set_idle_fraction : t -> core:int -> float -> unit
+(** Per-core idle-cycle injection, core ∈ [0,8), fraction clamped to
+    [0, 0.9] — the fine-grained actuator of the 10×10 system (Fig. 4). *)
+
+val idle_fraction : t -> core:int -> float
+
+val set_background_tasks : t -> int -> unit
+(** Number of single-threaded background tasks currently running
+    (placed by the HMP scheduler: Little cluster first, spilling onto
+    Big where they steal capacity from the QoS app). *)
+
+val background_tasks : t -> int
+
+(** {1 Stepping} *)
+
+val step : t -> dt:float -> observation
+(** Advance simulated time by [dt] seconds (one controller period) and
+    return the sensor readings for that period.  Raises on [dt <= 0]. *)
+
+val time : t -> float
+
+val true_qos_rate : t -> float
+(** Noise-free QoS rate at the current actuator settings (for tests and
+    ground-truth comparisons; the managers must use {!observation}s). *)
+
+val true_chip_power : t -> float
+(** Noise-free total power at the current settings. *)
+
+val temperature : t -> float
+(** Noise-free die temperature (°C).  A first-order RC response to chip
+    power: the physical variable behind the paper's "thermal emergency"
+    phases, letting experiments derive the power envelope from
+    temperature instead of scripting it. *)

@@ -1,0 +1,61 @@
+type t = {
+  names : string array;
+  mutable rows : float array list; (* newest first *)
+  mutable n : int;
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Trace.create: no columns";
+  let names = Array.of_list columns in
+  let sorted = List.sort_uniq compare columns in
+  if List.length sorted <> Array.length names then
+    invalid_arg "Trace.create: duplicate column";
+  { names; rows = []; n = 0 }
+
+let add t row =
+  if Array.length row <> Array.length t.names then
+    invalid_arg "Trace.add: row width mismatch";
+  t.rows <- Array.copy row :: t.rows;
+  t.n <- t.n + 1
+
+let length t = t.n
+let columns t = Array.to_list t.names
+
+let index t name =
+  let rec find i =
+    if i >= Array.length t.names then
+      invalid_arg (Printf.sprintf "Trace: unknown column %S" name)
+    else if t.names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let column t name =
+  let i = index t name in
+  let result = Array.make t.n 0. in
+  List.iteri (fun k row -> result.(t.n - 1 - k) <- row.(i)) t.rows;
+  result
+
+let column_slice t name ~from ~upto =
+  if from < 0 || upto > t.n || from >= upto then
+    invalid_arg "Trace.column_slice: bad range";
+  let all = column t name in
+  Array.sub all from (upto - from)
+
+let last t name =
+  match t.rows with
+  | [] -> invalid_arg "Trace.last: empty trace"
+  | row :: _ -> row.(index t name)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (Array.to_list t.names));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%.6g") row)));
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf

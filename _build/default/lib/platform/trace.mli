@@ -1,0 +1,29 @@
+(** Column-named time-series recorder for experiments.
+
+    Every evaluation run records one row per controller period; the bench
+    harness then pulls columns out to compute steady-state errors,
+    settling times and to print figure series. *)
+
+type t
+
+val create : columns:string list -> t
+(** Raises [Invalid_argument] on an empty or duplicated column list. *)
+
+val add : t -> float array -> unit
+(** Append a row; its length must match the column count. *)
+
+val length : t -> int
+val columns : t -> string list
+
+val column : t -> string -> float array
+(** Raises [Invalid_argument] on an unknown column name. *)
+
+val column_slice : t -> string -> from:int -> upto:int -> float array
+(** Samples with index in [from, upto) — e.g. one scenario phase.
+    Raises on an invalid range. *)
+
+val last : t -> string -> float
+(** Latest value of a column.  Raises on an empty trace. *)
+
+val to_csv : t -> string
+(** Header line plus one comma-separated line per row. *)

@@ -1,0 +1,1 @@
+lib/sysid/arx.ml: Array Dataset Format Matrix Spectr_control Spectr_linalg

@@ -1,0 +1,1 @@
+lib/sysid/arx.mli: Dataset Format Spectr_control Spectr_linalg

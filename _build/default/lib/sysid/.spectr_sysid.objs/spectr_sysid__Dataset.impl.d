@@ -1,0 +1,1 @@
+lib/sysid/dataset.ml: Array Spectr_linalg Stats

@@ -1,0 +1,1 @@
+lib/sysid/excitation.ml: Array Float List Spectr_linalg

@@ -1,0 +1,1 @@
+lib/sysid/guardband.ml: Array List Lqg Matrix Spectr_control Spectr_linalg Statespace

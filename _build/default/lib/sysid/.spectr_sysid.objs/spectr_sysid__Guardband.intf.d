@@ -1,0 +1,1 @@
+lib/sysid/guardband.mli: Spectr_control

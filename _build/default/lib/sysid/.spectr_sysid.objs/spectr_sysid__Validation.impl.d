@@ -1,0 +1,1 @@
+lib/sysid/validation.ml: Array Arx Dataset Float Format List Printf Spectr_linalg Stats

@@ -1,0 +1,1 @@
+lib/sysid/validation.mli: Arx Dataset Format

@@ -1,0 +1,40 @@
+open Spectr_linalg
+
+type t = { u : float array array; y : float array array }
+
+let create ~u ~y =
+  let n = Array.length u in
+  if n = 0 then invalid_arg "Dataset.create: empty";
+  if Array.length y <> n then invalid_arg "Dataset.create: length mismatch";
+  let m = Array.length u.(0) and p = Array.length y.(0) in
+  if m = 0 || p = 0 then invalid_arg "Dataset.create: zero channels";
+  Array.iter
+    (fun row -> if Array.length row <> m then invalid_arg "Dataset.create: ragged u")
+    u;
+  Array.iter
+    (fun row -> if Array.length row <> p then invalid_arg "Dataset.create: ragged y")
+    y;
+  { u; y }
+
+let length d = Array.length d.u
+let num_inputs d = Array.length d.u.(0)
+let num_outputs d = Array.length d.y.(0)
+
+let split d ~at =
+  if at <= 0. || at >= 1. then invalid_arg "Dataset.split: at not in (0,1)";
+  let n = length d in
+  let k = int_of_float (float_of_int n *. at) in
+  if k = 0 || k = n then invalid_arg "Dataset.split: empty partition";
+  ( { u = Array.sub d.u 0 k; y = Array.sub d.y 0 k },
+    { u = Array.sub d.u k (n - k); y = Array.sub d.y k (n - k) } )
+
+let output_channel d i = Array.map (fun row -> row.(i)) d.y
+let input_channel d i = Array.map (fun row -> row.(i)) d.u
+
+let normalize d =
+  let m = num_inputs d and p = num_outputs d in
+  let u_means = Array.init m (fun i -> Stats.mean (input_channel d i)) in
+  let y_means = Array.init p (fun i -> Stats.mean (output_channel d i)) in
+  let u = Array.map (fun row -> Array.mapi (fun i v -> v -. u_means.(i)) row) d.u in
+  let y = Array.map (fun row -> Array.mapi (fun i v -> v -. y_means.(i)) row) d.y in
+  ({ u; y }, (u_means, y_means))

@@ -1,0 +1,34 @@
+(** Identification datasets: paired input/output records.
+
+    A dataset is what one identification experiment on the platform
+    produces: at each control period the applied input vector and the
+    measured output vector. *)
+
+type t = private {
+  u : float array array;  (** [u.(t)] is the m-vector applied at step t. *)
+  y : float array array;  (** [y.(t)] is the p-vector measured at step t. *)
+}
+
+val create : u:float array array -> y:float array array -> t
+(** Raises [Invalid_argument] when lengths differ, the series is empty,
+    or rows are ragged. *)
+
+val length : t -> int
+val num_inputs : t -> int
+val num_outputs : t -> int
+
+val split : t -> at:float -> t * t
+(** [split d ~at:0.7] returns (estimation, validation) partitions — the
+    cross-validation split of §5.2.  [at] must be in (0, 1) and both
+    halves must be non-empty. *)
+
+val output_channel : t -> int -> float array
+(** Time series of one output channel. *)
+
+val input_channel : t -> int -> float array
+
+val normalize : t -> t * (float array * float array)
+(** Demean each channel (inputs and outputs) around the dataset mean —
+    identification is performed on deviations around the operating point.
+    Returns the normalized dataset and the (input-means, output-means)
+    used, which become the controller channel offsets. *)

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Automaton Compose Dot Event Format Hashtbl List Option Printf QCheck2 QCheck_alcotest Reach Spectr_automata String Synthesis Verify

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Float Kalman List Lqg Lqr Matrix Mimo Pid Prng QCheck2 QCheck_alcotest Spectr_control Spectr_linalg Statespace Stats

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Matrix Prng QCheck2 QCheck_alcotest Riccati Spectr_linalg Stats

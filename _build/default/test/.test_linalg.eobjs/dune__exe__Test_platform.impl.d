@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Benchmarks Float Heartbeats List Opp Perf_model Power_model Soc Spectr_platform Spectr_sysid Trace Workload

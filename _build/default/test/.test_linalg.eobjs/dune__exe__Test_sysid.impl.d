@@ -1,0 +1,1 @@
+test/test_sysid.ml: Alcotest Array Arx Dataset Excitation Float Guardband List Lqg Matrix Printf Prng Spectr_control Spectr_linalg Spectr_sysid Statespace Stats Validation

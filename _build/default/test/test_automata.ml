@@ -1,0 +1,696 @@
+(* Tests for the supervisory-control substrate: Event, Automaton, Compose,
+   Reach, Verify, Synthesis, Dot.
+
+   The running example is the classic "small factory": two machines and a
+   one-slot buffer.  Machine i: Idle -start_i-> Working -finish_i!-> Idle,
+   with breakdowns.  The buffer specification forces machine 2 to only
+   start when the buffer is full, and machine 1 to only deposit when it is
+   empty.  This exercises exactly the plant/spec/supcon pipeline SPECTR
+   uses for the Exynos case study. *)
+
+open Spectr_automata
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_basics () =
+  let e = Event.controllable "start" in
+  let u = Event.uncontrollable "break" in
+  check_string "name" "start" (Event.name e);
+  check_bool "controllable" true (Event.is_controllable e);
+  check_bool "uncontrollable" false (Event.is_controllable u)
+
+let test_event_order () =
+  let a = Event.controllable "a" and b = Event.controllable "b" in
+  check_bool "a < b" true (Event.compare a b < 0);
+  check_bool "equal" true (Event.equal a (Event.controllable "a"))
+
+let test_event_inconsistent_controllability () =
+  let a = Event.controllable "x" and b = Event.uncontrollable "x" in
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Event.compare: \"x\" has inconsistent controllability")
+    (fun () -> ignore (Event.compare a b))
+
+let test_event_pp () =
+  check_string "controllable" "go"
+    (Format.asprintf "%a" Event.pp (Event.controllable "go"));
+  check_string "uncontrollable" "boom!"
+    (Format.asprintf "%a" Event.pp (Event.uncontrollable "boom"))
+
+(* ------------------------------------------------------------------ *)
+(* Machine fixtures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let start1 = Event.controllable "start1"
+let finish1 = Event.uncontrollable "finish1"
+let start2 = Event.controllable "start2"
+let finish2 = Event.uncontrollable "finish2"
+
+let machine ~start ~finish n =
+  Automaton.create ~marked:[ "Idle" ]
+    ~name:(Printf.sprintf "M%d" n)
+    ~initial:"Idle"
+    ~transitions:[ ("Idle", start, "Working"); ("Working", finish, "Idle") ]
+    ()
+
+let m1 = machine ~start:start1 ~finish:finish1 1
+let m2 = machine ~start:start2 ~finish:finish2 2
+
+(* Buffer spec: finish1 fills the slot; start2 drains it.  Overflow
+   (finish1 when full) and underflow (start2 when empty) are forbidden by
+   omission. *)
+let buffer_spec =
+  Automaton.create ~marked:[ "Empty" ] ~name:"Buffer" ~initial:"Empty"
+    ~transitions:[ ("Empty", finish1, "Full"); ("Full", start2, "Empty") ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Automaton basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_automaton_counts () =
+  check_int "states" 2 (Automaton.num_states m1);
+  check_int "transitions" 2 (Automaton.num_transitions m1);
+  check_string "initial" "Idle" (Automaton.initial m1)
+
+let test_automaton_step () =
+  (match Automaton.step m1 "Idle" start1 with
+  | Some s -> check_string "step" "Working" s
+  | None -> Alcotest.fail "expected transition");
+  check_bool "undefined" true (Automaton.step m1 "Idle" finish1 = None)
+
+let test_automaton_unknown_state () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Automaton M1: unknown state \"Nope\"") (fun () ->
+      ignore (Automaton.step m1 "Nope" start1))
+
+let test_automaton_enabled () =
+  let evs = Automaton.enabled m1 "Idle" in
+  check_int "one enabled" 1 (List.length evs);
+  check_string "start1" "start1" (Event.name (List.hd evs))
+
+let test_automaton_nondeterminism_rejected () =
+  Alcotest.check_raises "nondet"
+    (Invalid_argument "Automaton bad: nondeterministic on \"e\" from state \"A\"")
+    (fun () ->
+      ignore
+        (Automaton.create ~name:"bad" ~initial:"A"
+           ~transitions:
+             [
+               ("A", Event.controllable "e", "B");
+               ("A", Event.controllable "e", "C");
+             ]
+           ()))
+
+let test_automaton_duplicate_transition_ok () =
+  let a =
+    Automaton.create ~name:"dup" ~initial:"A"
+      ~transitions:
+        [
+          ("A", Event.controllable "e", "B");
+          ("A", Event.controllable "e", "B");
+        ]
+      ()
+  in
+  check_int "deduplicated" 1 (Automaton.num_transitions a)
+
+let test_automaton_marked_default () =
+  let a =
+    Automaton.create ~name:"all-marked" ~initial:"A"
+      ~transitions:[ ("A", Event.controllable "e", "B") ]
+      ()
+  in
+  check_int "all marked" 2 (List.length (Automaton.marked a))
+
+let test_automaton_marked_explicit_empty () =
+  let a =
+    Automaton.create ~marked:[] ~name:"none-marked" ~initial:"A"
+      ~transitions:[ ("A", Event.controllable "e", "B") ]
+      ()
+  in
+  check_int "none marked" 0 (List.length (Automaton.marked a))
+
+let test_automaton_unknown_marked () =
+  Alcotest.check_raises "unknown marked"
+    (Invalid_argument "Automaton m: marked state \"Z\" unknown") (fun () ->
+      ignore
+        (Automaton.create ~marked:[ "Z" ] ~name:"m" ~initial:"A"
+           ~transitions:[] ()))
+
+let test_automaton_accepts () =
+  check_bool "empty word at marked initial" true (Automaton.accepts m1 []);
+  check_bool "start1 alone not marked" false (Automaton.accepts m1 [ start1 ]);
+  check_bool "start1 finish1" true (Automaton.accepts m1 [ start1; finish1 ]);
+  check_bool "undefined word" false (Automaton.accepts m1 [ finish1 ])
+
+let test_automaton_trace () =
+  (match Automaton.trace m1 [ start1 ] with
+  | Some s -> check_string "trace" "Working" s
+  | None -> Alcotest.fail "trace should be defined");
+  check_bool "bad trace" true (Automaton.trace m1 [ finish1 ] = None)
+
+let test_automaton_forbidden () =
+  let a =
+    Automaton.create ~forbidden:[ "Bad" ] ~name:"f" ~initial:"A"
+      ~transitions:[ ("A", Event.uncontrollable "oops", "Bad") ]
+      ()
+  in
+  check_bool "is_forbidden" true (Automaton.is_forbidden a "Bad");
+  check_bool "initial ok" false (Automaton.is_forbidden a "A");
+  check_int "forbidden list" 1 (List.length (Automaton.forbidden a))
+
+let test_relabel_states () =
+  let a = Automaton.relabel_states m1 (fun s -> "M1_" ^ s) in
+  check_string "initial renamed" "M1_Idle" (Automaton.initial a);
+  check_bool "isomorphic to original" true (Automaton.isomorphic a m1)
+
+let test_relabel_collision () =
+  Alcotest.check_raises "collision"
+    (Invalid_argument "Automaton.relabel_states: \"Idle\" and \"Working\" collide")
+    (fun () -> ignore (Automaton.relabel_states m1 (fun _ -> "X")))
+
+let test_isomorphic_negative () =
+  check_bool "different automata" false (Automaton.isomorphic m1 m2)
+
+let test_restrict_states () =
+  match Automaton.restrict_states m1 ~keep:(fun s -> s = "Idle") with
+  | None -> Alcotest.fail "initial kept"
+  | Some a ->
+      check_int "one state" 1 (Automaton.num_states a);
+      check_int "no transitions" 0 (Automaton.num_transitions a)
+
+let test_restrict_drop_initial () =
+  check_bool "dropping initial gives None" true
+    (Automaton.restrict_states m1 ~keep:(fun s -> s <> "Idle") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Composition                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_compose_interleaving () =
+  (* Disjoint alphabets: full interleaving, 2*2 = 4 states. *)
+  let c = Compose.pair m1 m2 in
+  check_int "4 states" 4 (Automaton.num_states c);
+  check_string "initial" "Idle.Idle" (Automaton.initial c);
+  (* each state has both private events enabled except when working *)
+  check_int "8 transitions" 8 (Automaton.num_transitions c)
+
+let test_compose_synchronization () =
+  (* Shared event must synchronize: M1 || Buffer — finish1 shared. *)
+  let c = Compose.pair m1 buffer_spec in
+  (* states: Idle.Empty, Working.Empty, Idle.Full, Working.Full *)
+  check_int "4 states" 4 (Automaton.num_states c);
+  (* finish1 only allowed when buffer empty *)
+  check_bool "finish1 blocked when full" true
+    (Automaton.step c "Working.Full" finish1 = None)
+
+let test_compose_marking () =
+  let c = Compose.pair m1 m2 in
+  check_bool "both idle marked" true (Automaton.is_marked c "Idle.Idle");
+  check_bool "working not marked" false (Automaton.is_marked c "Working.Idle")
+
+let test_compose_alphabet_union () =
+  let c = Compose.pair m1 buffer_spec in
+  check_int "alphabet 3" 3 (Event.Set.cardinal (Automaton.alphabet c))
+
+let test_compose_all () =
+  let c = Compose.all [ m1; m2; buffer_spec ] in
+  check_bool "nonempty" true (Automaton.num_states c > 0);
+  Alcotest.check_raises "empty list" (Invalid_argument "Compose.all: empty list")
+    (fun () -> ignore (Compose.all []))
+
+let test_compose_reachable_only () =
+  (* Composition builds only the reachable product: a self-synchronizing
+     pair where one component never moves keeps the other frozen too. *)
+  let e = Event.controllable "tick" in
+  let a =
+    Automaton.create ~name:"A" ~initial:"0"
+      ~transitions:[ ("0", e, "1"); ("1", e, "0") ] ()
+  in
+  let blocked = Automaton.create ~name:"B" ~initial:"Z" ~alphabet:[ e ] ~transitions:[] () in
+  let c = Compose.pair a blocked in
+  check_int "frozen product" 1 (Automaton.num_states c)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let unreachable_automaton =
+  Automaton.create ~marked:[ "A"; "Orphan" ] ~name:"unreach" ~initial:"A"
+    ~transitions:
+      [
+        ("A", Event.controllable "go", "B");
+        ("Orphan", Event.controllable "go", "A");
+        ("B", Event.controllable "back", "A");
+        ("B", Event.uncontrollable "die", "Dead");
+      ]
+    ()
+
+let test_accessible () =
+  let a = Reach.accessible unreachable_automaton in
+  check_bool "orphan removed" false (Automaton.mem_state a "Orphan");
+  check_int "3 states" 3 (Automaton.num_states a)
+
+let test_coaccessible () =
+  match Reach.coaccessible unreachable_automaton with
+  | None -> Alcotest.fail "initial is coaccessible"
+  | Some a ->
+      (* Dead cannot reach a marked state *)
+      check_bool "dead removed" false (Automaton.mem_state a "Dead");
+      check_bool "orphan kept (coaccessible)" true (Automaton.mem_state a "Orphan")
+
+let test_trim () =
+  match Reach.trim unreachable_automaton with
+  | None -> Alcotest.fail "trim nonempty"
+  | Some a ->
+      check_bool "dead removed" false (Automaton.mem_state a "Dead");
+      check_bool "orphan removed" false (Automaton.mem_state a "Orphan");
+      check_bool "is_trim" true (Reach.is_trim a)
+
+let test_trim_fixpoint () =
+  (* B only reaches marked A through C; when C is pruned as unreachable…
+     build a chain where trimming must iterate. *)
+  let a =
+    Automaton.create ~marked:[ "M" ] ~name:"chain" ~initial:"S"
+      ~transitions:
+        [
+          ("S", Event.controllable "a", "M");
+          ("S", Event.controllable "b", "B");
+          ("B", Event.controllable "c", "Dead");
+        ]
+      ()
+  in
+  match Reach.trim a with
+  | None -> Alcotest.fail "nonempty"
+  | Some t ->
+      check_bool "B pruned" false (Automaton.mem_state t "B");
+      check_bool "Dead pruned" false (Automaton.mem_state t "Dead");
+      check_int "2 states" 2 (Automaton.num_states t)
+
+let test_trim_empty () =
+  let a =
+    Automaton.create ~marked:[] ~name:"hopeless" ~initial:"S"
+      ~transitions:[ ("S", Event.controllable "x", "S") ]
+      ()
+  in
+  check_bool "no marked -> None" true (Reach.trim a = None)
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_nonblocking_positive () =
+  check_bool "machine nonblocking" true (Verify.is_nonblocking m1)
+
+let test_nonblocking_negative () =
+  let a =
+    Automaton.create ~marked:[ "A" ] ~name:"blocky" ~initial:"A"
+      ~transitions:[ ("A", Event.controllable "go", "Trap") ]
+      ()
+  in
+  match Verify.nonblocking a with
+  | Ok () -> Alcotest.fail "should block"
+  | Error { state } -> check_string "witness" "Trap" state
+
+let test_controllable_positive () =
+  (* A supervisor that only restricts the controllable start events. *)
+  let sup =
+    Automaton.create ~name:"sup" ~initial:"S"
+      ~transitions:
+        [
+          ("S", start1, "T");
+          ("T", finish1, "S");
+        ]
+      ()
+  in
+  let plant = m1 in
+  check_bool "controllable" true (Verify.is_controllable ~plant ~supervisor:sup)
+
+let test_controllable_negative () =
+  (* A supervisor that tries to disable an uncontrollable finish1.  The
+     event must be in the supervisor's alphabet: an event outside the
+     alphabet is implicitly always enabled. *)
+  let sup =
+    Automaton.create ~name:"sup" ~initial:"S" ~alphabet:[ finish1 ]
+      ~transitions:[ ("S", start1, "T") ]
+      ()
+  in
+  match Verify.controllable ~plant:m1 ~supervisor:sup with
+  | Ok () -> Alcotest.fail "should be uncontrollable"
+  | Error w ->
+      check_string "event" "finish1" (Event.name w.event);
+      check_string "plant state" "Working" w.plant_state
+
+let test_closed_loop () =
+  let sup =
+    Automaton.create ~name:"sup" ~initial:"S"
+      ~transitions:[ ("S", start1, "T"); ("T", finish1, "S") ]
+      ()
+  in
+  let cl = Verify.closed_loop ~plant:m1 ~supervisor:sup in
+  check_int "closed loop states" 2 (Automaton.num_states cl)
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_supcon_small_factory () =
+  let plant = Compose.pair m1 m2 in
+  match Synthesis.supcon ~plant ~spec:buffer_spec with
+  | Error _ -> Alcotest.fail "supervisor exists"
+  | Ok (sup, stats) ->
+      check_bool "nonblocking" true (Verify.is_nonblocking sup);
+      check_bool "controllable" true
+        (Verify.is_controllable ~plant ~supervisor:sup);
+      check_bool "some product states" true (stats.Synthesis.product_states > 0);
+      (* The supervisor must prevent buffer overflow: after start1;finish1
+         (buffer full), start1 must be disabled until start2 drains. *)
+      let after = Automaton.trace sup [ start1; finish1 ] in
+      (match after with
+      | None -> Alcotest.fail "word should survive"
+      | Some s ->
+          let enabled = Automaton.enabled sup s in
+          check_bool "start1 disabled when buffer full" false
+            (List.exists (fun e -> Event.name e = "start1") enabled);
+          check_bool "start2 enabled" true
+            (List.exists (fun e -> Event.name e = "start2") enabled))
+
+let test_supcon_forbidden_state () =
+  (* Plant: toggle between On and Overload via uncontrollable surge; a spec
+     forbidding Overload is unenforceable, but a spec forbidding the
+     controllable path is fine. *)
+  let surge = Event.uncontrollable "surge" in
+  let enable = Event.controllable "enable" in
+  let plant =
+    Automaton.create ~marked:[ "Off" ] ~name:"P" ~initial:"Off"
+      ~transitions:[ ("Off", enable, "On"); ("On", surge, "Overload") ]
+      ()
+  in
+  (* Spec with forbidden state reached by the uncontrollable surge: the
+     supervisor must then never enable the machine at all. *)
+  let spec =
+    Automaton.create ~marked:[ "Off" ] ~forbidden:[ "Boom" ] ~name:"S"
+      ~initial:"Off"
+      ~transitions:[ ("Off", enable, "On"); ("On", surge, "Boom") ]
+      ()
+  in
+  match Synthesis.supcon ~plant ~spec with
+  | Error _ -> Alcotest.fail "empty: supervisor could just never enable"
+  | Ok (sup, stats) ->
+      check_bool "never enables" true
+        (Automaton.trace sup [ enable ] = None);
+      check_bool "removed forbidden" true (stats.Synthesis.removed_forbidden >= 1);
+      check_bool "nonblocking" true (Verify.is_nonblocking sup)
+
+let test_supcon_empty () =
+  (* The initial state itself uncontrollably reaches the forbidden state:
+     no supervisor exists. *)
+  let surge = Event.uncontrollable "surge" in
+  let plant =
+    Automaton.create ~marked:[ "Off" ] ~name:"P" ~initial:"Off"
+      ~transitions:[ ("Off", surge, "Dead") ]
+      ()
+  in
+  let spec =
+    Automaton.create ~marked:[ "Off" ] ~forbidden:[ "Dead" ] ~name:"S"
+      ~initial:"Off"
+      ~transitions:[ ("Off", surge, "Dead") ]
+      ()
+  in
+  match Synthesis.supcon ~plant ~spec with
+  | Error Synthesis.Empty_supervisor -> ()
+  | Ok _ -> Alcotest.fail "expected empty supervisor"
+
+let test_supcon_exn () =
+  let plant = Compose.pair m1 m2 in
+  let sup = Synthesis.supcon_exn ~plant ~spec:buffer_spec in
+  check_bool "nonempty" true (Automaton.num_states sup > 0)
+
+let test_supcon_maximally_permissive_when_spec_loose () =
+  (* A spec equal to the plant's own behaviour removes nothing. *)
+  let spec = Automaton.rename m1 "spec" in
+  match Synthesis.supcon ~plant:m1 ~spec with
+  | Error _ -> Alcotest.fail "nonempty"
+  | Ok (sup, _) ->
+      check_bool "language preserved" true
+        (Automaton.accepts sup [ start1; finish1 ]
+        && Automaton.trace sup [ start1 ] <> None)
+
+(* qcheck: synthesized supervisors are always controllable + nonblocking *)
+
+let gen_plant_spec =
+  let open QCheck2.Gen in
+  let events =
+    [|
+      Event.controllable "c1";
+      Event.controllable "c2";
+      Event.uncontrollable "u1";
+      Event.uncontrollable "u2";
+    |]
+  in
+  let state i = Printf.sprintf "s%d" i in
+  let gen_auto name n_states n_trans ~with_forbidden =
+    let* trans =
+      list_size (return n_trans)
+        (let* s = int_range 0 (n_states - 1) in
+         let* d = int_range 0 (n_states - 1) in
+         let* e = int_range 0 (Array.length events - 1) in
+         return (state s, events.(e), state d))
+    in
+    let* marked_idx = int_range 0 (n_states - 1) in
+    let* forbidden_idx =
+      if with_forbidden then map Option.some (int_range 1 (n_states - 1))
+      else return None
+    in
+    (* Deduplicate nondeterministic transitions: keep first per (src,event) *)
+    let seen = Hashtbl.create 16 in
+    let trans =
+      List.filter
+        (fun (s, e, _) ->
+          let k = (s, Event.name e) in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        trans
+    in
+    let states_mentioned =
+      List.concat_map (fun (s, _, d) -> [ s; d ]) trans @ [ state 0 ]
+    in
+    let marked =
+      if List.mem (state marked_idx) states_mentioned then [ state marked_idx ]
+      else [ state 0 ]
+    in
+    let forbidden =
+      match forbidden_idx with
+      | Some i when List.mem (state i) states_mentioned && not (List.mem (state i) marked)
+        -> [ state i ]
+      | _ -> []
+    in
+    return
+      (Automaton.create ~marked ~forbidden ~name ~initial:(state 0)
+         ~transitions:trans ())
+  in
+  let* plant = gen_auto "G" 4 8 ~with_forbidden:false in
+  let* spec = gen_auto "E" 3 6 ~with_forbidden:true in
+  return (plant, spec)
+
+let prop_supcon_sound =
+  QCheck2.Test.make ~name:"supcon is controllable+nonblocking+trim" ~count:300
+    gen_plant_spec (fun (plant, spec) ->
+      match Synthesis.supcon ~plant ~spec with
+      | Error Synthesis.Empty_supervisor -> true
+      | Ok (sup, _) ->
+          Verify.is_nonblocking sup
+          && Verify.is_controllable ~plant ~supervisor:sup
+          && Reach.is_trim sup
+          &&
+          (* never contains a forbidden state *)
+          List.for_all
+            (fun s -> not (Automaton.is_forbidden sup s))
+            (Automaton.states sup))
+
+let prop_compose_commutative_language =
+  QCheck2.Test.make ~name:"A||B isomorphic to B||A up to naming" ~count:100
+    gen_plant_spec (fun (a, b) ->
+      let ab = Compose.pair a b in
+      let ba = Compose.pair b a in
+      (* swap names "x.y" -> "y.x" to compare *)
+      let swap s =
+        match String.index_opt s '.' with
+        | Some i ->
+            String.sub s (i + 1) (String.length s - i - 1)
+            ^ "." ^ String.sub s 0 i
+        | None -> s
+      in
+      Automaton.isomorphic ab (Automaton.relabel_states ba swap))
+
+let prop_supcon_language_within_plant =
+  (* Every word the supervisor accepts must be executable by the plant:
+     supervision only restricts. *)
+  QCheck2.Test.make ~name:"supcon language ⊆ plant language" ~count:150
+    gen_plant_spec (fun (plant, spec) ->
+      match Synthesis.supcon ~plant ~spec with
+      | Error Synthesis.Empty_supervisor -> true
+      | Ok (sup, _) ->
+          (* enumerate all supervisor paths up to depth 4 *)
+          let rec walk state plant_state depth =
+            depth = 0
+            || List.for_all
+                 (fun e ->
+                   match Automaton.step sup state e with
+                   | None -> true
+                   | Some next -> (
+                       match Automaton.step plant plant_state e with
+                       | None -> Event.Set.mem e (Automaton.alphabet plant) = false
+                       | Some pnext -> walk next pnext (depth - 1)))
+                 (Automaton.enabled sup state)
+          in
+          walk (Automaton.initial sup) (Automaton.initial plant) 4)
+
+let prop_compose_associative =
+  (* Left- and right-nested compositions agree up to the flat dot-joined
+     state naming both produce. *)
+  QCheck2.Test.make ~name:"(A||B)||C isomorphic to A||(B||C)" ~count:60
+    QCheck2.Gen.(pair gen_plant_spec gen_plant_spec)
+    (fun ((a, b), (c, _)) ->
+      let left = Compose.pair (Compose.pair a b) c in
+      let right = Compose.pair a (Compose.pair b c) in
+      Automaton.isomorphic left right)
+
+let prop_trim_idempotent =
+  QCheck2.Test.make ~name:"trim idempotent" ~count:100 gen_plant_spec
+    (fun (a, _) ->
+      match Reach.trim a with
+      | None -> true
+      | Some t -> (
+          match Reach.trim t with
+          | None -> false
+          | Some t' -> Automaton.num_states t = Automaton.num_states t'))
+
+(* ------------------------------------------------------------------ *)
+(* Dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dot_output () =
+  let dot = Dot.to_dot m1 in
+  check_bool "digraph" true
+    (String.length dot > 0
+    && String.sub dot 0 7 = "digraph");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has initial arrow" true (contains "__init ->" dot);
+  check_bool "uncontrollable marked" true (contains "finish1!" dot);
+  check_bool "doublecircle for marked" true (contains "doublecircle" dot)
+
+let test_dot_forbidden_rendering () =
+  let a =
+    Automaton.create ~forbidden:[ "Bad" ] ~name:"f" ~initial:"A"
+      ~transitions:[ ("A", Event.uncontrollable "oops", "Bad") ]
+      ()
+  in
+  let dot = Dot.to_dot a in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "red box" true (contains "color=red" dot)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "spectr_automata"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "basics" `Quick test_event_basics;
+          Alcotest.test_case "ordering" `Quick test_event_order;
+          Alcotest.test_case "inconsistent controllability" `Quick
+            test_event_inconsistent_controllability;
+          Alcotest.test_case "pretty printing" `Quick test_event_pp;
+        ] );
+      ( "automaton",
+        [
+          Alcotest.test_case "counts" `Quick test_automaton_counts;
+          Alcotest.test_case "step" `Quick test_automaton_step;
+          Alcotest.test_case "unknown state" `Quick test_automaton_unknown_state;
+          Alcotest.test_case "enabled" `Quick test_automaton_enabled;
+          Alcotest.test_case "nondeterminism rejected" `Quick
+            test_automaton_nondeterminism_rejected;
+          Alcotest.test_case "duplicate transitions ok" `Quick
+            test_automaton_duplicate_transition_ok;
+          Alcotest.test_case "marked default" `Quick test_automaton_marked_default;
+          Alcotest.test_case "marked explicit empty" `Quick
+            test_automaton_marked_explicit_empty;
+          Alcotest.test_case "unknown marked" `Quick test_automaton_unknown_marked;
+          Alcotest.test_case "accepts" `Quick test_automaton_accepts;
+          Alcotest.test_case "trace" `Quick test_automaton_trace;
+          Alcotest.test_case "forbidden" `Quick test_automaton_forbidden;
+          Alcotest.test_case "relabel" `Quick test_relabel_states;
+          Alcotest.test_case "relabel collision" `Quick test_relabel_collision;
+          Alcotest.test_case "isomorphic negative" `Quick test_isomorphic_negative;
+          Alcotest.test_case "restrict" `Quick test_restrict_states;
+          Alcotest.test_case "restrict drops initial" `Quick
+            test_restrict_drop_initial;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "interleaving" `Quick test_compose_interleaving;
+          Alcotest.test_case "synchronization" `Quick test_compose_synchronization;
+          Alcotest.test_case "marking" `Quick test_compose_marking;
+          Alcotest.test_case "alphabet union" `Quick test_compose_alphabet_union;
+          Alcotest.test_case "compose all" `Quick test_compose_all;
+          Alcotest.test_case "reachable only" `Quick test_compose_reachable_only;
+          qc prop_compose_commutative_language;
+          qc prop_compose_associative;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "accessible" `Quick test_accessible;
+          Alcotest.test_case "coaccessible" `Quick test_coaccessible;
+          Alcotest.test_case "trim" `Quick test_trim;
+          Alcotest.test_case "trim fixpoint" `Quick test_trim_fixpoint;
+          Alcotest.test_case "trim empty" `Quick test_trim_empty;
+          qc prop_trim_idempotent;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "nonblocking positive" `Quick
+            test_nonblocking_positive;
+          Alcotest.test_case "nonblocking negative" `Quick
+            test_nonblocking_negative;
+          Alcotest.test_case "controllable positive" `Quick
+            test_controllable_positive;
+          Alcotest.test_case "controllable negative" `Quick
+            test_controllable_negative;
+          Alcotest.test_case "closed loop" `Quick test_closed_loop;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "small factory" `Quick test_supcon_small_factory;
+          Alcotest.test_case "forbidden state" `Quick test_supcon_forbidden_state;
+          Alcotest.test_case "empty supervisor" `Quick test_supcon_empty;
+          Alcotest.test_case "supcon_exn" `Quick test_supcon_exn;
+          Alcotest.test_case "loose spec permissive" `Quick
+            test_supcon_maximally_permissive_when_spec_loose;
+          qc prop_supcon_sound;
+          qc prop_supcon_language_within_plant;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+          Alcotest.test_case "forbidden rendering" `Quick
+            test_dot_forbidden_rendering;
+        ] );
+    ]

@@ -1,0 +1,510 @@
+(* Tests for the numerical substrate: Matrix, Riccati, Stats, Prng. *)
+
+open Spectr_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let matrix_testable =
+  Alcotest.testable Matrix.pp (fun a b -> Matrix.equal ~tol:1e-9 a b)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix: construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_fill () =
+  let m = Matrix.create ~rows:2 ~cols:3 1.5 in
+  check_int "rows" 2 (Matrix.rows m);
+  check_int "cols" 3 (Matrix.cols m);
+  check_float "entry" 1.5 (Matrix.get m 1 2)
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero rows" (Invalid_argument "Matrix.create: dimensions 0x3")
+    (fun () -> ignore (Matrix.create ~rows:0 ~cols:3 0.))
+
+let test_identity () =
+  let i3 = Matrix.identity 3 in
+  check_float "diag" 1. (Matrix.get i3 1 1);
+  check_float "off" 0. (Matrix.get i3 0 2)
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_arrays: ragged")
+    (fun () -> ignore (Matrix.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_of_list_roundtrip () =
+  let m = Matrix.of_list [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let a = Matrix.to_arrays m in
+  check_float "0,0" 1. a.(0).(0);
+  check_float "1,1" 4. a.(1).(1)
+
+let test_vectors () =
+  let r = Matrix.row_vector [| 1.; 2.; 3. |] in
+  let c = Matrix.col_vector [| 1.; 2.; 3. |] in
+  check_int "row shape" 1 (Matrix.rows r);
+  check_int "col shape" 3 (Matrix.rows c);
+  Alcotest.check matrix_testable "transpose" c (Matrix.transpose r)
+
+let test_diagonal () =
+  let d = Matrix.diagonal [| 2.; 3. |] in
+  check_float "d00" 2. (Matrix.get d 0 0);
+  check_float "d01" 0. (Matrix.get d 0 1);
+  check_float "d11" 3. (Matrix.get d 1 1)
+
+let test_to_scalar () =
+  check_float "1x1" 7. (Matrix.to_scalar (Matrix.of_list [ [ 7. ] ]));
+  Alcotest.check_raises "2x1" (Invalid_argument "Matrix.to_scalar: not a 1x1 matrix")
+    (fun () -> ignore (Matrix.to_scalar (Matrix.col_vector [| 1.; 2. |])))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix: algebra                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let m22 a b c d = Matrix.of_list [ [ a; b ]; [ c; d ] ]
+
+let test_add_sub () =
+  let a = m22 1. 2. 3. 4. and b = m22 5. 6. 7. 8. in
+  Alcotest.check matrix_testable "a+b" (m22 6. 8. 10. 12.) (Matrix.add a b);
+  Alcotest.check matrix_testable "a+b-b" a (Matrix.sub (Matrix.add a b) b)
+
+let test_mul_known () =
+  let a = m22 1. 2. 3. 4. and b = m22 5. 6. 7. 8. in
+  Alcotest.check matrix_testable "product" (m22 19. 22. 43. 50.) (Matrix.mul a b)
+
+let test_mul_identity () =
+  let a = m22 1. 2. 3. 4. in
+  Alcotest.check matrix_testable "a*I" a (Matrix.mul a (Matrix.identity 2));
+  Alcotest.check matrix_testable "I*a" a (Matrix.mul (Matrix.identity 2) a)
+
+let test_mul_mismatch () =
+  Alcotest.check_raises "2x2 * 3x1" (Invalid_argument "Matrix.mul: 2x2 * 3x1")
+    (fun () ->
+      ignore (Matrix.mul (Matrix.identity 2) (Matrix.col_vector [| 1.; 2.; 3. |])))
+
+let test_mul_rectangular () =
+  let a = Matrix.of_list [ [ 1.; 2.; 3. ] ] in
+  let b = Matrix.col_vector [| 4.; 5.; 6. |] in
+  check_float "dot" 32. (Matrix.to_scalar (Matrix.mul a b))
+
+let test_scale_neg () =
+  let a = m22 1. (-2.) 3. 4. in
+  Alcotest.check matrix_testable "scale" (m22 2. (-4.) 6. 8.) (Matrix.scale 2. a);
+  Alcotest.check matrix_testable "neg" (Matrix.scale (-1.) a) (Matrix.neg a)
+
+let test_transpose_involution () =
+  let a = Matrix.of_list [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  Alcotest.check matrix_testable "ttB" a (Matrix.transpose (Matrix.transpose a))
+
+let test_hcat_vcat () =
+  let a = m22 1. 2. 3. 4. in
+  let h = Matrix.hcat a a in
+  let v = Matrix.vcat a a in
+  check_int "hcat cols" 4 (Matrix.cols h);
+  check_int "vcat rows" 4 (Matrix.rows v);
+  check_float "hcat entry" 2. (Matrix.get h 0 3);
+  check_float "vcat entry" 3. (Matrix.get v 3 0)
+
+let test_block () =
+  let a = m22 1. 2. 3. 4. in
+  let z = Matrix.zeros ~rows:2 ~cols:2 in
+  let blk = Matrix.block [| [| a; z |]; [| z; a |] |] in
+  check_int "size" 4 (Matrix.rows blk);
+  check_float "top-left" 1. (Matrix.get blk 0 0);
+  check_float "bottom-right" 4. (Matrix.get blk 3 3);
+  check_float "off-block" 0. (Matrix.get blk 0 2)
+
+let test_submatrix () =
+  let a = Matrix.init ~rows:4 ~cols:4 (fun i j -> float_of_int ((i * 4) + j)) in
+  let s = Matrix.submatrix a ~row:1 ~col:2 ~rows:2 ~cols:2 in
+  check_float "s00" 6. (Matrix.get s 0 0);
+  check_float "s11" 11. (Matrix.get s 1 1)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix: solving                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_known () =
+  (* x + y = 3; 2x - y = 0  =>  x = 1, y = 2 *)
+  let a = m22 1. 1. 2. (-1.) in
+  let b = Matrix.col_vector [| 3.; 0. |] in
+  let x = Matrix.solve a b in
+  check_float "x" 1. (Matrix.get x 0 0);
+  check_float "y" 2. (Matrix.get x 1 0)
+
+let test_solve_singular () =
+  let a = m22 1. 2. 2. 4. in
+  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular") (fun () ->
+      ignore (Matrix.solve a (Matrix.identity 2)))
+
+let test_inverse_known () =
+  let a = m22 4. 7. 2. 6. in
+  let expected = m22 0.6 (-0.7) (-0.2) 0.4 in
+  Alcotest.check matrix_testable "inverse" expected (Matrix.inverse a)
+
+let test_inverse_needs_pivot () =
+  (* Leading zero forces a row swap. *)
+  let a = m22 0. 1. 1. 0. in
+  Alcotest.check matrix_testable "swap inverse" a (Matrix.inverse a)
+
+let test_determinant () =
+  check_float "det 2x2" (-2.) (Matrix.determinant (m22 1. 2. 3. 4.));
+  check_float "det I" 1. (Matrix.determinant (Matrix.identity 5));
+  check_float "det singular" 0. (Matrix.determinant (m22 1. 2. 2. 4.))
+
+let test_norms () =
+  let a = m22 3. 4. 0. 0. in
+  check_float "frobenius" 5. (Matrix.frobenius_norm a);
+  check_float "max_abs" 4. (Matrix.max_abs a)
+
+let test_predicates () =
+  check_bool "symmetric" true (Matrix.is_symmetric (m22 1. 2. 2. 5.));
+  check_bool "asymmetric" false (Matrix.is_symmetric (m22 1. 2. 3. 5.));
+  check_float "trace" 6. (Matrix.trace (m22 1. 2. 3. 5.))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix: properties (qcheck)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_matrix n =
+  QCheck2.Gen.(
+    array_size (return (n * n)) (float_range (-10.) 10.)
+    |> map (fun data -> Matrix.init ~rows:n ~cols:n (fun i j -> data.((i * n) + j))))
+
+let prop_transpose_distributes_mul =
+  QCheck2.Test.make ~name:"(AB)' = B'A'" ~count:100
+    QCheck2.Gen.(pair (gen_matrix 3) (gen_matrix 3))
+    (fun (a, b) ->
+      Matrix.equal ~tol:1e-6
+        (Matrix.transpose (Matrix.mul a b))
+        (Matrix.mul (Matrix.transpose b) (Matrix.transpose a)))
+
+let prop_add_commutes =
+  QCheck2.Test.make ~name:"A+B = B+A" ~count:100
+    QCheck2.Gen.(pair (gen_matrix 4) (gen_matrix 4))
+    (fun (a, b) -> Matrix.equal (Matrix.add a b) (Matrix.add b a))
+
+let prop_mul_associative =
+  QCheck2.Test.make ~name:"(AB)C = A(BC)" ~count:100
+    QCheck2.Gen.(triple (gen_matrix 3) (gen_matrix 3) (gen_matrix 3))
+    (fun (a, b, c) ->
+      Matrix.equal ~tol:1e-4
+        (Matrix.mul (Matrix.mul a b) c)
+        (Matrix.mul a (Matrix.mul b c)))
+
+let prop_solve_solves =
+  QCheck2.Test.make ~name:"A * solve(A,b) = b (well-conditioned A)" ~count:100
+    QCheck2.Gen.(pair (gen_matrix 3) (array_size (return 3) (float_range (-10.) 10.)))
+    (fun (a, bv) ->
+      (* Shift the diagonal to make A diagonally dominant (avoids
+         near-singular random draws). *)
+      let a = Matrix.add a (Matrix.scale 50. (Matrix.identity 3)) in
+      let b = Matrix.col_vector bv in
+      let x = Matrix.solve a b in
+      Matrix.equal ~tol:1e-6 (Matrix.mul a x) b)
+
+let prop_inverse_roundtrip =
+  QCheck2.Test.make ~name:"A * A^-1 = I (well-conditioned A)" ~count:100
+    (gen_matrix 4)
+    (fun a ->
+      let a = Matrix.add a (Matrix.scale 50. (Matrix.identity 4)) in
+      Matrix.equal ~tol:1e-6 (Matrix.mul a (Matrix.inverse a)) (Matrix.identity 4))
+
+(* ------------------------------------------------------------------ *)
+(* Riccati                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dare_scalar () =
+  (* Scalar DARE with a=0.5, b=1, q=1, r=1:
+     p = a²p − a²p²/(r+p) + q.  Solve quadratically: p ≈ 1.1861407. *)
+  let a = Matrix.of_list [ [ 0.5 ] ]
+  and b = Matrix.of_list [ [ 1. ] ]
+  and q = Matrix.identity 1
+  and r = Matrix.identity 1 in
+  match Riccati.solve ~a ~b ~q ~r () with
+  | Error e -> Alcotest.failf "DARE failed: %a" Riccati.pp_error e
+  | Ok p ->
+      let pv = Matrix.to_scalar p in
+      (* verify the fixed point directly *)
+      let rhs = (0.25 *. pv) -. (0.25 *. pv *. pv /. (1. +. pv)) +. 1. in
+      check_float_loose "fixed point" pv rhs
+
+let test_dare_residual () =
+  let a = Matrix.of_list [ [ 0.9; 0.1 ]; [ 0.; 0.8 ] ] in
+  let b = Matrix.of_list [ [ 1.; 0. ]; [ 0.; 1. ] ] in
+  let q = Matrix.identity 2 in
+  let r = Matrix.scale 0.5 (Matrix.identity 2) in
+  match Riccati.solve ~a ~b ~q ~r () with
+  | Error e -> Alcotest.failf "DARE failed: %a" Riccati.pp_error e
+  | Ok p ->
+      check_bool "residual small" true (Riccati.residual ~a ~b ~q ~r p < 1e-8);
+      check_bool "symmetric" true (Matrix.is_symmetric ~tol:1e-8 p)
+
+let test_dare_dimension_mismatch () =
+  let a = Matrix.identity 2
+  and b = Matrix.col_vector [| 1.; 1. |]
+  and q = Matrix.identity 3
+  and r = Matrix.identity 1 in
+  match Riccati.solve ~a ~b ~q ~r () with
+  | Error (Riccati.Dimension_mismatch _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Dimension_mismatch"
+
+let test_dare_stabilizing () =
+  (* Unstable plant a=1.2 must be stabilized: |a - b*k| < 1 where
+     k = (r + b'pb)^-1 b'pa. *)
+  let a = Matrix.of_list [ [ 1.2 ] ]
+  and b = Matrix.of_list [ [ 1. ] ]
+  and q = Matrix.identity 1
+  and r = Matrix.identity 1 in
+  match Riccati.solve ~a ~b ~q ~r () with
+  | Error e -> Alcotest.failf "DARE failed: %a" Riccati.pp_error e
+  | Ok p ->
+      let pv = Matrix.to_scalar p in
+      let k = pv *. 1.2 /. (1. +. pv) in
+      check_bool "closed loop stable" true (abs_float (1.2 -. k) < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mean_std () =
+  let x = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean x);
+  check_float "std" 2. (Stats.std x)
+
+let test_autocorrelation_lag0 () =
+  let x = [| 1.; 3.; 2.; 5.; 4. |] in
+  check_float "lag 0 is 1" 1. (Stats.autocorrelation x 0)
+
+let test_autocorrelation_symmetric () =
+  let x = [| 1.; 3.; 2.; 5.; 4.; 6.; 2. |] in
+  check_float "lag +-2 equal" (Stats.autocorrelation x 2)
+    (Stats.autocorrelation x (-2))
+
+let test_autocorrelation_alternating () =
+  (* A perfectly alternating series has lag-1 autocorrelation -1. *)
+  let x = Array.init 100 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  check_float_loose "lag1" (-0.99) (Stats.autocorrelation x 1)
+
+let test_autocorrelation_constant () =
+  check_float "zero variance" 0. (Stats.autocorrelation (Array.make 10 3.) 1)
+
+let test_autocorrelations_shape () =
+  let x = Array.init 50 float_of_int in
+  let acs = Stats.autocorrelations x ~max_lag:5 in
+  check_int "count" 11 (Array.length acs);
+  let lag, v = acs.(5) in
+  check_int "center lag" 0 lag;
+  check_float "center value" 1. v
+
+let test_confidence_interval () =
+  check_float_loose "n=100" 0.2576 (Stats.confidence_interval_99 100)
+
+let test_r_squared_perfect () =
+  let x = [| 1.; 2.; 3. |] in
+  check_float "perfect" 1. (Stats.r_squared ~actual:x ~predicted:x)
+
+let test_r_squared_mean_predictor () =
+  let actual = [| 1.; 2.; 3.; 4. |] in
+  let predicted = Array.make 4 2.5 in
+  check_float "mean predictor gives 0" 0. (Stats.r_squared ~actual ~predicted)
+
+let test_fit_percent () =
+  let x = [| 1.; 2.; 3. |] in
+  check_float "identical" 100. (Stats.fit_percent ~actual:x ~predicted:x)
+
+let test_rmse () =
+  check_float "rmse" 1.
+    (Stats.rmse ~actual:[| 0.; 0. |] ~predicted:[| 1.; -1. |])
+
+let test_percentile () =
+  let x = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.percentile x 50.);
+  check_float "p0" 1. (Stats.percentile x 0.);
+  check_float "p100" 5. (Stats.percentile x 100.);
+  check_float "p25" 2. (Stats.percentile x 25.)
+
+let test_steady_state_error () =
+  let measured = [| 0.; 0.; 55.; 55.; 55. |] in
+  (* last 3 samples average 55 against reference 60 -> +8.333 % *)
+  check_float_loose "sse" (100. *. 5. /. 60.)
+    (Stats.steady_state_error ~reference:60. ~measured ~tail:3)
+
+let test_steady_state_error_negative () =
+  let measured = [| 6.; 6.; 6. |] in
+  check_float_loose "exceeding" (-20.)
+    (Stats.steady_state_error ~reference:5. ~measured ~tail:3)
+
+let test_settling_time () =
+  (* 5 % band around 60 is [57,63]: the last violation is 50 at index 2,
+     so the series settles at index 3, i.e. t = 1.5 s with dt = 0.5. *)
+  let y = [| 0.; 30.; 50.; 58.; 59.; 60.; 60.; 60. |] in
+  (match Stats.settling_time ~reference:60. ~band:0.05 ~dt:0.5 y with
+  | Some t -> check_float "settles at 1.5s" 1.5 t
+  | None -> Alcotest.fail "should settle");
+  match Stats.settling_time ~reference:60. ~band:0.01 ~dt:0.5 [| 0.; 1. |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should not settle"
+
+let prop_autocorrelation_bounded =
+  QCheck2.Test.make ~name:"|autocorrelation| <= 1" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 3 64) (float_range (-100.) 100.))
+        (int_range 0 2))
+    (fun (x, k) ->
+      QCheck2.assume (k < Array.length x);
+      abs_float (Stats.autocorrelation x k) <= 1. +. 1e-9)
+
+let prop_rmse_nonnegative =
+  QCheck2.Test.make ~name:"rmse >= 0" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (return 16) (float_range (-5.) 5.))
+        (array_size (return 16) (float_range (-5.) 5.)))
+    (fun (a, p) -> Stats.rmse ~actual:a ~predicted:p >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    check_float "same stream" (Prng.float a) (Prng.float b)
+  done
+
+let test_prng_distinct_seeds () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  check_bool "different first draw" true (Prng.float a <> Prng.float b)
+
+let test_prng_float_range () =
+  let g = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Prng.float g in
+    check_bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_prng_uniform () =
+  let g = Prng.create 7L in
+  for _ = 1 to 100 do
+    let x = Prng.uniform g ~lo:2. ~hi:3. in
+    check_bool "in [2,3)" true (x >= 2. && x < 3.)
+  done
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create 11L in
+  let xs = Array.init 20_000 (fun _ -> Prng.gaussian g ~mu:5. ~sigma:2.) in
+  check_bool "mean near 5" true (abs_float (Stats.mean xs -. 5.) < 0.1);
+  check_bool "std near 2" true (abs_float (Stats.std xs -. 2.) < 0.1)
+
+let test_prng_split_independent () =
+  let g = Prng.create 3L in
+  let h = Prng.split g in
+  let a = Prng.float g and b = Prng.float h in
+  check_bool "split streams differ" true (a <> b)
+
+let test_prng_int () =
+  let g = Prng.create 5L in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 10 in
+    check_bool "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "spectr_linalg"
+    [
+      ( "matrix-construction",
+        [
+          Alcotest.test_case "create fill" `Quick test_create_fill;
+          Alcotest.test_case "invalid dims" `Quick test_create_invalid;
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "ragged rejected" `Quick test_of_arrays_ragged;
+          Alcotest.test_case "of_list roundtrip" `Quick test_of_list_roundtrip;
+          Alcotest.test_case "row/col vectors" `Quick test_vectors;
+          Alcotest.test_case "diagonal" `Quick test_diagonal;
+          Alcotest.test_case "to_scalar" `Quick test_to_scalar;
+        ] );
+      ( "matrix-algebra",
+        [
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "mul identity" `Quick test_mul_identity;
+          Alcotest.test_case "mul mismatch" `Quick test_mul_mismatch;
+          Alcotest.test_case "mul rectangular" `Quick test_mul_rectangular;
+          Alcotest.test_case "scale/neg" `Quick test_scale_neg;
+          Alcotest.test_case "transpose involution" `Quick
+            test_transpose_involution;
+          Alcotest.test_case "hcat/vcat" `Quick test_hcat_vcat;
+          Alcotest.test_case "block" `Quick test_block;
+          Alcotest.test_case "submatrix" `Quick test_submatrix;
+        ] );
+      ( "matrix-solve",
+        [
+          Alcotest.test_case "solve known" `Quick test_solve_known;
+          Alcotest.test_case "solve singular" `Quick test_solve_singular;
+          Alcotest.test_case "inverse known" `Quick test_inverse_known;
+          Alcotest.test_case "inverse pivot" `Quick test_inverse_needs_pivot;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+          Alcotest.test_case "norms" `Quick test_norms;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+        ] );
+      ( "matrix-properties",
+        [
+          qc prop_transpose_distributes_mul;
+          qc prop_add_commutes;
+          qc prop_mul_associative;
+          qc prop_solve_solves;
+          qc prop_inverse_roundtrip;
+        ] );
+      ( "riccati",
+        [
+          Alcotest.test_case "scalar DARE" `Quick test_dare_scalar;
+          Alcotest.test_case "2x2 residual" `Quick test_dare_residual;
+          Alcotest.test_case "dimension mismatch" `Quick
+            test_dare_dimension_mismatch;
+          Alcotest.test_case "stabilizing" `Quick test_dare_stabilizing;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/std" `Quick test_mean_std;
+          Alcotest.test_case "autocorr lag0" `Quick test_autocorrelation_lag0;
+          Alcotest.test_case "autocorr symmetric" `Quick
+            test_autocorrelation_symmetric;
+          Alcotest.test_case "autocorr alternating" `Quick
+            test_autocorrelation_alternating;
+          Alcotest.test_case "autocorr constant" `Quick
+            test_autocorrelation_constant;
+          Alcotest.test_case "autocorrelations shape" `Quick
+            test_autocorrelations_shape;
+          Alcotest.test_case "99% confidence" `Quick test_confidence_interval;
+          Alcotest.test_case "R2 perfect" `Quick test_r_squared_perfect;
+          Alcotest.test_case "R2 mean predictor" `Quick
+            test_r_squared_mean_predictor;
+          Alcotest.test_case "fit percent" `Quick test_fit_percent;
+          Alcotest.test_case "rmse" `Quick test_rmse;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "steady-state error" `Quick
+            test_steady_state_error;
+          Alcotest.test_case "steady-state negative" `Quick
+            test_steady_state_error_negative;
+          Alcotest.test_case "settling time" `Quick test_settling_time;
+          qc prop_autocorrelation_bounded;
+          qc prop_rmse_nonnegative;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "distinct seeds" `Quick test_prng_distinct_seeds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "uniform range" `Quick test_prng_uniform;
+          Alcotest.test_case "gaussian moments" `Quick
+            test_prng_gaussian_moments;
+          Alcotest.test_case "split independent" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "int range" `Quick test_prng_int;
+        ] );
+    ]

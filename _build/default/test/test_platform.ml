@@ -1,0 +1,636 @@
+(* Tests for the Exynos-class HMP simulator: Opp, Workload, Benchmarks,
+   Perf_model, Power_model, Soc, Heartbeats, Trace.
+
+   Several tests pin the calibration targets taken from the paper:
+   max-vs-min allocation speedups between 3.2x and 4.5x for the PARSEC
+   set, x264 ceiling near 80 FPS, chip power within the 1.5-6 W band of
+   Figure 13. *)
+
+open Spectr_platform
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Opp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_opp_tables () =
+  check_int "big min" 200 (Opp.min_freq Opp.big);
+  check_int "big max" 2000 (Opp.max_freq Opp.big);
+  check_int "little max" 1400 (Opp.max_freq Opp.little);
+  check_int "big points" 19 (Opp.num_points Opp.big);
+  check_int "little points" 13 (Opp.num_points Opp.little)
+
+let test_opp_nearest () =
+  check_int "round down" 1200 (Opp.nearest Opp.big 1240.);
+  check_int "round up" 1300 (Opp.nearest Opp.big 1260.);
+  check_int "clamp low" 200 (Opp.nearest Opp.big (-50.));
+  check_int "clamp high" 2000 (Opp.nearest Opp.big 9999.)
+
+let test_opp_voltage_monotone () =
+  let prev = ref 0. in
+  Array.iter
+    (fun f ->
+      let v = Opp.voltage Opp.big f in
+      check_bool "voltage ascends" true (v > !prev);
+      prev := v)
+    (Array.of_list
+       (List.init (Opp.num_points Opp.big) (fun i -> 200 + (i * 100))))
+
+let test_opp_voltage_unknown () =
+  Alcotest.check_raises "not an OPP"
+    (Invalid_argument "Opp.index: 1250 MHz not an OPP of big-a15") (fun () ->
+      ignore (Opp.voltage Opp.big 1250))
+
+let test_opp_create_validation () =
+  Alcotest.check_raises "descending"
+    (Invalid_argument "Opp.create: frequencies must ascend") (fun () ->
+      ignore (Opp.create ~name:"bad" ~points:[ (500, 1.0); (400, 0.9) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_validation () =
+  Alcotest.check_raises "parallel fraction"
+    (Invalid_argument "Workload.create: parallel_fraction not in [0,1]")
+    (fun () ->
+      ignore
+        (Workload.create ~name:"w" ~parallel_fraction:1.5 ~freq_scaling:2.
+           ~base_ipc_big:1. ~instructions_per_heartbeat:1e7 ()))
+
+let test_workload_phases () =
+  let w = Benchmarks.canneal in
+  let early = Workload.phase_at w 5. in
+  let late = Workload.phase_at w 100. in
+  check_bool "serial phase first" true
+    (early.Workload.parallel_fraction < 0.5);
+  check_bool "parallel later" true (late.Workload.parallel_fraction >= 0.5)
+
+let test_workload_phase_default () =
+  let w = Benchmarks.x264 in
+  let ph = Workload.phase_at w 42. in
+  check_float "default p" w.Workload.parallel_fraction
+    ph.Workload.parallel_fraction;
+  check_float "default demand" 1. ph.Workload.demand_scale
+
+let test_amdahl () =
+  check_float "p=1 linear" 4.
+    (Workload.amdahl_speedup ~parallel_fraction:1. ~cores:4.);
+  check_float "p=0 flat" 1.
+    (Workload.amdahl_speedup ~parallel_fraction:0. ~cores:4.);
+  check_bool "fractional cores" true
+    (Workload.amdahl_speedup ~parallel_fraction:0.9 ~cores:2.5 > 1.);
+  Alcotest.check_raises "zero cores"
+    (Invalid_argument "Workload.amdahl_speedup: cores <= 0") (fun () ->
+      ignore (Workload.amdahl_speedup ~parallel_fraction:0.5 ~cores:0.))
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks: paper calibration targets                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_speedup_range_parsec () =
+  (* §5: "Speedups from 3.2X (streamcluster) to 4.5X (x264)". *)
+  let ratio w = Perf_model.max_qos_rate w /. Perf_model.min_qos_rate w in
+  check_bool "streamcluster ~3.2x" true
+    (abs_float (ratio Benchmarks.streamcluster -. 3.2) < 0.15);
+  check_bool "x264 ~4.5x" true (abs_float (ratio Benchmarks.x264 -. 4.5) < 0.15);
+  List.iter
+    (fun w ->
+      let r = ratio w in
+      check_bool (w.Workload.name ^ " speedup sane") true (r > 2. && r < 7.))
+    Benchmarks.all_qos
+
+let test_x264_fps_ceiling () =
+  let max_fps = Perf_model.max_qos_rate Benchmarks.x264 in
+  check_bool "~80 FPS at full allocation" true
+    (max_fps > 75. && max_fps < 85.)
+
+let test_benchmark_lookup () =
+  check_bool "x264 found" true (Benchmarks.by_name "x264" <> None);
+  check_bool "microbench found" true (Benchmarks.by_name "microbench" <> None);
+  check_bool "unknown" true (Benchmarks.by_name "doom" = None);
+  check_int "eight QoS apps" 8 (List.length Benchmarks.all_qos)
+
+(* ------------------------------------------------------------------ *)
+(* Perf_model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_perf_monotone_in_frequency () =
+  let w = Benchmarks.x264 in
+  let prev = ref 0. in
+  List.iter
+    (fun f ->
+      let ips = Perf_model.core_ips w Perf_model.Big ~freq_mhz:f in
+      check_bool "IPS increases with f" true (ips > !prev);
+      prev := ips)
+    [ 200; 600; 1000; 1400; 2000 ]
+
+let test_perf_memory_bound_saturates () =
+  (* streamcluster (freq_scaling 1.5) must gain less from frequency than
+     the microbenchmark (freq_scaling 2.8). *)
+  let gain w =
+    Perf_model.core_ips w Perf_model.Big ~freq_mhz:2000
+    /. Perf_model.core_ips w Perf_model.Big ~freq_mhz:200
+  in
+  check_bool "memory-bound flatter" true
+    (gain Benchmarks.streamcluster < gain Benchmarks.microbench)
+
+let test_perf_little_slower () =
+  let w = Benchmarks.x264 in
+  let big = Perf_model.core_ips w Perf_model.Big ~freq_mhz:1000 in
+  let little = Perf_model.core_ips w Perf_model.Little ~freq_mhz:1000 in
+  check_bool "little < big at same f" true (little < big);
+  (* The shared memory-stall term compresses the in-order/out-of-order gap
+     at equal frequency, so the ratio sits well above little_ipc_ratio. *)
+  check_bool "ratio sensible" true (little /. big > 0.3 && little /. big < 0.9)
+
+let test_perf_freq_scaling_exact () =
+  (* The CPI law must reproduce the declared freq_scaling exactly. *)
+  List.iter
+    (fun w ->
+      let r =
+        Perf_model.core_ips w Perf_model.Big ~freq_mhz:2000
+        /. Perf_model.core_ips w Perf_model.Big ~freq_mhz:200
+      in
+      check_bool
+        (w.Workload.name ^ " freq scaling")
+        true
+        (abs_float (r -. w.Workload.freq_scaling) < 1e-9))
+    Benchmarks.all_qos
+
+let test_perf_ipc_reference () =
+  (* IPS at 1 GHz = base_ipc * 1e9. *)
+  let w = Benchmarks.x264 in
+  check_bool "IPC at 1GHz" true
+    (abs_float
+       ((Perf_model.core_ips w Perf_model.Big ~freq_mhz:1000 /. 1e9)
+       -. w.Workload.base_ipc_big)
+    < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Power_model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_full_tilt () =
+  let p =
+    Power_model.cluster_power Power_model.big_params ~table:Opp.big
+      ~freq_mhz:2000 ~active_cores:4 ~total_cores:4 ~utilization:1.
+  in
+  (* Big cluster alone ~5.4 W at the top OPP. *)
+  check_bool "big peak ~5.4W" true (p > 4.8 && p < 6.0)
+
+let test_power_monotone () =
+  let power f =
+    Power_model.cluster_power Power_model.big_params ~table:Opp.big ~freq_mhz:f
+      ~active_cores:4 ~total_cores:4 ~utilization:1.
+  in
+  check_bool "2GHz > 1GHz" true (power 2000 > power 1000);
+  check_bool "1GHz > 200MHz" true (power 1000 > power 200)
+
+let test_power_core_gating () =
+  let power n =
+    Power_model.cluster_power Power_model.big_params ~table:Opp.big
+      ~freq_mhz:1500 ~active_cores:n ~total_cores:4 ~utilization:1.
+  in
+  check_bool "fewer cores less power" true (power 1 < power 4);
+  check_bool "gating saves a lot" true (power 4 -. power 1 > 1.)
+
+let test_power_utilization () =
+  let power u =
+    Power_model.cluster_power Power_model.big_params ~table:Opp.big
+      ~freq_mhz:1500 ~active_cores:4 ~total_cores:4 ~utilization:u
+  in
+  check_bool "idle cheaper" true (power 0. < power 1.);
+  Alcotest.check_raises "bad util"
+    (Invalid_argument "Power_model.cluster_power: utilization out of range")
+    (fun () -> ignore (power 1.5))
+
+let test_power_little_cheap () =
+  let big =
+    Power_model.cluster_power Power_model.big_params ~table:Opp.big
+      ~freq_mhz:1400 ~active_cores:4 ~total_cores:4 ~utilization:1.
+  in
+  let little =
+    Power_model.cluster_power Power_model.little_params ~table:Opp.little
+      ~freq_mhz:1400 ~active_cores:4 ~total_cores:4 ~utilization:1.
+  in
+  check_bool "little ~5x cheaper" true (little *. 3. < big)
+
+(* ------------------------------------------------------------------ *)
+(* Soc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_soc ?config () = Soc.create ?config ~qos:Benchmarks.x264 ()
+
+let test_soc_actuators () =
+  let soc = fresh_soc () in
+  let f = Soc.set_frequency soc Soc.Big 1234. in
+  check_int "quantized" 1200 f;
+  check_int "readback" 1200 (Soc.frequency soc Soc.Big);
+  Soc.set_active_cores soc Soc.Big 0;
+  check_int "clamped to 1" 1 (Soc.active_cores soc Soc.Big);
+  Soc.set_active_cores soc Soc.Big 9;
+  check_int "clamped to 4" 4 (Soc.active_cores soc Soc.Big)
+
+let test_soc_idle_insertion () =
+  let soc = fresh_soc () in
+  Soc.set_idle_fraction soc ~core:0 2.0;
+  check_float "clamped to 0.9" 0.9 (Soc.idle_fraction soc ~core:0);
+  let rate_full = Soc.true_qos_rate soc in
+  ignore rate_full;
+  Alcotest.check_raises "bad core" (Invalid_argument "Soc.set_idle_fraction: core")
+    (fun () -> Soc.set_idle_fraction soc ~core:8 0.1)
+
+let test_soc_idle_reduces_qos () =
+  let soc = fresh_soc () in
+  let before = Soc.true_qos_rate soc in
+  for i = 0 to 3 do
+    Soc.set_idle_fraction soc ~core:i 0.5
+  done;
+  let after = Soc.true_qos_rate soc in
+  (* idling also relieves memory contention, so the loss is sublinear *)
+  check_bool "idling reduces throughput" true (after < before *. 0.85)
+
+let test_soc_qos_responds_to_frequency () =
+  let soc = fresh_soc () in
+  ignore (Soc.set_frequency soc Soc.Big 400.);
+  let slow = Soc.true_qos_rate soc in
+  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  let fast = Soc.true_qos_rate soc in
+  check_bool "faster clock more FPS" true (fast > slow *. 1.3)
+
+let test_soc_qos_responds_to_cores () =
+  let soc = fresh_soc () in
+  Soc.set_active_cores soc Soc.Big 1;
+  let one = Soc.true_qos_rate soc in
+  Soc.set_active_cores soc Soc.Big 4;
+  let four = Soc.true_qos_rate soc in
+  check_bool "more cores more FPS" true (four > one *. 1.5)
+
+let test_soc_background_interference () =
+  let soc = fresh_soc () in
+  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  ignore (Soc.set_frequency soc Soc.Little 1400.);
+  let clean_rate = Soc.true_qos_rate soc in
+  let clean_power = Soc.true_chip_power soc in
+  Soc.set_background_tasks soc 16;
+  let dirty_rate = Soc.true_qos_rate soc in
+  let dirty_power = Soc.true_chip_power soc in
+  check_bool "background steals QoS" true (dirty_rate < clean_rate);
+  check_bool "background burns power" true (dirty_power > clean_power);
+  (* Paper Phase 3: with heavy background (the scenario uses 16 tasks)
+     the 60 FPS reference must be unachievable even at full allocation. *)
+  check_bool "60 FPS infeasible under disturbance" true (dirty_rate < 60.)
+
+let test_soc_background_little_first () =
+  let soc = fresh_soc () in
+  (* 2 tasks * 0.6 util fit entirely on the Little cluster. *)
+  let before = Soc.true_qos_rate soc in
+  Soc.set_background_tasks soc 2;
+  let after = Soc.true_qos_rate soc in
+  check_bool "small background absorbed by little" true
+    (abs_float (before -. after) < 1e-6)
+
+let test_soc_power_range () =
+  let soc = fresh_soc () in
+  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  ignore (Soc.set_frequency soc Soc.Little 1400.);
+  Soc.set_background_tasks soc 10;
+  let peak = Soc.true_chip_power soc in
+  ignore (Soc.set_frequency soc Soc.Big 200.);
+  ignore (Soc.set_frequency soc Soc.Little 200.);
+  Soc.set_background_tasks soc 0;
+  Soc.set_active_cores soc Soc.Big 1;
+  Soc.set_active_cores soc Soc.Little 1;
+  let trough = Soc.true_chip_power soc in
+  check_bool "peak < 7W" true (peak < 7.);
+  check_bool "peak > 5W (TDP can bind)" true (peak > 5.);
+  check_bool "trough < 1W" true (trough < 1.)
+
+let test_soc_step_and_noise () =
+  let soc = fresh_soc () in
+  let obs1 = Soc.step soc ~dt:0.05 in
+  let obs2 = Soc.step soc ~dt:0.05 in
+  check_bool "time advances" true (obs2.Soc.time > obs1.Soc.time);
+  check_bool "noise differs" true (obs1.Soc.chip_power <> obs2.Soc.chip_power);
+  check_bool "noise small" true
+    (abs_float (obs1.Soc.chip_power -. Soc.true_chip_power soc)
+    /. Soc.true_chip_power soc
+    < 0.2);
+  check_int "8 cores" 8 (Array.length obs1.Soc.per_core_ips);
+  Alcotest.check_raises "bad dt" (Invalid_argument "Soc.step: dt <= 0")
+    (fun () -> ignore (Soc.step soc ~dt:0.))
+
+let test_soc_deterministic () =
+  let run () =
+    let soc = fresh_soc () in
+    let acc = ref 0. in
+    for _ = 1 to 20 do
+      acc := !acc +. (Soc.step soc ~dt:0.05).Soc.chip_power
+    done;
+    !acc
+  in
+  check_float "same seed same trace" (run ()) (run ())
+
+let test_soc_per_core_ips_idle_sensitive () =
+  let soc = fresh_soc () in
+  let obs = Soc.step soc ~dt:0.05 in
+  let base = obs.Soc.per_core_ips.(0) in
+  Soc.set_idle_fraction soc ~core:0 0.8;
+  let obs2 = Soc.step soc ~dt:0.05 in
+  check_bool "idled core reads lower IPS" true
+    (obs2.Soc.per_core_ips.(0) < base);
+  check_bool "other core picks up share" true
+    (obs2.Soc.per_core_ips.(1) > 0.)
+
+let test_soc_canneal_serial_phase () =
+  (* During canneal's serialized phase, adding cores barely helps. *)
+  let soc = Soc.create ~qos:Benchmarks.canneal () in
+  Soc.set_active_cores soc Soc.Big 1;
+  let one = Soc.true_qos_rate soc in
+  Soc.set_active_cores soc Soc.Big 4;
+  let four = Soc.true_qos_rate soc in
+  check_bool "core scaling < 1.4x in serial phase" true (four /. one < 1.4)
+
+(* ------------------------------------------------------------------ *)
+(* Thermal model                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_thermal_starts_ambient () =
+  let soc = fresh_soc () in
+  check_float "starts at ambient" Soc.default_config.Soc.ambient_c
+    (Soc.temperature soc)
+
+let test_thermal_heats_under_load () =
+  let soc = fresh_soc () in
+  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  for _ = 1 to 200 do
+    ignore (Soc.step soc ~dt:0.05)
+  done;
+  let t = Soc.temperature soc in
+  (* steady state ~ ambient + R * P; ~5.5 W at full tilt -> ~72-75 C *)
+  check_bool "hot under load" true (t > 60.);
+  check_bool "bounded" true (t < 90.)
+
+let test_thermal_cools_when_idle () =
+  let soc = fresh_soc () in
+  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  for _ = 1 to 200 do
+    ignore (Soc.step soc ~dt:0.05)
+  done;
+  let hot = Soc.temperature soc in
+  ignore (Soc.set_frequency soc Soc.Big 200.);
+  Soc.set_active_cores soc Soc.Big 1;
+  for _ = 1 to 200 do
+    ignore (Soc.step soc ~dt:0.05)
+  done;
+  check_bool "cools down" true (Soc.temperature soc < hot -. 10.)
+
+let test_thermal_time_constant () =
+  (* After one time constant the gap to the steady state closes by
+     roughly 63 %. *)
+  let soc = fresh_soc () in
+  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  let target =
+    Soc.default_config.Soc.ambient_c
+    +. (Soc.default_config.Soc.thermal_resistance *. Soc.true_chip_power soc)
+  in
+  let start = Soc.temperature soc in
+  let tau = Soc.default_config.Soc.thermal_tau in
+  let steps = int_of_float (tau /. 0.05) in
+  for _ = 1 to steps do
+    ignore (Soc.step soc ~dt:0.05)
+  done;
+  let progress = (Soc.temperature soc -. start) /. (target -. start) in
+  (* power noise wiggles the target a little; accept a generous band *)
+  check_bool "~63% progress after tau" true (progress > 0.5 && progress < 0.8)
+
+let test_thermal_in_observation () =
+  let soc = fresh_soc () in
+  let obs = Soc.step soc ~dt:0.05 in
+  check_bool "sensor near true value" true
+    (abs_float (obs.Soc.temperature_c -. Soc.temperature soc)
+    < 0.1 *. Soc.temperature soc)
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_heartbeats_rate () =
+  let hb = Heartbeats.create ~window:1.0 ~reference:60. () in
+  (* 30 beats over one second -> 30 HB/s *)
+  for i = 1 to 10 do
+    Heartbeats.beat hb ~now:(0.1 *. float_of_int i) ~count:3.
+  done;
+  check_float "rate" 30. (Heartbeats.rate hb ~now:1.0);
+  check_float "total" 30. (Heartbeats.total hb)
+
+let test_heartbeats_window_expiry () =
+  let hb = Heartbeats.create ~window:0.5 ~reference:60. () in
+  Heartbeats.beat hb ~now:0.1 ~count:10.;
+  Heartbeats.beat hb ~now:1.0 ~count:5.;
+  (* at t=1.2 only the second burst is inside the window *)
+  check_float "old beats expired" 10. (Heartbeats.rate hb ~now:1.2)
+
+let test_heartbeats_reference () =
+  let hb = Heartbeats.create ~reference:60. () in
+  check_float "initial" 60. (Heartbeats.reference hb);
+  Heartbeats.set_reference hb 30.;
+  check_float "updated" 30. (Heartbeats.reference hb);
+  Alcotest.check_raises "bad ref"
+    (Invalid_argument "Heartbeats.set_reference: reference <= 0") (fun () ->
+      Heartbeats.set_reference hb 0.)
+
+let test_heartbeats_time_monotone () =
+  let hb = Heartbeats.create ~reference:1. () in
+  Heartbeats.beat hb ~now:1.0 ~count:1.;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Heartbeats.beat: time went backwards") (fun () ->
+      Heartbeats.beat hb ~now:0.5 ~count:1.)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_roundtrip () =
+  let tr = Trace.create ~columns:[ "t"; "fps"; "power" ] in
+  Trace.add tr [| 0.; 60.; 4. |];
+  Trace.add tr [| 0.05; 62.; 4.1 |];
+  check_int "length" 2 (Trace.length tr);
+  let fps = Trace.column tr "fps" in
+  check_float "first" 60. fps.(0);
+  check_float "second" 62. fps.(1);
+  check_float "last power" 4.1 (Trace.last tr "power")
+
+let test_trace_slice () =
+  let tr = Trace.create ~columns:[ "v" ] in
+  for i = 0 to 9 do
+    Trace.add tr [| float_of_int i |]
+  done;
+  let s = Trace.column_slice tr "v" ~from:3 ~upto:6 in
+  check_int "slice length" 3 (Array.length s);
+  check_float "slice start" 3. s.(0)
+
+let test_trace_validation () =
+  Alcotest.check_raises "dup" (Invalid_argument "Trace.create: duplicate column")
+    (fun () -> ignore (Trace.create ~columns:[ "a"; "a" ]));
+  let tr = Trace.create ~columns:[ "a" ] in
+  Alcotest.check_raises "width" (Invalid_argument "Trace.add: row width mismatch")
+    (fun () -> Trace.add tr [| 1.; 2. |]);
+  Alcotest.check_raises "unknown" (Invalid_argument "Trace: unknown column \"z\"")
+    (fun () -> ignore (Trace.column tr "z"))
+
+let test_trace_csv () =
+  let tr = Trace.create ~columns:[ "a"; "b" ] in
+  Trace.add tr [| 1.; 2. |];
+  check_bool "csv" true (Trace.to_csv tr = "a,b\n1,2\n")
+
+(* ------------------------------------------------------------------ *)
+(* Integration: sysid on the simulated platform                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_identify_big_cluster () =
+  (* Paper §5/§6 Step 5: excite the Big cluster with the microbenchmark
+     and staircase inputs, fit a 2x2 ARX model, and check R² >= 0.8 (the
+     design-flow identifiability gate). *)
+  let soc = Soc.create ~qos:Benchmarks.microbench () in
+  let steps = 900 in
+  let freq_sig =
+    Spectr_sysid.Excitation.staircase ~lo:600. ~hi:1800. ~num_levels:6 ~hold:12
+      ~length:steps
+  in
+  let cores_sig =
+    Spectr_sysid.Excitation.staircase ~lo:1. ~hi:4. ~num_levels:4 ~hold:20
+      ~length:steps
+  in
+  let u = Array.make steps [||] in
+  let y = Array.make steps [||] in
+  for t = 0 to steps - 1 do
+    let f = Soc.set_frequency soc Soc.Big freq_sig.(t) in
+    Soc.set_active_cores soc Soc.Big
+      (int_of_float (Float.round cores_sig.(t)));
+    let obs = Soc.step soc ~dt:0.05 in
+    u.(t) <- [| float_of_int f /. 1000.; Float.round cores_sig.(t) |];
+    y.(t) <- [| obs.Soc.qos_rate; obs.Soc.big_power |]
+  done;
+  let data = Spectr_sysid.Dataset.create ~u ~y in
+  let normalized, _ = Spectr_sysid.Dataset.normalize data in
+  let est, held_out = Spectr_sysid.Dataset.split normalized ~at:0.6 in
+  match Spectr_sysid.Arx.fit ~na:2 ~nb:2 est with
+  | Error e -> Alcotest.failf "fit: %a" Spectr_sysid.Arx.pp_error e
+  | Ok model ->
+      let report =
+        Spectr_sysid.Validation.validate
+          ~output_names:[| "qos"; "power" |]
+          ~model held_out
+      in
+      Array.iter
+        (fun c ->
+          check_bool
+            (c.Spectr_sysid.Validation.name ^ " R2 >= 0.8")
+            true
+            (c.Spectr_sysid.Validation.r_squared >= 0.8))
+        report.Spectr_sysid.Validation.channels
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "spectr_platform"
+    [
+      ( "opp",
+        [
+          Alcotest.test_case "tables" `Quick test_opp_tables;
+          Alcotest.test_case "nearest" `Quick test_opp_nearest;
+          Alcotest.test_case "voltage monotone" `Quick test_opp_voltage_monotone;
+          Alcotest.test_case "voltage unknown" `Quick test_opp_voltage_unknown;
+          Alcotest.test_case "create validation" `Quick
+            test_opp_create_validation;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "phases" `Quick test_workload_phases;
+          Alcotest.test_case "phase default" `Quick test_workload_phase_default;
+          Alcotest.test_case "amdahl" `Quick test_amdahl;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "PARSEC speedup range" `Quick
+            test_speedup_range_parsec;
+          Alcotest.test_case "x264 FPS ceiling" `Quick test_x264_fps_ceiling;
+          Alcotest.test_case "lookup" `Quick test_benchmark_lookup;
+        ] );
+      ( "perf-model",
+        [
+          Alcotest.test_case "monotone in frequency" `Quick
+            test_perf_monotone_in_frequency;
+          Alcotest.test_case "memory-bound saturates" `Quick
+            test_perf_memory_bound_saturates;
+          Alcotest.test_case "little slower" `Quick test_perf_little_slower;
+          Alcotest.test_case "freq scaling exact" `Quick
+            test_perf_freq_scaling_exact;
+          Alcotest.test_case "IPC reference" `Quick test_perf_ipc_reference;
+        ] );
+      ( "power-model",
+        [
+          Alcotest.test_case "full tilt" `Quick test_power_full_tilt;
+          Alcotest.test_case "monotone" `Quick test_power_monotone;
+          Alcotest.test_case "core gating" `Quick test_power_core_gating;
+          Alcotest.test_case "utilization" `Quick test_power_utilization;
+          Alcotest.test_case "little cheap" `Quick test_power_little_cheap;
+        ] );
+      ( "soc",
+        [
+          Alcotest.test_case "actuators" `Quick test_soc_actuators;
+          Alcotest.test_case "idle insertion" `Quick test_soc_idle_insertion;
+          Alcotest.test_case "idle reduces qos" `Quick test_soc_idle_reduces_qos;
+          Alcotest.test_case "qos vs frequency" `Quick
+            test_soc_qos_responds_to_frequency;
+          Alcotest.test_case "qos vs cores" `Quick test_soc_qos_responds_to_cores;
+          Alcotest.test_case "background interference" `Quick
+            test_soc_background_interference;
+          Alcotest.test_case "background little first" `Quick
+            test_soc_background_little_first;
+          Alcotest.test_case "power range" `Quick test_soc_power_range;
+          Alcotest.test_case "step and noise" `Quick test_soc_step_and_noise;
+          Alcotest.test_case "deterministic" `Quick test_soc_deterministic;
+          Alcotest.test_case "per-core IPS idle" `Quick
+            test_soc_per_core_ips_idle_sensitive;
+          Alcotest.test_case "canneal serial phase" `Quick
+            test_soc_canneal_serial_phase;
+        ] );
+      ( "thermal",
+        [
+          Alcotest.test_case "starts at ambient" `Quick
+            test_thermal_starts_ambient;
+          Alcotest.test_case "heats under load" `Quick
+            test_thermal_heats_under_load;
+          Alcotest.test_case "cools when idle" `Quick
+            test_thermal_cools_when_idle;
+          Alcotest.test_case "time constant" `Quick test_thermal_time_constant;
+          Alcotest.test_case "observation sensor" `Quick
+            test_thermal_in_observation;
+        ] );
+      ( "heartbeats",
+        [
+          Alcotest.test_case "rate" `Quick test_heartbeats_rate;
+          Alcotest.test_case "window expiry" `Quick test_heartbeats_window_expiry;
+          Alcotest.test_case "reference" `Quick test_heartbeats_reference;
+          Alcotest.test_case "time monotone" `Quick test_heartbeats_time_monotone;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "slice" `Quick test_trace_slice;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "csv" `Quick test_trace_csv;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "identify Big cluster" `Slow
+            test_identify_big_cluster;
+        ] );
+    ]

@@ -1,0 +1,716 @@
+(* Tests for the SPECTR core: the case-study automata, supervisor
+   synthesis and verification, the runtime supervisor (against mock
+   commands), the design flow, the four resource managers and the
+   three-phase evaluation scenario.
+
+   The scenario tests assert the paper's qualitative claims (who wins,
+   in which phase, by direction) rather than absolute numbers. *)
+
+open Spectr_automata
+open Spectr_platform
+open Spectr
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_events_controllability () =
+  check_bool "critical uncontrollable" false
+    (Event.is_controllable Events.critical);
+  check_bool "switchPower controllable" true
+    (Event.is_controllable Events.switch_power);
+  check_bool "holdBudget controllable" true
+    (Event.is_controllable Events.hold_budget)
+
+let test_events_lookup () =
+  (match Events.by_name "critical" with
+  | Some e -> check_string "name" "critical" (Event.name e)
+  | None -> Alcotest.fail "critical exists");
+  check_bool "unknown" true (Events.by_name "zap" = None);
+  check_int "alphabet size" 17 (List.length Events.all)
+
+(* ------------------------------------------------------------------ *)
+(* Plant model and spec                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_plant_qos_management_shape () =
+  let a = Plant_model.qos_management in
+  check_int "3 states" 3 (Automaton.num_states a);
+  check_string "initial" "Eval" (Automaton.initial a);
+  check_bool "Eval marked" true (Automaton.is_marked a "Eval");
+  check_bool "Raise not marked" false (Automaton.is_marked a "Raise")
+
+let test_plant_power_capping_shape () =
+  let a = Plant_model.power_capping in
+  check_int "7 states" 7 (Automaton.num_states a);
+  (* emergency path: critical -> switch -> capped -> safe -> restore -> qos *)
+  match
+    Automaton.trace a
+      [
+        Events.critical;
+        Events.switch_power;
+        Events.safe_power;
+        Events.switch_qos;
+      ]
+  with
+  | Some s -> check_string "returns to Safe" "Safe" s
+  | None -> Alcotest.fail "emergency round trip must be defined"
+
+let test_plant_composed () =
+  let c = Plant_model.composed () in
+  check_bool "composition nonempty" true (Automaton.num_states c > 3);
+  check_string "ideal initial" "Eval.Safe" (Automaton.initial c);
+  (* only (Eval, Safe) is marked *)
+  check_int "single marked" 1 (List.length (Automaton.marked c))
+
+let test_spec_shape () =
+  let s = Spec.three_band in
+  check_bool "threshold forbidden" true (Automaton.is_forbidden s "Threshold");
+  check_string "initial" "Uncapped" (Automaton.initial s);
+  (* three consecutive criticals hit the forbidden state *)
+  match Automaton.trace s [ Events.critical; Events.critical; Events.critical ] with
+  | Some st -> check_string "threshold" "Threshold" st
+  | None -> Alcotest.fail "critical chain defined in spec"
+
+let test_spec_forbids_increase_when_capped () =
+  let s = Spec.three_band in
+  match
+    Automaton.trace s
+      [ Events.critical; Events.switch_power; Events.increase_big_power ]
+  with
+  | Some st -> check_string "forbidden" "Threshold" st
+  | None -> Alcotest.fail "transition defined (to the forbidden state)"
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthesize_properties () =
+  let sup, stats = Supervisor.synthesize () in
+  let plant = Plant_model.composed () in
+  check_bool "nonblocking" true (Verify.is_nonblocking sup);
+  check_bool "controllable" true (Verify.is_controllable ~plant ~supervisor:sup);
+  check_bool "pruned forbidden product states" true
+    (stats.Synthesis.removed_forbidden > 0);
+  check_bool "supervisor nonempty" true (Automaton.num_states sup > 0);
+  check_bool "smaller than raw product" true
+    (Automaton.num_states sup < stats.Synthesis.product_states)
+
+let test_synthesized_supervisor_disables_increase_when_capped () =
+  let sup, _ = Supervisor.synthesize () in
+  (* Walk into capped mode, then check increase events are not enabled. *)
+  match
+    Automaton.trace sup
+      [ Events.qos_not_met; Events.critical; Events.switch_power ]
+  with
+  | None -> Alcotest.fail "capped mode reachable"
+  | Some st ->
+      let enabled = Automaton.enabled sup st in
+      check_bool "increaseBigPower disabled" false
+        (List.exists (fun e -> Event.name e = "increaseBigPower") enabled)
+
+let test_synthesized_supervisor_can_recover () =
+  let sup, _ = Supervisor.synthesize () in
+  (* From capped mode, safePower then switchQoS must lead back to a state
+     where the ideal state is reachable. *)
+  match
+    Automaton.trace sup
+      [
+        Events.qos_not_met;
+        Events.critical;
+        Events.switch_power;
+        Events.safe_power;
+        Events.switch_qos;
+      ]
+  with
+  | None -> Alcotest.fail "recovery path exists"
+  | Some st ->
+      check_bool "back in an uncapped state" true
+        (String.length st >= 4 && String.sub st 0 4 <> "Cap")
+
+(* ------------------------------------------------------------------ *)
+(* Runtime supervisor against mock commands                            *)
+(* ------------------------------------------------------------------ *)
+
+type mock = {
+  mutable gains : string list; (* switch history, newest first *)
+  mutable big_ref : float;
+  mutable little_ref : float;
+}
+
+let make_mock () =
+  let m = { gains = []; big_ref = nan; little_ref = nan } in
+  let commands =
+    {
+      Supervisor.switch_gains = (fun l -> m.gains <- l :: m.gains);
+      set_big_power_ref = (fun v -> m.big_ref <- v);
+      set_little_power_ref = (fun v -> m.little_ref <- v);
+    }
+  in
+  (m, commands)
+
+let test_supervisor_initial_budgets () =
+  let m, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  check_bool "initial big ref set" true (m.big_ref > 0.);
+  check_float "reported" m.big_ref (Supervisor.big_power_ref sup);
+  check_string "starts in qos mode" "qos" (Supervisor.gains_mode sup)
+
+let test_supervisor_validation () =
+  let _, commands = make_mock () in
+  Alcotest.check_raises "bad envelope"
+    (Invalid_argument "Supervisor.create: envelope <= 0") (fun () ->
+      ignore (Supervisor.create ~commands ~envelope:0. ()))
+
+let test_supervisor_emergency_switches_gains () =
+  let m, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  (* power above the envelope -> critical -> switchPower *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
+  check_string "power mode" "power" (Supervisor.gains_mode sup);
+  check_bool "switch delivered" true (List.mem "power" m.gains)
+
+let test_supervisor_recovers_to_qos_mode () =
+  let m, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
+  (* power safe again — but the uncapping hysteresis holds power mode for
+     min_capped_dwell supervisor periods before switching back *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:5.0;
+  check_string "dwell holds power mode" "power" (Supervisor.gains_mode sup);
+  for _ = 1 to Supervisor.default_config.Supervisor.min_capped_dwell do
+    Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:5.0
+  done;
+  check_string "back to qos" "qos" (Supervisor.gains_mode sup);
+  check_bool "both switches seen" true
+    (List.mem "qos" m.gains && List.mem "power" m.gains)
+
+let test_supervisor_raises_budget_on_qos_miss () =
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  let before = Supervisor.big_power_ref sup in
+  (* QoS below reference, power safe -> Raise -> increaseBigPower *)
+  Supervisor.step sup ~qos:40. ~qos_ref:60. ~power:2.0 ~envelope:5.0;
+  check_bool "budget raised" true (Supervisor.big_power_ref sup > before)
+
+let test_supervisor_lowers_budget_on_qos_surplus () =
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  let before = Supervisor.big_power_ref sup in
+  (* QoS well above reference -> Lower -> decreaseBigPower *)
+  Supervisor.step sup ~qos:80. ~qos_ref:60. ~power:2.0 ~envelope:5.0;
+  check_bool "budget lowered" true (Supervisor.big_power_ref sup < before)
+
+let test_supervisor_budget_cap_respects_envelope () =
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  (* push the budget up for a long time *)
+  for _ = 1 to 100 do
+    Supervisor.step sup ~qos:30. ~qos_ref:60. ~power:3.0 ~envelope:5.0
+  done;
+  (* 90 % of the Little budget is reserved against the envelope; the
+     rest is left to the critical-event feedback loop. *)
+  check_bool "big + 0.9*little within envelope" true
+    (Supervisor.big_power_ref sup
+     +. (0.9 *. Supervisor.little_power_ref sup)
+    <= 5.0 +. 1e-9)
+
+let test_supervisor_envelope_drop_reclamps () =
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  for _ = 1 to 50 do
+    Supervisor.step sup ~qos:30. ~qos_ref:60. ~power:3.0 ~envelope:5.0
+  done;
+  (* thermal emergency: envelope drops; budgets must re-clamp *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:3.5;
+  check_bool "reclamped under new envelope" true
+    (Supervisor.big_power_ref sup <= 3.5 +. 1e-9)
+
+let test_supervisor_critical_cut () =
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  (* enter capped mode *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
+  let capped_ref = Supervisor.big_power_ref sup in
+  (* still critical while capped -> decreaseCriticalPower *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
+  check_bool "deep cut applied" true (Supervisor.big_power_ref sup < capped_ref)
+
+let test_supervisor_state_never_stuck () =
+  (* Drive with adversarial random measurements; the supervisor must keep
+     consuming events (never deadlock in a budget-evaluation state). *)
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  let g = Spectr_linalg.Prng.create 5L in
+  for _ = 1 to 500 do
+    let qos = Spectr_linalg.Prng.uniform g ~lo:10. ~hi:90. in
+    let power = Spectr_linalg.Prng.uniform g ~lo:0.5 ~hi:6.5 in
+    let envelope = if Spectr_linalg.Prng.bool g then 5.0 else 3.5 in
+    Supervisor.step sup ~qos ~qos_ref:60. ~power ~envelope
+  done;
+  (* After driving power safe + QoS met, the supervisor must reach the
+     budget-evaluation state again. *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:5.0;
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:5.0;
+  let state = Supervisor.state sup in
+  check_bool "in an Eval state"
+    true
+    (String.length state >= 4 && String.sub state 0 4 = "Eval")
+
+let test_supervisor_budget_invariants_random_walk () =
+  (* Under arbitrary measurements the budgets must stay inside their
+     configured box and the mode must stay in {qos, power}. *)
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  let g = Spectr_linalg.Prng.create 77L in
+  let c = Supervisor.default_config in
+  for _ = 1 to 1000 do
+    let qos = Spectr_linalg.Prng.uniform g ~lo:0. ~hi:150. in
+    let power = Spectr_linalg.Prng.uniform g ~lo:0.1 ~hi:7.0 in
+    let envelope =
+      [| 5.0; 3.5; 2.5 |].(Spectr_linalg.Prng.int g 3)
+    in
+    Supervisor.step sup ~qos ~qos_ref:60. ~power ~envelope;
+    let b = Supervisor.big_power_ref sup in
+    let l = Supervisor.little_power_ref sup in
+    check_bool "big >= min" true (b >= c.Supervisor.big_budget_min -. 1e-9);
+    check_bool "big <= envelope" true (b <= 5.0 +. 1e-9);
+    check_bool "little in box" true
+      (l >= c.Supervisor.little_budget_min -. 1e-9
+      && l <= c.Supervisor.little_budget_max +. 1e-9);
+    check_bool "mode valid" true
+      (let m = Supervisor.gains_mode sup in
+       m = "qos" || m = "power")
+  done
+
+let test_scenario_deterministic () =
+  (* Same seed, same manager construction -> identical traces. *)
+  let run () =
+    let mgr = Mm.make_pow () in
+    let config = Scenario.default_config Benchmarks.x264 in
+    let trace = Scenario.run ~manager:mgr config in
+    Trace.column trace "power"
+  in
+  let a = run () and b = run () in
+  Array.iteri (fun i v -> check_float (string_of_int i) v b.(i)) a
+
+(* ------------------------------------------------------------------ *)
+(* Design flow                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_design_flow_big_identifiable () =
+  let ident = Design_flow.identify Design_flow.Big_2x2 in
+  check_bool "R2 gate" true ident.Design_flow.report.Spectr_sysid.Validation.identifiable;
+  check_int "2 inputs" 2 (Array.length ident.Design_flow.input_channels);
+  check_int "2 outputs" 2 (Array.length ident.Design_flow.output_channels)
+
+let test_design_flow_large_worse_than_small ()
+    =
+  (* The §5.2 scalability claim: identification accuracy degrades as the
+     controller grows. *)
+  let small = Design_flow.identify Design_flow.Big_2x2 in
+  let large = Design_flow.identify Design_flow.Large_10x10 in
+  let avg_fit ident =
+    let chans = ident.Design_flow.report.Spectr_sysid.Validation.channels in
+    Array.fold_left
+      (fun acc c -> acc +. c.Spectr_sysid.Validation.fit_percent)
+      0. chans
+    /. float_of_int (Array.length chans)
+  in
+  check_bool "10x10 fits worse than 2x2" true (avg_fit large < avg_fit small);
+  check_int "10 inputs" 10 (Array.length large.Design_flow.input_channels)
+
+let test_design_flow_gains () =
+  let ident = Design_flow.identify Design_flow.Big_2x2 in
+  match
+    Design_flow.design_gains ident
+      [
+        { Design_flow.label = "qos"; q_y = Mm.qos_weights };
+        { Design_flow.label = "power"; q_y = Mm.power_weights };
+      ]
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok gains ->
+      check_int "two gain sets" 2 (List.length gains);
+      List.iter
+        (fun g ->
+          check_bool
+            (g.Spectr_control.Lqg.label ^ " stable")
+            true
+            (Spectr_control.Lqg.closed_loop_stable g))
+        gains
+
+let test_design_flow_bad_goal () =
+  let ident = Design_flow.identify Design_flow.Big_2x2 in
+  match
+    Design_flow.design_gains ident
+      [ { Design_flow.label = "bad"; q_y = [| 1. |] } ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong q_y arity must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Ops cost (Figure 6)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ops_cost_dims () =
+  check_bool "2 cores -> 4x4 I/O" true (Ops_cost.inputs_outputs ~cores:2 = (4, 4))
+
+let test_ops_cost_monotone_in_cores () =
+  let prev = ref 0. in
+  List.iter
+    (fun c ->
+      let v = Ops_cost.paper_curve ~cores:c ~order:4 in
+      check_bool "monotone" true (v > !prev);
+      prev := v)
+    [ 2; 4; 8; 16; 32; 64 ]
+
+let test_ops_cost_order_insignificant_at_scale () =
+  (* §2.3: "The order becomes insignificant once #cores >> order." *)
+  let at order = Ops_cost.paper_curve ~cores:70 ~order in
+  let ratio_large = at 8 /. at 2 in
+  let at_small order = Ops_cost.paper_curve ~cores:2 ~order in
+  let ratio_small = at_small 8 /. at_small 2 in
+  check_bool "order matters at small scale" true (ratio_small > 2.);
+  check_bool "order negligible at large scale" true (ratio_large < 1.25)
+
+let test_ops_cost_magnitude () =
+  (* Figure 6's y-axis tops out around 1e8-1e9 at 70 cores. *)
+  let v = Ops_cost.paper_curve ~cores:70 ~order:8 in
+  check_bool "matches figure magnitude" true (v > 1e8 && v < 1e9)
+
+let test_ops_cost_invocation () =
+  check_bool "invocation quadratic" true
+    (Ops_cost.invocation_ops ~cores:8 ~order:2
+    > Ops_cost.invocation_ops ~cores:2 ~order:2);
+  Alcotest.check_raises "bad cores" (Invalid_argument "Ops_cost: cores <= 0")
+    (fun () -> ignore (Ops_cost.invocation_ops ~cores:0 ~order:2))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario + managers (paper claims, x264)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Building managers runs identification; do it once for the module. *)
+let cfg = Scenario.default_config Benchmarks.x264
+
+let metrics_of mgr =
+  let trace = Scenario.run ~manager:mgr cfg in
+  Metrics.per_phase ~trace ~config:cfg
+
+let spectr_metrics = lazy (metrics_of (fst (Spectr_manager.make ())))
+let mm_pow_metrics = lazy (metrics_of (Mm.make_pow ()))
+let mm_perf_metrics = lazy (metrics_of (Mm.make_perf ()))
+let fs_metrics = lazy (metrics_of (Fs.make ()))
+
+let test_scenario_trace_shape () =
+  let trace = Scenario.run ~manager:(Mm.make_pow ()) cfg in
+  (* 15 s at 50 ms -> 300 rows *)
+  check_int "rows" 300 (Trace.length trace);
+  let bounds = Scenario.phase_bounds cfg in
+  check_int "three phases" 3 (List.length bounds);
+  match bounds with
+  | [ (_, a, b); (_, c, d); (_, e, f) ] ->
+      check_int "contiguous 1" b c;
+      check_int "contiguous 2" d e;
+      check_int "start" 0 a;
+      check_int "end" 300 f
+  | _ -> Alcotest.fail "unexpected bounds"
+
+let test_safe_phase_qos () =
+  (* Phase 1: every manager meets (or exceeds) the achievable QoS
+     reference within ~10 %. *)
+  List.iter
+    (fun (name, m) ->
+      let q = Metrics.qos_of (Lazy.force m) "safe" in
+      check_bool (name ^ " meets QoS in safe phase") true (q < 10.))
+    [
+      ("SPECTR", spectr_metrics);
+      ("MM-Pow", mm_pow_metrics);
+      ("MM-Perf", mm_perf_metrics);
+      ("FS", fs_metrics);
+    ]
+
+let test_safe_phase_efficiency_split () =
+  (* Paper §5.1.1: SPECTR and MM-Perf save significant power while
+     meeting QoS; MM-Pow and FS consume the budget and overshoot FPS. *)
+  let p name m = Metrics.power_of (Lazy.force m) name in
+  let q name m = Metrics.qos_of (Lazy.force m) name in
+  check_bool "SPECTR saves power" true (p "safe" spectr_metrics > 30.);
+  check_bool "MM-Perf saves power" true (p "safe" mm_perf_metrics > 30.);
+  check_bool "MM-Pow burns budget" true (p "safe" mm_pow_metrics < 20.);
+  check_bool "FS burns budget" true (p "safe" fs_metrics < 20.);
+  check_bool "MM-Pow overshoots FPS" true (q "safe" mm_pow_metrics < -10.);
+  check_bool "FS overshoots FPS" true (q "safe" fs_metrics < -10.)
+
+let test_emergency_phase_all_adapt () =
+  (* Phase 2: everyone keeps QoS near the reference under the reduced
+     envelope. *)
+  List.iter
+    (fun (name, m) ->
+      let q = Metrics.qos_of (Lazy.force m) "emergency" in
+      check_bool (name ^ " maintains QoS in emergency") true (q < 12.))
+    [
+      ("SPECTR", spectr_metrics);
+      ("MM-Pow", mm_pow_metrics);
+      ("MM-Perf", mm_perf_metrics);
+      ("FS", fs_metrics);
+    ]
+
+let test_emergency_spectr_fast_compliance () =
+  (* §5.1.1: SPECTR responds faster than FS to the envelope drop. *)
+  let comply m =
+    match
+      (List.find
+         (fun pm -> pm.Metrics.phase_name = "emergency")
+         (Lazy.force m))
+        .Metrics.compliance_time_s
+    with
+    | Some t -> t
+    | None -> infinity
+  in
+  check_bool "SPECTR compliant quickly" true (comply spectr_metrics < 0.5);
+  check_bool "SPECTR faster than FS" true
+    (comply spectr_metrics < comply fs_metrics)
+
+let test_disturbance_phase () =
+  (* Phase 3: the reference is unachievable within TDP.  MM-Perf gets the
+     highest QoS but violates the TDP; SPECTR and MM-Pow/FS obey it. *)
+  let q name m = Metrics.qos_of (Lazy.force m) name in
+  let p name m = Metrics.power_of (Lazy.force m) name in
+  check_bool "MM-Perf best QoS" true
+    (q "disturbance" mm_perf_metrics <= q "disturbance" spectr_metrics
+    && q "disturbance" mm_perf_metrics <= q "disturbance" mm_pow_metrics);
+  check_bool "MM-Perf violates TDP" true (p "disturbance" mm_perf_metrics < -5.);
+  check_bool "SPECTR obeys TDP" true (p "disturbance" spectr_metrics > -2.);
+  check_bool "MM-Pow at the limit" true
+    (abs_float (p "disturbance" mm_pow_metrics) < 5.);
+  check_bool "everyone degrades QoS" true (q "disturbance" spectr_metrics > 5.)
+
+let test_spectr_adapts_priorities () =
+  (* The signature SPECTR property (autonomy): efficient like MM-Perf in
+     the safe phase, TDP-respecting like MM-Pow under disturbance. *)
+  let p name m = Metrics.power_of (Lazy.force m) name in
+  check_bool "safe: efficient" true
+    (p "safe" spectr_metrics > p "safe" mm_pow_metrics +. 20.);
+  check_bool "disturbance: compliant" true
+    (p "disturbance" spectr_metrics > p "disturbance" mm_perf_metrics +. 5.)
+
+let test_spectr_energy_efficiency () =
+  (* Goal i) of §4.2: meet QoS while minimizing energy.  In the safe
+     phase SPECTR must deliver its QoS work at lower energy per
+     heartbeat than the budget-burning MM-Pow. *)
+  let eff m =
+    (List.find
+       (fun pm -> pm.Metrics.phase_name = "safe")
+       (Lazy.force m))
+      .Metrics.energy_per_heartbeat_j
+  in
+  check_bool "SPECTR cheaper per heartbeat than MM-Pow" true
+    (eff spectr_metrics < eff mm_pow_metrics)
+
+let test_gain_scheduling_ablation () =
+  (* Without gain scheduling the supervisor can still re-budget, but the
+     emergency reaction loses its mode switch; the system must still run
+     (no crash) and remain TDP-compliant on average. *)
+  let mgr, _ = Spectr_manager.make ~gain_scheduling:false () in
+  let metrics = metrics_of mgr in
+  check_bool "still controls QoS in safe phase" true
+    (Metrics.qos_of metrics "safe" < 15.)
+
+let test_supervisor_divisor_validation () =
+  Alcotest.check_raises "divisor"
+    (Invalid_argument "Spectr_manager.make: supervisor_divisor < 1") (fun () ->
+      ignore (Spectr_manager.make ~supervisor_divisor:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Other benchmarks smoke: SPECTR completes and stays TDP-compliant     *)
+(* ------------------------------------------------------------------ *)
+
+let test_thermal_governor () =
+  let gov =
+    Thermal_governor.create ~trip_c:70. ~release_c:62. ~tdp:5.0
+      ~emergency_envelope:3.5 ()
+  in
+  check_float "cool -> TDP" 5.0 (Thermal_governor.envelope gov ~temperature_c:50.);
+  check_bool "not tripped" false (Thermal_governor.tripped gov);
+  check_float "hot -> emergency" 3.5
+    (Thermal_governor.envelope gov ~temperature_c:71.);
+  (* hysteresis: between release and trip it stays tripped *)
+  check_float "hysteresis holds" 3.5
+    (Thermal_governor.envelope gov ~temperature_c:65.);
+  check_float "releases below 62" 5.0
+    (Thermal_governor.envelope gov ~temperature_c:60.);
+  check_bool "released" false (Thermal_governor.tripped gov)
+
+let test_thermal_governor_validation () =
+  Alcotest.check_raises "ordering"
+    (Invalid_argument "Thermal_governor.create: release_c >= trip_c") (fun () ->
+      ignore
+        (Thermal_governor.create ~trip_c:60. ~release_c:60. ~tdp:5.
+           ~emergency_envelope:3. ()));
+  Alcotest.check_raises "envelope"
+    (Invalid_argument "Thermal_governor.create: emergency envelope >= TDP")
+    (fun () ->
+      ignore (Thermal_governor.create ~tdp:5. ~emergency_envelope:5. ()))
+
+let test_closed_thermal_loop () =
+  (* End-to-end: a hot QoS demand under the governor; SPECTR must keep
+     the die from running away (bounded temperature) while still doing
+     useful work. *)
+  let mgr, _ = Spectr_manager.make () in
+  let gov = Thermal_governor.create ~trip_c:63. ~release_c:56. ~tdp:5.0
+      ~emergency_envelope:3.2 () in
+  let soc = Soc.create ~qos:Benchmarks.x264 () in
+  let qos_ref = 0.95 *. Perf_model.max_qos_rate Benchmarks.x264 in
+  let max_temp = ref 0. in
+  for _ = 1 to 400 do
+    let obs = Soc.step soc ~dt:0.05 in
+    let envelope =
+      Thermal_governor.envelope gov ~temperature_c:obs.Soc.temperature_c
+    in
+    max_temp := Float.max !max_temp (Soc.temperature soc);
+    mgr.Manager.step ~now:obs.Soc.time ~qos_ref ~envelope ~obs soc
+  done;
+  check_bool "temperature bounded" true (!max_temp < 72.);
+  check_bool "still doing work" true (Soc.true_qos_rate soc > 30.)
+
+let test_siso_baseline () =
+  (* Row C of Table 1: independent SISO loops.  They must control the
+     system (meet QoS when feasible) but, lacking coordination, end up
+     in energy-suboptimal configurations — here, strictly less
+     power-efficient than SPECTR in the safe phase is NOT guaranteed,
+     but they must at least track QoS and stay sane. *)
+  let metrics = metrics_of (Siso.make ()) in
+  check_bool "meets QoS in safe phase" true (Metrics.qos_of metrics "safe" < 10.);
+  List.iter
+    (fun pm ->
+      check_bool (pm.Metrics.phase_name ^ " finite") true
+        (Float.is_finite pm.Metrics.qos_error_pct
+        && Float.is_finite pm.Metrics.power_error_pct))
+    metrics
+
+let test_other_benchmarks_run () =
+  List.iter
+    (fun w ->
+      let cfg = Scenario.default_config w in
+      let mgr, _ = Spectr_manager.make () in
+      let trace = Scenario.run ~manager:mgr cfg in
+      let metrics = Metrics.per_phase ~trace ~config:cfg in
+      (* sane output everywhere *)
+      List.iter
+        (fun pm ->
+          check_bool
+            (w.Workload.name ^ "/" ^ pm.Metrics.phase_name ^ " finite")
+            true
+            (Float.is_finite pm.Metrics.qos_error_pct
+            && Float.is_finite pm.Metrics.power_error_pct))
+        metrics)
+    [ Benchmarks.streamcluster; Benchmarks.canneal ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "spectr_core"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "controllability" `Quick
+            test_events_controllability;
+          Alcotest.test_case "lookup" `Quick test_events_lookup;
+        ] );
+      ( "plant-spec",
+        [
+          Alcotest.test_case "qos management shape" `Quick
+            test_plant_qos_management_shape;
+          Alcotest.test_case "power capping shape" `Quick
+            test_plant_power_capping_shape;
+          Alcotest.test_case "composition" `Quick test_plant_composed;
+          Alcotest.test_case "spec shape" `Quick test_spec_shape;
+          Alcotest.test_case "spec forbids increase when capped" `Quick
+            test_spec_forbids_increase_when_capped;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "verified properties" `Quick
+            test_synthesize_properties;
+          Alcotest.test_case "disables increase when capped" `Quick
+            test_synthesized_supervisor_disables_increase_when_capped;
+          Alcotest.test_case "recovery path" `Quick
+            test_synthesized_supervisor_can_recover;
+        ] );
+      ( "supervisor-runtime",
+        [
+          Alcotest.test_case "initial budgets" `Quick
+            test_supervisor_initial_budgets;
+          Alcotest.test_case "validation" `Quick test_supervisor_validation;
+          Alcotest.test_case "emergency gain switch" `Quick
+            test_supervisor_emergency_switches_gains;
+          Alcotest.test_case "recovery to qos mode" `Quick
+            test_supervisor_recovers_to_qos_mode;
+          Alcotest.test_case "raises budget on miss" `Quick
+            test_supervisor_raises_budget_on_qos_miss;
+          Alcotest.test_case "lowers budget on surplus" `Quick
+            test_supervisor_lowers_budget_on_qos_surplus;
+          Alcotest.test_case "budget cap" `Quick
+            test_supervisor_budget_cap_respects_envelope;
+          Alcotest.test_case "envelope drop reclamps" `Quick
+            test_supervisor_envelope_drop_reclamps;
+          Alcotest.test_case "critical cut" `Quick test_supervisor_critical_cut;
+          Alcotest.test_case "never stuck" `Quick test_supervisor_state_never_stuck;
+          Alcotest.test_case "budget invariants (random walk)" `Quick
+            test_supervisor_budget_invariants_random_walk;
+          Alcotest.test_case "scenario deterministic" `Slow
+            test_scenario_deterministic;
+        ] );
+      ( "design-flow",
+        [
+          Alcotest.test_case "big 2x2 identifiable" `Slow
+            test_design_flow_big_identifiable;
+          Alcotest.test_case "10x10 worse than 2x2" `Slow
+            test_design_flow_large_worse_than_small;
+          Alcotest.test_case "gain design" `Slow test_design_flow_gains;
+          Alcotest.test_case "bad goal" `Slow test_design_flow_bad_goal;
+        ] );
+      ( "ops-cost",
+        [
+          Alcotest.test_case "dims" `Quick test_ops_cost_dims;
+          Alcotest.test_case "monotone" `Quick test_ops_cost_monotone_in_cores;
+          Alcotest.test_case "order insignificance" `Quick
+            test_ops_cost_order_insignificant_at_scale;
+          Alcotest.test_case "figure magnitude" `Quick test_ops_cost_magnitude;
+          Alcotest.test_case "invocation count" `Quick test_ops_cost_invocation;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "trace shape" `Slow test_scenario_trace_shape;
+          Alcotest.test_case "safe phase QoS" `Slow test_safe_phase_qos;
+          Alcotest.test_case "safe phase efficiency split" `Slow
+            test_safe_phase_efficiency_split;
+          Alcotest.test_case "emergency adaptation" `Slow
+            test_emergency_phase_all_adapt;
+          Alcotest.test_case "emergency compliance speed" `Slow
+            test_emergency_spectr_fast_compliance;
+          Alcotest.test_case "disturbance phase" `Slow test_disturbance_phase;
+          Alcotest.test_case "SPECTR adapts priorities" `Slow
+            test_spectr_adapts_priorities;
+          Alcotest.test_case "SPECTR energy efficiency" `Slow
+            test_spectr_energy_efficiency;
+          Alcotest.test_case "gain-scheduling ablation" `Slow
+            test_gain_scheduling_ablation;
+          Alcotest.test_case "divisor validation" `Quick
+            test_supervisor_divisor_validation;
+          Alcotest.test_case "thermal governor" `Quick test_thermal_governor;
+          Alcotest.test_case "thermal governor validation" `Quick
+            test_thermal_governor_validation;
+          Alcotest.test_case "closed thermal loop" `Slow
+            test_closed_thermal_loop;
+          Alcotest.test_case "SISO baseline" `Slow test_siso_baseline;
+          Alcotest.test_case "other benchmarks run" `Slow
+            test_other_benchmarks_run;
+        ] );
+    ]
