@@ -1,0 +1,26 @@
+.PHONY: all build test fmt bench robustness check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting gate: dune files must be @fmt-clean (OCaml sources are
+# exempt in dune-project — the container carries no ocamlformat).
+fmt:
+	dune build @fmt
+
+bench:
+	dune exec bench/main.exe
+
+robustness:
+	dune exec bench/main.exe -- robustness
+
+# What CI runs.
+check: build fmt test
+
+clean:
+	dune clean

@@ -31,7 +31,10 @@ let run_controller ~label ~q_y =
     fps.(t) <- obs.Soc.qos_rate;
     power.(t) <- obs.Soc.big_power;
     let u = Mimo.step ctrl ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |] in
-    Spectr.Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
+    let (_ : Spectr.Manager.applied) =
+      Spectr.Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
+    in
+    ()
   done;
   (time, fps, power)
 

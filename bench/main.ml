@@ -20,6 +20,7 @@ let experiments =
     ("fig15", Fig15.run);
     ("overhead", Overhead.run);
     ("ablations", Ablations.run);
+    ("robustness", Robustness.run);
   ]
 
 let () =

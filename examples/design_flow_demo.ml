@@ -104,10 +104,15 @@ let () =
     let obs = Soc.step soc ~dt:0.05 in
     let u = Spectr_control.Mimo.step big_ctrl
         ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |] in
-    Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1);
+    let (_ : Manager.applied) =
+      Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
+    in
     let ul = Spectr_control.Mimo.step little_ctrl
         ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |] in
-    Manager.apply_cluster soc Soc.Little ~freq_ghz:ul.(0) ~cores:ul.(1)
+    let (_ : Manager.applied) =
+      Manager.apply_cluster soc Soc.Little ~freq_ghz:ul.(0) ~cores:ul.(1)
+    in
+    ()
   done;
   Printf.printf "  after 5 s: QoS %.1f (ref 60.0), chip power %.2f W\n"
     (Soc.true_qos_rate soc) (Soc.true_chip_power soc);

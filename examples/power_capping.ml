@@ -14,13 +14,17 @@ open Spectr
 
 let () =
   let mgr, sup = Spectr_manager.make () in
+  let phase name ~duration_s ~envelope ~background_tasks =
+    { Scenario.phase_name = name; duration_s; envelope; background_tasks;
+      phase_faults = [] }
+  in
   let phases =
     [
-      { Scenario.phase_name = "nominal"; duration_s = 3.; envelope = 5.0; background_tasks = 0 };
-      { Scenario.phase_name = "emergency-1"; duration_s = 3.; envelope = 3.0; background_tasks = 0 };
-      { Scenario.phase_name = "recovery"; duration_s = 3.; envelope = 5.0; background_tasks = 4 };
-      { Scenario.phase_name = "emergency-2"; duration_s = 3.; envelope = 2.5; background_tasks = 4 };
-      { Scenario.phase_name = "final"; duration_s = 3.; envelope = 5.0; background_tasks = 0 };
+      phase "nominal" ~duration_s:3. ~envelope:5.0 ~background_tasks:0;
+      phase "emergency-1" ~duration_s:3. ~envelope:3.0 ~background_tasks:0;
+      phase "recovery" ~duration_s:3. ~envelope:5.0 ~background_tasks:4;
+      phase "emergency-2" ~duration_s:3. ~envelope:2.5 ~background_tasks:4;
+      phase "final" ~duration_s:3. ~envelope:5.0 ~background_tasks:0;
     ]
   in
   (* Demand almost everything the platform can deliver, so the reduced

@@ -110,44 +110,75 @@ let build_product plant spec =
   in
   { states; trans = !trans; succ; pred; marked; forbidden; initial = start }
 
+(* Static controllability index over the product.  The fixpoint only ever
+   asks two questions of a state: does the plant enable an uncontrollable
+   event the spec disables (an escape — bad no matter what), and which
+   states does it reach / is it reached from via uncontrollable events?
+   Neither answer depends on the evolving good-set, so we resolve the
+   event lookups once instead of rescanning every state's association
+   list on every pass. *)
+type unc_index = {
+  unc_escape : bool array;
+  unc_succ : int list array; (* successors via uncontrollable events *)
+  unc_pred : int list array; (* reverse of [unc_succ] *)
+}
+
+let build_unc_index plant spec product =
+  let n = Array.length product.states in
+  let sigma_e = Automaton.alphabet spec in
+  let unc_escape = Array.make n false in
+  let unc_succ = Array.make n [] in
+  let unc_pred = Array.make n [] in
+  Array.iteri
+    (fun i (ig, _ie) ->
+      let by_event = Hashtbl.create 8 in
+      List.iter
+        (fun (e, j) ->
+          if not (Hashtbl.mem by_event e) then Hashtbl.add by_event e j)
+        product.succ.(i);
+      List.iter
+        (fun e ->
+          if not (Event.is_controllable e) then
+            match Hashtbl.find_opt by_event e with
+            | Some j ->
+                unc_succ.(i) <- j :: unc_succ.(i);
+                unc_pred.(j) <- i :: unc_pred.(j)
+            | None ->
+                (* A plant-private event always has a product transition,
+                   so a missing one means the spec's alphabet contains [e]
+                   and the spec disabled it: an uncontrollable escape. *)
+                assert (Event.Set.mem e sigma_e);
+                unc_escape.(i) <- true)
+        (Automaton.enabled_index plant ig))
+    product.states;
+  { unc_escape; unc_succ; unc_pred }
+
 (* One uncontrollability pass: mark good states bad when the plant enables
    an uncontrollable event that either leaves the product (spec disables
-   it) or lands on a bad state.  Returns the number newly removed. *)
-let uncontrollable_pass plant spec product good =
-  let sigma_e = Automaton.alphabet spec in
+   it) or lands on a bad state.  Worklist-driven — seed with the states
+   that are violated right now, then only revisit predecessors of newly
+   bad states.  Returns the number newly removed. *)
+let uncontrollable_pass idx product good =
   let removed = ref 0 in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iteri
-      (fun i (ig, _ie) ->
-        if good.(i) then begin
-          let plant_enabled = Automaton.enabled_index plant ig in
-          let violated =
-            List.exists
-              (fun e ->
-                (not (Event.is_controllable e))
-                &&
-                (* where does the product go on e from i? *)
-                match List.assoc_opt e product.succ.(i) with
-                | Some j -> not good.(j)
-                | None ->
-                    (* No product transition on a plant-enabled
-                       uncontrollable event.  A plant-private event always
-                       has a product transition, so this means the spec's
-                       alphabet contains [e] and the spec disabled it:
-                       an uncontrollable escape. *)
-                    assert (Event.Set.mem e sigma_e);
-                    true)
-              plant_enabled
-          in
-          if violated then begin
-            good.(i) <- false;
-            incr removed;
-            changed := true
-          end
-        end)
-      product.states
+  let queue = Queue.create () in
+  let kill i =
+    if good.(i) then begin
+      good.(i) <- false;
+      incr removed;
+      Queue.push i queue
+    end
+  in
+  let n = Array.length product.states in
+  for i = 0 to n - 1 do
+    if
+      good.(i)
+      && (idx.unc_escape.(i)
+         || List.exists (fun j -> not good.(j)) idx.unc_succ.(i))
+    then kill i
+  done;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    List.iter kill idx.unc_pred.(j)
   done;
   !removed
 
@@ -186,6 +217,7 @@ let blocking_pass product good =
 
 let supcon ~plant ~spec =
   let product = build_product plant spec in
+  let idx = build_unc_index plant spec product in
   let n = Array.length product.states in
   let good = Array.make n true in
   let removed_forbidden = ref 0 in
@@ -202,7 +234,7 @@ let supcon ~plant ~spec =
   let continue = ref true in
   while !continue do
     incr iterations;
-    let u = uncontrollable_pass plant spec product good in
+    let u = uncontrollable_pass idx product good in
     let b = blocking_pass product good in
     removed_unc := !removed_unc + u;
     removed_blk := !removed_blk + b;

@@ -20,7 +20,12 @@ let make ?(seed = 17L) () =
     let u =
       Mimo.step ctrl ~measured:[| obs.Soc.qos_rate; obs.Soc.chip_power |]
     in
-    Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1);
-    Manager.apply_cluster soc Soc.Little ~freq_ghz:u.(2) ~cores:u.(3)
+    let (_ : Manager.applied) =
+      Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
+    in
+    let (_ : Manager.applied) =
+      Manager.apply_cluster soc Soc.Little ~freq_ghz:u.(2) ~cores:u.(3)
+    in
+    ()
   in
   { Manager.name = "FS"; step }

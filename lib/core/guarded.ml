@@ -1,0 +1,187 @@
+type channel_config = {
+  lo : float;
+  hi : float;
+  max_step : float;
+  stuck_count : int;
+  suspect_limit : int;
+}
+
+type config = {
+  qos : channel_config;
+  power : channel_config;
+  trip_count : int;
+  recover_count : int;
+}
+
+let default_config =
+  {
+    qos = { lo = 0.2; hi = 400.; max_step = 45.; stuck_count = 8; suspect_limit = 4 };
+    power =
+      { lo = 0.02; hi = 15.; max_step = 3.; stuck_count = 8; suspect_limit = 4 };
+    trip_count = 6;
+    recover_count = 10;
+  }
+
+type channel = {
+  cfg : channel_config;
+  mutable last_good : float;
+  mutable have_good : bool;
+  mutable suspects : int;
+  mutable suspect_value : float; (* last off-trend candidate level *)
+  mutable last_raw : float;
+  mutable same_streak : int;
+}
+
+let make_channel cfg =
+  {
+    cfg;
+    last_good = 0.;
+    have_good = false;
+    suspects = 0;
+    suspect_value = nan;
+    last_raw = nan;
+    same_streak = 0;
+  }
+
+(* Classify one sample; returns the value to hand to the controller
+   (always finite once a good sample has been seen). *)
+let channel_filter ch v =
+  let cfg = ch.cfg in
+  (* Stuck detection: real sensors are noisy, so a long bit-identical
+     streak is a fault, not a coincidence. *)
+  if Float.is_finite v && v = ch.last_raw then
+    ch.same_streak <- ch.same_streak + 1
+  else ch.same_streak <- 1;
+  ch.last_raw <- v;
+  let accept value =
+    ch.last_good <- value;
+    ch.have_good <- true;
+    ch.suspects <- 0;
+    (value, true)
+  in
+  let reject () =
+    let substitute =
+      if ch.have_good then ch.last_good
+      else Float.max cfg.lo (Float.min cfg.hi 0.)
+    in
+    (substitute, false)
+  in
+  if not (Float.is_finite v) then reject ()
+  else if v < cfg.lo || v > cfg.hi then reject ()
+  else if ch.same_streak >= cfg.stuck_count then reject ()
+  else if ch.have_good && abs_float (v -. ch.last_good) > cfg.max_step then begin
+    (* Off-trend but in range: a spike for a few samples, a genuine
+       level shift if it persists.  Only samples that agree with the
+       previous off-trend candidate count toward acceptance — a real
+       shift settles at one new level, while scattered spikes disagree
+       with the genuine readings between them and keep restarting the
+       count, so a spike is never adopted as the new level. *)
+    if ch.suspects > 0 && abs_float (v -. ch.suspect_value) <= cfg.max_step
+    then ch.suspects <- ch.suspects + 1
+    else ch.suspects <- 1;
+    ch.suspect_value <- v;
+    if ch.suspects >= cfg.suspect_limit then accept v else reject ()
+  end
+  else accept v
+
+type t = {
+  config : config;
+  qos_ch : channel;
+  big_power_ch : channel;
+  little_power_ch : channel;
+  mutable sensor_bad_streak : int;
+  mutable actuator_bad_streak : int;
+  mutable good_streak : int;
+  mutable is_degraded : bool;
+  mutable spans : (float * float option) list; (* newest first *)
+  mutable substituted : int;
+  mutable total : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    qos_ch = make_channel config.qos;
+    big_power_ch = make_channel config.power;
+    little_power_ch = make_channel config.power;
+    sensor_bad_streak = 0;
+    actuator_bad_streak = 0;
+    good_streak = 0;
+    is_degraded = false;
+    spans = [];
+    substituted = 0;
+    total = 0;
+  }
+
+let degraded t = t.is_degraded
+let substituted_samples t = t.substituted
+let total_samples t = t.total
+let degradation_spans t = List.rev t.spans
+
+let recovery_times t =
+  List.filter_map
+    (function enter, Some exit -> Some (exit -. enter) | _, None -> None)
+    (degradation_spans t)
+
+let enter_degraded t ~now =
+  if not t.is_degraded then begin
+    t.is_degraded <- true;
+    t.good_streak <- 0;
+    t.spans <- (now, None) :: t.spans
+  end
+
+let exit_degraded t ~now =
+  if t.is_degraded then begin
+    t.is_degraded <- false;
+    t.sensor_bad_streak <- 0;
+    t.actuator_bad_streak <- 0;
+    (match t.spans with
+    | (enter, None) :: rest -> t.spans <- (enter, Some now) :: rest
+    | _ -> ())
+  end
+
+(* Shared watchdog update: trip on a persistent problem on either path,
+   resume only after a sustained run of fully healthy periods. *)
+let update_watchdog t ~now =
+  let c = t.config in
+  if
+    t.sensor_bad_streak >= c.trip_count
+    || t.actuator_bad_streak >= c.trip_count
+  then enter_degraded t ~now
+  else if t.is_degraded && t.good_streak >= c.recover_count then
+    exit_degraded t ~now
+
+type filtered = {
+  qos : float;
+  big_power : float;
+  little_power : float;
+  healthy : bool;
+}
+
+let filter t ~now ~qos ~big_power ~little_power =
+  t.total <- t.total + 1;
+  let qos, qos_ok = channel_filter t.qos_ch qos in
+  let big_power, bp_ok = channel_filter t.big_power_ch big_power in
+  let little_power, lp_ok = channel_filter t.little_power_ch little_power in
+  let healthy = qos_ok && bp_ok && lp_ok in
+  if not healthy then t.substituted <- t.substituted + 1;
+  if healthy then begin
+    t.sensor_bad_streak <- 0;
+    (* A period only counts toward recovery when the actuator side is
+       quiet too; note_actuation resets the streak on disobedience. *)
+    if t.actuator_bad_streak = 0 then t.good_streak <- t.good_streak + 1
+  end
+  else begin
+    t.sensor_bad_streak <- t.sensor_bad_streak + 1;
+    t.good_streak <- 0
+  end;
+  update_watchdog t ~now;
+  { qos; big_power; little_power; healthy }
+
+let note_actuation t ~now ~ok =
+  if ok then t.actuator_bad_streak <- 0
+  else begin
+    t.actuator_bad_streak <- t.actuator_bad_streak + 1;
+    t.good_streak <- 0
+  end;
+  update_watchdog t ~now

@@ -1,0 +1,94 @@
+(** Graceful-degradation layer: sensor sanity filtering, actuation
+    clamping and a sensor/actuator watchdog.
+
+    The synthesized supervisor guarantees safety {e given truthful
+    measurements and obedient actuators}.  Under the fault classes of
+    {!Spectr_platform.Faults} neither holds, so a guarded manager routes
+    every measurement through {!filter} and reports every actuation
+    readback through {!note_actuation}.  The defense ladder:
+
+    + {e sanity filter} — a sample that is non-finite, outside its
+      plausibility range, exactly frozen for several periods (real
+      sensors are noisy; bit-identical streaks mean a stuck sensor), or
+      an implausible jump is replaced by the last healthy value.  A
+      genuine level shift is distinguished from a spike by persistence:
+      after [suspect_limit] off-trend samples that agree with each other
+      (within [max_step]) the new level is accepted — scattered spikes
+      disagree with the genuine readings between them, so a spike is
+      never adopted as the new level.
+    + {e actuation clamping} — non-finite controller outputs never reach
+      the platform (see {!Manager.apply_cluster}).
+    + {e watchdog} — [trip_count] consecutive periods of sensor loss or
+      actuator disobedience degrade the manager to a conservative
+      open-loop fallback (minimum-power OPP, one core per cluster,
+      budgets pinned); [recover_count] consecutive healthy periods
+      restore closed-loop control.
+
+    The filter never emits a non-finite value. *)
+
+type channel_config = {
+  lo : float;  (** Smallest plausible reading. *)
+  hi : float;  (** Largest plausible reading. *)
+  max_step : float;  (** Largest plausible change per sample. *)
+  stuck_count : int;
+      (** Consecutive bit-identical samples that mean "stuck sensor". *)
+  suspect_limit : int;
+      (** Off-trend samples after which a level shift is accepted. *)
+}
+
+type config = {
+  qos : channel_config;
+  power : channel_config;  (** Shared by both cluster power sensors. *)
+  trip_count : int;  (** Consecutive unhealthy periods before degrading. *)
+  recover_count : int;  (** Consecutive healthy periods before resuming. *)
+}
+
+val default_config : config
+(** Tuned for the x264-class scenarios: QoS plausible in [0.2, 400]
+    HB/s with steps up to 45, power in [0.02, 15] W with steps up to
+    3 W; 8-sample stuck detection, 4-sample spike tolerance; trip after
+    6 periods (300 ms at the 50 ms loop), recover after 10. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Per-period protocol} *)
+
+type filtered = {
+  qos : float;
+  big_power : float;
+  little_power : float;
+  healthy : bool;  (** No channel needed substitution this period. *)
+}
+
+val filter :
+  t -> now:float -> qos:float -> big_power:float -> little_power:float ->
+  filtered
+(** Sanitize one observation and advance the sensor side of the
+    watchdog.  Every returned field is finite. *)
+
+val note_actuation : t -> now:float -> ok:bool -> unit
+(** Report whether the platform applied the last command as expected
+    (quantized frequency and core count read back equal to the
+    expectation).  Persistent disobedience trips the watchdog exactly
+    like sensor loss. *)
+
+(** {1 State and metrics} *)
+
+val degraded : t -> bool
+(** In the open-loop fallback? The manager must pin minimum-power
+    actuation and freeze its controllers while this holds. *)
+
+val substituted_samples : t -> int
+(** Samples replaced by the sanity filter so far. *)
+
+val total_samples : t -> int
+
+val degradation_spans : t -> (float * float option) list
+(** Completed and ongoing degradations, oldest first:
+    [(entered, exited)] with [exited = None] while still degraded. *)
+
+val recovery_times : t -> float list
+(** Durations of the completed degradations, oldest first — the
+    recovery-time metric of the robustness bench. *)

@@ -1,5 +1,9 @@
 open Spectr_platform
 
+let src = Logs.Src.create "spectr.manager" ~doc:"Actuation path"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type t = {
   name : string;
   step :
@@ -11,6 +15,31 @@ type t = {
     unit;
 }
 
+type applied = { freq_mhz : int; cores : int }
+
+(* Controller outputs can be garbage (a diverged integrator, a NaN from a
+   corrupted measurement).  Non-finite or negative commands must clamp to
+   the nearest legal value — NaN conservatively to the low end — instead
+   of silently becoming 0 cores (which `int_of_float nan` produces). *)
+let sanitize_freq_mhz table freq_ghz =
+  let f_mhz = freq_ghz *. 1000. in
+  if Float.is_nan f_mhz then float_of_int (Opp.min_freq table)
+  else if f_mhz = Float.infinity then float_of_int (Opp.max_freq table)
+  else if f_mhz = Float.neg_infinity || f_mhz < 0. then
+    float_of_int (Opp.min_freq table)
+  else f_mhz
+
+let sanitize_cores cores =
+  if Float.is_nan cores then 1
+  else int_of_float (Float.round (Float.max 1. (Float.min 4. cores)))
+
 let apply_cluster soc cluster ~freq_ghz ~cores =
-  ignore (Soc.set_frequency soc cluster (freq_ghz *. 1000.));
-  Soc.set_active_cores soc cluster (int_of_float (Float.round cores))
+  let table = match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little in
+  let freq_mhz = Soc.set_frequency soc cluster (sanitize_freq_mhz table freq_ghz) in
+  Soc.set_active_cores soc cluster (sanitize_cores cores);
+  let applied = { freq_mhz; cores = Soc.active_cores soc cluster } in
+  Log.debug (fun m ->
+      m "%s: commanded %.3f GHz / %.2f cores, applied %d MHz / %d cores"
+        (match cluster with Soc.Big -> "big" | Soc.Little -> "little")
+        freq_ghz cores applied.freq_mhz applied.cores);
+  applied

@@ -21,7 +21,27 @@ type t = {
     unit;
 }
 
+val sanitize_freq_mhz : Spectr_platform.Opp.t -> float -> float
+(** The frequency a [freq_ghz] command will be quantized from, in MHz:
+    non-finite and negative values clamp to the table's legal range
+    (NaN conservatively to the minimum OPP). *)
+
+val sanitize_cores : float -> int
+(** The core count a [cores] command resolves to: clamped to [1, 4],
+    NaN conservatively to 1. *)
+
+type applied = { freq_mhz : int; cores : int }
+(** What the platform actually did with a command: the quantized OPP
+    returned by {!Spectr_platform.Soc.set_frequency} and the core count
+    read back after gating.  Under an actuator fault these differ from
+    the request — comparing them against the expectation is how the
+    guarded manager detects stuck actuators. *)
+
 val apply_cluster :
-  Soc.t -> Soc.cluster -> freq_ghz:float -> cores:float -> unit
-(** Helper shared by all managers: quantize and apply a (frequency GHz,
-    core count) command pair to one cluster. *)
+  Soc.t -> Soc.cluster -> freq_ghz:float -> cores:float -> applied
+(** Helper shared by all managers: sanitize (non-finite or negative
+    commands clamp to the nearest legal value, NaN conservatively to the
+    low end), quantize and apply a (frequency GHz, core count) command
+    pair to one cluster, and return what was actually applied.  The
+    applied settings are logged at debug level on the
+    ["spectr.manager"] source. *)

@@ -23,6 +23,34 @@ let compliance_time ~envelope ~dt power =
   let lv = last_violation 0 (-1) in
   if lv = n - 1 then None else Some (float_of_int (lv + 1) *. dt)
 
+(* First sample index >= [after] from which [pred] holds for every
+   remaining sample, or None.  Shared scan behind the fault-recovery
+   metrics: find the last offending sample and step past it. *)
+let sustained_from ~after pred arr =
+  let n = Array.length arr in
+  if after >= n then None
+  else begin
+    let last_bad = ref (after - 1) in
+    for i = after to n - 1 do
+      if not (pred arr.(i)) then last_bad := i
+    done;
+    if !last_bad = n - 1 then None else Some (max after (!last_bad + 1))
+  end
+
+let recovery_time ~envelope ~dt ~after power =
+  let limit = envelope *. 1.02 in
+  match sustained_from ~after (fun p -> p <= limit) power with
+  | None -> None
+  | Some i -> Some (float_of_int (i - after) *. dt)
+
+let reconvergence_time ~reference ~band ~dt ~after qos =
+  let tol = band *. Float.abs reference in
+  match
+    sustained_from ~after (fun q -> Float.abs (q -. reference) <= tol) qos
+  with
+  | None -> None
+  | Some i -> Some (float_of_int (i - after) *. dt)
+
 let per_phase ~trace ~config =
   let bounds = Scenario.phase_bounds config in
   List.map

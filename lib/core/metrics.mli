@@ -31,6 +31,24 @@ type phase_metrics = {
 val per_phase : trace:Trace.t -> config:Scenario.config -> phase_metrics list
 (** Steady-state errors use the last 40 % of each phase's samples. *)
 
+val recovery_time :
+  envelope:float -> dt:float -> after:int -> float array -> float option
+(** Fault-recovery metric: seconds from sample index [after] (e.g. a
+    fault's onset or clearance) until chip power drops to — and stays at
+    or under — the envelope (2 % allowance) for the rest of the slice.
+    [None] when power never re-complies. *)
+
+val reconvergence_time :
+  reference:float ->
+  band:float ->
+  dt:float ->
+  after:int ->
+  float array ->
+  float option
+(** Seconds from sample index [after] until the signal re-enters (and
+    stays within) [band] (relative, e.g. 0.1 = ±10 %) of [reference] for
+    the rest of the slice; [None] when it never reconverges. *)
+
 val pp_phase_metrics : Format.formatter -> phase_metrics -> unit
 
 val qos_of : phase_metrics list -> string -> float

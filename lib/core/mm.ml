@@ -45,13 +45,18 @@ let make ~label ~name ?(seed = 17L) () =
     let u_big =
       Mimo.step big ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |]
     in
-    Manager.apply_cluster soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1);
+    let (_ : Manager.applied) =
+      Manager.apply_cluster soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1)
+    in
     let u_little =
       Mimo.step little
         ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
     in
-    Manager.apply_cluster soc Soc.Little ~freq_ghz:u_little.(0)
-      ~cores:u_little.(1)
+    let (_ : Manager.applied) =
+      Manager.apply_cluster soc Soc.Little ~freq_ghz:u_little.(0)
+        ~cores:u_little.(1)
+    in
+    ()
   in
   { Manager.name; step }
 

@@ -5,6 +5,7 @@ type phase = {
   duration_s : float;
   envelope : float;
   background_tasks : int;
+  phase_faults : Faults.injection list;
 }
 
 type config = {
@@ -17,18 +18,26 @@ type config = {
 
 let default_phases ?(tdp = 5.0) ?(emergency = 3.5) () =
   [
-    { phase_name = "safe"; duration_s = 5.; envelope = tdp; background_tasks = 0 };
+    {
+      phase_name = "safe";
+      duration_s = 5.;
+      envelope = tdp;
+      background_tasks = 0;
+      phase_faults = [];
+    };
     {
       phase_name = "emergency";
       duration_s = 5.;
       envelope = emergency;
       background_tasks = 0;
+      phase_faults = [];
     };
     {
       phase_name = "disturbance";
       duration_s = 5.;
       envelope = tdp;
       background_tasks = 16;
+      phase_faults = [];
     };
   ]
 
@@ -65,13 +74,40 @@ let columns =
     "phase";
   ]
 
+let fault_columns = columns @ [ "faults"; "true_power" ]
+
 let steps_of_phase config ph =
   int_of_float (Float.round (ph.duration_s /. config.controller_period))
+
+(* Phase fault windows are phase-relative; fold them into one absolute
+   schedule for the whole run. *)
+let fault_schedule config =
+  let _, injections =
+    List.fold_left
+      (fun (start, acc) ph ->
+        ( start +. ph.duration_s,
+          acc @ Faults.shift ph.phase_faults ~by:start ))
+      (0., []) config.phases
+  in
+  injections
 
 let run ~manager config =
   let soc_config = { Soc.default_config with seed = config.seed } in
   let soc = Soc.create ~config:soc_config ~qos:config.workload () in
-  let trace = Trace.create ~columns in
+  let injections = fault_schedule config in
+  (* Fault injection is strictly opt-in: with no schedule the SoC keeps
+     faults = None and the extra trace column is omitted, so existing
+     figures and benches reproduce bit-identical traces. *)
+  let faults =
+    match injections with
+    | [] -> None
+    | _ :: _ -> Some (Faults.create injections)
+  in
+  Soc.set_faults soc faults;
+  let trace =
+    Trace.create
+      ~columns:(match faults with None -> columns | Some _ -> fault_columns)
+  in
   (* QoS is observed through the Heartbeats monitor (§5): the application
      issues heartbeats as it completes work and the managers read the
      windowed rate, not an instantaneous sensor. *)
@@ -81,14 +117,22 @@ let run ~manager config =
       Soc.set_background_tasks soc ph.background_tasks;
       for _ = 1 to steps_of_phase config ph do
         let raw = Soc.step soc ~dt:config.controller_period in
-        Heartbeats.beat hb ~now:raw.Soc.time
-          ~count:(raw.Soc.qos_rate *. config.controller_period);
+        (* A stalled heartbeat monitor receives no beats at all; the
+           windowed rate then decays to zero while the app still runs. *)
+        let stalled =
+          match faults with
+          | None -> false
+          | Some f -> Faults.heartbeat_stalled f ~now:raw.Soc.time
+        in
+        if not stalled then
+          Heartbeats.beat hb ~now:raw.Soc.time
+            ~count:(raw.Soc.qos_rate *. config.controller_period);
         let obs =
           { raw with Soc.qos_rate = Heartbeats.rate hb ~now:raw.Soc.time }
         in
         manager.Manager.step ~now:obs.Soc.time ~qos_ref:config.qos_ref
           ~envelope:ph.envelope ~obs soc;
-        Trace.add trace
+        let base_row =
           [|
             obs.Soc.time;
             obs.Soc.qos_rate;
@@ -104,6 +148,21 @@ let run ~manager config =
             float_of_int ph.background_tasks;
             float_of_int phase_idx;
           |]
+        in
+        let row =
+          match faults with
+          | None -> base_row
+          | Some f ->
+              (* Under sensor faults the [power] column records what the
+                 managers saw (the corrupted reading); [true_power] is
+                 the ground truth a safety evaluation must use. *)
+              Array.append base_row
+                [|
+                  float_of_int (Faults.active_count f ~now:obs.Soc.time);
+                  Soc.true_chip_power soc;
+                |]
+        in
+        Trace.add trace row
       done)
     config.phases;
   trace

@@ -18,6 +18,12 @@ type phase = {
   duration_s : float;
   envelope : float;  (** Power budget during the phase (W). *)
   background_tasks : int;
+  phase_faults : Faults.injection list;
+      (** Fault injections active during this phase; windows are
+          {e phase-relative} (0 = phase start) and are shifted to
+          absolute run time by {!run}.  Empty (the default scenario) is
+          strictly off: no fault machinery is attached to the SoC and
+          traces are bit-identical to pre-fault-layer runs. *)
 }
 
 type config = {
@@ -31,7 +37,16 @@ type config = {
 val default_phases : ?tdp:float -> ?emergency:float -> unit -> phase list
 (** The paper's scenario: 5 s Safe at [tdp] (default 5 W), 5 s Emergency
     at [emergency] (default 3.5 W), 5 s Disturbance at [tdp] with 10
-    background tasks. *)
+    background tasks.  No faults. *)
+
+val columns : string list
+(** Base trace columns (no [faults] column). *)
+
+val fault_columns : string list
+(** Trace columns of a faulted run: {!columns} plus ["faults"] (number
+    of active injections) and ["true_power"] (ground-truth chip power —
+    under sensor faults the [power] column records the corrupted reading
+    the managers saw, so safety must be judged against this one). *)
 
 val default_config : ?seed:int64 -> ?qos_ref:float -> Workload.t -> config
 (** 60 FPS reference for x264; for the other benchmarks the reference is
@@ -42,7 +57,17 @@ val run : manager:Manager.t -> config -> Trace.t
 (** Execute the scenario.  The trace has columns [time], [qos],
     [qos_ref], [power], [envelope], [big_power], [little_power],
     [big_freq_mhz], [big_cores], [little_freq_mhz], [little_cores],
-    [background], [phase] (phase index as a float). *)
+    [background], [phase] (phase index as a float).  When any phase
+    carries fault injections, trailing [faults] and [true_power] columns
+    record the active-injection count and ground-truth chip power per
+    sample ({!fault_columns});
+    [big_freq_mhz]/[big_cores] (and Little counterparts) always read
+    back the {e actually applied} actuator state, so a stuck actuator is
+    visible in the trace. *)
+
+val fault_schedule : config -> Faults.injection list
+(** The absolute-time fault schedule of a config (phase-relative windows
+    shifted by each phase's start). *)
 
 val phase_bounds : config -> (string * int * int) list
 (** Sample-index range [(name, from, upto)] of each phase in a trace

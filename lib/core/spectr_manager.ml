@@ -6,7 +6,8 @@ let design_or_fail ident goals =
   | Ok gains -> gains
   | Error msg -> failwith ("Spectr_manager: " ^ msg)
 
-let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true) () =
+let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
+    ?guards () =
   if supervisor_divisor < 1 then
     invalid_arg "Spectr_manager.make: supervisor_divisor < 1";
   let ident_big = Design_flow.identify ~seed Design_flow.Big_2x2 in
@@ -45,22 +46,64 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true) () =
   in
   let sup = Supervisor.create ~commands ~envelope:5.0 () in
   let tick = ref 0 in
-  let step ~now:_ ~qos_ref ~envelope ~obs soc =
-    Mimo.set_reference big ~index:0 qos_ref;
-    (* Supervisor period: every [supervisor_divisor] controller periods. *)
-    if !tick mod supervisor_divisor = 0 then
-      Supervisor.step sup ~qos:obs.Soc.qos_rate ~qos_ref
-        ~power:obs.Soc.chip_power ~envelope;
-    incr tick;
-    let u_big =
-      Mimo.step big ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |]
-    in
-    Manager.apply_cluster soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1);
-    let u_little =
-      Mimo.step little
-        ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
-    in
-    Manager.apply_cluster soc Soc.Little ~freq_ghz:u_little.(0)
-      ~cores:u_little.(1)
+  (* One cluster actuation, with actuator-fault detection when guarded:
+     the applied OPP/core count read back from the platform must match
+     the sanitized expectation. *)
+  let actuate guard soc cluster ~freq_ghz ~cores ~now =
+    let applied = Manager.apply_cluster soc cluster ~freq_ghz ~cores in
+    match guard with
+    | None -> ()
+    | Some g ->
+        let table =
+          match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little
+        in
+        let expected_freq =
+          Opp.nearest table (Manager.sanitize_freq_mhz table freq_ghz)
+        in
+        let expected_cores = Manager.sanitize_cores cores in
+        let ok =
+          applied.Manager.freq_mhz = expected_freq
+          && applied.Manager.cores = expected_cores
+        in
+        Guarded.note_actuation g ~now ~ok
   in
-  ({ Manager.name = "SPECTR"; step }, sup)
+  let step ~now ~qos_ref ~envelope ~obs soc =
+    let qos, big_power, little_power =
+      match guards with
+      | None -> (obs.Soc.qos_rate, obs.Soc.big_power, obs.Soc.little_power)
+      | Some g ->
+          let f =
+            Guarded.filter g ~now ~qos:obs.Soc.qos_rate
+              ~big_power:obs.Soc.big_power ~little_power:obs.Soc.little_power
+          in
+          (f.Guarded.qos, f.Guarded.big_power, f.Guarded.little_power)
+    in
+    match guards with
+    | Some g when Guarded.degraded g ->
+        (* Open-loop fallback: sensors (or actuators) are untrustworthy,
+           so pin the minimum-power configuration and freeze the
+           supervisor and both leaf controllers (their state resumes
+           unpolluted once readings return).  With both actuators driven
+           to their floor, any single surviving actuator keeps chip
+           power inside the envelope. *)
+        actuate guards soc Soc.Big ~freq_ghz:0.2 ~cores:1. ~now;
+        actuate guards soc Soc.Little ~freq_ghz:0.2 ~cores:1. ~now;
+        incr tick
+    | _ ->
+        Mimo.set_reference big ~index:0 qos_ref;
+        (* Supervisor period: every [supervisor_divisor] controller
+           periods. *)
+        if !tick mod supervisor_divisor = 0 then
+          Supervisor.step sup ~qos ~qos_ref ~power:(big_power +. little_power)
+            ~envelope;
+        incr tick;
+        let u_big = Mimo.step big ~measured:[| qos; big_power |] in
+        actuate guards soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1) ~now;
+        let u_little =
+          Mimo.step little ~measured:[| obs.Soc.little_ips /. 1e9; little_power |]
+        in
+        actuate guards soc Soc.Little ~freq_ghz:u_little.(0) ~cores:u_little.(1)
+          ~now
+  in
+  let name = match guards with None -> "SPECTR" | Some _ -> "SPECTR+G" in
+  ({ Manager.name; step }, sup)

@@ -12,10 +12,18 @@ val make :
   ?seed:int64 ->
   ?supervisor_divisor:int ->
   ?gain_scheduling:bool ->
+  ?guards:Guarded.t ->
   unit ->
   Manager.t * Supervisor.t
 (** Returns the manager and a handle on its supervisor (for inspecting
     mode, budgets and synthesis statistics).  [gain_scheduling:false]
     builds the ablation variant whose supervisor still regulates budgets
-    but never switches gains.  Raises [Invalid_argument] when
-    [supervisor_divisor < 1]. *)
+    but never switches gains.
+
+    [guards] arms the graceful-degradation layer (named ["SPECTR+G"]):
+    observations pass through {!Guarded.filter}, actuation readbacks
+    feed {!Guarded.note_actuation}, and while {!Guarded.degraded} holds
+    the manager pins the minimum-power open-loop fallback with the
+    supervisor and both leaf controllers frozen.  Without [guards]
+    (the default) behaviour is bit-identical to previous releases.
+    Raises [Invalid_argument] when [supervisor_divisor < 1]. *)

@@ -213,6 +213,19 @@ let feed t event =
   | None -> ()
 
 let step t ~qos ~qos_ref ~power ~envelope =
+  (* Sensor-fault guard: a non-finite measurement must not poison the
+     band comparisons (NaN makes every band test false, silently holding
+     the current state forever).  Treat it as a dropped sample and fall
+     back to the last trustworthy value — the guarded layer upstream
+     normally filters these out, but the supervisor must stay safe even
+     when driven bare. *)
+  let qos = if Float.is_finite qos then qos else t.last_qos in
+  let qos_ref = if Float.is_finite qos_ref then qos_ref else t.last_qos_ref in
+  let power = if Float.is_finite power then power else t.last_power in
+  let envelope =
+    if Float.is_finite envelope && envelope > 0. then envelope
+    else t.last_envelope
+  in
   t.mode_age <- t.mode_age + 1;
   t.last_qos <- qos;
   t.last_qos_ref <- qos_ref;

@@ -69,7 +69,11 @@ val step :
 (** One supervisor period: ingest the measured QoS rate, its reference,
     the measured chip power and the current power envelope (which may
     have changed — a thermal emergency), then emit commands.  Command
-    closures are invoked synchronously, before [step] returns. *)
+    closures are invoked synchronously, before [step] returns.
+
+    Non-finite measurements (a failed sensor) are treated as dropped
+    samples: the last trustworthy value is substituted, so the band
+    logic keeps running instead of silently holding state forever. *)
 
 val state : t -> string
 (** Current supervisor-automaton state name (e.g.

@@ -1,0 +1,103 @@
+open Spectr_linalg
+
+type sensor = Power | Qos
+
+type kind =
+  | Dropout of sensor
+  | Stuck_at_last of sensor
+  | Spike_burst of sensor * float
+  | Dvfs_stuck
+  | Gating_refused
+  | Heartbeat_stall
+
+let spike_probability = 0.3
+
+type injection = { fault : kind; start_s : float; stop_s : float }
+
+let injection fault ~start_s ~stop_s =
+  if start_s < 0. || not (Float.is_finite start_s) then
+    invalid_arg "Faults.injection: start_s < 0";
+  if stop_s <= start_s then invalid_arg "Faults.injection: stop_s <= start_s";
+  { fault; start_s; stop_s }
+
+type t = {
+  injections : injection list;
+  rng : Prng.t; (* spike noise only; independent of the SoC's stream *)
+  mutable last_power_big : float;
+  mutable last_power_little : float;
+  mutable last_qos : float;
+}
+
+let create ?(seed = 0xFA17L) injections =
+  List.iter
+    (fun i -> ignore (injection i.fault ~start_s:i.start_s ~stop_s:i.stop_s))
+    injections;
+  {
+    injections;
+    rng = Prng.create seed;
+    last_power_big = 0.;
+    last_power_little = 0.;
+    last_qos = 0.;
+  }
+
+let injections t = t.injections
+let window_active i ~now = now >= i.start_s && now < i.stop_s
+
+let is_active t ~now fault =
+  List.exists
+    (fun i -> i.fault = fault && window_active i ~now)
+    t.injections
+
+let active_count t ~now =
+  List.length (List.filter (window_active ~now) t.injections)
+
+let active_on t ~now pred =
+  List.exists (fun i -> window_active i ~now && pred i.fault) t.injections
+
+let dvfs_stuck t ~now = active_on t ~now (fun f -> f = Dvfs_stuck)
+let gating_refused t ~now = active_on t ~now (fun f -> f = Gating_refused)
+let heartbeat_stalled t ~now = active_on t ~now (fun f -> f = Heartbeat_stall)
+
+(* Sensor transforms compose in severity order: a spike burst corrupts a
+   live reading, stuck-at freezes it, dropout kills it outright. *)
+let apply_sensor t ~now ~sensor ~get_last ~set_last v =
+  let active pred = active_on t ~now pred in
+  let spiked =
+    List.fold_left
+      (fun v i ->
+        match i.fault with
+        | Spike_burst (s, mag) when s = sensor && window_active i ~now ->
+            if Prng.float t.rng < spike_probability then v *. mag else v
+        | _ -> v)
+      v t.injections
+  in
+  if active (fun f -> f = Dropout sensor) then 0.
+  else if active (fun f -> f = Stuck_at_last sensor) then get_last ()
+  else begin
+    set_last spiked;
+    spiked
+  end
+
+let apply_power t ~now ~channel v =
+  let get_last, set_last =
+    match channel with
+    | `Big ->
+        ((fun () -> t.last_power_big), fun v -> t.last_power_big <- v)
+    | `Little ->
+        ((fun () -> t.last_power_little), fun v -> t.last_power_little <- v)
+  in
+  apply_sensor t ~now ~sensor:Power ~get_last ~set_last v
+
+let apply_qos t ~now v =
+  let v =
+    apply_sensor t ~now ~sensor:Qos
+      ~get_last:(fun () -> t.last_qos)
+      ~set_last:(fun v -> t.last_qos <- v)
+      v
+  in
+  if heartbeat_stalled t ~now then 0. else v
+
+let shift injections ~by =
+  List.map
+    (fun i -> { i with start_s = i.start_s +. by; stop_s = i.stop_s +. by })
+    injections

@@ -1,0 +1,89 @@
+(** Scriptable fault injection for the simulated SoC.
+
+    SPECTR's robustness claim — the synthesized supervisor keeps the
+    system inside its safe envelope under disturbances the low-level
+    controllers cannot anticipate — is only meaningful if something
+    actually breaks.  This module models the runtime fault classes the
+    related work (ControlPULP's PCS fault handling, the online-adaptive
+    RM literature) treats as first-class events:
+
+    - {e sensor faults}: a power or QoS sensor that drops to zero, gets
+      stuck repeating its last pre-fault reading, or emits bursts of
+      outlier spikes;
+    - {e actuator faults}: a DVFS driver that silently ignores
+      {!Soc.set_frequency}, or core gating requests that are refused;
+    - {e heartbeat stall}: the QoS monitor stops receiving heartbeats
+      while the application itself keeps running.
+
+    A schedule is a list of {!injection}s, each active on a half-open
+    time window [[start_s, stop_s)].  The schedule is attached to a
+    {!Soc.t}; the SoC consults it inside its sensor and actuator paths,
+    so resource managers stay completely oblivious — they just see bad
+    data or ineffective commands, exactly as on real hardware.
+
+    Fault injection is {e off by default} and side-effect free when
+    inactive: spike noise draws from the schedule's own PRNG (never the
+    SoC's), so a run with an empty — or never-active — schedule is
+    bit-identical to a run with no schedule at all. *)
+
+type sensor = Power | Qos  (** Which sensor class a sensor fault hits. *)
+
+type kind =
+  | Dropout of sensor  (** The sensor reads 0 (dead line). *)
+  | Stuck_at_last of sensor
+      (** The sensor repeats its last pre-fault reading. *)
+  | Spike_burst of sensor * float
+      (** Outlier bursts: each sample is multiplied by the given factor
+          with probability {!spike_probability}. *)
+  | Dvfs_stuck  (** {!Soc.set_frequency} is silently ignored. *)
+  | Gating_refused  (** {!Soc.set_active_cores} is silently ignored. *)
+  | Heartbeat_stall
+      (** The QoS monitor reports no progress while the app still runs
+          (the {!Soc} zeroes the heartbeat-rate sensor; scenario drivers
+          additionally stop delivering beats to their monitor). *)
+
+val spike_probability : float
+(** Per-sample probability that a {!Spike_burst} sample actually spikes
+    (0.3). *)
+
+type injection = { fault : kind; start_s : float; stop_s : float }
+
+val injection : kind -> start_s:float -> stop_s:float -> injection
+(** Convenience constructor.  Raises [Invalid_argument] when
+    [start_s < 0] or [stop_s <= start_s]. *)
+
+type t
+
+val create : ?seed:int64 -> injection list -> t
+(** A fault schedule.  [seed] feeds the spike-noise PRNG only (default
+    [0xFA17L]); all other fault transforms are deterministic. *)
+
+val injections : t -> injection list
+
+val is_active : t -> now:float -> kind -> bool
+(** Is a fault of exactly this kind active at [now]? *)
+
+val active_count : t -> now:float -> int
+(** Number of currently-active injections (the [faults] trace column). *)
+
+val dvfs_stuck : t -> now:float -> bool
+val gating_refused : t -> now:float -> bool
+val heartbeat_stalled : t -> now:float -> bool
+
+(** {1 Sensor transforms}
+
+    Called by {!Soc.step} on the would-be sensor readings.  Each
+    function returns the reading as corrupted by whatever sensor faults
+    are active, and records the last healthy reading so that
+    [Stuck_at_last] has something to repeat. *)
+
+val apply_power : t -> now:float -> channel:[ `Big | `Little ] -> float -> float
+(** [channel] selects which last-healthy slot backs [Stuck_at_last] (the
+    two cluster power sensors fail together but repeat their own last
+    readings). *)
+
+val apply_qos : t -> now:float -> float -> float
+
+val shift : injection list -> by:float -> injection list
+(** Shift every window [by] seconds (used to turn phase-relative
+    schedules into absolute ones). *)

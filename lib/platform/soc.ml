@@ -49,6 +49,7 @@ type t = {
   idle : float array; (* 8 entries *)
   mutable n_background : int;
   mutable temperature_c : float;
+  mutable faults : Faults.t option;
 }
 
 let create ?(config = default_config) ~qos () =
@@ -64,24 +65,36 @@ let create ?(config = default_config) ~qos () =
     idle = Array.make 8 0.;
     n_background = 0;
     temperature_c = config.ambient_c;
+    faults = None;
   }
+
+let set_faults soc faults = soc.faults <- faults
+let faults soc = soc.faults
+
+let fault_active soc pred =
+  match soc.faults with None -> false | Some f -> pred f ~now:soc.now
 
 let table = function Big -> Opp.big | Little -> Opp.little
 
-let set_frequency soc cluster f_mhz =
-  let f = Opp.nearest (table cluster) f_mhz in
-  (match cluster with
-  | Big -> soc.big_freq <- f
-  | Little -> soc.little_freq <- f);
-  f
-
 let frequency soc = function Big -> soc.big_freq | Little -> soc.little_freq
 
+let set_frequency soc cluster f_mhz =
+  if fault_active soc Faults.dvfs_stuck then frequency soc cluster
+  else begin
+    let f = Opp.nearest (table cluster) f_mhz in
+    (match cluster with
+    | Big -> soc.big_freq <- f
+    | Little -> soc.little_freq <- f);
+    f
+  end
+
 let set_active_cores soc cluster n =
-  let n = max 1 (min 4 n) in
-  match cluster with
-  | Big -> soc.big_active <- n
-  | Little -> soc.little_active <- n
+  if not (fault_active soc Faults.gating_refused) then begin
+    let n = max 1 (min 4 n) in
+    match cluster with
+    | Big -> soc.big_active <- n
+    | Little -> soc.little_active <- n
+  end
 
 let active_cores soc = function
   | Big -> soc.big_active
@@ -252,6 +265,18 @@ let step soc ~dt =
   let qos_rate = noisy soc soc.config.qos_noise (true_qos_rate soc) in
   let per_core =
     Array.map (fun v -> noisy soc soc.config.ips_noise v) (per_core_ips_now soc)
+  in
+  (* Sensor faults corrupt the readings only after every draw from the
+     SoC's own noise stream, so an inactive (or absent) schedule leaves
+     the no-fault trace bit-identical. *)
+  let big_power, little_power, qos_rate =
+    match soc.faults with
+    | None -> (big_power, little_power, qos_rate)
+    | Some f ->
+        let now = soc.now in
+        ( Faults.apply_power f ~now ~channel:`Big big_power,
+          Faults.apply_power f ~now ~channel:`Little little_power,
+          Faults.apply_qos f ~now qos_rate )
   in
   let big_ips = per_core.(0) +. per_core.(1) +. per_core.(2) +. per_core.(3) in
   let little_ips =

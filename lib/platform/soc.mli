@@ -50,7 +50,10 @@ val create : ?config:config -> qos:Workload.t -> unit -> t
 
 val set_frequency : t -> cluster -> float -> int
 (** Request a cluster frequency in MHz; the value is quantized to the
-    nearest OPP, which is returned. *)
+    nearest OPP, which is returned.  Under an active {!Faults.Dvfs_stuck}
+    injection the request is ignored and the {e current} frequency is
+    returned — callers must treat the return value as the ground truth
+    of what was applied. *)
 
 val frequency : t -> cluster -> int
 
@@ -71,6 +74,20 @@ val set_background_tasks : t -> int -> unit
     Big where they steal capacity from the QoS app). *)
 
 val background_tasks : t -> int
+
+(** {1 Fault injection} *)
+
+val set_faults : t -> Faults.t option -> unit
+(** Attach (or clear) a fault schedule.  While a {!Faults.Dvfs_stuck}
+    ([Gating_refused]) injection is active, {!set_frequency}
+    ({!set_active_cores}) is silently ignored — {!set_frequency} returns
+    the unchanged current frequency, exactly what a readback would show.
+    Sensor faults corrupt the {!observation} fields of {!step}.  [None]
+    (the default) and a schedule with no active window are
+    bit-identical: fault machinery never touches the SoC's noise
+    stream. *)
+
+val faults : t -> Faults.t option
 
 (** {1 Stepping} *)
 

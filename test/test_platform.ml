@@ -489,6 +489,142 @@ let test_trace_csv () =
   check_bool "csv" true (Trace.to_csv tr = "a,b\n1,2\n")
 
 (* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_validation () =
+  Alcotest.check_raises "negative start"
+    (Invalid_argument "Faults.injection: start_s < 0") (fun () ->
+      ignore (Faults.injection Faults.Dvfs_stuck ~start_s:(-1.) ~stop_s:1.));
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Faults.injection: stop_s <= start_s") (fun () ->
+      ignore (Faults.injection Faults.Dvfs_stuck ~start_s:2. ~stop_s:2.))
+
+let test_faults_windows () =
+  let f =
+    Faults.create
+      [
+        Faults.injection Faults.Dvfs_stuck ~start_s:1. ~stop_s:2.;
+        Faults.injection (Faults.Dropout Power) ~start_s:1.5 ~stop_s:3.;
+      ]
+  in
+  check_bool "before" false (Faults.dvfs_stuck f ~now:0.9);
+  check_bool "inside" true (Faults.dvfs_stuck f ~now:1.);
+  check_bool "stop exclusive" false (Faults.dvfs_stuck f ~now:2.);
+  check_int "overlap count" 2 (Faults.active_count f ~now:1.7);
+  check_int "none active" 0 (Faults.active_count f ~now:5.)
+
+let test_faults_shift () =
+  let shifted =
+    Faults.shift
+      [ Faults.injection Faults.Heartbeat_stall ~start_s:0.5 ~stop_s:1. ]
+      ~by:3.
+  in
+  match shifted with
+  | [ { Faults.start_s; stop_s; _ } ] ->
+      check_float "start" 3.5 start_s;
+      check_float "stop" 4. stop_s
+  | _ -> Alcotest.fail "one injection expected"
+
+(* A schedule whose windows never become active must leave the SoC's
+   sensor stream bit-identical: the fault layer draws from its own PRNG
+   and only while a spike window is live. *)
+let test_faults_inactive_identity () =
+  let run faults =
+    let soc = fresh_soc () in
+    Soc.set_faults soc faults;
+    List.init 40 (fun _ -> Soc.step soc ~dt:0.05)
+  in
+  let plain = run None in
+  let armed =
+    run
+      (Some
+         (Faults.create
+            [
+              Faults.injection
+                (Faults.Spike_burst (Power, 5.))
+                ~start_s:100. ~stop_s:101.;
+            ]))
+  in
+  List.iter2
+    (fun (a : Soc.observation) (b : Soc.observation) ->
+      check_float "chip power" a.Soc.chip_power b.Soc.chip_power;
+      check_float "qos" a.Soc.qos_rate b.Soc.qos_rate;
+      check_float "temperature" a.Soc.temperature_c b.Soc.temperature_c)
+    plain armed
+
+let soc_with fault ~start_s ~stop_s =
+  let soc = fresh_soc () in
+  Soc.set_faults soc (Some (Faults.create [ Faults.injection fault ~start_s ~stop_s ]));
+  soc
+
+let test_faults_power_dropout () =
+  let soc = soc_with (Faults.Dropout Power) ~start_s:0. ~stop_s:10. in
+  let obs = Soc.step soc ~dt:0.05 in
+  check_float "big reads dead" 0. obs.Soc.big_power;
+  check_float "little reads dead" 0. obs.Soc.little_power;
+  check_bool "chip still burns power" true (Soc.true_chip_power soc > 0.5)
+
+let test_faults_qos_stuck () =
+  let soc = soc_with (Faults.Stuck_at_last Qos) ~start_s:1. ~stop_s:10. in
+  let last_healthy = ref 0. in
+  for _ = 1 to 19 do
+    last_healthy := (Soc.step soc ~dt:0.05).Soc.qos_rate
+  done;
+  (* Fault opens at t = 1; every subsequent reading repeats the last
+     pre-fault one exactly, which live noisy sensors never do. *)
+  for _ = 1 to 10 do
+    check_float "stuck repeats last reading" !last_healthy
+      (Soc.step soc ~dt:0.05).Soc.qos_rate
+  done
+
+let test_faults_spikes () =
+  let f =
+    Faults.create
+      [ Faults.injection (Faults.Spike_burst (Power, 5.)) ~start_s:0. ~stop_s:10. ]
+  in
+  let spiked = ref 0 and clean = ref 0 in
+  for _ = 1 to 100 do
+    let v = Faults.apply_power f ~now:1. ~channel:`Big 2. in
+    if v = 10. then incr spiked
+    else if v = 2. then incr clean
+    else Alcotest.failf "unexpected sample %g" v
+  done;
+  check_bool "some samples spike" true (!spiked > 0);
+  check_bool "most samples clean" true (!clean > !spiked)
+
+let test_faults_heartbeat_stall () =
+  let f =
+    Faults.create
+      [ Faults.injection Faults.Heartbeat_stall ~start_s:0. ~stop_s:10. ]
+  in
+  check_float "qos reads zero" 0. (Faults.apply_qos f ~now:1. 57.);
+  check_float "clears after window" 57. (Faults.apply_qos f ~now:11. 57.)
+
+let test_faults_dvfs_stuck () =
+  let soc = soc_with Faults.Dvfs_stuck ~start_s:0. ~stop_s:1. in
+  let before = Soc.frequency soc Soc.Big in
+  let applied = Soc.set_frequency soc Soc.Big 2000. in
+  check_int "request ignored" before applied;
+  check_int "frequency unchanged" before (Soc.frequency soc Soc.Big);
+  (* Advance past the window; the driver obeys again. *)
+  for _ = 1 to 25 do
+    ignore (Soc.step soc ~dt:0.05)
+  done;
+  check_int "works after window" 2000 (Soc.set_frequency soc Soc.Big 2000.)
+
+let test_faults_gating_refused () =
+  let soc = soc_with Faults.Gating_refused ~start_s:0. ~stop_s:1. in
+  let before = Soc.active_cores soc Soc.Big in
+  Soc.set_active_cores soc Soc.Big 1;
+  check_int "request refused" before (Soc.active_cores soc Soc.Big);
+  for _ = 1 to 25 do
+    ignore (Soc.step soc ~dt:0.05)
+  done;
+  Soc.set_active_cores soc Soc.Big 1;
+  check_int "works after window" 1 (Soc.active_cores soc Soc.Big)
+
+(* ------------------------------------------------------------------ *)
 (* Integration: sysid on the simulated platform                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -627,6 +763,21 @@ let () =
           Alcotest.test_case "slice" `Quick test_trace_slice;
           Alcotest.test_case "validation" `Quick test_trace_validation;
           Alcotest.test_case "csv" `Quick test_trace_csv;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "validation" `Quick test_faults_validation;
+          Alcotest.test_case "windows" `Quick test_faults_windows;
+          Alcotest.test_case "shift" `Quick test_faults_shift;
+          Alcotest.test_case "inactive is bit-identical" `Quick
+            test_faults_inactive_identity;
+          Alcotest.test_case "power dropout" `Quick test_faults_power_dropout;
+          Alcotest.test_case "qos stuck" `Quick test_faults_qos_stuck;
+          Alcotest.test_case "spike bursts" `Quick test_faults_spikes;
+          Alcotest.test_case "heartbeat stall" `Quick
+            test_faults_heartbeat_stall;
+          Alcotest.test_case "dvfs stuck" `Quick test_faults_dvfs_stuck;
+          Alcotest.test_case "gating refused" `Quick test_faults_gating_refused;
         ] );
       ( "integration",
         [

@@ -613,6 +613,364 @@ let test_other_benchmarks_run () =
     [ Benchmarks.streamcluster; Benchmarks.canneal ]
 
 (* ------------------------------------------------------------------ *)
+(* Synthesis fixpoint details                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthesis_stats_pinned () =
+  (* The worklist rewrite of the uncontrollable pass must leave the
+     case-study synthesis bit-for-bit unchanged; these are the numbers
+     the original full-rescan implementation produced. *)
+  let _, stats = Supervisor.synthesize () in
+  check_int "product states" 27 stats.Synthesis.product_states;
+  check_int "forbidden" 6 stats.Synthesis.removed_forbidden;
+  check_int "uncontrollable" 0 stats.Synthesis.removed_uncontrollable;
+  check_int "blocking" 0 stats.Synthesis.removed_blocking;
+  check_int "iterations" 1 stats.Synthesis.iterations
+
+let test_synthesis_uncontrollable_worklist () =
+  (* The case-study models never exercise uncontrollable pruning, so
+     build a plant where they do: S0 -go1-> S1a -tick!-> S1 -boom!-> S2,
+     plus a safe S0 -go2-> S3.  The spec disables boom outright, so
+     (S1) is uncontrollably unsafe and the badness must propagate back
+     over tick! to S1a via the worklist; the supervisor can only cut the
+     controllable go1. *)
+  let go1 = Event.controllable "go1" in
+  let go2 = Event.controllable "go2" in
+  let tick = Event.uncontrollable "tick" in
+  let boom = Event.uncontrollable "boom" in
+  let plant =
+    Automaton.create ~name:"plant" ~initial:"S0"
+      ~marked:[ "S0"; "S3" ]
+      ~transitions:
+        [
+          ("S0", go1, "S1a");
+          ("S1a", tick, "S1");
+          ("S1", boom, "S2");
+          ("S0", go2, "S3");
+        ]
+      ()
+  in
+  let spec =
+    Automaton.create ~name:"spec" ~initial:"P0" ~marked:[ "P0" ]
+      ~alphabet:[ go1; go2; tick; boom ]
+      ~transitions:
+        [ ("P0", go1, "P0"); ("P0", go2, "P0"); ("P0", tick, "P0") ]
+      ()
+  in
+  match Synthesis.supcon ~plant ~spec with
+  | Error _ -> Alcotest.fail "supervisor must be nonempty"
+  | Ok (sup, stats) ->
+      check_int "reachable product" 4 stats.Synthesis.product_states;
+      check_int "uncontrollable removed" 2
+        stats.Synthesis.removed_uncontrollable;
+      check_bool "go1 pruned" false
+        (List.exists (Event.equal go1)
+           (Automaton.enabled sup (Automaton.initial sup)));
+      check_bool "go2 kept" true
+        (List.exists (Event.equal go2)
+           (Automaton.enabled sup (Automaton.initial sup)));
+      check_bool "still controllable" true
+        (Verify.is_controllable ~plant ~supervisor:sup);
+      check_bool "still nonblocking" true (Verify.is_nonblocking sup)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded degradation layer                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Alternating healthy readings: live sensors are noisy, so identical
+   streaks would (correctly) trip the stuck detector. *)
+let healthy_step g ~now i =
+  let wiggle = if i mod 2 = 0 then 0. else 0.11 in
+  Guarded.filter g ~now ~qos:(60. +. wiggle) ~big_power:(2. +. wiggle)
+    ~little_power:(1. +. wiggle)
+
+let warmed_guards () =
+  let g = Guarded.create () in
+  for i = 1 to 5 do
+    ignore (healthy_step g ~now:(float_of_int i *. 0.05) i)
+  done;
+  g
+
+let test_guarded_filter_never_nonfinite () =
+  let g = warmed_guards () in
+  let garbage = [ nan; infinity; neg_infinity; -3.; 1e12; 0. ] in
+  List.iteri
+    (fun i v ->
+      let f =
+        Guarded.filter g
+          ~now:(0.3 +. (float_of_int i *. 0.05))
+          ~qos:v ~big_power:v ~little_power:v
+      in
+      check_bool "qos finite" true (Float.is_finite f.Guarded.qos);
+      check_bool "big finite" true (Float.is_finite f.Guarded.big_power);
+      check_bool "little finite" true (Float.is_finite f.Guarded.little_power);
+      check_bool "flagged unhealthy" false f.Guarded.healthy)
+    garbage
+
+let test_guarded_watchdog_trip_and_recover () =
+  let g = warmed_guards () in
+  let cfg = Guarded.default_config in
+  (* Persistent sensor loss: dead QoS line (0 is below the plausible
+     floor).  The watchdog must trip after trip_count periods... *)
+  for i = 1 to cfg.Guarded.trip_count do
+    let now = 0.25 +. (float_of_int i *. 0.05) in
+    ignore (Guarded.filter g ~now ~qos:0. ~big_power:2. ~little_power:1.)
+  done;
+  check_bool "degraded after persistent loss" true (Guarded.degraded g);
+  (* ... and hand control back only after recover_count healthy ones. *)
+  for i = 1 to cfg.Guarded.recover_count do
+    let now = 1. +. (float_of_int i *. 0.05) in
+    ignore (healthy_step g ~now i)
+  done;
+  check_bool "recovered" false (Guarded.degraded g);
+  match Guarded.recovery_times g with
+  | [ t ] ->
+      check_bool "finite recovery time" true (Float.is_finite t && t > 0.)
+  | l -> Alcotest.failf "expected one completed span, got %d" (List.length l)
+
+let test_guarded_spike_vs_level_shift () =
+  let g = warmed_guards () in
+  (* One outlier spike on the Big power sensor: substituted, and the
+     spiked value itself must never come back out of the filter. *)
+  let f =
+    Guarded.filter g ~now:0.3 ~qos:60. ~big_power:9.5 ~little_power:1.
+  in
+  check_bool "spike rejected" false f.Guarded.healthy;
+  check_bool "substitute near last good" true
+    (Float.abs (f.Guarded.big_power -. 2.) < 0.5);
+  (* A genuine level shift persists and must eventually be accepted
+     without tripping the watchdog. *)
+  let accepted = ref 0. in
+  for i = 1 to 8 do
+    let wiggle = if i mod 2 = 0 then 0. else 0.11 in
+    let f =
+      Guarded.filter g
+        ~now:(0.3 +. (float_of_int i *. 0.05))
+        ~qos:(60. +. wiggle)
+        ~big_power:(6. +. wiggle)
+        ~little_power:(1. +. wiggle)
+    in
+    accepted := f.Guarded.big_power
+  done;
+  check_bool "level shift accepted" true (Float.abs (!accepted -. 6.) < 0.5);
+  check_bool "no degradation for a shift" false (Guarded.degraded g)
+
+let test_guarded_stuck_sensor () =
+  let g = warmed_guards () in
+  let cfg = Guarded.default_config in
+  let last = ref true in
+  for i = 1 to cfg.Guarded.qos.Guarded.stuck_count + 2 do
+    let wiggle = if i mod 2 = 0 then 0. else 0.11 in
+    (* QoS frozen bit-identically; power keeps wiggling. *)
+    let f =
+      Guarded.filter g
+        ~now:(0.25 +. (float_of_int i *. 0.05))
+        ~qos:57.25
+        ~big_power:(2. +. wiggle)
+        ~little_power:(1. +. wiggle)
+    in
+    last := f.Guarded.healthy
+  done;
+  check_bool "frozen streak flagged" false !last
+
+let test_guarded_actuator_watchdog () =
+  let g = warmed_guards () in
+  let cfg = Guarded.default_config in
+  for i = 1 to cfg.Guarded.trip_count do
+    Guarded.note_actuation g ~now:(float_of_int i *. 0.05) ~ok:false
+  done;
+  check_bool "actuator disobedience trips" true (Guarded.degraded g)
+
+(* ------------------------------------------------------------------ *)
+(* Actuation-path sanitization                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_manager_sanitize () =
+  check_float "nan freq -> min OPP" 200.
+    (Manager.sanitize_freq_mhz Opp.big nan);
+  check_float "+inf freq -> max OPP" 2000.
+    (Manager.sanitize_freq_mhz Opp.big infinity);
+  check_float "-inf freq -> min OPP" 200.
+    (Manager.sanitize_freq_mhz Opp.big neg_infinity);
+  check_float "negative freq -> min OPP" 200.
+    (Manager.sanitize_freq_mhz Opp.big (-0.4 *. 1000.));
+  check_float "finite passes through" 1234.
+    (Manager.sanitize_freq_mhz Opp.big 1.234);
+  check_int "nan cores -> 1" 1 (Manager.sanitize_cores nan);
+  check_int "+inf cores -> 4" 4 (Manager.sanitize_cores infinity);
+  check_int "-inf cores -> 1" 1 (Manager.sanitize_cores neg_infinity);
+  check_int "clamp high" 4 (Manager.sanitize_cores 9.);
+  check_int "clamp low" 1 (Manager.sanitize_cores (-2.));
+  check_int "round" 3 (Manager.sanitize_cores 2.6)
+
+let test_manager_apply_cluster () =
+  let soc = Soc.create ~qos:Benchmarks.x264 () in
+  let a = Manager.apply_cluster soc Soc.Big ~freq_ghz:1.26 ~cores:2.4 in
+  check_int "quantized OPP returned" 1300 a.Manager.freq_mhz;
+  check_int "rounded cores returned" 2 a.Manager.cores;
+  check_int "applied to the platform" 1300 (Soc.frequency soc Soc.Big);
+  (* NaN commands must land on the conservative end, not on
+     int_of_float garbage. *)
+  let b = Manager.apply_cluster soc Soc.Big ~freq_ghz:nan ~cores:nan in
+  check_int "nan freq -> min OPP" 200 b.Manager.freq_mhz;
+  check_int "nan cores -> 1" 1 b.Manager.cores
+
+let test_supervisor_nonfinite_guard () =
+  let _, commands = make_mock () in
+  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:5.0;
+  let state = Supervisor.state sup in
+  (* A NaN sample must not poison the band logic (every NaN comparison
+     is false, which used to hold state forever). *)
+  Supervisor.step sup ~qos:nan ~qos_ref:60. ~power:nan ~envelope:5.0;
+  check_string "nan sample dropped" state (Supervisor.state sup);
+  check_bool "budgets stay finite" true
+    (Float.is_finite (Supervisor.big_power_ref sup)
+    && Float.is_finite (Supervisor.little_power_ref sup));
+  (* and the supervisor must still react to the next real sample *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
+  check_string "still responsive" "power" (Supervisor.gains_mode sup)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end fault scenarios                                          *)
+(* ------------------------------------------------------------------ *)
+
+let faulted_cfg fault ~start_s ~stop_s =
+  let phase name ~duration_s ~envelope ~background_tasks ~faults =
+    {
+      Scenario.phase_name = name;
+      duration_s;
+      envelope;
+      background_tasks;
+      phase_faults = faults;
+    }
+  in
+  {
+    (Scenario.default_config Benchmarks.x264) with
+    Scenario.phases =
+      [
+        phase "safe" ~duration_s:3. ~envelope:5.0 ~background_tasks:0
+          ~faults:[ Faults.injection fault ~start_s ~stop_s ];
+        phase "stress" ~duration_s:4. ~envelope:3.5 ~background_tasks:16
+          ~faults:[];
+        phase "recovery" ~duration_s:5. ~envelope:5.0 ~background_tasks:0
+          ~faults:[];
+      ];
+  }
+
+let run_guarded fault ~start_s ~stop_s =
+  let cfg = faulted_cfg fault ~start_s ~stop_s in
+  let guards = Guarded.create () in
+  let manager, _ = Spectr_manager.make ~guards () in
+  (Scenario.run ~manager cfg, guards)
+
+let check_guarded_rides_out fault ~start_s ~stop_s =
+  let trace, guards = run_guarded fault ~start_s ~stop_s in
+  let time = Trace.column trace "time" in
+  let true_power = Trace.column trace "true_power" in
+  let envelope = Trace.column trace "envelope" in
+  (* The watchdog must have tripped... *)
+  let spans = Guarded.degradation_spans guards in
+  check_bool "watchdog engaged" true (spans <> []);
+  let entered, exited = List.hd spans in
+  (* ... and once engaged, the open-loop fallback keeps true power under
+     the envelope (0.3 s of grace for the platform to settle). *)
+  let fault_stop = Float.min stop_s (match exited with Some t -> t | None -> infinity) in
+  Array.iteri
+    (fun i t ->
+      if t >= entered +. 0.3 && t < fault_stop then
+        check_bool
+          (Printf.sprintf "power %.2f <= envelope %.2f at t=%.2f"
+             true_power.(i) envelope.(i) t)
+          true
+          (true_power.(i) <= envelope.(i) *. 1.05))
+    time;
+  (* Control is handed back after the fault clears, in finite time. *)
+  (match exited with
+  | Some t ->
+      check_bool "handed back after clearance" true (t > entered)
+  | None -> Alcotest.fail "never recovered from degradation");
+  (* And the run as a whole re-complies after clearance. *)
+  let margin = Array.mapi (fun i p -> p -. (envelope.(i) *. 1.02)) true_power in
+  let after = ref 0 in
+  Array.iteri (fun i t -> if t < stop_s then after := i + 1) time;
+  match Metrics.recovery_time ~envelope:0. ~dt:0.05 ~after:!after margin with
+  | Some t -> check_bool "finite power recovery" true (Float.is_finite t)
+  | None -> Alcotest.fail "power never re-complied"
+
+let test_guarded_rides_out_power_dropout () =
+  check_guarded_rides_out (Faults.Dropout Power) ~start_s:3.5 ~stop_s:6.5
+
+let test_guarded_rides_out_heartbeat_stall () =
+  check_guarded_rides_out Faults.Heartbeat_stall ~start_s:3.5 ~stop_s:6.5
+
+let test_guarded_rides_out_stuck_dvfs () =
+  check_guarded_rides_out Faults.Dvfs_stuck ~start_s:1.0 ~stop_s:6.5
+
+let test_unguarded_spectr_fooled_by_dropout () =
+  (* The contrast the robustness bench is built on: without the guards,
+     a dead power sensor reads "infinite headroom" and SPECTR chases the
+     unachievable QoS reference straight through the envelope. *)
+  let cfg = faulted_cfg (Faults.Dropout Power) ~start_s:3.5 ~stop_s:6.5 in
+  let manager, _ = Spectr_manager.make () in
+  let trace = Scenario.run ~manager cfg in
+  let time = Trace.column trace "time" in
+  let true_power = Trace.column trace "true_power" in
+  let envelope = Trace.column trace "envelope" in
+  let excess = ref 0. in
+  Array.iteri
+    (fun i t ->
+      if t >= 3.5 && true_power.(i) > envelope.(i) *. 1.05 then
+        excess := !excess +. 0.05)
+    time;
+  check_bool "sustained violation while blind" true (!excess > 1.0)
+
+let test_faulted_trace_columns () =
+  let cfg = faulted_cfg (Faults.Dropout Power) ~start_s:3.5 ~stop_s:6.5 in
+  let manager, _ = Spectr_manager.make () in
+  let trace = Scenario.run ~manager cfg in
+  check_bool "fault columns" true
+    (Trace.columns trace = Scenario.fault_columns);
+  let faults_col = Trace.column trace "faults" in
+  let time = Trace.column trace "time" in
+  Array.iteri
+    (fun i t ->
+      let expect = if t >= 3.5 && t < 6.5 then 1. else 0. in
+      check_float (Printf.sprintf "active count at %.2f" t) expect
+        faults_col.(i))
+    time
+
+let test_unfaulted_trace_unchanged () =
+  (* No schedule -> no faults machinery, no extra columns: the paper
+     scenarios reproduce exactly as before this layer existed. *)
+  let cfg = Scenario.default_config Benchmarks.x264 in
+  let manager, _ = Spectr_manager.make () in
+  let trace = Scenario.run ~manager cfg in
+  check_bool "base columns only" true (Trace.columns trace = Scenario.columns)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery metrics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_recovery_time () =
+  let power = [| 6.; 6.; 6.; 4.; 6.; 4.; 4.; 4. |] in
+  (match Metrics.recovery_time ~envelope:5. ~dt:0.1 ~after:2 power with
+  | Some t -> check_float "after last violation" 0.3 t
+  | None -> Alcotest.fail "recovers");
+  check_bool "never recovers" true
+    (Metrics.recovery_time ~envelope:5. ~dt:0.1 ~after:0 [| 6.; 6. |] = None);
+  check_bool "empty tail" true
+    (Metrics.recovery_time ~envelope:5. ~dt:0.1 ~after:9 power = None)
+
+let test_metrics_reconvergence_time () =
+  let qos = [| 60.; 20.; 20.; 58.; 61.; 60. |] in
+  match
+    Metrics.reconvergence_time ~reference:60. ~band:0.1 ~dt:0.1 ~after:1 qos
+  with
+  | Some t -> check_float "first sustained re-entry" 0.2 t
+  | None -> Alcotest.fail "reconverges"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "spectr_core"
@@ -642,6 +1000,9 @@ let () =
             test_synthesized_supervisor_disables_increase_when_capped;
           Alcotest.test_case "recovery path" `Quick
             test_synthesized_supervisor_can_recover;
+          Alcotest.test_case "stats pinned" `Quick test_synthesis_stats_pinned;
+          Alcotest.test_case "uncontrollable worklist" `Quick
+            test_synthesis_uncontrollable_worklist;
         ] );
       ( "supervisor-runtime",
         [
@@ -712,5 +1073,41 @@ let () =
           Alcotest.test_case "SISO baseline" `Slow test_siso_baseline;
           Alcotest.test_case "other benchmarks run" `Slow
             test_other_benchmarks_run;
+        ] );
+      ( "guarded",
+        [
+          Alcotest.test_case "filter never non-finite" `Quick
+            test_guarded_filter_never_nonfinite;
+          Alcotest.test_case "watchdog trip and recover" `Quick
+            test_guarded_watchdog_trip_and_recover;
+          Alcotest.test_case "spike vs level shift" `Quick
+            test_guarded_spike_vs_level_shift;
+          Alcotest.test_case "stuck sensor" `Quick test_guarded_stuck_sensor;
+          Alcotest.test_case "actuator watchdog" `Quick
+            test_guarded_actuator_watchdog;
+          Alcotest.test_case "manager sanitization" `Quick test_manager_sanitize;
+          Alcotest.test_case "apply_cluster readback" `Quick
+            test_manager_apply_cluster;
+          Alcotest.test_case "supervisor non-finite guard" `Quick
+            test_supervisor_nonfinite_guard;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "rides out power dropout" `Slow
+            test_guarded_rides_out_power_dropout;
+          Alcotest.test_case "rides out heartbeat stall" `Slow
+            test_guarded_rides_out_heartbeat_stall;
+          Alcotest.test_case "rides out stuck DVFS" `Slow
+            test_guarded_rides_out_stuck_dvfs;
+          Alcotest.test_case "unguarded fooled by dropout" `Slow
+            test_unguarded_spectr_fooled_by_dropout;
+          Alcotest.test_case "faulted trace columns" `Quick
+            test_faulted_trace_columns;
+          Alcotest.test_case "unfaulted trace unchanged" `Quick
+            test_unfaulted_trace_unchanged;
+          Alcotest.test_case "recovery time metric" `Quick
+            test_metrics_recovery_time;
+          Alcotest.test_case "reconvergence time metric" `Quick
+            test_metrics_reconvergence_time;
         ] );
     ]
