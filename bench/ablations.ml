@@ -1,7 +1,10 @@
 (* Ablation benches for the design choices DESIGN.md calls out:
    - gain scheduling on/off,
    - supervisor period (1x / 2x / 10x the controller period),
-   - capping-band width. *)
+   - capping-band width.
+
+   Every variant constructs its own manager inside a parallel task; each
+   subheading group fans out with Parmap and prints in list order. *)
 
 open Spectr_platform
 
@@ -18,64 +21,75 @@ let summarize name trace cfg =
 let run () =
   Util.heading "Ablations (x264 scenario; steady-state errors in %)";
   let cfg = Spectr.Scenario.default_config Benchmarks.x264 in
+  let group specs =
+    List.iter
+      (fun (name, trace) -> summarize name trace cfg)
+      (Util.run_scenarios ~config:cfg specs)
+  in
 
   Util.subheading
     "Table 1 Row C baseline: uncoordinated SISO loops (vs SPECTR)";
-  let spectr_mgr, _ = Spectr.Spectr_manager.make () in
-  summarize "SPECTR" (Spectr.Scenario.run ~manager:spectr_mgr cfg) cfg;
-  summarize "SISO (3 independent PIDs)"
-    (Spectr.Scenario.run ~manager:(Spectr.Siso.make ()) cfg)
-    cfg;
+  group
+    [
+      ("SPECTR", fun () -> fst (Spectr.Spectr_manager.make ()));
+      ("SISO (3 independent PIDs)", fun () -> Spectr.Siso.make ());
+    ];
 
   Util.subheading "gain scheduling (SPECTR with and without mode switches)";
-  let with_gs, _ = Spectr.Spectr_manager.make ~gain_scheduling:true () in
-  let without_gs, _ = Spectr.Spectr_manager.make ~gain_scheduling:false () in
-  summarize "with gain scheduling" (Spectr.Scenario.run ~manager:with_gs cfg) cfg;
-  summarize "without gain scheduling"
-    (Spectr.Scenario.run ~manager:without_gs cfg)
-    cfg;
+  group
+    [
+      ( "with gain scheduling",
+        fun () -> fst (Spectr.Spectr_manager.make ~gain_scheduling:true ()) );
+      ( "without gain scheduling",
+        fun () -> fst (Spectr.Spectr_manager.make ~gain_scheduling:false ()) );
+    ];
 
   Util.subheading
     "supervisor period (divisor of the 50 ms controller period; paper uses 2)";
-  List.iter
-    (fun divisor ->
-      let mgr, _ = Spectr.Spectr_manager.make ~supervisor_divisor:divisor () in
-      summarize
-        (Printf.sprintf "supervisor every %d periods" divisor)
-        (Spectr.Scenario.run ~manager:mgr cfg)
-        cfg)
-    [ 1; 2; 10 ];
+  group
+    (List.map
+       (fun divisor ->
+         ( Printf.sprintf "supervisor every %d periods" divisor,
+           fun () ->
+             fst (Spectr.Spectr_manager.make ~supervisor_divisor:divisor ()) ))
+       [ 1; 2; 10 ]);
 
   Util.subheading "three-band capping width (uncapping threshold)";
+  let switch_counts =
+    Spectr_exec.Parmap.map
+      (fun uncap ->
+        let config =
+          { Spectr.Supervisor.default_config with uncapping_threshold = uncap }
+        in
+        let commands =
+          {
+            Spectr.Supervisor.switch_gains = (fun _ -> ());
+            set_big_power_ref = (fun _ -> ());
+            set_little_power_ref = (fun _ -> ());
+          }
+        in
+        let sup = Spectr.Supervisor.create ~config ~commands ~envelope:5.0 () in
+        (* count mode switches under a noisy power trajectory hovering near
+           the cap: a wider band should switch less *)
+        let g = Spectr_linalg.Prng.create 7L in
+        let switches = ref 0 in
+        let last = ref (Spectr.Supervisor.gains_mode sup) in
+        for _ = 1 to 300 do
+          let power = 4.6 +. Spectr_linalg.Prng.gaussian g ~mu:0. ~sigma:0.5 in
+          Spectr.Supervisor.step sup ~qos:60. ~qos_ref:60. ~power ~envelope:5.0;
+          let mode = Spectr.Supervisor.gains_mode sup in
+          if mode <> !last then begin
+            incr switches;
+            last := mode
+          end
+        done;
+        (uncap, !switches))
+      [ 0.95; 0.90; 0.80 ]
+  in
   List.iter
-    (fun uncap ->
-      let config =
-        { Spectr.Supervisor.default_config with uncapping_threshold = uncap }
-      in
-      let commands =
-        {
-          Spectr.Supervisor.switch_gains = (fun _ -> ());
-          set_big_power_ref = (fun _ -> ());
-          set_little_power_ref = (fun _ -> ());
-        }
-      in
-      let sup = Spectr.Supervisor.create ~config ~commands ~envelope:5.0 () in
-      (* count mode switches under a noisy power trajectory hovering near
-         the cap: a wider band should switch less *)
-      let g = Spectr_linalg.Prng.create 7L in
-      let switches = ref 0 in
-      let last = ref (Spectr.Supervisor.gains_mode sup) in
-      for _ = 1 to 300 do
-        let power = 4.6 +. Spectr_linalg.Prng.gaussian g ~mu:0. ~sigma:0.5 in
-        Spectr.Supervisor.step sup ~qos:60. ~qos_ref:60. ~power ~envelope:5.0;
-        let mode = Spectr.Supervisor.gains_mode sup in
-        if mode <> !last then begin
-          incr switches;
-          last := mode
-        end
-      done;
+    (fun (uncap, switches) ->
       Printf.printf
         "  uncapping threshold %.2f -> %d gain switches over 30 s of \
          near-cap noise\n"
-        uncap !switches)
-    [ 0.95; 0.90; 0.80 ]
+        uncap switches)
+    switch_counts

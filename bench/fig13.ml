@@ -1,6 +1,10 @@
 (* Figure 13: measured FPS and power of all four resource managers over
    the three-phase x264 scenario, plus the §5.1.1 responsiveness
-   comparison (power compliance time after the emergency drop). *)
+   comparison (power compliance time after the emergency drop).
+
+   The four scenario runs are independent (each task constructs its own
+   manager and SoC), so they fan out across the pool; printing happens
+   afterwards, in manager order. *)
 
 open Spectr_platform
 
@@ -9,31 +13,32 @@ let run () =
     "Figure 13: FPS and power traces, x264, three phases (safe 0-5 s / \
      emergency 5-10 s / disturbance 10-15 s)";
   let cfg = Spectr.Scenario.default_config Benchmarks.x264 in
-  let compliance = ref [] in
-  List.iter
-    (fun (name, manager) ->
-      let trace = Spectr.Scenario.run ~manager cfg in
-      Util.subheading (name ^ ": measured FPS / chip power vs references");
-      Util.print_series
-        ~columns:[ "fps"; "fps_ref"; "power_W"; "power_ref" ]
-        ~time:(Trace.column trace "time")
-        [
-          Trace.column trace "qos";
-          Trace.column trace "qos_ref";
-          Trace.column trace "power";
-          Trace.column trace "envelope";
-        ];
-      let metrics = Spectr.Metrics.per_phase ~trace ~config:cfg in
-      List.iter
-        (fun m -> Format.printf "  %a@." Spectr.Metrics.pp_phase_metrics m)
-        metrics;
-      let emergency =
-        List.find
-          (fun m -> m.Spectr.Metrics.phase_name = "emergency")
-          metrics
-      in
-      compliance := (name, emergency.Spectr.Metrics.compliance_time_s) :: !compliance)
-    (Util.fresh_managers ());
+  let traces = Util.run_scenarios ~config:cfg (Util.manager_specs ()) in
+  let compliance =
+    List.map
+      (fun (name, trace) ->
+        Util.subheading (name ^ ": measured FPS / chip power vs references");
+        Util.print_series
+          ~columns:[ "fps"; "fps_ref"; "power_W"; "power_ref" ]
+          ~time:(Trace.column trace "time")
+          [
+            Trace.column trace "qos";
+            Trace.column trace "qos_ref";
+            Trace.column trace "power";
+            Trace.column trace "envelope";
+          ];
+        let metrics = Spectr.Metrics.per_phase ~trace ~config:cfg in
+        List.iter
+          (fun m -> Format.printf "  %a@." Spectr.Metrics.pp_phase_metrics m)
+          metrics;
+        let emergency =
+          List.find
+            (fun m -> m.Spectr.Metrics.phase_name = "emergency")
+            metrics
+        in
+        (name, emergency.Spectr.Metrics.compliance_time_s))
+      traces
+  in
   Util.subheading
     "responsiveness: time to power-envelope compliance after the emergency \
      drop (paper: FS 2.07 s vs SPECTR 1.28 s)";
@@ -41,4 +46,4 @@ let run () =
     (fun (name, t) ->
       Printf.printf "  %-8s %s\n" name
         (match t with Some s -> Printf.sprintf "%.2f s" s | None -> "never"))
-    (List.rev !compliance)
+    compliance

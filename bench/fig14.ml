@@ -1,29 +1,43 @@
 (* Figure 14: steady-state error (QoS and power) for every benchmark,
    manager and phase.  Positive = under the reference (power saved / QoS
-   missed); negative = exceeding the reference. *)
+   missed); negative = exceeding the reference.
+
+   The full benchmark x manager grid fans out across the pool, one task
+   per cell.  Every cell constructs a fresh manager — the pre-parallel
+   harness reused the same four manager instances across all eight
+   benchmarks, leaking controller/supervisor state between scenarios. *)
 
 open Spectr_platform
 
 let run () =
   Util.heading
     "Figure 14: steady-state error (%) per benchmark x manager x phase";
-  let managers = Util.fresh_managers () in
-  let results =
-    (* benchmark -> manager -> metrics *)
-    List.map
-      (fun w ->
-        let cfg = Spectr.Scenario.default_config w in
-        let per_manager =
-          List.map
-            (fun (name, manager) ->
-              let trace = Spectr.Scenario.run ~manager cfg in
-              (name, Spectr.Metrics.per_phase ~trace ~config:cfg))
-            managers
-        in
-        (w.Workload.name, per_manager))
+  let specs = Util.manager_specs () in
+  let cells =
+    List.concat_map
+      (fun w -> List.map (fun spec -> (w, spec)) specs)
       Benchmarks.all_qos
   in
-  let manager_names = List.map fst managers in
+  let metrics_flat =
+    Spectr_exec.Parmap.map
+      (fun (w, (name, make_manager)) ->
+        let cfg = Spectr.Scenario.default_config w in
+        let trace = Spectr.Scenario.run ~manager:(make_manager ()) cfg in
+        (name, Spectr.Metrics.per_phase ~trace ~config:cfg))
+      cells
+  in
+  (* Regroup the flat, submission-ordered results by benchmark. *)
+  let per_bench = List.length specs in
+  let results =
+    List.mapi
+      (fun i w ->
+        ( w.Workload.name,
+          List.filteri
+            (fun j _ -> j / per_bench = i)
+            metrics_flat ))
+      Benchmarks.all_qos
+  in
+  let manager_names = List.map fst specs in
   let table ?(fmt = format_of_string " %+9.1f") phase extract label =
     Util.subheading label;
     Printf.printf "%-14s" "benchmark";

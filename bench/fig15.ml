@@ -1,7 +1,8 @@
 (* Figure 15: autocorrelation of one-step residuals for identified models
    of increasing size (2x2 per-cluster, 4x2 full-system, 10x10 per-core)
    against 99% whiteness confidence bands, for a throughput (IPS) output
-   and a power output. *)
+   and a power output.  The three identifications are independent and run
+   in parallel; the per-channel printing follows in figure order. *)
 
 open Spectr_sysid
 
@@ -22,6 +23,9 @@ let print_channel ~title (c : Validation.channel_report) =
       end)
     c.Validation.residual_autocorr
 
+let subsystems =
+  [ Spectr.Design_flow.Big_2x2; Spectr.Design_flow.Fs_4x2; Spectr.Design_flow.Large_10x10 ]
+
 let run () =
   Util.heading
     "Figure 15: residual autocorrelation vs model size (whiteness check)";
@@ -35,15 +39,12 @@ let run () =
       (Spectr.Design_flow.Large_10x10, 8, "10x10 model, big power output");
     ]
   in
-  let idents = Hashtbl.create 4 in
-  let get sub =
-    match Hashtbl.find_opt idents sub with
-    | Some i -> i
-    | None ->
-        let i = Spectr.Design_flow.identify sub in
-        Hashtbl.add idents sub i;
-        i
+  let idents =
+    Spectr_exec.Parmap.map
+      (fun sub -> (sub, Spectr.Design_flow.identify sub))
+      subsystems
   in
+  let get sub = List.assoc sub idents in
   List.iter
     (fun (sub, idx, title) ->
       let ident = get sub in
@@ -64,7 +65,7 @@ let run () =
       Printf.printf "  %-12s %.1f violations of the 99%% band per channel\n"
         (Spectr.Design_flow.subsystem_name sub)
         avg)
-    [ Spectr.Design_flow.Big_2x2; Spectr.Design_flow.Fs_4x2; Spectr.Design_flow.Large_10x10 ];
+    subsystems;
   print_endline
     "\nShape check (paper): the 2x2 model stays inside the confidence\n\
      band; larger models show progressively more band violations and\n\

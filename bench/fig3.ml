@@ -2,7 +2,8 @@
    MIMOs.  The FPS-oriented controller holds 60 FPS and lets power float;
    the power-oriented controller holds the power reference and lets FPS
    float — neither can renegotiate when goals change, which motivates the
-   supervisor. *)
+   supervisor.  The two controller runs are independent and fan out
+   across the pool. *)
 
 open Spectr_platform
 open Spectr_control
@@ -49,12 +50,18 @@ let summarize name fps power =
 let run () =
   Util.heading
     "Figure 3: fixed-priority 2x2 MIMOs on x264 (quad-core A15, refs 60 FPS / 5 W)";
-  let t_a, fps_a, pow_a = run_controller ~label:"qos" ~q_y:Spectr.Mm.qos_weights in
-  let _, fps_b, pow_b = run_controller ~label:"power" ~q_y:Spectr.Mm.power_weights in
-  Util.subheading "(a) FPS-oriented controller (Q ratio 30:1)";
-  Util.print_series ~columns:[ "fps"; "power_W" ] ~time:t_a [ fps_a; pow_a ];
-  Util.subheading "(b) power-oriented controller (Q ratio 1:30)";
-  Util.print_series ~columns:[ "fps"; "power_W" ] ~time:t_a [ fps_b; pow_b ];
-  Util.subheading "summary (paper: each controller tracks only its priority)";
-  summarize "FPS-oriented" fps_a pow_a;
-  summarize "power-oriented" fps_b pow_b
+  let results =
+    Spectr_exec.Parmap.map
+      (fun (label, q_y) -> run_controller ~label ~q_y)
+      [ ("qos", Spectr.Mm.qos_weights); ("power", Spectr.Mm.power_weights) ]
+  in
+  match results with
+  | [ (t_a, fps_a, pow_a); (_, fps_b, pow_b) ] ->
+      Util.subheading "(a) FPS-oriented controller (Q ratio 30:1)";
+      Util.print_series ~columns:[ "fps"; "power_W" ] ~time:t_a [ fps_a; pow_a ];
+      Util.subheading "(b) power-oriented controller (Q ratio 1:30)";
+      Util.print_series ~columns:[ "fps"; "power_W" ] ~time:t_a [ fps_b; pow_b ];
+      Util.subheading "summary (paper: each controller tracks only its priority)";
+      summarize "FPS-oriented" fps_a pow_a;
+      summarize "power-oriented" fps_b pow_b
+  | _ -> assert false

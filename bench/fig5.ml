@@ -1,7 +1,8 @@
 (* Figure 5: accuracy of identified system models — predicted (free
    simulation) vs measured power output, for the per-cluster 2x2 system
    and the per-core 10x10 system.  The 2x2 model tracks the measurement;
-   the 10x10 model visibly deviates. *)
+   the 10x10 model visibly deviates.  The two identifications run in
+   parallel; printing follows in figure order. *)
 
 open Spectr_sysid
 
@@ -40,11 +41,16 @@ let print_block title (measured, predicted, fit, name) =
 let run () =
   Util.heading
     "Figure 5: identified-model accuracy, 2x2 vs 10x10 (normalized power)";
-  print_block "2x2 per-cluster model"
-    (series Spectr.Design_flow.Big_2x2 ~output_index:1 ~output_name:"big power");
-  print_block "10x10 per-core model"
-    (series Spectr.Design_flow.Large_10x10 ~output_index:8
-       ~output_name:"big power");
+  let blocks =
+    Spectr_exec.Parmap.map
+      (fun (title, subsystem, output_index, output_name) ->
+        (title, series subsystem ~output_index ~output_name))
+      [
+        ("2x2 per-cluster model", Spectr.Design_flow.Big_2x2, 1, "big power");
+        ("10x10 per-core model", Spectr.Design_flow.Large_10x10, 8, "big power");
+      ]
+  in
+  List.iter (fun (title, block) -> print_block title block) blocks;
   print_endline
     "\nShape check (paper): the small model's prediction follows the\n\
      measurement; the large model deviates significantly."

@@ -1,26 +1,43 @@
 (* Figure 6: multiply-add operations required per MIMO controller
-   invocation as core count grows, for model orders 2, 4 and 8. *)
+   invocation as core count grows, for model orders 2, 4 and 8.  The
+   per-core-count rows are computed on the pool (trivially cheap, but it
+   keeps every driver on the same compute-then-print discipline). *)
+
+let curve_cores = [ 2; 4; 8; 12; 16; 24; 32; 40; 48; 56; 64; 70 ]
+let invocation_cores = [ 2; 8; 32; 70 ]
 
 let run () =
   Util.heading "Figure 6: MIMO operation count vs core count";
+  let curve_rows =
+    Spectr_exec.Parmap.map
+      (fun cores ->
+        ( cores,
+          Spectr.Ops_cost.paper_curve ~cores ~order:2,
+          Spectr.Ops_cost.paper_curve ~cores ~order:4,
+          Spectr.Ops_cost.paper_curve ~cores ~order:8 ))
+      curve_cores
+  in
   Printf.printf "%8s %14s %14s %14s\n" "#cores" "order 2" "order 4" "order 8";
   List.iter
-    (fun cores ->
-      Printf.printf "%8d %14.3e %14.3e %14.3e\n" cores
-        (Spectr.Ops_cost.paper_curve ~cores ~order:2)
-        (Spectr.Ops_cost.paper_curve ~cores ~order:4)
-        (Spectr.Ops_cost.paper_curve ~cores ~order:8))
-    [ 2; 4; 8; 12; 16; 24; 32; 40; 48; 56; 64; 70 ];
+    (fun (cores, o2, o4, o8) ->
+      Printf.printf "%8d %14.3e %14.3e %14.3e\n" cores o2 o4 o8)
+    curve_rows;
   Printf.printf
     "\nPer-invocation (Eq. 1-2 matrix-vector) counts for reference:\n";
+  let invocation_rows =
+    Spectr_exec.Parmap.map
+      (fun cores ->
+        ( cores,
+          Spectr.Ops_cost.invocation_ops ~cores ~order:2,
+          Spectr.Ops_cost.invocation_ops ~cores ~order:4,
+          Spectr.Ops_cost.invocation_ops ~cores ~order:8 ))
+      invocation_cores
+  in
   Printf.printf "%8s %14s %14s %14s\n" "#cores" "order 2" "order 4" "order 8";
   List.iter
-    (fun cores ->
-      Printf.printf "%8d %14d %14d %14d\n" cores
-        (Spectr.Ops_cost.invocation_ops ~cores ~order:2)
-        (Spectr.Ops_cost.invocation_ops ~cores ~order:4)
-        (Spectr.Ops_cost.invocation_ops ~cores ~order:8))
-    [ 2; 8; 32; 70 ];
+    (fun (cores, o2, o4, o8) ->
+      Printf.printf "%8d %14d %14d %14d\n" cores o2 o4 o8)
+    invocation_rows;
   print_endline
     "\nShape check (paper): superlinear growth with core count; the model\n\
      order becomes insignificant once #cores >> order."

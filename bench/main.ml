@@ -4,8 +4,12 @@
      dune exec bench/main.exe            # all experiments
      dune exec bench/main.exe -- fig13   # just one (table1, fig3, fig5,
                                          # fig6, fig12, fig13, fig14,
-                                         # fig15, overhead, ablations)
+                                         # fig15, overhead, ablations,
+                                         # robustness)
 
+   Scenario grids fan out across a domain pool (sized by SPECTR_JOBS or
+   the machine's recommended domain count); results are reduced in
+   submission order, so the output is byte-identical for any job count.
    See EXPERIMENTS.md for the paper-vs-measured record. *)
 
 let experiments =
@@ -23,18 +27,30 @@ let experiments =
     ("robustness", Robustness.run);
   ]
 
+let usage () =
+  Printf.eprintf "usage: main.exe [experiment ...]\navailable: %s\n"
+    (String.concat ", " (List.map fst experiments))
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run -> run ()
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    requested
+  (* Validate every requested name before running anything: an unknown
+     name must not abort the run halfway through earlier experiments. *)
+  let unknown =
+    List.filter (fun n -> not (List.mem_assoc n experiments)) requested
+  in
+  if unknown <> [] then begin
+    List.iter (fun n -> Printf.eprintf "unknown experiment %S\n" n) unknown;
+    usage ();
+    exit 1
+  end;
+  (* The job count goes to stderr: stdout must stay byte-identical
+     across SPECTR_JOBS settings (pinned by the determinism test). *)
+  let jobs = Spectr_exec.Parmap.jobs () in
+  Printf.eprintf "harness: %d parallel job%s (override with SPECTR_JOBS)\n%!"
+    jobs
+    (if jobs = 1 then "" else "s");
+  List.iter (fun name -> (List.assoc name experiments) ()) requested

@@ -11,7 +11,18 @@ open Toolkit
 open Spectr_platform
 
 let make_tests () =
-  let ident_big = Spectr.Design_flow.identify Spectr.Design_flow.Big_2x2 in
+  (* The two system identifications feeding the benchmarked controllers
+     are independent; run them on the pool.  The Bechamel timing runs
+     themselves stay strictly sequential — concurrent domains would
+     perturb the very latencies being measured. *)
+  let ident_big, ident_fs =
+    match
+      Spectr_exec.Parmap.map Spectr.Design_flow.identify
+        [ Spectr.Design_flow.Big_2x2; Spectr.Design_flow.Fs_4x2 ]
+    with
+    | [ big; fs ] -> (big, fs)
+    | _ -> assert false
+  in
   let goals =
     [
       { Spectr.Design_flow.label = "qos"; q_y = Spectr.Mm.qos_weights };
@@ -27,7 +38,6 @@ let make_tests () =
     Spectr.Design_flow.build_mimo ident_big ~gains ~initial:"qos"
       ~refs:[| 60.; 4.5 |]
   in
-  let ident_fs = Spectr.Design_flow.identify Spectr.Design_flow.Fs_4x2 in
   let fs_gains =
     match
       Spectr.Design_flow.design_gains ident_fs

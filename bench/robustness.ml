@@ -121,15 +121,17 @@ let evaluate ~trace ~onset ~clearance ~watchdog =
   in
   { verdict; excess_s = !excess_s; recovery_s; watchdog }
 
-let managers () =
-  let guards = Spectr.Guarded.create () in
+(* Constructors, not instances: each grid cell builds its own manager
+   (and guard state) inside its parallel task. *)
+let manager_specs =
   [
     ( "SPECTR+G",
-      fst (Spectr.Spectr_manager.make ~guards ()),
-      Some guards );
-    ("SPECTR", fst (Spectr.Spectr_manager.make ()), None);
-    ("MM-Pow", Spectr.Mm.make_pow (), None);
-    ("SISO", Spectr.Siso.make (), None);
+      fun () ->
+        let guards = Spectr.Guarded.create () in
+        (fst (Spectr.Spectr_manager.make ~guards ()), Some guards) );
+    ("SPECTR", fun () -> (fst (Spectr.Spectr_manager.make ()), None));
+    ("MM-Pow", fun () -> (Spectr.Mm.make_pow (), None));
+    ("SISO", fun () -> (Spectr.Siso.make (), None));
   ]
 
 let pp_cell c =
@@ -150,24 +152,35 @@ let run () =
   Util.heading
     "Robustness: fault classes x managers, x264 (safe 5 W 0-3 s / stress \
      3.5 W 3-7 s / recovery 5 W 7-12 s)";
-  let results =
-    List.map
+  (* One task per (fault class x manager) cell; the flat, submission-
+     ordered results are regrouped by class for printing. *)
+  let cell_inputs =
+    List.concat_map
       (fun (class_name, fault, start_s, stop_s) ->
+        List.map
+          (fun spec -> (class_name, fault, start_s, stop_s, spec))
+          manager_specs)
+      classes
+  in
+  let cells_flat =
+    Spectr_exec.Parmap.map
+      (fun (_, fault, start_s, stop_s, (mgr_name, make)) ->
         let cfg = config_for fault ~start_s ~stop_s in
-        let cells =
-          List.map
-            (fun (mgr_name, manager, guards) ->
-              let trace = Spectr.Scenario.run ~manager cfg in
-              let watchdog =
-                match guards with
-                | None -> []
-                | Some g -> Spectr.Guarded.recovery_times g
-              in
-              ( mgr_name,
-                evaluate ~trace ~onset:start_s ~clearance:stop_s ~watchdog ))
-            (managers ())
+        let manager, guards = make () in
+        let trace = Spectr.Scenario.run ~manager cfg in
+        let watchdog =
+          match guards with
+          | None -> []
+          | Some g -> Spectr.Guarded.recovery_times g
         in
-        (class_name, cells))
+        (mgr_name, evaluate ~trace ~onset:start_s ~clearance:stop_s ~watchdog))
+      cell_inputs
+  in
+  let per_class = List.length manager_specs in
+  let results =
+    List.mapi
+      (fun i (class_name, _, _, _) ->
+        (class_name, List.filteri (fun j _ -> j / per_class = i) cells_flat))
       classes
   in
   List.iter

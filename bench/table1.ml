@@ -16,12 +16,17 @@ let run () =
   in
   Printf.printf "%-32s %11s %9s %10s %12s %11s %8s\n" ""
     "1.Robust" "2.Formal" "3.Effic" "4.Coord" "5.Scal" "6.Auton";
-  List.iter
-    (fun (name, marks) ->
-      Printf.printf "%-32s" name;
-      List.iter (fun m -> Printf.printf " %10s" m) marks;
-      print_newline ())
-    rows;
+  (* Format rows on the pool, print in order — the same compute-then-
+     print split every driver follows (trivial here, but uniform). *)
+  List.iter print_string
+    (Spectr_exec.Parmap.map
+       (fun (name, marks) ->
+         let b = Buffer.create 80 in
+         Buffer.add_string b (Printf.sprintf "%-32s" name);
+         List.iter (fun m -> Buffer.add_string b (Printf.sprintf " %10s" m)) marks;
+         Buffer.add_char b '\n';
+         Buffer.contents b)
+       rows);
   print_endline
     "\nRow E is what this library implements; rows C/D correspond to the\n\
      PID/SISO (Spectr_control.Pid) and LQG/MIMO (Spectr_control.Mimo)\n\

@@ -1,4 +1,12 @@
-(* Shared helpers for the benchmark harness. *)
+(* Shared helpers for the benchmark harness.
+
+   Parallel-execution discipline: every experiment computes first —
+   fanning its scenario grid out with [Spectr_exec.Parmap.map], whose
+   results come back in submission order — and prints second, from the
+   main domain only.  Tasks construct their managers from scratch (a
+   manager is stateful; sharing one across scenarios would make results
+   depend on execution order) and never touch shared mutable state, so
+   tables and traces are byte-identical for any SPECTR_JOBS value. *)
 
 let heading title =
   Printf.printf "\n=============================================================\n";
@@ -7,7 +15,9 @@ let heading title =
 
 let subheading title = Printf.printf "\n--- %s\n" title
 
-(* Print a time series subsampled to at most [points] rows. *)
+(* Print a time series subsampled to at most [points] rows plus the final
+   one: the stride loop alone would leave the steady-state value shown in
+   figures up to stride-1 steps stale. *)
 let print_series ~columns ~time rows =
   let n = Array.length time in
   let points = 30 in
@@ -15,18 +25,35 @@ let print_series ~columns ~time rows =
   Printf.printf "%8s" "time";
   List.iter (fun c -> Printf.printf " %10s" c) columns;
   print_newline ();
+  let emit i =
+    Printf.printf "%8.2f" time.(i);
+    List.iter (fun v -> Printf.printf " %10.3f" v.(i)) rows;
+    print_newline ()
+  in
   let i = ref 0 in
   while !i < n do
-    Printf.printf "%8.2f" time.(!i);
-    List.iter (fun v -> Printf.printf " %10.3f" v.(!i)) rows;
-    print_newline ();
+    emit !i;
     i := !i + stride
-  done
+  done;
+  (* The loop's last emitted index was !i - stride. *)
+  if n > 0 && !i - stride <> n - 1 then emit (n - 1)
 
-let fresh_managers () =
+(* The four resource managers of the evaluation, as constructors: each
+   parallel task builds its own fresh instance.  (The pre-parallel
+   harness reused manager instances across scenario runs, leaking
+   controller and supervisor state from one run into the next.) *)
+let manager_specs () : (string * (unit -> Spectr.Manager.t)) list =
   [
-    ("SPECTR", fst (Spectr.Spectr_manager.make ()));
-    ("MM-Pow", Spectr.Mm.make_pow ());
-    ("MM-Perf", Spectr.Mm.make_perf ());
-    ("FS", Spectr.Fs.make ());
+    ("SPECTR", fun () -> fst (Spectr.Spectr_manager.make ()));
+    ("MM-Pow", fun () -> Spectr.Mm.make_pow ());
+    ("MM-Perf", fun () -> Spectr.Mm.make_perf ());
+    ("FS", fun () -> Spectr.Fs.make ());
   ]
+
+(* Run one scenario per (label, constructor) pair, fanned out across the
+   pool; results are in input order. *)
+let run_scenarios ~config specs =
+  Spectr_exec.Parmap.map
+    (fun (name, make_manager) ->
+      (name, Spectr.Scenario.run ~manager:(make_manager ()) config))
+    specs

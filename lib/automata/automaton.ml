@@ -218,6 +218,54 @@ let relabel_states a f =
     ~alphabet:(Event.Set.elements a.alphabet) ~name:a.name
     ~initial:(f (initial a)) ~transitions ()
 
+(* Escape '.' and '\' so that joining two component names with '.' is
+   unambiguous: the separator is the only unescaped dot, so distinct
+   pairs like ("a.b","c") and ("a","b.c") can never collide.  Names
+   without dots or backslashes — the common case — pass through
+   untouched. *)
+let escape_component s =
+  if String.exists (fun c -> c = '.' || c = '\\') s then begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        if c = '.' || c = '\\' then Buffer.add_char b '\\';
+        Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let product_state_name qa qb = escape_component qa ^ "." ^ escape_component qb
+
+let structural_digest a =
+  let b = Buffer.create 1024 in
+  (* Length-prefixed fields so adjacent strings cannot run together. *)
+  let add s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  add a.name;
+  Buffer.add_string b (string_of_int (Array.length a.state_names));
+  Array.iter add a.state_names;
+  Buffer.add_string b (string_of_int a.initial);
+  Event.Set.iter
+    (fun e ->
+      add (Event.name e);
+      Buffer.add_char b (if Event.is_controllable e then 'c' else 'u'))
+    a.alphabet;
+  (* [trans] is canonically sorted by (src, event) at construction. *)
+  Array.iter
+    (fun (s, e, d) ->
+      Buffer.add_string b (string_of_int s);
+      Buffer.add_char b ',';
+      add (Event.name e);
+      Buffer.add_string b (string_of_int d))
+    a.trans;
+  Array.iter (fun m -> Buffer.add_char b (if m then '1' else '0')) a.marked;
+  Array.iter (fun m -> Buffer.add_char b (if m then '1' else '0')) a.forbidden;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let isomorphic a b =
   Event.Set.equal a.alphabet b.alphabet
   &&

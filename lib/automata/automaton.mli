@@ -114,6 +114,24 @@ val relabel_states : t -> (string -> string) -> t
 (** Apply a renaming function to every state name.  Raises
     [Invalid_argument] when the renaming is not injective on states. *)
 
+(** {1 Product support} *)
+
+val product_state_name : string -> string -> string
+(** Unambiguous name for a product state: the two component names joined
+    with ['.'], escaping any ['.'] or ['\'] inside a component with a
+    backslash.  Unlike a naive join, distinct pairs can never collide
+    (e.g. [("a.b", "c")] and [("a", "b.c")] yield ["a\.b.c"] and
+    ["a.b\.c"]).  Dot-free component names — the common case — appear
+    verbatim.  Used by {!Compose.pair} and {!Synthesis.supcon}, so
+    re-composing an automaton whose states are themselves product states
+    is safe. *)
+
+val structural_digest : t -> string
+(** Hex digest of the automaton's full structure (name, state names in
+    index order, alphabet with controllability, transitions, initial,
+    marked and forbidden sets).  Two automata with equal digests are
+    structurally identical; the synthesis cache uses this as its key. *)
+
 (** {1 Comparison} *)
 
 val isomorphic : t -> t -> bool

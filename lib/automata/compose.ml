@@ -6,7 +6,12 @@ let pair a b =
   let sigma_a = Automaton.alphabet a and sigma_b = Automaton.alphabet b in
   let alphabet = Event.Set.union sigma_a sigma_b in
   let name_of ia ib =
-    Automaton.state_of_index a ia ^ "." ^ Automaton.state_of_index b ib
+    (* Escaping join: composing an automaton whose state names already
+       contain dots (e.g. a synthesized supervisor fed back as a plant)
+       must not collide distinct pairs. *)
+    Automaton.product_state_name
+      (Automaton.state_of_index a ia)
+      (Automaton.state_of_index b ib)
   in
   let seen = Hashtbl.create 64 in
   let queue = Queue.create () in

@@ -253,7 +253,11 @@ let supcon ~plant ~spec =
   else begin
     let name_of i =
       let ig, ie = product.states.(i) in
-      Automaton.state_of_index plant ig ^ "." ^ Automaton.state_of_index spec ie
+      (* Escaping join (see Automaton.product_state_name): the plant is
+         typically itself a composition with dotted state names. *)
+      Automaton.product_state_name
+        (Automaton.state_of_index plant ig)
+        (Automaton.state_of_index spec ie)
     in
     let transitions =
       List.filter_map

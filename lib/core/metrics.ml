@@ -53,6 +53,10 @@ let reconvergence_time ~reference ~band ~dt ~after qos =
 
 let per_phase ~trace ~config =
   let bounds = Scenario.phase_bounds config in
+  (* A phase whose duration rounds to zero controller periods records no
+     samples; skip it rather than slicing an empty column (the envelope
+     lookup below reads the slice's first sample). *)
+  let bounds = List.filter (fun (_, from, upto) -> upto > from) bounds in
   List.map
     (fun (phase_name, from, upto) ->
       let qos = Trace.column_slice trace "qos" ~from ~upto in

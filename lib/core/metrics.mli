@@ -29,7 +29,9 @@ type phase_metrics = {
 }
 
 val per_phase : trace:Trace.t -> config:Scenario.config -> phase_metrics list
-(** Steady-state errors use the last 40 % of each phase's samples. *)
+(** Steady-state errors use the last 40 % of each phase's samples.
+    Phases whose duration rounds to zero controller periods record no
+    samples and are omitted from the result. *)
 
 val recovery_time :
   envelope:float -> dt:float -> after:int -> float array -> float option

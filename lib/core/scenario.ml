@@ -82,14 +82,16 @@ let steps_of_phase config ph =
 (* Phase fault windows are phase-relative; fold them into one absolute
    schedule for the whole run. *)
 let fault_schedule config =
-  let _, injections =
+  (* Accumulate reversed and concatenate once: appending with [acc @ ...]
+     per phase is quadratic in the number of injections. *)
+  let _, rev_injections =
     List.fold_left
       (fun (start, acc) ph ->
         ( start +. ph.duration_s,
-          acc @ Faults.shift ph.phase_faults ~by:start ))
+          List.rev_append (Faults.shift ph.phase_faults ~by:start) acc ))
       (0., []) config.phases
   in
-  injections
+  List.rev rev_injections
 
 let run ~manager config =
   let soc_config = { Soc.default_config with seed = config.seed } in

@@ -39,7 +39,10 @@ let default_config =
 
 let synthesize () =
   let plant = Plant_model.composed () in
-  match Synthesis.supcon ~plant ~spec:Spec.three_band with
+  (* Memoized: every scenario constructs its managers from scratch (a
+     requirement of the parallel bench harness), but the synthesis of
+     the case-study supervisor only ever runs once per process. *)
+  match Spectr_exec.Synth_cache.supcon ~plant ~spec:Spec.three_band with
   | Error Synthesis.Empty_supervisor ->
       failwith "Supervisor.synthesize: empty supervisor"
   | Ok (sup, stats) ->

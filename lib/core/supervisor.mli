@@ -76,8 +76,10 @@ val step :
     logic keeps running instead of silently holding state forever. *)
 
 val state : t -> string
-(** Current supervisor-automaton state name (e.g.
-    ["Eval.Safe.Uncapped"]). *)
+(** Current supervisor-automaton state name (e.g. ["Eval\\.Safe.Uncapped"]
+    — the plant component ["Eval.Safe"] is itself a product state, so
+    its inner dot is escaped; see
+    {!Spectr_automata.Automaton.product_state_name}). *)
 
 val gains_mode : t -> string
 (** ["qos"] or ["power"]. *)

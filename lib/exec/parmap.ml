@@ -1,0 +1,15 @@
+let default =
+  lazy
+    (let pool = Pool.create () in
+     at_exit (fun () -> Pool.shutdown pool);
+     pool)
+
+let resolve = function Some pool -> pool | None -> Lazy.force default
+
+let jobs () = Pool.jobs (resolve None)
+let map ?pool f xs = Pool.map (resolve pool) f xs
+
+let mapi ?pool f xs =
+  map ?pool (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+
+let iter ?pool f xs = ignore (map ?pool f xs : unit list)

@@ -1,0 +1,114 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  pending : (unit -> unit) Queue.t;
+  wake : Condition.t; (* workers: task available or shutting down *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "SPECTR_JOBS") parse_jobs with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+(* Workers block on [wake] until a task is queued or the pool stops.
+   Tasks never raise: [map] wraps every application in its own handler. *)
+let worker_loop t =
+  let rec next () =
+    if not (Queue.is_empty t.pending) then Some (Queue.pop t.pending)
+    else if t.stopping then None
+    else begin
+      Condition.wait t.wake t.mutex;
+      next ()
+    end
+  in
+  let rec run () =
+    Mutex.lock t.mutex;
+    match next () with
+    | None -> Mutex.unlock t.mutex
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        run ()
+  in
+  run ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      pending = Queue.create ();
+      wake = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  (* The submitter works too, so n jobs need n-1 spawned domains. *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let map_seq f xs =
+  (* Match the parallel path's evaluation order (head first). *)
+  List.map f xs
+
+let map t f xs =
+  if t.jobs = 1 || t.workers = [] || xs = [] then map_seq f xs
+  else begin
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = ref n in (* guarded by t.mutex *)
+    let finished = Condition.create () in
+    let task i () =
+      (try results.(i) <- Some (f input.(i))
+       with e -> errors.(i) <- Some e);
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.pending
+    done;
+    Condition.broadcast t.wake;
+    (* Drain the queue from the submitting domain, then wait for the
+       stragglers the workers picked up. *)
+    let rec drain () =
+      if not (Queue.is_empty t.pending) then begin
+        let task = Queue.pop t.pending in
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        drain ()
+      end
+    in
+    drain ();
+    while !remaining > 0 do
+      Condition.wait finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list (Array.map Option.get results)
+  end

@@ -1,0 +1,39 @@
+open Spectr_automata
+
+type entry = (Automaton.t * Synthesis.stats, Synthesis.error) result
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+let mutex = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+
+let supcon ~plant ~spec =
+  let key =
+    Automaton.structural_digest plant ^ ":" ^ Automaton.structural_digest spec
+  in
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some result ->
+          incr hits;
+          result
+      | None ->
+          let result = Synthesis.supcon ~plant ~spec in
+          incr misses;
+          Hashtbl.replace table key result;
+          result)
+
+let stats () =
+  Mutex.lock mutex;
+  let s = (!hits, !misses) in
+  Mutex.unlock mutex;
+  s
+
+let clear () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock mutex

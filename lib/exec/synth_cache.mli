@@ -1,0 +1,30 @@
+(** Domain-safe memoization of {!Spectr_automata.Synthesis.supcon}.
+
+    Every scenario in a bench grid constructs its managers from scratch
+    (required for order-independence under parallel execution), and each
+    SPECTR manager construction synthesizes the same case-study
+    supervisor.  This cache keys synthesis results on the structural
+    digest of (plant, spec) — see {!Spectr_automata.Automaton.structural_digest}
+    — so repeated manager construction stops re-synthesizing identical
+    supervisors.
+
+    A cache hit returns the very automaton value the miss produced
+    (automata are immutable once built, so sharing across domains is
+    safe); it is structurally equal to what a fresh synthesis would
+    return.  The table is guarded by a mutex, held across the synthesis
+    itself so a grid of workers racing on the same key synthesizes
+    exactly once. *)
+
+open Spectr_automata
+
+val supcon :
+  plant:Automaton.t ->
+  spec:Automaton.t ->
+  (Automaton.t * Synthesis.stats, Synthesis.error) result
+(** Memoized {!Synthesis.supcon}. *)
+
+val stats : unit -> int * int
+(** [(hits, misses)] since start-up (or the last {!clear}). *)
+
+val clear : unit -> unit
+(** Drop every entry and reset the counters (tests). *)

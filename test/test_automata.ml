@@ -236,6 +236,34 @@ let test_compose_reachable_only () =
   let c = Compose.pair a blocked in
   check_int "frozen product" 1 (Automaton.num_states c)
 
+let test_compose_nested_naming () =
+  (* Regression: product-state names used to be joined with a bare dot,
+     so the pairs ("a.b","c") and ("a","b.c") both collapsed to the name
+     "a.b.c" — a silent state merge in nested compositions whose
+     components already carry dotted names (every composed plant does).
+     The escaping join keeps the separator unambiguous. *)
+  let e1 = Event.controllable "e1" and e2 = Event.controllable "e2" in
+  let a =
+    Automaton.create ~name:"A" ~initial:"p0"
+      ~transitions:[ ("p0", e1, "a.b"); ("p0", e2, "a") ]
+      ()
+  in
+  let b =
+    Automaton.create ~name:"B" ~initial:"q0"
+      ~transitions:[ ("q0", e1, "c"); ("q0", e2, "b.c") ]
+      ()
+  in
+  let c = Compose.pair a b in
+  (* p0.q0, a\.b.c and a.b\.c: three distinct states (a bare-dot join
+     merges the latter two). *)
+  check_int "three distinct product states" 3 (Automaton.num_states c);
+  check_bool "escaped left component" true (Automaton.mem_state c "a\\.b.c");
+  check_bool "escaped right component" true (Automaton.mem_state c "a.b\\.c");
+  (* Dot-free components keep their plain dotted join. *)
+  check_string "plain join unchanged" "p0.q0"
+    (Automaton.product_state_name "p0" "q0");
+  check_string "escaping join" "a\\.b.c" (Automaton.product_state_name "a.b" "c")
+
 (* ------------------------------------------------------------------ *)
 (* Reachability                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -652,6 +680,8 @@ let () =
           Alcotest.test_case "alphabet union" `Quick test_compose_alphabet_union;
           Alcotest.test_case "compose all" `Quick test_compose_all;
           Alcotest.test_case "reachable only" `Quick test_compose_reachable_only;
+          Alcotest.test_case "nested naming regression" `Quick
+            test_compose_nested_naming;
           qc prop_compose_commutative_language;
           qc prop_compose_associative;
         ] );

@@ -1,0 +1,227 @@
+(* Tests for the parallel scenario-execution engine (Spectr_exec):
+   the domain worker pool, the ordered Parmap combinators, and the
+   synthesis cache.
+
+   The determinism test is the acceptance criterion of the parallel
+   harness: the same scenario grid run on a 4-job pool and on a 1-job
+   (purely sequential, zero domains spawned) pool must produce
+   byte-identical traces. *)
+
+open Spectr_automata
+open Spectr_platform
+open Spectr_exec
+
+module Scenario = Spectr.Scenario
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* SPECTR_JOBS parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_jobs () =
+  check_bool "positive" true (Pool.parse_jobs "4" = Some 4);
+  check_bool "one" true (Pool.parse_jobs "1" = Some 1);
+  check_bool "zero rejected" true (Pool.parse_jobs "0" = None);
+  check_bool "negative rejected" true (Pool.parse_jobs "-2" = None);
+  check_bool "garbage rejected" true (Pool.parse_jobs "x" = None);
+  check_bool "empty rejected" true (Pool.parse_jobs "" = None);
+  check_bool "default >= 1" true (Pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool ~jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_map_ordered () =
+  (* A map over enough elements to force every worker through many
+     tasks must come back in submission order. *)
+  let xs = List.init 1000 Fun.id in
+  let f x = (x * x) + 1 in
+  let expect = List.map f xs in
+  with_pool ~jobs:4 (fun pool ->
+      check_bool "jobs" true (Pool.jobs pool = 4);
+      check_bool "ordered" true (Pool.map pool f xs = expect));
+  with_pool ~jobs:1 (fun pool ->
+      check_bool "sequential identical" true (Pool.map pool f xs = expect))
+
+let test_pool_map_empty_and_tiny () =
+  with_pool ~jobs:4 (fun pool ->
+      check_bool "empty" true (Pool.map pool (fun x -> x) [] = []);
+      check_bool "singleton" true (Pool.map pool string_of_int [ 7 ] = [ "7" ]))
+
+let test_pool_exception_propagation () =
+  (* The smallest-index failure wins, deterministically, regardless of
+     which domain hits its exception first. *)
+  with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "smallest index re-raised" (Failure "boom 3")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x ->
+                 if x >= 3 then failwith (Printf.sprintf "boom %d" x) else x)
+               (List.init 64 Fun.id))))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown, map still works (sequential fallback). *)
+  check_bool "fallback after shutdown" true
+    (Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ])
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Pool.create: jobs < 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_parmap_combinators () =
+  with_pool ~jobs:4 (fun pool ->
+      check_bool "map" true
+        (Parmap.map ~pool (fun x -> 2 * x) [ 1; 2; 3 ] = [ 2; 4; 6 ]);
+      check_bool "mapi" true
+        (Parmap.mapi ~pool (fun i x -> (i, x)) [ "a"; "b" ]
+        = [ (0, "a"); (1, "b") ]);
+      (* iter runs every task to completion before returning; each task
+         writes a distinct slot so this is race-free. *)
+      let hits = Array.make 16 0 in
+      Parmap.iter ~pool (fun i -> hits.(i) <- hits.(i) + 1)
+        (List.init 16 Fun.id);
+      check_bool "iter barrier" true (Array.for_all (( = ) 1) hits))
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis cache                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny plant/spec pair independent of the case study: one machine
+   with an uncontrollable finish, and a spec forcing strict start/finish
+   alternation. *)
+let tiny_plant () =
+  let start = Event.controllable "start" in
+  let finish = Event.uncontrollable "finish" in
+  Automaton.create ~name:"M" ~initial:"Idle" ~marked:[ "Idle" ]
+    ~transitions:
+      [ ("Idle", start, "Working"); ("Working", finish, "Idle") ]
+    ()
+
+let tiny_spec () =
+  let start = Event.controllable "start" in
+  let finish = Event.uncontrollable "finish" in
+  Automaton.create ~name:"Alt" ~initial:"S0" ~marked:[ "S0" ]
+    ~transitions:[ ("S0", start, "S1"); ("S1", finish, "S0") ]
+    ()
+
+let test_synth_cache_hit () =
+  Synth_cache.clear ();
+  let plant = tiny_plant () and spec = tiny_spec () in
+  let sup1 =
+    match Synth_cache.supcon ~plant ~spec with
+    | Ok (sup, _) -> sup
+    | Error _ -> Alcotest.fail "first synthesis failed"
+  in
+  let fresh = Synthesis.supcon_exn ~plant ~spec in
+  check_bool "cached structurally equal to fresh synthesis" true
+    (Automaton.isomorphic sup1 fresh);
+  (* Rebuilding structurally identical automata (different physical
+     values) must hit, and a hit returns the very same automaton. *)
+  let sup2 =
+    match Synth_cache.supcon ~plant:(tiny_plant ()) ~spec:(tiny_spec ()) with
+    | Ok (sup, _) -> sup
+    | Error _ -> Alcotest.fail "second synthesis failed"
+  in
+  check_bool "hit shares the miss's automaton" true (sup1 == sup2);
+  let hits, misses = Synth_cache.stats () in
+  check_int "one miss" 1 misses;
+  check_int "one hit" 1 hits;
+  (* A structurally different key (spec marking moved) misses. *)
+  let spec' = tiny_spec () in
+  let spec'' =
+    Automaton.create ~name:"Alt" ~initial:"S0" ~marked:[ "S1" ]
+      ~transitions:
+        (List.map
+           (fun tr -> (tr.Automaton.src, tr.Automaton.event, tr.Automaton.dst))
+           (Automaton.transitions spec'))
+      ()
+  in
+  check_bool "digest distinguishes markings" true
+    (Automaton.structural_digest spec' <> Automaton.structural_digest spec'');
+  Synth_cache.clear ();
+  check_bool "clear resets" true (Synth_cache.stats () = (0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: 4-job grid == 1-job grid                    *)
+(* ------------------------------------------------------------------ *)
+
+let short_config () =
+  (* The paper scenario with each phase cut to 1 s — long enough to
+     exercise every phase transition, short enough for a test. *)
+  let cfg = Scenario.default_config Benchmarks.x264 in
+  {
+    cfg with
+    Scenario.phases =
+      List.map
+        (fun ph -> { ph with Scenario.duration_s = 1.0 })
+        cfg.Scenario.phases;
+  }
+
+let grid_specs () :
+    (string * (unit -> Spectr.Manager.t)) list =
+  [
+    ("SPECTR", fun () -> fst (Spectr.Spectr_manager.make ()));
+    ("MM-Pow", fun () -> Spectr.Mm.make_pow ());
+    (* A second SPECTR cell makes two workers race on the same synthesis
+       cache key in the 4-job run. *)
+    ("SPECTR-2", fun () -> fst (Spectr.Spectr_manager.make ()));
+    ("FS", fun () -> Spectr.Fs.make ());
+  ]
+
+let run_grid pool =
+  let config = short_config () in
+  Parmap.map ~pool
+    (fun (_, make) -> Trace.to_csv (Scenario.run ~manager:(make ()) config))
+    (grid_specs ())
+
+let test_grid_determinism () =
+  let seq = with_pool ~jobs:1 run_grid in
+  let par = with_pool ~jobs:4 run_grid in
+  check_int "same cell count" (List.length seq) (List.length par);
+  List.iteri
+    (fun i (a, b) ->
+      check_string
+        (Printf.sprintf "cell %d (%s) byte-identical"
+           i
+           (fst (List.nth (grid_specs ()) i)))
+        (Digest.to_hex (Digest.string a))
+        (Digest.to_hex (Digest.string b)))
+    (List.combine seq par)
+
+let () =
+  Alcotest.run "spectr_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "SPECTR_JOBS parsing" `Quick test_parse_jobs;
+          Alcotest.test_case "ordered map" `Quick test_pool_map_ordered;
+          Alcotest.test_case "empty and tiny inputs" `Quick
+            test_pool_map_empty_and_tiny;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "parmap combinators" `Quick
+            test_parmap_combinators;
+        ] );
+      ( "synth-cache",
+        [ Alcotest.test_case "hit semantics" `Quick test_synth_cache_hit ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "4-job grid == 1-job grid" `Slow
+            test_grid_determinism;
+        ] );
+    ]

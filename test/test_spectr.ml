@@ -970,6 +970,72 @@ let test_metrics_reconvergence_time () =
   | Some t -> check_float "first sustained re-entry" 0.2 t
   | None -> Alcotest.fail "reconverges"
 
+let test_metrics_empty_phase () =
+  (* Regression: a phase shorter than half a controller period records
+     zero samples; per_phase used to divide by its empty sample range.
+     Such phases must simply be omitted. *)
+  let cfg = Scenario.default_config Benchmarks.x264 in
+  let template = List.hd cfg.Scenario.phases in
+  let phase name duration_s =
+    { template with Scenario.phase_name = name; duration_s }
+  in
+  let cfg =
+    {
+      cfg with
+      Scenario.phases = [ phase "lead" 0.5; phase "blink" 0.01; phase "tail" 0.5 ];
+    }
+  in
+  (* 0.01 s < controller_period / 2 = 0.025 s: rounds to zero samples. *)
+  check_bool "blink below half period" true
+    (0.01 < (cfg.Scenario.controller_period /. 2.));
+  let trace = Scenario.run ~manager:(Mm.make_pow ()) cfg in
+  let metrics = Metrics.per_phase ~trace ~config:cfg in
+  check_int "zero-length phase omitted" 2 (List.length metrics);
+  check_bool "surviving phases keep their order" true
+    (List.map (fun m -> m.Metrics.phase_name) metrics = [ "lead"; "tail" ])
+
+let test_fault_schedule_order () =
+  (* Regression: fault_schedule used a quadratic [acc @ ...] append that
+     also made the output order an accident of the implementation.  The
+     schedule must list injections in phase order, preserving each
+     phase's own injection order, with windows shifted to absolute
+     time. *)
+  let cfg = Scenario.default_config Benchmarks.x264 in
+  let template = List.hd cfg.Scenario.phases in
+  let phase name duration_s faults =
+    {
+      template with
+      Scenario.phase_name = name;
+      duration_s;
+      phase_faults = faults;
+    }
+  in
+  let inj kind start_s stop_s = Faults.injection kind ~start_s ~stop_s in
+  let cfg =
+    {
+      cfg with
+      Scenario.phases =
+        [
+          phase "one" 1.0
+            [
+              inj (Faults.Dropout Faults.Power) 0.1 0.2;
+              inj Faults.Dvfs_stuck 0.3 0.4;
+            ];
+          phase "two" 2.0 [];
+          phase "three" 1.0 [ inj Faults.Heartbeat_stall 0.0 0.5 ];
+        ];
+    }
+  in
+  let expect =
+    [
+      inj (Faults.Dropout Faults.Power) 0.1 0.2;
+      inj Faults.Dvfs_stuck 0.3 0.4;
+      inj Faults.Heartbeat_stall 3.0 3.5;
+    ]
+  in
+  check_bool "phase order, absolute windows" true
+    (Scenario.fault_schedule cfg = expect)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1109,5 +1175,9 @@ let () =
             test_metrics_recovery_time;
           Alcotest.test_case "reconvergence time metric" `Quick
             test_metrics_reconvergence_time;
+          Alcotest.test_case "zero-length phase omitted" `Slow
+            test_metrics_empty_phase;
+          Alcotest.test_case "fault schedule order" `Quick
+            test_fault_schedule_order;
         ] );
     ]
