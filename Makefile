@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench robustness check clean
+.PHONY: all build test fmt bench bench-smoke robustness check clean
 
 all: build
 
@@ -15,6 +15,11 @@ fmt:
 
 bench:
 	dune exec bench/main.exe
+
+# One small synthesis-scale cell, timing columns suppressed — the shape
+# check CI runs (see .github/workflows/ci.yml).
+bench-smoke:
+	dune exec bench/main.exe -- synthesis-scale --smoke
 
 robustness:
 	dune exec bench/main.exe -- robustness

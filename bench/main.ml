@@ -25,17 +25,20 @@ let experiments =
     ("overhead", Overhead.run);
     ("ablations", Ablations.run);
     ("robustness", Robustness.run);
+    ("synthesis-scale", Synthesis_scale.run);
   ]
 
 let usage () =
-  Printf.eprintf "usage: main.exe [experiment ...]\navailable: %s\n"
+  Printf.eprintf
+    "usage: main.exe [--smoke] [experiment ...]\navailable: %s\n"
     (String.concat ", " (List.map fst experiments))
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> a = "--smoke") args in
+  if flags <> [] then Synthesis_scale.smoke := true;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   (* Validate every requested name before running anything: an unknown
      name must not abort the run halfway through earlier experiments. *)

@@ -1,0 +1,134 @@
+(* Synthesis scalability: chain-compose k three-state cluster sub-plants,
+   restrict by a shared power-budget specification, supcon-synthesize and
+   verify — the full §4.3 design flow at growing scale (the many-cluster
+   regime the §2 scalability argument is about).
+
+   The plant family: cluster i is Idle -start_i-> Busy -done_i!-> Idle,
+   with an uncontrollable Busy -overheat_i!-> Hot -cool_i-> Idle detour.
+   All events are private to their cluster, so the composed plant has
+   3^k states — the product grid reaches ~10^5 states at k = 10.
+
+   The budget spec counts active (non-Idle) clusters and says: at most
+   [cap] active at once, and an overheat while saturated is forbidden
+   (uncontrollable escape into a ✗ state).  Synthesis therefore has real
+   work to do: it must pre-emptively disable start events one step before
+   saturation, exercising the forbidden, uncontrollable and blocking
+   passes rather than just copying the product through.
+
+   Timings go to a table on stdout in the normal mode.  In --smoke mode
+   (CI) only the smallest grid row runs and no timings are printed, so
+   the output is deterministic and shape-checkable. *)
+
+open Spectr_automata
+
+let smoke = ref false
+
+let cluster i =
+  let start = Event.controllable (Printf.sprintf "start%d" i) in
+  let finish = Event.uncontrollable (Printf.sprintf "done%d" i) in
+  let overheat = Event.uncontrollable (Printf.sprintf "overheat%d" i) in
+  let cool = Event.controllable (Printf.sprintf "cool%d" i) in
+  Automaton.create ~marked:[ "Idle" ]
+    ~name:(Printf.sprintf "Cluster%d" i)
+    ~initial:"Idle"
+    ~transitions:
+      [
+        ("Idle", start, "Busy");
+        ("Busy", finish, "Idle");
+        ("Busy", overheat, "Hot");
+        ("Hot", cool, "Idle");
+      ]
+    ()
+
+(* Count of active clusters, capped.  start increments; done/cool
+   decrement; overheat keeps the count (Busy -> Hot stays active) except
+   at saturation, where it escapes uncontrollably into the forbidden
+   state: the supervisor must never let the system saturate with a Busy
+   cluster, i.e. it has to stop issuing start one step early. *)
+let budget_spec ~k ~cap =
+  let state j = Printf.sprintf "B%d" j in
+  let transitions = ref [] in
+  let add t = transitions := t :: !transitions in
+  for i = 1 to k do
+    let start = Event.controllable (Printf.sprintf "start%d" i) in
+    let finish = Event.uncontrollable (Printf.sprintf "done%d" i) in
+    let overheat = Event.uncontrollable (Printf.sprintf "overheat%d" i) in
+    let cool = Event.controllable (Printf.sprintf "cool%d" i) in
+    for j = 0 to cap - 1 do
+      add (state j, start, state (j + 1));
+      add (state j, overheat, state j)
+    done;
+    for j = 1 to cap do
+      add (state j, finish, state (j - 1));
+      add (state j, cool, state (j - 1))
+    done;
+    add (state cap, overheat, "Over")
+  done;
+  Automaton.create ~marked:[ state 0 ] ~forbidden:[ "Over" ]
+    ~name:(Printf.sprintf "Budget%d" cap)
+    ~initial:(state 0) ~transitions:!transitions ()
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let grid () = if !smoke then [ (4, 3) ] else [ (4, 3); (6, 5); (8, 7); (10, 9) ]
+
+let run () =
+  Util.heading
+    "Synthesis scale: k chained cluster plants vs. a shared budget spec";
+  Printf.printf "\n  %3s %4s %9s %9s %9s" "k" "cap" "plant-Q" "product-Q"
+    "sup-Q";
+  if not !smoke then
+    Printf.printf " %9s %9s %9s" "compose-s" "supcon-s" "verify-s";
+  print_newline ();
+  List.iter
+    (fun (k, cap) ->
+      let plants = List.init k (fun i -> cluster (i + 1)) in
+      let spec = budget_spec ~k ~cap in
+      let plant, t_compose = timed (fun () -> Compose.all plants) in
+      let result, t_supcon =
+        timed (fun () -> Synthesis.supcon ~plant ~spec)
+      in
+      match result with
+      | Error Synthesis.Empty_supervisor ->
+          failwith "synthesis-scale: unexpectedly empty supervisor"
+      | Ok (sup, stats) ->
+          let checks, t_verify =
+            timed (fun () ->
+                ( Verify.is_nonblocking sup,
+                  Verify.is_controllable ~plant ~supervisor:sup ))
+          in
+          let nonblocking, controllable = checks in
+          if not (nonblocking && controllable) then
+            failwith "synthesis-scale: verification failed";
+          (* Synthesis must have pruned: saturating with a Busy cluster is
+             uncontrollably fatal, so the supervisor is strictly smaller
+             than the product. *)
+          if Automaton.num_states sup >= stats.Synthesis.product_states then
+            failwith "synthesis-scale: expected nontrivial pruning";
+          Printf.printf "  %3d %4d %9d %9d %9d" k cap
+            (Automaton.num_states plant)
+            stats.Synthesis.product_states (Automaton.num_states sup);
+          if not !smoke then
+            Printf.printf " %9.3f %9.3f %9.3f" t_compose t_supcon t_verify;
+          print_newline ())
+    (grid ());
+  (* The process-wide synthesis cache: a second synthesis of the smallest
+     grid cell must be a hit (same structural digests), costing only the
+     digest.  Deltas, not totals — other experiments in the same
+     invocation share the cache. *)
+  let plant = Compose.all (List.init 4 (fun i -> cluster (i + 1))) in
+  let spec = budget_spec ~k:4 ~cap:3 in
+  let hits0, misses0 = Spectr_exec.Synth_cache.stats () in
+  (match Spectr_exec.Synth_cache.supcon ~plant ~spec with
+  | Ok _ -> ()
+  | Error _ -> failwith "synthesis-scale: cache path returned empty");
+  (match Spectr_exec.Synth_cache.supcon ~plant ~spec with
+  | Ok _ -> ()
+  | Error _ -> failwith "synthesis-scale: cache path returned empty");
+  let hits1, misses1 = Spectr_exec.Synth_cache.stats () in
+  Printf.printf
+    "  synth-cache: +%d miss, +%d hit on re-synthesis of the k=4 cell\n"
+    (misses1 - misses0) (hits1 - hits0)

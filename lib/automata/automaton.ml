@@ -1,68 +1,229 @@
 type transition = { src : string; event : Event.t; dst : string }
 
+(* Index-native core: δ is CSR — [row] holds per-state offsets into the
+   parallel [ev]/[dst] arrays, each row sorted by event id so a lookup is
+   a binary search with zero hashing.  Names are a boundary concern:
+   [names] (and the name→index table derived from it) is lazy, so
+   algorithm outputs built with [of_indexed] never materialize names
+   unless a name-based accessor is actually used. *)
 type t = {
   name : string;
-  state_names : string array;
-  index : (string, int) Hashtbl.t;
+  n : int;
+  names : string array Lazy.t;
+  index : (string, int) Hashtbl.t Lazy.t;
   alphabet : Event.Set.t;
-  delta : (int * string, int) Hashtbl.t; (* (src index, event name) -> dst *)
-  trans : (int * Event.t * int) array; (* sorted by (src, event) *)
+  decode : (int, Event.t) Hashtbl.t; (* alphabet events keyed by id *)
+  row : int array; (* length n+1 *)
+  ev : int array; (* event ids, sorted within each row *)
+  dst : int array;
   initial : int;
   marked : bool array;
   forbidden : bool array;
+  mutable digest : string option; (* memoized structural_digest *)
 }
 
 let name a = a.name
 let alphabet a = a.alphabet
-let num_states a = Array.length a.state_names
-let num_transitions a = Array.length a.trans
-let states a = Array.to_list a.state_names
-let initial a = a.state_names.(a.initial)
+let num_states a = a.n
+let num_transitions a = Array.length a.ev
+let states a = Array.to_list (Lazy.force a.names)
+let initial a = (Lazy.force a.names).(a.initial)
 let initial_index a = a.initial
 
 let index_of_state a s =
-  match Hashtbl.find_opt a.index s with
+  match Hashtbl.find_opt (Lazy.force a.index) s with
   | Some i -> i
   | None ->
-      invalid_arg
-        (Printf.sprintf "Automaton %s: unknown state %S" a.name s)
+      invalid_arg (Printf.sprintf "Automaton %s: unknown state %S" a.name s)
 
 let state_of_index a i =
-  if i < 0 || i >= num_states a then
+  if i < 0 || i >= a.n then
     invalid_arg (Printf.sprintf "Automaton %s: index %d out of range" a.name i);
-  a.state_names.(i)
+  (Lazy.force a.names).(i)
 
-let mem_state a s = Hashtbl.mem a.index s
+let mem_state a s = Hashtbl.mem (Lazy.force a.index) s
 let is_marked_index a i = a.marked.(i)
 let is_forbidden_index a i = a.forbidden.(i)
 let is_marked a s = a.marked.(index_of_state a s)
 let is_forbidden a s = a.forbidden.(index_of_state a s)
-
 let marked a = List.filteri (fun i _ -> a.marked.(i)) (states a)
-
 let forbidden a = List.filteri (fun i _ -> a.forbidden.(i)) (states a)
 
-let step_index a i e = Hashtbl.find_opt a.delta (i, Event.name e)
+let event_of_id a eid =
+  match Hashtbl.find_opt a.decode eid with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Automaton %s: event id %d not in the alphabet" a.name
+           eid)
+
+let step_index a i eid =
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let e = a.ev.(mid) in
+      if e = eid then Some a.dst.(mid)
+      else if e < eid then go (mid + 1) hi
+      else go lo mid
+  in
+  go a.row.(i) a.row.(i + 1)
+
+let iter_row a i f =
+  for k = a.row.(i) to a.row.(i + 1) - 1 do
+    f a.ev.(k) a.dst.(k)
+  done
+
+let out_degree a i = a.row.(i + 1) - a.row.(i)
 
 let step a s e =
-  Option.map (state_of_index a) (step_index a (index_of_state a s) e)
+  Option.map (state_of_index a) (step_index a (index_of_state a s) (Event.id e))
 
 let enabled_index a i =
-  Event.Set.elements
-    (Event.Set.filter (fun e -> step_index a i e <> None) a.alphabet)
+  let acc = ref [] in
+  iter_row a i (fun eid _ -> acc := event_of_id a eid :: !acc);
+  List.sort Event.compare !acc
 
 let enabled a s = enabled_index a (index_of_state a s)
 
-let transitions a =
-  Array.to_list a.trans
-  |> List.map (fun (s, e, d) ->
-         { src = a.state_names.(s); event = e; dst = a.state_names.(d) })
-
 let fold_transitions f a acc =
-  Array.fold_left (fun acc (s, e, d) -> f s e d acc) acc a.trans
+  let acc = ref acc in
+  for s = 0 to a.n - 1 do
+    iter_row a s (fun eid d -> acc := f s (event_of_id a eid) d !acc)
+  done;
+  !acc
+
+let transitions a =
+  let names = Lazy.force a.names in
+  List.rev
+    (fold_transitions
+       (fun s e d acc ->
+         { src = names.(s); event = e; dst = names.(d) } :: acc)
+       a [])
+
+(* --- construction ---------------------------------------------------- *)
+
+let make_decode alphabet =
+  let h = Hashtbl.create (2 * Event.Set.cardinal alphabet + 1) in
+  Event.Set.iter (fun e -> Hashtbl.replace h (Event.id e) e) alphabet;
+  h
+
+let make_index name n names_lazy =
+  lazy
+    (let names = Lazy.force names_lazy in
+     let h = Hashtbl.create (2 * n) in
+     Array.iteri
+       (fun i s ->
+         if Hashtbl.mem h s then
+           invalid_arg
+             (Printf.sprintf "Automaton %s: duplicate state name %S" name s);
+         Hashtbl.add h s i)
+       names;
+     h)
+
+(* Counting-sort the transition triples into CSR rows, then sort each row
+   by event id.  [describe] names the offending state in the
+   nondeterminism error (lazily — only on the error path). *)
+let make_csr ~who ~describe n trans =
+  let deg = Array.make n 0 in
+  Array.iter (fun (s, _, _) -> deg.(s) <- deg.(s) + 1) trans;
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + deg.(i)
+  done;
+  let total = row.(n) in
+  let ev = Array.make total 0 and dst = Array.make total 0 in
+  let cursor = Array.copy row in
+  Array.iter
+    (fun (s, e, d) ->
+      let k = cursor.(s) in
+      ev.(k) <- e;
+      dst.(k) <- d;
+      cursor.(s) <- k + 1)
+    trans;
+  (* Sort each row by event id (rows are short; extract-sort-writeback). *)
+  for s = 0 to n - 1 do
+    let lo = row.(s) and hi = row.(s + 1) in
+    if hi - lo > 1 then begin
+      let pairs = Array.init (hi - lo) (fun k -> (ev.(lo + k), dst.(lo + k))) in
+      Array.sort compare pairs;
+      Array.iteri
+        (fun k (e, d) ->
+          ev.(lo + k) <- e;
+          dst.(lo + k) <- d)
+        pairs;
+      for k = lo to hi - 2 do
+        if ev.(k) = ev.(k + 1) then
+          invalid_arg
+            (Printf.sprintf "%s: nondeterministic on event id %d from state %s"
+               who ev.(k) (describe s))
+      done
+    end
+  done;
+  (row, ev, dst)
+
+let of_indexed ~name ~names ~alphabet ~initial ~marked ~forbidden trans =
+  let n = Array.length marked in
+  if Array.length forbidden <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Automaton.of_indexed %s: marked/forbidden length mismatch (%d vs %d)"
+         name n (Array.length forbidden));
+  if initial < 0 || initial >= n then
+    invalid_arg
+      (Printf.sprintf "Automaton.of_indexed %s: initial %d out of range" name
+         initial);
+  let names_lazy =
+    lazy
+      (let a = names () in
+       if Array.length a <> n then
+         invalid_arg
+           (Printf.sprintf
+              "Automaton.of_indexed %s: names () returned %d names for %d \
+               states"
+              name (Array.length a) n);
+       a)
+  in
+  let row, ev, dst =
+    make_csr
+      ~who:(Printf.sprintf "Automaton.of_indexed %s" name)
+      ~describe:string_of_int n trans
+  in
+  {
+    name;
+    n;
+    names = names_lazy;
+    index = make_index name n names_lazy;
+    alphabet;
+    decode = make_decode alphabet;
+    row;
+    ev;
+    dst;
+    initial;
+    marked = Array.copy marked;
+    forbidden = Array.copy forbidden;
+    digest = None;
+  }
 
 let create ?marked ?(forbidden = []) ?(alphabet = []) ~name ~initial
     ~transitions () =
+  (* Event-name consistency first: the comparator's order is total over
+     (name, controllability), so this is where a name used with both
+     polarities must be caught — loudly, not from inside a Set rebalance. *)
+  let ctrl_of_name = Hashtbl.create 16 in
+  let check_event e =
+    match Hashtbl.find_opt ctrl_of_name (Event.name e) with
+    | Some c when c <> Event.is_controllable e ->
+        invalid_arg
+          (Printf.sprintf
+             "Automaton %s: event %S is used both controllably and \
+              uncontrollably"
+             name (Event.name e))
+    | Some _ -> ()
+    | None -> Hashtbl.add ctrl_of_name (Event.name e) (Event.is_controllable e)
+  in
+  List.iter check_event alphabet;
+  List.iter (fun (_, e, _) -> check_event e) transitions;
   (* Collect states in first-seen order, initial state first. *)
   let index = Hashtbl.create 16 in
   let order = ref [] in
@@ -93,29 +254,31 @@ let create ?marked ?(forbidden = []) ?(alphabet = []) ~name ~initial
   List.iter (fun s -> state_names.(Hashtbl.find index s) <- s) !order;
   let delta = Hashtbl.create 16 in
   let events = ref (Event.set_of_list alphabet) in
-  let by_name = Hashtbl.create 16 in
-  Event.Set.iter (fun e -> Hashtbl.replace by_name (Event.name e) e) !events;
   List.iter
     (fun (src, e, dst) ->
       events := Event.Set.add e !events;
-      Hashtbl.replace by_name (Event.name e) e;
       let si = Hashtbl.find index src and di = Hashtbl.find index dst in
-      match Hashtbl.find_opt delta (si, Event.name e) with
+      match Hashtbl.find_opt delta (si, Event.id e) with
       | Some d when d <> di ->
           invalid_arg
             (Printf.sprintf
                "Automaton %s: nondeterministic on %S from state %S" name
                (Event.name e) src)
       | Some _ -> ()
-      | None -> Hashtbl.add delta (si, Event.name e) di)
+      | None -> Hashtbl.add delta (si, Event.id e) di)
     transitions;
-  let trans =
-    Hashtbl.fold
-      (fun (si, ename) di acc -> (si, Hashtbl.find by_name ename, di) :: acc)
-      delta []
-    |> List.sort (fun (s1, e1, _) (s2, e2, _) ->
-           match compare s1 s2 with 0 -> Event.compare e1 e2 | c -> c)
-    |> Array.of_list
+  let trans = Array.make (Hashtbl.length delta) (0, 0, 0) in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun (si, eid) di ->
+      trans.(!k) <- (si, eid, di);
+      incr k)
+    delta;
+  let row, ev, dst =
+    make_csr
+      ~who:(Printf.sprintf "Automaton %s" name)
+      ~describe:(fun s -> Printf.sprintf "%S" state_names.(s))
+      n trans
   in
   let marked_arr =
     match marked with
@@ -129,14 +292,18 @@ let create ?marked ?(forbidden = []) ?(alphabet = []) ~name ~initial
   List.iter (fun s -> forbidden_arr.(Hashtbl.find index s) <- true) forbidden;
   {
     name;
-    state_names;
-    index;
+    n;
+    names = Lazy.from_val state_names;
+    index = Lazy.from_val index;
     alphabet = !events;
-    delta;
-    trans;
+    decode = make_decode !events;
+    row;
+    ev;
+    dst;
     initial = initial_i;
     marked = marked_arr;
     forbidden = forbidden_arr;
+    digest = None;
   }
 
 let of_transitions ?marked ?forbidden ~name ~initial trans =
@@ -148,7 +315,9 @@ let accepts a w =
   let rec go i = function
     | [] -> a.marked.(i)
     | e :: rest -> (
-        match step_index a i e with None -> false | Some j -> go j rest)
+        match step_index a i (Event.id e) with
+        | None -> false
+        | Some j -> go j rest)
   in
   go a.initial w
 
@@ -156,46 +325,78 @@ let trace a w =
   let rec go i = function
     | [] -> Some (state_of_index a i)
     | e :: rest -> (
-        match step_index a i e with None -> None | Some j -> go j rest)
+        match step_index a i (Event.id e) with
+        | None -> None
+        | Some j -> go j rest)
   in
   go a.initial w
 
-let restrict_states a ~keep =
-  if not (keep (initial a)) then None
+(* --- surgery --------------------------------------------------------- *)
+
+let restrict_indices a keep =
+  if Array.length keep <> a.n then
+    invalid_arg
+      (Printf.sprintf
+         "Automaton %s: restrict_indices: %d flags for %d states" a.name
+         (Array.length keep) a.n);
+  if not keep.(a.initial) then None
   else begin
-    let kept = Array.map keep a.state_names in
-    let transitions =
-      fold_transitions
-        (fun s e d acc ->
-          if kept.(s) && kept.(d) then
-            (a.state_names.(s), e, a.state_names.(d)) :: acc
-          else acc)
-        a []
-    in
-    (* A kept state with no remaining transition survives only if it is the
-       initial state; marked/forbidden lists must mention known states. *)
-    let survives i =
-      kept.(i)
-      && (i = a.initial
-         || List.exists
-              (fun (s, _, d) -> s = a.state_names.(i) || d = a.state_names.(i))
-              transitions)
-    in
-    let marked_list =
-      List.filteri (fun i _ -> survives i && a.marked.(i)) (states a)
-    in
-    let forbidden_list =
-      List.filteri (fun i _ -> survives i && a.forbidden.(i)) (states a)
+    (* A kept state survives when it is the initial state or an endpoint
+       of a kept transition (both ends kept). *)
+    let survive = Array.make a.n false in
+    survive.(a.initial) <- true;
+    let n_trans = ref 0 in
+    for s = 0 to a.n - 1 do
+      if keep.(s) then
+        iter_row a s (fun _ d ->
+            if keep.(d) then begin
+              survive.(s) <- true;
+              survive.(d) <- true;
+              incr n_trans
+            end)
+    done;
+    let new_of_old = Array.make a.n (-1) in
+    let m = ref 0 in
+    for i = 0 to a.n - 1 do
+      if survive.(i) then begin
+        new_of_old.(i) <- !m;
+        incr m
+      end
+    done;
+    let m = !m in
+    let old_of_new = Array.make m 0 in
+    for i = 0 to a.n - 1 do
+      if survive.(i) then old_of_new.(new_of_old.(i)) <- i
+    done;
+    let trans = Array.make !n_trans (0, 0, 0) in
+    let k = ref 0 in
+    for s = 0 to a.n - 1 do
+      if keep.(s) then
+        iter_row a s (fun eid d ->
+            if keep.(d) then begin
+              trans.(!k) <- (new_of_old.(s), eid, new_of_old.(d));
+              incr k
+            end)
+    done;
+    let names () =
+      let parent = Lazy.force a.names in
+      Array.map (fun old -> parent.(old)) old_of_new
     in
     Some
-      (create ~marked:marked_list ~forbidden:forbidden_list
-         ~alphabet:(Event.Set.elements a.alphabet) ~name:a.name
-         ~initial:(initial a) ~transitions ())
+      (of_indexed ~name:a.name ~names ~alphabet:a.alphabet
+         ~initial:new_of_old.(a.initial)
+         ~marked:(Array.init m (fun i -> a.marked.(old_of_new.(i))))
+         ~forbidden:(Array.init m (fun i -> a.forbidden.(old_of_new.(i))))
+         trans)
   end
 
-let rename a name = { a with name }
+let restrict_states a ~keep =
+  restrict_indices a (Array.map keep (Lazy.force a.names))
+
+let rename a name = { a with name; digest = None }
 
 let relabel_states a f =
+  let names = Lazy.force a.names in
   let seen = Hashtbl.create 16 in
   Array.iter
     (fun s ->
@@ -206,11 +407,12 @@ let relabel_states a f =
             (Printf.sprintf "Automaton.relabel_states: %S and %S collide"
                other s)
       | _ -> Hashtbl.replace seen s' s)
-    a.state_names;
+    names;
   let transitions =
-    fold_transitions
-      (fun s e d acc -> (f a.state_names.(s), e, f a.state_names.(d)) :: acc)
-      a []
+    List.rev
+      (fold_transitions
+         (fun s e d acc -> (f names.(s), e, f names.(d)) :: acc)
+         a [])
   in
   create
     ~marked:(List.map f (marked a))
@@ -237,34 +439,58 @@ let escape_component s =
 
 let product_state_name qa qb = escape_component qa ^ "." ^ escape_component qb
 
+let unescape_state_name s =
+  if String.contains s '\\' then begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '\\' && !i + 1 < n then incr i;
+      Buffer.add_char b s.[!i];
+      incr i
+    done;
+    Buffer.contents b
+  end
+  else s
+
 let structural_digest a =
-  let b = Buffer.create 1024 in
-  (* Length-prefixed fields so adjacent strings cannot run together. *)
-  let add s =
-    Buffer.add_string b (string_of_int (String.length s));
-    Buffer.add_char b ':';
-    Buffer.add_string b s
-  in
-  add a.name;
-  Buffer.add_string b (string_of_int (Array.length a.state_names));
-  Array.iter add a.state_names;
-  Buffer.add_string b (string_of_int a.initial);
-  Event.Set.iter
-    (fun e ->
-      add (Event.name e);
-      Buffer.add_char b (if Event.is_controllable e then 'c' else 'u'))
-    a.alphabet;
-  (* [trans] is canonically sorted by (src, event) at construction. *)
-  Array.iter
-    (fun (s, e, d) ->
-      Buffer.add_string b (string_of_int s);
-      Buffer.add_char b ',';
-      add (Event.name e);
-      Buffer.add_string b (string_of_int d))
-    a.trans;
-  Array.iter (fun m -> Buffer.add_char b (if m then '1' else '0')) a.marked;
-  Array.iter (fun m -> Buffer.add_char b (if m then '1' else '0')) a.forbidden;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+  match a.digest with
+  | Some d -> d
+  | None ->
+      let b = Buffer.create 1024 in
+      (* Length-prefixed fields so adjacent strings cannot run together. *)
+      let add s =
+        Buffer.add_string b (string_of_int (String.length s));
+        Buffer.add_char b ':';
+        Buffer.add_string b s
+      in
+      add a.name;
+      let names = Lazy.force a.names in
+      Buffer.add_string b (string_of_int a.n);
+      Array.iter add names;
+      Buffer.add_string b (string_of_int a.initial);
+      Event.Set.iter
+        (fun e ->
+          add (Event.name e);
+          Buffer.add_char b (if Event.is_controllable e then 'c' else 'u'))
+        a.alphabet;
+      (* CSR order: by source index, then event id — deterministic within
+         a process (intern order), which is all the in-process cache
+         needs. *)
+      for s = 0 to a.n - 1 do
+        iter_row a s (fun eid d ->
+            Buffer.add_string b (string_of_int s);
+            Buffer.add_char b ',';
+            add (Event.name (event_of_id a eid));
+            Buffer.add_string b (string_of_int d))
+      done;
+      Array.iter (fun m -> Buffer.add_char b (if m then '1' else '0')) a.marked;
+      Array.iter
+        (fun m -> Buffer.add_char b (if m then '1' else '0'))
+        a.forbidden;
+      let d = Digest.to_hex (Digest.string (Buffer.contents b)) in
+      a.digest <- Some d;
+      d
 
 let isomorphic a b =
   Event.Set.equal a.alphabet b.alphabet
@@ -291,7 +517,8 @@ let isomorphic a b =
     else
       Event.Set.iter
         (fun e ->
-          match (step_index a i e, step_index b j e) with
+          let eid = Event.id e in
+          match (step_index a i eid, step_index b j eid) with
           | None, None -> ()
           | Some i', Some j' -> if not (bind i' j') then ok := false
           | _ -> ok := false)

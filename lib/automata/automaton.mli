@@ -8,9 +8,15 @@
     (Fig. 12c): synthesis must prune them and everything that uncontrollably
     reaches them.
 
-    States are referred to externally by name (a [string]) and internally
-    by a dense index; the public API deals in names, the traversal API
-    ({!fold_transitions}, {!step_index}) in indices for efficiency. *)
+    {b Representation.}  The core is index-native: states are dense ints,
+    the transition function is stored in CSR form — per-state arrays of
+    (event id, destination) pairs sorted by {!Event.id} — and every
+    algorithm (composition, reachability, synthesis, verification) runs on
+    ints only.  State {e names} are a boundary concern: automata built by
+    algorithms ({!of_indexed}) carry their names lazily and only
+    materialize them when a name-based accessor is first used, so a
+    100k-state product that is immediately pruned never pays for 100k
+    escaped name strings. *)
 
 type t
 
@@ -36,6 +42,8 @@ val create :
     Raises [Invalid_argument] when:
     - two transitions from the same state on the same event disagree
       (nondeterminism);
+    - the same event name is used both controllably and uncontrollably
+      (in the transitions or the extra [alphabet]);
     - [marked]/[forbidden] mention unknown states — they must appear in a
       transition or be the initial state.
 
@@ -52,12 +60,42 @@ val of_transitions :
   t
 (** Record-based variant of {!create}. *)
 
+val of_indexed :
+  name:string ->
+  names:(unit -> string array) ->
+  alphabet:Event.Set.t ->
+  initial:int ->
+  marked:bool array ->
+  forbidden:bool array ->
+  (int * int * int) array ->
+  t
+(** {b Trusted constructor} for algorithm outputs.  [of_indexed ~name
+    ~names ~alphabet ~initial ~marked ~forbidden trans] builds an
+    automaton over states [0 .. Array.length marked - 1] directly from
+    index-space data: [trans] is (src index, {!Event.id}, dst index)
+    triples, [names] is only run — once, memoized — when a name-based
+    accessor is first used.
+
+    Unlike {!create} it performs no string interning and no state
+    collection, only a cheap nondeterminism scan after the CSR sort.  The
+    caller contract (who may call it: {!Compose}, {!Synthesis},
+    {!restrict_indices} — outputs that are deterministic and consistently
+    indexed {e by construction}):
+    - every event id in [trans] belongs to [alphabet];
+    - [marked] and [forbidden] have equal length (the state count) and
+      every index in [trans] and [initial] is within it;
+    - [names ()] returns exactly that many {e distinct} names (the
+      escaping {!product_state_name} join guarantees distinctness for
+      products).  Duplicate names are reported — [Invalid_argument] —
+      when the name table is first materialized, not at construction. *)
+
 (** {1 Inspection} *)
 
 val name : t -> string
 val alphabet : t -> Event.Set.t
+
 val states : t -> string list
-(** All state names, in index order. *)
+(** All state names, in index order.  Forces the name table. *)
 
 val num_states : t -> int
 val num_transitions : t -> int
@@ -76,6 +114,8 @@ val enabled : t -> string -> Event.t list
 (** Events with a transition defined from the given state, sorted. *)
 
 val transitions : t -> transition list
+(** All transitions, row-major (by source index, then event id).  Forces
+    the name table. *)
 
 val accepts : t -> Event.t list -> bool
 (** [accepts a w] — does the word [w] lead from the initial state to a
@@ -87,25 +127,54 @@ val trace : t -> Event.t list -> string option
 
 (** {1 Index-based traversal}
 
-    For algorithms (composition, reachability, synthesis).  Indices are
-    stable for a given value of [t] and range over [0 .. num_states-1]. *)
+    The algorithm-facing API: no strings, no hashing.  State indices are
+    stable for a given value of [t] and range over [0 .. num_states-1];
+    events travel as {!Event.id} ints. *)
 
 val index_of_state : t -> string -> int
 val state_of_index : t -> int -> string
 val initial_index : t -> int
-val step_index : t -> int -> Event.t -> int option
+
+val step_index : t -> int -> int -> int option
+(** [step_index a i eid] is δ at state index [i] on the event with intern
+    id [eid] — a binary search of the state's sorted CSR row; zero
+    hashing, zero allocation beyond the option. *)
+
+val iter_row : t -> int -> (int -> int -> unit) -> unit
+(** [iter_row a i f] calls [f eid dst] for each outgoing transition of
+    state [i], in increasing event-id order.  The preferred traversal for
+    algorithms — no [Event.t] decode, no closure over sets. *)
+
+val out_degree : t -> int -> int
+(** Number of outgoing transitions of a state. *)
+
 val enabled_index : t -> int -> Event.t list
 val is_marked_index : t -> int -> bool
 val is_forbidden_index : t -> int -> bool
 
+val event_of_id : t -> int -> Event.t
+(** Decode an event id through this automaton's alphabet table ([O(1)],
+    no global lock).  Raises [Invalid_argument] for ids outside the
+    alphabet. *)
+
 val fold_transitions : (int -> Event.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Row-major fold decoding events to {!Event.t}; kept for boundary code.
+    Index-native algorithms should prefer {!iter_row}. *)
 
 (** {1 Surgery} *)
 
+val restrict_indices : t -> bool array -> t option
+(** [restrict_indices a keep] is the sub-automaton induced by the states
+    flagged in [keep] (transitions with both endpoints kept; a kept state
+    survives when it is the initial state or an endpoint of a kept
+    transition).  [None] when the initial state is not kept.  The
+    alphabet is preserved; surviving states keep their names — lazily, so
+    restricting an {!of_indexed} product does not materialize names.
+    Raises [Invalid_argument] when [keep] has the wrong length. *)
+
 val restrict_states : t -> keep:(string -> bool) -> t option
-(** Sub-automaton induced by the states satisfying [keep] (transitions
-    with both endpoints kept).  [None] when the initial state is not
-    kept.  The alphabet is preserved. *)
+(** Name-predicate variant of {!restrict_indices} (forces the name
+    table). *)
 
 val rename : t -> string -> t
 (** Same automaton under a new name. *)
@@ -126,11 +195,22 @@ val product_state_name : string -> string -> string
     re-composing an automaton whose states are themselves product states
     is safe. *)
 
+val unescape_state_name : string -> string
+(** Strip the {!product_state_name} escaping for human-readable display
+    (["Eval\.Safe.Uncapped"] becomes ["Eval.Safe.Uncapped"]).  Lossy —
+    distinct escaped names may collapse — so it is for labels only, never
+    for identity; {!Dot} uses it for node labels. *)
+
 val structural_digest : t -> string
 (** Hex digest of the automaton's full structure (name, state names in
     index order, alphabet with controllability, transitions, initial,
     marked and forbidden sets).  Two automata with equal digests are
-    structurally identical; the synthesis cache uses this as its key. *)
+    structurally identical; the synthesis cache uses this as its key.
+    Transitions are digested in CSR order (by source index, then event
+    {e id}), so the digest is deterministic within a process — which is
+    what the in-process cache needs — but not across processes, where
+    intern order may differ.  Cached after the first call; forces the
+    name table. *)
 
 (** {1 Comparison} *)
 

@@ -1,67 +1,89 @@
-(* Reachable synchronous product.  δ((qa,qb), e) is defined per the
-   standard definition: both step on shared events, one steps on a private
-   event, undefined otherwise. *)
+(* Reachable synchronous product, computed entirely in index space.
+   δ((qa,qb), e) is the standard definition — both step on shared events,
+   one steps on a private event, undefined otherwise — but instead of
+   iterating the union alphabet per state (|Σ| lookups, most missing), we
+   walk each component's CSR row: only events that are actually enabled
+   somewhere are ever touched, and shared-event synchronization is one
+   binary search in the other component's row.  Product state names are
+   never materialized here; [Automaton.of_indexed] builds them lazily from
+   the (ia, ib) pair map if anyone asks. *)
 
 let pair a b =
   let sigma_a = Automaton.alphabet a and sigma_b = Automaton.alphabet b in
-  let alphabet = Event.Set.union sigma_a sigma_b in
-  let name_of ia ib =
-    (* Escaping join: composing an automaton whose state names already
-       contain dots (e.g. a synthesized supervisor fed back as a plant)
-       must not collide distinct pairs. *)
-    Automaton.product_state_name
-      (Automaton.state_of_index a ia)
-      (Automaton.state_of_index b ib)
+  let alphabet =
+    Event.merge_alphabets
+      ~context:
+        (Printf.sprintf "Compose.pair(%s,%s)" (Automaton.name a)
+           (Automaton.name b))
+      sigma_a sigma_b
   in
-  let seen = Hashtbl.create 64 in
+  let max_id = Event.Set.fold (fun e m -> max m (Event.id e)) alphabet (-1) in
+  let in_a = Array.make (max_id + 1) false in
+  let in_b = Array.make (max_id + 1) false in
+  Event.Set.iter (fun e -> in_a.(Event.id e) <- true) sigma_a;
+  Event.Set.iter (fun e -> in_b.(Event.id e) <- true) sigma_b;
+  let nb = Automaton.num_states b in
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let pa = Intvec.create () and pb = Intvec.create () in
+  let tsrc = Intvec.create () and tev = Intvec.create () in
+  let tdst = Intvec.create () in
   let queue = Queue.create () in
-  let transitions = ref [] in
-  let marked = ref [] in
-  let forbidden = ref [] in
-  let visit (ia, ib) =
-    if not (Hashtbl.mem seen (ia, ib)) then begin
-      Hashtbl.add seen (ia, ib) ();
-      Queue.push (ia, ib) queue;
-      if Automaton.is_marked_index a ia && Automaton.is_marked_index b ib then
-        marked := name_of ia ib :: !marked;
-      if
-        Automaton.is_forbidden_index a ia || Automaton.is_forbidden_index b ib
-      then forbidden := name_of ia ib :: !forbidden
-    end
+  let visit ia ib =
+    let key = (ia * nb) + ib in
+    match Hashtbl.find_opt seen key with
+    | Some i -> i
+    | None ->
+        let i = Intvec.length pa in
+        Hashtbl.add seen key i;
+        Intvec.push pa ia;
+        Intvec.push pb ib;
+        Queue.push (i, ia, ib) queue;
+        i
   in
-  let start = (Automaton.initial_index a, Automaton.initial_index b) in
-  visit start;
+  ignore (visit (Automaton.initial_index a) (Automaton.initial_index b));
   while not (Queue.is_empty queue) do
-    let ia, ib = Queue.pop queue in
-    Event.Set.iter
-      (fun e ->
-        let in_a = Event.Set.mem e sigma_a in
-        let in_b = Event.Set.mem e sigma_b in
-        let next =
-          match (in_a, in_b) with
-          | true, true -> (
-              match (Automaton.step_index a ia e, Automaton.step_index b ib e)
-              with
-              | Some ja, Some jb -> Some (ja, jb)
-              | _ -> None)
-          | true, false ->
-              Option.map (fun ja -> (ja, ib)) (Automaton.step_index a ia e)
-          | false, true ->
-              Option.map (fun jb -> (ia, jb)) (Automaton.step_index b ib e)
-          | false, false -> None
-        in
-        match next with
-        | None -> ()
-        | Some (ja, jb) ->
-            visit (ja, jb);
-            transitions := (name_of ia ib, e, name_of ja jb) :: !transitions)
-      alphabet
+    let i, ia, ib = Queue.pop queue in
+    let emit eid j =
+      Intvec.push tsrc i;
+      Intvec.push tev eid;
+      Intvec.push tdst j
+    in
+    Automaton.iter_row a ia (fun eid ja ->
+        if in_b.(eid) then (
+          match Automaton.step_index b ib eid with
+          | Some jb -> emit eid (visit ja jb)
+          | None -> ())
+        else emit eid (visit ja ib));
+    Automaton.iter_row b ib (fun eid jb ->
+        if not in_a.(eid) then emit eid (visit ia jb))
   done;
-  Automaton.create ~marked:!marked ~forbidden:!forbidden
-    ~alphabet:(Event.Set.elements alphabet)
+  let n = Intvec.length pa in
+  let pa = Intvec.to_array pa and pb = Intvec.to_array pb in
+  let marked =
+    Array.init n (fun i ->
+        Automaton.is_marked_index a pa.(i) && Automaton.is_marked_index b pb.(i))
+  in
+  let forbidden =
+    Array.init n (fun i ->
+        Automaton.is_forbidden_index a pa.(i)
+        || Automaton.is_forbidden_index b pb.(i))
+  in
+  let names () =
+    Array.init n (fun i ->
+        (* Escaping join: composing an automaton whose state names already
+           contain dots (e.g. a synthesized supervisor fed back as a
+           plant) must not collide distinct pairs. *)
+        Automaton.product_state_name
+          (Automaton.state_of_index a pa.(i))
+          (Automaton.state_of_index b pb.(i)))
+  in
+  let trans =
+    Array.init (Intvec.length tsrc) (fun k ->
+        (Intvec.get tsrc k, Intvec.get tev k, Intvec.get tdst k))
+  in
+  Automaton.of_indexed
     ~name:(Automaton.name a ^ "||" ^ Automaton.name b)
-    ~initial:(name_of (fst start) (snd start))
-    ~transitions:!transitions ()
+    ~names ~alphabet ~initial:0 ~marked ~forbidden trans
 
 let all = function
   | [] -> invalid_arg "Compose.all: empty list"

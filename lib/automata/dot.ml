@@ -21,17 +21,19 @@ let to_dot a =
         else if Automaton.is_marked a s then ("doublecircle", "")
         else ("circle", "")
       in
+      (* Node id is the exact (escaped) state name — unique by
+         construction; the label drops the product-name escaping so
+         "Eval\.Safe.Uncapped" renders as "Eval.Safe.Uncapped". *)
       Buffer.add_string buf
-        (Printf.sprintf "  \"%s\" [shape=%s%s];\n" (escape s) shape extra))
+        (Printf.sprintf "  \"%s\" [label=\"%s\", shape=%s%s];\n" (escape s)
+           (escape (Automaton.unescape_state_name s))
+           shape extra))
     (Automaton.states a);
   Buffer.add_string buf
     (Printf.sprintf "  __init -> \"%s\";\n" (escape (Automaton.initial a)));
   List.iter
     (fun { Automaton.src; event; dst } ->
-      let label =
-        if Event.is_controllable event then Event.name event
-        else Event.name event ^ "!"
-      in
+      let label = Format.asprintf "%a" Event.pp event in
       Buffer.add_string buf
         (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape src)
            (escape dst) (escape label)))

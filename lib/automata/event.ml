@@ -1,19 +1,59 @@
-type t = { name : string; controllable : bool }
+type t = { id : int; name : string; controllable : bool }
 
-let controllable name = { name; controllable = true }
-let uncontrollable name = { name; controllable = false }
+(* Process-wide intern table: one value per (name, controllability) pair,
+   ids dense in intern order.  Guarded by a mutex — automata are built
+   from multiple domains by the bench pool.  Reads of an event's fields
+   never touch the table (the fields live in the value itself), so only
+   interning and [of_id] pay for the lock. *)
+
+let mutex = Mutex.create ()
+let table : (string * bool, t) Hashtbl.t = Hashtbl.create 64
+let store = ref (Array.make 64 None)
+let next_id = ref 0
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let intern name controllable =
+  locked (fun () ->
+      let key = (name, controllable) in
+      match Hashtbl.find_opt table key with
+      | Some e -> e
+      | None ->
+          let id = !next_id in
+          let e = { id; name; controllable } in
+          Hashtbl.add table key e;
+          if id >= Array.length !store then begin
+            let bigger = Array.make (2 * Array.length !store) None in
+            Array.blit !store 0 bigger 0 (Array.length !store);
+            store := bigger
+          end;
+          !store.(id) <- Some e;
+          incr next_id;
+          e)
+
+let controllable name = intern name true
+let uncontrollable name = intern name false
 let name e = e.name
 let is_controllable e = e.controllable
+let id e = e.id
+
+let of_id i =
+  locked (fun () ->
+      if i < 0 || i >= !next_id then
+        invalid_arg (Printf.sprintf "Event.of_id: unknown id %d" i);
+      match !store.(i) with Some e -> e | None -> assert false)
+
+let count () = locked (fun () -> !next_id)
 
 let compare a b =
-  let c = String.compare a.name b.name in
-  if c = 0 && a.controllable <> b.controllable then
-    invalid_arg
-      (Printf.sprintf "Event.compare: %S has inconsistent controllability"
-         a.name)
-  else c
+  if a.id = b.id then 0
+  else
+    let c = String.compare a.name b.name in
+    if c <> 0 then c else Bool.compare a.controllable b.controllable
 
-let equal a b = compare a b = 0
+let equal a b = a.id = b.id
 
 let pp ppf e =
   if e.controllable then Format.pp_print_string ppf e.name
@@ -29,3 +69,22 @@ module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
 
 let set_of_list l = Set.of_list l
+
+let merge_alphabets ~context s1 s2 =
+  let u = Set.union s1 s2 in
+  (* The order is (name, controllability), so a name carried with both
+     polarities yields two adjacent elements. *)
+  let prev = ref None in
+  Set.iter
+    (fun e ->
+      (match !prev with
+      | Some p when String.equal p.name e.name ->
+          invalid_arg
+            (Printf.sprintf
+               "%s: event %S is uncontrollable in one alphabet but \
+                controllable in the other"
+               context e.name)
+      | _ -> ());
+      prev := Some e)
+    u;
+  u

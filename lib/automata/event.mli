@@ -5,25 +5,52 @@
     gain-switch command) or {e uncontrollable} (generated spontaneously by
     the plant — e.g. a power-budget violation).  Events are identified by
     name; two events with equal names are the same event and must agree on
-    controllability. *)
+    controllability {e within any one automaton or composition} — that
+    consistency is checked with a clear error at {!Automaton.create} and
+    at the composition/synthesis entry points (see {!merge_alphabets}),
+    not from inside the comparator.
 
-type t = private { name : string; controllable : bool }
+    Events are {e interned}: {!controllable}/{!uncontrollable} return the
+    unique value for a given (name, controllability) pair, carrying a
+    dense process-wide integer {!id}.  The automata algorithms (compose,
+    synthesize, reach, verify) run entirely on these ids — no string
+    hashing or comparison on any hot path.  Ids are assigned in intern
+    order and are therefore stable within a process but {e not} across
+    processes. *)
+
+type t = private { id : int; name : string; controllable : bool }
 
 val controllable : string -> t
-(** A controllable event. *)
+(** The (interned) controllable event of that name. *)
 
 val uncontrollable : string -> t
-(** An uncontrollable event. *)
+(** The (interned) uncontrollable event of that name. *)
 
 val name : t -> string
 val is_controllable : t -> bool
 
+val id : t -> int
+(** Dense intern id, unique per (name, controllability) pair.  [O(1)] —
+    the id is stored in the value. *)
+
+val of_id : int -> t
+(** Inverse of {!id}.  Raises [Invalid_argument] on an id never returned
+    by {!id}.  Takes the intern lock — not for hot paths; algorithms keep
+    per-automaton decode tables instead. *)
+
+val count : unit -> int
+(** Number of interned events so far; ids range over [0 .. count()-1].
+    Useful for sizing id-indexed scratch arrays. *)
+
 val compare : t -> t -> int
-(** Total order by name.  Raises [Invalid_argument] when two events share
-    a name but disagree on controllability — that is always a modelling
-    bug worth failing loudly on. *)
+(** Total order by (name, controllability); uncontrollable sorts before
+    controllable for equal names.  Never raises — conflicting
+    controllability for one name is reported by the alphabet-consistency
+    checks ({!Automaton.create}, {!merge_alphabets}), not mid-comparison
+    where it used to detonate inside [Set.union] rebalancing. *)
 
 val equal : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit
 (** Prints [name] followed by [!] for uncontrollable events, matching the
     convention of SCT textbooks. *)
@@ -32,3 +59,12 @@ module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
 
 val set_of_list : t list -> Set.t
+
+val merge_alphabets : context:string -> Set.t -> Set.t -> Set.t
+(** Union of two alphabets, with the consistency check the comparator no
+    longer performs: raises [Invalid_argument] — prefixed with [context]
+    and naming the offending event — when the same event name appears
+    controllable on one side and uncontrollable on the other.  Called at
+    the {!Compose.pair}, {!Synthesis.supcon} and {!Verify.controllable}
+    entry points so a modelling bug fails loudly with a readable message
+    instead of an exception thrown from inside a [Set] rebalance. *)

@@ -1,0 +1,24 @@
+(* Growable int array — the scratch structure of the index-native
+   algorithms (compose, synthesis), which accumulate transitions and
+   state maps of unknown size without consing a list per element. *)
+
+type t = { mutable a : int array; mutable len : int }
+
+let create ?(capacity = 1024) () = { a = Array.make (max capacity 1) 0; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  if v.len = Array.length v.a then begin
+    let bigger = Array.make (2 * v.len) 0 in
+    Array.blit v.a 0 bigger 0 v.len;
+    v.a <- bigger
+  end;
+  v.a.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Intvec.get: index out of bounds";
+  v.a.(i)
+
+let to_array v = Array.sub v.a 0 v.len

@@ -1,0 +1,11 @@
+(** Growable int array, used as scratch by the index-native algorithms
+    ({!Compose}, {!Synthesis}) to accumulate transition triples and
+    state maps without consing a list cell per element. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val to_array : t -> int array

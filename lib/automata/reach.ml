@@ -1,34 +1,47 @@
+(* Forward BFS straight over the CSR rows — the transition arrays are the
+   adjacency structure, no per-state lists to build. *)
 let accessible_indices a =
   let n = Automaton.num_states a in
   let seen = Array.make n false in
   let queue = Queue.create () in
   seen.(Automaton.initial_index a) <- true;
   Queue.push (Automaton.initial_index a) queue;
-  (* forward adjacency *)
-  let succ = Array.make n [] in
-  Automaton.fold_transitions
-    (fun s _ d () -> succ.(s) <- d :: succ.(s))
-    a ();
   while not (Queue.is_empty queue) do
     let i = Queue.pop queue in
-    List.iter
-      (fun j ->
+    Automaton.iter_row a i (fun _ j ->
         if not seen.(j) then begin
           seen.(j) <- true;
           Queue.push j queue
         end)
-      succ.(i)
   done;
   seen
+
+(* Backward traversal needs the reverse adjacency; counting-sort the
+   transitions by destination into CSR form once. *)
+let pred_csr a =
+  let n = Automaton.num_states a in
+  let deg = Array.make n 0 in
+  for s = 0 to n - 1 do
+    Automaton.iter_row a s (fun _ d -> deg.(d) <- deg.(d) + 1)
+  done;
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + deg.(i)
+  done;
+  let src = Array.make row.(n) 0 in
+  let cursor = Array.copy row in
+  for s = 0 to n - 1 do
+    Automaton.iter_row a s (fun _ d ->
+        src.(cursor.(d)) <- s;
+        cursor.(d) <- cursor.(d) + 1)
+  done;
+  (row, src)
 
 let coaccessible_indices a =
   let n = Automaton.num_states a in
   let seen = Array.make n false in
   let queue = Queue.create () in
-  let pred = Array.make n [] in
-  Automaton.fold_transitions
-    (fun s _ d () -> pred.(d) <- s :: pred.(d))
-    a ();
+  let row, src = pred_csr a in
   for i = 0 to n - 1 do
     if Automaton.is_marked_index a i then begin
       seen.(i) <- true;
@@ -37,26 +50,24 @@ let coaccessible_indices a =
   done;
   while not (Queue.is_empty queue) do
     let i = Queue.pop queue in
-    List.iter
-      (fun j ->
-        if not seen.(j) then begin
-          seen.(j) <- true;
-          Queue.push j queue
-        end)
-      pred.(i)
+    for k = row.(i) to row.(i + 1) - 1 do
+      let j = src.(k) in
+      if not seen.(j) then begin
+        seen.(j) <- true;
+        Queue.push j queue
+      end
+    done
   done;
   seen
 
-let restrict a flags =
-  Automaton.restrict_states a ~keep:(fun s ->
-      flags.(Automaton.index_of_state a s))
+let restrict_indices = Automaton.restrict_indices
 
 let accessible a =
-  match restrict a (accessible_indices a) with
+  match restrict_indices a (accessible_indices a) with
   | Some a' -> a'
   | None -> assert false (* the initial state is always accessible *)
 
-let coaccessible a = restrict a (coaccessible_indices a)
+let coaccessible a = restrict_indices a (coaccessible_indices a)
 
 (* Removing blocking states can strand states that were only reachable or
    coaccessible through them, so iterate to a fixpoint. *)
@@ -64,7 +75,7 @@ let rec trim a =
   let acc = accessible_indices a in
   let coacc = coaccessible_indices a in
   let both = Array.map2 ( && ) acc coacc in
-  match restrict a both with
+  match restrict_indices a both with
   | None -> None
   | Some a' ->
       if Automaton.num_states a' = Automaton.num_states a then Some a'

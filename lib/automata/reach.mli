@@ -12,6 +12,12 @@ val coaccessible_indices : Automaton.t -> bool array
 (** Flags states from which some marked state is reachable (computed by
     backward traversal from the marked states). *)
 
+val restrict_indices : Automaton.t -> bool array -> Automaton.t option
+(** Sub-automaton induced by the flagged states (re-exported
+    {!Automaton.restrict_indices}): the index-native restriction the
+    algorithms compose with the [*_indices] analyses above without ever
+    touching state names.  [None] when the initial state is not kept. *)
+
 val accessible : Automaton.t -> Automaton.t
 (** Sub-automaton of reachable states (never empty: the initial state is
     always reachable). *)

@@ -15,150 +15,174 @@ let pp_stats ppf s =
 
 type error = Empty_supervisor
 
-(* The synthesis works on the reachable product of plant and spec, kept as
-   explicit (plant index, spec index) pairs so controllability can consult
-   the plant component directly. *)
+(* The synthesis works on the reachable product of plant and spec, kept
+   index-native: product states are dense ints mapping back to (plant
+   index, spec index) through [pg]/[pe], transitions live in parallel
+   (src, event id, dst) arrays, and the two fixpoint relations the passes
+   actually consult — predecessors, and the uncontrollable-event
+   sub-graph — are CSR adjacency built once.
+
+   The uncontrollable index exists because the fixpoint only ever asks
+   two questions of a state: does the plant enable an uncontrollable
+   event the spec disables (an escape — bad no matter what), and which
+   states does it reach / is it reached from via uncontrollable events?
+   Neither answer depends on the evolving good-set, so both are resolved
+   during product construction — each plant-row entry is examined exactly
+   once, against one binary search in the spec's row. *)
 
 type product = {
-  states : (int * int) array; (* product index -> (plant, spec) *)
-  trans : (int * Event.t * int) list; (* product transitions *)
-  succ : (Event.t * int) list array; (* outgoing, by product index *)
-  pred : int list array; (* incoming (source indices) *)
+  pg : int array; (* product index -> plant index *)
+  pe : int array; (* product index -> spec index *)
+  tsrc : int array; (* product transitions, parallel arrays *)
+  tev : int array;
+  tdst : int array;
+  pred_row : int array; (* CSR: incoming source indices per state *)
+  pred : int array;
   marked : bool array;
   forbidden : bool array;
   initial : int;
+  alphabet : Event.Set.t;
+  unc_escape : bool array;
+  unc_succ_row : int array; (* CSR: successors via uncontrollable events *)
+  unc_succ : int array;
+  unc_pred_row : int array; (* reverse of [unc_succ] *)
+  unc_pred : int array;
 }
+
+(* Counting-sort (key, value) pairs into CSR form over [n] buckets. *)
+let csr_of_pairs n keys values =
+  let count = Array.length keys in
+  let deg = Array.make n 0 in
+  Array.iter (fun k -> deg.(k) <- deg.(k) + 1) keys;
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + deg.(i)
+  done;
+  let out = Array.make count 0 in
+  let cursor = Array.copy row in
+  for k = 0 to count - 1 do
+    let key = keys.(k) in
+    out.(cursor.(key)) <- values.(k);
+    cursor.(key) <- cursor.(key) + 1
+  done;
+  (row, out)
 
 let build_product plant spec =
   let sigma_g = Automaton.alphabet plant in
   let sigma_e = Automaton.alphabet spec in
-  let alphabet = Event.Set.union sigma_g sigma_e in
-  let index = Hashtbl.create 64 in
-  let pair_of = Hashtbl.create 64 in
-  let n = ref 0 in
-  let intern p =
-    match Hashtbl.find_opt index p with
+  let alphabet =
+    Event.merge_alphabets
+      ~context:
+        (Printf.sprintf "Synthesis.supcon(%s,%s)" (Automaton.name plant)
+           (Automaton.name spec))
+      sigma_g sigma_e
+  in
+  let max_id = Event.Set.fold (fun e m -> max m (Event.id e)) alphabet (-1) in
+  let in_g = Array.make (max_id + 1) false in
+  let in_e = Array.make (max_id + 1) false in
+  let ctrl = Array.make (max_id + 1) true in
+  Event.Set.iter (fun e -> in_g.(Event.id e) <- true) sigma_g;
+  Event.Set.iter (fun e -> in_e.(Event.id e) <- true) sigma_e;
+  Event.Set.iter
+    (fun e -> ctrl.(Event.id e) <- Event.is_controllable e)
+    alphabet;
+  let ne = Automaton.num_states spec in
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let pg = Intvec.create () and pe = Intvec.create () in
+  let tsrc = Intvec.create () and tev = Intvec.create () in
+  let tdst = Intvec.create () in
+  let esc = Intvec.create () in
+  let usrc = Intvec.create () and udst = Intvec.create () in
+  let queue = Queue.create () in
+  let visit ig ie =
+    let key = (ig * ne) + ie in
+    match Hashtbl.find_opt seen key with
     | Some i -> i
     | None ->
-        let i = !n in
-        incr n;
-        Hashtbl.add index p i;
-        Hashtbl.add pair_of i p;
+        let i = Intvec.length pg in
+        Hashtbl.add seen key i;
+        Intvec.push pg ig;
+        Intvec.push pe ie;
+        Queue.push (i, ig, ie) queue;
         i
   in
-  let queue = Queue.create () in
-  let start =
-    intern (Automaton.initial_index plant, Automaton.initial_index spec)
-  in
-  Queue.push start queue;
-  let trans = ref [] in
-  let explored = Hashtbl.create 64 in
-  Hashtbl.add explored start ();
+  ignore (visit (Automaton.initial_index plant) (Automaton.initial_index spec));
   while not (Queue.is_empty queue) do
-    let i = Queue.pop queue in
-    let ig, ie = Hashtbl.find pair_of i in
-    Event.Set.iter
-      (fun e ->
-        let in_g = Event.Set.mem e sigma_g in
-        let in_e = Event.Set.mem e sigma_e in
-        let next =
-          match (in_g, in_e) with
-          | true, true -> (
-              match
-                (Automaton.step_index plant ig e, Automaton.step_index spec ie e)
-              with
-              | Some jg, Some je -> Some (jg, je)
-              | _ -> None)
-          | true, false ->
-              Option.map (fun jg -> (jg, ie)) (Automaton.step_index plant ig e)
-          | false, true ->
-              Option.map (fun je -> (ig, je)) (Automaton.step_index spec ie e)
-          | false, false -> None
-        in
-        match next with
-        | None -> ()
-        | Some p ->
-            let j = intern p in
-            trans := (i, e, j) :: !trans;
-            if not (Hashtbl.mem explored j) then begin
-              Hashtbl.add explored j ();
-              Queue.push j queue
-            end)
-      alphabet
+    let i, ig, ie = Queue.pop queue in
+    let emit eid j =
+      Intvec.push tsrc i;
+      Intvec.push tev eid;
+      Intvec.push tdst j
+    in
+    (* Only plant-enabled uncontrollable events feed the controllability
+       index: controllability is about what the *plant* can generate. *)
+    let emit_plant eid j =
+      emit eid j;
+      if not ctrl.(eid) then begin
+        Intvec.push usrc i;
+        Intvec.push udst j
+      end
+    in
+    Automaton.iter_row plant ig (fun eid jg ->
+        if in_e.(eid) then (
+          match Automaton.step_index spec ie eid with
+          | Some je -> emit_plant eid (visit jg je)
+          | None ->
+              (* The spec's alphabet contains this event but disables it
+                 here.  For an uncontrollable event that is an escape:
+                 the plant can fire it regardless of the supervisor. *)
+              if not ctrl.(eid) then Intvec.push esc i)
+        else emit_plant eid (visit jg ie));
+    Automaton.iter_row spec ie (fun eid je ->
+        if not in_g.(eid) then emit eid (visit ig je))
   done;
-  let states = Array.init !n (fun i -> Hashtbl.find pair_of i) in
-  let total = Array.length states in
-  let succ = Array.make total [] in
-  let pred = Array.make total [] in
-  List.iter
-    (fun (i, e, j) ->
-      succ.(i) <- (e, j) :: succ.(i);
-      pred.(j) <- i :: pred.(j))
-    !trans;
+  let n = Intvec.length pg in
+  let pg = Intvec.to_array pg and pe = Intvec.to_array pe in
+  let tsrc = Intvec.to_array tsrc in
+  let tev = Intvec.to_array tev in
+  let tdst = Intvec.to_array tdst in
+  let pred_row, pred = csr_of_pairs n tdst tsrc in
+  let usrc = Intvec.to_array usrc and udst = Intvec.to_array udst in
+  let unc_succ_row, unc_succ = csr_of_pairs n usrc udst in
+  let unc_pred_row, unc_pred = csr_of_pairs n udst usrc in
+  let unc_escape = Array.make n false in
+  let esc = Intvec.to_array esc in
+  Array.iter (fun i -> unc_escape.(i) <- true) esc;
   let marked =
-    Array.map
-      (fun (ig, ie) ->
-        Automaton.is_marked_index plant ig && Automaton.is_marked_index spec ie)
-      states
+    Array.init n (fun i ->
+        Automaton.is_marked_index plant pg.(i)
+        && Automaton.is_marked_index spec pe.(i))
   in
   let forbidden =
-    Array.map
-      (fun (ig, ie) ->
-        Automaton.is_forbidden_index plant ig
-        || Automaton.is_forbidden_index spec ie)
-      states
+    Array.init n (fun i ->
+        Automaton.is_forbidden_index plant pg.(i)
+        || Automaton.is_forbidden_index spec pe.(i))
   in
-  { states; trans = !trans; succ; pred; marked; forbidden; initial = start }
-
-(* Static controllability index over the product.  The fixpoint only ever
-   asks two questions of a state: does the plant enable an uncontrollable
-   event the spec disables (an escape — bad no matter what), and which
-   states does it reach / is it reached from via uncontrollable events?
-   Neither answer depends on the evolving good-set, so we resolve the
-   event lookups once instead of rescanning every state's association
-   list on every pass. *)
-type unc_index = {
-  unc_escape : bool array;
-  unc_succ : int list array; (* successors via uncontrollable events *)
-  unc_pred : int list array; (* reverse of [unc_succ] *)
-}
-
-let build_unc_index plant spec product =
-  let n = Array.length product.states in
-  let sigma_e = Automaton.alphabet spec in
-  let unc_escape = Array.make n false in
-  let unc_succ = Array.make n [] in
-  let unc_pred = Array.make n [] in
-  Array.iteri
-    (fun i (ig, _ie) ->
-      let by_event = Hashtbl.create 8 in
-      List.iter
-        (fun (e, j) ->
-          if not (Hashtbl.mem by_event e) then Hashtbl.add by_event e j)
-        product.succ.(i);
-      List.iter
-        (fun e ->
-          if not (Event.is_controllable e) then
-            match Hashtbl.find_opt by_event e with
-            | Some j ->
-                unc_succ.(i) <- j :: unc_succ.(i);
-                unc_pred.(j) <- i :: unc_pred.(j)
-            | None ->
-                (* A plant-private event always has a product transition,
-                   so a missing one means the spec's alphabet contains [e]
-                   and the spec disabled it: an uncontrollable escape. *)
-                assert (Event.Set.mem e sigma_e);
-                unc_escape.(i) <- true)
-        (Automaton.enabled_index plant ig))
-    product.states;
-  { unc_escape; unc_succ; unc_pred }
+  {
+    pg;
+    pe;
+    tsrc;
+    tev;
+    tdst;
+    pred_row;
+    pred;
+    marked;
+    forbidden;
+    initial = 0;
+    alphabet;
+    unc_escape;
+    unc_succ_row;
+    unc_succ;
+    unc_pred_row;
+    unc_pred;
+  }
 
 (* One uncontrollability pass: mark good states bad when the plant enables
    an uncontrollable event that either leaves the product (spec disables
    it) or lands on a bad state.  Worklist-driven — seed with the states
    that are violated right now, then only revisit predecessors of newly
    bad states.  Returns the number newly removed. *)
-let uncontrollable_pass idx product good =
+let uncontrollable_pass p good =
   let removed = ref 0 in
   let queue = Queue.create () in
   let kill i =
@@ -168,43 +192,46 @@ let uncontrollable_pass idx product good =
       Queue.push i queue
     end
   in
-  let n = Array.length product.states in
+  let n = Array.length good in
   for i = 0 to n - 1 do
-    if
-      good.(i)
-      && (idx.unc_escape.(i)
-         || List.exists (fun j -> not good.(j)) idx.unc_succ.(i))
-    then kill i
+    if good.(i) then
+      if p.unc_escape.(i) then kill i
+      else
+        let lo = p.unc_succ_row.(i) and hi = p.unc_succ_row.(i + 1) in
+        let rec bad_succ k =
+          k < hi && ((not good.(p.unc_succ.(k))) || bad_succ (k + 1))
+        in
+        if bad_succ lo then kill i
   done;
   while not (Queue.is_empty queue) do
     let j = Queue.pop queue in
-    List.iter kill idx.unc_pred.(j)
+    for k = p.unc_pred_row.(j) to p.unc_pred_row.(j + 1) - 1 do
+      kill p.unc_pred.(k)
+    done
   done;
   !removed
 
 (* Trimming pass restricted to the good region: bad-out states that cannot
-   reach a good marked state, or cannot be reached from the initial state
-   through good states. *)
-let blocking_pass product good =
-  let n = Array.length product.states in
-  (* coaccessible within good *)
+   reach a good marked state through good states. *)
+let blocking_pass p good =
+  let n = Array.length good in
   let coacc = Array.make n false in
   let queue = Queue.create () in
   for i = 0 to n - 1 do
-    if good.(i) && product.marked.(i) then begin
+    if good.(i) && p.marked.(i) then begin
       coacc.(i) <- true;
       Queue.push i queue
     end
   done;
   while not (Queue.is_empty queue) do
     let j = Queue.pop queue in
-    List.iter
-      (fun i ->
-        if good.(i) && not coacc.(i) then begin
-          coacc.(i) <- true;
-          Queue.push i queue
-        end)
-      product.pred.(j)
+    for k = p.pred_row.(j) to p.pred_row.(j + 1) - 1 do
+      let i = p.pred.(k) in
+      if good.(i) && not coacc.(i) then begin
+        coacc.(i) <- true;
+        Queue.push i queue
+      end
+    done
   done;
   let removed = ref 0 in
   for i = 0 to n - 1 do
@@ -216,9 +243,8 @@ let blocking_pass product good =
   !removed
 
 let supcon ~plant ~spec =
-  let product = build_product plant spec in
-  let idx = build_unc_index plant spec product in
-  let n = Array.length product.states in
+  let p = build_product plant spec in
+  let n = Array.length p.pg in
   let good = Array.make n true in
   let removed_forbidden = ref 0 in
   Array.iteri
@@ -227,15 +253,15 @@ let supcon ~plant ~spec =
         good.(i) <- false;
         incr removed_forbidden
       end)
-    product.forbidden;
+    p.forbidden;
   let removed_unc = ref 0 in
   let removed_blk = ref 0 in
   let iterations = ref 0 in
   let continue = ref true in
   while !continue do
     incr iterations;
-    let u = uncontrollable_pass idx product good in
-    let b = blocking_pass product good in
+    let u = uncontrollable_pass p good in
+    let b = blocking_pass p good in
     removed_unc := !removed_unc + u;
     removed_blk := !removed_blk + b;
     if u = 0 && b = 0 then continue := false
@@ -249,35 +275,50 @@ let supcon ~plant ~spec =
       iterations = !iterations;
     }
   in
-  if not good.(product.initial) then Error Empty_supervisor
+  if not good.(p.initial) then Error Empty_supervisor
   else begin
-    let name_of i =
-      let ig, ie = product.states.(i) in
-      (* Escaping join (see Automaton.product_state_name): the plant is
-         typically itself a composition with dotted state names. *)
-      Automaton.product_state_name
-        (Automaton.state_of_index plant ig)
-        (Automaton.state_of_index spec ie)
-    in
-    let transitions =
-      List.filter_map
-        (fun (i, e, j) ->
-          if good.(i) && good.(j) then Some (name_of i, e, name_of j)
-          else None)
-        product.trans
-    in
-    let marked = ref [] in
+    (* Renumber the good states densely and rebuild in index space; names
+       stay lazy — [product_state_name] runs only if someone asks. *)
+    let new_of_old = Array.make n (-1) in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      if good.(i) then begin
+        new_of_old.(i) <- !m;
+        incr m
+      end
+    done;
+    let m = !m in
+    let old_of_new = Array.make m 0 in
+    for i = 0 to n - 1 do
+      if good.(i) then old_of_new.(new_of_old.(i)) <- i
+    done;
+    let kept = Intvec.create () in
     Array.iteri
-      (fun i g -> if g && product.marked.(i) then marked := name_of i :: !marked)
-      good;
-    let alphabet =
-      Event.Set.union (Automaton.alphabet plant) (Automaton.alphabet spec)
+      (fun k src ->
+        if good.(src) && good.(p.tdst.(k)) then Intvec.push kept k)
+      p.tsrc;
+    let trans =
+      Array.init (Intvec.length kept) (fun j ->
+          let k = Intvec.get kept j in
+          (new_of_old.(p.tsrc.(k)), p.tev.(k), new_of_old.(p.tdst.(k))))
+    in
+    let names () =
+      Array.init m (fun i ->
+          let old = old_of_new.(i) in
+          (* Escaping join (see Automaton.product_state_name): the plant
+             is typically itself a composition with dotted state names. *)
+          Automaton.product_state_name
+            (Automaton.state_of_index plant p.pg.(old))
+            (Automaton.state_of_index spec p.pe.(old)))
     in
     let sup =
-      Automaton.create ~marked:!marked
-        ~alphabet:(Event.Set.elements alphabet)
+      Automaton.of_indexed
         ~name:("sup(" ^ Automaton.name plant ^ "," ^ Automaton.name spec ^ ")")
-        ~initial:(name_of product.initial) ~transitions ()
+        ~names ~alphabet:p.alphabet
+        ~initial:new_of_old.(p.initial)
+        ~marked:(Array.init m (fun i -> p.marked.(old_of_new.(i))))
+        ~forbidden:(Array.make m false)
+        trans
     in
     (* Only the accessible part is meaningful (pruning can disconnect). *)
     Ok (Reach.accessible sup, stats)

@@ -19,61 +19,70 @@ type controllability_witness = {
   event : Event.t;
 }
 
-(* Walk the reachable product of supervisor and plant; at each pair check
-   that every uncontrollable plant-enabled event (that the supervisor's
-   alphabet contains) is supervisor-enabled. *)
+(* Walk the reachable product of supervisor and plant on indices; at each
+   pair check that every uncontrollable plant-enabled event (that the
+   supervisor's alphabet contains) is supervisor-enabled.  Like Compose,
+   the walk iterates CSR rows instead of the union alphabet, so only
+   enabled events are ever examined; names are decoded only for the
+   witness on the error path. *)
 let controllable ~plant ~supervisor =
   let sigma_s = Automaton.alphabet supervisor in
   let sigma_g = Automaton.alphabet plant in
-  let alphabet = Event.Set.union sigma_s sigma_g in
-  let seen = Hashtbl.create 64 in
+  let alphabet =
+    Event.merge_alphabets
+      ~context:
+        (Printf.sprintf "Verify.controllable(%s,%s)" (Automaton.name plant)
+           (Automaton.name supervisor))
+      sigma_s sigma_g
+  in
+  let max_id = Event.Set.fold (fun e m -> max m (Event.id e)) alphabet (-1) in
+  let in_s = Array.make (max_id + 1) false in
+  let in_g = Array.make (max_id + 1) false in
+  let ctrl = Array.make (max_id + 1) true in
+  Event.Set.iter (fun e -> in_s.(Event.id e) <- true) sigma_s;
+  Event.Set.iter (fun e -> in_g.(Event.id e) <- true) sigma_g;
+  Event.Set.iter
+    (fun e -> ctrl.(Event.id e) <- Event.is_controllable e)
+    alphabet;
+  let ng = Automaton.num_states plant in
+  let seen = Hashtbl.create 1024 in
   let queue = Queue.create () in
-  let start = (Automaton.initial_index supervisor, Automaton.initial_index plant) in
-  Hashtbl.add seen start ();
-  Queue.push start queue;
+  let visit is_ ig =
+    let key = (is_ * ng) + ig in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.push (is_, ig) queue
+    end
+  in
+  visit (Automaton.initial_index supervisor) (Automaton.initial_index plant);
   let witness = ref None in
-  while !witness = None && not (Queue.is_empty queue) do
-    let is_, ig = Queue.pop queue in
-    Event.Set.iter
-      (fun e ->
-        if !witness = None then begin
-          let in_s = Event.Set.mem e sigma_s in
-          let in_g = Event.Set.mem e sigma_g in
-          let s_step = if in_s then Automaton.step_index supervisor is_ e else None in
-          let g_step = if in_g then Automaton.step_index plant ig e else None in
-          (* controllability violation: plant enables an uncontrollable
-             event the supervisor's alphabet contains but disables here *)
-          if
-            in_g && in_s && g_step <> None && s_step = None
-            && not (Event.is_controllable e)
-          then
-            witness :=
-              Some
-                {
-                  supervisor_state = Automaton.state_of_index supervisor is_;
-                  plant_state = Automaton.state_of_index plant ig;
-                  event = e;
-                }
-          else begin
-            let next =
-              match (in_s, in_g) with
-              | true, true -> (
-                  match (s_step, g_step) with
-                  | Some js, Some jg -> Some (js, jg)
-                  | _ -> None)
-              | true, false -> Option.map (fun js -> (js, ig)) s_step
-              | false, true -> Option.map (fun jg -> (is_, jg)) g_step
-              | false, false -> None
-            in
-            match next with
-            | Some p when not (Hashtbl.mem seen p) ->
-                Hashtbl.add seen p ();
-                Queue.push p queue
-            | _ -> ()
-          end
-        end)
-      alphabet
-  done;
+  (try
+     while not (Queue.is_empty queue) do
+       let is_, ig = Queue.pop queue in
+       Automaton.iter_row plant ig (fun eid jg ->
+           if in_s.(eid) then (
+             match Automaton.step_index supervisor is_ eid with
+             | Some js -> visit js jg
+             | None ->
+                 (* Plant enables it, supervisor's alphabet contains it,
+                    supervisor disables it: a violation iff
+                    uncontrollable. *)
+                 if not ctrl.(eid) then begin
+                   witness :=
+                     Some
+                       {
+                         supervisor_state =
+                           Automaton.state_of_index supervisor is_;
+                         plant_state = Automaton.state_of_index plant ig;
+                         event = Automaton.event_of_id plant eid;
+                       };
+                   raise Exit
+                 end)
+           else visit is_ jg);
+       Automaton.iter_row supervisor is_ (fun eid js ->
+           if not in_g.(eid) then visit js ig)
+     done
+   with Exit -> ());
   match !witness with None -> Ok () | Some w -> Error w
 
 let is_controllable ~plant ~supervisor =

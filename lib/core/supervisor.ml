@@ -62,7 +62,7 @@ type t = {
   commands : commands;
   auto : Automaton.t;
   stats : Synthesis.stats;
-  mutable current : string;
+  mutable current : int; (* supervisor-automaton state index *)
   mutable mode : string; (* "qos" | "power" *)
   mutable mode_age : int; (* supervisor periods since the last switch *)
   mutable big_ref : float;
@@ -86,7 +86,7 @@ let create ?(config = default_config) ~commands ~envelope () =
     commands;
     auto;
     stats;
-    current = Automaton.initial auto;
+    current = Automaton.initial_index auto;
     mode = "qos";
     mode_age = 0;
     big_ref;
@@ -97,7 +97,9 @@ let create ?(config = default_config) ~commands ~envelope () =
     last_envelope = envelope;
   }
 
-let state t = t.current
+(* The only place the runtime engine translates back to a name: the hot
+   path below tracks the state purely as an index. *)
+let state t = Automaton.state_of_index t.auto t.current
 let gains_mode t = t.mode
 let big_power_ref t = t.big_ref
 let little_power_ref t = t.little_ref
@@ -157,7 +159,7 @@ let execute t event =
       set_little t t.little_ref
   | "holdBudget" -> ()
   | _ -> ());
-  match Automaton.step t.auto t.current event with
+  match Automaton.step_index t.auto t.current (Event.id event) with
   | Some next -> t.current <- next
   | None -> () (* execute is only called on enabled events *)
 
@@ -166,7 +168,7 @@ let execute t event =
    when no enabled controllable remains. *)
 let choose_action t =
   let enabled =
-    List.filter Event.is_controllable (Automaton.enabled t.auto t.current)
+    List.filter Event.is_controllable (Automaton.enabled_index t.auto t.current)
   in
   let has e = List.exists (Event.equal e) enabled in
   let c = t.config in
@@ -209,7 +211,7 @@ let run_controllables t =
 
 (* Feed one uncontrollable event if the supervisor defines it here. *)
 let feed t event =
-  match Automaton.step t.auto t.current event with
+  match Automaton.step_index t.auto t.current (Event.id event) with
   | Some next ->
       t.current <- next;
       run_controllables t

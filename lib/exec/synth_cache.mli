@@ -13,7 +13,12 @@
     safe); it is structurally equal to what a fresh synthesis would
     return.  The table is guarded by a mutex, held across the synthesis
     itself so a grid of workers racing on the same key synthesizes
-    exactly once. *)
+    exactly once.
+
+    The digest key is deterministic {e within a process} only: event
+    intern order feeds the transition encoding, and intern order depends
+    on construction order.  That is exactly the lifetime of this cache —
+    never persist the digests. *)
 
 open Spectr_automata
 

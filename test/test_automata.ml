@@ -31,10 +31,26 @@ let test_event_order () =
   check_bool "equal" true (Event.equal a (Event.controllable "a"))
 
 let test_event_inconsistent_controllability () =
+  (* The comparator used to raise from inside Set rebalancing when one
+     name carried both polarities; the order is now total — the two
+     events are simply distinct, uncontrollable first — and the conflict
+     is reported by the alphabet-consistency checks instead (see the
+     alphabet-conflict tests below). *)
   let a = Event.controllable "x" and b = Event.uncontrollable "x" in
-  Alcotest.check_raises "conflict"
-    (Invalid_argument "Event.compare: \"x\" has inconsistent controllability")
-    (fun () -> ignore (Event.compare a b))
+  check_bool "distinct" false (Event.equal a b);
+  check_bool "nonzero compare" true (Event.compare a b <> 0);
+  check_bool "uncontrollable first" true (Event.compare b a < 0);
+  check_bool "antisymmetric" true (Event.compare a b = -Event.compare b a);
+  check_int "both coexist in a set" 2
+    (Event.Set.cardinal (Event.set_of_list [ a; b ]))
+
+let test_event_interning () =
+  let a = Event.controllable "same" in
+  check_bool "physically interned" true (a == Event.controllable "same");
+  check_int "id stable" (Event.id a) (Event.id (Event.controllable "same"));
+  check_bool "polarities get distinct ids" true
+    (Event.id a <> Event.id (Event.uncontrollable "same"));
+  check_bool "of_id inverts id" true (Event.equal a (Event.of_id (Event.id a)))
 
 let test_event_pp () =
   check_string "controllable" "go"
@@ -104,6 +120,21 @@ let test_automaton_nondeterminism_rejected () =
              [
                ("A", Event.controllable "e", "B");
                ("A", Event.controllable "e", "C");
+             ]
+           ()))
+
+let test_automaton_conflicting_controllability () =
+  Alcotest.check_raises "create conflict"
+    (Invalid_argument
+       "Automaton bad: event \"x\" is used both controllably and \
+        uncontrollably")
+    (fun () ->
+      ignore
+        (Automaton.create ~name:"bad" ~initial:"A"
+           ~transitions:
+             [
+               ("A", Event.controllable "x", "B");
+               ("B", Event.uncontrollable "x", "A");
              ]
            ()))
 
@@ -603,6 +634,240 @@ let prop_trim_idempotent =
           | Some t' -> Automaton.num_states t = Automaton.num_states t'))
 
 (* ------------------------------------------------------------------ *)
+(* Index-native core vs string-native references                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_alphabet_conflict_reported_at_entry () =
+  (* Regression: with per-automaton consistency but a cross-automaton
+     conflict, Event.compare used to raise from inside Set.union during
+     composition — deep in a rebalance, with no context.  Compose.pair
+     and Synthesis.supcon now check alphabet consistency on entry and
+     name the event. *)
+  let a =
+    Automaton.create ~name:"A" ~initial:"P"
+      ~transitions:[ ("P", Event.controllable "clash", "P") ]
+      ()
+  in
+  let b =
+    Automaton.create ~name:"B" ~initial:"Q"
+      ~transitions:[ ("Q", Event.uncontrollable "clash", "Q") ]
+      ()
+  in
+  Alcotest.check_raises "compose names the event"
+    (Invalid_argument
+       "Compose.pair(A,B): event \"clash\" is uncontrollable in one alphabet \
+        but controllable in the other")
+    (fun () -> ignore (Compose.pair a b));
+  Alcotest.check_raises "supcon names the event"
+    (Invalid_argument
+       "Synthesis.supcon(A,B): event \"clash\" is uncontrollable in one \
+        alphabet but controllable in the other")
+    (fun () -> ignore (Synthesis.supcon ~plant:a ~spec:b))
+
+(* Deterministic seeded automaton generator (simple LCG), for the
+   equivalence tests pinning the index-native algorithms to string-native
+   reference implementations: unlike the QCheck generators these
+   enumerate a fixed seed range, so a failure reproduces from the seed
+   number alone. *)
+let random_automaton ~seed ~name =
+  let rng = ref ((seed * 2654435761) land 0x3FFFFFFF) in
+  let rand n =
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng mod n
+  in
+  let events =
+    [|
+      Event.controllable "rn_c1";
+      Event.controllable "rn_c2";
+      Event.uncontrollable "rn_u1";
+      Event.uncontrollable "rn_u2";
+    |]
+  in
+  let n_states = 2 + rand 5 in
+  let state i = Printf.sprintf "q%d" i in
+  let n_trans = 1 + rand (3 * n_states) in
+  let seen = Hashtbl.create 16 in
+  let trans = ref [] in
+  for _ = 1 to n_trans do
+    let s = rand n_states and d = rand n_states in
+    let e = events.(rand (Array.length events)) in
+    if not (Hashtbl.mem seen (s, Event.id e)) then begin
+      Hashtbl.add seen (s, Event.id e) ();
+      trans := (state s, e, state d) :: !trans
+    end
+  done;
+  let mentioned =
+    List.sort_uniq String.compare
+      (state 0 :: List.concat_map (fun (s, _, d) -> [ s; d ]) !trans)
+  in
+  let marked = List.filter (fun _ -> rand 2 = 0) mentioned in
+  let forbidden = List.filter (fun s -> s <> state 0 && rand 4 = 0) mentioned in
+  Automaton.create ~marked ~forbidden ~name ~initial:(state 0)
+    ~transitions:!trans ()
+
+(* String-native reference composition — the pre-refactor algorithm,
+   expressed on the public name-based API only. *)
+let ref_pair a b =
+  let sigma_a = Automaton.alphabet a and sigma_b = Automaton.alphabet b in
+  let alphabet = Event.Set.union sigma_a sigma_b in
+  let name_of = Automaton.product_state_name in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let transitions = ref [] and marked = ref [] and forbidden = ref [] in
+  let visit (qa, qb) =
+    if not (Hashtbl.mem seen (qa, qb)) then begin
+      Hashtbl.add seen (qa, qb) ();
+      Queue.push (qa, qb) queue;
+      if Automaton.is_marked a qa && Automaton.is_marked b qb then
+        marked := name_of qa qb :: !marked;
+      if Automaton.is_forbidden a qa || Automaton.is_forbidden b qb then
+        forbidden := name_of qa qb :: !forbidden
+    end
+  in
+  let start = (Automaton.initial a, Automaton.initial b) in
+  visit start;
+  while not (Queue.is_empty queue) do
+    let qa, qb = Queue.pop queue in
+    Event.Set.iter
+      (fun e ->
+        let in_a = Event.Set.mem e sigma_a and in_b = Event.Set.mem e sigma_b in
+        let next =
+          match (in_a, in_b) with
+          | true, true -> (
+              match (Automaton.step a qa e, Automaton.step b qb e) with
+              | Some ja, Some jb -> Some (ja, jb)
+              | _ -> None)
+          | true, false -> Option.map (fun ja -> (ja, qb)) (Automaton.step a qa e)
+          | false, true -> Option.map (fun jb -> (qa, jb)) (Automaton.step b qb e)
+          | false, false -> None
+        in
+        match next with
+        | None -> ()
+        | Some (ja, jb) ->
+            visit (ja, jb);
+            transitions := (name_of qa qb, e, name_of ja jb) :: !transitions)
+      alphabet
+  done;
+  Automaton.create ~marked:!marked ~forbidden:!forbidden
+    ~alphabet:(Event.Set.elements alphabet)
+    ~name:(Automaton.name a ^ "||" ^ Automaton.name b)
+    ~initial:(name_of (fst start) (snd start))
+    ~transitions:!transitions ()
+
+let test_indexed_compose_matches_reference () =
+  for seed = 0 to 59 do
+    let a = random_automaton ~seed ~name:"RA" in
+    let b = random_automaton ~seed:(seed + 1000) ~name:"RB" in
+    let fast = Compose.pair a b in
+    let slow = ref_pair a b in
+    if not (Automaton.isomorphic fast slow) then
+      Alcotest.failf "seed %d: indexed compose differs from reference" seed;
+    (* and the names agree exactly, not just up to isomorphism *)
+    if
+      List.sort String.compare (Automaton.states fast)
+      <> List.sort String.compare (Automaton.states slow)
+    then Alcotest.failf "seed %d: state names differ" seed
+  done
+
+(* String-native reference restriction with the documented survive rule:
+   a kept state survives when it is the initial state or an endpoint of a
+   kept transition. *)
+let ref_restrict a keep =
+  if not (keep (Automaton.initial a)) then None
+  else
+    let trans =
+      List.filter
+        (fun { Automaton.src; dst; _ } -> keep src && keep dst)
+        (Automaton.transitions a)
+    in
+    let survivors =
+      Automaton.initial a
+      :: List.concat_map (fun { Automaton.src; dst; _ } -> [ src; dst ]) trans
+    in
+    let survives s = List.mem s survivors in
+    Some
+      (Automaton.create
+         ~marked:(List.filter survives (Automaton.marked a))
+         ~forbidden:(List.filter survives (Automaton.forbidden a))
+         ~alphabet:(Event.Set.elements (Automaton.alphabet a))
+         ~name:(Automaton.name a) ~initial:(Automaton.initial a)
+         ~transitions:
+           (List.map
+              (fun { Automaton.src; event; dst } -> (src, event, dst))
+              trans)
+         ())
+
+let test_restrict_indices_matches_reference () =
+  for seed = 0 to 59 do
+    let a = random_automaton ~seed ~name:"RR" in
+    let n = Automaton.num_states a in
+    let keep = Array.init n (fun i -> ((i * 7) + seed) mod 3 <> 0) in
+    let by_index = Reach.restrict_indices a keep in
+    let by_name =
+      ref_restrict a (fun s -> keep.(Automaton.index_of_state a s))
+    in
+    match (by_index, by_name) with
+    | None, None -> ()
+    | Some x, Some y ->
+        if not (Automaton.isomorphic x y) then
+          Alcotest.failf "seed %d: restriction differs from reference" seed;
+        if
+          List.sort String.compare (Automaton.states x)
+          <> List.sort String.compare (Automaton.states y)
+        then Alcotest.failf "seed %d: restricted state names differ" seed
+    | Some _, None | None, Some _ ->
+        Alcotest.failf "seed %d: restriction None-ness differs" seed
+  done
+
+let test_index_api_roundtrip () =
+  for seed = 0 to 19 do
+    let a = random_automaton ~seed ~name:"IDX" in
+    for i = 0 to Automaton.num_states a - 1 do
+      let s = Automaton.state_of_index a i in
+      check_int "index round trip" i (Automaton.index_of_state a s);
+      let cnt = ref 0 in
+      Automaton.iter_row a i (fun eid d ->
+          incr cnt;
+          let e = Automaton.event_of_id a eid in
+          check_int "row event id decodes" eid (Event.id e);
+          (match Automaton.step a s e with
+          | Some d' ->
+              check_string "step agrees with row" (Automaton.state_of_index a d)
+                d'
+          | None -> Alcotest.fail "row transition missing from step");
+          check_bool "step_index agrees with row" true
+            (Automaton.step_index a i eid = Some d));
+      check_int "out_degree" !cnt (Automaton.out_degree a i)
+    done
+  done
+
+let test_digest_deterministic () =
+  let a = random_automaton ~seed:7 ~name:"DG" in
+  let d1 = Automaton.structural_digest a in
+  check_string "cached call stable" d1 (Automaton.structural_digest a);
+  (* an identically-constructed automaton digests identically within the
+     process *)
+  let b = random_automaton ~seed:7 ~name:"DG" in
+  check_string "same structure, same digest" d1 (Automaton.structural_digest b);
+  check_bool "automaton name participates" false
+    (String.equal d1 (Automaton.structural_digest (Automaton.rename a "DG2")));
+  (* products digest deterministically too (lazy names forced by the
+     digest) *)
+  let p1 = Compose.pair a (random_automaton ~seed:8 ~name:"DH") in
+  let p2 = Compose.pair b (random_automaton ~seed:8 ~name:"DH") in
+  check_string "product digest deterministic"
+    (Automaton.structural_digest p1)
+    (Automaton.structural_digest p2)
+
+let test_unescape_state_name () =
+  check_string "product escape undone" "Eval.Safe.Uncapped"
+    (Automaton.unescape_state_name "Eval\\.Safe.Uncapped");
+  check_string "escaped backslash" "a\\b"
+    (Automaton.unescape_state_name "a\\\\b");
+  check_string "plain name untouched" "plain"
+    (Automaton.unescape_state_name "plain")
+
+(* ------------------------------------------------------------------ *)
 (* Dot                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -634,6 +899,35 @@ let test_dot_forbidden_rendering () =
   in
   check_bool "red box" true (contains "color=red" dot)
 
+let test_dot_unescaped_labels () =
+  (* Node ids keep the exact (unique) escaped state name; labels render
+     the human-readable unescaped form, and edge labels come from
+     Event.pp. *)
+  let e1 = Event.controllable "e1" and u1 = Event.uncontrollable "u1" in
+  let a =
+    Automaton.create ~name:"A" ~initial:"a.b"
+      ~transitions:[ ("a.b", e1, "a.b") ]
+      ()
+  in
+  let b =
+    Automaton.create ~name:"B" ~initial:"c"
+      ~transitions:[ ("c", e1, "c"); ("c", u1, "c") ]
+      ()
+  in
+  let dot = Dot.to_dot (Compose.pair a b) in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (* state name is a\.b.c → DOT-escaped node id "a\\.b.c", readable
+     label "a.b.c" *)
+  check_bool "node id stays escaped" true (contains "\"a\\\\.b.c\"" dot);
+  check_bool "label unescaped" true (contains "label=\"a.b.c\"" dot);
+  check_bool "uncontrollable edge label via Event.pp" true
+    (contains "label=\"u1!\"" dot);
+  check_bool "controllable edge label plain" true (contains "label=\"e1\"" dot)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -646,6 +940,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_event_order;
           Alcotest.test_case "inconsistent controllability" `Quick
             test_event_inconsistent_controllability;
+          Alcotest.test_case "interning" `Quick test_event_interning;
           Alcotest.test_case "pretty printing" `Quick test_event_pp;
         ] );
       ( "automaton",
@@ -656,6 +951,8 @@ let () =
           Alcotest.test_case "enabled" `Quick test_automaton_enabled;
           Alcotest.test_case "nondeterminism rejected" `Quick
             test_automaton_nondeterminism_rejected;
+          Alcotest.test_case "conflicting controllability rejected" `Quick
+            test_automaton_conflicting_controllability;
           Alcotest.test_case "duplicate transitions ok" `Quick
             test_automaton_duplicate_transition_ok;
           Alcotest.test_case "marked default" `Quick test_automaton_marked_default;
@@ -717,10 +1014,26 @@ let () =
           qc prop_supcon_sound;
           qc prop_supcon_language_within_plant;
         ] );
+      ( "indexed-core",
+        [
+          Alcotest.test_case "alphabet conflict reported at entry" `Quick
+            test_alphabet_conflict_reported_at_entry;
+          Alcotest.test_case "compose matches string reference" `Quick
+            test_indexed_compose_matches_reference;
+          Alcotest.test_case "restrict_indices matches reference" `Quick
+            test_restrict_indices_matches_reference;
+          Alcotest.test_case "index API round trip" `Quick
+            test_index_api_roundtrip;
+          Alcotest.test_case "structural digest deterministic" `Quick
+            test_digest_deterministic;
+          Alcotest.test_case "unescape_state_name" `Quick
+            test_unescape_state_name;
+        ] );
       ( "dot",
         [
           Alcotest.test_case "dot output" `Quick test_dot_output;
           Alcotest.test_case "forbidden rendering" `Quick
             test_dot_forbidden_rendering;
+          Alcotest.test_case "unescaped labels" `Quick test_dot_unescaped_labels;
         ] );
     ]

@@ -627,6 +627,136 @@ let test_synthesis_stats_pinned () =
   check_int "blocking" 0 stats.Synthesis.removed_blocking;
   check_int "iterations" 1 stats.Synthesis.iterations
 
+let test_supervisor_pinned_fixture () =
+  (* The exact pre-refactor case-study supervisor, dumped transition by
+     transition before the index-native rewrite of the automata core.
+     The refactored compose/supcon pipeline must reproduce it up to
+     state renumbering — [isomorphic] also compares alphabets (with
+     controllability), marking and forbidden sets — and the state
+     *names* must survive unchanged too, since downstream trace logs
+     key on them. *)
+  let c = Event.controllable and u = Event.uncontrollable in
+  let fixture =
+    Automaton.create
+      ~marked:[ "Eval\\.Safe.Uncapped" ]
+      ~name:"sup(QoSManagement||PowerCapping,ThreeBandCapping)"
+      ~initial:"Eval\\.Safe.Uncapped"
+      ~transitions:
+        [
+          ("Eval\\.Safe.Uncapped", u "QoSmet", "Lower\\.Safe.Uncapped");
+          ("Eval\\.Safe.Uncapped", u "QoSnotMet", "Raise\\.Safe.Uncapped");
+          ("Eval\\.Safe.Uncapped", u "aboveTarget", "Eval\\.Watch.Uncapped");
+          ("Eval\\.Safe.Uncapped", u "belowTarget", "Eval\\.Safe.Uncapped");
+          ("Eval\\.Safe.Uncapped", u "critical", "Eval\\.Emergency.C1");
+          ("Eval\\.Safe.Uncapped", u "powerSafeQoSMet", "Lower\\.Safe.Uncapped");
+          ("Eval\\.Safe.Uncapped", u "powerSafeQoSNotMet", "Raise\\.Safe.Uncapped");
+          ("Eval\\.Safe.Uncapped", u "safePower", "Eval\\.Safe.Uncapped");
+          ("Lower\\.Watch.Uncapped", c "controlPower", "Lower\\.Safe.Uncapped");
+          ("Lower\\.Watch.Uncapped", u "critical", "Lower\\.Emergency.C1");
+          ("Lower\\.Watch.Uncapped", c "decreaseBigPower", "Eval\\.Watch.Uncapped");
+          ("Lower\\.Watch.Uncapped", c "decreaseLittlePower", "Eval\\.Watch.Uncapped");
+          ("Lower\\.Watch.Uncapped", c "holdBudget", "Eval\\.Watch.Uncapped");
+          ("Eval\\.Watch.Uncapped", u "QoSmet", "Lower\\.Watch.Uncapped");
+          ("Eval\\.Watch.Uncapped", u "QoSnotMet", "Raise\\.Watch.Uncapped");
+          ("Eval\\.Watch.Uncapped", c "controlPower", "Eval\\.Safe.Uncapped");
+          ("Eval\\.Watch.Uncapped", u "critical", "Eval\\.Emergency.C1");
+          ("Eval\\.Watch.Uncapped", u "powerSafeQoSMet", "Lower\\.Watch.Uncapped");
+          ("Eval\\.Watch.Uncapped", u "powerSafeQoSNotMet", "Raise\\.Watch.Uncapped");
+          ("Lower\\.Emergency.C1", c "holdBudget", "Eval\\.Emergency.C1");
+          ("Lower\\.Emergency.C1", c "switchPower", "Lower\\.Capped.Capped");
+          ("Lower\\.Safe.Uncapped", u "aboveTarget", "Lower\\.Watch.Uncapped");
+          ("Lower\\.Safe.Uncapped", u "belowTarget", "Lower\\.Safe.Uncapped");
+          ("Lower\\.Safe.Uncapped", u "critical", "Lower\\.Emergency.C1");
+          ("Lower\\.Safe.Uncapped", c "decreaseBigPower", "Eval\\.Safe.Uncapped");
+          ("Lower\\.Safe.Uncapped", c "decreaseLittlePower", "Eval\\.Safe.Uncapped");
+          ("Lower\\.Safe.Uncapped", c "holdBudget", "Eval\\.Safe.Uncapped");
+          ("Lower\\.Safe.Uncapped", u "safePower", "Lower\\.Safe.Uncapped");
+          ("Lower\\.Capped.Capped", u "aboveTarget", "Lower\\.Capped.Capped");
+          ("Lower\\.Capped.Capped", u "critical", "Lower\\.StillHot.CapHot");
+          ("Lower\\.Capped.Capped", c "decreaseBigPower", "Eval\\.Capped.Capped");
+          ("Lower\\.Capped.Capped", c "decreaseLittlePower", "Eval\\.Capped.Capped");
+          ("Lower\\.Capped.Capped", c "holdBudget", "Eval\\.Capped.Capped");
+          ("Lower\\.Capped.Capped", u "safePower", "Lower\\.Restore.CapSafe");
+          ("Eval\\.Emergency.C1", u "QoSmet", "Lower\\.Emergency.C1");
+          ("Eval\\.Emergency.C1", u "QoSnotMet", "Raise\\.Emergency.C1");
+          ("Eval\\.Emergency.C1", u "powerSafeQoSMet", "Lower\\.Emergency.C1");
+          ("Eval\\.Emergency.C1", u "powerSafeQoSNotMet", "Raise\\.Emergency.C1");
+          ("Eval\\.Emergency.C1", c "switchPower", "Eval\\.Capped.Capped");
+          ("Raise\\.Watch.Uncapped", c "controlPower", "Raise\\.Safe.Uncapped");
+          ("Raise\\.Watch.Uncapped", u "critical", "Raise\\.Emergency.C1");
+          ("Raise\\.Watch.Uncapped", c "holdBudget", "Eval\\.Watch.Uncapped");
+          ("Raise\\.Watch.Uncapped", c "increaseBigPower", "Eval\\.Watch.Uncapped");
+          ("Raise\\.Watch.Uncapped", c "increaseLittlePower", "Eval\\.Watch.Uncapped");
+          ("Raise\\.Emergency.C1", c "holdBudget", "Eval\\.Emergency.C1");
+          ("Raise\\.Emergency.C1", c "switchPower", "Raise\\.Capped.Capped");
+          ("Raise\\.Safe.Uncapped", u "aboveTarget", "Raise\\.Watch.Uncapped");
+          ("Raise\\.Safe.Uncapped", u "belowTarget", "Raise\\.Safe.Uncapped");
+          ("Raise\\.Safe.Uncapped", u "critical", "Raise\\.Emergency.C1");
+          ("Raise\\.Safe.Uncapped", c "holdBudget", "Eval\\.Safe.Uncapped");
+          ("Raise\\.Safe.Uncapped", c "increaseBigPower", "Eval\\.Safe.Uncapped");
+          ("Raise\\.Safe.Uncapped", c "increaseLittlePower", "Eval\\.Safe.Uncapped");
+          ("Raise\\.Safe.Uncapped", u "safePower", "Raise\\.Safe.Uncapped");
+          ("Eval\\.Capped.Capped", u "QoSmet", "Lower\\.Capped.Capped");
+          ("Eval\\.Capped.Capped", u "QoSnotMet", "Raise\\.Capped.Capped");
+          ("Eval\\.Capped.Capped", u "aboveTarget", "Eval\\.Capped.Capped");
+          ("Eval\\.Capped.Capped", u "critical", "Eval\\.StillHot.CapHot");
+          ("Eval\\.Capped.Capped", u "powerSafeQoSMet", "Lower\\.Capped.Capped");
+          ("Eval\\.Capped.Capped", u "powerSafeQoSNotMet", "Raise\\.Capped.Capped");
+          ("Eval\\.Capped.Capped", u "safePower", "Eval\\.Restore.CapSafe");
+          ("Raise\\.Capped.Capped", u "aboveTarget", "Raise\\.Capped.Capped");
+          ("Raise\\.Capped.Capped", u "critical", "Raise\\.StillHot.CapHot");
+          ("Raise\\.Capped.Capped", c "holdBudget", "Eval\\.Capped.Capped");
+          ("Raise\\.Capped.Capped", u "safePower", "Raise\\.Restore.CapSafe");
+          ("Lower\\.Restore.CapSafe", c "holdBudget", "Eval\\.Restore.CapSafe");
+          ("Lower\\.Restore.CapSafe", c "switchQoS", "Lower\\.Safe.Uncapped");
+          ("Lower\\.StillHot.CapHot", c "decreaseCriticalPower", "Lower\\.Cooling.Capped");
+          ("Lower\\.StillHot.CapHot", c "holdBudget", "Eval\\.StillHot.CapHot");
+          ("Eval\\.Restore.CapSafe", u "QoSmet", "Lower\\.Restore.CapSafe");
+          ("Eval\\.Restore.CapSafe", u "QoSnotMet", "Raise\\.Restore.CapSafe");
+          ("Eval\\.Restore.CapSafe", u "powerSafeQoSMet", "Lower\\.Restore.CapSafe");
+          ("Eval\\.Restore.CapSafe", u "powerSafeQoSNotMet", "Raise\\.Restore.CapSafe");
+          ("Eval\\.Restore.CapSafe", c "switchQoS", "Eval\\.Safe.Uncapped");
+          ("Eval\\.StillHot.CapHot", u "QoSmet", "Lower\\.StillHot.CapHot");
+          ("Eval\\.StillHot.CapHot", u "QoSnotMet", "Raise\\.StillHot.CapHot");
+          ("Eval\\.StillHot.CapHot", c "decreaseCriticalPower", "Eval\\.Cooling.Capped");
+          ("Eval\\.StillHot.CapHot", u "powerSafeQoSMet", "Lower\\.StillHot.CapHot");
+          ("Eval\\.StillHot.CapHot", u "powerSafeQoSNotMet", "Raise\\.StillHot.CapHot");
+          ("Raise\\.Restore.CapSafe", c "holdBudget", "Eval\\.Restore.CapSafe");
+          ("Raise\\.Restore.CapSafe", c "switchQoS", "Raise\\.Safe.Uncapped");
+          ("Raise\\.StillHot.CapHot", c "decreaseCriticalPower", "Raise\\.Cooling.Capped");
+          ("Raise\\.StillHot.CapHot", c "holdBudget", "Eval\\.StillHot.CapHot");
+          ("Lower\\.Cooling.Capped", u "aboveTarget", "Lower\\.Cooling.Capped");
+          ("Lower\\.Cooling.Capped", c "decreaseBigPower", "Eval\\.Cooling.Capped");
+          ("Lower\\.Cooling.Capped", c "decreaseLittlePower", "Eval\\.Cooling.Capped");
+          ("Lower\\.Cooling.Capped", c "holdBudget", "Eval\\.Cooling.Capped");
+          ("Lower\\.Cooling.Capped", u "safePower", "Lower\\.Restore.CapSafe");
+          ("Eval\\.Cooling.Capped", u "QoSmet", "Lower\\.Cooling.Capped");
+          ("Eval\\.Cooling.Capped", u "QoSnotMet", "Raise\\.Cooling.Capped");
+          ("Eval\\.Cooling.Capped", u "aboveTarget", "Eval\\.Cooling.Capped");
+          ("Eval\\.Cooling.Capped", u "powerSafeQoSMet", "Lower\\.Cooling.Capped");
+          ("Eval\\.Cooling.Capped", u "powerSafeQoSNotMet", "Raise\\.Cooling.Capped");
+          ("Eval\\.Cooling.Capped", u "safePower", "Eval\\.Restore.CapSafe");
+          ("Raise\\.Cooling.Capped", u "aboveTarget", "Raise\\.Cooling.Capped");
+          ("Raise\\.Cooling.Capped", c "holdBudget", "Eval\\.Cooling.Capped");
+          ("Raise\\.Cooling.Capped", u "safePower", "Raise\\.Restore.CapSafe");
+        ]
+      ()
+  in
+  check_int "fixture states" 21 (Automaton.num_states fixture);
+  check_int "fixture transitions" 96 (Automaton.num_transitions fixture);
+  let sup, stats = Supervisor.synthesize () in
+  check_int "states" 21 (Automaton.num_states sup);
+  check_int "transitions" 96 (Automaton.num_transitions sup);
+  check_string "initial name" "Eval\\.Safe.Uncapped" (Automaton.initial sup);
+  check_bool "marked names" true
+    (Automaton.marked sup = [ "Eval\\.Safe.Uncapped" ]);
+  check_bool "state names preserved" true
+    (List.sort String.compare (Automaton.states sup)
+    = List.sort String.compare (Automaton.states fixture));
+  check_bool "isomorphic to pre-refactor supervisor" true
+    (Automaton.isomorphic sup fixture);
+  check_int "product states" 27 stats.Synthesis.product_states
+
 let test_synthesis_uncontrollable_worklist () =
   (* The case-study models never exercise uncontrollable pruning, so
      build a plant where they do: S0 -go1-> S1a -tick!-> S1 -boom!-> S2,
@@ -1069,6 +1199,8 @@ let () =
           Alcotest.test_case "stats pinned" `Quick test_synthesis_stats_pinned;
           Alcotest.test_case "uncontrollable worklist" `Quick
             test_synthesis_uncontrollable_worklist;
+          Alcotest.test_case "pinned pre-refactor fixture" `Quick
+            test_supervisor_pinned_fixture;
         ] );
       ( "supervisor-runtime",
         [
