@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke robustness check clean
+.PHONY: all build test fmt bench bench-smoke obs-smoke robustness check clean
 
 all: build
 
@@ -24,8 +24,22 @@ bench-smoke:
 robustness:
 	dune exec bench/main.exe -- robustness
 
+# Observability smoke: run a scenario with the obs layer on, check the
+# load-bearing counters are nonzero and the exported decision log is
+# non-empty, well-formed JSONL (parse validated when python3 exists).
+obs-smoke:
+	dune exec bin/spectr_cli.exe -- scenario -m spectr -b x264 --obs \
+	  --obs-jsonl /tmp/spectr-obs.jsonl > /tmp/spectr-obs.txt
+	grep -Eq "supervisor.steps +[1-9]" /tmp/spectr-obs.txt
+	grep -Eq "supervisor.events_fired +[1-9]" /tmp/spectr-obs.txt
+	grep -Eq "synth_cache.misses +[1-9]" /tmp/spectr-obs.txt
+	test -s /tmp/spectr-obs.jsonl
+	if command -v python3 >/dev/null; then \
+	  python3 -c "import json,sys; [json.loads(l) for l in open('/tmp/spectr-obs.jsonl')]"; \
+	fi
+
 # What CI runs.
-check: build fmt test
+check: build fmt test obs-smoke
 
 clean:
 	dune clean

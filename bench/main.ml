@@ -30,13 +30,20 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--smoke] [experiment ...]\navailable: %s\n"
+    "usage: main.exe [--smoke] [--obs] [experiment ...]\navailable: %s\n"
     (String.concat ", " (List.map fst experiments))
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let flags, names = List.partition (fun a -> a = "--smoke") args in
-  if flags <> [] then Synthesis_scale.smoke := true;
+  let flags, names =
+    List.partition (fun a -> a = "--smoke" || a = "--obs") args
+  in
+  if List.mem "--smoke" flags then Synthesis_scale.smoke := true;
+  let obs = List.mem "--obs" flags in
+  (* Real monotonic clock for latency histograms; with --obs off the
+     layer stays disabled and stdout is byte-identical (pinned by the
+     CI parallel-vs-sequential diff and by test_obs). *)
+  if obs then Spectr_obs.enable ~now_ns:Monotonic_clock.now ();
   let requested =
     match names with [] -> List.map fst experiments | names -> names
   in
@@ -56,4 +63,8 @@ let () =
   Printf.eprintf "harness: %d parallel job%s (override with SPECTR_JOBS)\n%!"
     jobs
     (if jobs = 1 then "" else "s");
-  List.iter (fun name -> (List.assoc name experiments) ()) requested
+  List.iter (fun name -> (List.assoc name experiments) ()) requested;
+  if obs then begin
+    Util.heading "obs-summary";
+    print_string (Spectr_obs.summary ())
+  end

@@ -104,4 +104,26 @@ let run () =
      sensor syscalls, 30 us for the supervisor; our pure-compute costs\n\
      are microseconds or less because the simulator pays no syscalls).\n\
      The 4x2 controller is measurably more expensive per step than the\n\
-     2x2 — the scaling trend behind Figure 6."
+     2x2 — the scaling trend behind Figure 6.";
+  (* With --obs, every Supervisor.step above also fed the observability
+     layer: report the per-invocation latency distribution the paper's
+     supervisory-invocation-cost table shows (absent without --obs so
+     the default stdout stays byte-identical). *)
+  if Spectr_obs.enabled () then begin
+    let h = Spectr_obs.Histogram.histogram "supervisor.step_ns" in
+    let p q = Spectr_obs.Histogram.percentile h q in
+    Printf.printf
+      "\n\
+      \  supervisory invocation latency (obs, %d invocations):\n\
+      \    p50 %d ns   p95 %d ns   p99 %d ns   max %d ns   mean %.1f ns\n"
+      (Spectr_obs.Histogram.count h)
+      (p 50.) (p 95.) (p 99.)
+      (Spectr_obs.Histogram.max_ns h)
+      (Spectr_obs.Histogram.mean_ns h);
+    Printf.printf "  supervisory counter totals:\n";
+    List.iter
+      (fun (name, v) ->
+        if String.length name >= 11 && String.sub name 0 11 = "supervisor." then
+          Printf.printf "    %-36s %d\n" name v)
+      (Spectr_obs.Counters.snapshot ())
+  end

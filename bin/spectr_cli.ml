@@ -105,7 +105,11 @@ let manager_of_string = function
   | "siso" -> Some (Spectr.Siso.make ())
   | _ -> None
 
-let scenario manager_name bench_name csv_path seed =
+let scenario manager_name bench_name csv_path seed obs obs_jsonl =
+  let obs_on = obs || obs_jsonl <> None in
+  (* Enable before manager construction so synthesis shows up in the
+     synth-cache counters and histogram. *)
+  if obs_on then Spectr_obs.enable ~now_ns:Monotonic_clock.now ();
   let workload =
     match Benchmarks.by_name bench_name with
     | Some w -> w
@@ -129,13 +133,25 @@ let scenario manager_name bench_name csv_path seed =
   List.iter
     (fun m -> Format.printf "%a@." Spectr.Metrics.pp_phase_metrics m)
     (Spectr.Metrics.per_phase ~trace ~config);
-  match csv_path with
+  (match csv_path with
   | Some path ->
       let oc = open_out path in
       output_string oc (Trace.to_csv trace);
       close_out oc;
       Printf.printf "wrote %d rows to %s\n" (Trace.length trace) path
-  | None -> ()
+  | None -> ());
+  if obs_on then begin
+    print_string (Spectr_obs.summary ());
+    match obs_jsonl with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Spectr_obs.Decision_log.to_jsonl ());
+        close_out oc;
+        Printf.printf "wrote %d decision(s) to %s\n"
+          (Spectr_obs.Decision_log.length ())
+          path
+    | None -> ()
+  end
 
 let scenario_cmd =
   let manager =
@@ -154,9 +170,26 @@ let scenario_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable the observability layer and print its summary \
+             (counters, latency histograms, decision tallies).")
+  in
+  let obs_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Enable the observability layer and export the supervisory \
+             decision log as JSONL (one decision per line).  Implies $(b,--obs).")
+  in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a resource manager through the 3-phase scenario")
-    Term.(const scenario $ manager $ bench $ csv $ seed)
+    Term.(const scenario $ manager $ bench $ csv $ seed $ obs $ obs_jsonl)
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                 *)

@@ -1,3 +1,9 @@
+module Obs = Spectr_obs
+
+(* Observability handles (no-ops while instrumentation is disabled). *)
+let c_interventions = Obs.Counters.counter "guard.interventions"
+let c_trips = Obs.Counters.counter "guard.trips"
+
 type channel_config = {
   lo : float;
   hi : float;
@@ -127,7 +133,10 @@ let enter_degraded t ~now =
   if not t.is_degraded then begin
     t.is_degraded <- true;
     t.good_streak <- 0;
-    t.spans <- (now, None) :: t.spans
+    t.spans <- (now, None) :: t.spans;
+    Obs.Counters.incr c_trips;
+    if Obs.enabled () then
+      Obs.Decision_log.record (Obs.Decision_log.Guard_fallback { entered = true })
   end
 
 let exit_degraded t ~now =
@@ -137,7 +146,10 @@ let exit_degraded t ~now =
     t.actuator_bad_streak <- 0;
     (match t.spans with
     | (enter, None) :: rest -> t.spans <- (enter, Some now) :: rest
-    | _ -> ())
+    | _ -> ());
+    if Obs.enabled () then
+      Obs.Decision_log.record
+        (Obs.Decision_log.Guard_fallback { entered = false })
   end
 
 (* Shared watchdog update: trip on a persistent problem on either path,
@@ -164,7 +176,10 @@ let filter t ~now ~qos ~big_power ~little_power =
   let big_power, bp_ok = channel_filter t.big_power_ch big_power in
   let little_power, lp_ok = channel_filter t.little_power_ch little_power in
   let healthy = qos_ok && bp_ok && lp_ok in
-  if not healthy then t.substituted <- t.substituted + 1;
+  if not healthy then begin
+    t.substituted <- t.substituted + 1;
+    Obs.Counters.incr c_interventions
+  end;
   if healthy then begin
     t.sensor_bad_streak <- 0;
     (* A period only counts toward recovery when the actuator side is

@@ -3,6 +3,11 @@ open Spectr_platform
 let src = Logs.Src.create "spectr.manager" ~doc:"Actuation path"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Spectr_obs
+
+(* Observability handles (no-ops while instrumentation is disabled). *)
+let c_actuations = Obs.Counters.counter "manager.actuations"
+let c_sanitized = Obs.Counters.counter "manager.commands_sanitized"
 
 type t = {
   name : string;
@@ -34,6 +39,13 @@ let sanitize_cores cores =
   else int_of_float (Float.round (Float.max 1. (Float.min 4. cores)))
 
 let apply_cluster soc cluster ~freq_ghz ~cores =
+  Obs.Counters.incr c_actuations;
+  (if Obs.enabled () then
+     (* Count commands in the garbage class the sanitizers exist for:
+        non-finite or negative, not mere range clamping. *)
+     let f_mhz = freq_ghz *. 1000. in
+     if (not (Float.is_finite f_mhz)) || f_mhz < 0. || Float.is_nan cores then
+       Obs.Counters.incr c_sanitized);
   let table = match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little in
   let freq_mhz = Soc.set_frequency soc cluster (sanitize_freq_mhz table freq_ghz) in
   Soc.set_active_cores soc cluster (sanitize_cores cores);

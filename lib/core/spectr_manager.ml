@@ -1,5 +1,11 @@
 open Spectr_control
 open Spectr_platform
+module Obs = Spectr_obs
+
+(* Observability handles (no-ops while instrumentation is disabled). *)
+let c_steps = Obs.Counters.counter "manager.steps"
+let c_degraded = Obs.Counters.counter "manager.degraded_steps"
+let c_act_mismatch = Obs.Counters.counter "guard.actuation_mismatches"
 
 let design_or_fail ident goals =
   match Design_flow.design_gains ident goals with
@@ -65,9 +71,11 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
           applied.Manager.freq_mhz = expected_freq
           && applied.Manager.cores = expected_cores
         in
+        if not ok then Obs.Counters.incr c_act_mismatch;
         Guarded.note_actuation g ~now ~ok
   in
   let step ~now ~qos_ref ~envelope ~obs soc =
+    Obs.Counters.incr c_steps;
     let qos, big_power, little_power =
       match guards with
       | None -> (obs.Soc.qos_rate, obs.Soc.big_power, obs.Soc.little_power)
@@ -86,6 +94,7 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
            unpolluted once readings return).  With both actuators driven
            to their floor, any single surviving actuator keeps chip
            power inside the envelope. *)
+        Obs.Counters.incr c_degraded;
         actuate guards soc Soc.Big ~freq_ghz:0.2 ~cores:1. ~now;
         actuate guards soc Soc.Little ~freq_ghz:0.2 ~cores:1. ~now;
         incr tick

@@ -1,4 +1,12 @@
 open Spectr_automata
+module Obs = Spectr_obs
+
+(* Observability handles (no-ops while instrumentation is disabled). *)
+let c_steps = Obs.Counters.counter "supervisor.steps"
+let c_fired = Obs.Counters.counter "supervisor.events_fired"
+let c_observed = Obs.Counters.counter "supervisor.events_observed"
+let c_dropped = Obs.Counters.counter "supervisor.samples_dropped"
+let h_step = Obs.Histogram.histogram "supervisor.step_ns"
 
 type commands = {
   switch_gains : string -> unit;
@@ -119,7 +127,10 @@ let set_big t v =
   let v = Float.max t.config.big_budget_min (Float.min v (big_budget_cap t)) in
   if v <> t.big_ref then begin
     t.big_ref <- v;
-    t.commands.set_big_power_ref v
+    t.commands.set_big_power_ref v;
+    if Obs.enabled () then
+      Obs.Decision_log.record
+        (Obs.Decision_log.Rebudget { target = "big_power_ref"; value = v })
   end
 
 let set_little t v =
@@ -128,20 +139,31 @@ let set_little t v =
   in
   if v <> t.little_ref then begin
     t.little_ref <- v;
-    t.commands.set_little_power_ref v
+    t.commands.set_little_power_ref v;
+    if Obs.enabled () then
+      Obs.Decision_log.record
+        (Obs.Decision_log.Rebudget { target = "little_power_ref"; value = v })
   end
 
 let execute t event =
   let name = Event.name event in
+  Obs.Counters.incr c_fired;
+  if Obs.enabled () then
+    Obs.Decision_log.record
+      (Obs.Decision_log.Event_fired { event = name; controllable = true });
   (match name with
   | "switchPower" ->
       t.mode <- "power";
       t.mode_age <- 0;
-      t.commands.switch_gains "power"
+      t.commands.switch_gains "power";
+      if Obs.enabled () then
+        Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "power" })
   | "switchQoS" ->
       t.mode <- "qos";
       t.mode_age <- 0;
-      t.commands.switch_gains "qos"
+      t.commands.switch_gains "qos";
+      if Obs.enabled () then
+        Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "qos" })
   | "increaseBigPower" -> set_big t (t.big_ref +. t.config.big_budget_step)
   | "decreaseBigPower" -> set_big t (t.big_ref -. t.config.big_budget_step)
   | "increaseLittlePower" ->
@@ -213,23 +235,34 @@ let run_controllables t =
 let feed t event =
   match Automaton.step_index t.auto t.current (Event.id event) with
   | Some next ->
+      Obs.Counters.incr c_observed;
+      if Obs.enabled () then
+        Obs.Decision_log.record
+          (Obs.Decision_log.Event_fired
+             { event = Event.name event; controllable = false });
       t.current <- next;
       run_controllables t
   | None -> ()
 
-let step t ~qos ~qos_ref ~power ~envelope =
+let do_step t ~qos ~qos_ref ~power ~envelope =
   (* Sensor-fault guard: a non-finite measurement must not poison the
      band comparisons (NaN makes every band test false, silently holding
      the current state forever).  Treat it as a dropped sample and fall
      back to the last trustworthy value — the guarded layer upstream
      normally filters these out, but the supervisor must stay safe even
      when driven bare. *)
-  let qos = if Float.is_finite qos then qos else t.last_qos in
-  let qos_ref = if Float.is_finite qos_ref then qos_ref else t.last_qos_ref in
-  let power = if Float.is_finite power then power else t.last_power in
+  let subst v =
+    Obs.Counters.incr c_dropped;
+    v
+  in
+  let qos = if Float.is_finite qos then qos else subst t.last_qos in
+  let qos_ref =
+    if Float.is_finite qos_ref then qos_ref else subst t.last_qos_ref
+  in
+  let power = if Float.is_finite power then power else subst t.last_power in
   let envelope =
     if Float.is_finite envelope && envelope > 0. then envelope
-    else t.last_envelope
+    else subst t.last_envelope
   in
   t.mode_age <- t.mode_age + 1;
   t.last_qos <- qos;
@@ -265,3 +298,12 @@ let step t ~qos ~qos_ref ~power ~envelope =
   feed t qos_event;
   (* Give the budget policy a chance even when no event fired. *)
   run_controllables t
+
+(* One supervisory invocation: counted and latency-timed when
+   observability is enabled; otherwise exactly [do_step]. *)
+let step t ~qos ~qos_ref ~power ~envelope =
+  if not (Obs.enabled ()) then do_step t ~qos ~qos_ref ~power ~envelope
+  else begin
+    Obs.Counters.incr c_steps;
+    Obs.time h_step (fun () -> do_step t ~qos ~qos_ref ~power ~envelope)
+  end

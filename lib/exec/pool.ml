@@ -7,6 +7,18 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* The pool whose task the current domain is executing, if any.  [map]
+   called from inside one of its own tasks can deadlock (the nested
+   tasks join the very queue the enclosing map is blocking on), so it is
+   detected here and rejected immediately instead of hanging.  Only the
+   innermost pool is tracked: mapping over a *different* pool from
+   inside a task is legal and the slot is saved/restored around each
+   task. *)
+let running_in : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let c_maps = Spectr_obs.Counters.counter "pool.parallel_maps"
+let c_tasks = Spectr_obs.Counters.counter "pool.tasks"
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 1 -> Some n
@@ -52,8 +64,17 @@ let create ?jobs () =
       workers = [];
     }
   in
-  (* The submitter works too, so n jobs need n-1 spawned domains. *)
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* The submitter works too, so n jobs need n-1 spawned domains.  Fresh
+     domains reset the backtrace-recording flag to the OCAMLRUNPARAM
+     default, so propagate the creator's setting — task exceptions carry
+     their original backtrace (see [map]) only if the domain that ran
+     them recorded one. *)
+  let record_bt = Printexc.backtrace_status () in
+  t.workers <-
+    List.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Printexc.record_backtrace record_bt;
+            worker_loop t));
   t
 
 let jobs t = t.jobs
@@ -72,17 +93,26 @@ let map_seq f xs =
   List.map f xs
 
 let map t f xs =
+  (match Domain.DLS.get running_in with
+  | Some p when p == t ->
+      invalid_arg "Pool.map: re-entrant call from inside a task of this pool"
+  | _ -> ());
   if t.jobs = 1 || t.workers = [] || xs = [] then map_seq f xs
   else begin
+    Spectr_obs.Counters.incr c_maps;
     let input = Array.of_list xs in
     let n = Array.length input in
+    Spectr_obs.Counters.add c_tasks n;
     let results = Array.make n None in
     let errors = Array.make n None in
     let remaining = ref n in (* guarded by t.mutex *)
     let finished = Condition.create () in
     let task i () =
+      let saved = Domain.DLS.get running_in in
+      Domain.DLS.set running_in (Some t);
       (try results.(i) <- Some (f input.(i))
-       with e -> errors.(i) <- Some e);
+       with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      Domain.DLS.set running_in saved;
       Mutex.lock t.mutex;
       decr remaining;
       if !remaining = 0 then Condition.broadcast finished;
@@ -109,6 +139,10 @@ let map t f xs =
       Condition.wait finished t.mutex
     done;
     Mutex.unlock t.mutex;
-    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
     Array.to_list (Array.map Option.get results)
   end

@@ -14,7 +14,10 @@
 
     The submitting domain participates in the work, so a pool of [n]
     jobs spawns [n - 1] worker domains.  [map] must not be called from
-    inside one of its own tasks (the pool is not re-entrant). *)
+    inside one of its own tasks (the pool is not re-entrant); such a
+    call is detected via a domain-local marker and raises
+    [Invalid_argument] immediately instead of deadlocking.  Mapping over
+    a {e different} pool from inside a task is allowed. *)
 
 type t
 
@@ -36,7 +39,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] applies [f] to every element of [xs], possibly in
     parallel, and returns the results in the order of [xs].  If any
     application raises, the exception of the smallest-index failing
-    element is re-raised after all tasks have finished. *)
+    element is re-raised after all tasks have finished, carrying the
+    backtrace captured at its original raise point
+    ({!Printexc.raise_with_backtrace}).  Raises [Invalid_argument] when
+    called from inside one of this pool's own tasks (re-entrancy would
+    deadlock). *)
 
 val shutdown : t -> unit
 (** Join the worker domains.  Subsequent [map] calls fall back to

@@ -1,0 +1,83 @@
+(* Per-key single-flight memo table.
+
+   The predecessor of this module (inside Synth_cache) held one global
+   mutex across the entire computation, so concurrent Pool workers
+   serialized even on distinct keys.  Here the mutex only guards the
+   table: a miss installs an [In_flight] marker and computes with the
+   lock released, so distinct keys run fully in parallel, while racers
+   on the same key block on the condition until the first computer
+   publishes — every key is computed exactly once.
+
+   A computation that raises uninstalls its marker (waiters retry and
+   compute themselves) and re-raises with the original backtrace. *)
+
+type ('k, 'v) slot = In_flight | Done of 'v
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) slot) Hashtbl.t;
+  mutex : Mutex.t;
+  settled : Condition.t; (* some key left In_flight *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 8) () =
+  {
+    table = Hashtbl.create size;
+    mutex = Mutex.create ();
+    settled = Condition.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let find_or_compute t ~key ~compute =
+  Mutex.lock t.mutex;
+  let rec await () =
+    match Hashtbl.find_opt t.table key with
+    | Some (Done v) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.mutex;
+        v
+    | Some In_flight ->
+        Condition.wait t.settled t.mutex;
+        await ()
+    | None ->
+        t.misses <- t.misses + 1;
+        Hashtbl.replace t.table key In_flight;
+        Mutex.unlock t.mutex;
+        let v =
+          try compute ()
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.table key;
+            Condition.broadcast t.settled;
+            Mutex.unlock t.mutex;
+            Printexc.raise_with_backtrace e bt
+        in
+        Mutex.lock t.mutex;
+        Hashtbl.replace t.table key (Done v);
+        Condition.broadcast t.settled;
+        Mutex.unlock t.mutex;
+        v
+  in
+  await ()
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = (t.hits, t.misses) in
+  Mutex.unlock t.mutex;
+  s
+
+let clear t =
+  Mutex.lock t.mutex;
+  (* In-flight markers are dropped too: their computers will still
+     publish a [Done] afterwards (replace is unconditional), and any
+     waiters re-check, find nothing, and compute for themselves —
+     duplicated work, never a wrong result.  Callers clear quiescent
+     tables in practice (tests). *)
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Condition.broadcast t.settled;
+  Mutex.unlock t.mutex

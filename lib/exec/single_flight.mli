@@ -1,0 +1,22 @@
+(** Per-key single-flight memo table (domain-safe).
+
+    [find_or_compute] returns the cached value for a key, or runs the
+    computation {e with no lock held} on a miss.  Racers on the same key
+    wait for the first computer and share its result (counted as hits);
+    computations for {e distinct} keys run in parallel — the table mutex
+    is never held across a computation.  A computation that raises
+    uninstalls its in-flight marker (so waiters retry, computing for
+    themselves) and re-raises with the original backtrace. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val find_or_compute : ('k, 'v) t -> key:'k -> compute:(unit -> 'v) -> 'v
+
+val stats : ('k, 'v) t -> int * int
+(** [(hits, misses)] since creation (or the last {!clear}).  A racer
+    that waited for an in-flight computation counts as a hit. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry and zero the stats. *)

@@ -2,38 +2,25 @@ open Spectr_automata
 
 type entry = (Automaton.t * Synthesis.stats, Synthesis.error) result
 
-let table : (string, entry) Hashtbl.t = Hashtbl.create 8
-let mutex = Mutex.create ()
-let hits = ref 0
-let misses = ref 0
+let cache : (string, entry) Single_flight.t = Single_flight.create ()
+
+let c_hits = Spectr_obs.Counters.counter "synth_cache.hits"
+let c_misses = Spectr_obs.Counters.counter "synth_cache.misses"
+let h_synthesis = Spectr_obs.Histogram.histogram "synth_cache.synthesis_ns"
 
 let supcon ~plant ~spec =
   let key =
     Automaton.structural_digest plant ^ ":" ^ Automaton.structural_digest spec
   in
-  Mutex.lock mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock mutex)
-    (fun () ->
-      match Hashtbl.find_opt table key with
-      | Some result ->
-          incr hits;
-          result
-      | None ->
-          let result = Synthesis.supcon ~plant ~spec in
-          incr misses;
-          Hashtbl.replace table key result;
-          result)
+  let computed = ref false in
+  let result =
+    Single_flight.find_or_compute cache ~key ~compute:(fun () ->
+        computed := true;
+        Spectr_obs.time h_synthesis (fun () -> Synthesis.supcon ~plant ~spec))
+  in
+  if !computed then Spectr_obs.Counters.incr c_misses
+  else Spectr_obs.Counters.incr c_hits;
+  result
 
-let stats () =
-  Mutex.lock mutex;
-  let s = (!hits, !misses) in
-  Mutex.unlock mutex;
-  s
-
-let clear () =
-  Mutex.lock mutex;
-  Hashtbl.reset table;
-  hits := 0;
-  misses := 0;
-  Mutex.unlock mutex
+let stats () = Single_flight.stats cache
+let clear () = Single_flight.clear cache

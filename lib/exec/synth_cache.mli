@@ -11,9 +11,14 @@
     A cache hit returns the very automaton value the miss produced
     (automata are immutable once built, so sharing across domains is
     safe); it is structurally equal to what a fresh synthesis would
-    return.  The table is guarded by a mutex, held across the synthesis
-    itself so a grid of workers racing on the same key synthesizes
-    exactly once.
+    return.  The table is a per-key {!Single_flight} memo: racers on the
+    same key synthesize exactly once (the losers wait and share the
+    winner's result, counted as hits), while {e distinct} keys
+    synthesize fully in parallel — no lock is held across a synthesis.
+
+    When observability is enabled ({!Spectr_obs}), hits and misses feed
+    the [synth_cache.hits]/[synth_cache.misses] counters and each actual
+    synthesis is timed into the [synth_cache.synthesis_ns] histogram.
 
     The digest key is deterministic {e within a process} only: event
     intern order feeds the transition encoding, and intern order depends

@@ -1,0 +1,23 @@
+(** Time source behind {!Histogram} spans and {!Decision_log} stamps.
+
+    Defaults to a deterministic tick counter (advanced by the simulator,
+    one tick per controller period); benches and the CLI install a real
+    monotonic nanosecond clock instead. *)
+
+val use_ticks : unit -> unit
+(** Back {!now_ns} by the tick counter (the default; deterministic). *)
+
+val use_monotonic : (unit -> int64) -> unit
+(** Back {!now_ns} by a caller-supplied monotonic ns clock. *)
+
+val is_ticks : unit -> bool
+
+val tick : unit -> unit
+(** Advance the tick counter by one (no-op relevance in monotonic mode;
+    callers only tick when instrumentation is enabled). *)
+
+val now_ns : unit -> int64
+(** Current time stamp in nanoseconds (ticks are stamped as 1 ms each). *)
+
+val reset : unit -> unit
+(** Zero the tick counter (does not change the source). *)

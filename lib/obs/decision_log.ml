@@ -1,0 +1,126 @@
+(* Bounded ring buffer of structured supervisory decisions.
+
+   Call sites construct a [decision] only after checking the enable flag
+   (the record itself re-checks, but the variant allocation is the
+   caller's), so the disabled path stays allocation-free.  The ring is
+   mutex-guarded — decisions are low-rate (a handful per supervisory
+   period) next to the per-sample counter traffic. *)
+
+type decision =
+  | Event_fired of { event : string; controllable : bool }
+  | Gain_switch of { mode : string }
+  | Rebudget of { target : string; value : float }
+  | Guard_fallback of { entered : bool }
+  | Fault of { active : int; onset : bool }
+
+type entry = { seq : int; t_ns : int64; decision : decision }
+
+let default_capacity = 4096
+let mu = Mutex.create ()
+let buf = ref (Array.make default_capacity None)
+let next_seq = ref 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Decision_log.set_capacity: n < 1";
+  Mutex.lock mu;
+  buf := Array.make n None;
+  next_seq := 0;
+  Mutex.unlock mu
+
+let record decision =
+  if Atomic.get State.enabled then begin
+    let t_ns = Clock.now_ns () in
+    Mutex.lock mu;
+    let cap = Array.length !buf in
+    !buf.(!next_seq mod cap) <- Some { seq = !next_seq; t_ns; decision };
+    incr next_seq;
+    Mutex.unlock mu
+  end
+
+let reset () =
+  Mutex.lock mu;
+  Array.fill !buf 0 (Array.length !buf) None;
+  next_seq := 0;
+  Mutex.unlock mu
+
+let total () = !next_seq
+let length () = min !next_seq (Array.length !buf)
+
+let dropped () =
+  let cap = Array.length !buf in
+  if !next_seq > cap then !next_seq - cap else 0
+
+(* Oldest retained entry first. *)
+let entries () =
+  Mutex.lock mu;
+  let cap = Array.length !buf in
+  let n = min !next_seq cap in
+  let first = !next_seq - n in
+  let out =
+    List.init n (fun i ->
+        match !buf.((first + i) mod cap) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  Mutex.unlock mu;
+  out
+
+(* --- JSONL export ----------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let kind_of = function
+  | Event_fired _ -> "event_fired"
+  | Gain_switch _ -> "gain_switch"
+  | Rebudget _ -> "rebudget"
+  | Guard_fallback _ -> "guard_fallback"
+  | Fault _ -> "fault"
+
+let decision_fields = function
+  | Event_fired { event; controllable } ->
+      Printf.sprintf "\"event\":\"%s\",\"controllable\":%b"
+        (json_escape event) controllable
+  | Gain_switch { mode } ->
+      Printf.sprintf "\"mode\":\"%s\"" (json_escape mode)
+  | Rebudget { target; value } ->
+      Printf.sprintf "\"target\":\"%s\",\"value\":%.6g" (json_escape target)
+        value
+  | Guard_fallback { entered } -> Printf.sprintf "\"entered\":%b" entered
+  | Fault { active; onset } ->
+      Printf.sprintf "\"active\":%d,\"onset\":%b" active onset
+
+let entry_to_json e =
+  Printf.sprintf "{\"seq\":%d,\"t_ns\":%Ld,\"kind\":\"%s\",%s}" e.seq e.t_ns
+    (kind_of e.decision)
+    (decision_fields e.decision)
+
+let to_jsonl () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (entry_to_json e);
+      Buffer.add_char b '\n')
+    (entries ());
+  Buffer.contents b
+
+let kind_counts () =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = kind_of e.decision in
+      Hashtbl.replace tally k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    (entries ());
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])

@@ -1,0 +1,53 @@
+(** Bounded ring buffer of structured supervisory decisions.
+
+    Records what the supervisory layer {e decided} — events fired,
+    gain-set switches, budget re-allocations, guard fallbacks, fault
+    onsets — with sequence numbers and {!Clock} stamps.  Oldest entries
+    are overwritten once the ring is full ({!dropped} counts them).
+    Exportable as JSONL (one decision per line) or tallied per kind for
+    the console summary.
+
+    Call sites must guard [record] behind the enable flag so the variant
+    is never allocated on the disabled path; [record] itself also
+    re-checks and is a no-op when disabled. *)
+
+type decision =
+  | Event_fired of { event : string; controllable : bool }
+      (** A supervisory event was executed (controllable) or accepted
+          from the plant (uncontrollable). *)
+  | Gain_switch of { mode : string }  (** Gain-set switch (qos/power). *)
+  | Rebudget of { target : string; value : float }
+      (** A power-budget reference changed to [value]. *)
+  | Guard_fallback of { entered : bool }
+      (** The guarded layer entered (or left) open-loop degraded mode. *)
+  | Fault of { active : int; onset : bool }
+      (** The fault schedule became active ([onset]) or cleared; [active]
+          is the number of concurrently active injections. *)
+
+type entry = { seq : int; t_ns : int64; decision : decision }
+
+val set_capacity : int -> unit
+(** Resize the ring (drops current contents).  Default 4096 entries.
+    Raises [Invalid_argument] when < 1. *)
+
+val record : decision -> unit
+
+val entries : unit -> entry list
+(** Retained entries, oldest first. *)
+
+val total : unit -> int
+(** Decisions recorded since the last reset (including overwritten). *)
+
+val length : unit -> int
+(** Entries currently retained. *)
+
+val dropped : unit -> int
+(** Entries lost to ring overwrite. *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line, oldest first, trailing newline. *)
+
+val kind_counts : unit -> (string * int) list
+(** Tally of retained entries per decision kind, sorted by kind. *)
+
+val reset : unit -> unit

@@ -1,0 +1,30 @@
+(** Fixed-bucket log-scale latency histograms (nanosecond samples).
+
+    Power-of-two buckets, lock-free recording on atomics, percentiles
+    answered as the upper bound of the covering bucket clamped by the
+    exactly-tracked maximum.  [observe] is an allocation-free no-op while
+    instrumentation is disabled. *)
+
+type t
+
+val histogram : string -> t
+(** Get or create the histogram registered under this name. *)
+
+val observe : t -> int -> unit
+(** Record one nanosecond sample (negative samples land in bucket 0). *)
+
+val name : t -> string
+val count : t -> int
+val max_ns : t -> int
+val mean_ns : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t 95.] is an upper bound of the 95th-percentile sample
+    (exact up to the 2x bucket width; exactly the max for p = 100).
+    0 when empty.  Raises [Invalid_argument] outside [0, 100]. *)
+
+val snapshot : unit -> (string * t) list
+(** Every registered histogram, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every histogram (registration survives). *)

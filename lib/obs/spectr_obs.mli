@@ -1,0 +1,36 @@
+(** Observability layer: counters, latency histograms and a structured
+    decision log for the supervisory control runtime.
+
+    {e Off by default.}  While disabled, every recording entry point is
+    an allocation-free no-op (one atomic load), so instrumented hot
+    paths produce byte-identical traces, CSVs and bench output.  Enable
+    with {!enable} — optionally installing a real monotonic clock; the
+    default {!Clock} source is a deterministic tick counter advanced by
+    the simulator, which makes counter values and decision logs
+    reproducible run-to-run (pinned by the obs determinism tests). *)
+
+module Clock = Clock
+module Counters = Counters
+module Histogram = Histogram
+module Decision_log = Decision_log
+
+val enabled : unit -> bool
+
+val enable : ?now_ns:(unit -> int64) -> unit -> unit
+(** Turn instrumentation on.  [now_ns], when given, installs a monotonic
+    nanosecond clock as the {!Clock} source (otherwise the current
+    source — ticks by default — is kept). *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero all counters, gauges and histograms, clear the decision log and
+    the tick clock.  Registrations survive. *)
+
+val time : Histogram.t -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and records its elapsed nanoseconds into [h]
+    (when enabled; otherwise just runs [f]). *)
+
+val summary : unit -> string
+(** Human-readable multi-line summary: counters, gauges, non-empty
+    histograms with p50/p95/p99/max/mean, and decision-kind tallies. *)

@@ -1,0 +1,9 @@
+(* The single global enable flag of the observability layer.
+
+   Instrumentation is off by default; every recording entry point
+   ([Counters.incr], [Histogram.observe], [Decision_log.record], …)
+   checks this flag first and returns without allocating when it is
+   clear, so instrumented hot paths cost one atomic load per sample in
+   the disabled (production-default) configuration. *)
+
+let enabled = Atomic.make false

@@ -1,4 +1,8 @@
 open Spectr_linalg
+module Obs = Spectr_obs
+
+(* Observability handles (no-ops while instrumentation is disabled). *)
+let c_steps = Obs.Counters.counter "soc.steps"
 
 type cluster = Big | Little
 
@@ -50,6 +54,9 @@ type t = {
   mutable n_background : int;
   mutable temperature_c : float;
   mutable faults : Faults.t option;
+  mutable obs_active_faults : int;
+      (* injections active at the previous step, for onset/clearance
+         decisions; only maintained while observability is enabled *)
 }
 
 let create ?(config = default_config) ~qos () =
@@ -66,6 +73,7 @@ let create ?(config = default_config) ~qos () =
     n_background = 0;
     temperature_c = config.ambient_c;
     faults = None;
+    obs_active_faults = 0;
   }
 
 let set_faults soc faults = soc.faults <- faults
@@ -252,6 +260,22 @@ let noisy soc sigma_rel v =
 let step soc ~dt =
   if dt <= 0. then invalid_arg "Soc.step: dt <= 0";
   soc.now <- soc.now +. dt;
+  if Obs.enabled () then begin
+    (* One simulated controller period advances the deterministic obs
+       clock by one tick; this never feeds back into the physics. *)
+    Obs.Clock.tick ();
+    Obs.Counters.incr c_steps;
+    match soc.faults with
+    | None -> ()
+    | Some f ->
+        let active = Faults.active_count f ~now:soc.now in
+        if active > 0 && soc.obs_active_faults = 0 then
+          Obs.Decision_log.record (Obs.Decision_log.Fault { active; onset = true })
+        else if active = 0 && soc.obs_active_faults > 0 then
+          Obs.Decision_log.record
+            (Obs.Decision_log.Fault { active = 0; onset = false });
+        soc.obs_active_faults <- active
+  end;
   (* First-order thermal RC: the die relaxes toward ambient + R_th * P
      with time constant tau. *)
   let c = soc.config in

@@ -1,8 +1,19 @@
+(* Column-major storage in growable contiguous arrays (the Intvec
+   doubling pattern, per column, for floats).  The predecessor kept a
+   newest-first row list and rebuilt a full n-element array on every
+   [column] call, which made [Metrics.per_phase] O(phases x columns x n);
+   here [column_slice] copies just the slice and [last] is O(1).  The
+   CSV output is byte-identical to the row-list implementation (pinned
+   by test). *)
+
 type t = {
   names : string array;
-  mutable rows : float array list; (* newest first *)
+  mutable cols : float array array; (* one buffer per column, length cap *)
+  mutable cap : int;
   mutable n : int;
 }
+
+let initial_cap = 256
 
 let create ~columns =
   if columns = [] then invalid_arg "Trace.create: no columns";
@@ -10,12 +21,28 @@ let create ~columns =
   let sorted = List.sort_uniq compare columns in
   if List.length sorted <> Array.length names then
     invalid_arg "Trace.create: duplicate column";
-  { names; rows = []; n = 0 }
+  {
+    names;
+    cols = Array.map (fun _ -> Array.make initial_cap 0.) names;
+    cap = initial_cap;
+    n = 0;
+  }
 
 let add t row =
   if Array.length row <> Array.length t.names then
     invalid_arg "Trace.add: row width mismatch";
-  t.rows <- Array.copy row :: t.rows;
+  if t.n = t.cap then begin
+    let cap = 2 * t.cap in
+    t.cols <-
+      Array.map
+        (fun col ->
+          let bigger = Array.make cap 0. in
+          Array.blit col 0 bigger 0 t.n;
+          bigger)
+        t.cols;
+    t.cap <- cap
+  end;
+  Array.iteri (fun i v -> t.cols.(i).(t.n) <- v) row;
   t.n <- t.n + 1
 
 let length t = t.n
@@ -30,32 +57,27 @@ let index t name =
   in
   find 0
 
-let column t name =
-  let i = index t name in
-  let result = Array.make t.n 0. in
-  List.iteri (fun k row -> result.(t.n - 1 - k) <- row.(i)) t.rows;
-  result
+let column t name = Array.sub t.cols.(index t name) 0 t.n
 
 let column_slice t name ~from ~upto =
   if from < 0 || upto > t.n || from >= upto then
     invalid_arg "Trace.column_slice: bad range";
-  let all = column t name in
-  Array.sub all from (upto - from)
+  Array.sub t.cols.(index t name) from (upto - from)
 
 let last t name =
-  match t.rows with
-  | [] -> invalid_arg "Trace.last: empty trace"
-  | row :: _ -> row.(index t name)
+  if t.n = 0 then invalid_arg "Trace.last: empty trace";
+  t.cols.(index t name).(t.n - 1)
 
 let to_csv t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (String.concat "," (Array.to_list t.names));
   Buffer.add_char buf '\n';
-  List.iter
-    (fun row ->
-      Buffer.add_string buf
-        (String.concat ","
-           (Array.to_list (Array.map (Printf.sprintf "%.6g") row)));
-      Buffer.add_char buf '\n')
-    (List.rev t.rows);
+  let k = Array.length t.names in
+  for r = 0 to t.n - 1 do
+    for c = 0 to k - 1 do
+      if c > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.6g" t.cols.(c).(r))
+    done;
+    Buffer.add_char buf '\n'
+  done;
   Buffer.contents buf

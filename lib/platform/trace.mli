@@ -16,14 +16,15 @@ val length : t -> int
 val columns : t -> string list
 
 val column : t -> string -> float array
-(** Raises [Invalid_argument] on an unknown column name. *)
+(** Raises [Invalid_argument] on an unknown column name.  O(n) copy of
+    contiguous storage (rows are stored column-major). *)
 
 val column_slice : t -> string -> from:int -> upto:int -> float array
 (** Samples with index in [from, upto) — e.g. one scenario phase.
-    Raises on an invalid range. *)
+    Raises on an invalid range.  O(upto - from). *)
 
 val last : t -> string -> float
-(** Latest value of a column.  Raises on an empty trace. *)
+(** Latest value of a column, O(1).  Raises on an empty trace. *)
 
 val to_csv : t -> string
 (** Header line plus one comma-separated line per row. *)

@@ -80,6 +80,49 @@ let test_pool_invalid_jobs () =
     (Invalid_argument "Pool.create: jobs < 1") (fun () ->
       ignore (Pool.create ~jobs:0 ()))
 
+let test_pool_reentrant_map_rejected () =
+  (* A task that maps over its own pool would deadlock on the shared
+     queue; it must be rejected immediately instead. *)
+  with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "re-entrant map rejected"
+        (Invalid_argument
+           "Pool.map: re-entrant call from inside a task of this pool")
+        (fun () ->
+          ignore (Pool.map pool (fun _ -> Pool.map pool Fun.id [ 1; 2 ]) [ 0; 1 ])));
+  (* Mapping over a *different* pool from inside a task is legal. *)
+  with_pool ~jobs:2 (fun outer ->
+      with_pool ~jobs:2 (fun inner ->
+          let r =
+            Pool.map outer
+              (fun x ->
+                List.fold_left ( + ) 0 (Pool.map inner Fun.id (List.init x Fun.id)))
+              [ 3; 4 ]
+          in
+          check_bool "nested map over a different pool" true (r = [ 3; 6 ])))
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+(* Kept non-tail-recursive on purpose: each level leaves a stack frame,
+   so the raised exception's backtrace names this file. *)
+let rec deep_raise n = if n = 0 then failwith "deep" else 1 + deep_raise (n - 1)
+
+let test_pool_backtrace_preserved () =
+  (* Task exceptions cross the worker-domain boundary with their
+     original backtrace ([raise_with_backtrace] in [map]; the workers
+     inherit the creator's recording flag, so this must be set before
+     the pool is created). *)
+  Printexc.record_backtrace true;
+  with_pool ~jobs:2 (fun pool ->
+      match Pool.map pool (fun _ -> deep_raise 12) [ 0; 1 ] with
+      | _ -> Alcotest.fail "expected the task exception to propagate"
+      | exception Failure _ ->
+          let bt = Printexc.get_backtrace () in
+          check_bool "backtrace names the raising function's file" true
+            (contains bt "test_exec"))
+
 let test_parmap_combinators () =
   with_pool ~jobs:4 (fun pool ->
       check_bool "map" true
@@ -154,6 +197,107 @@ let test_synth_cache_hit () =
   check_bool "clear resets" true (Synth_cache.stats () = (0, 0))
 
 (* ------------------------------------------------------------------ *)
+(* Single-flight: the mechanism behind the synthesis cache             *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression test for the old design, which held one global mutex
+   across the synthesis itself and so serialized *distinct* keys: two
+   slow computations for different keys on a 2-job pool must overlap.
+   Each compute spins (bounded by a wall-clock deadline) until it has
+   seen both computations active at once; under the old lock-across-
+   compute scheme the peak concurrency would stay at 1 and this test
+   would fail. *)
+let test_single_flight_distinct_keys_overlap () =
+  let t = Single_flight.create () in
+  let active = Atomic.make 0 and peak = Atomic.make 0 in
+  let compute key () =
+    let mine = 1 + Atomic.fetch_and_add active 1 in
+    let rec bump () =
+      let p = Atomic.get peak in
+      if mine > p && not (Atomic.compare_and_set peak p mine) then bump ()
+    in
+    bump ();
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while Atomic.get active < 2 && Unix.gettimeofday () < deadline do
+      Domain.cpu_relax ()
+    done;
+    ignore (Atomic.fetch_and_add active (-1));
+    key * 10
+  in
+  with_pool ~jobs:2 (fun pool ->
+      let res =
+        Pool.map pool
+          (fun k -> Single_flight.find_or_compute t ~key:k ~compute:(compute k))
+          [ 1; 2 ]
+      in
+      check_bool "results" true (res = [ 10; 20 ]));
+  check_int "distinct keys computed concurrently" 2 (Atomic.get peak);
+  check_bool "two misses, no hits" true (Single_flight.stats t = (0, 2))
+
+let test_single_flight_same_key_once () =
+  (* Racers on one key share a single computation: whichever outcome of
+     the race (waiter-on-in-flight or late arrival finding Done), the
+     value is computed once, both callers get the same physical result,
+     and the stats read one miss plus one hit. *)
+  let t = Single_flight.create () in
+  let runs = Atomic.make 0 in
+  let compute () =
+    ignore (Atomic.fetch_and_add runs 1);
+    ref 42
+  in
+  let res =
+    with_pool ~jobs:2 (fun pool ->
+        Pool.map pool
+          (fun _ -> Single_flight.find_or_compute t ~key:"k" ~compute)
+          [ 0; 1 ])
+  in
+  (match res with
+  | [ a; b ] -> check_bool "same physical value" true (a == b)
+  | _ -> Alcotest.fail "expected two results");
+  check_int "computed exactly once" 1 (Atomic.get runs);
+  check_bool "one miss, one hit" true (Single_flight.stats t = (1, 1))
+
+let test_single_flight_exception_uninstalls () =
+  let t = Single_flight.create () in
+  Alcotest.check_raises "compute exception propagates" (Failure "sf") (fun () ->
+      ignore
+        (Single_flight.find_or_compute t ~key:1 ~compute:(fun () ->
+             failwith "sf")));
+  check_int "failed key recomputes" 7
+    (Single_flight.find_or_compute t ~key:1 ~compute:(fun () -> 7));
+  Single_flight.clear t;
+  check_bool "clear zeroes stats" true (Single_flight.stats t = (0, 0))
+
+(* An always-admissible second spec (free self-loops) so the synthesis
+   for a second, structurally distinct cache key succeeds. *)
+let loose_spec () =
+  let start = Event.controllable "start" in
+  let finish = Event.uncontrollable "finish" in
+  Automaton.create ~name:"Free" ~initial:"T0" ~marked:[ "T0" ]
+    ~transitions:[ ("T0", start, "T0"); ("T0", finish, "T0") ]
+    ()
+
+let test_synth_cache_parallel_distinct () =
+  (* Distinct keys synthesized concurrently on a 2-job pool: correct
+     results, two misses, no hits — the cache no longer funnels distinct
+     synthesis problems through one lock. *)
+  Synth_cache.clear ();
+  let plant = tiny_plant () in
+  with_pool ~jobs:2 (fun pool ->
+      let results =
+        Pool.map pool
+          (fun spec -> Synth_cache.supcon ~plant ~spec)
+          [ tiny_spec (); loose_spec () ]
+      in
+      List.iteri
+        (fun i -> function
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail (Printf.sprintf "synthesis %d failed" i))
+        results);
+  check_bool "two misses, no hits" true (Synth_cache.stats () = (0, 2));
+  Synth_cache.clear ()
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end determinism: 4-job grid == 1-job grid                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -214,11 +358,28 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
           Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "re-entrant map rejected" `Quick
+            test_pool_reentrant_map_rejected;
+          Alcotest.test_case "task backtrace preserved" `Quick
+            test_pool_backtrace_preserved;
           Alcotest.test_case "parmap combinators" `Quick
             test_parmap_combinators;
         ] );
+      ( "single-flight",
+        [
+          Alcotest.test_case "distinct keys overlap" `Quick
+            test_single_flight_distinct_keys_overlap;
+          Alcotest.test_case "same key computed once" `Quick
+            test_single_flight_same_key_once;
+          Alcotest.test_case "exception uninstalls marker" `Quick
+            test_single_flight_exception_uninstalls;
+        ] );
       ( "synth-cache",
-        [ Alcotest.test_case "hit semantics" `Quick test_synth_cache_hit ] );
+        [
+          Alcotest.test_case "hit semantics" `Quick test_synth_cache_hit;
+          Alcotest.test_case "parallel distinct keys" `Quick
+            test_synth_cache_parallel_distinct;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "4-job grid == 1-job grid" `Slow

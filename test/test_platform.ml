@@ -488,6 +488,27 @@ let test_trace_csv () =
   Trace.add tr [| 1.; 2. |];
   check_bool "csv" true (Trace.to_csv tr = "a,b\n1,2\n")
 
+let test_trace_growth () =
+  (* Well past the 256-row initial capacity, across several doublings:
+     the column-major growable storage must behave exactly like the old
+     row list. *)
+  let n = 3000 in
+  let tr = Trace.create ~columns:[ "i"; "sq" ] in
+  for i = 0 to n - 1 do
+    Trace.add tr [| float_of_int i; float_of_int (i * i) |]
+  done;
+  check_int "length" n (Trace.length tr);
+  let sq = Trace.column tr "sq" in
+  check_int "column length" n (Array.length sq);
+  check_float "first" 0. sq.(0);
+  check_float "middle" (float_of_int (1500 * 1500)) sq.(1500);
+  check_float "last cell" (float_of_int ((n - 1) * (n - 1))) sq.(n - 1);
+  let s = Trace.column_slice tr "i" ~from:250 ~upto:260 in
+  check_int "slice across the first doubling" 10 (Array.length s);
+  check_float "slice start" 250. s.(0);
+  check_float "slice end" 259. s.(9);
+  check_float "last" (float_of_int (n - 1)) (Trace.last tr "i")
+
 (* ------------------------------------------------------------------ *)
 (* Faults                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -763,6 +784,8 @@ let () =
           Alcotest.test_case "slice" `Quick test_trace_slice;
           Alcotest.test_case "validation" `Quick test_trace_validation;
           Alcotest.test_case "csv" `Quick test_trace_csv;
+          Alcotest.test_case "growth past initial capacity" `Quick
+            test_trace_growth;
         ] );
       ( "faults",
         [
