@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke obs-smoke robustness check clean
+.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke robustness check clean
 
 all: build
 
@@ -38,8 +38,24 @@ obs-smoke:
 	  python3 -c "import json,sys; [json.loads(l) for l in open('/tmp/spectr-obs.jsonl')]"; \
 	fi
 
+# Chaos smoke: a fixed-seed 16-cell campaign of power-sensor faults
+# against guarded and unguarded SPECTR.  Passes only when SPECTR+G
+# survives every cell AND unguarded SPECTR violates at least once
+# (spectr_cli exits 3 / 4 otherwise); each finding is shrunk to a
+# reproducer in chaos-artifacts/ and replayed to pin digest-exact
+# determinism.  CI uploads chaos-artifacts/ on failure.
+chaos-smoke:
+	rm -rf chaos-artifacts
+	dune exec bin/spectr_cli.exe -- chaos --seed 3 --cells 16 \
+	  --variants spectr+g,spectr --kinds dropout:power,stuck:power \
+	  --fail-on spectr+g --require-violation spectr \
+	  --artifact-dir chaos-artifacts
+	for f in chaos-artifacts/*.repro; do \
+	  dune exec bin/spectr_cli.exe -- replay $$f || exit 1; \
+	done
+
 # What CI runs.
-check: build fmt test obs-smoke
+check: build fmt test obs-smoke chaos-smoke
 
 clean:
 	dune clean

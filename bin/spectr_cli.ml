@@ -4,11 +4,25 @@
      synthesize   synthesize + verify the case-study supervisor, export DOT
      identify     run an identification experiment and print the report
      scenario     run a manager through the 3-phase scenario, export CSV
+     chaos        run a seeded randomized fault campaign (soak)
+     replay       re-execute a chaos reproducer artifact deterministically
      list         list benchmarks, managers and subsystems
+
+   Exit codes (beyond cmdliner's 124 for unknown subcommands/flags):
+     0  success / campaign within expectations
+     1  bad argument value (unknown manager, benchmark, …)
+     2  malformed reproducer artifact
+     3  an invariant violation in a --fail-on variant
+     4  --require-violation variant stayed clean
+     5  replay failed to reproduce (or trace digest mismatch)
 *)
 
 open Cmdliner
 open Spectr_platform
+
+(* Lift a unit command term into the int (exit code) world of
+   [Cmd.eval']: plain commands exit 0 on success. *)
+let exit_ok term = Term.(const (fun () -> 0) $ term)
 
 (* ------------------------------------------------------------------ *)
 (* synthesize                                                           *)
@@ -47,7 +61,7 @@ let synthesize_cmd =
   in
   Cmd.v
     (Cmd.info "synthesize" ~doc:"Synthesize and verify the case-study supervisor")
-    Term.(const synthesize $ dot $ closed)
+    (exit_ok Term.(const synthesize $ dot $ closed))
 
 (* ------------------------------------------------------------------ *)
 (* identify                                                             *)
@@ -91,7 +105,7 @@ let identify_cmd =
   in
   Cmd.v
     (Cmd.info "identify" ~doc:"Run a system-identification experiment")
-    Term.(const identify $ subsystem $ length $ order)
+    (exit_ok Term.(const identify $ subsystem $ length $ order))
 
 (* ------------------------------------------------------------------ *)
 (* scenario                                                             *)
@@ -189,7 +203,239 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a resource manager through the 3-phase scenario")
-    Term.(const scenario $ manager $ bench $ csv $ seed $ obs $ obs_jsonl)
+    (exit_ok
+       Term.(const scenario $ manager $ bench $ csv $ seed $ obs $ obs_jsonl))
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_list ~what ~parse s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           let tok = String.trim tok in
+           try parse tok
+           with Invalid_argument _ ->
+             Printf.eprintf "unknown %s %S\n" what tok;
+             exit 1)
+
+let chaos seed cells variants kinds max_faults kill_prob artifact_dir
+    shrink_budget max_findings fail_on require_violation =
+  let variants =
+    match parse_list ~what:"variant" ~parse:Spectr_chaos.Campaign.variant_of_string variants with
+    | [] -> Spectr_chaos.Campaign.all_variants
+    | vs -> vs
+  in
+  let kinds =
+    match parse_list ~what:"fault kind" ~parse:Faults.kind_of_string kinds with
+    | [] -> Spectr_chaos.Campaign.all_kinds
+    | ks -> ks
+  in
+  let fail_on =
+    parse_list ~what:"variant" ~parse:Spectr_chaos.Campaign.variant_of_string fail_on
+  in
+  let require_violation =
+    Option.map
+      (fun s ->
+        match parse_list ~what:"variant" ~parse:Spectr_chaos.Campaign.variant_of_string s with
+        | [ v ] -> v
+        | _ ->
+            Printf.eprintf "--require-violation takes exactly one variant\n";
+            exit 1)
+      require_violation
+  in
+  let spec =
+    try
+      Spectr_chaos.Campaign.default_spec ~seed ~cells ~variants ~kinds
+        ~max_faults ~kill_prob ()
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  let report = Spectr_chaos.Soak.run ~max_findings spec in
+  print_string (Spectr_chaos.Soak.summary report);
+  (* Shrink each finding to a minimal replayable reproducer. *)
+  (match artifact_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun f ->
+          let outcome = f.Spectr_chaos.Soak.f_outcome in
+          let cell = outcome.Spectr_chaos.Engine.cell in
+          let kind =
+            (List.hd outcome.Spectr_chaos.Engine.violations)
+              .Spectr_chaos.Invariants.v_kind
+          in
+          let violates c =
+            Spectr_chaos.Engine.violates ~kind (Spectr_chaos.Engine.run_cell c)
+          in
+          let res =
+            Spectr_chaos.Shrink.minimize ~eval_budget:shrink_budget ~violates
+              cell
+          in
+          let minimized = Spectr_chaos.Engine.run_cell res.Spectr_chaos.Shrink.cell in
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "cell-%04d.repro" cell.Spectr_chaos.Campaign.index)
+          in
+          Spectr_chaos.Artifact.save ~path
+            {
+              Spectr_chaos.Artifact.cell = res.Spectr_chaos.Shrink.cell;
+              invariant = Some kind;
+              digest = Some minimized.Spectr_chaos.Engine.digest;
+            };
+          Printf.printf
+            "wrote %s (%d fault%s, %d shrink run%s)\n" path
+            (List.length res.Spectr_chaos.Shrink.cell.Spectr_chaos.Campaign.injections)
+            (if List.length res.Spectr_chaos.Shrink.cell.Spectr_chaos.Campaign.injections = 1
+             then "" else "s")
+            res.Spectr_chaos.Shrink.evaluations
+            (if res.Spectr_chaos.Shrink.evaluations = 1 then "" else "s"))
+        report.Spectr_chaos.Soak.r_findings);
+  let violating v = Spectr_chaos.Soak.violating_cells report ~variant:v > 0 in
+  if List.exists violating fail_on then begin
+    Printf.printf "FAIL: invariant violation in a --fail-on variant\n";
+    3
+  end
+  else
+    match require_violation with
+    | Some v when not (violating v) ->
+        Printf.printf "FAIL: %s was expected to violate but stayed clean\n"
+          (Spectr_chaos.Campaign.variant_name v);
+        4
+    | _ ->
+        Printf.printf "OK\n";
+        0
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let cells =
+    Arg.(value & opt int 64 & info [ "cells" ] ~doc:"Number of campaign cells.")
+  in
+  let variants =
+    Arg.(
+      value & opt string ""
+      & info [ "variants" ]
+          ~doc:
+            "Comma-separated manager variants (spectr+g, spectr, mm-pow, \
+             mm-perf, siso, fs).  Default: all.")
+  in
+  let kinds =
+    Arg.(
+      value & opt string ""
+      & info [ "kinds" ]
+          ~doc:
+            "Comma-separated fault kinds to draw from (e.g. dropout:power, \
+             spike:qos:8, dvfs-stuck).  Default: all.")
+  in
+  let max_faults =
+    Arg.(value & opt int 3 & info [ "max-faults" ] ~doc:"Max faults per cell.")
+  in
+  let kill_prob =
+    Arg.(
+      value & opt float 0.25
+      & info [ "kill-prob" ]
+          ~doc:"Probability a cell kills and hot-restarts its manager.")
+  in
+  let artifact_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifact-dir" ] ~docv:"DIR"
+          ~doc:"Shrink each finding and write replayable reproducers here.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 48
+      & info [ "shrink-budget" ] ~doc:"Max scenario runs per shrink.")
+  in
+  let max_findings =
+    Arg.(
+      value & opt int 10
+      & info [ "max-findings" ] ~doc:"Failing cells to detail (and shrink).")
+  in
+  let fail_on =
+    Arg.(
+      value & opt string "spectr+g"
+      & info [ "fail-on" ]
+          ~doc:
+            "Comma-separated variants whose violations make the exit code \
+             nonzero (3).  Empty to disable.")
+  in
+  let require_violation =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "require-violation" ] ~docv:"VARIANT"
+          ~doc:
+            "Exit nonzero (4) unless this variant violates at least once — \
+             guards the campaign against vacuous passes.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a seeded randomized fault campaign with invariant monitors")
+    Term.(
+      const chaos $ seed $ cells $ variants $ kinds $ max_faults $ kill_prob
+      $ artifact_dir $ shrink_budget $ max_findings $ fail_on
+      $ require_violation)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let replay path =
+  let artifact =
+    try Spectr_chaos.Artifact.load ~path
+    with
+    | Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    | Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  let r = Spectr_chaos.Artifact.replay artifact in
+  let o = r.Spectr_chaos.Artifact.outcome in
+  let cell = o.Spectr_chaos.Engine.cell in
+  Printf.printf "replayed cell %d (%s, seed %Ld): %d tick(s), digest %s\n"
+    cell.Spectr_chaos.Campaign.index
+    (Spectr_chaos.Campaign.variant_name cell.Spectr_chaos.Campaign.variant)
+    cell.Spectr_chaos.Campaign.seed o.Spectr_chaos.Engine.ticks
+    o.Spectr_chaos.Engine.digest;
+  List.iter
+    (fun v ->
+      Printf.printf "  %s t=%.2fs: %s\n"
+        (Spectr_chaos.Invariants.kind_name v.Spectr_chaos.Invariants.v_kind)
+        v.Spectr_chaos.Invariants.v_time v.Spectr_chaos.Invariants.v_detail)
+    o.Spectr_chaos.Engine.violations;
+  match (r.Spectr_chaos.Artifact.reproduced, r.Spectr_chaos.Artifact.digest_matched) with
+  | true, (Some true | None) ->
+      Printf.printf "reproduced%s\n"
+        (match r.Spectr_chaos.Artifact.digest_matched with
+        | Some true -> " (trace digest matches)"
+        | _ -> "");
+      0
+  | false, _ ->
+      Printf.printf "FAIL: violation did not reproduce\n";
+      5
+  | true, Some false ->
+      Printf.printf "FAIL: reproduced, but the trace digest changed\n";
+      5
+
+let replay_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Reproducer artifact written by $(b,chaos).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a chaos reproducer artifact deterministically")
+    Term.(const replay $ path)
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                 *)
@@ -207,7 +453,7 @@ let list_all () =
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks, managers and subsystems")
-    Term.(const list_all $ const ())
+    (exit_ok Term.(const list_all $ const ()))
 
 (* ------------------------------------------------------------------ *)
 
@@ -216,4 +462,17 @@ let () =
     Cmd.info "spectr" ~version:"1.0.0"
       ~doc:"Supervisory control for many-core resource management"
   in
-  exit (Cmd.eval (Cmd.group info [ synthesize_cmd; identify_cmd; scenario_cmd; list_cmd ]))
+  (* [eval'] so that chaos/replay report campaign failures through the
+     exit code (see the table at the top of this file); unit commands
+     keep exiting 0 on success. *)
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            synthesize_cmd;
+            identify_cmd;
+            scenario_cmd;
+            chaos_cmd;
+            replay_cmd;
+            list_cmd;
+          ]))

@@ -1,0 +1,220 @@
+open Spectr_platform
+
+type variant = Spectr_g | Spectr | Mm_pow | Mm_perf | Siso | Fs
+
+let all_variants = [ Spectr_g; Spectr; Mm_pow; Mm_perf; Siso; Fs ]
+
+let variant_name = function
+  | Spectr_g -> "SPECTR+G"
+  | Spectr -> "SPECTR"
+  | Mm_pow -> "MM-Pow"
+  | Mm_perf -> "MM-Perf"
+  | Siso -> "SISO"
+  | Fs -> "FS"
+
+let variant_of_string s =
+  match String.lowercase_ascii s with
+  | "spectr+g" | "spectr-g" | "spectr_g" -> Spectr_g
+  | "spectr" -> Spectr
+  | "mm-pow" | "mm_pow" | "mmpow" -> Mm_pow
+  | "mm-perf" | "mm_perf" | "mmperf" -> Mm_perf
+  | "siso" -> Siso
+  | "fs" -> Fs
+  | _ -> invalid_arg (Printf.sprintf "Campaign.variant_of_string: %S" s)
+
+let make_manager = function
+  | Spectr_g ->
+      let guards = Spectr.Guarded.create () in
+      let mgr, sup = Spectr.Spectr_manager.make ~guards () in
+      (mgr, Some sup, Some guards)
+  | Spectr ->
+      let mgr, sup = Spectr.Spectr_manager.make () in
+      (mgr, Some sup, None)
+  | Mm_pow -> (Spectr.Mm.make_pow (), None, None)
+  | Mm_perf -> (Spectr.Mm.make_perf (), None, None)
+  | Siso -> (Spectr.Siso.make (), None, None)
+  | Fs -> (Spectr.Fs.make (), None, None)
+
+(* --- scenario shape --------------------------------------------------- *)
+
+type profile = {
+  tdp : float;
+  stress_envelope : float;
+  safe_s : float;
+  stress_s : float;
+  recovery_s : float;
+  stress_background : int;
+}
+
+(* The robustness-bench shape: benign start, a thermal-emergency phase
+   whose background load makes the QoS reference unachievable within the
+   reduced envelope (a manager that trusts a lying sensor chases QoS
+   straight through the cap), then a long benign tail in which the
+   re-convergence invariants are judged. *)
+let default_profile =
+  {
+    tdp = 5.0;
+    stress_envelope = 3.5;
+    safe_s = 3.0;
+    stress_s = 4.0;
+    recovery_s = 5.0;
+    stress_background = 16;
+  }
+
+let dt = 0.05
+
+let total_s p = p.safe_s +. p.stress_s +. p.recovery_s
+
+let total_ticks p = int_of_float (Float.round (total_s p /. dt))
+
+type kill = { kill_tick : int; staleness : int }
+
+type cell = {
+  index : int;
+  seed : int64;
+  variant : variant;
+  workload : string;
+  profile : profile;
+  injections : Faults.injection list;
+  kill : kill option;
+}
+
+let phases_of profile injections =
+  [
+    {
+      Spectr.Scenario.phase_name = "safe";
+      duration_s = profile.safe_s;
+      envelope = profile.tdp;
+      background_tasks = 0;
+      (* All windows ride on the first phase (start 0), so phase-relative
+         and absolute times coincide and a window may span any phase. *)
+      phase_faults = injections;
+    };
+    {
+      phase_name = "stress";
+      duration_s = profile.stress_s;
+      envelope = profile.stress_envelope;
+      background_tasks = profile.stress_background;
+      phase_faults = [];
+    };
+    {
+      phase_name = "recovery";
+      duration_s = profile.recovery_s;
+      envelope = profile.tdp;
+      background_tasks = 0;
+      phase_faults = [];
+    };
+  ]
+
+let config_of_cell cell =
+  let workload =
+    match Benchmarks.by_name cell.workload with
+    | Some w -> w
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Campaign.config_of_cell: unknown workload %S"
+             cell.workload)
+  in
+  {
+    (Spectr.Scenario.default_config ~seed:cell.seed workload) with
+    Spectr.Scenario.phases = phases_of cell.profile cell.injections;
+  }
+
+(* --- campaign generation ---------------------------------------------- *)
+
+type spec = {
+  campaign_seed : int;
+  cells : int;
+  variants : variant list;
+  kinds : Faults.kind list;
+  max_faults : int;
+  kill_prob : float;
+  profile : profile;
+}
+
+let all_kinds =
+  [
+    Faults.Dropout Power;
+    Dropout Qos;
+    Stuck_at_last Power;
+    Stuck_at_last Qos;
+    Spike_burst (Power, 8.);
+    Spike_burst (Qos, 8.);
+    Dvfs_stuck;
+    Gating_refused;
+    Heartbeat_stall;
+  ]
+
+let default_spec ?(seed = 1) ?(cells = 64) ?(variants = all_variants)
+    ?(kinds = all_kinds) ?(max_faults = 3) ?(kill_prob = 0.25) () =
+  if cells < 1 then invalid_arg "Campaign.default_spec: cells < 1";
+  if variants = [] then invalid_arg "Campaign.default_spec: no variants";
+  if kinds = [] then invalid_arg "Campaign.default_spec: no fault kinds";
+  if max_faults < 1 then invalid_arg "Campaign.default_spec: max_faults < 1";
+  if not (kill_prob >= 0. && kill_prob <= 1.) then
+    invalid_arg "Campaign.default_spec: kill_prob outside [0, 1]";
+  {
+    campaign_seed = seed;
+    cells;
+    variants;
+    kinds;
+    max_faults;
+    kill_prob;
+    profile = default_profile;
+  }
+
+(* SplitMix-style mix of the campaign seed and cell index: cells are
+   order-independent pure functions of (campaign seed, index), so any
+   cell can be regenerated — and replayed — without generating the
+   others. *)
+let mix_seed campaign index =
+  Int64.add
+    (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (index + 1)))
+    (Int64.mul 0xBF58476D1CE4E5B9L (Int64.of_int campaign))
+
+let cell_of_spec spec index =
+  if index < 0 || index >= spec.cells then
+    invalid_arg "Campaign.cell_of_spec: index outside the campaign";
+  let g = Spectr_linalg.Prng.create (mix_seed spec.campaign_seed index) in
+  let seed = Spectr_linalg.Prng.int64 g in
+  (* Round-robin over the variant list: every variant sees the same
+     number of cells (±1), so soak statistics compare like with like. *)
+  let variant = List.nth spec.variants (index mod List.length spec.variants) in
+  let total = total_s spec.profile in
+  let n_faults = 1 + Spectr_linalg.Prng.int g spec.max_faults in
+  let draw_kind () =
+    match List.nth spec.kinds (Spectr_linalg.Prng.int g (List.length spec.kinds)) with
+    | Faults.Spike_burst (s, hi) ->
+        (* The listed magnitude is the upper bound of the draw. *)
+        Faults.Spike_burst
+          (s, Spectr_linalg.Prng.uniform g ~lo:1.5 ~hi:(Float.max 1.6 hi))
+    | k -> k
+  in
+  let injections =
+    List.init n_faults (fun _ ->
+        let kind = draw_kind () in
+        let start_s = Spectr_linalg.Prng.uniform g ~lo:0.5 ~hi:(total -. 1.0) in
+        let duration = Spectr_linalg.Prng.uniform g ~lo:0.4 ~hi:4.0 in
+        let stop_s = Float.min (start_s +. duration) total in
+        Faults.injection kind ~start_s ~stop_s)
+  in
+  let kill =
+    if Spectr_linalg.Prng.float g < spec.kill_prob then begin
+      let ticks = total_ticks spec.profile in
+      let kill_tick = 20 + Spectr_linalg.Prng.int g (ticks - 40) in
+      (* Half the drills restore the checkpoint taken at the kill tick
+         itself (exact resume, trace must stay byte-identical); the rest
+         restore one taken up to a second earlier (bounded staleness —
+         the restarted manager resynchronizes from fresh samples). *)
+      let staleness =
+        if Spectr_linalg.Prng.bool g then 0
+        else Stdlib.min kill_tick (1 + Spectr_linalg.Prng.int g 20)
+      in
+      Some { kill_tick; staleness }
+    end
+    else None
+  in
+  { index; seed; variant; workload = "x264"; profile = spec.profile;
+    injections; kill }
+
+let generate spec = List.init spec.cells (cell_of_spec spec)

@@ -1,0 +1,31 @@
+(** Execute one campaign cell: drive the scenario tick by tick, check
+    every invariant after every tick, and run the cell's kill/restart
+    drill if it has one.
+
+    The drill snapshots the manager [staleness] ticks before the kill
+    (using its {!Spectr.Manager.persist} capability), then at the kill
+    tick discards the running manager entirely, constructs a fresh one
+    and restores the checkpoint into it — the platform keeps running
+    throughout.  With [staleness = 0] the restored manager continues
+    byte-identically (pinned by the chaos tests); with [staleness > 0]
+    it resynchronizes from fresh sensor samples, and the kill counts as
+    a disturbance instant for the invariant deadlines. *)
+
+type outcome = {
+  cell : Campaign.cell;
+  violations : Invariants.violation list;  (** Oldest first, capped. *)
+  ticks : int;
+  digest : string;
+      (** MD5 hex of the trace CSV — equal digests mean byte-identical
+          traces, the replay-determinism currency of the artifacts. *)
+  watchdog_recoveries : int;
+      (** Completed guard degradations (0 for unguarded variants). *)
+  checkpointed : bool;  (** The kill drill actually took a snapshot. *)
+}
+
+val run_cell : ?limits:Invariants.limits -> Campaign.cell -> outcome
+(** Deterministic: equal cells (and limits) give equal outcomes,
+    including the digest. *)
+
+val violates : ?kind:Invariants.kind -> outcome -> bool
+(** Did the run violate (that invariant / any invariant)? *)

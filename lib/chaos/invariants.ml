@@ -1,0 +1,365 @@
+open Spectr_platform
+
+type kind =
+  | Power_cap
+  | Qos_reconvergence
+  | Supervisor_legal
+  | Actuation_bounds
+  | Non_finite
+
+let num_kinds = 5
+
+let kind_index = function
+  | Power_cap -> 0
+  | Qos_reconvergence -> 1
+  | Supervisor_legal -> 2
+  | Actuation_bounds -> 3
+  | Non_finite -> 4
+
+let kind_name = function
+  | Power_cap -> "power-cap"
+  | Qos_reconvergence -> "qos-reconvergence"
+  | Supervisor_legal -> "supervisor-legal"
+  | Actuation_bounds -> "actuation-bounds"
+  | Non_finite -> "non-finite"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "power-cap" -> Power_cap
+  | "qos-reconvergence" -> Qos_reconvergence
+  | "supervisor-legal" -> Supervisor_legal
+  | "actuation-bounds" -> Actuation_bounds
+  | "non-finite" -> Non_finite
+  | _ -> invalid_arg (Printf.sprintf "Invariants.kind_of_string: %S" s)
+
+type violation = {
+  v_kind : kind;
+  v_tick : int;
+  v_time : float;
+  v_detail : string;
+}
+
+type limits = {
+  guardband : float;
+  settle_s : float;
+  excess_budget_s : float;
+  qos_floor : float;
+  qos_deadline_s : float;
+  sustain_ticks : int;
+  max_violations : int;
+}
+
+let default_limits =
+  {
+    guardband = 0.05;
+    settle_s = 1.0;
+    excess_budget_s = 0.75;
+    qos_floor = 0.5;
+    qos_deadline_s = 3.0;
+    sustain_ticks = 3;
+    max_violations = 25;
+  }
+
+type t = {
+  limits : limits;
+  qos_ref : float;
+  dt : float;
+  tdp : float; (* largest envelope across phases *)
+  disturbances : float array; (* sorted ascending, starts with 0 *)
+  actuator_windows : (float * float) list;
+  fault_windows : (float * float) list;
+  timeline : (float * float * int) array; (* phase end, envelope, background *)
+  mutable violations_rev : violation list;
+  mutable count : int;
+  streaks : int array; (* consecutive violating ticks, per kind *)
+  reported : bool array; (* an open episode already produced a finding *)
+  (* Power-cap bookkeeping: cumulative over-cap time within the current
+     disturbance epoch. *)
+  mutable power_epoch : float;
+  mutable power_excess : float;
+  mutable power_reported : bool;
+}
+
+let eps = 1e-9
+
+let is_actuator = function
+  | Faults.Dvfs_stuck | Faults.Gating_refused -> true
+  | _ -> false
+
+let create ?(limits = default_limits) ~config ?kill_time () =
+  let schedule = Spectr.Scenario.fault_schedule config in
+  let timeline =
+    let _, rev =
+      List.fold_left
+        (fun (start, acc) ph ->
+          let stop = start +. ph.Spectr.Scenario.duration_s in
+          (stop, (stop, ph.Spectr.Scenario.envelope, ph.background_tasks) :: acc))
+        (0., []) config.Spectr.Scenario.phases
+    in
+    Array.of_list (List.rev rev)
+  in
+  let tdp =
+    Array.fold_left (fun acc (_, e, _) -> Float.max acc e) 0. timeline
+  in
+  (* Every instant the plant is disturbed resets the compliance clocks:
+     run start, each phase boundary (envelope or load change), each
+     fault onset and clearance, and the kill/restart drill. *)
+  let disturbances =
+    let phase_starts =
+      let _, rev =
+        List.fold_left
+          (fun (start, acc) ph ->
+            (start +. ph.Spectr.Scenario.duration_s, start :: acc))
+          (0., []) config.Spectr.Scenario.phases
+      in
+      List.rev rev
+    in
+    let fault_edges =
+      List.concat_map
+        (fun i -> [ i.Faults.start_s; i.Faults.stop_s ])
+        schedule
+    in
+    let all =
+      (0. :: phase_starts)
+      @ fault_edges
+      @ (match kill_time with None -> [] | Some t -> [ t ])
+    in
+    let arr = Array.of_list all in
+    Array.sort compare arr;
+    arr
+  in
+  {
+    limits;
+    qos_ref = config.Spectr.Scenario.qos_ref;
+    dt = config.Spectr.Scenario.controller_period;
+    tdp;
+    disturbances;
+    actuator_windows =
+      List.filter_map
+        (fun i ->
+          if is_actuator i.Faults.fault then
+            Some (i.Faults.start_s, i.Faults.stop_s)
+          else None)
+        schedule;
+    fault_windows =
+      List.map (fun i -> (i.Faults.start_s, i.Faults.stop_s)) schedule;
+    timeline;
+    violations_rev = [];
+    count = 0;
+    streaks = Array.make num_kinds 0;
+    reported = Array.make num_kinds false;
+    power_epoch = 0.;
+    power_excess = 0.;
+    power_reported = false;
+  }
+
+(* Envelope/background in force at sample time [t].  Sample k lands at
+   t = k·dt which is exactly a phase's end time for its last sample, so
+   phases cover half-open-on-the-left intervals (start, end]. *)
+let phase_at m t =
+  let n = Array.length m.timeline in
+  let rec go i =
+    if i >= n - 1 then m.timeline.(n - 1)
+    else
+      let stop, _, _ = m.timeline.(i) in
+      if t <= stop +. eps then m.timeline.(i) else go (i + 1)
+  in
+  go 0
+
+let envelope_at m t =
+  let _, e, _ = phase_at m t in
+  e
+
+let background_at m t =
+  let _, _, b = phase_at m t in
+  b
+
+let last_disturbance m t =
+  let best = ref 0. in
+  Array.iter
+    (fun d -> if d <= t +. eps && d > !best then best := d)
+    m.disturbances;
+  !best
+
+let in_window windows t = List.exists (fun (s, e) -> s <= t && t < e) windows
+
+let violations m = List.rev m.violations_rev
+
+(* Episode discipline: a violation must hold for [required] consecutive
+   ticks before it is reported, and a still-open episode is reported
+   only once — a 2-second excursion is one finding, not forty. *)
+let judge m ~tick ~time kind bad detail fresh =
+  let k = kind_index kind in
+  if bad then begin
+    m.streaks.(k) <- m.streaks.(k) + 1;
+    let required =
+      match kind with
+      | Power_cap | Qos_reconvergence -> m.limits.sustain_ticks
+      | Supervisor_legal | Actuation_bounds | Non_finite -> 1
+    in
+    if m.streaks.(k) >= required && not m.reported.(k) then begin
+      m.reported.(k) <- true;
+      if m.count < m.limits.max_violations then begin
+        let v =
+          { v_kind = kind; v_tick = tick; v_time = time; v_detail = detail () }
+        in
+        m.violations_rev <- v :: m.violations_rev;
+        m.count <- m.count + 1;
+        fresh := v :: !fresh
+      end
+    end
+  end
+  else begin
+    m.streaks.(k) <- 0;
+    m.reported.(k) <- false
+  end
+
+let opp_member table f = Array.exists (( = ) f) table.Opp.freqs_mhz
+
+let check m ~runner ~sup ~obs =
+  let t = obs.Soc.time in
+  let tick = Spectr.Scenario.ticks_done runner - 1 in
+  let soc = Spectr.Scenario.runner_soc runner in
+  let fresh = ref [] in
+  let lim = m.limits in
+  let epoch = last_disturbance m t in
+  let since_disturbance = t -. epoch in
+  (* Power cap: judged on ground truth (sensor faults corrupt the
+     observation).  The controller may oscillate around the cap, so the
+     invariant is cumulative, as in the robustness bench: within one
+     disturbance epoch — the interval between two disturbance instants —
+     the total time spent above the guardbanded envelope (after a short
+     settle grace) must stay below the excess budget.  Actuator faults
+     physically prevent compliance, so those windows do not count;
+     sensor faults DO count — surviving a lying sensor is exactly what
+     the guards are for. *)
+  if epoch <> m.power_epoch then begin
+    m.power_epoch <- epoch;
+    m.power_excess <- 0.;
+    m.power_reported <- false
+  end;
+  let true_power = Soc.true_chip_power soc in
+  let envelope = envelope_at m t in
+  let cap = envelope *. (1. +. lim.guardband) in
+  if
+    (not (in_window m.actuator_windows t))
+    && since_disturbance > lim.settle_s
+    && true_power > cap
+  then begin
+    m.power_excess <- m.power_excess +. m.dt;
+    if m.power_excess > lim.excess_budget_s && not m.power_reported then begin
+      m.power_reported <- true;
+      if m.count < lim.max_violations then begin
+        let v =
+          {
+            v_kind = Power_cap;
+            v_tick = tick;
+            v_time = t;
+            v_detail =
+              Printf.sprintf
+                "%.2f s cumulative above %.3f W (envelope %.2f W + %.0f%% \
+                 guardband) since the disturbance at t=%.2f s; now %.3f W"
+                m.power_excess cap envelope
+                (100. *. lim.guardband)
+                epoch true_power;
+          }
+        in
+        m.violations_rev <- v :: m.violations_rev;
+        m.count <- m.count + 1;
+        fresh := v :: !fresh
+      end
+    end
+  end;
+  (* QoS re-convergence: only judged in quiet regions — no fault window
+     active, benign load, full envelope — and only after the deadline
+     from the last disturbance has passed. *)
+  let true_qos = Soc.true_qos_rate soc in
+  let qos_floor = lim.qos_floor *. m.qos_ref in
+  let qos_bad =
+    (not (in_window m.fault_windows t))
+    && background_at m t = 0
+    && envelope >= m.tdp -. eps
+    && since_disturbance > lim.qos_deadline_s
+    && true_qos < qos_floor
+  in
+  judge m ~tick ~time:t Qos_reconvergence qos_bad
+    (fun () ->
+      Printf.sprintf
+        "true QoS rate %.2f < %.2f (%.0f%% of reference %.2f) in a quiet \
+         region, %.2f s after the last disturbance"
+        true_qos qos_floor (100. *. lim.qos_floor) m.qos_ref since_disturbance)
+    fresh;
+  (* Supervisor legality: restore-corruption tripwires.  Bounds are
+     deliberately loose — they catch a scrambled checkpoint, not a
+     tuning difference. *)
+  (match sup with
+  | None -> ()
+  | Some sup ->
+      let state_problem =
+        match Spectr.Supervisor.state sup with
+        | (_ : string) -> None
+        | exception Invalid_argument msg -> Some msg
+      in
+      let mode = Spectr.Supervisor.gains_mode sup in
+      let big = Spectr.Supervisor.big_power_ref sup in
+      let little = Spectr.Supervisor.little_power_ref sup in
+      let problem =
+        match state_problem with
+        | Some msg -> Some ("illegal automaton state: " ^ msg)
+        | None ->
+            if not (mode = "qos" || mode = "power") then
+              Some (Printf.sprintf "unknown gains mode %S" mode)
+            else if not (Float.is_finite big && Float.is_finite little) then
+              Some
+                (Printf.sprintf "non-finite budget (big %g, little %g)" big
+                   little)
+            else if big < 0.05 || big > m.tdp +. 0.5 then
+              Some (Printf.sprintf "big budget %.3f W outside [0.05, %.2f]"
+                      big (m.tdp +. 0.5))
+            else if little < 0.05 || little > 1.5 then
+              Some
+                (Printf.sprintf "little budget %.3f W outside [0.05, 1.5]"
+                   little)
+            else None
+      in
+      judge m ~tick ~time:t Supervisor_legal
+        (Option.is_some problem)
+        (fun () -> Option.value problem ~default:"")
+        fresh);
+  (* Actuation bounds: whatever was applied must be a real OPP and a
+     legal core count — a manager must never be able to command the
+     platform outside its tables. *)
+  let big_f = Soc.frequency soc Soc.Big in
+  let little_f = Soc.frequency soc Soc.Little in
+  let big_c = Soc.active_cores soc Soc.Big in
+  let little_c = Soc.active_cores soc Soc.Little in
+  let act_bad =
+    (not (opp_member Opp.big big_f))
+    || (not (opp_member Opp.little little_f))
+    || big_c < 1 || big_c > 4 || little_c < 1 || little_c > 4
+  in
+  judge m ~tick ~time:t Actuation_bounds act_bad
+    (fun () ->
+      Printf.sprintf
+        "applied state outside platform tables: big %d MHz/%d cores, \
+         little %d MHz/%d cores"
+        big_f big_c little_f little_c)
+    fresh;
+  (* Non-finite tripwire over everything a manager or evaluator reads. *)
+  let finite_bad =
+    not
+      (Float.is_finite obs.Soc.qos_rate
+      && Float.is_finite obs.Soc.big_power
+      && Float.is_finite obs.Soc.little_power
+      && Float.is_finite obs.Soc.chip_power
+      && Float.is_finite true_power && Float.is_finite true_qos)
+  in
+  judge m ~tick ~time:t Non_finite finite_bad
+    (fun () ->
+      Printf.sprintf
+        "non-finite value reached the pipeline: qos %g, big %g, little %g, \
+         chip %g, true power %g, true qos %g"
+        obs.Soc.qos_rate obs.Soc.big_power obs.Soc.little_power
+        obs.Soc.chip_power true_power true_qos)
+    fresh;
+  List.rev !fresh

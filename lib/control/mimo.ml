@@ -172,3 +172,43 @@ let reset ctrl =
 let num_inputs ctrl = Array.length ctrl.inputs
 let num_outputs ctrl = Array.length ctrl.outputs
 let last_command ctrl = Option.map Array.copy ctrl.last
+
+type snapshot = {
+  snap_active : string;
+  snap_refs : float array;
+  snap_xhat : float array array;
+  snap_z : float array array;
+  snap_u_prev : float array array;
+  snap_last : float array option;
+}
+
+let snapshot ctrl =
+  {
+    snap_active = ctrl.active.Lqg.label;
+    snap_refs = Array.copy ctrl.refs;
+    snap_xhat = Matrix.to_arrays ctrl.xhat;
+    snap_z = Matrix.to_arrays ctrl.z;
+    snap_u_prev = Matrix.to_arrays ctrl.u_prev;
+    snap_last = Option.map Array.copy ctrl.last;
+  }
+
+let restore ctrl s =
+  (match List.assoc_opt s.snap_active ctrl.gains with
+  | Some g -> ctrl.active <- g
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Mimo.restore: unknown gain label %S" s.snap_active));
+  if Array.length s.snap_refs <> Array.length ctrl.refs then
+    invalid_arg "Mimo.restore: refs length";
+  Array.blit s.snap_refs 0 ctrl.refs 0 (Array.length ctrl.refs);
+  let n, m, p = dims ctrl.active in
+  let shape what rows a =
+    let mat = Matrix.of_arrays a in
+    if Matrix.rows mat <> rows || Matrix.cols mat <> 1 then
+      invalid_arg ("Mimo.restore: " ^ what ^ " shape");
+    mat
+  in
+  ctrl.xhat <- shape "xhat" n s.snap_xhat;
+  ctrl.z <- shape "z" p s.snap_z;
+  ctrl.u_prev <- shape "u_prev" m s.snap_u_prev;
+  ctrl.last <- Option.map Array.copy s.snap_last

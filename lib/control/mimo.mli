@@ -84,3 +84,28 @@ val num_outputs : t -> int
 
 val last_command : t -> float array option
 (** Most recent actuator command, if any step has executed. *)
+
+(** {1 Checkpoint/restore}
+
+    The controller's full mutable state — active gain label, physical
+    references, state estimate, integrators, previous normalized command
+    and last physical command — as plain data (safe to [Marshal]).  Gains
+    and channel descriptions are {e not} captured: restore into a
+    controller built by the same design flow.  A restored controller's
+    subsequent [step]s are bit-identical to the snapshotted instance's. *)
+
+type snapshot = {
+  snap_active : string;
+  snap_refs : float array;
+  snap_xhat : float array array;
+  snap_z : float array array;
+  snap_u_prev : float array array;
+  snap_last : float array option;
+}
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Raises [Invalid_argument] when the snapshot's gain label is unknown
+    to this controller or a dimension disagrees (a checkpoint from a
+    different subsystem). *)

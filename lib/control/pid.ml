@@ -44,3 +44,21 @@ let set_config t cfg = t.cfg <- cfg
 let reset t =
   t.integral <- 0.;
   t.prev_error <- None
+
+type snapshot = {
+  snap_reference : float;
+  snap_integral : float;
+  snap_prev_error : float option;
+}
+
+let snapshot t =
+  {
+    snap_reference = t.reference;
+    snap_integral = t.integral;
+    snap_prev_error = t.prev_error;
+  }
+
+let restore t s =
+  t.reference <- s.snap_reference;
+  t.integral <- s.snap_integral;
+  t.prev_error <- s.snap_prev_error

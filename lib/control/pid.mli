@@ -34,3 +34,23 @@ val set_config : t -> config -> unit
     integrator state is preserved). *)
 
 val reset : t -> unit
+
+(** {1 Checkpoint/restore}
+
+    The full mutable state of a PID loop apart from its gains (which the
+    owner reconstructs): reference, integrator and previous error.  Plain
+    data, safe to [Marshal]. *)
+
+type snapshot = {
+  snap_reference : float;
+  snap_integral : float;
+  snap_prev_error : float option;
+}
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the controller's mutable state; stepping after [restore]
+    continues exactly as the snapshotted instance would have
+    ([set_config] changes are not captured — restore into a controller
+    built with the same config). *)

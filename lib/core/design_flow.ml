@@ -131,7 +131,7 @@ let read_outputs subsystem (obs : Soc.observation) =
         (Array.map (fun v -> v /. 1e9) obs.Soc.per_core_ips)
         [| obs.Soc.big_power; obs.Soc.little_power |]
 
-let identify ?(seed = 17L) ?(length = 1200) ?(order = 2) subsystem =
+let identify_uncached ~seed ~length ~order subsystem =
   let config = { Soc.default_config with seed } in
   let soc = Soc.create ~config ~qos:Benchmarks.microbench () in
   Soc.set_background_tasks soc (background_load subsystem);
@@ -221,6 +221,23 @@ let identify ?(seed = 17L) ?(length = 1200) ?(order = 2) subsystem =
     report;
     dataset = data;
   }
+
+(* Identification is a pure function of (subsystem, seed, length, order):
+   the experiment runs on a private SoC with explicit PRNG streams, so a
+   cached result is indistinguishable from a fresh run.  The returned
+   record is immutable and shared read-only — Mimo.create copies the
+   references it needs.  Memoizing matters because every chaos-campaign
+   cell (and every parallel bench task) builds its managers from scratch:
+   without the cache each SPECTR construction replays two 60 s
+   identification experiments. *)
+let ident_cache :
+    (subsystem * int64 * int * int, identified) Spectr_exec.Single_flight.t =
+  Spectr_exec.Single_flight.create ~size:16 ()
+
+let identify ?(seed = 17L) ?(length = 1200) ?(order = 2) subsystem =
+  Spectr_exec.Single_flight.find_or_compute ident_cache
+    ~key:(subsystem, seed, length, order)
+    ~compute:(fun () -> identify_uncached ~seed ~length ~order subsystem)
 
 type goal = { label : string; q_y : float array }
 

@@ -46,7 +46,13 @@ val identify :
 (** Run the identification experiment on a fresh simulated SoC running
     the microbenchmark.  [length] is the number of 50 ms periods
     (default 1200: 60 simulated seconds); [order] is na = nb (default
-    2). *)
+    2).
+
+    Memoized per process (single-flight, keyed by the full parameter
+    tuple): identification is a pure function of its parameters, so
+    repeated manager construction — thousands of chaos-campaign cells,
+    every parallel bench task — pays for each distinct experiment once.
+    The returned record is immutable; treat it as shared. *)
 
 type goal = {
   label : string;  (** Gain-set name, e.g. ["qos"]. *)

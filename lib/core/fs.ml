@@ -28,4 +28,19 @@ let make ?(seed = 17L) () =
     in
     ()
   in
-  { Manager.name = "FS"; step }
+  let persist =
+    {
+      Manager.snapshot =
+        (fun () ->
+          {
+            Manager.variant = "FS";
+            payload = Marshal.to_string (Mimo.snapshot ctrl) [];
+          });
+      restore =
+        (fun c ->
+          Manager.require_variant ~expect:"FS" c;
+          Mimo.restore ctrl
+            (Marshal.from_string c.Manager.payload 0 : Mimo.snapshot));
+    }
+  in
+  { Manager.name = "FS"; step; persist = Some persist }

@@ -193,6 +193,72 @@ let filter t ~now ~qos ~big_power ~little_power =
   update_watchdog t ~now;
   { qos; big_power; little_power; healthy }
 
+type channel_snapshot = {
+  snap_last_good : float;
+  snap_have_good : bool;
+  snap_suspects : int;
+  snap_suspect_value : float;
+  snap_last_raw : float;
+  snap_same_streak : int;
+}
+
+type snapshot = {
+  snap_qos : channel_snapshot;
+  snap_big_power : channel_snapshot;
+  snap_little_power : channel_snapshot;
+  snap_sensor_bad_streak : int;
+  snap_actuator_bad_streak : int;
+  snap_good_streak : int;
+  snap_is_degraded : bool;
+  snap_spans : (float * float option) list;
+  snap_substituted : int;
+  snap_total : int;
+}
+
+let snapshot_channel ch =
+  {
+    snap_last_good = ch.last_good;
+    snap_have_good = ch.have_good;
+    snap_suspects = ch.suspects;
+    snap_suspect_value = ch.suspect_value;
+    snap_last_raw = ch.last_raw;
+    snap_same_streak = ch.same_streak;
+  }
+
+let restore_channel ch s =
+  ch.last_good <- s.snap_last_good;
+  ch.have_good <- s.snap_have_good;
+  ch.suspects <- s.snap_suspects;
+  ch.suspect_value <- s.snap_suspect_value;
+  ch.last_raw <- s.snap_last_raw;
+  ch.same_streak <- s.snap_same_streak
+
+let snapshot t =
+  {
+    snap_qos = snapshot_channel t.qos_ch;
+    snap_big_power = snapshot_channel t.big_power_ch;
+    snap_little_power = snapshot_channel t.little_power_ch;
+    snap_sensor_bad_streak = t.sensor_bad_streak;
+    snap_actuator_bad_streak = t.actuator_bad_streak;
+    snap_good_streak = t.good_streak;
+    snap_is_degraded = t.is_degraded;
+    snap_spans = t.spans;
+    snap_substituted = t.substituted;
+    snap_total = t.total;
+  }
+
+let restore t s =
+  restore_channel t.qos_ch s.snap_qos;
+  restore_channel t.big_power_ch s.snap_big_power;
+  restore_channel t.little_power_ch s.snap_little_power;
+  t.sensor_bad_streak <- s.snap_sensor_bad_streak;
+  t.actuator_bad_streak <- s.snap_actuator_bad_streak;
+  t.good_streak <- s.snap_good_streak;
+  t.is_degraded <- s.snap_is_degraded;
+  t.spans <- s.snap_spans;
+  t.substituted <- s.snap_substituted;
+  t.total <- s.snap_total
+
 let note_actuation t ~now ~ok =
   if ok then t.actuator_bad_streak <- 0
   else begin

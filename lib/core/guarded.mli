@@ -92,3 +92,36 @@ val degradation_spans : t -> (float * float option) list
 val recovery_times : t -> float list
 (** Durations of the completed degradations, oldest first — the
     recovery-time metric of the robustness bench. *)
+
+(** {1 Checkpoint/restore}
+
+    The watchdog's full mutable state — per-channel filter memory,
+    streak counters, degradation flag and span history — as plain data
+    (safe to [Marshal]).  A restored guard continues bit-identically to
+    the snapshotted instance: its stuck/spike streaks, trip countdown
+    and recovery bookkeeping all survive the manager restart. *)
+
+type channel_snapshot = {
+  snap_last_good : float;
+  snap_have_good : bool;
+  snap_suspects : int;
+  snap_suspect_value : float;
+  snap_last_raw : float;
+  snap_same_streak : int;
+}
+
+type snapshot = {
+  snap_qos : channel_snapshot;
+  snap_big_power : channel_snapshot;
+  snap_little_power : channel_snapshot;
+  snap_sensor_bad_streak : int;
+  snap_actuator_bad_streak : int;
+  snap_good_streak : int;
+  snap_is_degraded : bool;
+  snap_spans : (float * float option) list;
+  snap_substituted : int;
+  snap_total : int;
+}
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

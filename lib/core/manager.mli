@@ -9,6 +9,26 @@
 
 open Spectr_platform
 
+type checkpoint = { variant : string; payload : string }
+(** An opaque-to-callers manager checkpoint: a variant tag naming the
+    manager kind that produced it plus a [Marshal]-ed plain-data payload
+    (controller snapshots — see {!Spectr_control.Mimo.snapshot},
+    {!Supervisor.snapshot}, {!Guarded.snapshot} — and the tick phase).
+    Restoring a checkpoint into a manager of a different variant raises
+    [Invalid_argument]. *)
+
+type persist = {
+  snapshot : unit -> checkpoint;
+      (** Capture the manager's complete mutable state.  Cheap (no
+          I/O, a few small copies) — safe to call every period. *)
+  restore : checkpoint -> unit;
+      (** Overwrite the manager's state from a checkpoint.  After
+          [restore], stepping continues bit-identically to the
+          snapshotted instance — the checkpoint/resume guarantee the
+          chaos soak pins.  Raises [Invalid_argument] on a variant
+          mismatch or corrupted payload. *)
+}
+
 type t = {
   name : string;
       (** Display name: ["SPECTR"], ["MM-Pow"], ["MM-Perf"], ["FS"]. *)
@@ -19,7 +39,25 @@ type t = {
     obs:Soc.observation ->
     Soc.t ->
     unit;
+  persist : persist option;
+      (** Checkpoint/restore capability, when the manager supports it
+          (all shipped managers do).  [None] marks a manager that cannot
+          be hot-restarted; the soak runner skips kill/restart cells for
+          it. *)
 }
+
+val require_variant : expect:string -> checkpoint -> unit
+(** Helper for [restore] implementations: raise [Invalid_argument]
+    unless the checkpoint's variant tag is [expect]. *)
+
+val save_checkpoint : path:string -> checkpoint -> unit
+(** Crash-safe checkpoint persistence: write to a temp file in the
+    destination directory, then atomically rename — a crash mid-write
+    leaves the previous checkpoint (or none), never a torn file. *)
+
+val load_checkpoint : path:string -> checkpoint
+(** Raises [Invalid_argument] when the file is not a checkpoint
+    (bad magic, truncation); [Sys_error] on I/O failure. *)
 
 val sanitize_freq_mhz : Spectr_platform.Opp.t -> float -> float
 (** The frequency a [freq_ghz] command will be quantized from, in MHz:

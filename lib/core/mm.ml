@@ -58,7 +58,27 @@ let make ~label ~name ?(seed = 17L) () =
     in
     ()
   in
-  { Manager.name; step }
+  let persist =
+    {
+      Manager.snapshot =
+        (fun () ->
+          {
+            Manager.variant = name;
+            payload =
+              Marshal.to_string (Mimo.snapshot big, Mimo.snapshot little) [];
+          });
+      restore =
+        (fun c ->
+          Manager.require_variant ~expect:name c;
+          let sb, sl =
+            (Marshal.from_string c.Manager.payload 0
+              : Mimo.snapshot * Mimo.snapshot)
+          in
+          Mimo.restore big sb;
+          Mimo.restore little sl);
+    }
+  in
+  { Manager.name; step; persist = Some persist }
 
 let make_perf ?seed () = make ~label:"qos" ~name:"MM-Perf" ?seed ()
 let make_pow ?seed () = make ~label:"power" ~name:"MM-Pow" ?seed ()

@@ -93,7 +93,28 @@ let fault_schedule config =
   in
   List.rev rev_injections
 
-let run ~manager config =
+(* --- tick-at-a-time execution engine --------------------------------- *)
+
+(* The platform half of a running scenario: SoC, fault schedule,
+   heartbeat monitor, trace and phase cursor.  The manager is passed to
+   every [tick] instead of being owned by the runner — that is what lets
+   the chaos engine kill a manager mid-run, build a fresh one, restore
+   its checkpoint and keep driving the {e same} platform (hardware does
+   not reboot when the resource-manager daemon crashes). *)
+type runner = {
+  r_config : config;
+  r_soc : Soc.t;
+  r_faults : Faults.t option;
+  r_hb : Heartbeats.t;
+  r_trace : Trace.t;
+  r_phases : phase array;
+  r_steps : int array; (* steps per phase *)
+  mutable r_phase : int; (* current phase index, or length when done *)
+  mutable r_done_in_phase : int;
+  mutable r_tick : int;
+}
+
+let start config =
   let soc_config = { Soc.default_config with seed = config.seed } in
   let soc = Soc.create ~config:soc_config ~qos:config.workload () in
   let injections = fault_schedule config in
@@ -114,60 +135,131 @@ let run ~manager config =
      issues heartbeats as it completes work and the managers read the
      windowed rate, not an instantaneous sensor. *)
   let hb = Heartbeats.create ~window:0.25 ~reference:config.qos_ref () in
-  List.iteri
-    (fun phase_idx ph ->
-      Soc.set_background_tasks soc ph.background_tasks;
-      for _ = 1 to steps_of_phase config ph do
-        let raw = Soc.step soc ~dt:config.controller_period in
-        (* A stalled heartbeat monitor receives no beats at all; the
-           windowed rate then decays to zero while the app still runs. *)
-        let stalled =
-          match faults with
-          | None -> false
-          | Some f -> Faults.heartbeat_stalled f ~now:raw.Soc.time
-        in
-        if not stalled then
-          Heartbeats.beat hb ~now:raw.Soc.time
-            ~count:(raw.Soc.qos_rate *. config.controller_period);
-        let obs =
-          { raw with Soc.qos_rate = Heartbeats.rate hb ~now:raw.Soc.time }
-        in
-        manager.Manager.step ~now:obs.Soc.time ~qos_ref:config.qos_ref
-          ~envelope:ph.envelope ~obs soc;
-        let base_row =
-          [|
-            obs.Soc.time;
-            obs.Soc.qos_rate;
-            config.qos_ref;
-            obs.Soc.chip_power;
-            ph.envelope;
-            obs.Soc.big_power;
-            obs.Soc.little_power;
-            float_of_int (Soc.frequency soc Soc.Big);
-            float_of_int (Soc.active_cores soc Soc.Big);
-            float_of_int (Soc.frequency soc Soc.Little);
-            float_of_int (Soc.active_cores soc Soc.Little);
-            float_of_int ph.background_tasks;
-            float_of_int phase_idx;
-          |]
-        in
-        let row =
-          match faults with
-          | None -> base_row
-          | Some f ->
-              (* Under sensor faults the [power] column records what the
-                 managers saw (the corrupted reading); [true_power] is
-                 the ground truth a safety evaluation must use. *)
-              Array.append base_row
-                [|
-                  float_of_int (Faults.active_count f ~now:obs.Soc.time);
-                  Soc.true_chip_power soc;
-                |]
-        in
-        Trace.add trace row
-      done)
-    config.phases;
-  trace
+  let phases = Array.of_list config.phases in
+  let r =
+    {
+      r_config = config;
+      r_soc = soc;
+      r_faults = faults;
+      r_hb = hb;
+      r_trace = trace;
+      r_phases = phases;
+      r_steps = Array.map (steps_of_phase config) phases;
+      r_phase = 0;
+      r_done_in_phase = 0;
+      r_tick = 0;
+    }
+  in
+  (* Enter the first non-empty phase, applying the background load of
+     every phase passed through (matching the sequential driver, where
+     zero-length phases still set — and are immediately overridden —
+     their background count before any step runs). *)
+  (if Array.length phases > 0 then
+     Soc.set_background_tasks soc phases.(0).background_tasks);
+  r
+
+let finished r =
+  (* No phase at or after the cursor has steps remaining. *)
+  let n = Array.length r.r_phases in
+  let rec go i =
+    i >= n
+    || (r.r_steps.(i) - (if i = r.r_phase then r.r_done_in_phase else 0) <= 0
+        && go (i + 1))
+  in
+  go r.r_phase
+
+let trace r = r.r_trace
+let runner_soc r = r.r_soc
+let runner_faults r = r.r_faults
+let ticks_done r = r.r_tick
+
+let total_ticks config =
+  List.fold_left (fun acc ph -> acc + steps_of_phase config ph) 0 config.phases
+
+let current_phase r =
+  let i = min r.r_phase (Array.length r.r_phases - 1) in
+  (r.r_phases.(i), i)
+
+let tick r ~manager =
+  (* Advance the phase cursor to the next phase with steps remaining,
+     applying each entered phase's background load in order. *)
+  let rec enter () =
+    if r.r_phase < Array.length r.r_phases
+       && r.r_done_in_phase >= r.r_steps.(r.r_phase)
+    then begin
+      r.r_phase <- r.r_phase + 1;
+      r.r_done_in_phase <- 0;
+      if r.r_phase < Array.length r.r_phases then begin
+        Soc.set_background_tasks r.r_soc
+          r.r_phases.(r.r_phase).background_tasks;
+        enter ()
+      end
+    end
+  in
+  enter ();
+  if r.r_phase >= Array.length r.r_phases then None
+  else begin
+    let config = r.r_config in
+    let ph = r.r_phases.(r.r_phase) in
+    let phase_idx = r.r_phase in
+    let soc = r.r_soc in
+    let raw = Soc.step soc ~dt:config.controller_period in
+    (* A stalled heartbeat monitor receives no beats at all; the
+       windowed rate then decays to zero while the app still runs. *)
+    let stalled =
+      match r.r_faults with
+      | None -> false
+      | Some f -> Faults.heartbeat_stalled f ~now:raw.Soc.time
+    in
+    if not stalled then
+      Heartbeats.beat r.r_hb ~now:raw.Soc.time
+        ~count:(raw.Soc.qos_rate *. config.controller_period);
+    let obs =
+      { raw with Soc.qos_rate = Heartbeats.rate r.r_hb ~now:raw.Soc.time }
+    in
+    manager.Manager.step ~now:obs.Soc.time ~qos_ref:config.qos_ref
+      ~envelope:ph.envelope ~obs soc;
+    let base_row =
+      [|
+        obs.Soc.time;
+        obs.Soc.qos_rate;
+        config.qos_ref;
+        obs.Soc.chip_power;
+        ph.envelope;
+        obs.Soc.big_power;
+        obs.Soc.little_power;
+        float_of_int (Soc.frequency soc Soc.Big);
+        float_of_int (Soc.active_cores soc Soc.Big);
+        float_of_int (Soc.frequency soc Soc.Little);
+        float_of_int (Soc.active_cores soc Soc.Little);
+        float_of_int ph.background_tasks;
+        float_of_int phase_idx;
+      |]
+    in
+    let row =
+      match r.r_faults with
+      | None -> base_row
+      | Some f ->
+          (* Under sensor faults the [power] column records what the
+             managers saw (the corrupted reading); [true_power] is
+             the ground truth a safety evaluation must use. *)
+          Array.append base_row
+            [|
+              float_of_int (Faults.active_count f ~now:obs.Soc.time);
+              Soc.true_chip_power soc;
+            |]
+    in
+    Trace.add r.r_trace row;
+    r.r_done_in_phase <- r.r_done_in_phase + 1;
+    r.r_tick <- r.r_tick + 1;
+    Some obs
+  end
+
+let run ~manager config =
+  let r = start config in
+  let rec go () = match tick r ~manager with Some _ -> go () | None -> () in
+  go ();
+  r.r_trace
 
 let phase_bounds config =
   let _, bounds =

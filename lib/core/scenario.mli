@@ -69,6 +69,47 @@ val fault_schedule : config -> Faults.injection list
 (** The absolute-time fault schedule of a config (phase-relative windows
     shifted by each phase's start). *)
 
+(** {1 Tick-at-a-time execution}
+
+    {!run} is a loop over this lower-level engine.  A {!runner} owns the
+    platform half of a scenario — SoC, fault schedule, heartbeat monitor,
+    trace and phase cursor — while the manager is an argument of every
+    {!tick}.  That split is what the chaos engine's kill/restart
+    drills and per-tick invariant monitors are built on: the platform
+    keeps running while the manager is replaced mid-scenario, and every
+    tick's observation is available for checking before the next one
+    executes.  [run ~manager config] and
+    [start config |> loop (tick ~manager)] produce byte-identical
+    traces. *)
+
+type runner
+
+val start : config -> runner
+
+val tick : runner -> manager:Manager.t -> Soc.observation option
+(** Execute one controller period with the given manager: step the SoC,
+    deliver heartbeats, invoke the manager, record the trace row.
+    Returns the observation the manager saw, or [None] when the scenario
+    is complete (no step executed).  The manager may differ between
+    ticks. *)
+
+val finished : runner -> bool
+val trace : runner -> Trace.t
+
+val runner_soc : runner -> Soc.t
+(** The live SoC — monitors read ground truth ({!Soc.true_chip_power},
+    actuator readbacks) from here between ticks. *)
+
+val runner_faults : runner -> Faults.t option
+val ticks_done : runner -> int
+
+val current_phase : runner -> phase * int
+(** Phase the next tick will execute in (or the last phase, once
+    finished) and its index. *)
+
+val total_ticks : config -> int
+(** Number of controller periods the full scenario executes. *)
+
 val phase_bounds : config -> (string * int * int) list
 (** Sample-index range [(name, from, upto)] of each phase in a trace
     produced by {!run} (upto exclusive). *)

@@ -44,4 +44,28 @@ let make ?seed () =
     in
     ()
   in
-  { Manager.name = "SISO"; step }
+  let persist =
+    {
+      Manager.snapshot =
+        (fun () ->
+          {
+            Manager.variant = "SISO";
+            payload =
+              Marshal.to_string
+                (Pid.snapshot qos_pid, Pid.snapshot cores_pid,
+                 Pid.snapshot little_pid)
+                [];
+          });
+      restore =
+        (fun c ->
+          Manager.require_variant ~expect:"SISO" c;
+          let sq, sc, sl =
+            (Marshal.from_string c.Manager.payload 0
+              : Pid.snapshot * Pid.snapshot * Pid.snapshot)
+          in
+          Pid.restore qos_pid sq;
+          Pid.restore cores_pid sc;
+          Pid.restore little_pid sl);
+    }
+  in
+  { Manager.name = "SISO"; step; persist = Some persist }

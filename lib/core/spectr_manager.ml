@@ -115,4 +115,45 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
           ~now
   in
   let name = match guards with None -> "SPECTR" | Some _ -> "SPECTR+G" in
-  ({ Manager.name; step }, sup)
+  (* The checkpoint spans the whole supervisory stack: supervisor engine,
+     both leaf controllers, the supervisor-divisor tick phase and (when
+     armed) the watchdog.  The variant tag also encodes gain scheduling,
+     so a checkpoint can't cross ablation variants. *)
+  let variant = if gain_scheduling then name else name ^ "-nogs" in
+  let persist =
+    {
+      Manager.snapshot =
+        (fun () ->
+          let state =
+            ( Supervisor.snapshot sup,
+              Mimo.snapshot big,
+              Mimo.snapshot little,
+              !tick,
+              Option.map Guarded.snapshot guards )
+          in
+          { Manager.variant; payload = Marshal.to_string state [] });
+      restore =
+        (fun c ->
+          Manager.require_variant ~expect:variant c;
+          let ssup, sbig, slittle, stick, sguards =
+            (Marshal.from_string c.Manager.payload 0
+              : Supervisor.snapshot
+                * Mimo.snapshot
+                * Mimo.snapshot
+                * int
+                * Guarded.snapshot option)
+          in
+          Supervisor.restore sup ssup;
+          Mimo.restore big sbig;
+          Mimo.restore little slittle;
+          tick := stick;
+          match (guards, sguards) with
+          | Some g, Some s -> Guarded.restore g s
+          | None, None -> ()
+          | _ ->
+              (* require_variant already rules this out ("+G" is part of
+                 the tag), but a corrupted payload must not half-restore. *)
+              invalid_arg "Spectr_manager.restore: guard state mismatch");
+    }
+  in
+  ({ Manager.name; step; persist = Some persist }, sup)

@@ -114,6 +114,46 @@ let little_power_ref t = t.little_ref
 let synthesis_stats t = t.stats
 let automaton t = t.auto
 
+type snapshot = {
+  snap_state : int;
+  snap_mode : string;
+  snap_mode_age : int;
+  snap_big_ref : float;
+  snap_little_ref : float;
+  snap_last_qos : float;
+  snap_last_qos_ref : float;
+  snap_last_power : float;
+  snap_last_envelope : float;
+}
+
+let snapshot t =
+  {
+    snap_state = t.current;
+    snap_mode = t.mode;
+    snap_mode_age = t.mode_age;
+    snap_big_ref = t.big_ref;
+    snap_little_ref = t.little_ref;
+    snap_last_qos = t.last_qos;
+    snap_last_qos_ref = t.last_qos_ref;
+    snap_last_power = t.last_power;
+    snap_last_envelope = t.last_envelope;
+  }
+
+let restore t s =
+  if s.snap_state < 0 || s.snap_state >= Automaton.num_states t.auto then
+    invalid_arg "Supervisor.restore: state index out of range";
+  if s.snap_mode <> "qos" && s.snap_mode <> "power" then
+    invalid_arg (Printf.sprintf "Supervisor.restore: mode %S" s.snap_mode);
+  t.current <- s.snap_state;
+  t.mode <- s.snap_mode;
+  t.mode_age <- s.snap_mode_age;
+  t.big_ref <- s.snap_big_ref;
+  t.little_ref <- s.snap_little_ref;
+  t.last_qos <- s.snap_last_qos;
+  t.last_qos_ref <- s.snap_last_qos_ref;
+  t.last_power <- s.snap_last_power;
+  t.last_envelope <- s.snap_last_envelope
+
 (* --- actions --------------------------------------------------------- *)
 
 (* The two cluster budgets must jointly respect the envelope: the Big

@@ -91,3 +91,34 @@ val big_power_ref : t -> float
 val little_power_ref : t -> float
 val synthesis_stats : t -> Synthesis.stats
 val automaton : t -> Automaton.t
+
+(** {1 Checkpoint/restore}
+
+    The runtime engine's full mutable state — automaton state index,
+    gain mode, dwell age, both budgets and the last trustworthy
+    measurements — as plain data (safe to [Marshal]).  The synthesized
+    automaton itself is {e not} captured: synthesis is deterministic and
+    memoized, so a fresh {!create} rebuilds the identical automaton and
+    the saved index stays valid. *)
+
+type snapshot = {
+  snap_state : int;
+  snap_mode : string;
+  snap_mode_age : int;
+  snap_big_ref : float;
+  snap_little_ref : float;
+  snap_last_qos : float;
+  snap_last_qos_ref : float;
+  snap_last_power : float;
+  snap_last_envelope : float;
+}
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the engine state.  The command closures are {e not}
+    re-invoked — the leaf controllers carry their own snapshots and are
+    restored separately; stepping after [restore] continues exactly as
+    the snapshotted instance would have.  Raises [Invalid_argument] on a
+    state index outside the automaton or an unknown mode (a corrupted
+    checkpoint must fail loudly, not walk an illegal state). *)

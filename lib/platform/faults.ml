@@ -12,12 +12,25 @@ type kind =
 
 let spike_probability = 0.3
 
+let validate_kind = function
+  | Spike_burst (_, mag) when not (Float.is_finite mag && mag > 0.) ->
+      invalid_arg
+        (Printf.sprintf "Faults: spike magnitude %g not finite and positive" mag)
+  | _ -> ()
+
 type injection = { fault : kind; start_s : float; stop_s : float }
 
 let injection fault ~start_s ~stop_s =
-  if start_s < 0. || not (Float.is_finite start_s) then
-    invalid_arg "Faults.injection: start_s < 0";
-  if stop_s <= start_s then invalid_arg "Faults.injection: stop_s <= start_s";
+  validate_kind fault;
+  if not (Float.is_finite start_s) || start_s < 0. then
+    invalid_arg
+      (Printf.sprintf "Faults.injection: onset %g negative or not finite"
+         start_s);
+  if not (Float.is_finite stop_s) || stop_s <= start_s then
+    invalid_arg
+      (Printf.sprintf
+         "Faults.injection: window [%g, %g) has non-positive duration" start_s
+         stop_s);
   { fault; start_s; stop_s }
 
 type t = {
@@ -101,3 +114,61 @@ let shift injections ~by =
   List.map
     (fun i -> { i with start_s = i.start_s +. by; stop_s = i.stop_s +. by })
     injections
+
+(* --- textual serialization (reproducer artifacts) -------------------- *)
+
+let sensor_to_string = function Power -> "power" | Qos -> "qos"
+
+let sensor_of_string = function
+  | "power" -> Power
+  | "qos" -> Qos
+  | s -> invalid_arg (Printf.sprintf "Faults.sensor_of_string: %S" s)
+
+(* %.17g round-trips every finite double exactly. *)
+let flt v = Printf.sprintf "%.17g" v
+
+let kind_to_string = function
+  | Dropout s -> "dropout:" ^ sensor_to_string s
+  | Stuck_at_last s -> "stuck:" ^ sensor_to_string s
+  | Spike_burst (s, mag) ->
+      Printf.sprintf "spike:%s:%s" (sensor_to_string s) (flt mag)
+  | Dvfs_stuck -> "dvfs-stuck"
+  | Gating_refused -> "gating-refused"
+  | Heartbeat_stall -> "heartbeat-stall"
+
+let float_field ~what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Faults: bad %s %S" what s)
+
+let kind_of_string s =
+  let kind =
+    match String.split_on_char ':' s with
+    | [ "dropout"; sensor ] -> Dropout (sensor_of_string sensor)
+    | [ "stuck"; sensor ] -> Stuck_at_last (sensor_of_string sensor)
+    | [ "spike"; sensor; mag ] ->
+        Spike_burst (sensor_of_string sensor, float_field ~what:"magnitude" mag)
+    | [ "dvfs-stuck" ] -> Dvfs_stuck
+    | [ "gating-refused" ] -> Gating_refused
+    | [ "heartbeat-stall" ] -> Heartbeat_stall
+    | _ -> invalid_arg (Printf.sprintf "Faults.kind_of_string: %S" s)
+  in
+  validate_kind kind;
+  kind
+
+let injection_to_string i =
+  Printf.sprintf "%s@%s/%s" (kind_to_string i.fault) (flt i.start_s)
+    (flt i.stop_s)
+
+let injection_of_string s =
+  match String.index_opt s '@' with
+  | None -> invalid_arg (Printf.sprintf "Faults.injection_of_string: %S" s)
+  | Some at -> (
+      let kind = kind_of_string (String.sub s 0 at) in
+      let window = String.sub s (at + 1) (String.length s - at - 1) in
+      match String.split_on_char '/' window with
+      | [ start_s; stop_s ] ->
+          injection kind
+            ~start_s:(float_field ~what:"onset" start_s)
+            ~stop_s:(float_field ~what:"stop" stop_s)
+      | _ -> invalid_arg (Printf.sprintf "Faults.injection_of_string: %S" s))

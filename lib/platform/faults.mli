@@ -49,8 +49,12 @@ val spike_probability : float
 type injection = { fault : kind; start_s : float; stop_s : float }
 
 val injection : kind -> start_s:float -> stop_s:float -> injection
-(** Convenience constructor.  Raises [Invalid_argument] when
-    [start_s < 0] or [stop_s <= start_s]. *)
+(** Convenience constructor.  Raises [Invalid_argument] with a precise
+    message when the onset is negative or non-finite, the window has a
+    non-positive duration ([stop_s <= start_s] or non-finite), or a
+    {!Spike_burst} magnitude is not finite and positive.  {!create}
+    applies the same validation to every element, so a schedule that was
+    constructed successfully never silently misapplies. *)
 
 type t
 
@@ -87,3 +91,23 @@ val apply_qos : t -> now:float -> float -> float
 val shift : injection list -> by:float -> injection list
 (** Shift every window [by] seconds (used to turn phase-relative
     schedules into absolute ones). *)
+
+(** {1 Serialization}
+
+    Stable textual forms used by the chaos-engine reproducer artifacts
+    (see {!Spectr_chaos.Artifact}): kinds as e.g. ["dropout:power"],
+    ["spike:qos:5"], ["dvfs-stuck"]; injections as ["KIND@START/STOP"]
+    with times printed at full precision, so
+    [injection_of_string (injection_to_string i) = i] for every valid
+    injection. *)
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind
+(** Raises [Invalid_argument] on an unparseable or invalid kind. *)
+
+val injection_to_string : injection -> string
+
+val injection_of_string : string -> injection
+(** Raises [Invalid_argument] on an unparseable string or an invalid
+    window (same validation as {!injection}). *)

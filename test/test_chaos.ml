@@ -1,0 +1,238 @@
+(* Chaos/soak engine tests.
+
+   These pin the properties the reproducer workflow depends on:
+   campaigns are pure functions of their seed, the engine is
+   deterministic to the trace digest, a kill/restart drill with zero
+   staleness is byte-invisible in the trace, the shrinker's output still
+   violates, and artifacts round-trip and replay with a matching
+   digest. *)
+
+open Spectr_platform
+open Spectr_chaos
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Campaign generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_determinism () =
+  let spec = Campaign.default_spec ~seed:7 ~cells:12 () in
+  check_bool "same spec, same cells" true
+    (Campaign.generate spec = Campaign.generate spec);
+  check_bool "cell_of_spec matches generate" true
+    (Campaign.cell_of_spec spec 5 = List.nth (Campaign.generate spec) 5);
+  let other = Campaign.default_spec ~seed:8 ~cells:12 () in
+  check_bool "different seed, different cells" true
+    (Campaign.generate spec <> Campaign.generate other);
+  check_int "cell count" 12 (List.length (Campaign.generate spec));
+  List.iteri
+    (fun i c ->
+      check_int "index matches position" i c.Campaign.index;
+      check_bool "at least one fault" true (c.Campaign.injections <> []);
+      List.iter
+        (fun inj ->
+          check_bool "window ordered" true
+            Faults.(inj.start_s < inj.stop_s && inj.start_s >= 0.))
+        c.Campaign.injections)
+    (Campaign.generate spec)
+
+let test_campaign_validation () =
+  expect_invalid "zero cells" (fun () -> Campaign.default_spec ~cells:0 ());
+  expect_invalid "no variants" (fun () ->
+      Campaign.default_spec ~variants:[] ());
+  expect_invalid "no kinds" (fun () -> Campaign.default_spec ~kinds:[] ());
+  expect_invalid "kill_prob out of range" (fun () ->
+      Campaign.default_spec ~kill_prob:1.5 ());
+  let spec = Campaign.default_spec ~cells:4 () in
+  expect_invalid "index out of range" (fun () ->
+      Campaign.cell_of_spec spec 4)
+
+let test_name_round_trips () =
+  List.iter
+    (fun v ->
+      check_bool "variant round-trips" true
+        (Campaign.variant_of_string (Campaign.variant_name v) = v))
+    Campaign.all_variants;
+  List.iter
+    (fun k ->
+      check_bool "invariant kind round-trips" true
+        (Invariants.kind_of_string (Invariants.kind_name k) = k))
+    Invariants.
+      [ Power_cap; Qos_reconvergence; Supervisor_legal; Actuation_bounds;
+        Non_finite ];
+  expect_invalid "unknown variant" (fun () ->
+      Campaign.variant_of_string "bogus");
+  expect_invalid "unknown kind" (fun () ->
+      Invariants.kind_of_string "bogus")
+
+(* ------------------------------------------------------------------ *)
+(* Engine determinism and checkpoint/restore                           *)
+(* ------------------------------------------------------------------ *)
+
+let base_cell ?kill variant =
+  {
+    Campaign.index = 0;
+    seed = 42L;
+    variant;
+    workload = "x264";
+    profile = Campaign.default_profile;
+    injections =
+      [ { Faults.fault = Faults.Dropout Faults.Power;
+          start_s = 4.0; stop_s = 6.0 } ];
+    kill;
+  }
+
+let test_engine_determinism () =
+  let cell = base_cell Campaign.Spectr_g in
+  let a = Engine.run_cell cell and b = Engine.run_cell cell in
+  check_string "digest stable across runs" a.Engine.digest b.Engine.digest;
+  check_int "tick count stable" a.Engine.ticks b.Engine.ticks;
+  check_bool "violations stable" true
+    (a.Engine.violations = b.Engine.violations)
+
+(* A kill at tick [k] with staleness 0 restores the exact pre-kill
+   state into a fresh manager: the trace must be byte-identical to the
+   uninterrupted run.  Pinned across the supervisory variants named in
+   the issue plus a baseline manager. *)
+let test_checkpoint_exact_resume () =
+  List.iter
+    (fun variant ->
+      let name = Campaign.variant_name variant in
+      let plain = Engine.run_cell (base_cell variant) in
+      let killed =
+        Engine.run_cell
+          (base_cell ~kill:{ Campaign.kill_tick = 120; staleness = 0 }
+             variant)
+      in
+      check_bool (name ^ ": drill checkpointed") true
+        killed.Engine.checkpointed;
+      check_string
+        (name ^ ": kill+restore trace byte-identical")
+        plain.Engine.digest killed.Engine.digest)
+    Campaign.[ Spectr_g; Spectr; Mm_pow; Siso ]
+
+let test_bounded_staleness_determinism () =
+  let cell =
+    base_cell ~kill:{ Campaign.kill_tick = 120; staleness = 10 }
+      Campaign.Spectr_g
+  in
+  let a = Engine.run_cell cell and b = Engine.run_cell cell in
+  check_bool "drill checkpointed" true a.Engine.checkpointed;
+  check_string "stale restore still deterministic" a.Engine.digest
+    b.Engine.digest
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker and artifacts                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The campaign the CLI smoke test uses: unguarded SPECTR under power
+   sensor faults violates the power cap in some cells.  Find one, shrink
+   it, and drive the artifact round all the way through replay. *)
+let test_shrink_and_replay () =
+  let spec =
+    Campaign.default_spec ~seed:3 ~cells:16 ~variants:[ Campaign.Spectr ]
+      ~kinds:[ Faults.Dropout Faults.Power; Faults.Stuck_at_last Faults.Power ]
+      ()
+  in
+  let rec find i =
+    if i >= spec.Campaign.cells then
+      Alcotest.fail "no violating cell in the seeded campaign"
+    else
+      let outcome = Engine.run_cell (Campaign.cell_of_spec spec i) in
+      if Engine.violates outcome then outcome else find (i + 1)
+  in
+  let outcome = find 0 in
+  let kind = (List.hd outcome.Engine.violations).Invariants.v_kind in
+  let violates c = Engine.violates ~kind (Engine.run_cell c) in
+  let r = Shrink.minimize ~violates outcome.Engine.cell in
+  check_bool "minimized cell still violates" true (violates r.Shrink.cell);
+  check_bool "reproducer has at most 2 faults" true
+    (List.length r.Shrink.cell.Campaign.injections <= 2);
+  let min_out = Engine.run_cell r.Shrink.cell in
+  let art =
+    { Artifact.cell = r.Shrink.cell; invariant = Some kind;
+      digest = Some min_out.Engine.digest }
+  in
+  check_bool "artifact round-trips through text" true
+    (Artifact.of_string (Artifact.to_string art) = art);
+  let path = Filename.temp_file "chaos-test" ".repro" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Artifact.save ~path art;
+      check_bool "artifact round-trips through disk" true
+        (Artifact.load ~path = art));
+  let rep = Artifact.replay art in
+  check_bool "replay reproduces the violation" true rep.Artifact.reproduced;
+  check_bool "replay digest matches" true
+    (rep.Artifact.digest_matched = Some true)
+
+let valid_artifact_lines =
+  [ "spectr-chaos-reproducer v1"; "seed 42"; "index 0"; "variant SPECTR";
+    "workload x264"; "profile 5 3.5 3 4 5 16"; "fault dropout:power@4/6" ]
+
+let artifact_of lines = Artifact.of_string (String.concat "\n" lines ^ "\n")
+
+let test_artifact_parse_errors () =
+  (* The unmodified skeleton parses. *)
+  let a = artifact_of valid_artifact_lines in
+  check_bool "skeleton parses" true
+    (a.Artifact.cell.Campaign.variant = Campaign.Spectr
+    && a.Artifact.cell.Campaign.seed = 42L
+    && a.Artifact.invariant = None && a.Artifact.digest = None);
+  expect_invalid "empty input" (fun () -> Artifact.of_string "");
+  expect_invalid "bad header" (fun () ->
+      artifact_of ("not-a-reproducer" :: List.tl valid_artifact_lines));
+  expect_invalid "missing seed" (fun () ->
+      artifact_of
+        (List.filter
+           (fun l -> not (String.length l >= 4 && String.sub l 0 4 = "seed"))
+           valid_artifact_lines));
+  expect_invalid "unknown variant" (fun () ->
+      artifact_of
+        (List.map
+           (fun l -> if l = "variant SPECTR" then "variant BOGUS" else l)
+           valid_artifact_lines));
+  expect_invalid "garbage fault window" (fun () ->
+      artifact_of (valid_artifact_lines @ [ "fault nonsense" ]));
+  expect_invalid "staleness exceeds kill tick" (fun () ->
+      artifact_of (valid_artifact_lines @ [ "kill 10 20" ]));
+  expect_invalid "unknown invariant name" (fun () ->
+      artifact_of (valid_artifact_lines @ [ "invariant bogus" ]))
+
+let () =
+  Alcotest.run "spectr_chaos"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "pure function of the seed" `Quick
+            test_campaign_determinism;
+          Alcotest.test_case "spec validation" `Quick
+            test_campaign_validation;
+          Alcotest.test_case "name round-trips" `Quick test_name_round_trips;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "deterministic to the digest" `Quick
+            test_engine_determinism;
+          Alcotest.test_case "checkpoint/restore byte-identical" `Slow
+            test_checkpoint_exact_resume;
+          Alcotest.test_case "bounded staleness deterministic" `Quick
+            test_bounded_staleness_determinism;
+        ] );
+      ( "reproducers",
+        [
+          Alcotest.test_case "shrink, serialize, replay" `Slow
+            test_shrink_and_replay;
+          Alcotest.test_case "artifact parse errors" `Quick
+            test_artifact_parse_errors;
+        ] );
+    ]

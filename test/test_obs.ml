@@ -212,6 +212,39 @@ let test_decision_jsonl_shape () =
         "{\"seq\":3,\"t_ns\":1000000,\"kind\":\"fault\",\"active\":2,\"onset\":true}"
         (List.nth lines 3))
 
+(* JSONL escaping, pinned byte-for-byte: a hostile event name (quotes,
+   backslashes, newline, a control byte) must come out as exactly one
+   valid JSON line.  An unescaped quote would silently truncate every
+   downstream jq pipeline, so the expected string is spelled out in
+   full. *)
+let test_decision_jsonl_escaping () =
+  with_obs (fun () ->
+      Obs.enable ();
+      Obs.Clock.use_ticks ();
+      Obs.Clock.reset ();
+      Obs.Decision_log.record
+        (Obs.Decision_log.Event_fired
+           { event = "a\"b\\c\nd\te\x01f"; controllable = false });
+      let jsonl = Obs.Decision_log.to_jsonl () in
+      (match String.split_on_char '\n' jsonl with
+      | [ line; "" ] ->
+          check_string "escaped event line"
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"event_fired\",\"event\":\"a\\\"b\\\\c\\nd\\u0009e\\u0001f\",\"controllable\":false}"
+            line
+      | lines ->
+          Alcotest.failf "expected exactly one line, got %d"
+            (List.length lines - 1));
+      Obs.Decision_log.record
+        (Obs.Decision_log.Gain_switch { mode = "qos\"}{\"" });
+      match String.split_on_char '\n' (Obs.Decision_log.to_jsonl ()) with
+      | [ _; line; "" ] ->
+          check_string "escaped mode line"
+            "{\"seq\":1,\"t_ns\":0,\"kind\":\"gain_switch\",\"mode\":\"qos\\\"}{\\\"\"}"
+            line
+      | lines ->
+          Alcotest.failf "expected exactly two lines, got %d"
+            (List.length lines - 1))
+
 let test_disabled_record_free () =
   with_obs (fun () ->
       (* Disabled: the log accepts nothing. *)
@@ -243,9 +276,12 @@ let run_scenario_instrumented () =
 
 let test_determinism () =
   with_obs (fun () ->
-      (* Warm the synthesis cache while still disabled so both
-         instrumented runs see the same hit/miss sequence. *)
+      (* Warm the synthesis and identification caches while still
+         disabled so both instrumented runs see the same hit/miss
+         sequence (and the same SoC tick counts — the identification
+         experiment steps a private SoC on a cache miss). *)
       ignore (Spectr.Supervisor.synthesize ());
+      ignore (Spectr.Spectr_manager.make ());
       Obs.Clock.use_ticks ();
       Obs.enable ();
       let csv1, counters1, jsonl1, summary1 = run_scenario_instrumented () in
@@ -332,6 +368,8 @@ let () =
         [
           Alcotest.test_case "bounded ring" `Quick test_decision_ring;
           Alcotest.test_case "JSONL shape" `Quick test_decision_jsonl_shape;
+          Alcotest.test_case "JSONL escaping (pinned)" `Quick
+            test_decision_jsonl_escaping;
           Alcotest.test_case "disabled records nothing" `Quick
             test_disabled_record_free;
         ] );

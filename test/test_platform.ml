@@ -513,13 +513,67 @@ let test_trace_growth () =
 (* Faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let check_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
 let test_faults_validation () =
-  Alcotest.check_raises "negative start"
-    (Invalid_argument "Faults.injection: start_s < 0") (fun () ->
-      ignore (Faults.injection Faults.Dvfs_stuck ~start_s:(-1.) ~stop_s:1.));
-  Alcotest.check_raises "empty window"
-    (Invalid_argument "Faults.injection: stop_s <= start_s") (fun () ->
-      ignore (Faults.injection Faults.Dvfs_stuck ~start_s:2. ~stop_s:2.))
+  check_invalid "negative start" (fun () ->
+      Faults.injection Faults.Dvfs_stuck ~start_s:(-1.) ~stop_s:1.);
+  check_invalid "nan start" (fun () ->
+      Faults.injection Faults.Dvfs_stuck ~start_s:nan ~stop_s:1.);
+  check_invalid "empty window" (fun () ->
+      Faults.injection Faults.Dvfs_stuck ~start_s:2. ~stop_s:2.);
+  check_invalid "infinite stop" (fun () ->
+      Faults.injection Faults.Dvfs_stuck ~start_s:2. ~stop_s:infinity);
+  check_invalid "nan spike magnitude" (fun () ->
+      Faults.injection (Faults.Spike_burst (Power, nan)) ~start_s:0. ~stop_s:1.);
+  check_invalid "non-positive spike magnitude" (fun () ->
+      Faults.injection (Faults.Spike_burst (Qos, 0.)) ~start_s:0. ~stop_s:1.);
+  (* create applies the same validation to every element. *)
+  check_invalid "create validates elements" (fun () ->
+      Faults.create
+        [ { Faults.fault = Faults.Dvfs_stuck; start_s = 3.; stop_s = 1. } ])
+
+let test_faults_serialization () =
+  let kinds =
+    [
+      Faults.Dropout Power;
+      Faults.Dropout Qos;
+      Faults.Stuck_at_last Power;
+      Faults.Stuck_at_last Qos;
+      Faults.Spike_burst (Power, 5.);
+      Faults.Spike_burst (Qos, 0.1234567890123456789);
+      Faults.Dvfs_stuck;
+      Faults.Gating_refused;
+      Faults.Heartbeat_stall;
+    ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        ("kind roundtrip " ^ Faults.kind_to_string k)
+        true
+        (Faults.kind_of_string (Faults.kind_to_string k) = k))
+    kinds;
+  List.iter
+    (fun k ->
+      let i = Faults.injection k ~start_s:1.05 ~stop_s:6.789012345678901 in
+      Alcotest.(check bool)
+        ("injection roundtrip " ^ Faults.injection_to_string i)
+        true
+        (Faults.injection_of_string (Faults.injection_to_string i) = i))
+    kinds;
+  check_invalid "bad kind string" (fun () -> Faults.kind_of_string "meteor");
+  check_invalid "bad spike magnitude string" (fun () ->
+      Faults.kind_of_string "spike:power:wat");
+  check_invalid "bad injection string" (fun () ->
+      Faults.injection_of_string "dvfs-stuck");
+  (* Deserialization re-validates windows: a hand-edited artifact with a
+     negative onset is rejected, not silently misapplied. *)
+  check_invalid "deserialized negative onset" (fun () ->
+      Faults.injection_of_string "dvfs-stuck@-1/2")
 
 let test_faults_windows () =
   let f =
@@ -790,6 +844,8 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "validation" `Quick test_faults_validation;
+          Alcotest.test_case "serialization roundtrip" `Quick
+            test_faults_serialization;
           Alcotest.test_case "windows" `Quick test_faults_windows;
           Alcotest.test_case "shift" `Quick test_faults_shift;
           Alcotest.test_case "inactive is bit-identical" `Quick

@@ -858,6 +858,52 @@ let test_guarded_watchdog_trip_and_recover () =
       check_bool "finite recovery time" true (Float.is_finite t && t > 0.)
   | l -> Alcotest.failf "expected one completed span, got %d" (List.length l)
 
+(* After a fallback and a clean recovery the watchdog must be re-armed:
+   a second fault in the same run trips it again with the same
+   trip_count latency, and both spans are accounted.  (A watchdog that
+   only fires once would pass every single-fault test and still be
+   useless in a soak.) *)
+let test_guarded_watchdog_rearms () =
+  let g = warmed_guards () in
+  let cfg = Guarded.default_config in
+  let now = ref 0.25 in
+  let advance () =
+    now := !now +. 0.05;
+    !now
+  in
+  let dead_qos_until_tripped () =
+    let n = ref 0 in
+    while (not (Guarded.degraded g)) && !n < 4 * cfg.Guarded.trip_count do
+      incr n;
+      ignore
+        (Guarded.filter g ~now:(advance ()) ~qos:0. ~big_power:2.
+           ~little_power:1.)
+    done;
+    check_bool "tripped" true (Guarded.degraded g)
+  in
+  let healthy_until_recovered () =
+    let n = ref 0 in
+    while Guarded.degraded g && !n < 4 * cfg.Guarded.recover_count do
+      incr n;
+      ignore (healthy_step g ~now:(advance ()) !n)
+    done;
+    check_bool "recovered" false (Guarded.degraded g)
+  in
+  dead_qos_until_tripped ();
+  healthy_until_recovered ();
+  (* Fault clears, run continues... a second, unrelated fault hits. *)
+  dead_qos_until_tripped ();
+  healthy_until_recovered ();
+  (match Guarded.recovery_times g with
+  | [ t1; t2 ] ->
+      check_bool "both spans finite" true
+        (Float.is_finite t1 && Float.is_finite t2 && t1 > 0. && t2 > 0.)
+  | l -> Alcotest.failf "expected two completed spans, got %d" (List.length l));
+  check_bool "no open span left" true
+    (List.for_all
+       (fun (_, exited) -> exited <> None)
+       (Guarded.degradation_spans g))
+
 let test_guarded_spike_vs_level_shift () =
   let g = warmed_guards () in
   (* One outlier spike on the Big power sensor: substituted, and the
@@ -1278,6 +1324,8 @@ let () =
             test_guarded_filter_never_nonfinite;
           Alcotest.test_case "watchdog trip and recover" `Quick
             test_guarded_watchdog_trip_and_recover;
+          Alcotest.test_case "watchdog re-arms after fallback and clearance"
+            `Quick test_guarded_watchdog_rearms;
           Alcotest.test_case "spike vs level shift" `Quick
             test_guarded_spike_vs_level_shift;
           Alcotest.test_case "stuck sensor" `Quick test_guarded_stuck_sensor;
