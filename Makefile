@@ -16,10 +16,12 @@ fmt:
 bench:
 	dune exec bench/main.exe
 
-# One small synthesis-scale cell, timing columns suppressed — the shape
-# check CI runs (see .github/workflows/ci.yml).
+# One small synthesis-scale cell plus the tick-kernel throughput gates
+# (0 B/call steady-state allocation, batch-vs-one-shot trace digest
+# agreement), timing columns suppressed — the shape check CI runs (see
+# .github/workflows/ci.yml).
 bench-smoke:
-	dune exec bench/main.exe -- synthesis-scale --smoke
+	dune exec bench/main.exe -- synthesis-scale throughput --smoke
 
 robustness:
 	dune exec bench/main.exe -- robustness

@@ -26,6 +26,7 @@ let experiments =
     ("ablations", Ablations.run);
     ("robustness", Robustness.run);
     ("synthesis-scale", Synthesis_scale.run);
+    ("throughput", Throughput.run);
   ]
 
 let usage () =
@@ -38,7 +39,10 @@ let () =
   let flags, names =
     List.partition (fun a -> a = "--smoke" || a = "--obs") args
   in
-  if List.mem "--smoke" flags then Synthesis_scale.smoke := true;
+  if List.mem "--smoke" flags then begin
+    Synthesis_scale.smoke := true;
+    Throughput.smoke := true
+  end;
   let obs = List.mem "--obs" flags in
   (* Real monotonic clock for latency histograms; with --obs off the
      layer stays disabled and stdout is byte-identical (pinned by the

@@ -57,17 +57,27 @@ let event_of_id a eid =
         (Printf.sprintf "Automaton %s: event id %d not in the alphabet" a.name
            eid)
 
+(* A while-loop, not a local [let rec]: a recursive helper would close
+   over [a] and [eid] and allocate a closure per call, which the
+   supervisor tick path cannot afford. *)
+let step_index_raw a i eid =
+  let lo = ref a.row.(i) in
+  let hi = ref a.row.(i + 1) in
+  let res = ref (-1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let e = a.ev.(mid) in
+    if e = eid then begin
+      res := a.dst.(mid);
+      lo := !hi
+    end
+    else if e < eid then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
 let step_index a i eid =
-  let rec go lo hi =
-    if lo >= hi then None
-    else
-      let mid = (lo + hi) / 2 in
-      let e = a.ev.(mid) in
-      if e = eid then Some a.dst.(mid)
-      else if e < eid then go (mid + 1) hi
-      else go lo mid
-  in
-  go a.row.(i) a.row.(i + 1)
+  match step_index_raw a i eid with -1 -> None | d -> Some d
 
 let iter_row a i f =
   for k = a.row.(i) to a.row.(i + 1) - 1 do

@@ -140,6 +140,12 @@ val step_index : t -> int -> int -> int option
     id [eid] — a binary search of the state's sorted CSR row; zero
     hashing, zero allocation beyond the option. *)
 
+val step_index_raw : t -> int -> int -> int
+(** {!step_index} without the option: the destination index, or [-1]
+    when δ is undefined.  The tick-path variant — state indices are
+    non-negative, so the sentinel is unambiguous and nothing is
+    allocated. *)
+
 val iter_row : t -> int -> (int -> int -> unit) -> unit
 (** [iter_row a i f] calls [f eid dst] for each outgoing transition of
     state [i], in increasing event-id order.  The preferred traversal for

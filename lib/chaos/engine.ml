@@ -11,8 +11,16 @@ type outcome = {
 
 let digest_of_trace trace = Digest.to_hex (Digest.string (Trace.to_csv trace))
 
-let run_cell ?limits (cell : Campaign.cell) =
+let run_cell ?arena ?limits (cell : Campaign.cell) =
   let config = Campaign.config_of_cell cell in
+  (* With an arena, manager (re)construction is a warm checkout: same
+     variant slot, reset to pristine state.  Identical observable
+     behaviour either way (pinned by the arena digest tests). *)
+  let make_manager () =
+    match arena with
+    | None -> Campaign.make_manager cell.Campaign.variant
+    | Some a -> Arena.checkout a cell.Campaign.variant
+  in
   let dt = config.Spectr.Scenario.controller_period in
   let kill_time =
     Option.map
@@ -20,7 +28,7 @@ let run_cell ?limits (cell : Campaign.cell) =
       cell.Campaign.kill
   in
   let monitor = Invariants.create ?limits ~config ?kill_time () in
-  let mgr0, sup0, guards0 = Campaign.make_manager cell.Campaign.variant in
+  let mgr0, sup0, guards0 = make_manager () in
   let mgr = ref mgr0 and sup = ref sup0 and guards = ref guards0 in
   let runner = Spectr.Scenario.start config in
   let ckpt = ref None in
@@ -44,7 +52,7 @@ let run_cell ?limits (cell : Campaign.cell) =
            heartbeat monitor, fault schedule, trace — keeps running;
            hardware does not reboot when the daemon crashes. *)
         restarted := true;
-        let m2, s2, g2 = Campaign.make_manager cell.Campaign.variant in
+        let m2, s2, g2 = make_manager () in
         (match m2.Spectr.Manager.persist with
         | Some p -> p.Spectr.Manager.restore c
         | None -> ());

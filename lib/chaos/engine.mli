@@ -23,9 +23,13 @@ type outcome = {
   checkpointed : bool;  (** The kill drill actually took a snapshot. *)
 }
 
-val run_cell : ?limits:Invariants.limits -> Campaign.cell -> outcome
+val run_cell :
+  ?arena:Arena.t -> ?limits:Invariants.limits -> Campaign.cell -> outcome
 (** Deterministic: equal cells (and limits) give equal outcomes,
-    including the digest. *)
+    including the digest — with or without an [arena].  When [arena] is
+    given, managers come from warm {!Arena.checkout}s (built once per
+    domain per variant, reset between cells) instead of being rebuilt
+    per cell. *)
 
 val violates : ?kind:Invariants.kind -> outcome -> bool
 (** Did the run violate (that invariant / any invariant)? *)

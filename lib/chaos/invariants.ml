@@ -51,6 +51,14 @@ type limits = {
 
 let default_limits =
   {
+    (* Safety guardband over the envelope: a soak run only fails when
+       ground-truth power exceeds envelope × 1.05 past the excess
+       budget.  Intentionally looser than the 2 % measurement allowance
+       of [Spectr.Metrics.power_allowance] — that one scores regulation
+       quality in evaluations; this one models the thermal design's
+       safety margin under injected faults.  Tightening this to 2 %
+       would turn ordinary cap flutter during fault recovery into
+       violations. *)
     guardband = 0.05;
     settle_s = 1.0;
     excess_budget_s = 0.75;

@@ -54,7 +54,10 @@ type violation = {
 }
 
 type limits = {
-  guardband : float;  (** Tolerated relative excess over the envelope. *)
+  guardband : float;
+      (** Tolerated relative excess over the envelope (safety margin;
+          intentionally looser than [Spectr.Metrics.power_allowance],
+          which is a measurement tolerance for evaluation metrics). *)
   settle_s : float;  (** Power-cap grace after each disturbance. *)
   excess_budget_s : float;
       (** Cumulative over-cap seconds tolerated per disturbance epoch. *)

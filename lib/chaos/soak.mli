@@ -33,6 +33,7 @@ type report = {
 }
 
 val run :
+  ?arena:bool ->
   ?limits:Invariants.limits ->
   ?max_findings:int ->
   ?log_tail:int ->
@@ -42,7 +43,12 @@ val run :
     off (the decision log is process-global); up to [max_findings]
     (default 10) failing cells are then re-run sequentially with
     instrumentation on to harvest [log_tail] (default 40) decision-log
-    lines each. *)
+    lines each.
+
+    [arena] (default [true]) runs the sweep through a warm
+    {!Arena}: one manager per (domain, variant), reset between cells —
+    outcomes are identical either way, the arena only removes per-cell
+    construction cost. *)
 
 val violating_cells : report -> variant:Campaign.variant -> int
 

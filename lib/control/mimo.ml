@@ -24,7 +24,22 @@ type t = {
   mutable xhat : Matrix.t; (* n x 1 predicted state *)
   mutable z : Matrix.t; (* p x 1 integrator *)
   mutable u_prev : Matrix.t; (* m x 1 normalized previous command *)
-  mutable last : float array option;
+  (* Scratch for the allocation-free tick path (step_into): every
+     intermediate of the control law lives in one of these preallocated
+     column vectors.  Dimensions are fixed at create (all gain sets
+     agree on n, m, p). *)
+  scr_y : Matrix.t; (* p x 1 normalized measurements *)
+  scr_r : Matrix.t; (* p x 1 normalized references *)
+  scr_err : Matrix.t; (* p x 1 tracking error *)
+  scr_zc : Matrix.t; (* p x 1 integrator candidate *)
+  scr_p : Matrix.t; (* p x 1 Kalman innovation scratch *)
+  scr_xf : Matrix.t; (* n x 1 filtered state *)
+  scr_n1 : Matrix.t; (* n x 1 scratch *)
+  scr_n2 : Matrix.t; (* n x 1 scratch *)
+  scr_m1 : Matrix.t; (* m x 1 unsaturated command *)
+  scr_m2 : Matrix.t; (* m x 1 scratch *)
+  last : float array; (* m, last physical command *)
+  mutable last_valid : bool;
 }
 
 let dims g =
@@ -68,63 +83,86 @@ let create ?(z_clamp = 20.) ~gains ~initial ~inputs ~outputs ~refs () =
     xhat = Matrix.zeros ~rows:n ~cols:1;
     z = Matrix.zeros ~rows:p ~cols:1;
     u_prev = Matrix.zeros ~rows:m ~cols:1;
-    last = None;
+    scr_y = Matrix.zeros ~rows:p ~cols:1;
+    scr_r = Matrix.zeros ~rows:p ~cols:1;
+    scr_err = Matrix.zeros ~rows:p ~cols:1;
+    scr_zc = Matrix.zeros ~rows:p ~cols:1;
+    scr_p = Matrix.zeros ~rows:p ~cols:1;
+    scr_xf = Matrix.zeros ~rows:n ~cols:1;
+    scr_n1 = Matrix.zeros ~rows:n ~cols:1;
+    scr_n2 = Matrix.zeros ~rows:n ~cols:1;
+    scr_m1 = Matrix.zeros ~rows:m ~cols:1;
+    scr_m2 = Matrix.zeros ~rows:m ~cols:1;
+    last = Array.make m 0.;
+    last_valid = false;
   }
 
-let normalize ch v = (v -. ch.offset) /. ch.scale
-let denormalize ch v = (v *. ch.scale) +. ch.offset
-let clamp ch v = Float.min ch.max (Float.max ch.min v)
+let[@inline] normalize ch v = (v -. ch.offset) /. ch.scale
+let[@inline] denormalize ch v = (v *. ch.scale) +. ch.offset
+let[@inline] clamp ch v = Float.min ch.max (Float.max ch.min v)
 
-let step ctrl ~measured =
+(* The allocation-free control period: identical operations in identical
+   order to the historical allocating [step] (bit-identical commands —
+   the scenario CSV pins depend on it), but every intermediate lands in
+   a preallocated scratch vector and the command in the caller's [dst].
+   The one intentional difference: the C·x/D·u output equation of
+   {!Statespace.step}, whose result was always discarded, is skipped. *)
+let step_into ctrl ~measured ~dst =
   let g = ctrl.active in
   let model = g.Lqg.model in
   let p = Statespace.num_outputs model in
   let m = Statespace.num_inputs model in
   if Array.length measured <> p then invalid_arg "Mimo.step: measured length";
+  if Array.length dst <> m then invalid_arg "Mimo.step_into: dst length";
   (* 1. normalize measurements and references *)
-  let y =
-    Matrix.init ~rows:p ~cols:1 (fun i _ -> normalize ctrl.outputs.(i) measured.(i))
-  in
-  let r =
-    Matrix.init ~rows:p ~cols:1 (fun i _ ->
-        normalize ctrl.outputs.(i) ctrl.refs.(i))
-  in
+  let yd = Matrix.data ctrl.scr_y and rd = Matrix.data ctrl.scr_r in
+  for i = 0 to p - 1 do
+    yd.(i) <- normalize ctrl.outputs.(i) measured.(i);
+    rd.(i) <- normalize ctrl.outputs.(i) ctrl.refs.(i)
+  done;
   (* 2. Kalman measurement update on the predicted state *)
-  let xfilt = Kalman.correct ~l:g.Lqg.l ~c:model.Statespace.c ~xhat:ctrl.xhat ~y in
+  Kalman.correct_into ~l:g.Lqg.l ~c:model.Statespace.c ~xhat:ctrl.xhat
+    ~y:ctrl.scr_y ~tmp_p:ctrl.scr_p ~tmp_n:ctrl.scr_n1 ~dst:ctrl.scr_xf;
   (* 3. integrator update with the current tracking error (conditional
         anti-windup applied after saturation below) *)
-  let err = Matrix.sub r y in
-  let z_candidate = Matrix.add (Matrix.scale g.Lqg.leak ctrl.z) err in
+  Matrix.sub_into ~dst:ctrl.scr_err ctrl.scr_r ctrl.scr_y;
+  Matrix.scale_into ~dst:ctrl.scr_zc g.Lqg.leak ctrl.z;
+  Matrix.add_into ~dst:ctrl.scr_zc ctrl.scr_zc ctrl.scr_err;
   (* 4. feedback law on normalized deviations *)
-  let u_unsat =
-    Matrix.neg
-      (Matrix.add (Matrix.mul g.Lqg.kx xfilt) (Matrix.mul g.Lqg.kz z_candidate))
-  in
-  (* 5. saturate in physical units *)
-  let phys = Array.make m 0. in
+  Matrix.mul_into ~dst:ctrl.scr_m1 g.Lqg.kx ctrl.scr_xf;
+  Matrix.mul_into ~dst:ctrl.scr_m2 g.Lqg.kz ctrl.scr_zc;
+  Matrix.add_into ~dst:ctrl.scr_m1 ctrl.scr_m1 ctrl.scr_m2;
+  Matrix.neg_into ~dst:ctrl.scr_m1 ctrl.scr_m1;
+  (* 5. saturate in physical units; keep the normalized saturated
+        command for the time update *)
+  let ud = Matrix.data ctrl.scr_m1 in
+  let und = Matrix.data ctrl.u_prev in
   for i = 0 to m - 1 do
     let ch = ctrl.inputs.(i) in
-    phys.(i) <- clamp ch (denormalize ch (Matrix.get u_unsat i 0))
+    dst.(i) <- clamp ch (denormalize ch ud.(i));
+    und.(i) <- normalize ch dst.(i)
   done;
-  let u_norm =
-    Matrix.init ~rows:m ~cols:1 (fun i _ -> normalize ctrl.inputs.(i) phys.(i))
-  in
   (* 6. anti-windup by integrator clamping: each integrator state is
         bounded to ±z_clamp (normalized units).  During an infeasible
         phase the integrators wind to the clamp — sustaining a maximal
         command, which is the desired behaviour for a prioritized
         objective — and unwinding after recovery takes a bounded number
         of periods instead of growing with the infeasible duration. *)
-  ctrl.z <-
-    Matrix.map
-      (fun z -> Float.max (-.ctrl.z_clamp) (Float.min ctrl.z_clamp z))
-      z_candidate;
-  (* 7. time update with the saturated command *)
-  let x_next, _ = Statespace.step model ~x:xfilt ~u:u_norm in
-  ctrl.xhat <- x_next;
-  ctrl.u_prev <- u_norm;
-  ctrl.last <- Some (Array.copy phys);
-  phys
+  let zcd = Matrix.data ctrl.scr_zc and zd = Matrix.data ctrl.z in
+  for i = 0 to p - 1 do
+    zd.(i) <- Float.max (-.ctrl.z_clamp) (Float.min ctrl.z_clamp zcd.(i))
+  done;
+  (* 7. time update with the saturated command: x' = A·x̂ + B·u *)
+  Matrix.mul_into ~dst:ctrl.scr_n1 model.Statespace.a ctrl.scr_xf;
+  Matrix.mul_into ~dst:ctrl.scr_n2 model.Statespace.b ctrl.u_prev;
+  Matrix.add_into ~dst:ctrl.xhat ctrl.scr_n1 ctrl.scr_n2;
+  Array.blit dst 0 ctrl.last 0 m;
+  ctrl.last_valid <- true
+
+let step ctrl ~measured =
+  let dst = Array.make (Statespace.num_inputs ctrl.active.Lqg.model) 0. in
+  step_into ctrl ~measured ~dst;
+  dst
 
 let switch_gains ctrl label =
   match List.assoc_opt label ctrl.gains with
@@ -167,11 +205,13 @@ let reset ctrl =
   ctrl.xhat <- Matrix.zeros ~rows:n ~cols:1;
   ctrl.z <- Matrix.zeros ~rows:p ~cols:1;
   ctrl.u_prev <- Matrix.zeros ~rows:m ~cols:1;
-  ctrl.last <- None
+  ctrl.last_valid <- false
 
 let num_inputs ctrl = Array.length ctrl.inputs
 let num_outputs ctrl = Array.length ctrl.outputs
-let last_command ctrl = Option.map Array.copy ctrl.last
+
+let last_command ctrl =
+  if ctrl.last_valid then Some (Array.copy ctrl.last) else None
 
 type snapshot = {
   snap_active : string;
@@ -189,7 +229,7 @@ let snapshot ctrl =
     snap_xhat = Matrix.to_arrays ctrl.xhat;
     snap_z = Matrix.to_arrays ctrl.z;
     snap_u_prev = Matrix.to_arrays ctrl.u_prev;
-    snap_last = Option.map Array.copy ctrl.last;
+    snap_last = (if ctrl.last_valid then Some (Array.copy ctrl.last) else None);
   }
 
 let restore ctrl s =
@@ -211,4 +251,9 @@ let restore ctrl s =
   ctrl.xhat <- shape "xhat" n s.snap_xhat;
   ctrl.z <- shape "z" p s.snap_z;
   ctrl.u_prev <- shape "u_prev" m s.snap_u_prev;
-  ctrl.last <- Option.map Array.copy s.snap_last
+  match s.snap_last with
+  | None -> ctrl.last_valid <- false
+  | Some a ->
+      if Array.length a <> m then invalid_arg "Mimo.restore: last shape";
+      Array.blit a 0 ctrl.last 0 m;
+      ctrl.last_valid <- true

@@ -58,6 +58,13 @@ val step : t -> measured:float array -> float array
     produce the physical actuator commands (length m), saturated to the
     channel limits.  Mirrors the 50 ms daemon invocation of §5. *)
 
+val step_into : t -> measured:float array -> dst:float array -> unit
+(** {!step} into a caller-owned command buffer (length m) — bit-identical
+    commands and controller-state evolution, but every intermediate of
+    the control law lands in scratch preallocated at {!create}, so a
+    steady-state invocation allocates nothing.  [dst] must not alias
+    [measured]. *)
+
 val switch_gains : t -> string -> unit
 (** Gain scheduling: point the controller at a different stored gain set.
     Controller state (estimate and integrators) is preserved, so the

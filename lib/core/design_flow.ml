@@ -121,14 +121,17 @@ let apply_inputs subsystem soc row =
         (Array.init 8 (fun i -> Soc.idle_fraction soc ~core:i))
         [| float_of_int bf /. 1000.; float_of_int lf /. 1000. |]
 
-let read_outputs subsystem (obs : Soc.observation) =
+let read_outputs subsystem soc (obs : Soc.observation) =
   match subsystem with
   | Big_2x2 -> [| obs.Soc.qos_rate; obs.Soc.big_power |]
   | Little_2x2 -> [| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
   | Fs_4x2 -> [| obs.Soc.qos_rate; obs.Soc.chip_power |]
   | Large_10x10 ->
+      (* The per-core PMU readings left the observation record (no
+         runtime manager consumes them); the 10×10 identification pulls
+         them from the SoC, which replays the skipped noise draws. *)
       Array.append
-        (Array.map (fun v -> v /. 1e9) obs.Soc.per_core_ips)
+        (Array.map (fun v -> v /. 1e9) (Soc.per_core_ips soc))
         [| obs.Soc.big_power; obs.Soc.little_power |]
 
 let identify_uncached ~seed ~length ~order subsystem =
@@ -158,7 +161,7 @@ let identify_uncached ~seed ~length ~order subsystem =
      lag structure assumes. *)
   for t = 0 to length - 1 do
     let obs = Soc.step soc ~dt:0.05 in
-    y.(t) <- read_outputs subsystem obs;
+    y.(t) <- read_outputs subsystem soc obs;
     u.(t) <- apply_inputs subsystem soc excitation.(t)
   done;
   let raw = Dataset.create ~u ~y in
@@ -287,6 +290,35 @@ let design_gains ?r_u ident goals =
               else build (gains :: acc) rest)
   in
   build [] goals
+
+(* Gain design is a pure function of the identified model and the goal
+   weights, and the identified model is itself memoized on
+   (subsystem, seed, length, order) — so the designed gain sets can be
+   memoized on the union of both keys.  This is what makes batch
+   harnesses cheap: the first manager of a variant pays the ~200 ms
+   LQG/robustness pipeline, every later construction (each scenario
+   cell, each parallel bench task) reuses the identical gain list.  The
+   cached [Lqg.gains] are shared read-only, exactly like the cached
+   identification record. *)
+let design_cache :
+    ( subsystem * int64 * int * int * (string * float array) list
+      * float array option,
+      (Lqg.gains list, string) result )
+    Spectr_exec.Single_flight.t =
+  Spectr_exec.Single_flight.create ~size:16 ()
+
+let design_gains_for ?r_u ?(seed = 17L) ?(length = 1200) ?(order = 2) subsystem
+    goals =
+  let ident = identify ~seed ~length ~order subsystem in
+  Spectr_exec.Single_flight.find_or_compute design_cache
+    ~key:
+      ( subsystem,
+        seed,
+        length,
+        order,
+        List.map (fun g -> (g.label, g.q_y)) goals,
+        r_u )
+    ~compute:(fun () -> design_gains ?r_u ident goals)
 
 let build_mimo ident ~gains ~initial ~refs =
   Mimo.create ~gains ~initial ~inputs:ident.input_channels

@@ -70,6 +70,21 @@ val design_gains :
     does not come out robustly stable under the paper's uncertainty
     guardbands (Step 8). *)
 
+val design_gains_for :
+  ?r_u:float array ->
+  ?seed:int64 ->
+  ?length:int ->
+  ?order:int ->
+  subsystem ->
+  goal list ->
+  (Lqg.gains list, string) result
+(** Memoized {!identify} + {!design_gains}: the gain sets for a
+    (subsystem, seed, length, order, goals, r_u) key are designed once
+    per process and shared read-only afterwards — the first manager of a
+    variant pays the LQG/robustness pipeline, every later construction
+    (chaos cells, batch bench arenas) gets the identical list back.
+    Defaults match {!identify}. *)
+
 val build_mimo :
   identified -> gains:Lqg.gains list -> initial:string -> refs:float array -> Mimo.t
 (** Assemble the runtime leaf controller from an identification result

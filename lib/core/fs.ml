@@ -5,7 +5,7 @@ let make ?(seed = 17L) () =
   let ident = Design_flow.identify ~seed Design_flow.Fs_4x2 in
   let gains =
     match
-      Design_flow.design_gains ident
+      Design_flow.design_gains_for ~seed Design_flow.Fs_4x2
         [ { Design_flow.label = "power"; q_y = [| 0.1; 30. |] } ]
     with
     | Ok g -> g
@@ -14,19 +14,15 @@ let make ?(seed = 17L) () =
   let ctrl =
     Design_flow.build_mimo ident ~gains ~initial:"power" ~refs:[| 60.; 5. |]
   in
+  let meas = [| 0.; 0. |] and u = [| 0.; 0.; 0.; 0. |] in
   let step ~now:_ ~qos_ref ~envelope ~obs soc =
     Mimo.set_reference ctrl ~index:0 qos_ref;
     Mimo.set_reference ctrl ~index:1 envelope;
-    let u =
-      Mimo.step ctrl ~measured:[| obs.Soc.qos_rate; obs.Soc.chip_power |]
-    in
-    let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
-    in
-    let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Little ~freq_ghz:u.(2) ~cores:u.(3)
-    in
-    ()
+    meas.(0) <- obs.Soc.qos_rate;
+    meas.(1) <- obs.Soc.chip_power;
+    Mimo.step_into ctrl ~measured:meas ~dst:u;
+    Manager.apply_cluster_quiet soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1);
+    Manager.apply_cluster_quiet soc Soc.Little ~freq_ghz:u.(2) ~cores:u.(3)
   in
   let persist =
     {

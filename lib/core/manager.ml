@@ -88,7 +88,11 @@ let sanitize_cores cores =
   if Float.is_nan cores then 1
   else int_of_float (Float.round (Float.max 1. (Float.min 4. cores)))
 
-let apply_cluster soc cluster ~freq_ghz ~cores =
+(* Tick-path actuation: sanitize, quantize and apply, nothing else — no
+   applied-record, no log message (even an unemitted [Log.debug] call
+   allocates its message closure).  Managers that do not consume the
+   readback use this one. *)
+let apply_cluster_quiet soc cluster ~freq_ghz ~cores =
   Obs.Counters.incr c_actuations;
   (if Obs.enabled () then
      (* Count commands in the garbage class the sanitizers exist for:
@@ -97,9 +101,18 @@ let apply_cluster soc cluster ~freq_ghz ~cores =
      if (not (Float.is_finite f_mhz)) || f_mhz < 0. || Float.is_nan cores then
        Obs.Counters.incr c_sanitized);
   let table = match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little in
-  let freq_mhz = Soc.set_frequency soc cluster (sanitize_freq_mhz table freq_ghz) in
-  Soc.set_active_cores soc cluster (sanitize_cores cores);
-  let applied = { freq_mhz; cores = Soc.active_cores soc cluster } in
+  ignore
+    (Soc.set_frequency soc cluster (sanitize_freq_mhz table freq_ghz) : int);
+  Soc.set_active_cores soc cluster (sanitize_cores cores)
+
+let apply_cluster soc cluster ~freq_ghz ~cores =
+  apply_cluster_quiet soc cluster ~freq_ghz ~cores;
+  let applied =
+    {
+      freq_mhz = Soc.frequency soc cluster;
+      cores = Soc.active_cores soc cluster;
+    }
+  in
   Log.debug (fun m ->
       m "%s: commanded %.3f GHz / %.2f cores, applied %d MHz / %d cores"
         (match cluster with Soc.Big -> "big" | Soc.Little -> "little")

@@ -83,3 +83,11 @@ val apply_cluster :
     pair to one cluster, and return what was actually applied.  The
     applied settings are logged at debug level on the
     ["spectr.manager"] source. *)
+
+val apply_cluster_quiet :
+  Soc.t -> Soc.cluster -> freq_ghz:float -> cores:float -> unit
+(** {!apply_cluster} for the tick path: identical sanitize/quantize/apply
+    behaviour, but no readback record and no debug log (whose message
+    closure allocates even when the level is off).  For managers that do
+    not consume the readback — the guarded actuation check wants
+    {!apply_cluster}. *)

@@ -11,11 +11,23 @@ type phase_metrics = {
   energy_per_heartbeat_j : float;
 }
 
+(* Measurement allowance on the envelope for the compliance/recovery
+   metrics: power counts as compliant up to envelope × 1.02.  This is a
+   *metrology* tolerance — it absorbs sensor quantization and the
+   controller's one-period actuation lag so the §5.1.1 responsiveness
+   numbers aren't dominated by ±1-LSB flutter at the cap.  It is
+   deliberately tighter than the 5 % *safety* guardband the chaos
+   invariants allow (Spectr_chaos.Invariants.default_limits.guardband):
+   an evaluation metric asks "how close to the envelope does the
+   controller regulate", a soak invariant asks "did the chip stay inside
+   the thermal design's safety margin".  Keep the two distinct. *)
+let power_allowance = 1.02
+
 (* First time from which chip power stays at or under the envelope (with
-   a 2 % allowance) for the rest of the phase. *)
+   the [power_allowance] tolerance) for the rest of the phase. *)
 let compliance_time ~envelope ~dt power =
   let n = Array.length power in
-  let limit = envelope *. 1.02 in
+  let limit = envelope *. power_allowance in
   let rec last_violation i acc =
     if i >= n then acc
     else last_violation (i + 1) (if power.(i) <= limit then acc else i)
@@ -38,7 +50,7 @@ let sustained_from ~after pred arr =
   end
 
 let recovery_time ~envelope ~dt ~after power =
-  let limit = envelope *. 1.02 in
+  let limit = envelope *. power_allowance in
   match sustained_from ~after (fun p -> p <= limit) power with
   | None -> None
   | Some i -> Some (float_of_int (i - after) *. dt)

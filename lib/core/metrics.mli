@@ -28,6 +28,15 @@ type phase_metrics = {
           when no heartbeat was delivered. *)
 }
 
+val power_allowance : float
+(** Measurement allowance on the envelope used by {!recovery_time} and
+    the compliance-time metric: power ≤ envelope × [power_allowance]
+    (1.02) counts as compliant.  A metrology tolerance for sensor
+    quantization and actuation lag — intentionally tighter than the 5 %
+    safety guardband of [Spectr_chaos.Invariants.default_limits], which
+    answers a different question (safety margin, not regulation
+    quality). *)
+
 val per_phase : trace:Trace.t -> config:Scenario.config -> phase_metrics list
 (** Steady-state errors use the last 40 % of each phase's samples.
     Phases whose duration rounds to zero controller periods record no
@@ -37,7 +46,8 @@ val recovery_time :
   envelope:float -> dt:float -> after:int -> float array -> float option
 (** Fault-recovery metric: seconds from sample index [after] (e.g. a
     fault's onset or clearance) until chip power drops to — and stays at
-    or under — the envelope (2 % allowance) for the rest of the slice.
+    or under — the envelope ({!power_allowance}) for the rest of the
+    slice.
     [None] when power never re-complies. *)
 
 val reconvergence_time :

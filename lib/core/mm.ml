@@ -5,8 +5,8 @@ let qos_weights = [| 30.; 0.1 |]
 let power_weights = [| 0.1; 30. |]
 let little_power_budget = 0.45
 
-let design_or_fail ident goals =
-  match Design_flow.design_gains ident goals with
+let design_or_fail ~seed subsystem goals =
+  match Design_flow.design_gains_for ~seed subsystem goals with
   | Ok gains -> gains
   | Error msg -> failwith ("Mm: " ^ msg)
 
@@ -21,7 +21,7 @@ let make ~label ~name ?(seed = 17L) () =
   in
   let big =
     Design_flow.build_mimo ident_big
-      ~gains:(design_or_fail ident_big goals)
+      ~gains:(design_or_fail ~seed Design_flow.Big_2x2 goals)
       ~initial:label ~refs:[| 60.; 4. |]
   in
   (* A performance-oriented manager wants the Little cluster fast (it
@@ -31,10 +31,12 @@ let make ~label ~name ?(seed = 17L) () =
   let little_gips_ref = if label = "qos" then 3.0 else 0.0 in
   let little =
     Design_flow.build_mimo ident_little
-      ~gains:(design_or_fail ident_little goals)
+      ~gains:(design_or_fail ~seed Design_flow.Little_2x2 goals)
       ~initial:label
       ~refs:[| little_gips_ref; little_power_budget |]
   in
+  let meas_big = [| 0.; 0. |] and meas_little = [| 0.; 0. |] in
+  let u_big = [| 0.; 0. |] and u_little = [| 0.; 0. |] in
   let step ~now:_ ~qos_ref ~envelope ~obs soc =
     (* The fixed managers still receive the system references; they lack
        coordination, not information. *)
@@ -42,21 +44,16 @@ let make ~label ~name ?(seed = 17L) () =
     Mimo.set_reference big ~index:1
       (Float.max 0.5 (envelope -. little_power_budget));
     Mimo.set_reference little ~index:1 little_power_budget;
-    let u_big =
-      Mimo.step big ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |]
-    in
-    let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1)
-    in
-    let u_little =
-      Mimo.step little
-        ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
-    in
-    let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Little ~freq_ghz:u_little.(0)
-        ~cores:u_little.(1)
-    in
-    ()
+    meas_big.(0) <- obs.Soc.qos_rate;
+    meas_big.(1) <- obs.Soc.big_power;
+    Mimo.step_into big ~measured:meas_big ~dst:u_big;
+    Manager.apply_cluster_quiet soc Soc.Big ~freq_ghz:u_big.(0)
+      ~cores:u_big.(1);
+    meas_little.(0) <- obs.Soc.little_ips /. 1e9;
+    meas_little.(1) <- obs.Soc.little_power;
+    Mimo.step_into little ~measured:meas_little ~dst:u_little;
+    Manager.apply_cluster_quiet soc Soc.Little ~freq_ghz:u_little.(0)
+      ~cores:u_little.(1)
   in
   let persist =
     {

@@ -79,6 +79,9 @@ let fault_columns = columns @ [ "faults"; "true_power" ]
 let steps_of_phase config ph =
   int_of_float (Float.round (ph.duration_s /. config.controller_period))
 
+let total_ticks config =
+  List.fold_left (fun acc ph -> acc + steps_of_phase config ph) 0 config.phases
+
 (* Phase fault windows are phase-relative; fold them into one absolute
    schedule for the whole run. *)
 let fault_schedule config =
@@ -112,6 +115,12 @@ type runner = {
   mutable r_phase : int; (* current phase index, or length when done *)
   mutable r_done_in_phase : int;
   mutable r_tick : int;
+  (* Tick-path buffers, owned by the runner and rewritten in place every
+     tick: the observation handed to the manager (and returned by
+     [tick] — valid until the next tick) and the trace row ([Trace.add]
+     copies it into column storage). *)
+  r_obs : Soc.observation;
+  r_row : float array;
 }
 
 let start config =
@@ -128,8 +137,12 @@ let start config =
   in
   Soc.set_faults soc faults;
   let trace =
+    (* Preallocate the full run's rows: recording then never reallocates
+       column storage mid-run. *)
     Trace.create
+      ~cap:(max 1 (total_ticks config))
       ~columns:(match faults with None -> columns | Some _ -> fault_columns)
+      ()
   in
   (* QoS is observed through the Heartbeats monitor (§5): the application
      issues heartbeats as it completes work and the managers read the
@@ -148,6 +161,12 @@ let start config =
       r_phase = 0;
       r_done_in_phase = 0;
       r_tick = 0;
+      r_obs = Soc.make_observation ();
+      r_row =
+        Array.make
+          (List.length
+             (match faults with None -> columns | Some _ -> fault_columns))
+          0.;
     }
   in
   (* Enter the first non-empty phase, applying the background load of
@@ -172,9 +191,6 @@ let trace r = r.r_trace
 let runner_soc r = r.r_soc
 let runner_faults r = r.r_faults
 let ticks_done r = r.r_tick
-
-let total_ticks config =
-  List.fold_left (fun acc ph -> acc + steps_of_phase config ph) 0 config.phases
 
 let current_phase r =
   let i = min r.r_phase (Array.length r.r_phases - 1) in
@@ -203,52 +219,45 @@ let tick r ~manager =
     let ph = r.r_phases.(r.r_phase) in
     let phase_idx = r.r_phase in
     let soc = r.r_soc in
-    let raw = Soc.step soc ~dt:config.controller_period in
+    let obs = r.r_obs in
+    Soc.step_into soc ~dt:config.controller_period obs;
     (* A stalled heartbeat monitor receives no beats at all; the
        windowed rate then decays to zero while the app still runs. *)
     let stalled =
       match r.r_faults with
       | None -> false
-      | Some f -> Faults.heartbeat_stalled f ~now:raw.Soc.time
+      | Some f -> Faults.heartbeat_stalled f ~now:obs.Soc.time
     in
     if not stalled then
-      Heartbeats.beat r.r_hb ~now:raw.Soc.time
-        ~count:(raw.Soc.qos_rate *. config.controller_period);
-    let obs =
-      { raw with Soc.qos_rate = Heartbeats.rate r.r_hb ~now:raw.Soc.time }
-    in
+      Heartbeats.beat r.r_hb ~now:obs.Soc.time
+        ~count:(obs.Soc.qos_rate *. config.controller_period);
+    (* Managers observe QoS through the windowed heartbeat rate, not the
+       instantaneous sensor (which fed the monitor just above). *)
+    obs.Soc.qos_rate <- Heartbeats.rate r.r_hb ~now:obs.Soc.time;
     manager.Manager.step ~now:obs.Soc.time ~qos_ref:config.qos_ref
       ~envelope:ph.envelope ~obs soc;
-    let base_row =
-      [|
-        obs.Soc.time;
-        obs.Soc.qos_rate;
-        config.qos_ref;
-        obs.Soc.chip_power;
-        ph.envelope;
-        obs.Soc.big_power;
-        obs.Soc.little_power;
-        float_of_int (Soc.frequency soc Soc.Big);
-        float_of_int (Soc.active_cores soc Soc.Big);
-        float_of_int (Soc.frequency soc Soc.Little);
-        float_of_int (Soc.active_cores soc Soc.Little);
-        float_of_int ph.background_tasks;
-        float_of_int phase_idx;
-      |]
-    in
-    let row =
-      match r.r_faults with
-      | None -> base_row
-      | Some f ->
-          (* Under sensor faults the [power] column records what the
-             managers saw (the corrupted reading); [true_power] is
-             the ground truth a safety evaluation must use. *)
-          Array.append base_row
-            [|
-              float_of_int (Faults.active_count f ~now:obs.Soc.time);
-              Soc.true_chip_power soc;
-            |]
-    in
+    let row = r.r_row in
+    row.(0) <- obs.Soc.time;
+    row.(1) <- obs.Soc.qos_rate;
+    row.(2) <- config.qos_ref;
+    row.(3) <- obs.Soc.chip_power;
+    row.(4) <- ph.envelope;
+    row.(5) <- obs.Soc.big_power;
+    row.(6) <- obs.Soc.little_power;
+    row.(7) <- float_of_int (Soc.frequency soc Soc.Big);
+    row.(8) <- float_of_int (Soc.active_cores soc Soc.Big);
+    row.(9) <- float_of_int (Soc.frequency soc Soc.Little);
+    row.(10) <- float_of_int (Soc.active_cores soc Soc.Little);
+    row.(11) <- float_of_int ph.background_tasks;
+    row.(12) <- float_of_int phase_idx;
+    (match r.r_faults with
+    | None -> ()
+    | Some f ->
+        (* Under sensor faults the [power] column records what the
+           managers saw (the corrupted reading); [true_power] is
+           the ground truth a safety evaluation must use. *)
+        row.(13) <- float_of_int (Faults.active_count f ~now:obs.Soc.time);
+        row.(14) <- Soc.true_chip_power soc);
     Trace.add r.r_trace row;
     r.r_done_in_phase <- r.r_done_in_phase + 1;
     r.r_tick <- r.r_tick + 1;

@@ -91,7 +91,11 @@ val tick : runner -> manager:Manager.t -> Soc.observation option
     deliver heartbeats, invoke the manager, record the trace row.
     Returns the observation the manager saw, or [None] when the scenario
     is complete (no step executed).  The manager may differ between
-    ticks. *)
+    ticks.
+
+    The returned observation is the runner's own buffer, rewritten in
+    place by the next [tick] — read it (or copy the fields out) before
+    ticking again; do not stash the record itself. *)
 
 val finished : runner -> bool
 val trace : runner -> Trace.t

@@ -31,18 +31,13 @@ let make ?seed () =
     Pid.set_reference cores_pid (Float.max 0.5 (envelope -. Mm.little_power_budget));
     let freq = 1.0 +. Pid.step qos_pid ~measured:obs.Soc.qos_rate in
     let cores = 2.5 +. Pid.step cores_pid ~measured:obs.Soc.big_power in
-    let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Big
-        ~freq_ghz:(Float.max 0.2 (Float.min 2.0 freq))
-        ~cores:(Float.max 1. (Float.min 4. cores))
-    in
+    Manager.apply_cluster_quiet soc Soc.Big
+      ~freq_ghz:(Float.max 0.2 (Float.min 2.0 freq))
+      ~cores:(Float.max 1. (Float.min 4. cores));
     let lfreq = 0.6 +. Pid.step little_pid ~measured:obs.Soc.little_power in
-    let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Little
-        ~freq_ghz:(Float.max 0.2 (Float.min 1.4 lfreq))
-        ~cores:2.
-    in
-    ()
+    Manager.apply_cluster_quiet soc Soc.Little
+      ~freq_ghz:(Float.max 0.2 (Float.min 1.4 lfreq))
+      ~cores:2.
   in
   let persist =
     {

@@ -7,8 +7,8 @@ let c_steps = Obs.Counters.counter "manager.steps"
 let c_degraded = Obs.Counters.counter "manager.degraded_steps"
 let c_act_mismatch = Obs.Counters.counter "guard.actuation_mismatches"
 
-let design_or_fail ident goals =
-  match Design_flow.design_gains ident goals with
+let design_or_fail ~seed subsystem goals =
+  match Design_flow.design_gains_for ~seed subsystem goals with
   | Ok gains -> gains
   | Error msg -> failwith ("Spectr_manager: " ^ msg)
 
@@ -26,7 +26,7 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
   in
   let big =
     Design_flow.build_mimo ident_big
-      ~gains:(design_or_fail ident_big goals)
+      ~gains:(design_or_fail ~seed Design_flow.Big_2x2 goals)
       ~initial:"qos" ~refs:[| 60.; 4. |]
   in
   (* In QoS mode the Little cluster is kept moderately fast so it can
@@ -34,7 +34,7 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
      its power budget the pinned objective. *)
   let little =
     Design_flow.build_mimo ident_little
-      ~gains:(design_or_fail ident_little goals)
+      ~gains:(design_or_fail ~seed Design_flow.Little_2x2 goals)
       ~initial:"qos"
       ~refs:[| 2.0; 0.3 |]
   in
@@ -56,10 +56,12 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
      the applied OPP/core count read back from the platform must match
      the sanitized expectation. *)
   let actuate guard soc cluster ~freq_ghz ~cores ~now =
-    let applied = Manager.apply_cluster soc cluster ~freq_ghz ~cores in
     match guard with
-    | None -> ()
+    | None ->
+        (* Unguarded tick path: nobody consumes the readback. *)
+        Manager.apply_cluster_quiet soc cluster ~freq_ghz ~cores
     | Some g ->
+        let applied = Manager.apply_cluster soc cluster ~freq_ghz ~cores in
         let table =
           match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little
         in
@@ -74,6 +76,10 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
         if not ok then Obs.Counters.incr c_act_mismatch;
         Guarded.note_actuation g ~now ~ok
   in
+  (* Preallocated measurement/command buffers: the tick path writes them
+     in place instead of building fresh arrays every period. *)
+  let meas_big = [| 0.; 0. |] and meas_little = [| 0.; 0. |] in
+  let u_big = [| 0.; 0. |] and u_little = [| 0.; 0. |] in
   let step ~now ~qos_ref ~envelope ~obs soc =
     Obs.Counters.incr c_steps;
     let qos, big_power, little_power =
@@ -106,11 +112,13 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
           Supervisor.step sup ~qos ~qos_ref ~power:(big_power +. little_power)
             ~envelope;
         incr tick;
-        let u_big = Mimo.step big ~measured:[| qos; big_power |] in
+        meas_big.(0) <- qos;
+        meas_big.(1) <- big_power;
+        Mimo.step_into big ~measured:meas_big ~dst:u_big;
         actuate guards soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1) ~now;
-        let u_little =
-          Mimo.step little ~measured:[| obs.Soc.little_ips /. 1e9; little_power |]
-        in
+        meas_little.(0) <- obs.Soc.little_ips /. 1e9;
+        meas_little.(1) <- little_power;
+        Mimo.step_into little ~measured:meas_little ~dst:u_little;
         actuate guards soc Soc.Little ~freq_ghz:u_little.(0) ~cores:u_little.(1)
           ~now
   in

@@ -156,12 +156,39 @@ let restore t s =
 
 (* --- actions --------------------------------------------------------- *)
 
+(* The runtime engine works purely in event-id space: the ids below are
+   interned once at module load, and every per-step automaton query is
+   an int binary search ({!Automaton.step_index_raw}) — no event lists,
+   no options, no string comparisons on the tick path. *)
+let id_critical = Event.id Events.critical
+let id_above_target = Event.id Events.above_target
+let id_below_target = Event.id Events.below_target
+let id_safe_power = Event.id Events.safe_power
+let id_qos_met = Event.id Events.qos_met
+let id_qos_not_met = Event.id Events.qos_not_met
+let id_power_safe_qos_met = Event.id Events.power_safe_qos_met
+let id_power_safe_qos_not_met = Event.id Events.power_safe_qos_not_met
+let id_switch_power = Event.id Events.switch_power
+let id_switch_qos = Event.id Events.switch_qos
+let id_increase_big_power = Event.id Events.increase_big_power
+let id_decrease_big_power = Event.id Events.decrease_big_power
+let id_increase_little_power = Event.id Events.increase_little_power
+let id_decrease_little_power = Event.id Events.decrease_little_power
+let id_decrease_critical_power = Event.id Events.decrease_critical_power
+let id_control_power = Event.id Events.control_power
+let id_hold_budget = Event.id Events.hold_budget
+
+(* Is [eid] enabled in the current supervisor state?  All candidates the
+   policy probes are controllable by construction, so no
+   controllability filter is needed. *)
+let[@inline] has t eid = Automaton.step_index_raw t.auto t.current eid >= 0
+
 (* The two cluster budgets must jointly respect the envelope: the Big
    budget is clamped to what the Little allocation leaves.  The Little
    cluster rarely draws its full budget, so only 90 % of it is reserved —
    transient overshoots are caught by the critical-event feedback loop
    rather than by static conservatism. *)
-let big_budget_cap t = t.last_envelope -. (0.9 *. t.little_ref)
+let[@inline] big_budget_cap t = t.last_envelope -. (0.9 *. t.little_ref)
 
 let set_big t v =
   let v = Float.max t.config.big_budget_min (Float.min v (big_budget_cap t)) in
@@ -185,104 +212,117 @@ let set_little t v =
         (Obs.Decision_log.Rebudget { target = "little_power_ref"; value = v })
   end
 
-let execute t event =
-  let name = Event.name event in
+let execute t eid =
   Obs.Counters.incr c_fired;
   if Obs.enabled () then
     Obs.Decision_log.record
-      (Obs.Decision_log.Event_fired { event = name; controllable = true });
-  (match name with
-  | "switchPower" ->
-      t.mode <- "power";
-      t.mode_age <- 0;
-      t.commands.switch_gains "power";
-      if Obs.enabled () then
-        Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "power" })
-  | "switchQoS" ->
-      t.mode <- "qos";
-      t.mode_age <- 0;
-      t.commands.switch_gains "qos";
-      if Obs.enabled () then
-        Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "qos" })
-  | "increaseBigPower" -> set_big t (t.big_ref +. t.config.big_budget_step)
-  | "decreaseBigPower" -> set_big t (t.big_ref -. t.config.big_budget_step)
-  | "increaseLittlePower" ->
-      set_little t (t.little_ref +. t.config.little_budget_step);
-      (* a bigger Little allocation shrinks the Big budget cap *)
-      set_big t t.big_ref
-  | "decreaseLittlePower" ->
-      set_little t (t.little_ref -. t.config.little_budget_step)
-  | "decreaseCriticalPower" ->
-      set_big t (t.big_ref *. t.config.critical_cut);
-      set_little t t.config.little_budget_min
-  | "controlPower" ->
-      (* Capping-band bookkeeping: re-clamp budgets to the envelope. *)
-      set_big t t.big_ref;
-      set_little t t.little_ref
-  | "holdBudget" -> ()
-  | _ -> ());
-  match Automaton.step_index t.auto t.current (Event.id event) with
-  | Some next -> t.current <- next
-  | None -> () (* execute is only called on enabled events *)
+      (Obs.Decision_log.Event_fired
+         { event = Event.name (Automaton.event_of_id t.auto eid);
+           controllable = true });
+  (if eid = id_switch_power then begin
+     t.mode <- "power";
+     t.mode_age <- 0;
+     t.commands.switch_gains "power";
+     if Obs.enabled () then
+       Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "power" })
+   end
+   else if eid = id_switch_qos then begin
+     t.mode <- "qos";
+     t.mode_age <- 0;
+     t.commands.switch_gains "qos";
+     if Obs.enabled () then
+       Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "qos" })
+   end
+   else if eid = id_increase_big_power then
+     set_big t (t.big_ref +. t.config.big_budget_step)
+   else if eid = id_decrease_big_power then
+     set_big t (t.big_ref -. t.config.big_budget_step)
+   else if eid = id_increase_little_power then begin
+     set_little t (t.little_ref +. t.config.little_budget_step);
+     (* a bigger Little allocation shrinks the Big budget cap *)
+     set_big t t.big_ref
+   end
+   else if eid = id_decrease_little_power then
+     set_little t (t.little_ref -. t.config.little_budget_step)
+   else if eid = id_decrease_critical_power then begin
+     set_big t (t.big_ref *. t.config.critical_cut);
+     set_little t t.config.little_budget_min
+   end
+   else if eid = id_control_power then begin
+     (* Capping-band bookkeeping: re-clamp budgets to the envelope. *)
+     set_big t t.big_ref;
+     set_little t t.little_ref
+   end
+   else () (* holdBudget and anything unknown: state step only *));
+  let next = Automaton.step_index_raw t.auto t.current eid in
+  if next >= 0 then t.current <- next
+(* execute is only called on enabled events, so next >= 0 in practice *)
 
 (* The budget policy: among the controllable events the supervisor leaves
-   enabled in the current state, pick the most useful one.  Returns None
-   when no enabled controllable remains. *)
+   enabled in the current state, pick the most useful one.  Returns the
+   event id, or [-1] when no enabled controllable remains.  Each [has]
+   probe is one binary search of the current CSR row — the old
+   list-based scan (filter + exists over [enabled_index]) allocated a
+   fresh event list per probe round. *)
 let choose_action t =
-  let enabled =
-    List.filter Event.is_controllable (Automaton.enabled_index t.auto t.current)
-  in
-  let has e = List.exists (Event.equal e) enabled in
   let c = t.config in
   let qos_surplus = t.last_qos -. (t.last_qos_ref *. (1. +. c.qos_tolerance)) in
   let headroom = big_budget_cap t -. t.big_ref in
-  if enabled = [] then None
-  else if has Events.switch_power then Some Events.switch_power
-  else if has Events.decrease_critical_power then
-    Some Events.decrease_critical_power
-  else if has Events.switch_qos && t.mode_age >= c.min_capped_dwell then
-    Some Events.switch_qos
-  else if has Events.increase_big_power && headroom > 0.01 then
-    Some Events.increase_big_power
+  if has t id_switch_power then id_switch_power
+  else if has t id_decrease_critical_power then id_decrease_critical_power
+  else if has t id_switch_qos && t.mode_age >= c.min_capped_dwell then
+    id_switch_qos
+  else if has t id_increase_big_power && headroom > 0.01 then
+    id_increase_big_power
   else if
-    has Events.increase_little_power
+    has t id_increase_little_power
     && t.little_ref < c.little_budget_max -. 0.01
     && headroom <= 0.01
-  then Some Events.increase_little_power
-  else if has Events.decrease_big_power && qos_surplus > 0. then
-    Some Events.decrease_big_power
+  then id_increase_little_power
+  else if has t id_decrease_big_power && qos_surplus > 0. then
+    id_decrease_big_power
   else if
-    has Events.decrease_little_power
+    has t id_decrease_little_power
     && t.little_ref > c.little_budget_min +. 0.01
     && qos_surplus > 0.
-  then Some Events.decrease_little_power
-  else if has Events.control_power then Some Events.control_power
-  else if has Events.hold_budget then Some Events.hold_budget
-  else None
+  then id_decrease_little_power
+  else if has t id_control_power then id_control_power
+  else if has t id_hold_budget then id_hold_budget
+  else -1
 
+(* A counted while-loop (a local [let rec] would allocate a closure
+   over [t] on every call). *)
 let run_controllables t =
-  let rec go budget =
-    if budget > 0 then
-      match choose_action t with
-      | None -> ()
-      | Some e ->
-          execute t e;
-          go (budget - 1)
-  in
-  go t.config.max_actions_per_step
+  let budget = ref t.config.max_actions_per_step in
+  let stop = ref false in
+  while (not !stop) && !budget > 0 do
+    let eid = choose_action t in
+    if eid >= 0 then begin
+      execute t eid;
+      decr budget
+    end
+    else stop := true
+  done
 
 (* Feed one uncontrollable event if the supervisor defines it here. *)
-let feed t event =
-  match Automaton.step_index t.auto t.current (Event.id event) with
-  | Some next ->
-      Obs.Counters.incr c_observed;
-      if Obs.enabled () then
-        Obs.Decision_log.record
-          (Obs.Decision_log.Event_fired
-             { event = Event.name event; controllable = false });
-      t.current <- next;
-      run_controllables t
-  | None -> ()
+let feed t eid =
+  let next = Automaton.step_index_raw t.auto t.current eid in
+  if next >= 0 then begin
+    Obs.Counters.incr c_observed;
+    if Obs.enabled () then
+      Obs.Decision_log.record
+        (Obs.Decision_log.Event_fired
+           { event = Event.name (Automaton.event_of_id t.auto eid);
+             controllable = false });
+    t.current <- next;
+    run_controllables t
+  end
+
+(* Sensor-fault substitution arm of the guard in [do_step]: count the
+   drop, pass the fallback through. *)
+let[@inline] subst v =
+  Obs.Counters.incr c_dropped;
+  v
 
 let do_step t ~qos ~qos_ref ~power ~envelope =
   (* Sensor-fault guard: a non-finite measurement must not poison the
@@ -291,10 +331,6 @@ let do_step t ~qos ~qos_ref ~power ~envelope =
      back to the last trustworthy value — the guarded layer upstream
      normally filters these out, but the supervisor must stay safe even
      when driven bare. *)
-  let subst v =
-    Obs.Counters.incr c_dropped;
-    v
-  in
   let qos = if Float.is_finite qos then qos else subst t.last_qos in
   let qos_ref =
     if Float.is_finite qos_ref then qos_ref else subst t.last_qos_ref
@@ -315,27 +351,25 @@ let do_step t ~qos ~qos_ref ~power ~envelope =
      set_big t t.big_ref
    end);
   let c = t.config in
-  (* Power-band event. *)
-  let power_event =
-    if power > envelope then Some Events.critical
-    else if power > c.capping_target *. envelope then Some Events.above_target
+  (* Power-band event ([-1]: inside the capping band, nothing fires). *)
+  let power_eid =
+    if power > envelope then id_critical
+    else if power > c.capping_target *. envelope then id_above_target
     else if power < c.uncapping_threshold *. envelope then
-      if t.mode = "power" then Some Events.safe_power
-      else Some Events.below_target
-    else None
+      if t.mode = "power" then id_safe_power else id_below_target
+    else -1
   in
-  Option.iter (feed t) power_event;
+  if power_eid >= 0 then feed t power_eid;
   (* QoS event. *)
   let qos_ok = qos >= qos_ref *. (1. -. c.qos_tolerance) in
   let power_ok = power <= envelope in
-  let qos_event =
-    match (power_ok, qos_ok) with
-    | true, true -> Events.power_safe_qos_met
-    | true, false -> Events.power_safe_qos_not_met
-    | false, true -> Events.qos_met
-    | false, false -> Events.qos_not_met
+  let qos_eid =
+    if power_ok then
+      if qos_ok then id_power_safe_qos_met else id_power_safe_qos_not_met
+    else if qos_ok then id_qos_met
+    else id_qos_not_met
   in
-  feed t qos_event;
+  feed t qos_eid;
   (* Give the budget policy a chance even when no event fired. *)
   run_controllables t
 

@@ -60,6 +60,7 @@ let get m i j =
   m.data.((i * m.cols) + j)
 
 let unsafe_get m i j = m.data.((i * m.cols) + j)
+let data m = m.data
 
 let to_arrays m =
   Array.init m.rows (fun i -> Array.init m.cols (fun j -> unsafe_get m i j))
@@ -110,6 +111,68 @@ let mul a b =
     done
   done;
   { rows = a.rows; cols = b.cols; data }
+
+(* In-place variants for preallocated-buffer hot loops (the MIMO tick
+   kernel).  Each checks shapes like its allocating counterpart and
+   performs float-array stores only — no heap allocation.  [mul_into]
+   additionally rejects aliasing of [dst] with an operand, since the
+   accumulation would read partially-overwritten entries; the
+   element-wise ops tolerate aliasing (they are pure pointwise). *)
+
+let add_into ~dst a b =
+  same_shape "add_into" a b;
+  same_shape "add_into" dst a;
+  for k = 0 to Array.length dst.data - 1 do
+    dst.data.(k) <- a.data.(k) +. b.data.(k)
+  done
+
+let sub_into ~dst a b =
+  same_shape "sub_into" a b;
+  same_shape "sub_into" dst a;
+  for k = 0 to Array.length dst.data - 1 do
+    dst.data.(k) <- a.data.(k) -. b.data.(k)
+  done
+
+let scale_into ~dst s m =
+  same_shape "scale_into" dst m;
+  for k = 0 to Array.length dst.data - 1 do
+    dst.data.(k) <- s *. m.data.(k)
+  done
+
+let neg_into ~dst m =
+  same_shape "neg_into" dst m;
+  for k = 0 to Array.length dst.data - 1 do
+    dst.data.(k) <- -.m.data.(k)
+  done
+
+let copy_into ~dst m =
+  same_shape "copy_into" dst m;
+  Array.blit m.data 0 dst.data 0 (Array.length m.data)
+
+let mul_into ~dst a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Matrix.mul_into: %dx%d * %dx%d" a.rows a.cols b.rows
+         b.cols);
+  if dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix.mul_into: dst %dx%d for %dx%d product" dst.rows
+         dst.cols a.rows b.cols);
+  if dst.data == a.data || dst.data == b.data then
+    invalid_arg "Matrix.mul_into: dst aliases an operand";
+  (* Same loop nest and accumulation order as [mul], so results are
+     bit-identical to the allocating path. *)
+  Array.fill dst.data 0 (Array.length dst.data) 0.;
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          dst.data.((i * b.cols) + j) <-
+            dst.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done
 
 let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> unsafe_get m j i)
 

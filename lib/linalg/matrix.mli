@@ -78,6 +78,36 @@ val transpose : t -> t
 val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
 
+(** {2 In-place variants}
+
+    Preallocated-destination versions of the core algebra for
+    allocation-free hot loops.  [dst] must already have the result's
+    shape; dimension mismatches raise [Invalid_argument] exactly as in
+    the allocating versions.  Results are bit-identical to their
+    allocating counterparts (same accumulation order). *)
+
+val add_into : dst:t -> t -> t -> unit
+val sub_into : dst:t -> t -> t -> unit
+val scale_into : dst:t -> float -> t -> unit
+val neg_into : dst:t -> t -> unit
+
+val copy_into : dst:t -> t -> unit
+(** Overwrite [dst] with a copy of the argument. *)
+
+val data : t -> float array
+(** The backing store, row-major ([a_ij] at index [i*cols + j]; a column
+    vector is just indices [0..rows-1]).  The escape hatch for
+    zero-allocation kernels that read or write elements in a loop —
+    [get]/[init] are cross-module calls whose boxed float returns the
+    tick path cannot afford.  Writes alias the matrix; mutate with
+    care. *)
+
+val mul_into : dst:t -> t -> t -> unit
+(** Matrix product into [dst].  Raises [Invalid_argument] if [dst]
+    aliases either operand (the accumulation would read
+    partially-written entries); the element-wise [_into] ops above
+    tolerate aliasing. *)
+
 val hcat : t -> t -> t
 (** Horizontal concatenation [\[a b\]]. *)
 

@@ -14,6 +14,11 @@ val create : int64 -> t
 val copy : t -> t
 (** Independent clone continuing from the same state. *)
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s state with [src]'s without allocating.  Afterwards
+    both generators produce the same stream (and then diverge as they
+    are advanced independently). *)
+
 val split : t -> t
 (** A new generator statistically independent from the parent (the parent
     advances). *)
@@ -29,6 +34,21 @@ val uniform : t -> lo:float -> hi:float -> float
 
 val gaussian : t -> mu:float -> sigma:float -> float
 (** Normal sample via Box–Muller. *)
+
+val skip_gaussian : t -> unit
+(** Advance the state exactly as one [gaussian] call would — same number
+    of underlying draws, bit-identical subsequent stream — without
+    computing the transcendental-heavy sample itself.  Used by hot paths
+    to defer draws whose values may never be consumed: save the state
+    with [copy]/[blit] first, skip, and replay with [gaussian] on the
+    saved state only if the value is actually needed. *)
+
+val noisy_into : t -> sigma:float -> dst:float array -> pos:int -> len:int -> unit
+(** Multiply each of [dst.(pos)..dst.(pos+len-1)] in place by
+    [1. +. gaussian ~mu:0. ~sigma], drawing in ascending index order;
+    when [sigma <= 0.] the state does not advance and [dst] is left
+    untouched.  Bit-identical to the equivalent per-element [gaussian]
+    calls, but returns [unit] so hot paths pay no float-return boxing. *)
 
 val bool : t -> bool
 

@@ -1,6 +1,6 @@
 open Spectr_linalg
 
-type sensor = Power | Qos
+type sensor = Power | Qos | Temp
 
 type kind =
   | Dropout of sensor
@@ -39,6 +39,7 @@ type t = {
   mutable last_power_big : float;
   mutable last_power_little : float;
   mutable last_qos : float;
+  mutable last_temp : float;
 }
 
 let create ?(seed = 0xFA17L) injections =
@@ -51,6 +52,7 @@ let create ?(seed = 0xFA17L) injections =
     last_power_big = 0.;
     last_power_little = 0.;
     last_qos = 0.;
+    last_temp = 0.;
   }
 
 let injections t = t.injections
@@ -91,24 +93,54 @@ let apply_sensor t ~now ~sensor ~get_last ~set_last v =
     spiked
   end
 
+(* The [] fast paths keep the empty-schedule tick kernel allocation-free:
+   [apply_sensor] builds get/set closures and a fold closure per call,
+   which is fine under active chaos campaigns but would dominate the
+   steady-state budget.  With no injections the slow path reduces to
+   "record last healthy reading, return v", which is what each fast path
+   does directly. *)
+
 let apply_power t ~now ~channel v =
-  let get_last, set_last =
-    match channel with
-    | `Big ->
-        ((fun () -> t.last_power_big), fun v -> t.last_power_big <- v)
-    | `Little ->
-        ((fun () -> t.last_power_little), fun v -> t.last_power_little <- v)
-  in
-  apply_sensor t ~now ~sensor:Power ~get_last ~set_last v
+  match t.injections with
+  | [] ->
+      (match channel with
+      | `Big -> t.last_power_big <- v
+      | `Little -> t.last_power_little <- v);
+      v
+  | _ :: _ ->
+      let get_last, set_last =
+        match channel with
+        | `Big ->
+            ((fun () -> t.last_power_big), fun v -> t.last_power_big <- v)
+        | `Little ->
+            ((fun () -> t.last_power_little), fun v -> t.last_power_little <- v)
+      in
+      apply_sensor t ~now ~sensor:Power ~get_last ~set_last v
 
 let apply_qos t ~now v =
-  let v =
-    apply_sensor t ~now ~sensor:Qos
-      ~get_last:(fun () -> t.last_qos)
-      ~set_last:(fun v -> t.last_qos <- v)
+  match t.injections with
+  | [] ->
+      t.last_qos <- v;
       v
-  in
-  if heartbeat_stalled t ~now then 0. else v
+  | _ :: _ ->
+      let v =
+        apply_sensor t ~now ~sensor:Qos
+          ~get_last:(fun () -> t.last_qos)
+          ~set_last:(fun v -> t.last_qos <- v)
+          v
+      in
+      if heartbeat_stalled t ~now then 0. else v
+
+let apply_temp t ~now v =
+  match t.injections with
+  | [] ->
+      t.last_temp <- v;
+      v
+  | _ :: _ ->
+      apply_sensor t ~now ~sensor:Temp
+        ~get_last:(fun () -> t.last_temp)
+        ~set_last:(fun v -> t.last_temp <- v)
+        v
 
 let shift injections ~by =
   List.map
@@ -117,11 +149,15 @@ let shift injections ~by =
 
 (* --- textual serialization (reproducer artifacts) -------------------- *)
 
-let sensor_to_string = function Power -> "power" | Qos -> "qos"
+let sensor_to_string = function
+  | Power -> "power"
+  | Qos -> "qos"
+  | Temp -> "temp"
 
 let sensor_of_string = function
   | "power" -> Power
   | "qos" -> Qos
+  | "temp" -> Temp
   | s -> invalid_arg (Printf.sprintf "Faults.sensor_of_string: %S" s)
 
 (* %.17g round-trips every finite double exactly. *)

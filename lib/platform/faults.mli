@@ -26,7 +26,9 @@
     SoC's), so a run with an empty — or never-active — schedule is
     bit-identical to a run with no schedule at all. *)
 
-type sensor = Power | Qos  (** Which sensor class a sensor fault hits. *)
+type sensor = Power | Qos | Temp
+(** Which sensor class a sensor fault hits ([Temp] is the die-temperature
+    sensor). *)
 
 type kind =
   | Dropout of sensor  (** The sensor reads 0 (dead line). *)
@@ -87,6 +89,11 @@ val apply_power : t -> now:float -> channel:[ `Big | `Little ] -> float -> float
     readings). *)
 
 val apply_qos : t -> now:float -> float -> float
+
+val apply_temp : t -> now:float -> float -> float
+(** Temperature-sensor channel: previously the one sensor the fault
+    layer could not reach, which made thermal-envelope chaos scenarios
+    vacuous. *)
 
 val shift : injection list -> by:float -> injection list
 (** Shift every window [by] seconds (used to turn phase-relative

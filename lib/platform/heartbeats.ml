@@ -1,33 +1,77 @@
+(* Samples live in a circular buffer of parallel (time, count) float
+   arrays.  The predecessor kept a newest-first cons list, which
+   allocated a pair and a cons cell on every beat and rebuilt the list
+   on every [rate] call; the ring makes both operations allocation-free
+   in steady state (the buffer only grows when more samples than ever
+   before are simultaneously inside the window).  [rate] reproduces the
+   list version bit-for-bit: expired samples are dropped from the old
+   end, and the sum is accumulated newest-to-oldest in the same float
+   addition order as the fold over the newest-first list. *)
+
 type t = {
   window : float;
   mutable reference : float;
   mutable total : float;
-  mutable samples : (float * float) list; (* (time, count), newest first *)
+  mutable times : float array; (* circular, parallel to counts *)
+  mutable counts : float array;
+  mutable head : int; (* index of the oldest live sample *)
+  mutable len : int; (* live samples *)
   mutable last_time : float;
 }
+
+let initial_cap = 64
 
 let create ?(window = 0.5) ~reference () =
   if window <= 0. then invalid_arg "Heartbeats.create: window <= 0";
   if reference <= 0. then invalid_arg "Heartbeats.create: reference <= 0";
-  { window; reference; total = 0.; samples = []; last_time = neg_infinity }
+  {
+    window;
+    reference;
+    total = 0.;
+    times = Array.make initial_cap 0.;
+    counts = Array.make initial_cap 0.;
+    head = 0;
+    len = 0;
+    last_time = neg_infinity;
+  }
+
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0. in
+  let counts = Array.make (2 * cap) 0. in
+  for k = 0 to t.len - 1 do
+    let i = (t.head + k) mod cap in
+    times.(k) <- t.times.(i);
+    counts.(k) <- t.counts.(i)
+  done;
+  t.times <- times;
+  t.counts <- counts;
+  t.head <- 0
 
 let beat t ~now ~count =
   if now < t.last_time then invalid_arg "Heartbeats.beat: time went backwards";
   t.last_time <- now;
   t.total <- t.total +. count;
-  t.samples <- (now, count) :: t.samples
+  if t.len = Array.length t.times then grow t;
+  let i = (t.head + t.len) mod Array.length t.times in
+  t.times.(i) <- now;
+  t.counts.(i) <- count;
+  t.len <- t.len + 1
 
 let rate t ~now =
   let cutoff = now -. t.window in
-  (* Drop samples older than the window (list is newest-first). *)
-  let rec keep acc = function
-    | [] -> List.rev acc
-    | (time, _) :: _ when time <= cutoff -> List.rev acc
-    | s :: rest -> keep (s :: acc) rest
-  in
-  t.samples <- keep [] t.samples;
-  let sum = List.fold_left (fun acc (_, c) -> acc +. c) 0. t.samples in
-  sum /. t.window
+  let cap = Array.length t.times in
+  (* Beat times are non-decreasing, so expired samples form a prefix at
+     the old end. *)
+  while t.len > 0 && t.times.(t.head) <= cutoff do
+    t.head <- (t.head + 1) mod cap;
+    t.len <- t.len - 1
+  done;
+  let sum = ref 0. in
+  for k = t.len - 1 downto 0 do
+    sum := !sum +. t.counts.((t.head + k) mod cap)
+  done;
+  !sum /. t.window
 
 let reference t = t.reference
 

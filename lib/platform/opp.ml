@@ -1,4 +1,9 @@
-type t = { name : string; freqs_mhz : int array; volts : float array }
+type t = {
+  name : string;
+  freqs_mhz : int array;
+  volts : float array;
+  uniform_step_mhz : int; (* common gap when evenly spaced, else 0 *)
+}
 
 let create ~name ~points =
   if points = [] then invalid_arg "Opp.create: empty table";
@@ -12,7 +17,22 @@ let create ~name ~points =
   Array.iter
     (fun v -> if v <= 0. then invalid_arg "Opp.create: voltage must be positive")
     volts;
-  { name; freqs_mhz = freqs; volts }
+  (* Real cpufreq tables (and both built-in ramps) are evenly spaced;
+     detecting that once here lets [nearest]/[index] run in O(1) on the
+     actuation path instead of scanning the table. *)
+  let uniform_step_mhz =
+    let n = Array.length freqs in
+    if n < 2 then 0
+    else begin
+      let step = freqs.(1) - freqs.(0) in
+      let ok = ref true in
+      for i = 2 to n - 1 do
+        if freqs.(i) - freqs.(i - 1) <> step then ok := false
+      done;
+      if !ok then step else 0
+    end
+  in
+  { name; freqs_mhz = freqs; volts; uniform_step_mhz }
 
 (* Linear voltage ramps approximating the Exynos 5422 tables. *)
 let ramp ~name ~lo_mhz ~hi_mhz ~lo_v ~hi_v =
@@ -32,7 +52,7 @@ let min_freq t = t.freqs_mhz.(0)
 let max_freq t = t.freqs_mhz.(Array.length t.freqs_mhz - 1)
 let num_points t = Array.length t.freqs_mhz
 
-let nearest t f_mhz =
+let nearest_scan t f_mhz =
   let best = ref t.freqs_mhz.(0) in
   let best_d = ref (abs_float (float_of_int !best -. f_mhz)) in
   Array.iter
@@ -45,13 +65,46 @@ let nearest t f_mhz =
     t.freqs_mhz;
   !best
 
+let nearest t f_mhz =
+  let n = Array.length t.freqs_mhz in
+  if t.uniform_step_mhz > 0 && n > 1 && Float.is_finite f_mhz then begin
+    (* The nearest grid point is the floor cell's endpoint or its
+       successor; comparing those two distances reproduces the scan's
+       tie-break (strict [<] keeps the earlier, i.e. lower, frequency). *)
+    let lo = float_of_int t.freqs_mhz.(0) in
+    let step = float_of_int t.uniform_step_mhz in
+    let k = int_of_float (floor ((f_mhz -. lo) /. step)) in
+    let k = if k < 0 then 0 else if k > n - 2 then n - 2 else k in
+    let fk = t.freqs_mhz.(k) in
+    let fk1 = t.freqs_mhz.(k + 1) in
+    if abs_float (float_of_int fk -. f_mhz)
+       <= abs_float (float_of_int fk1 -. f_mhz)
+    then fk
+    else fk1
+  end
+  else nearest_scan t f_mhz
+
 let index t f =
-  let rec find i =
-    if i >= Array.length t.freqs_mhz then
-      invalid_arg (Printf.sprintf "Opp.index: %d MHz not an OPP of %s" f t.name)
-    else if t.freqs_mhz.(i) = f then i
-    else find (i + 1)
+  let not_an_opp () =
+    invalid_arg (Printf.sprintf "Opp.index: %d MHz not an OPP of %s" f t.name)
   in
-  find 0
+  if t.uniform_step_mhz > 0 then begin
+    let off = f - t.freqs_mhz.(0) in
+    let k = off / t.uniform_step_mhz in
+    if
+      off >= 0
+      && off mod t.uniform_step_mhz = 0
+      && k < Array.length t.freqs_mhz
+    then k
+    else not_an_opp ()
+  end
+  else begin
+    let rec find i =
+      if i >= Array.length t.freqs_mhz then not_an_opp ()
+      else if t.freqs_mhz.(i) = f then i
+      else find (i + 1)
+    in
+    find 0
+  end
 
 let voltage t f = t.volts.(index t f)

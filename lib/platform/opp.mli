@@ -10,6 +10,10 @@ type t = private {
   name : string;
   freqs_mhz : int array;  (** Ascending available frequencies. *)
   volts : float array;  (** Supply voltage at each OPP. *)
+  uniform_step_mhz : int;
+      (** Common gap in MHz when the table is evenly spaced (both
+          built-in ramps are), 0 otherwise.  Evenly spaced tables get
+          O(1) {!nearest}/{!index}/{!voltage}. *)
 }
 
 val create : name:string -> points:(int * float) list -> t

@@ -25,6 +25,10 @@ val params :
   params
 (** Raises [Invalid_argument] on negative values. *)
 
+val v0 : float
+(** Reference voltage V₀ (0.9 V) of the leakage term — exported so the
+    inlined tick kernel and this model stay calibrated identically. *)
+
 val big_params : params
 (** Cortex-A15 cluster calibration. *)
 

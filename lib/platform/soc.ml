@@ -11,6 +11,7 @@ type config = {
   power_noise : float;
   qos_noise : float;
   ips_noise : float;
+  temp_noise : float;
   background_task_util : float;
   ambient_c : float;
   thermal_resistance : float;
@@ -23,64 +24,151 @@ let default_config =
     power_noise = 0.015;
     qos_noise = 0.02;
     ips_noise = 0.05;
+    temp_noise = 0.01;
     background_task_util = 0.6;
     ambient_c = 30.;
     thermal_resistance = 8.;
     thermal_tau = 3.;
   }
 
+(* All-float and all-mutable: the record is flat, so [step_into] fills it
+   with unboxed stores and a steady-state tick allocates nothing. *)
 type observation = {
-  time : float;
-  big_power : float;
-  little_power : float;
-  chip_power : float;
-  qos_rate : float;
-  big_ips : float;
-  little_ips : float;
-  per_core_ips : float array;
-  temperature_c : float;
+  mutable time : float;
+  mutable big_power : float;
+  mutable little_power : float;
+  mutable chip_power : float;
+  mutable qos_rate : float;
+  mutable little_ips : float;
+  mutable temperature_c : float;
+}
+
+let make_observation () =
+  {
+    time = 0.;
+    big_power = 0.;
+    little_power = 0.;
+    chip_power = 0.;
+    qos_rate = 0.;
+    little_ips = 0.;
+    temperature_c = 0.;
+  }
+
+(* Hot mutable floats live in their own all-float record: a float store
+   into a mixed record boxes the value, an all-float record is flat. *)
+type hot = {
+  mutable now : float;
+  mutable temperature_c : float;
+  mutable big_volt : float;
+  mutable little_volt : float;
 }
 
 type t = {
   config : config;
   qos : Workload.t;
   rng : Prng.t;
-  mutable now : float;
+  hot : hot;
   mutable big_freq : int;
   mutable little_freq : int;
   mutable big_active : int;
   mutable little_active : int;
   idle : float array; (* 8 entries *)
   mutable n_background : int;
-  mutable temperature_c : float;
   mutable faults : Faults.t option;
   mutable obs_active_faults : int;
       (* injections active at the previous step, for onset/clearance
          decisions; only maintained while observability is enabled *)
+  (* CPI-law coefficients cached per cluster so the kernel never crosses
+     a module boundary for a float result on the tick path. *)
+  big_a : float;
+  big_b : float;
+  little_a : float;
+  little_b : float;
+  (* Workload phase table flattened to parallel arrays: [ph_end.(i)] is
+     the cumulative end time of phase i (the last entry is never
+     consulted — the final phase repeats, as in [Workload.phase_at]). *)
+  ph_end : float array;
+  ph_pf : float array;
+  ph_ds : float array;
+  (* Scratch for the sensor draws: big power, little power, qos, temp. *)
+  sens : float array;
+  (* Per-core PMU readings are skipped, not drawn, on the hot path (no
+     scenario column consumes them): [raw_ips] holds the noise-free
+     values, [ips_snap] the generator state just before the eight
+     per-core draws, and {!per_core_ips}/{!big_ips} replay the exact
+     draws on demand into [noisy_ips]. *)
+  raw_ips : float array;
+  noisy_ips : float array;
+  ips_snap : Prng.t;
+  scratch_rng : Prng.t;
+  mutable ips_done : bool;
 }
 
 let create ?(config = default_config) ~qos () =
+  let big_a, big_b = Perf_model.cpi_coefficients qos Perf_model.Big in
+  let little_a, little_b = Perf_model.cpi_coefficients qos Perf_model.Little in
+  (* Flatten the phase list, replicating [Workload.phase_at]'s cumulative
+     boundary arithmetic exactly (left-to-right [+.] over durations). *)
+  let ph_end, ph_pf, ph_ds =
+    match qos.Workload.phases with
+    | [] ->
+        ( [| infinity |],
+          [| qos.Workload.parallel_fraction |],
+          [| 1. |] )
+    | phases ->
+        let n = List.length phases in
+        let ends = Array.make n 0. in
+        let pfs = Array.make n 0. in
+        let dss = Array.make n 0. in
+        let elapsed = ref 0. in
+        List.iteri
+          (fun i (ph : Workload.phase) ->
+            elapsed := !elapsed +. ph.Workload.duration_s;
+            ends.(i) <- !elapsed;
+            pfs.(i) <- ph.Workload.parallel_fraction;
+            dss.(i) <- ph.Workload.demand_scale)
+          phases;
+        (ends, pfs, dss)
+  in
   {
     config;
     qos;
     rng = Prng.create config.seed;
-    now = 0.;
+    hot =
+      {
+        now = 0.;
+        temperature_c = config.ambient_c;
+        big_volt = Opp.voltage Opp.big 1000;
+        little_volt = Opp.voltage Opp.little 1000;
+      };
     big_freq = 1000;
     little_freq = 1000;
     big_active = 4;
     little_active = 4;
     idle = Array.make 8 0.;
     n_background = 0;
-    temperature_c = config.ambient_c;
     faults = None;
     obs_active_faults = 0;
+    big_a;
+    big_b;
+    little_a;
+    little_b;
+    ph_end;
+    ph_pf;
+    ph_ds;
+    sens = Array.make 4 0.;
+    raw_ips = Array.make 8 0.;
+    noisy_ips = Array.make 8 0.;
+    ips_snap = Prng.create config.seed;
+    scratch_rng = Prng.create config.seed;
+    ips_done = true;
   }
 
 let set_faults soc faults = soc.faults <- faults
 let faults soc = soc.faults
 
 let fault_active soc pred =
-  match soc.faults with None -> false | Some f -> pred f ~now:soc.now
+  match soc.faults with None -> false | Some f -> pred f ~now:soc.hot.now
 
 let table = function Big -> Opp.big | Little -> Opp.little
 
@@ -91,8 +179,16 @@ let set_frequency soc cluster f_mhz =
   else begin
     let f = Opp.nearest (table cluster) f_mhz in
     (match cluster with
-    | Big -> soc.big_freq <- f
-    | Little -> soc.little_freq <- f);
+    | Big ->
+        if f <> soc.big_freq then begin
+          soc.big_freq <- f;
+          soc.hot.big_volt <- Opp.voltage Opp.big f
+        end
+    | Little ->
+        if f <> soc.little_freq then begin
+          soc.little_freq <- f;
+          soc.hot.little_volt <- Opp.voltage Opp.little f
+        end);
     f
   end
 
@@ -121,8 +217,8 @@ let set_background_tasks soc n =
   soc.n_background <- n
 
 let background_tasks soc = soc.n_background
-let time soc = soc.now
-let temperature soc = soc.temperature_c
+let time soc = soc.hot.now
+let temperature soc = soc.hot.temperature_c
 
 (* --- internal physics ------------------------------------------------ *)
 
@@ -177,9 +273,9 @@ let qos_effective_cores soc =
 let complexity_factor soc =
   1.
   +. soc.qos.Workload.complexity_wobble
-     *. sin (2. *. Float.pi *. soc.now /. 8.)
+     *. sin (2. *. Float.pi *. soc.hot.now /. 8.)
 
-let current_phase soc = Workload.phase_at soc.qos soc.now
+let current_phase soc = Workload.phase_at soc.qos soc.hot.now
 
 let qos_ips_now soc =
   let phase = current_phase soc in
@@ -222,44 +318,28 @@ let cluster_power_now soc cluster =
 let true_chip_power soc =
   cluster_power_now soc Big +. cluster_power_now soc Little
 
-(* Per-core IPS for the PMU readings.  The cluster throughput is spread
-   over the active cores proportionally to their non-idled capacity. *)
-let per_core_ips_now soc =
-  let result = Array.make 8 0. in
-  let big_cap = capacity soc Big in
-  let big_total = qos_ips_now soc in
-  let little_bg, big_bg = background_placement soc in
-  (* background work on Big runs at the core's native (contended) rate *)
-  let bg_big_ips =
-    big_bg
-    *. Perf_model.core_ips ~busy_cores:big_cap soc.qos Perf_model.Big
-         ~freq_mhz:soc.big_freq
-  in
-  for i = 0 to soc.big_active - 1 do
-    let share = if big_cap > 0. then (1. -. soc.idle.(i)) /. big_cap else 0. in
-    result.(i) <- share *. (big_total +. bg_big_ips)
-  done;
-  let little_cap = capacity soc Little in
-  let little_ips_total =
-    little_bg
-    *. Perf_model.core_ips ~busy_cores:(Float.max 1. little_bg) soc.qos
-         Perf_model.Little ~freq_mhz:soc.little_freq
-  in
-  for i = 0 to soc.little_active - 1 do
-    let share =
-      if little_cap > 0. then (1. -. soc.idle.(4 + i)) /. little_cap else 0.
-    in
-    result.(4 + i) <- share *. little_ips_total
-  done;
-  result
+(* --- tick kernel ------------------------------------------------------ *)
 
-let noisy soc sigma_rel v =
-  if sigma_rel <= 0. then v
-  else v *. (1. +. Prng.gaussian soc.rng ~mu:0. ~sigma:sigma_rel)
+(* Bound on |z| of a Box–Muller sample: u1 >= 2^-53, so
+   |z| <= sqrt(2·53·ln 2) < 8.572.  When sigma·8.572 < 1 a zero raw
+   reading stays exactly +0.0 after multiplicative noise (1 + g > 0), so
+   the draw need not be materialized to know its result. *)
+let z_bound = 8.572
 
-let step soc ~dt =
+(* The per-tick physics and sensor model, written as one monolithic body
+   over unboxed locals.  Every expression replicates the corresponding
+   helper above token-for-token (same literals, same association), so
+   the kernel's observations are bit-identical to the pre-kernel
+   implementation that composed [Perf_model]/[Power_model] calls — the
+   scenario CSV digests pin this.  Cross-module calls on this path
+   either return unit/int or are replaced by cached state ([big_a..],
+   [hot.big_volt], [ph_*]): without the optimizing native backend a
+   cross-module float return boxes ~16 B per call. *)
+let step_into soc ~dt obs =
   if dt <= 0. then invalid_arg "Soc.step: dt <= 0";
-  soc.now <- soc.now +. dt;
+  let c = soc.config in
+  let hot = soc.hot in
+  hot.now <- hot.now +. dt;
   if Obs.enabled () then begin
     (* One simulated controller period advances the deterministic obs
        clock by one tick; this never feeds back into the physics. *)
@@ -268,7 +348,7 @@ let step soc ~dt =
     match soc.faults with
     | None -> ()
     | Some f ->
-        let active = Faults.active_count f ~now:soc.now in
+        let active = Faults.active_count f ~now:hot.now in
         if active > 0 && soc.obs_active_faults = 0 then
           Obs.Decision_log.record (Obs.Decision_log.Fault { active; onset = true })
         else if active = 0 && soc.obs_active_faults > 0 then
@@ -276,44 +356,226 @@ let step soc ~dt =
             (Obs.Decision_log.Fault { active = 0; onset = false });
         soc.obs_active_faults <- active
   end;
+  let now = hot.now in
+  (* Workload phase (flattened [Workload.phase_at]). *)
+  let np = Array.length soc.ph_end in
+  let pi = ref 0 in
+  while !pi < np - 1 && not (now < soc.ph_end.(!pi)) do
+    incr pi
+  done;
+  let ph_pf = soc.ph_pf.(!pi) in
+  let ph_ds = soc.ph_ds.(!pi) in
+  (* Cluster capacities after idle injection ([capacity]). *)
+  let big_cap =
+    let c = ref 0. in
+    for i = 0 to soc.big_active - 1 do
+      c := !c +. (1. -. soc.idle.(i))
+    done;
+    !c
+  in
+  let little_cap =
+    let c = ref 0. in
+    for i = 0 to soc.little_active - 1 do
+      c := !c +. (1. -. soc.idle.(4 + i))
+    done;
+    !c
+  in
+  (* HMP background placement ([background_placement]). *)
+  let demand = float_of_int soc.n_background *. c.background_task_util in
+  let little_bg = Float.min demand little_cap in
+  let spill = demand -. little_bg in
+  let big_bg =
+    if spill <= 0. then 0.
+    else begin
+      let share = big_cap *. spill /. (qos_threads +. spill) in
+      Float.min spill share
+    end
+  in
+  (* QoS application throughput ([qos_ips_now] with [Perf_model]'s
+     core_ips/cluster_ips and [Workload.amdahl_speedup] inlined). *)
+  let qos_eff = Float.max 0.1 (big_cap -. big_bg) in
+  let f_big_ghz = float_of_int soc.big_freq /. 1000. in
+  let kappa_eff =
+    1. +. (Perf_model.contention *. Float.max 0. (qos_eff -. 1.))
+  in
+  let core_ips_big =
+    f_big_ghz *. 1e9 /. (soc.big_a +. (soc.big_b *. kappa_eff *. f_big_ghz))
+  in
+  let amdahl = 1. /. (1. -. ph_pf +. (ph_pf /. qos_eff)) in
+  let qos_ips = core_ips_big *. amdahl in
+  (* True heartbeat rate ([true_qos_rate] with [complexity_factor]). *)
+  let complexity =
+    (* With no wobble the sine is multiplied by zero: 1. +. (0. *. s)
+       is exactly 1. for any finite s, so the transcendental is free to
+       skip. *)
+    let wobble = soc.qos.Workload.complexity_wobble in
+    if wobble = 0. then 1.
+    else 1. +. (wobble *. sin (2. *. Float.pi *. now /. 8.))
+  in
+  let true_qos =
+    qos_ips
+    /. (soc.qos.Workload.instructions_per_heartbeat *. ph_ds *. complexity)
+  in
+  (* Cluster powers ([cluster_power_now] with [Power_model.cluster_power]
+     inlined over the cached OPP voltages). *)
+  let util_big =
+    if soc.big_active = 0 then 0.
+    else Float.min 1. (big_cap /. float_of_int soc.big_active)
+  in
+  let util_little =
+    if soc.little_active = 0 then 0.
+    else Float.min 1. (little_bg /. float_of_int soc.little_active)
+  in
+  let p_big =
+    let p = Power_model.big_params in
+    let v = hot.big_volt in
+    let dynamic = p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_big_ghz *. util_big in
+    let leak =
+      p.Power_model.leak_w_per_core *. (v /. Power_model.v0) *. (v /. Power_model.v0)
+    in
+    (float_of_int soc.big_active *. (dynamic +. leak))
+    +. (float_of_int (4 - soc.big_active) *. p.Power_model.gated_w_per_core)
+    +. p.Power_model.uncore_w
+  in
+  let f_little_ghz = float_of_int soc.little_freq /. 1000. in
+  let p_little =
+    let p = Power_model.little_params in
+    let v = hot.little_volt in
+    let dynamic =
+      p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_little_ghz *. util_little
+    in
+    let leak =
+      p.Power_model.leak_w_per_core *. (v /. Power_model.v0) *. (v /. Power_model.v0)
+    in
+    (float_of_int soc.little_active *. (dynamic +. leak))
+    +. (float_of_int (4 - soc.little_active) *. p.Power_model.gated_w_per_core)
+    +. p.Power_model.uncore_w
+  in
   (* First-order thermal RC: the die relaxes toward ambient + R_th * P
      with time constant tau. *)
-  let c = soc.config in
-  let t_target = c.ambient_c +. (c.thermal_resistance *. true_chip_power soc) in
+  let t_target = c.ambient_c +. (c.thermal_resistance *. (p_big +. p_little)) in
   let alpha = Float.min 1. (dt /. c.thermal_tau) in
-  soc.temperature_c <- soc.temperature_c +. (alpha *. (t_target -. soc.temperature_c));
-  let big_power = noisy soc soc.config.power_noise (cluster_power_now soc Big) in
-  let little_power =
-    noisy soc soc.config.power_noise (cluster_power_now soc Little)
+  hot.temperature_c <- hot.temperature_c +. (alpha *. (t_target -. hot.temperature_c));
+  (* Sensor noise, drawn in the fixed stream order big power, little
+     power, qos, 8 per-core IPS, temperature.  Values round-trip through
+     [sens] (unboxed float-array traffic) so the unit-returning
+     [Prng.noisy_into] can write them. *)
+  let sens = soc.sens in
+  sens.(0) <- p_big;
+  sens.(1) <- p_little;
+  sens.(2) <- true_qos;
+  Prng.noisy_into soc.rng ~sigma:c.power_noise ~dst:sens ~pos:0 ~len:2;
+  Prng.noisy_into soc.rng ~sigma:c.qos_noise ~dst:sens ~pos:2 ~len:1;
+  (* Noise-free per-core IPS ([per_core_ips_now] of the pre-kernel SoC):
+     cluster throughput spread over active cores proportionally to their
+     non-idled capacity; background work on Big runs at the core's
+     native (contended) rate. *)
+  let raw = soc.raw_ips in
+  Array.fill raw 0 8 0.;
+  let kappa_big_cap =
+    1. +. (Perf_model.contention *. Float.max 0. (big_cap -. 1.))
   in
-  let qos_rate = noisy soc soc.config.qos_noise (true_qos_rate soc) in
-  let per_core =
-    Array.map (fun v -> noisy soc soc.config.ips_noise v) (per_core_ips_now soc)
+  let bg_big_ips =
+    big_bg
+    *. (f_big_ghz *. 1e9
+       /. (soc.big_a +. (soc.big_b *. kappa_big_cap *. f_big_ghz)))
   in
+  for i = 0 to soc.big_active - 1 do
+    let share = if big_cap > 0. then (1. -. soc.idle.(i)) /. big_cap else 0. in
+    raw.(i) <- share *. (qos_ips +. bg_big_ips)
+  done;
+  let little_busy = Float.max 1. little_bg in
+  let kappa_little =
+    1. +. (Perf_model.contention *. Float.max 0. (little_busy -. 1.))
+  in
+  let little_ips_total =
+    little_bg
+    *. (f_little_ghz *. 1e9
+       /. (soc.little_a +. (soc.little_b *. kappa_little *. f_little_ghz)))
+  in
+  for i = 0 to soc.little_active - 1 do
+    let share =
+      if little_cap > 0. then (1. -. soc.idle.(4 + i)) /. little_cap else 0.
+    in
+    raw.(4 + i) <- share *. little_ips_total
+  done;
+  (* The four Big per-core draws advance the stream without being
+     materialized; {!per_core_ips}/{!big_ips} replay them from
+     [ips_snap] if a caller asks.  The Little aggregate IS consumed
+     every tick, so the Little draws happen for real (a materialized
+     gaussian advances the state exactly as a skipped one) — unless
+     every Little raw is exactly zero, where the sigma bound proves the
+     noisy readings are zero too and all eight draws can be skipped. *)
+  Prng.blit ~src:soc.rng ~dst:soc.ips_snap;
+  soc.ips_done <- false;
+  let sigma_ips = c.ips_noise in
+  let little_ips =
+    if sigma_ips <= 0. then ((raw.(4) +. raw.(5)) +. raw.(6)) +. raw.(7)
+    else if little_ips_total = 0. && sigma_ips *. z_bound < 1. then begin
+      for _ = 1 to 8 do
+        Prng.skip_gaussian soc.rng
+      done;
+      0.
+    end
+    else begin
+      for _ = 1 to 4 do
+        Prng.skip_gaussian soc.rng
+      done;
+      let nz = soc.noisy_ips in
+      nz.(4) <- raw.(4);
+      nz.(5) <- raw.(5);
+      nz.(6) <- raw.(6);
+      nz.(7) <- raw.(7);
+      Prng.noisy_into soc.rng ~sigma:sigma_ips ~dst:nz ~pos:4 ~len:4;
+      ((nz.(4) +. nz.(5)) +. nz.(6)) +. nz.(7)
+    end
+  in
+  (* Temperature sensor: last draw of the tick. *)
+  sens.(3) <- hot.temperature_c;
+  Prng.noisy_into soc.rng ~sigma:c.temp_noise ~dst:sens ~pos:3 ~len:1;
   (* Sensor faults corrupt the readings only after every draw from the
      SoC's own noise stream, so an inactive (or absent) schedule leaves
      the no-fault trace bit-identical. *)
-  let big_power, little_power, qos_rate =
-    match soc.faults with
-    | None -> (big_power, little_power, qos_rate)
-    | Some f ->
-        let now = soc.now in
-        ( Faults.apply_power f ~now ~channel:`Big big_power,
-          Faults.apply_power f ~now ~channel:`Little little_power,
-          Faults.apply_qos f ~now qos_rate )
-  in
-  let big_ips = per_core.(0) +. per_core.(1) +. per_core.(2) +. per_core.(3) in
-  let little_ips =
-    per_core.(4) +. per_core.(5) +. per_core.(6) +. per_core.(7)
-  in
-  {
-    time = soc.now;
-    big_power;
-    little_power;
-    chip_power = big_power +. little_power;
-    qos_rate;
-    big_ips;
-    little_ips;
-    per_core_ips = per_core;
-    temperature_c = noisy soc 0.01 soc.temperature_c;
-  }
+  (match soc.faults with
+  | None -> ()
+  | Some f ->
+      let now = hot.now in
+      sens.(2) <- Faults.apply_qos f ~now sens.(2);
+      sens.(1) <- Faults.apply_power f ~now ~channel:`Little sens.(1);
+      sens.(0) <- Faults.apply_power f ~now ~channel:`Big sens.(0);
+      sens.(3) <- Faults.apply_temp f ~now sens.(3));
+  obs.time <- hot.now;
+  obs.big_power <- sens.(0);
+  obs.little_power <- sens.(1);
+  obs.chip_power <- sens.(0) +. sens.(1);
+  obs.qos_rate <- sens.(2);
+  obs.little_ips <- little_ips;
+  obs.temperature_c <- sens.(3)
+
+let step soc ~dt =
+  let obs = make_observation () in
+  step_into soc ~dt obs;
+  obs
+
+(* --- deferred per-core readings --------------------------------------- *)
+
+let materialize_ips soc =
+  if not soc.ips_done then begin
+    let nz = soc.noisy_ips in
+    Array.blit soc.raw_ips 0 nz 0 8;
+    if soc.config.ips_noise > 0. then begin
+      Prng.blit ~src:soc.ips_snap ~dst:soc.scratch_rng;
+      Prng.noisy_into soc.scratch_rng ~sigma:soc.config.ips_noise ~dst:nz
+        ~pos:0 ~len:8
+    end;
+    soc.ips_done <- true
+  end
+
+let per_core_ips soc =
+  materialize_ips soc;
+  Array.copy soc.noisy_ips
+
+let big_ips soc =
+  materialize_ips soc;
+  ((soc.noisy_ips.(0) +. soc.noisy_ips.(1)) +. soc.noisy_ips.(2))
+  +. soc.noisy_ips.(3)

@@ -9,8 +9,10 @@
     per-core PMU (IPS) readings and per-core idle-cycle injection for the
     large-controller experiments of Figures 4/5/15.
 
-    The simulator advances in discrete steps ({!step}); all noise comes
-    from an explicit seed, so runs are reproducible. *)
+    The simulator advances in discrete steps ({!step_into}/{!step}); all
+    noise comes from an explicit seed, so runs are reproducible.  The
+    steady-state tick path is allocation-free: {!step_into} writes a
+    caller-owned {!observation} in place (DESIGN.md §13). *)
 
 type cluster = Big | Little
 
@@ -18,7 +20,10 @@ type config = {
   seed : int64;
   power_noise : float;  (** Relative σ of the power sensors (default 0.015). *)
   qos_noise : float;  (** Relative σ of heartbeat-rate measurement (0.02). *)
-  ips_noise : float;  (** Relative σ of the PMU IPS readings (0.01). *)
+  ips_noise : float;  (** Relative σ of the PMU IPS readings (0.05). *)
+  temp_noise : float;
+      (** Relative σ of the die-temperature sensor (0.01 — the value that
+          was previously hard-coded in the step function). *)
   background_task_util : float;
       (** Core-fraction demanded by each background task (0.6). *)
   ambient_c : float;  (** Ambient temperature (30 °C). *)
@@ -31,16 +36,23 @@ type config = {
 val default_config : config
 
 type observation = {
-  time : float;  (** Simulated seconds since creation. *)
-  big_power : float;  (** Noisy Big-cluster power sensor (W). *)
-  little_power : float;
-  chip_power : float;  (** Sum of the two cluster sensors. *)
-  qos_rate : float;  (** Noisy heartbeat rate of the QoS app (HB/s or FPS). *)
-  big_ips : float;  (** Aggregate Big-cluster instructions/s. *)
-  little_ips : float;
-  per_core_ips : float array;  (** 8 entries: Big cores 0–3, Little 4–7. *)
-  temperature_c : float;  (** Noisy die-temperature sensor (°C). *)
+  mutable time : float;  (** Simulated seconds since creation. *)
+  mutable big_power : float;  (** Noisy Big-cluster power sensor (W). *)
+  mutable little_power : float;
+  mutable chip_power : float;  (** Sum of the two cluster sensors. *)
+  mutable qos_rate : float;
+      (** Noisy heartbeat rate of the QoS app (HB/s or FPS). *)
+  mutable little_ips : float;  (** Aggregate Little-cluster instructions/s. *)
+  mutable temperature_c : float;  (** Noisy die-temperature sensor (°C). *)
 }
+(** All fields are mutable floats so the record is flat and {!step_into}
+    fills it without allocating.  Per-core PMU readings (and the Big
+    aggregate) moved out of the record to the pull-based {!per_core_ips}
+    and {!big_ips}: no per-tick consumer reads them, so the hot path
+    skips their noise draws and replays the stream on demand. *)
+
+val make_observation : unit -> observation
+(** A zeroed observation buffer for {!step_into}. *)
 
 type t
 
@@ -82,8 +94,8 @@ val set_faults : t -> Faults.t option -> unit
     ([Gating_refused]) injection is active, {!set_frequency}
     ({!set_active_cores}) is silently ignored — {!set_frequency} returns
     the unchanged current frequency, exactly what a readback would show.
-    Sensor faults corrupt the {!observation} fields of {!step}.  [None]
-    (the default) and a schedule with no active window are
+    Sensor faults corrupt the {!observation} fields of {!step_into}.
+    [None] (the default) and a schedule with no active window are
     bit-identical: fault machinery never touches the SoC's noise
     stream. *)
 
@@ -91,11 +103,26 @@ val faults : t -> Faults.t option
 
 (** {1 Stepping} *)
 
-val step : t -> dt:float -> observation
+val step_into : t -> dt:float -> observation -> unit
 (** Advance simulated time by [dt] seconds (one controller period) and
-    return the sensor readings for that period.  Raises on [dt <= 0]. *)
+    write the sensor readings for that period into the given buffer.
+    Allocation-free in steady state (no faults attached, observability
+    disabled).  Raises on [dt <= 0]. *)
+
+val step : t -> dt:float -> observation
+(** {!step_into} into a freshly allocated observation. *)
 
 val time : t -> float
+
+val big_ips : t -> float
+(** Aggregate Big-cluster instructions/s as of the last step — the same
+    noisy reading the observation record used to carry, replayed from
+    the saved generator state on demand.  Zero before the first step. *)
+
+val per_core_ips : t -> float array
+(** Per-core PMU (IPS) readings as of the last step, 8 entries: Big
+    cores 0–3, Little 4–7.  Fresh array per call; replayed on demand
+    like {!big_ips}. *)
 
 val true_qos_rate : t -> float
 (** Noise-free QoS rate at the current actuator settings (for tests and

@@ -2,12 +2,16 @@
    doubling pattern, per column, for floats).  The predecessor kept a
    newest-first row list and rebuilt a full n-element array on every
    [column] call, which made [Metrics.per_phase] O(phases x columns x n);
-   here [column_slice] copies just the slice and [last] is O(1).  The
-   CSV output is byte-identical to the row-list implementation (pinned
-   by test). *)
+   here [column_slice] copies just the slice and [last] is O(1).  Column
+   lookup by name goes through a hash table built in [create] — the old
+   linear string scan sat on the guard/supervisor tick path via [last] —
+   and hot callers can resolve the index once ([column_index]) and use
+   the [_ix] accessors.  The CSV output is byte-identical to the
+   row-list implementation (pinned by test). *)
 
 type t = {
   names : string array;
+  by_name : (string, int) Hashtbl.t; (* name -> column index *)
   mutable cols : float array array; (* one buffer per column, length cap *)
   mutable cap : int;
   mutable n : int;
@@ -15,14 +19,20 @@ type t = {
 
 let initial_cap = 256
 
-let create ~columns =
+let create ?cap ~columns () =
   if columns = [] then invalid_arg "Trace.create: no columns";
   let names = Array.of_list columns in
   let sorted = List.sort_uniq compare columns in
   if List.length sorted <> Array.length names then
     invalid_arg "Trace.create: duplicate column";
+  let by_name = Hashtbl.create (Array.length names) in
+  Array.iteri (fun i name -> Hashtbl.add by_name name i) names;
+  let initial_cap =
+    match cap with None -> initial_cap | Some c -> max 1 c
+  in
   {
     names;
+    by_name;
     cols = Array.map (fun _ -> Array.make initial_cap 0.) names;
     cap = initial_cap;
     n = 0;
@@ -42,20 +52,43 @@ let add t row =
         t.cols;
     t.cap <- cap
   end;
-  Array.iteri (fun i v -> t.cols.(i).(t.n) <- v) row;
-  t.n <- t.n + 1
+  (* Plain loop: Array.iteri's closure would put an allocation on the
+     per-tick path. *)
+  let n = t.n in
+  for i = 0 to Array.length row - 1 do
+    t.cols.(i).(n) <- row.(i)
+  done;
+  t.n <- n + 1
 
 let length t = t.n
 let columns t = Array.to_list t.names
+let width t = Array.length t.names
 
 let index t name =
-  let rec find i =
-    if i >= Array.length t.names then
-      invalid_arg (Printf.sprintf "Trace: unknown column %S" name)
-    else if t.names.(i) = name then i
-    else find (i + 1)
-  in
-  find 0
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Trace: unknown column %S" name)
+
+let column_index = index
+
+let check_column_index t i =
+  if i < 0 || i >= Array.length t.names then
+    invalid_arg (Printf.sprintf "Trace: column index %d out of range" i)
+
+let column_ix t i =
+  check_column_index t i;
+  Array.sub t.cols.(i) 0 t.n
+
+let column_slice_ix t i ~from ~upto =
+  check_column_index t i;
+  if from < 0 || upto > t.n || from >= upto then
+    invalid_arg "Trace.column_slice: bad range";
+  Array.sub t.cols.(i) from (upto - from)
+
+let last_ix t i =
+  check_column_index t i;
+  if t.n = 0 then invalid_arg "Trace.last: empty trace";
+  t.cols.(i).(t.n - 1)
 
 let column t name = Array.sub t.cols.(index t name) 0 t.n
 

@@ -1,0 +1,414 @@
+(* Zero-allocation tick-kernel regression tests.
+
+   Four properties keep the steady-state tick path honest:
+
+   - allocation budgets: Soc.step_into and Supervisor.step must
+     allocate EXACTLY zero bytes per call once warm — a boxed float or
+     a closure creeping back into the hot path fails here, attributed
+     to the right kernel;
+   - byte-identity: the hot-path rewrites (index-native supervisor,
+     in-place MIMO step, buffer-reusing scenario loop, memoized gain
+     design) must not change any trace — scenario CSV digests are
+     pinned to their pre-refactor values;
+   - the _into variants must be bit-identical to their allocating
+     counterparts (Mimo.step_into / Kalman.correct_into);
+   - batch equivalence: a warm Arena checkout must behave exactly like
+     a freshly built manager.
+
+   Plus the boundary pins for the two intentionally different power
+   thresholds (Metrics.power_allowance 1.02 vs the chaos invariants'
+   0.05 safety guardband). *)
+
+open Spectr_platform
+open Spectr_control
+open Spectr_linalg
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation budgets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Bytes per iteration after the caller has warmed [f] to steady state.
+   The Gc.allocated_bytes calls themselves box a float each; amortized
+   over the iteration count they stay far below the 1-byte threshold,
+   so "< 1.0 B/iter" distinguishes exactly-zero from any real per-call
+   allocation (the smallest possible box is 16 bytes). *)
+let bytes_per_iter iters f =
+  let b0 = Gc.allocated_bytes () in
+  f iters;
+  let b1 = Gc.allocated_bytes () in
+  (b1 -. b0) /. float_of_int iters
+
+let test_soc_step_into_zero_alloc () =
+  let soc = Soc.create ~qos:Benchmarks.x264 () in
+  Soc.set_background_tasks soc 16;
+  let obs = Soc.make_observation () in
+  for _ = 1 to 500 do
+    Soc.step_into soc ~dt:0.05 obs
+  done;
+  let per_iter =
+    bytes_per_iter 100_000 (fun n ->
+        for _ = 1 to n do
+          Soc.step_into soc ~dt:0.05 obs
+        done)
+  in
+  check_bool
+    (Printf.sprintf "Soc.step_into steady state: %.3f B/call" per_iter)
+    true (per_iter < 1.0)
+
+let test_supervisor_step_zero_alloc () =
+  let commands =
+    {
+      Spectr.Supervisor.switch_gains = (fun _ -> ());
+      set_big_power_ref = (fun _ -> ());
+      set_little_power_ref = (fun _ -> ());
+    }
+  in
+  let sup = Spectr.Supervisor.create ~commands ~envelope:2.0 () in
+  for _ = 1 to 500 do
+    Spectr.Supervisor.step sup ~qos:30.0 ~qos_ref:30.0 ~power:1.5
+      ~envelope:2.0
+  done;
+  let per_iter =
+    bytes_per_iter 100_000 (fun n ->
+        for _ = 1 to n do
+          Spectr.Supervisor.step sup ~qos:30.0 ~qos_ref:30.0 ~power:1.5
+            ~envelope:2.0
+        done)
+  in
+  check_bool
+    (Printf.sprintf "Supervisor.step steady state: %.3f B/call" per_iter)
+    true (per_iter < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario CSV byte-identity pins                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* MD5 digests of the default x264 scenario (seed 42, 300 rows) under
+   three managers, recorded before the zero-allocation refactor landed.
+   Any hot-path change that shifts a single float expression — noise
+   draw order, accumulation order, a skipped clamp — changes these. *)
+let pinned =
+  [
+    ("spectr", "ab3b5b5ef6ec4920c18d5f0a4117cbc1");
+    ("mm-pow", "96be8102f7bac038240ca64962ed878b");
+    ("siso", "d599bdd2e64cbd24c48b6fd21efaf08a");
+  ]
+
+let scenario_digest make_manager =
+  let cfg = Spectr.Scenario.default_config ~seed:42L Benchmarks.x264 in
+  let trace = Spectr.Scenario.run ~manager:(make_manager ()) cfg in
+  check_int "pinned run length" 300 (Trace.length trace);
+  Digest.to_hex (Digest.string (Trace.to_csv trace))
+
+let test_pinned_digests () =
+  let make = function
+    | "spectr" -> fun () -> fst (Spectr.Spectr_manager.make ())
+    | "mm-pow" -> fun () -> Spectr.Mm.make_pow ()
+    | "siso" -> fun () -> Spectr.Siso.make ()
+    | name -> Alcotest.failf "unknown pinned manager %s" name
+  in
+  List.iter
+    (fun (name, digest) ->
+      check_string (name ^ " CSV digest") digest (scenario_digest (make name)))
+    pinned
+
+(* ------------------------------------------------------------------ *)
+(* Batch arena equivalence                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_checkout_equals_fresh () =
+  let arena = Spectr_chaos.Arena.create () in
+  List.iter
+    (fun variant ->
+      let cfg = Spectr.Scenario.default_config ~seed:42L Benchmarks.x264 in
+      let fresh, _, _ = Spectr_chaos.Campaign.make_manager variant in
+      let d_fresh =
+        Digest.string (Trace.to_csv (Spectr.Scenario.run ~manager:fresh cfg))
+      in
+      (* First checkout builds; run it dirty, then check out again so
+         the pristine-reset path is what's under test. *)
+      let warm, _, _ = Spectr_chaos.Arena.checkout arena variant in
+      ignore (Spectr.Scenario.run ~manager:warm cfg : Trace.t);
+      let warm, _, _ = Spectr_chaos.Arena.checkout arena variant in
+      let d_warm =
+        Digest.string (Trace.to_csv (Spectr.Scenario.run ~manager:warm cfg))
+      in
+      check_string
+        (Spectr_chaos.Campaign.variant_name variant ^ " arena digest")
+        (Digest.to_hex d_fresh) (Digest.to_hex d_warm))
+    [ Spectr_chaos.Campaign.Spectr; Spectr_chaos.Campaign.Mm_pow ]
+
+let test_arena_cells_equal_cold_cells () =
+  let spec = Spectr_chaos.Campaign.default_spec ~seed:11 ~cells:6 () in
+  let cells = Spectr_chaos.Campaign.generate spec in
+  let arena = Spectr_chaos.Arena.create () in
+  List.iter
+    (fun cell ->
+      let cold = Spectr_chaos.Engine.run_cell cell in
+      let warm = Spectr_chaos.Engine.run_cell ~arena cell in
+      check_string "cell digest" cold.Spectr_chaos.Engine.digest
+        warm.Spectr_chaos.Engine.digest;
+      check_int "cell violations"
+        (List.length cold.Spectr_chaos.Engine.violations)
+        (List.length warm.Spectr_chaos.Engine.violations))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Memoized gain design                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_design_gains_for_cached () =
+  let goals = [ { Spectr.Design_flow.label = "power"; q_y = [| 0.1; 30. |] } ] in
+  let a = Spectr.Design_flow.design_gains_for Spectr.Design_flow.Fs_4x2 goals in
+  let b = Spectr.Design_flow.design_gains_for Spectr.Design_flow.Fs_4x2 goals in
+  (match (a, b) with
+  | Ok ga, Ok gb ->
+      (* Single-flight: the very same list comes back, not a re-run. *)
+      check_bool "same gains list shared" true (ga == gb)
+  | _ -> Alcotest.fail "design_gains_for failed");
+  (* And it matches the uncached pipeline bit for bit. *)
+  let ident = Spectr.Design_flow.identify Spectr.Design_flow.Fs_4x2 in
+  match (a, Spectr.Design_flow.design_gains ident goals) with
+  | Ok ga, Ok gu ->
+      List.iter2
+        (fun g1 g2 ->
+          check_string "gain label" g1.Lqg.label g2.Lqg.label;
+          check_bool "gain matrices equal" true
+            (Matrix.to_arrays g1.Lqg.kx = Matrix.to_arrays g2.Lqg.kx))
+        ga gu
+  | _ -> Alcotest.fail "uncached design failed"
+
+(* ------------------------------------------------------------------ *)
+(* _into variants are bit-identical                                    *)
+(* ------------------------------------------------------------------ *)
+
+let build_test_mimo () =
+  let ident = Spectr.Design_flow.identify Spectr.Design_flow.Big_2x2 in
+  let goals =
+    [
+      { Spectr.Design_flow.label = "qos"; q_y = Spectr.Mm.qos_weights };
+      { Spectr.Design_flow.label = "power"; q_y = Spectr.Mm.power_weights };
+    ]
+  in
+  let gains =
+    match Spectr.Design_flow.design_gains_for Spectr.Design_flow.Big_2x2 goals with
+    | Ok g -> g
+    | Error m -> Alcotest.failf "design failed: %s" m
+  in
+  Spectr.Design_flow.build_mimo ident ~gains ~initial:"qos"
+    ~refs:[| 60.; 4. |]
+
+let test_mimo_step_into_equals_step () =
+  let c1 = build_test_mimo () in
+  let c2 = build_test_mimo () in
+  let dst = [| 0.; 0. |] in
+  for i = 0 to 49 do
+    let qos = 40. +. (10. *. sin (0.3 *. float_of_int i)) in
+    let power = 3. +. (0.8 *. cos (0.17 *. float_of_int i)) in
+    let u1 = Mimo.step c1 ~measured:[| qos; power |] in
+    Mimo.step_into c2 ~measured:[| qos; power |] ~dst;
+    check_float "command 0" u1.(0) dst.(0);
+    check_float "command 1" u1.(1) dst.(1)
+  done;
+  (* Full state agreement, not just the commands. *)
+  check_bool "snapshots equal" true (Mimo.snapshot c1 = Mimo.snapshot c2)
+
+let test_kalman_correct_into_equals_correct () =
+  let l = Matrix.init ~rows:2 ~cols:2 (fun i j -> 0.1 +. float_of_int (i + (2 * j))) in
+  let c = Matrix.init ~rows:2 ~cols:2 (fun i j -> if i = j then 1.0 else 0.3) in
+  let xhat = Matrix.init ~rows:2 ~cols:1 (fun i _ -> 0.5 +. float_of_int i) in
+  let y = Matrix.init ~rows:2 ~cols:1 (fun i _ -> 1.1 *. float_of_int (i + 1)) in
+  let pure = Kalman.correct ~l ~c ~xhat ~y in
+  let dst = Matrix.zeros ~rows:2 ~cols:1 in
+  let tmp_p = Matrix.zeros ~rows:2 ~cols:1 in
+  let tmp_n = Matrix.zeros ~rows:2 ~cols:1 in
+  Kalman.correct_into ~l ~c ~xhat ~y ~tmp_p ~tmp_n ~dst;
+  check_bool "bit-identical correction" true
+    (Matrix.to_arrays pure = Matrix.to_arrays dst)
+
+(* ------------------------------------------------------------------ *)
+(* Power-threshold boundaries: metrics 1.02 vs invariants 1.05         *)
+(* ------------------------------------------------------------------ *)
+
+let test_threshold_constants_distinct () =
+  check_float "metrics allowance" 1.02 Spectr.Metrics.power_allowance;
+  check_float "invariants guardband" 0.05
+    Spectr_chaos.Invariants.default_limits.Spectr_chaos.Invariants.guardband;
+  (* The difference is intentional (metrology tolerance vs safety
+     margin); collapsing one onto the other is a regression. *)
+  check_bool "allowance below guardbanded cap" true
+    (Spectr.Metrics.power_allowance
+    < 1. +. Spectr_chaos.Invariants.default_limits.Spectr_chaos.Invariants.guardband)
+
+let test_metrics_allowance_boundary () =
+  let envelope = 2.0 in
+  let limit = envelope *. Spectr.Metrics.power_allowance in
+  (* Exactly at the allowance: compliant from the start. *)
+  check_bool "at limit complies" true
+    (Spectr.Metrics.recovery_time ~envelope ~dt:0.05 ~after:0
+       [| limit; limit; limit |]
+    = Some 0.0);
+  (* A hair above: first sample violates, recovery starts one dt later. *)
+  check_bool "above limit delays recovery" true
+    (Spectr.Metrics.recovery_time ~envelope ~dt:0.05 ~after:0
+       [| limit +. 1e-9; limit; limit |]
+    = Some 0.05);
+  (* Never re-complying yields None, not a large number. *)
+  check_bool "never complies" true
+    (Spectr.Metrics.recovery_time ~envelope ~dt:0.05 ~after:0
+       [| limit; limit; limit +. 1e-9 |]
+    = None)
+
+(* The invariants' cap arithmetic: violations begin strictly above
+   envelope × (1 + guardband), so power between the metrics allowance
+   and the guardband is non-compliant for evaluation purposes yet safe
+   for the soak invariant — the gap the two constants exist to express. *)
+let test_guardband_boundary () =
+  let envelope = 2.0 in
+  let lim = Spectr_chaos.Invariants.default_limits in
+  let cap = envelope *. (1. +. lim.Spectr_chaos.Invariants.guardband) in
+  let allowance = envelope *. Spectr.Metrics.power_allowance in
+  check_bool "gap exists" true (allowance < cap);
+  (* 2.06 W: fails the metric, passes the invariant. *)
+  let between = 2.06 in
+  check_bool "between thresholds" true (between > allowance && between <= cap);
+  check_bool "metric rejects" true
+    (Spectr.Metrics.recovery_time ~envelope ~dt:0.05 ~after:0
+       [| between; between |]
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* Temperature fault channel and noise config                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_temp_noise_config () =
+  check_float "default temp noise" 0.01 Soc.default_config.Soc.temp_noise;
+  (* With the temperature sensor's noise zeroed, the observation reads
+     the true die temperature exactly. *)
+  let config = { Soc.default_config with Soc.temp_noise = 0. } in
+  let soc = Soc.create ~config ~qos:Benchmarks.x264 () in
+  let obs = Soc.make_observation () in
+  for _ = 1 to 20 do
+    Soc.step_into soc ~dt:0.05 obs
+  done;
+  check_float "noiseless temp sensor" (Soc.temperature soc)
+    obs.Soc.temperature_c
+
+let test_faults_apply_temp () =
+  let f =
+    Faults.create
+      [ Faults.injection (Faults.Stuck_at_last Faults.Temp) ~start_s:1.0 ~stop_s:2.0 ]
+  in
+  (* Healthy before the window; the reading passes through and is
+     recorded as last-healthy. *)
+  check_float "healthy passes through" 50.0 (Faults.apply_temp f ~now:0.5 50.0);
+  (* Inside the window the sensor repeats the last healthy reading. *)
+  check_float "stuck repeats last" 50.0 (Faults.apply_temp f ~now:1.5 70.0);
+  (* Healthy again after clearance. *)
+  check_float "recovers" 72.0 (Faults.apply_temp f ~now:2.5 72.0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace preallocation and index accessors                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_cap_and_index () =
+  let t = Trace.create ~cap:2 ~columns:[ "a"; "b" ] () in
+  (* cap is a hint, not a limit: growth past it still works. *)
+  for i = 1 to 5 do
+    Trace.add t [| float_of_int i; float_of_int (10 * i) |]
+  done;
+  check_int "length past cap" 5 (Trace.length t);
+  let ib = Trace.column_index t "b" in
+  check_int "column index" 1 ib;
+  check_float "last_ix agrees" (Trace.last t "b") (Trace.last_ix t ib);
+  check_bool "column_ix agrees" true (Trace.column t "b" = Trace.column_ix t ib)
+
+(* ------------------------------------------------------------------ *)
+(* Prng hot-path entry points                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_skip_gaussian_stream_equivalence () =
+  let g1 = Prng.create 7L in
+  let g2 = Prng.create 7L in
+  ignore (Prng.gaussian g1 ~mu:0. ~sigma:1. : float);
+  Prng.skip_gaussian g2;
+  (* Skipping must consume exactly the draws a real gaussian does, so
+     the streams stay aligned. *)
+  check_bool "streams aligned" true (Prng.int64 g1 = Prng.int64 g2)
+
+let test_noisy_into_equivalence () =
+  let g1 = Prng.create 9L in
+  let g2 = Prng.create 9L in
+  let buf = [| 2.0; 3.0; 4.0 |] in
+  Prng.noisy_into g1 ~sigma:0.1 ~dst:buf ~pos:0 ~len:3 ;
+  let expect =
+    Array.map (fun v -> v *. (1. +. Prng.gaussian g2 ~mu:0. ~sigma:0.1))
+      [| 2.0; 3.0; 4.0 |]
+  in
+  Array.iteri (fun i v -> check_float "noisy value" expect.(i) v) buf
+
+let test_prng_blit () =
+  let g = Prng.create 21L in
+  ignore (Prng.int64 g : int64);
+  let snap = Prng.create 0L in
+  Prng.blit ~src:g ~dst:snap;
+  let a = Prng.int64 g in
+  let b = Prng.int64 snap in
+  check_bool "blit restores stream" true (a = b)
+
+let () =
+  Alcotest.run "spectr_kernel"
+    [
+      ( "allocation",
+        [
+          Alcotest.test_case "Soc.step_into zero-alloc" `Quick
+            test_soc_step_into_zero_alloc;
+          Alcotest.test_case "Supervisor.step zero-alloc" `Quick
+            test_supervisor_step_zero_alloc;
+        ] );
+      ( "byte-identity",
+        [
+          Alcotest.test_case "pinned scenario digests" `Slow
+            test_pinned_digests;
+        ] );
+      ( "batch-arena",
+        [
+          Alcotest.test_case "checkout equals fresh" `Slow
+            test_arena_checkout_equals_fresh;
+          Alcotest.test_case "chaos cells equal" `Slow
+            test_arena_cells_equal_cold_cells;
+          Alcotest.test_case "gain design memoized" `Slow
+            test_design_gains_for_cached;
+        ] );
+      ( "into-variants",
+        [
+          Alcotest.test_case "Mimo.step_into = step" `Slow
+            test_mimo_step_into_equals_step;
+          Alcotest.test_case "Kalman.correct_into = correct" `Quick
+            test_kalman_correct_into_equals_correct;
+        ] );
+      ( "thresholds",
+        [
+          Alcotest.test_case "constants distinct" `Quick
+            test_threshold_constants_distinct;
+          Alcotest.test_case "metrics allowance boundary" `Quick
+            test_metrics_allowance_boundary;
+          Alcotest.test_case "guardband gap" `Quick test_guardband_boundary;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "temp noise config" `Quick test_temp_noise_config;
+          Alcotest.test_case "apply_temp channel" `Quick test_faults_apply_temp;
+          Alcotest.test_case "trace cap and index" `Quick
+            test_trace_cap_and_index;
+          Alcotest.test_case "skip_gaussian stream" `Quick
+            test_skip_gaussian_stream_equivalence;
+          Alcotest.test_case "noisy_into" `Quick test_noisy_into_equivalence;
+          Alcotest.test_case "prng blit" `Quick test_prng_blit;
+        ] );
+    ]

@@ -320,7 +320,7 @@ let test_soc_step_and_noise () =
     (abs_float (obs1.Soc.chip_power -. Soc.true_chip_power soc)
     /. Soc.true_chip_power soc
     < 0.2);
-  check_int "8 cores" 8 (Array.length obs1.Soc.per_core_ips);
+  check_int "8 cores" 8 (Array.length (Soc.per_core_ips soc));
   Alcotest.check_raises "bad dt" (Invalid_argument "Soc.step: dt <= 0")
     (fun () -> ignore (Soc.step soc ~dt:0.))
 
@@ -337,14 +337,13 @@ let test_soc_deterministic () =
 
 let test_soc_per_core_ips_idle_sensitive () =
   let soc = fresh_soc () in
-  let obs = Soc.step soc ~dt:0.05 in
-  let base = obs.Soc.per_core_ips.(0) in
+  ignore (Soc.step soc ~dt:0.05);
+  let base = (Soc.per_core_ips soc).(0) in
   Soc.set_idle_fraction soc ~core:0 0.8;
-  let obs2 = Soc.step soc ~dt:0.05 in
-  check_bool "idled core reads lower IPS" true
-    (obs2.Soc.per_core_ips.(0) < base);
-  check_bool "other core picks up share" true
-    (obs2.Soc.per_core_ips.(1) > 0.)
+  ignore (Soc.step soc ~dt:0.05);
+  let after = Soc.per_core_ips soc in
+  check_bool "idled core reads lower IPS" true (after.(0) < base);
+  check_bool "other core picks up share" true (after.(1) > 0.)
 
 let test_soc_canneal_serial_phase () =
   (* During canneal's serialized phase, adding cores barely helps. *)
@@ -456,7 +455,7 @@ let test_heartbeats_time_monotone () =
 (* ------------------------------------------------------------------ *)
 
 let test_trace_roundtrip () =
-  let tr = Trace.create ~columns:[ "t"; "fps"; "power" ] in
+  let tr = Trace.create ~columns:[ "t"; "fps"; "power" ] () in
   Trace.add tr [| 0.; 60.; 4. |];
   Trace.add tr [| 0.05; 62.; 4.1 |];
   check_int "length" 2 (Trace.length tr);
@@ -466,7 +465,7 @@ let test_trace_roundtrip () =
   check_float "last power" 4.1 (Trace.last tr "power")
 
 let test_trace_slice () =
-  let tr = Trace.create ~columns:[ "v" ] in
+  let tr = Trace.create ~columns:[ "v" ] () in
   for i = 0 to 9 do
     Trace.add tr [| float_of_int i |]
   done;
@@ -476,15 +475,15 @@ let test_trace_slice () =
 
 let test_trace_validation () =
   Alcotest.check_raises "dup" (Invalid_argument "Trace.create: duplicate column")
-    (fun () -> ignore (Trace.create ~columns:[ "a"; "a" ]));
-  let tr = Trace.create ~columns:[ "a" ] in
+    (fun () -> ignore (Trace.create ~columns:[ "a"; "a" ] ()));
+  let tr = Trace.create ~columns:[ "a" ] () in
   Alcotest.check_raises "width" (Invalid_argument "Trace.add: row width mismatch")
     (fun () -> Trace.add tr [| 1.; 2. |]);
   Alcotest.check_raises "unknown" (Invalid_argument "Trace: unknown column \"z\"")
     (fun () -> ignore (Trace.column tr "z"))
 
 let test_trace_csv () =
-  let tr = Trace.create ~columns:[ "a"; "b" ] in
+  let tr = Trace.create ~columns:[ "a"; "b" ] () in
   Trace.add tr [| 1.; 2. |];
   check_bool "csv" true (Trace.to_csv tr = "a,b\n1,2\n")
 
@@ -493,7 +492,7 @@ let test_trace_growth () =
      the column-major growable storage must behave exactly like the old
      row list. *)
   let n = 3000 in
-  let tr = Trace.create ~columns:[ "i"; "sq" ] in
+  let tr = Trace.create ~columns:[ "i"; "sq" ] () in
   for i = 0 to n - 1 do
     Trace.add tr [| float_of_int i; float_of_int (i * i) |]
   done;
