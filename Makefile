@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke robustness check clean
+.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke robustness check clean
 
 all: build
 
@@ -56,8 +56,19 @@ chaos-smoke:
 	  dune exec bin/spectr_cli.exe -- replay $$f || exit 1; \
 	done
 
+# Fleet smoke: the small fleet bench with its built-in gates — the
+# uncoordinated baseline must break the global cap, water-filling must
+# hold it (0 violation ticks), and a forced 1-job pool must match a
+# forced 4-job pool in-process.  On top of that, the full stdout under
+# SPECTR_JOBS=1 and SPECTR_JOBS=4 must be byte-identical — digests,
+# floats, everything — which is the cross-process determinism gate.
+fleet-smoke:
+	SPECTR_JOBS=1 dune exec bench/main.exe -- fleet --smoke > /tmp/spectr-fleet-j1.txt
+	SPECTR_JOBS=4 dune exec bench/main.exe -- fleet --smoke > /tmp/spectr-fleet-j4.txt
+	diff /tmp/spectr-fleet-j1.txt /tmp/spectr-fleet-j4.txt
+
 # What CI runs.
-check: build fmt test obs-smoke chaos-smoke
+check: build fmt test obs-smoke chaos-smoke fleet-smoke
 
 clean:
 	dune clean

@@ -27,6 +27,7 @@ let experiments =
     ("robustness", Robustness.run);
     ("synthesis-scale", Synthesis_scale.run);
     ("throughput", Throughput.run);
+    ("fleet", Fleet.run);
   ]
 
 let usage () =
@@ -41,7 +42,8 @@ let () =
   in
   if List.mem "--smoke" flags then begin
     Synthesis_scale.smoke := true;
-    Throughput.smoke := true
+    Throughput.smoke := true;
+    Fleet.smoke := true
   end;
   let obs = List.mem "--obs" flags in
   (* Real monotonic clock for latency histograms; with --obs off the

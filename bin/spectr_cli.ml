@@ -6,13 +6,16 @@
      scenario     run a manager through the 3-phase scenario, export CSV
      chaos        run a seeded randomized fault campaign (soak)
      replay       re-execute a chaos reproducer artifact deterministically
+     fleet        simulate a coordinated fleet of SPECTR-managed SoCs
      list         list benchmarks, managers and subsystems
 
    Exit codes (beyond cmdliner's 124 for unknown subcommands/flags):
      0  success / campaign within expectations
      1  bad argument value (unknown manager, benchmark, …)
      2  malformed reproducer artifact
-     3  an invariant violation in a --fail-on variant
+     3  an invariant violation in a --fail-on variant, a fleet tick over
+        the global cap under --require-compliant, or a node-kill drill
+        missing its recovery deadline
      4  --require-violation variant stayed clean
      5  replay failed to reproduce (or trace digest mismatch)
 *)
@@ -438,6 +441,134 @@ let replay_cmd =
     Term.(const replay $ path)
 
 (* ------------------------------------------------------------------ *)
+(* fleet                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fleet nodes epochs ticks seed cap_per_node policy arrival_rate kill_rate
+    node_kill require_compliant =
+  match node_kill with
+  | Some drills -> (
+      (* Node-kill campaign: whole-node death/restart drills over the
+         fleet's Node abstraction, not a fleet simulation. *)
+      match
+        try Ok (Spectr_chaos.Node_kill.default_spec ~seed ~drills ())
+        with Invalid_argument msg -> Error msg
+      with
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      | Ok spec ->
+          let r = Spectr_chaos.Node_kill.run spec in
+          print_string (Spectr_chaos.Node_kill.summary r);
+          if r.Spectr_chaos.Node_kill.r_failed > 0 then begin
+            Printf.printf "FAIL: %d drill(s) missed the recovery deadline\n"
+              r.Spectr_chaos.Node_kill.r_failed;
+            3
+          end
+          else begin
+            Printf.printf "OK\n";
+            0
+          end)
+  | None ->
+      let policy =
+        match Spectr_fleet.Coordinator.policy_of_string policy with
+        | Some p -> p
+        | None ->
+            Printf.eprintf
+              "unknown policy %S (uncoordinated, static, waterfill)\n" policy;
+            exit 1
+      in
+      let spec =
+        {
+          Spectr_fleet.Fleet.default_spec with
+          nodes;
+          epochs;
+          ticks_per_epoch = ticks;
+          seed;
+          global_cap = cap_per_node *. float_of_int nodes;
+          policy;
+          arrival_rate;
+          kill_rate;
+        }
+      in
+      let r =
+        try Spectr_fleet.Fleet.run spec
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      in
+      Format.printf "%a@." Spectr_fleet.Fleet.pp_result r;
+      if require_compliant && r.Spectr_fleet.Fleet.violation_ticks > 0 then begin
+        Printf.printf "FAIL: %d tick(s) above the global cap\n"
+          r.Spectr_fleet.Fleet.violation_ticks;
+        3
+      end
+      else 0
+
+let fleet_cmd =
+  let nodes =
+    Arg.(value & opt int 64 & info [ "nodes" ] ~doc:"Fleet size (SoCs).")
+  in
+  let epochs =
+    Arg.(value & opt int 20 & info [ "epochs" ] ~doc:"Coordinator epochs.")
+  in
+  let ticks =
+    Arg.(
+      value & opt int 50
+      & info [ "ticks" ] ~doc:"Controller periods per epoch (50 ms each).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fleet seed.") in
+  let cap =
+    Arg.(
+      value & opt float 2.5
+      & info [ "cap-per-node" ] ~docv:"W"
+          ~doc:
+            "Global datacenter cap expressed per node (total = W × nodes); \
+             the chip TDP is 5 W.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "waterfill"
+      & info [ "policy" ]
+          ~doc:"Coordinator policy: uncoordinated, static or waterfill.")
+  in
+  let arrival_rate =
+    Arg.(
+      value & opt float 2.
+      & info [ "arrival-rate" ] ~doc:"Mean workload arrivals per epoch.")
+  in
+  let kill_rate =
+    Arg.(
+      value & opt float 0.5
+      & info [ "kill-rate" ] ~doc:"Mean node kills per epoch.")
+  in
+  let node_kill =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-kill" ] ~docv:"DRILLS"
+          ~doc:
+            "Instead of a fleet run, execute this many whole-node \
+             death/restart drills (checkpoint, kill, reboot, verify the \
+             rebooted node settles under its cap) and exit 3 on any missed \
+             deadline.")
+  in
+  let require_compliant =
+    Arg.(
+      value & flag
+      & info [ "require-compliant" ]
+          ~doc:
+            "Exit nonzero (3) when any tick exceeds the global cap — the \
+             fleet-bench gate.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Simulate a coordinated fleet of SPECTR-managed SoCs")
+    Term.(
+      const fleet $ nodes $ epochs $ ticks $ seed $ cap $ policy
+      $ arrival_rate $ kill_rate $ node_kill $ require_compliant)
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -474,5 +605,6 @@ let () =
             scenario_cmd;
             chaos_cmd;
             replay_cmd;
+            fleet_cmd;
             list_cmd;
           ]))

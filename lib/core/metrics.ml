@@ -23,35 +23,63 @@ type phase_metrics = {
    the thermal design's safety margin".  Keep the two distinct. *)
 let power_allowance = 1.02
 
-(* First time from which chip power stays at or under the envelope (with
-   the [power_allowance] tolerance) for the rest of the phase. *)
-let compliance_time ~envelope ~dt power =
+(* First time from which chip power stays at or under the per-sample
+   limit for the rest of the phase.  [limit] is indexed so a stepping
+   envelope (chaos fault windows, fleet re-budgets landing mid-phase)
+   is judged tick by tick; a constant envelope passes a constant
+   function and computes the identical floats the old scalar scan did. *)
+let compliance_scan ~limit ~dt power =
   let n = Array.length power in
-  let limit = envelope *. power_allowance in
-  let rec last_violation i acc =
-    if i >= n then acc
-    else last_violation (i + 1) (if power.(i) <= limit then acc else i)
-  in
-  let lv = last_violation 0 (-1) in
-  if lv = n - 1 then None else Some (float_of_int (lv + 1) *. dt)
+  let last_violation = ref (-1) in
+  for i = 0 to n - 1 do
+    if not (power.(i) <= limit i) then last_violation := i
+  done;
+  if !last_violation = n - 1 then None
+  else Some (float_of_int (!last_violation + 1) *. dt)
 
-(* First sample index >= [after] from which [pred] holds for every
+let compliance_time ~envelope ~dt power =
+  let l = envelope *. power_allowance in
+  compliance_scan ~limit:(fun _ -> l) ~dt power
+
+let check_envelope_series name ~envelope ~power =
+  if Array.length envelope <> Array.length power then
+    invalid_arg
+      (Printf.sprintf "Metrics.%s: envelope/power length mismatch (%d vs %d)"
+         name (Array.length envelope) (Array.length power))
+
+let compliance_time_series ~envelope ~dt power =
+  check_envelope_series "compliance_time_series" ~envelope ~power;
+  compliance_scan ~limit:(fun i -> envelope.(i) *. power_allowance) ~dt power
+
+(* First sample index >= [after] from which [pred i] holds for every
    remaining sample, or None.  Shared scan behind the fault-recovery
    metrics: find the last offending sample and step past it. *)
-let sustained_from ~after pred arr =
-  let n = Array.length arr in
+let sustained_from_i ~after pred n =
   if after >= n then None
   else begin
     let last_bad = ref (after - 1) in
     for i = after to n - 1 do
-      if not (pred arr.(i)) then last_bad := i
+      if not (pred i) then last_bad := i
     done;
     if !last_bad = n - 1 then None else Some (max after (!last_bad + 1))
   end
 
+let sustained_from ~after pred arr =
+  sustained_from_i ~after (fun i -> pred arr.(i)) (Array.length arr)
+
 let recovery_time ~envelope ~dt ~after power =
   let limit = envelope *. power_allowance in
   match sustained_from ~after (fun p -> p <= limit) power with
+  | None -> None
+  | Some i -> Some (float_of_int (i - after) *. dt)
+
+let recovery_time_series ~envelope ~dt ~after power =
+  check_envelope_series "recovery_time_series" ~envelope ~power;
+  match
+    sustained_from_i ~after
+      (fun i -> power.(i) <= envelope.(i) *. power_allowance)
+      (Array.length power)
+  with
   | None -> None
   | Some i -> Some (float_of_int (i - after) *. dt)
 
@@ -63,17 +91,65 @@ let reconvergence_time ~reference ~band ~dt ~after qos =
   | None -> None
   | Some i -> Some (float_of_int (i - after) *. dt)
 
+(* Tail-averaged steady-state error against a per-sample reference:
+   mean of (reference_i − measured_i) over the tail, as a percent of the
+   tail-mean reference.  The generalization of
+   [Stats.steady_state_error] a stepping envelope needs — the constant
+   case keeps the scalar path below so long-pinned bench output is
+   bit-identical. *)
+let steady_state_error_series ~reference ~measured ~tail =
+  let n = Array.length measured in
+  let k = max 1 (min tail n) in
+  let err = ref 0. and ref_sum = ref 0. in
+  for i = n - k to n - 1 do
+    err := !err +. (reference.(i) -. measured.(i));
+    ref_sum := !ref_sum +. reference.(i)
+  done;
+  let avg = !err /. float_of_int k in
+  let ref_avg = !ref_sum /. float_of_int k in
+  if ref_avg = 0. then avg else 100. *. avg /. ref_avg
+
+(* Settling against a per-sample reference: the band tracks the stepping
+   envelope instead of whatever the phase's first sample happened to
+   hold. *)
+let settling_time_series ~reference ~band ~dt y =
+  let n = Array.length y in
+  if n = 0 then None
+  else begin
+    let within i =
+      Float.abs (y.(i) -. reference.(i)) <= Float.abs (band *. reference.(i))
+    in
+    let last_violation = ref (-1) in
+    for i = 0 to n - 1 do
+      if not (within i) then last_violation := i
+    done;
+    if !last_violation = n - 1 then None
+    else Some (float_of_int (!last_violation + 1) *. dt)
+  end
+
+let constant arr =
+  let n = Array.length arr in
+  let rec go i = i >= n || (arr.(i) = arr.(0) && go (i + 1)) in
+  go 1
+
 let per_phase ~trace ~config =
   let bounds = Scenario.phase_bounds config in
   (* A phase whose duration rounds to zero controller periods records no
-     samples; skip it rather than slicing an empty column (the envelope
-     lookup below reads the slice's first sample). *)
+     samples; skip it rather than slicing an empty column. *)
   let bounds = List.filter (fun (_, from, upto) -> upto > from) bounds in
   List.map
     (fun (phase_name, from, upto) ->
       let qos = Trace.column_slice trace "qos" ~from ~upto in
       let power = Trace.column_slice trace "power" ~from ~upto in
-      let envelope = (Trace.column_slice trace "envelope" ~from ~upto).(0) in
+      (* The envelope is a per-tick column: a phase whose envelope steps
+         mid-phase (chaos fault windows, fleet cap re-budgets) must be
+         judged against the tick-by-tick value, not the slice's first
+         sample.  The constant case — every scenario phase the bench
+         tables pin — takes the scalar code path so those outputs stay
+         byte-identical. *)
+      let envelopes = Trace.column_slice trace "envelope" ~from ~upto in
+      let envelope = envelopes.(0) in
+      let env_constant = constant envelopes in
       let n = Array.length qos in
       let tail = max 1 (int_of_float (0.4 *. float_of_int n)) in
       let dt = config.Scenario.controller_period in
@@ -85,13 +161,18 @@ let per_phase ~trace ~config =
           Stats.steady_state_error ~reference:config.Scenario.qos_ref
             ~measured:qos ~tail;
         power_error_pct =
-          Stats.steady_state_error ~reference:envelope ~measured:power ~tail;
+          (if env_constant then
+             Stats.steady_state_error ~reference:envelope ~measured:power ~tail
+           else
+             steady_state_error_series ~reference:envelopes ~measured:power
+               ~tail);
         power_settling_s =
-          Stats.settling_time ~reference:envelope ~band:0.05
-            ~dt:config.Scenario.controller_period power;
+          (if env_constant then
+             Stats.settling_time ~reference:envelope ~band:0.05 ~dt power
+           else settling_time_series ~reference:envelopes ~band:0.05 ~dt power);
         compliance_time_s =
-          compliance_time ~envelope ~dt:config.Scenario.controller_period
-            power;
+          (if env_constant then compliance_time ~envelope ~dt power
+           else compliance_time_series ~envelope:envelopes ~dt power);
         energy_j;
         energy_per_heartbeat_j =
           (if heartbeats > 0. then energy_j /. heartbeats else infinity);
@@ -113,7 +194,16 @@ let pp_phase_metrics ppf m =
 let find metrics name =
   match List.find_opt (fun m -> m.phase_name = name) metrics with
   | Some m -> m
-  | None -> raise Not_found
+  | None ->
+      (* A bare [Not_found] out of a bench table is undiagnosable — name
+         the missing phase and what was actually available. *)
+      invalid_arg
+        (Printf.sprintf "Metrics.find: no phase %S (available: %s)" name
+           (match metrics with
+           | [] -> "none"
+           | _ ->
+               String.concat ", "
+                 (List.map (fun m -> Printf.sprintf "%S" m.phase_name) metrics)))
 
 let qos_of metrics name = (find metrics name).qos_error_pct
 let power_of metrics name = (find metrics name).power_error_pct

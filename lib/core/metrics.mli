@@ -40,7 +40,22 @@ val power_allowance : float
 val per_phase : trace:Trace.t -> config:Scenario.config -> phase_metrics list
 (** Steady-state errors use the last 40 % of each phase's samples.
     Phases whose duration rounds to zero controller periods record no
-    samples and are omitted from the result. *)
+    samples and are omitted from the result.
+
+    The power metrics honor the trace's {e per-tick} [envelope] column:
+    a phase whose envelope steps mid-phase (chaos fault windows, fleet
+    cap re-budgets) is judged tick by tick against the envelope in force
+    at each sample.  When the column is constant across the phase — every
+    plain scenario — the computation is bit-identical to the historical
+    scalar one, so pinned bench outputs are unchanged. *)
+
+val compliance_time :
+  envelope:float -> dt:float -> float array -> float option
+(** The compliance-time metric of {!per_phase} against a constant
+    envelope: first time from which power stays at or under
+    [envelope × ]{!power_allowance} for the rest of the slice.
+    [Some 0.] when the slice never violates; [None] when the last
+    sample still violates (compliance was never sustained). *)
 
 val recovery_time :
   envelope:float -> dt:float -> after:int -> float array -> float option
@@ -49,6 +64,21 @@ val recovery_time :
     or under — the envelope ({!power_allowance}) for the rest of the
     slice.
     [None] when power never re-complies. *)
+
+val recovery_time_series :
+  envelope:float array -> dt:float -> after:int -> float array -> float option
+(** {!recovery_time} against a per-sample envelope (the trace's
+    [envelope] column for the same slice): each sample is compared to
+    the envelope in force at its own tick.  Raises [Invalid_argument]
+    on a length mismatch. *)
+
+val compliance_time_series :
+  envelope:float array -> dt:float -> float array -> float option
+(** The compliance-time metric of {!per_phase} against a per-sample
+    envelope: first time from which power stays at or under
+    [envelope.(i) × ]{!power_allowance} for the rest of the slice;
+    [None] when it never complies.  Raises [Invalid_argument] on a
+    length mismatch. *)
 
 val reconvergence_time :
   reference:float ->
@@ -64,6 +94,8 @@ val reconvergence_time :
 val pp_phase_metrics : Format.formatter -> phase_metrics -> unit
 
 val qos_of : phase_metrics list -> string -> float
-(** QoS error of the named phase.  Raises [Not_found] on a bad name. *)
+(** QoS error of the named phase.  Raises [Invalid_argument] on a bad
+    name, naming both the missing phase and the phases available — a
+    bench-table failure must be diagnosable from the message alone. *)
 
 val power_of : phase_metrics list -> string -> float

@@ -12,4 +12,5 @@ let map ?pool f xs = Pool.map (resolve pool) f xs
 let mapi ?pool f xs =
   map ?pool (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
 
+let map_array ?pool f xs = Pool.map_array (resolve pool) f xs
 let iter ?pool f xs = ignore (map ?pool f xs : unit list)

@@ -19,5 +19,9 @@ val map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 
 val mapi : ?pool:Pool.t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
+val map_array : ?pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Ordered parallel map over arrays ({!Pool.map_array} on the default
+    pool): results land at the index of their input. *)
+
 val iter : ?pool:Pool.t -> ('a -> unit) -> 'a list -> unit
 (** Parallel [List.iter]; barrier semantics (returns after every task). *)

@@ -92,15 +92,21 @@ let map_seq f xs =
   (* Match the parallel path's evaluation order (head first). *)
   List.map f xs
 
-let map t f xs =
-  (match Domain.DLS.get running_in with
+let check_reentrant t =
+  match Domain.DLS.get running_in with
   | Some p when p == t ->
       invalid_arg "Pool.map: re-entrant call from inside a task of this pool"
-  | _ -> ());
-  if t.jobs = 1 || t.workers = [] || xs = [] then map_seq f xs
+  | _ -> ()
+
+(* Shared parallel body over arrays: [map] wraps it in list conversions,
+   [map_array] (the fleet engine's shard fan-out) uses it directly so a
+   10k-element shard table never round-trips through a list. *)
+let map_array t f input =
+  check_reentrant t;
+  if t.jobs = 1 || t.workers = [] || Array.length input = 0 then
+    Array.map f input
   else begin
     Spectr_obs.Counters.incr c_maps;
-    let input = Array.of_list xs in
     let n = Array.length input in
     Spectr_obs.Counters.add c_tasks n;
     let results = Array.make n None in
@@ -144,5 +150,10 @@ let map t f xs =
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ())
       errors;
-    Array.to_list (Array.map Option.get results)
+    Array.map Option.get results
   end
+
+let map t f xs =
+  check_reentrant t;
+  if t.jobs = 1 || t.workers = [] || xs = [] then map_seq f xs
+  else Array.to_list (map_array t f (Array.of_list xs))

@@ -45,6 +45,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     called from inside one of this pool's own tasks (re-entrancy would
     deadlock). *)
 
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map} over arrays, without the list round-trip — the fleet engine
+    fans thousands of shard descriptors out through this.  Same ordering,
+    exception and re-entrancy contract as {!map}. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  Subsequent [map] calls fall back to
     sequential execution.  Idempotent. *)

@@ -1,0 +1,19 @@
+(** Deterministic workload arrival stream for the fleet.
+
+    Arrivals are a pure function of [(seed, epoch)]: the same pair
+    always yields the same item list, independent of node state, job
+    count or anything the simulation did — the determinism discipline
+    that keeps fleet runs byte-identical across [SPECTR_JOBS]. *)
+
+type item = {
+  a_tasks : int;  (** Background tasks the item places (1–3). *)
+  a_duration : int;  (** Lifetime in controller ticks. *)
+  a_kind : string;
+      (** Workload-affinity hint: the name of one of the eight QoS
+          benchmarks; the placer favors nodes running it. *)
+}
+
+val generate : seed:int -> epoch:int -> rate:float -> item list
+(** The items arriving during this epoch.  [rate] is the expected item
+    count per epoch (the integer part always arrives; the fraction
+    arrives Bernoulli on a stream derived from [(seed, epoch)]). *)

@@ -1,0 +1,82 @@
+type policy = Uncoordinated | Static_split | Water_filling
+
+let policy_of_string = function
+  | "uncoordinated" -> Some Uncoordinated
+  | "static" -> Some Static_split
+  | "waterfill" -> Some Water_filling
+  | _ -> None
+
+let string_of_policy = function
+  | Uncoordinated -> "uncoordinated"
+  | Static_split -> "static"
+  | Water_filling -> "waterfill"
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+
+(* Guardband held back from the global cap by the coordinated policies.
+   A per-chip supervisor tolerates brief overshoot at its own cap (OPP
+   quantization dither, one-period actuation lag), so a coordinator
+   that allocates the cap to the last watt sees the fleet sum flutter
+   over it.  Same reasoning as the chaos invariants' safety guardband,
+   applied one level up. *)
+let default_headroom = 0.05
+
+(* A node's demand for next epoch, anchored on what it actually drew:
+   a node meeting its reference asks for its draw plus a 5 % margin
+   (freeing the rest of its cap), while QoS debt scales the ask up to
+   +80 % of the draw.  Anchoring on measured power — not on the current
+   cap — is what keeps demands heterogeneous when every node is
+   somewhat starved: the old cap-anchored rule saturated the whole
+   fleet at TDP and degenerated water-filling into an even split.
+   Dead nodes hold the floor — their allocation is reclaimable but
+   they must be able to boot. *)
+let demand ~(config : Node.config) ~epoch_s (r : Node.report) =
+  if not r.Node.r_alive then config.cap_floor
+  else begin
+    let debt_frac = clamp 0. 1. (r.Node.r_debt /. epoch_s) in
+    let want = r.Node.r_power *. (1.05 +. (0.8 *. debt_frac)) in
+    clamp config.cap_floor config.node_tdp want
+  end
+
+let rebudget ?(headroom = default_headroom) ~policy ~global_cap
+    ~(config : Node.config) ~epoch_s reports =
+  let n = Array.length reports in
+  if n = 0 then [||]
+  else begin
+    let floor = config.cap_floor and tdp = config.node_tdp in
+    let budget = global_cap *. (1. -. headroom) in
+    match policy with
+    | Uncoordinated -> Array.make n tdp
+    | Static_split ->
+        Array.make n (clamp floor tdp (budget /. float_of_int n))
+    | Water_filling ->
+        let demands = Array.map (demand ~config ~epoch_s) reports in
+        let alloc_sum level =
+          let s = ref 0. in
+          for i = 0 to n - 1 do
+            s := !s +. Float.max floor (Float.min demands.(i) level)
+          done;
+          !s
+        in
+        let total_demand = alloc_sum tdp in
+        if total_demand <= budget then
+          (* Budget is abundant: everyone gets their demand. *)
+          Array.map (fun d -> Float.max floor d) demands
+        else if alloc_sum floor >= budget then
+          (* Infeasible below n × floor: hold every node at its floor
+             (the closest feasible point the node interface allows). *)
+          Array.make n floor
+        else begin
+          (* Bisect the water level λ so Σ max floor (min demand λ)
+             meets the cap.  [lo] keeps the under-budget invariant; a
+             fixed iteration count keeps the result bit-deterministic
+             regardless of inputs. *)
+          let lo = ref floor and hi = ref tdp in
+          for _ = 1 to 60 do
+            let mid = 0.5 *. (!lo +. !hi) in
+            if alloc_sum mid <= budget then lo := mid else hi := mid
+          done;
+          let level = !lo in
+          Array.map (fun d -> Float.max floor (Float.min d level)) demands
+        end
+  end

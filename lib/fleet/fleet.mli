@@ -1,0 +1,68 @@
+(** The fleet engine: thousands of SPECTR-managed nodes under one
+    datacenter power cap.
+
+    Each epoch the engine (1) boots dead nodes whose downtime expired
+    and executes this epoch's deterministic kill plan, (2) ticks every
+    node [ticks_per_epoch] controller periods — sharded across the
+    {!Spectr_exec.Pool} workers, (3) sums ground-truth fleet power tick
+    by tick, (4) collects node reports, (5) places arriving workload
+    items ({!Placer}), and (6) re-budgets per-node caps under the global
+    cap ({!Coordinator}).
+
+    {b Determinism discipline.}  Nodes are partitioned into shards of a
+    {e fixed} [shard_size] — a function of the spec only, never of the
+    job count — and per-tick shard power sums are reduced in submission
+    (= node-index) order, so every float addition happens in the same
+    order for any [SPECTR_JOBS].  Kill plans and arrivals are pure
+    functions of [(seed, epoch)].  The {!result.digest} is therefore
+    byte-identical across job counts; `make fleet-smoke` pins this. *)
+
+type spec = {
+  nodes : int;
+  epochs : int;
+  ticks_per_epoch : int;
+  dt : float;  (** Controller period (s). *)
+  seed : int;
+  global_cap : float;  (** Datacenter power cap (W). *)
+  policy : Coordinator.policy;
+  node_config : Node.config;
+  arrival_rate : float;  (** Expected workload items per epoch. *)
+  kill_rate : float;  (** Expected node kills per epoch. *)
+  down_epochs : int;  (** Epochs a killed node stays dead. *)
+  shard_size : int;
+      (** Nodes per parallel shard — part of the spec, {e not} derived
+          from the job count, so results are job-count independent. *)
+}
+
+val default_spec : spec
+(** 64 nodes × 20 epochs × 50 ticks, [dt] = 0.05 s, global cap of
+    2.5 W per node (half the per-chip TDP), water-filling policy,
+    2 arrivals and 0.5 kills per epoch, 2 epochs of downtime,
+    [shard_size] = 64. *)
+
+type result = {
+  total_ticks : int;  (** epochs × ticks_per_epoch. *)
+  peak_fleet_power : float;
+      (** Max over all ticks of the summed ground-truth chip power (W). *)
+  mean_fleet_power : float;
+  violation_ticks : int;
+      (** Ticks where fleet power exceeded
+          [global_cap × ]{!Spectr.Metrics.power_allowance}. *)
+  qos_attainment : float;
+      (** Mean over node-epochs of [min 1 (qos / qos_ref)] — 1.0 means
+          every node met its reference every epoch. *)
+  total_debt : float;  (** Summed QoS debt over all node-epochs (s). *)
+  placements : int;
+  kills : int;
+  restarts : int;
+  digest : string;
+      (** MD5 over the canonical per-epoch stats (hex floats), the
+          value the determinism gate compares across job counts. *)
+}
+
+val run : ?pool:Spectr_exec.Pool.t -> spec -> result
+(** Run the fleet to completion.  [pool] overrides the process-default
+    worker pool (tests use it to compare 1-job vs 4-job runs in one
+    process).  Raises [Invalid_argument] on a non-positive dimension. *)
+
+val pp_result : Format.formatter -> result -> unit

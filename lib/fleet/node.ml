@@ -1,0 +1,264 @@
+open Spectr_platform
+
+type config = {
+  node_tdp : float;
+  cap_floor : float;
+  hb_window : float;
+  boot_ticks : int;
+}
+
+let default_config =
+  { node_tdp = 5.0; cap_floor = 1.0; hb_window = 0.25; boot_ticks = 40 }
+
+(* Warm-up runs at the paper's controller period regardless of the
+   fleet's tick length: boot is a property of the node, not of whoever
+   is driving it. *)
+let boot_dt = 0.05
+
+type item = { tasks : int; mutable left : int }
+
+type t = {
+  id : int;
+  config : config;
+  seed : int64;
+  workload : Workload.t;
+  qos_ref : float;
+  mutable soc : Soc.t;
+  mutable hb : Heartbeats.t;
+  mutable manager : Spectr.Manager.t;
+  mutable cap : float;
+  mutable alive : bool;
+  mutable items : item list;
+  mutable bg : int;
+  obs : Soc.observation;
+  (* epoch accumulators, drained by [report] *)
+  mutable e_ticks : int;
+  mutable e_power : float;
+  mutable e_sensor : float;
+  mutable e_qos : float;
+  mutable e_debt : float;
+  mutable last_power : float;
+  (* lifetime *)
+  mutable total_debt : float;
+  mutable kills : int;
+  mutable restarts : int;
+  mutable saved : Spectr.Manager.checkpoint option;
+}
+
+let qos_ref_for workload =
+  if workload.Workload.name = "x264" then 60.
+  else 0.75 *. Perf_model.max_qos_rate workload
+
+let make_soc t generation =
+  (* Reseed each life: SplitMix-style mix of the node seed and the
+     restart generation, so a rebooted node's noise stream is
+     deterministic but independent of its previous life. *)
+  let seed =
+    Int64.add t
+      (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (generation + 1)))
+  in
+  fun workload ->
+    let soc =
+      Soc.create ~config:{ Soc.default_config with seed } ~qos:workload ()
+    in
+    (* Boot throttled: a node comes up at the lowest OPP and lets its
+       manager ramp it.  Booting at the mid-range default made every
+       fleet start (and every reboot) a synchronized power spike that
+       transiently broke the global cap through no fault of the
+       coordinator. *)
+    ignore (Soc.set_frequency soc Soc.Big 0.);
+    ignore (Soc.set_frequency soc Soc.Little 0.);
+    soc
+
+let create ?(config = default_config) ~id ~seed ~workload () =
+  if config.node_tdp <= 0. || config.cap_floor <= 0. then
+    invalid_arg "Node.create: non-positive tdp/floor";
+  let qos_ref = qos_ref_for workload in
+  let soc = (make_soc seed 0) workload in
+  let manager, _sup = Spectr.Spectr_manager.make () in
+  {
+    id;
+    config;
+    seed;
+    workload;
+    qos_ref;
+    soc;
+    hb = Heartbeats.create ~window:config.hb_window ~reference:qos_ref ();
+    manager;
+    cap = config.node_tdp;
+    alive = true;
+    items = [];
+    bg = 0;
+    obs = Soc.make_observation ();
+    e_ticks = 0;
+    e_power = 0.;
+    e_sensor = 0.;
+    e_qos = 0.;
+    e_debt = 0.;
+    last_power = 0.;
+    total_debt = 0.;
+    kills = 0;
+    restarts = 0;
+    saved = None;
+  }
+
+let id t = t.id
+let workload_name t = t.workload.Workload.name
+let qos_ref t = t.qos_ref
+let alive t = t.alive
+let cap t = t.cap
+let background t = t.bg
+let last_true_power t = t.last_power
+let kills t = t.kills
+let restarts t = t.restarts
+
+let set_cap t cap =
+  let cap = Float.min t.config.node_tdp (Float.max t.config.cap_floor cap) in
+  t.cap <- cap
+
+let recompute_bg t =
+  let bg = List.fold_left (fun acc it -> acc + it.tasks) 0 t.items in
+  if bg <> t.bg then begin
+    t.bg <- bg;
+    if t.alive then Soc.set_background_tasks t.soc bg
+  end
+
+let add_load t ~tasks ~duration_ticks =
+  if tasks < 0 || duration_ticks <= 0 then
+    invalid_arg "Node.add_load: tasks < 0 or duration_ticks <= 0";
+  t.items <- { tasks; left = duration_ticks } :: t.items;
+  recompute_bg t
+
+let expire_items t =
+  let any_expired = ref false in
+  List.iter
+    (fun it ->
+      it.left <- it.left - 1;
+      if it.left <= 0 then any_expired := true)
+    t.items;
+  if !any_expired then begin
+    t.items <- List.filter (fun it -> it.left > 0) t.items;
+    recompute_bg t
+  end
+
+(* One platform + manager step; returns ground-truth power.  Shared by
+   counted ticks and the uncounted boot warm-up. *)
+let step_platform t ~dt =
+  let obs = t.obs in
+  Soc.step_into t.soc ~dt obs;
+  Heartbeats.beat t.hb ~now:obs.Soc.time ~count:(obs.Soc.qos_rate *. dt);
+  obs.Soc.qos_rate <- Heartbeats.rate t.hb ~now:obs.Soc.time;
+  t.manager.Spectr.Manager.step ~now:obs.Soc.time ~qos_ref:t.qos_ref
+    ~envelope:t.cap ~obs t.soc;
+  Soc.true_chip_power t.soc
+
+let warm_up ?ticks t =
+  if t.alive then begin
+    let n = match ticks with Some n -> n | None -> t.config.boot_ticks in
+    for _ = 1 to n do
+      ignore (step_platform t ~dt:boot_dt)
+    done
+  end
+
+let tick t ~dt =
+  if t.alive then begin
+    expire_items t;
+    let tp = step_platform t ~dt in
+    let obs = t.obs in
+    t.last_power <- tp;
+    t.e_power <- t.e_power +. tp;
+    t.e_sensor <- t.e_sensor +. obs.Soc.chip_power;
+    t.e_qos <- t.e_qos +. obs.Soc.qos_rate;
+    let shortfall =
+      Float.max 0. ((t.qos_ref -. obs.Soc.qos_rate) /. t.qos_ref)
+    in
+    t.e_debt <- t.e_debt +. (shortfall *. dt);
+    t.total_debt <- t.total_debt +. (shortfall *. dt)
+  end
+  else begin
+    (* Dead: the work queue still drains real time, the node serves
+       nothing and draws nothing. *)
+    expire_items t;
+    t.last_power <- 0.;
+    t.e_debt <- t.e_debt +. dt;
+    t.total_debt <- t.total_debt +. dt
+  end;
+  t.e_ticks <- t.e_ticks + 1
+
+let checkpoint t =
+  match t.manager.Spectr.Manager.persist with
+  | Some p -> t.saved <- Some (p.Spectr.Manager.snapshot ())
+  | None -> ()
+
+let kill t =
+  if t.alive then begin
+    t.alive <- false;
+    t.kills <- t.kills + 1;
+    t.last_power <- 0.
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.restarts <- t.restarts + 1;
+    t.soc <- (make_soc t.seed t.restarts) t.workload;
+    t.hb <-
+      Heartbeats.create ~window:t.config.hb_window ~reference:t.qos_ref ();
+    Soc.set_background_tasks t.soc t.bg;
+    (* The manager daemon restarts from scratch and restores its last
+       persisted checkpoint — the chaos engine's kill-drill mechanics at
+       node granularity.  Never-checkpointed nodes come back cold. *)
+    let manager, _sup = Spectr.Spectr_manager.make () in
+    t.manager <- manager;
+    (match (t.saved, manager.Spectr.Manager.persist) with
+    | Some c, Some p -> p.Spectr.Manager.restore c
+    | _ -> ());
+    t.alive <- true;
+    (* A rebooting node stabilizes under its current cap before it
+       rejoins the reported fleet — admission control, not accounting
+       fiction: its uncounted boot second is exactly the window a real
+       cluster holds a node out of the load balancer. *)
+    warm_up t
+  end
+
+type report = {
+  r_id : int;
+  r_alive : bool;
+  r_cap : float;
+  r_power : float;
+  r_sensor_power : float;
+  r_qos : float;
+  r_qos_ref : float;
+  r_debt : float;
+  r_total_debt : float;
+  r_background : int;
+  r_workload : string;
+  r_kills : int;
+  r_restarts : int;
+}
+
+let report t =
+  let n = t.e_ticks in
+  let mean acc = if n = 0 then 0. else acc /. float_of_int n in
+  let r =
+    {
+      r_id = t.id;
+      r_alive = t.alive;
+      r_cap = t.cap;
+      r_power = mean t.e_power;
+      r_sensor_power = mean t.e_sensor;
+      r_qos = mean t.e_qos;
+      r_qos_ref = t.qos_ref;
+      r_debt = t.e_debt;
+      r_total_debt = t.total_debt;
+      r_background = t.bg;
+      r_workload = t.workload.Workload.name;
+      r_kills = t.kills;
+      r_restarts = t.restarts;
+    }
+  in
+  t.e_ticks <- 0;
+  t.e_power <- 0.;
+  t.e_sensor <- 0.;
+  t.e_qos <- 0.;
+  t.e_debt <- 0.;
+  r

@@ -2,10 +2,14 @@
 
    Bucket [b] holds samples whose nanosecond value needs exactly [b]
    significant bits, i.e. the half-open range [2^(b-1), 2^b) (bucket 0
-   holds zero and negative samples).  63 buckets cover every OCaml int.
-   Buckets are plain atomics — recording is a couple of fetch-and-adds,
-   domain-safe without locks — and percentiles are answered from the
-   cumulative bucket walk, clamped by the exactly-tracked maximum. *)
+   holds zero samples).  63 buckets cover every OCaml int.  Negative
+   samples — a clock bug upstream — are rejected whole (counted only in
+   [dropped]): the old behaviour clamped them out of [sum] but still
+   incremented [count] and bucket 0, silently dragging [mean_ns] below
+   every real sample.  Buckets are plain atomics — recording is a couple
+   of fetch-and-adds, domain-safe without locks — and percentiles are
+   answered from the cumulative bucket walk, clamped by the
+   exactly-tracked maximum. *)
 
 let bucket_count = 63
 
@@ -15,6 +19,7 @@ type t = {
   count : int Atomic.t;
   sum : int Atomic.t;
   max : int Atomic.t;
+  dropped : int Atomic.t; (* negative samples rejected by [observe] *)
 }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 8
@@ -33,6 +38,7 @@ let histogram name =
             count = Atomic.make 0;
             sum = Atomic.make 0;
             max = Atomic.make 0;
+            dropped = Atomic.make 0;
           }
         in
         Hashtbl.add registry name h;
@@ -57,16 +63,19 @@ let rec update_max cell v =
   if v > cur && not (Atomic.compare_and_set cell cur v) then update_max cell v
 
 let observe t ns =
-  if Atomic.get State.enabled then begin
-    ignore (Atomic.fetch_and_add t.buckets.(bucket_of ns) 1);
-    ignore (Atomic.fetch_and_add t.count 1);
-    ignore (Atomic.fetch_and_add t.sum (max ns 0));
-    update_max t.max ns
-  end
+  if Atomic.get State.enabled then
+    if ns < 0 then ignore (Atomic.fetch_and_add t.dropped 1)
+    else begin
+      ignore (Atomic.fetch_and_add t.buckets.(bucket_of ns) 1);
+      ignore (Atomic.fetch_and_add t.count 1);
+      ignore (Atomic.fetch_and_add t.sum ns);
+      update_max t.max ns
+    end
 
 let name t = t.name
 let count t = Atomic.get t.count
 let max_ns t = Atomic.get t.max
+let dropped t = Atomic.get t.dropped
 
 let mean_ns t =
   let n = Atomic.get t.count in
@@ -110,6 +119,7 @@ let reset () =
       Array.iter (fun b -> Atomic.set b 0) h.buckets;
       Atomic.set h.count 0;
       Atomic.set h.sum 0;
-      Atomic.set h.max 0)
+      Atomic.set h.max 0;
+      Atomic.set h.dropped 0)
     registry;
   Mutex.unlock mu

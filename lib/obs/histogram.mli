@@ -11,12 +11,19 @@ val histogram : string -> t
 (** Get or create the histogram registered under this name. *)
 
 val observe : t -> int -> unit
-(** Record one nanosecond sample (negative samples land in bucket 0). *)
+(** Record one nanosecond sample.  Negative samples (a clock bug in the
+    caller) are rejected consistently — they touch neither [count], [sum]
+    nor any bucket, only the {!dropped} tally — so [mean_ns] is always
+    the mean of the samples actually recorded.  Zero is a valid sample
+    (bucket 0). *)
 
 val name : t -> string
 val count : t -> int
 val max_ns : t -> int
 val mean_ns : t -> float
+
+val dropped : t -> int
+(** Negative samples rejected by {!observe} since the last reset. *)
 
 val percentile : t -> float -> int
 (** [percentile t 95.] is an upper bound of the 95th-percentile sample

@@ -208,6 +208,46 @@ let test_artifact_parse_errors () =
   expect_invalid "unknown invariant name" (fun () ->
       artifact_of (valid_artifact_lines @ [ "invariant bogus" ]))
 
+(* Node-kill campaigns: drills are pure functions of (spec, index), the
+   sweep is byte-identical for any worker count, and a rebooted node
+   meets the fleet admission contract — smoothed power back under its
+   cap within the deadline. *)
+
+let test_node_kill_drill_purity () =
+  let spec = Node_kill.default_spec ~seed:7 ~drills:4 () in
+  let a = Node_kill.drill_of_spec spec 2 in
+  let b = Node_kill.drill_of_spec spec 2 in
+  check_bool "equal drills" true (a = b);
+  check_bool "distinct indices differ" true
+    (Node_kill.drill_of_spec spec 1 <> a);
+  expect_invalid "index out of range" (fun () ->
+      Node_kill.drill_of_spec spec 4);
+  expect_invalid "drills <= 0" (fun () ->
+      Node_kill.default_spec ~drills:0 ())
+
+let test_node_kill_recovery () =
+  let spec = Node_kill.default_spec ~drills:6 () in
+  let r = Node_kill.run spec in
+  check_int "all drills ran" 6 (List.length r.Node_kill.r_outcomes);
+  check_int "all recovered" 0 r.Node_kill.r_failed;
+  List.iter
+    (fun (o : Node_kill.outcome) ->
+      check_bool "checkpoint taken" true o.Node_kill.o_checkpointed;
+      check_bool "downtime accrued debt" true (o.Node_kill.o_debt > 0.))
+    r.Node_kill.r_outcomes
+
+let test_node_kill_determinism () =
+  let spec = Node_kill.default_spec ~drills:4 () in
+  let digest_with jobs =
+    let pool = Spectr_exec.Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Spectr_exec.Pool.shutdown pool)
+      (fun () -> (Node_kill.run ~pool spec).Node_kill.r_digest)
+  in
+  let d1 = digest_with 1 in
+  let d4 = digest_with 4 in
+  check_string "digest independent of worker count" d1 d4
+
 let () =
   Alcotest.run "spectr_chaos"
     [
@@ -234,5 +274,14 @@ let () =
             test_shrink_and_replay;
           Alcotest.test_case "artifact parse errors" `Quick
             test_artifact_parse_errors;
+        ] );
+      ( "node-kill",
+        [
+          Alcotest.test_case "drills pure function of spec" `Quick
+            test_node_kill_drill_purity;
+          Alcotest.test_case "rebooted nodes meet the deadline" `Slow
+            test_node_kill_recovery;
+          Alcotest.test_case "digest independent of worker count" `Quick
+            test_node_kill_determinism;
         ] );
     ]

@@ -132,6 +132,61 @@ let test_histogram () =
       Obs.reset ();
       check_int "reset zeroes" 0 (Obs.Histogram.count h))
 
+let test_histogram_negative_rejected () =
+  with_obs (fun () ->
+      Obs.enable ();
+      let h = Obs.Histogram.histogram "test.neg" in
+      Obs.Histogram.observe h 100;
+      Obs.Histogram.observe h (-5);
+      Obs.Histogram.observe h (-1);
+      (* Regression: a negative sample used to bump [count] without
+         touching any bucket, skewing mean and percentiles forever
+         after.  Rejection must be consistent: neither count, sum,
+         buckets nor max move — only the dropped tally. *)
+      check_int "count holds" 1 (Obs.Histogram.count h);
+      check_bool "mean is the mean of recorded samples" true
+        (Obs.Histogram.mean_ns h = 100.);
+      check_int "max untouched" 100 (Obs.Histogram.max_ns h);
+      check_int "dropped tally" 2 (Obs.Histogram.dropped h);
+      (* Zero is a valid sample (bucket 0), not a rejection. *)
+      Obs.Histogram.observe h 0;
+      check_int "zero recorded" 2 (Obs.Histogram.count h);
+      check_int "zero not dropped" 2 (Obs.Histogram.dropped h);
+      Obs.reset ();
+      check_int "reset clears dropped" 0 (Obs.Histogram.dropped h))
+
+let test_histogram_percentile_edges () =
+  with_obs (fun () ->
+      Obs.enable ();
+      (* Single sample: every percentile is that sample (p0 included —
+         the rank clamps to the first recorded sample, and the exact max
+         clamps the bucket bound back down). *)
+      let h1 = Obs.Histogram.histogram "test.p.single" in
+      Obs.Histogram.observe h1 700;
+      check_int "single-sample p0" 700 (Obs.Histogram.percentile h1 0.);
+      check_int "single-sample p50" 700 (Obs.Histogram.percentile h1 50.);
+      check_int "single-sample p100" 700 (Obs.Histogram.percentile h1 100.);
+      (* All-zero samples land in bucket 0 with upper bound 0. *)
+      let h0 = Obs.Histogram.histogram "test.p.zero" in
+      Obs.Histogram.observe h0 0;
+      Obs.Histogram.observe h0 0;
+      Obs.Histogram.observe h0 0;
+      check_int "all-zero p0" 0 (Obs.Histogram.percentile h0 0.);
+      check_int "all-zero p50" 0 (Obs.Histogram.percentile h0 50.);
+      check_int "all-zero p100" 0 (Obs.Histogram.percentile h0 100.);
+      (* p0 of a multi-bucket distribution covers the smallest sample;
+         p100 is exactly the max regardless of bucket width. *)
+      let h = Obs.Histogram.histogram "test.p.edges" in
+      Obs.Histogram.observe h 10;
+      Obs.Histogram.observe h 5000;
+      check_bool "p0 covers the smallest sample" true
+        (Obs.Histogram.percentile h 0. >= 10
+        && Obs.Histogram.percentile h 0. < 5000);
+      check_int "p100 is the exact max" 5000 (Obs.Histogram.percentile h 100.);
+      Alcotest.check_raises "negative percentile"
+        (Invalid_argument "Histogram.percentile") (fun () ->
+          ignore (Obs.Histogram.percentile h (-1.))))
+
 let test_time_span () =
   with_obs (fun () ->
       Obs.enable ();
@@ -362,6 +417,10 @@ let () =
       ( "histogram",
         [
           Alcotest.test_case "buckets, percentiles, max" `Quick test_histogram;
+          Alcotest.test_case "negative samples rejected" `Quick
+            test_histogram_negative_rejected;
+          Alcotest.test_case "percentile edge ranks" `Quick
+            test_histogram_percentile_edges;
           Alcotest.test_case "timed spans" `Quick test_time_span;
         ] );
       ( "decision-log",

@@ -1170,6 +1170,101 @@ let test_metrics_empty_phase () =
   check_bool "surviving phases keep their order" true
     (List.map (fun m -> m.Metrics.phase_name) metrics = [ "lead"; "tail" ])
 
+let test_metrics_envelope_step () =
+  (* Regression: per_phase read the envelope once from the slice's first
+     sample, so a phase whose envelope steps mid-phase (chaos fault
+     windows, fleet cap re-budgets) judged every power metric against a
+     stale cap.  Build a 10-sample phase whose envelope drops from 5 W
+     to 3 W at sample 5 while power lags the drop by two samples. *)
+  let dt = 0.05 in
+  let cfg = Scenario.default_config Benchmarks.x264 in
+  let template = List.hd cfg.Scenario.phases in
+  let cfg =
+    {
+      cfg with
+      Scenario.phases =
+        [ { template with Scenario.phase_name = "step"; duration_s = 10. *. dt } ];
+      controller_period = dt;
+    }
+  in
+  let trace =
+    Trace.create ~cap:10 ~columns:Scenario.columns ()
+  in
+  let ncols = List.length Scenario.columns in
+  for i = 0 to 9 do
+    let row = Array.make ncols 0. in
+    row.(0) <- float_of_int i *. dt;
+    row.(1) <- cfg.Scenario.qos_ref;
+    row.(2) <- cfg.Scenario.qos_ref;
+    row.(3) <- (if i < 7 then 4.9 else 2.9);
+    row.(4) <- (if i < 5 then 5.0 else 3.0);
+    Trace.add trace row
+  done;
+  let m = List.hd (Metrics.per_phase ~trace ~config:cfg) in
+  (* Samples 5 and 6 hold 4.9 W against the stepped-down 3 W cap: the
+     phase first sustains compliance at sample 7.  The old
+     first-sample-envelope code saw no violation at all (4.9 <= 5.1)
+     and reported Some 0. *)
+  (match m.Metrics.compliance_time_s with
+  | Some t -> check_float "compliance honors the mid-phase step" 0.35 t
+  | None -> Alcotest.fail "phase complies after the two-sample lag");
+  (* Tail = last 4 samples; per-tick references are all 3 W there, so
+     the steady-state error is 100 * ((3-4.9)+3*(3-2.9))/4 / 3 = -40/3 %.
+     The old code computed +32 % against the stale 5 W cap. *)
+  check_bool "power error vs per-tick envelope" true
+    (Float.abs (m.Metrics.power_error_pct -. (-40. /. 3.)) < 1e-6)
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let test_metrics_find_diagnostics () =
+  (* A bad phase name must not surface as a bare Not_found: the message
+     names both the missing phase and the phases available. *)
+  let phase name =
+    {
+      Metrics.phase_name = name;
+      qos_error_pct = 0.;
+      power_error_pct = 0.;
+      power_settling_s = None;
+      compliance_time_s = None;
+      energy_j = 0.;
+      energy_per_heartbeat_j = 0.;
+    }
+  in
+  (match Metrics.qos_of [ phase "safe"; phase "emergency" ] "disturbance" with
+  | exception Invalid_argument msg ->
+      check_bool "names the missing phase" true (contains msg "disturbance");
+      check_bool "lists available phases" true
+        (contains msg "safe" && contains msg "emergency")
+  | _ -> Alcotest.fail "raises Invalid_argument");
+  match Metrics.power_of [] "any" with
+  | exception Invalid_argument msg ->
+      check_bool "empty list says none" true (contains msg "none")
+  | _ -> Alcotest.fail "raises Invalid_argument on empty list"
+
+let test_metrics_compliance_boundaries () =
+  (* Never-violating slice: compliant from t = 0 exactly. *)
+  check_bool "never violating -> Some 0." true
+    (Metrics.compliance_time ~envelope:5. ~dt:0.1 [| 4.; 4.; 4. |] = Some 0.);
+  (* Violation at the last sample: compliance is never sustained. *)
+  check_bool "last-sample violation -> None" true
+    (Metrics.compliance_time ~envelope:5. ~dt:0.1 [| 4.; 4.; 6. |] = None);
+  (* The per-sample variant shares both boundary behaviours... *)
+  check_bool "series: never violating -> Some 0." true
+    (Metrics.compliance_time_series ~envelope:[| 5.; 5. |] ~dt:0.1 [| 4.; 4. |]
+    = Some 0.);
+  check_bool "series: last-sample violation -> None" true
+    (Metrics.compliance_time_series ~envelope:[| 5.; 5. |] ~dt:0.1 [| 4.; 6. |]
+    = None);
+  (* ...and validates its shape. *)
+  match
+    Metrics.compliance_time_series ~envelope:[| 5. |] ~dt:0.1 [| 4.; 4. |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch raises"
+
 let test_fault_schedule_order () =
   (* Regression: fault_schedule used a quadratic [acc @ ...] append that
      also made the output order an accident of the implementation.  The
@@ -1357,6 +1452,12 @@ let () =
             test_metrics_reconvergence_time;
           Alcotest.test_case "zero-length phase omitted" `Slow
             test_metrics_empty_phase;
+          Alcotest.test_case "mid-phase envelope step" `Quick
+            test_metrics_envelope_step;
+          Alcotest.test_case "find diagnostics" `Quick
+            test_metrics_find_diagnostics;
+          Alcotest.test_case "compliance boundaries" `Quick
+            test_metrics_compliance_boundaries;
           Alcotest.test_case "fault schedule order" `Quick
             test_fault_schedule_order;
         ] );
