@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke robustness check clean
+.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke platform-smoke robustness check clean
 
 all: build
 
@@ -67,8 +67,32 @@ fleet-smoke:
 	SPECTR_JOBS=4 dune exec bench/main.exe -- fleet --smoke > /tmp/spectr-fleet-j4.txt
 	diff /tmp/spectr-fleet-j1.txt /tmp/spectr-fleet-j4.txt
 
+# Platform smoke: the data-driven platform layer end to end.  Built-in
+# descriptions list and validate (`platforms` digests each one), a
+# short scenario runs on every built-in shape (2-cluster board,
+# 3-cluster pixel8pro, generated k3), the exynos5422 trace CSV is
+# pinned byte-for-byte against the pre-refactor build, and every file
+# in the malformed-CSV corpus is rejected with exit code 2 and a
+# line-numbered parse error.
+platform-smoke:
+	dune exec bin/spectr_cli.exe -- platforms
+	dune exec bin/spectr_cli.exe -- platforms --platform pixel8pro
+	dune exec bin/spectr_cli.exe -- scenario -m spectr -b x264 \
+	  --platform exynos5422 --csv /tmp/spectr-platform-exynos.csv > /dev/null
+	dune exec bin/spectr_cli.exe -- scenario -m spectr -b x264 \
+	  --platform pixel8pro > /dev/null
+	dune exec bin/spectr_cli.exe -- scenario -m spectr -b x264 \
+	  --platform k3 > /dev/null
+	echo "ab3b5b5ef6ec4920c18d5f0a4117cbc1  /tmp/spectr-platform-exynos.csv" \
+	  | md5sum -c -
+	for f in test/platforms/bad/*.csv; do \
+	  dune exec bin/spectr_cli.exe -- platforms --platform $$f; \
+	  code=$$?; \
+	  [ $$code -eq 2 ] || { echo "$$f: expected exit 2, got $$code"; exit 1; }; \
+	done
+
 # What CI runs.
-check: build fmt test obs-smoke chaos-smoke fleet-smoke
+check: build fmt test obs-smoke chaos-smoke fleet-smoke platform-smoke
 
 clean:
 	dune clean

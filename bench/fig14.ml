@@ -12,7 +12,7 @@ open Spectr_platform
 let run () =
   Util.heading
     "Figure 14: steady-state error (%) per benchmark x manager x phase";
-  let specs = Util.manager_specs () in
+  let specs = Util.grid_specs () in
   let cells =
     List.concat_map
       (fun w -> List.map (fun spec -> (w, spec)) specs)
@@ -20,8 +20,8 @@ let run () =
   in
   let metrics_flat =
     Spectr_exec.Parmap.map
-      (fun (w, (name, make_manager)) ->
-        let cfg = Spectr.Scenario.default_config w in
+      (fun (w, (name, platform, make_manager)) ->
+        let cfg = Spectr.Scenario.default_config ~platform w in
         let trace = Spectr.Scenario.run ~manager:(make_manager ()) cfg in
         (name, Spectr.Metrics.per_phase ~trace ~config:cfg))
       cells
@@ -37,7 +37,7 @@ let run () =
             metrics_flat ))
       Benchmarks.all_qos
   in
-  let manager_names = List.map fst specs in
+  let manager_names = List.map (fun (name, _, _) -> name) specs in
   let table ?(fmt = format_of_string " %+9.1f") phase extract label =
     Util.subheading label;
     Printf.printf "%-14s" "benchmark";

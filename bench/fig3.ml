@@ -26,14 +26,16 @@ let run_controller ~label ~q_y =
   let time = Array.make steps 0. in
   let fps = Array.make steps 0. in
   let power = Array.make steps 0. in
+  let big = Soc.host_cluster soc in
   for t = 0 to steps - 1 do
     let obs = Soc.step soc ~dt:0.05 in
+    let big_power = (Soc.sensor_powers soc).(big) in
     time.(t) <- obs.Soc.time;
     fps.(t) <- obs.Soc.qos_rate;
-    power.(t) <- obs.Soc.big_power;
-    let u = Mimo.step ctrl ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |] in
+    power.(t) <- big_power;
+    let u = Mimo.step ctrl ~measured:[| obs.Soc.qos_rate; big_power |] in
     let (_ : Spectr.Manager.applied) =
-      Spectr.Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
+      Spectr.Manager.apply_cluster soc big ~freq_ghz:u.(0) ~cores:u.(1)
     in
     ()
   done;

@@ -44,6 +44,7 @@ let spec ~nodes ~epochs ~ticks ~policy =
     kill_rate = float_of_int nodes /. 512.;
     down_epochs = 2;
     shard_size = 64;
+    platforms = [| Spectr_platform.Platform_desc.exynos5422 |];
   }
 
 let policies =

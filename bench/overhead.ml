@@ -53,8 +53,7 @@ let make_tests () =
   let commands =
     {
       Spectr.Supervisor.switch_gains = (fun _ -> ());
-      set_big_power_ref = (fun _ -> ());
-      set_little_power_ref = (fun _ -> ());
+      set_power_ref = (fun _ _ -> ());
     }
   in
   let sup = Spectr.Supervisor.create ~commands ~envelope:5.0 () in

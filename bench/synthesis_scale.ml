@@ -131,4 +131,32 @@ let run () =
   let hits1, misses1 = Spectr_exec.Synth_cache.stats () in
   Printf.printf
     "  synth-cache: +%d miss, +%d hit on re-synthesis of the k=4 cell\n"
-    (misses1 - misses0) (hits1 - hits0)
+    (misses1 - misses0) (hits1 - hits0);
+  (* The description-driven supervisor at growing cluster counts: the
+     real SPECTR plant/spec generated from synthetic k-cluster platform
+     descriptions, synthesized and verified end to end.  Timed rows are
+     non-deterministic, so this section is skipped in --smoke (which
+     pins stdout byte-for-byte). *)
+  if not !smoke then begin
+    Util.subheading
+      "description-driven supervisors on generated k-cluster platforms";
+    Printf.printf "  %8s %9s %9s %9s %9s\n" "clusters" "product-Q" "sup-Q"
+      "events" "total-s";
+    List.iter
+      (fun n ->
+        let platform = Spectr_platform.Platform_desc.k_cluster n in
+        let (sup, stats), t =
+          timed (fun () -> Spectr.Supervisor.synthesize ~platform ())
+        in
+        let plant = Spectr.Plant_model.composed_for platform in
+        if
+          not
+            (Verify.is_nonblocking sup
+            && Verify.is_controllable ~plant ~supervisor:sup)
+        then failwith "synthesis-scale: platform supervisor failed verify";
+        Printf.printf "  %8d %9d %9d %9d %9.3f\n" n
+          stats.Synthesis.product_states (Automaton.num_states sup)
+          (Event.Set.cardinal (Automaton.alphabet sup))
+          t)
+      [ 2; 3; 4; 6; 8; 12; 16 ]
+  end

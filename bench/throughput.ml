@@ -70,8 +70,7 @@ let kernel_section () =
   let commands =
     {
       Spectr.Supervisor.switch_gains = (fun _ -> ());
-      set_big_power_ref = (fun _ -> ());
-      set_little_power_ref = (fun _ -> ());
+      set_power_ref = (fun _ _ -> ());
     }
   in
   let sup = Spectr.Supervisor.create ~commands ~envelope:2.0 () in

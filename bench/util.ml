@@ -50,6 +50,22 @@ let manager_specs () : (string * (unit -> Spectr.Manager.t)) list =
     ("FS", fun () -> Spectr.Fs.make ());
   ]
 
+(* The evaluation-grid columns: every (manager, platform) pair a cell
+   runs.  The four exynos columns above, plus SPECTR driving the
+   3-cluster pixel8pro description — each new platform is a new column
+   axis, not a new harness. *)
+let grid_specs () :
+    (string * Spectr_platform.Platform_desc.t * (unit -> Spectr.Manager.t))
+    list =
+  let exynos = Spectr_platform.Platform_desc.exynos5422 in
+  let p8p = Spectr_platform.Platform_desc.pixel8pro in
+  List.map (fun (name, mk) -> (name, exynos, mk)) (manager_specs ())
+  @ [
+      ( "SPECTR-3c",
+        p8p,
+        fun () -> fst (Spectr.Spectr_manager.make ~platform:p8p ()) );
+    ]
+
 (* Run one scenario per (label, constructor) pair, fanned out across the
    pool; results are in input order. *)
 let run_scenarios ~config specs =

@@ -7,12 +7,13 @@
      chaos        run a seeded randomized fault campaign (soak)
      replay       re-execute a chaos reproducer artifact deterministically
      fleet        simulate a coordinated fleet of SPECTR-managed SoCs
+     platforms    list built-in platform descriptions or validate one
      list         list benchmarks, managers and subsystems
 
    Exit codes (beyond cmdliner's 124 for unknown subcommands/flags):
      0  success / campaign within expectations
-     1  bad argument value (unknown manager, benchmark, …)
-     2  malformed reproducer artifact
+     1  bad argument value (unknown manager, benchmark, platform, …)
+     2  malformed reproducer artifact or platform CSV
      3  an invariant violation in a --fail-on variant, a fleet tick over
         the global cap under --require-compliant, or a node-kill drill
         missing its recovery deadline
@@ -26,6 +27,51 @@ open Spectr_platform
 (* Lift a unit command term into the int (exit code) world of
    [Cmd.eval']: plain commands exit 0 on success. *)
 let exit_ok term = Term.(const (fun () -> 0) $ term)
+
+(* ------------------------------------------------------------------ *)
+(* platform specs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A platform spec is a built-in name ([exynos5422], [pixel8pro]), a
+   synthetic [k<N>] generator, or a path to a platform CSV.  Unknown
+   names exit 1 (bad argument); a file that exists but fails to parse
+   exits 2 (malformed input, same class as a corrupt reproducer). *)
+let platform_of_spec s =
+  let k_arg =
+    if String.length s >= 2 && s.[0] = 'k' then
+      int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else None
+  in
+  match (s, k_arg) with
+  | "exynos5422", _ -> Platform_desc.exynos5422
+  | "pixel8pro", _ -> Platform_desc.pixel8pro
+  | _, Some n -> (
+      try Platform_desc.k_cluster n
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1)
+  | _ ->
+      if Sys.file_exists s then
+        match Platform_desc.of_csv_file s with
+        | Ok p -> p
+        | Error e ->
+            Format.eprintf "%s: %a@." s Platform_desc.pp_parse_error e;
+            exit 2
+      else begin
+        Printf.eprintf
+          "unknown platform %S (exynos5422, pixel8pro, k<N>, or a platform \
+           CSV file)\n"
+          s;
+        exit 1
+      end
+
+let platform_arg =
+  Arg.(
+    value & opt string "exynos5422"
+    & info [ "platform" ] ~docv:"PLATFORM"
+        ~doc:
+          "Platform description: $(b,exynos5422), $(b,pixel8pro), \
+           $(b,k<N>) (synthetic N-cluster), or a platform CSV file.")
 
 (* ------------------------------------------------------------------ *)
 (* synthesize                                                           *)
@@ -114,19 +160,20 @@ let identify_cmd =
 (* scenario                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let manager_of_string = function
-  | "spectr" -> Some (fst (Spectr.Spectr_manager.make ()))
-  | "mm-pow" -> Some (Spectr.Mm.make_pow ())
-  | "mm-perf" -> Some (Spectr.Mm.make_perf ())
+let manager_of_string ~platform = function
+  | "spectr" -> Some (fst (Spectr.Spectr_manager.make ~platform ()))
+  | "mm-pow" -> Some (Spectr.Mm.make_pow ~platform ())
+  | "mm-perf" -> Some (Spectr.Mm.make_perf ~platform ())
   | "fs" -> Some (Spectr.Fs.make ())
   | "siso" -> Some (Spectr.Siso.make ())
   | _ -> None
 
-let scenario manager_name bench_name csv_path seed obs obs_jsonl =
+let scenario manager_name bench_name csv_path seed obs obs_jsonl platform_spec =
   let obs_on = obs || obs_jsonl <> None in
   (* Enable before manager construction so synthesis shows up in the
      synth-cache counters and histogram. *)
   if obs_on then Spectr_obs.enable ~now_ns:Monotonic_clock.now ();
+  let platform = platform_of_spec platform_spec in
   let workload =
     match Benchmarks.by_name bench_name with
     | Some w -> w
@@ -134,8 +181,19 @@ let scenario manager_name bench_name csv_path seed obs obs_jsonl =
         Printf.eprintf "unknown benchmark %S\n" bench_name;
         exit 1
   in
+  (* The hand-tuned exynos baselines have no N-cluster generalization:
+     refuse rather than silently mis-drive an unrelated platform. *)
+  (match manager_name with
+  | ("fs" | "siso")
+    when not (Spectr.Design_flow.is_reference_platform platform) ->
+      Printf.eprintf
+        "manager %S is hand-tuned for exynos5422 and cannot run on %s\n"
+        manager_name
+        (Platform_desc.name platform);
+      exit 1
+  | _ -> ());
   let manager =
-    match manager_of_string manager_name with
+    match manager_of_string ~platform manager_name with
     | Some m -> m
     | None ->
         Printf.eprintf
@@ -144,7 +202,10 @@ let scenario manager_name bench_name csv_path seed obs obs_jsonl =
         exit 1
   in
   let config =
-    { (Spectr.Scenario.default_config workload) with seed = Int64.of_int seed }
+    {
+      (Spectr.Scenario.default_config ~platform workload) with
+      seed = Int64.of_int seed;
+    }
   in
   let trace = Spectr.Scenario.run ~manager config in
   List.iter
@@ -207,7 +268,9 @@ let scenario_cmd =
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a resource manager through the 3-phase scenario")
     (exit_ok
-       Term.(const scenario $ manager $ bench $ csv $ seed $ obs $ obs_jsonl))
+       Term.(
+         const scenario $ manager $ bench $ csv $ seed $ obs $ obs_jsonl
+         $ platform_arg))
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                                *)
@@ -445,7 +508,7 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 
 let fleet nodes epochs ticks seed cap_per_node policy arrival_rate kill_rate
-    node_kill require_compliant =
+    node_kill require_compliant platform_specs =
   match node_kill with
   | Some drills -> (
       (* Node-kill campaign: whole-node death/restart drills over the
@@ -478,6 +541,13 @@ let fleet nodes epochs ticks seed cap_per_node policy arrival_rate kill_rate
               "unknown policy %S (uncoordinated, static, waterfill)\n" policy;
             exit 1
       in
+      let platforms =
+        String.split_on_char ',' platform_specs
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map platform_of_spec
+        |> Array.of_list
+      in
       let spec =
         {
           Spectr_fleet.Fleet.default_spec with
@@ -489,6 +559,7 @@ let fleet nodes epochs ticks seed cap_per_node policy arrival_rate kill_rate
           policy;
           arrival_rate;
           kill_rate;
+          platforms;
         }
       in
       let r =
@@ -561,12 +632,54 @@ let fleet_cmd =
             "Exit nonzero (3) when any tick exceeds the global cap — the \
              fleet-bench gate.")
   in
+  let platforms =
+    Arg.(
+      value & opt string "exynos5422"
+      & info [ "platform" ] ~docv:"PLATFORMS"
+          ~doc:
+            "Comma-separated platform specs (built-in name, $(b,k<N>) or \
+             CSV file); node $(i,i) runs spec $(i,i) mod count — more than \
+             one gives an interleaved heterogeneous fleet.")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Simulate a coordinated fleet of SPECTR-managed SoCs")
     Term.(
       const fleet $ nodes $ epochs $ ticks $ seed $ cap $ policy
-      $ arrival_rate $ kill_rate $ node_kill $ require_compliant)
+      $ arrival_rate $ kill_rate $ node_kill $ require_compliant $ platforms)
+
+(* ------------------------------------------------------------------ *)
+(* platforms                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let platforms validate =
+  match validate with
+  | Some spec ->
+      (* Validate without running anything: [platform_of_spec] exits 1/2
+         with the precise error on failure. *)
+      let p = platform_of_spec spec in
+      Printf.printf "%s\nOK: digest %s\n" (Platform_desc.describe p)
+        (Platform_desc.digest p)
+  | None ->
+      List.iter
+        (fun p -> print_endline (Platform_desc.describe p))
+        (Platform_desc.builtins ())
+
+let platforms_cmd =
+  let validate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "platform" ] ~docv:"PLATFORM"
+          ~doc:
+            "Validate this platform spec (built-in name, $(b,k<N>) or CSV \
+             file) and print its summary and digest instead of listing the \
+             built-ins.  A malformed CSV exits 2 with the offending line.")
+  in
+  Cmd.v
+    (Cmd.info "platforms"
+       ~doc:"List built-in platform descriptions or validate one")
+    (exit_ok Term.(const platforms $ validate))
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                 *)
@@ -606,5 +719,6 @@ let () =
             chaos_cmd;
             replay_cmd;
             fleet_cmd;
+            platforms_cmd;
             list_cmd;
           ]))

@@ -102,15 +102,16 @@ let () =
   let soc = Soc.create ~qos:Benchmarks.x264 () in
   for _ = 1 to 100 do
     let obs = Soc.step soc ~dt:0.05 in
+    let powers = Soc.sensor_powers soc in
     let u = Spectr_control.Mimo.step big_ctrl
-        ~measured:[| obs.Soc.qos_rate; obs.Soc.big_power |] in
+        ~measured:[| obs.Soc.qos_rate; powers.(0) |] in
     let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1)
+      Manager.apply_cluster soc 0 ~freq_ghz:u.(0) ~cores:u.(1)
     in
     let ul = Spectr_control.Mimo.step little_ctrl
-        ~measured:[| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |] in
+        ~measured:[| (Soc.ips_totals soc).(1) /. 1e9; powers.(1) |] in
     let (_ : Manager.applied) =
-      Manager.apply_cluster soc Soc.Little ~freq_ghz:ul.(0) ~cores:ul.(1)
+      Manager.apply_cluster soc 1 ~freq_ghz:ul.(0) ~cores:ul.(1)
     in
     ()
   done;

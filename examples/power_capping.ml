@@ -64,8 +64,8 @@ let () =
           Printf.printf
             "  t=%5.2f  GAIN SWITCH %s -> %s (power %.2f W, budget B %.2f / L %.2f)\n"
             obs.Soc.time !last_mode mode obs.Soc.chip_power
-            (Supervisor.big_power_ref sup)
-            (Supervisor.little_power_ref sup);
+            (Supervisor.power_ref sup 0)
+            (Supervisor.power_ref sup 1);
           last_mode := mode
         end;
         let state = Supervisor.state sup in
@@ -74,7 +74,7 @@ let () =
       Printf.printf
         "  end of phase: power %.2f W, supervisor %s, budgets B %.2f / L %.2f\n"
         (Soc.true_chip_power soc) (Supervisor.state sup)
-        (Supervisor.big_power_ref sup)
-        (Supervisor.little_power_ref sup))
+        (Supervisor.power_ref sup 0)
+        (Supervisor.power_ref sup 1))
     phases;
   print_endline "Done: the supervisor rode out both emergencies and recovered."

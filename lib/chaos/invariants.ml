@@ -309,26 +309,38 @@ let check m ~runner ~sup ~obs =
         | exception Invalid_argument msg -> Some msg
       in
       let mode = Spectr.Supervisor.gains_mode sup in
-      let big = Spectr.Supervisor.big_power_ref sup in
-      let little = Spectr.Supervisor.little_power_ref sup in
+      let host = Spectr.Supervisor.host_cluster sup in
+      let budget_problem () =
+        (* Host budget may roam up to the TDP; each secondary cluster's
+           static share stays small.  Bounds scale with the platform's
+           cluster count through the supervisor itself. *)
+        let k = Spectr.Supervisor.num_clusters sup in
+        let rec check i =
+          if i >= k then None
+          else
+            let r = Spectr.Supervisor.power_ref sup i in
+            let label = if i = host then "host" else "secondary" in
+            let hi = if i = host then m.tdp +. 0.5 else 1.5 in
+            if not (Float.is_finite r) then
+              Some
+                (Printf.sprintf "non-finite budget (%s cluster %d: %g)" label
+                   i r)
+            else if r < 0.05 || r > hi then
+              Some
+                (Printf.sprintf
+                   "%s cluster %d budget %.3f W outside [0.05, %.2f]" label i
+                   r hi)
+            else check (i + 1)
+        in
+        check 0
+      in
       let problem =
         match state_problem with
         | Some msg -> Some ("illegal automaton state: " ^ msg)
         | None ->
             if not (mode = "qos" || mode = "power") then
               Some (Printf.sprintf "unknown gains mode %S" mode)
-            else if not (Float.is_finite big && Float.is_finite little) then
-              Some
-                (Printf.sprintf "non-finite budget (big %g, little %g)" big
-                   little)
-            else if big < 0.05 || big > m.tdp +. 0.5 then
-              Some (Printf.sprintf "big budget %.3f W outside [0.05, %.2f]"
-                      big (m.tdp +. 0.5))
-            else if little < 0.05 || little > 1.5 then
-              Some
-                (Printf.sprintf "little budget %.3f W outside [0.05, 1.5]"
-                   little)
-            else None
+            else budget_problem ()
       in
       judge m ~tick ~time:t Supervisor_legal
         (Option.is_some problem)
@@ -337,37 +349,52 @@ let check m ~runner ~sup ~obs =
   (* Actuation bounds: whatever was applied must be a real OPP and a
      legal core count — a manager must never be able to command the
      platform outside its tables. *)
-  let big_f = Soc.frequency soc Soc.Big in
-  let little_f = Soc.frequency soc Soc.Little in
-  let big_c = Soc.active_cores soc Soc.Big in
-  let little_c = Soc.active_cores soc Soc.Little in
-  let act_bad =
-    (not (opp_member Opp.big big_f))
-    || (not (opp_member Opp.little little_f))
-    || big_c < 1 || big_c > 4 || little_c < 1 || little_c > 4
+  let act_problem =
+    let k = Soc.num_clusters soc in
+    let rec check i =
+      if i >= k then None
+      else
+        let f = Soc.frequency soc i in
+        let c = Soc.active_cores soc i in
+        let max_c = Soc.cluster_cores soc i in
+        if not (opp_member (Soc.opp_table soc i) f) then
+          Some
+            (Printf.sprintf "cluster %d at %d MHz, not an OPP of its table" i
+               f)
+        else if c < 1 || c > max_c then
+          Some
+            (Printf.sprintf "cluster %d at %d active cores outside [1, %d]" i
+               c max_c)
+        else check (i + 1)
+    in
+    check 0
   in
-  judge m ~tick ~time:t Actuation_bounds act_bad
+  judge m ~tick ~time:t Actuation_bounds
+    (Option.is_some act_problem)
     (fun () ->
-      Printf.sprintf
-        "applied state outside platform tables: big %d MHz/%d cores, \
-         little %d MHz/%d cores"
-        big_f big_c little_f little_c)
+      "applied state outside platform tables: "
+      ^ Option.value act_problem ~default:"")
     fresh;
   (* Non-finite tripwire over everything a manager or evaluator reads. *)
+  let powers = Soc.sensor_powers soc in
   let finite_bad =
     not
       (Float.is_finite obs.Soc.qos_rate
-      && Float.is_finite obs.Soc.big_power
-      && Float.is_finite obs.Soc.little_power
+      && Array.for_all Float.is_finite powers
       && Float.is_finite obs.Soc.chip_power
       && Float.is_finite true_power && Float.is_finite true_qos)
   in
   judge m ~tick ~time:t Non_finite finite_bad
     (fun () ->
+      let per_cluster =
+        String.concat ", "
+          (Array.to_list
+             (Array.mapi (fun i p -> Printf.sprintf "cluster %d %g" i p)
+                powers))
+      in
       Printf.sprintf
-        "non-finite value reached the pipeline: qos %g, big %g, little %g, \
-         chip %g, true power %g, true qos %g"
-        obs.Soc.qos_rate obs.Soc.big_power obs.Soc.little_power
-        obs.Soc.chip_power true_power true_qos)
+        "non-finite value reached the pipeline: qos %g, %s, chip %g, true \
+         power %g, true qos %g"
+        obs.Soc.qos_rate per_cluster obs.Soc.chip_power true_power true_qos)
     fresh;
   List.rev !fresh

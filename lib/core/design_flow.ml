@@ -1,14 +1,47 @@
 open Spectr_control
 open Spectr_sysid
 open Spectr_platform
+module Platform_desc = Spectr_platform.Platform_desc
 
-type subsystem = Big_2x2 | Little_2x2 | Fs_4x2 | Large_10x10
+type subsystem =
+  | Big_2x2
+  | Little_2x2
+  | Fs_4x2
+  | Large_10x10
+  | Cluster_2x2 of Platform_desc.t * int
+      (* one cluster of an arbitrary platform description: (freq, cores)
+         -> (qos|gips, power), the description-driven generalization of
+         Big_2x2/Little_2x2 *)
 
 let subsystem_name = function
   | Big_2x2 -> "big-2x2"
   | Little_2x2 -> "little-2x2"
   | Fs_4x2 -> "fs-4x2"
   | Large_10x10 -> "large-10x10"
+  | Cluster_2x2 (p, i) ->
+      (* The digest prefix keys the name to the exact description — two
+         platforms sharing a cluster name are different subsystems. *)
+      Printf.sprintf "%s-2x2@%s"
+        (Platform_desc.cluster_name p i)
+        (String.sub (Platform_desc.digest p) 0 8)
+
+let platform_of = function
+  | Big_2x2 | Little_2x2 | Fs_4x2 | Large_10x10 -> Platform_desc.exynos5422
+  | Cluster_2x2 (p, _) -> p
+
+let exynos_digest = lazy (Platform_desc.digest Platform_desc.exynos5422)
+
+let is_reference_platform p =
+  Platform_desc.digest p = Lazy.force exynos_digest
+
+(* The per-cluster subsystem of a description, routed through the
+   hard-wired Exynos variants when the description *is* the Exynos —
+   keeping their memo keys (and thus identification experiments, gain
+   caches and traces) identical to the pre-description code. *)
+let cluster_subsystem p i =
+  if is_reference_platform p then
+    if i = Platform_desc.host p then Big_2x2 else Little_2x2
+  else Cluster_2x2 (p, i)
 
 type identified = {
   subsystem : subsystem;
@@ -68,6 +101,34 @@ let input_spec = function
           { ch_name = "big-freq-ghz"; lo = 0.8; hi = 1.8; sat_min = 0.2; sat_max = 2.0 };
           { ch_name = "little-freq-ghz"; lo = 0.4; hi = 1.2; sat_min = 0.2; sat_max = 1.4 };
         |]
+  | Cluster_2x2 (p, i) ->
+      (* Description-driven: excite the middle of the cluster's DVFS
+         range (quasi-linear neighbourhood), saturate out to the full
+         table; cores from 2 (or 1 on a unicore cluster) to the physical
+         count. *)
+      let cl = Platform_desc.cluster p i in
+      let name = cl.Platform_desc.cl_name in
+      let opp = cl.Platform_desc.opp in
+      let lo_mhz = float_of_int (Opp.min_freq opp) in
+      let hi_mhz = float_of_int (Opp.max_freq opp) in
+      let span = hi_mhz -. lo_mhz in
+      let cores = float_of_int cl.Platform_desc.cores in
+      [|
+        {
+          ch_name = name ^ "-freq-ghz";
+          lo = (lo_mhz +. (0.3 *. span)) /. 1000.;
+          hi = (lo_mhz +. (0.85 *. span)) /. 1000.;
+          sat_min = lo_mhz /. 1000.;
+          sat_max = hi_mhz /. 1000.;
+        };
+        {
+          ch_name = name ^ "-cores";
+          lo = Float.min 2. cores;
+          hi = cores;
+          sat_min = 1.;
+          sat_max = cores;
+        };
+      |]
 
 let output_names = function
   | Big_2x2 -> [| "qos"; "big-power" |]
@@ -77,54 +138,70 @@ let output_names = function
       Array.append
         (Array.init 8 (fun i -> Printf.sprintf "core%d-gips" i))
         [| "big-power"; "little-power" |]
+  | Cluster_2x2 (p, i) ->
+      let name = Platform_desc.cluster_name p i in
+      if i = Platform_desc.host p then [| "qos"; name ^ "-power" |]
+      else [| name ^ "-gips"; name ^ "-power" |]
 
 let background_load = function
   | Big_2x2 -> 0
   | Little_2x2 -> 8
   | Fs_4x2 -> 4
   | Large_10x10 -> 4
+  | Cluster_2x2 (p, i) ->
+      (* Host identification wants the QoS app alone (like Big_2x2);
+         secondary clusters are identified under the background load
+         they exist to absorb (like Little_2x2). *)
+      if i = Platform_desc.host p then 0 else 8
+
+(* Exynos cluster indices of the hard-wired subsystems (description
+   order of [Platform_desc.exynos5422]). *)
+let exy_big = 0
+let exy_little = 1
 
 (* Apply one excitation row to the SoC and return the actually-applied
    physical input vector (after OPP quantization and rounding). *)
 let apply_inputs subsystem soc row =
   match subsystem with
-  | Big_2x2 ->
-      let f = Soc.set_frequency soc Soc.Big (row.(0) *. 1000.) in
+  | Big_2x2 | Little_2x2 | Cluster_2x2 _ ->
+      let i =
+        match subsystem with
+        | Big_2x2 -> exy_big
+        | Little_2x2 -> exy_little
+        | Cluster_2x2 (_, i) -> i
+        | _ -> assert false
+      in
+      let f = Soc.set_frequency soc i (row.(0) *. 1000.) in
       let cores = int_of_float (Float.round row.(1)) in
-      Soc.set_active_cores soc Soc.Big cores;
-      [| float_of_int f /. 1000.; float_of_int (Soc.active_cores soc Soc.Big) |]
-  | Little_2x2 ->
-      let f = Soc.set_frequency soc Soc.Little (row.(0) *. 1000.) in
-      let cores = int_of_float (Float.round row.(1)) in
-      Soc.set_active_cores soc Soc.Little cores;
-      [|
-        float_of_int f /. 1000.; float_of_int (Soc.active_cores soc Soc.Little);
-      |]
+      Soc.set_active_cores soc i cores;
+      [| float_of_int f /. 1000.; float_of_int (Soc.active_cores soc i) |]
   | Fs_4x2 ->
-      let bf = Soc.set_frequency soc Soc.Big (row.(0) *. 1000.) in
-      Soc.set_active_cores soc Soc.Big (int_of_float (Float.round row.(1)));
-      let lf = Soc.set_frequency soc Soc.Little (row.(2) *. 1000.) in
-      Soc.set_active_cores soc Soc.Little (int_of_float (Float.round row.(3)));
+      let bf = Soc.set_frequency soc exy_big (row.(0) *. 1000.) in
+      Soc.set_active_cores soc exy_big (int_of_float (Float.round row.(1)));
+      let lf = Soc.set_frequency soc exy_little (row.(2) *. 1000.) in
+      Soc.set_active_cores soc exy_little (int_of_float (Float.round row.(3)));
       [|
         float_of_int bf /. 1000.;
-        float_of_int (Soc.active_cores soc Soc.Big);
+        float_of_int (Soc.active_cores soc exy_big);
         float_of_int lf /. 1000.;
-        float_of_int (Soc.active_cores soc Soc.Little);
+        float_of_int (Soc.active_cores soc exy_little);
       |]
   | Large_10x10 ->
       for i = 0 to 7 do
         Soc.set_idle_fraction soc ~core:i row.(i)
       done;
-      let bf = Soc.set_frequency soc Soc.Big (row.(8) *. 1000.) in
-      let lf = Soc.set_frequency soc Soc.Little (row.(9) *. 1000.) in
+      let bf = Soc.set_frequency soc exy_big (row.(8) *. 1000.) in
+      let lf = Soc.set_frequency soc exy_little (row.(9) *. 1000.) in
       Array.append
         (Array.init 8 (fun i -> Soc.idle_fraction soc ~core:i))
         [| float_of_int bf /. 1000.; float_of_int lf /. 1000. |]
 
 let read_outputs subsystem soc (obs : Soc.observation) =
+  let powers = Soc.sensor_powers soc in
   match subsystem with
-  | Big_2x2 -> [| obs.Soc.qos_rate; obs.Soc.big_power |]
-  | Little_2x2 -> [| obs.Soc.little_ips /. 1e9; obs.Soc.little_power |]
+  | Big_2x2 -> [| obs.Soc.qos_rate; powers.(exy_big) |]
+  | Little_2x2 ->
+      [| (Soc.ips_totals soc).(exy_little) /. 1e9; powers.(exy_little) |]
   | Fs_4x2 -> [| obs.Soc.qos_rate; obs.Soc.chip_power |]
   | Large_10x10 ->
       (* The per-core PMU readings left the observation record (no
@@ -132,11 +209,15 @@ let read_outputs subsystem soc (obs : Soc.observation) =
          them from the SoC, which replays the skipped noise draws. *)
       Array.append
         (Array.map (fun v -> v /. 1e9) (Soc.per_core_ips soc))
-        [| obs.Soc.big_power; obs.Soc.little_power |]
+        [| powers.(exy_big); powers.(exy_little) |]
+  | Cluster_2x2 (p, i) ->
+      if i = Platform_desc.host p then [| obs.Soc.qos_rate; powers.(i) |]
+      else [| (Soc.ips_totals soc).(i) /. 1e9; powers.(i) |]
 
 let identify_uncached ~seed ~length ~order subsystem =
-  let config = { Soc.default_config with seed } in
-  let soc = Soc.create ~config ~qos:Benchmarks.microbench () in
+  let platform = platform_of subsystem in
+  let config = { (Soc.config_of platform) with seed } in
+  let soc = Soc.create ~config ~platform ~qos:Benchmarks.microbench () in
   Soc.set_background_tasks soc (background_load subsystem);
   let phys_in = input_spec subsystem in
   (* Independent random staircases per channel (distinct dwell times and

@@ -13,6 +13,7 @@
 
 open Spectr_control
 open Spectr_sysid
+module Platform_desc = Spectr_platform.Platform_desc
 
 type subsystem =
   | Big_2x2  (** Inputs (big freq GHz, big cores) ↦ (QoS rate, big power). *)
@@ -26,8 +27,27 @@ type subsystem =
   | Large_10x10
       (** 8 per-core idle-insertion knobs + 2 cluster frequencies ↦
           8 per-core GIPS + 2 cluster powers (Figure 4, right). *)
+  | Cluster_2x2 of Platform_desc.t * int
+      (** One cluster of an arbitrary platform description: (freq GHz,
+          cores) ↦ (QoS rate | cluster GIPS, cluster power) — the
+          description-driven generalization of [Big_2x2]/[Little_2x2].
+          The host cluster is identified alone (QoS output), secondaries
+          under background load (GIPS output); the excitation spans the
+          middle of the cluster's own DVFS table.  The memo key includes
+          the description (two platforms sharing a cluster name are
+          distinct subsystems — {!subsystem_name} carries the platform
+          digest). *)
 
 val subsystem_name : subsystem -> string
+
+val is_reference_platform : Platform_desc.t -> bool
+(** Digest equality with [Platform_desc.exynos5422] — true for the
+    built-in and for any CSV round-trip of it. *)
+
+val cluster_subsystem : Platform_desc.t -> int -> subsystem
+(** The 2×2 subsystem of one cluster of a description: [Big_2x2] /
+    [Little_2x2] when the description is the reference Exynos (keeping
+    their memo keys), [Cluster_2x2] otherwise. *)
 
 type identified = {
   subsystem : subsystem;

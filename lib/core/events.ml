@@ -1,4 +1,5 @@
 open Spectr_automata
+module Platform_desc = Spectr_platform.Platform_desc
 
 let critical = Event.uncontrollable "critical"
 let above_target = Event.uncontrollable "aboveTarget"
@@ -39,4 +40,82 @@ let all =
     hold_budget;
   ]
 
-let by_name name = List.find_opt (fun e -> Event.name e = name) all
+(* --- per-cluster command families ------------------------------------ *)
+
+type family = {
+  fam_platform : Platform_desc.t;
+  increase : Event.t array;
+  decrease : Event.t array;
+}
+
+(* One mutex guards both the family memo and the name index: families
+   are built lazily from manager constructors, which the bench pool runs
+   on several domains at once.  [Event.intern] has its own lock, so the
+   only state to protect here is ours. *)
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+(* Name index behind [by_name].  The previous implementation scanned
+   [all] linearly, which was fine for 17 constants but wrong once
+   platforms mint per-cluster families: the index must cover whatever
+   has been generated so far, and a scan over an ever-growing list in
+   the chaos engine's reproducer parser is the kind of quadratic nobody
+   notices until a campaign has 10^5 artifacts. *)
+let name_index : (string, Event.t) Hashtbl.t = Hashtbl.create 64
+let index_seeded = ref false
+
+let seed_index_locked () =
+  if not !index_seeded then begin
+    List.iter (fun e -> Hashtbl.replace name_index (Event.name e) e) all;
+    index_seeded := true
+  end
+
+let by_name name =
+  locked (fun () ->
+      seed_index_locked ();
+      Hashtbl.find_opt name_index name)
+
+let families : (string, family) Hashtbl.t = Hashtbl.create 8
+
+let command_name verb desc i =
+  verb ^ String.capitalize_ascii (Platform_desc.cluster_name desc i) ^ "Power"
+
+let for_platform desc =
+  (* A cluster named "critical" would mint "decreaseCriticalPower" —
+     the reserved emergency command — and the interner would silently
+     unify the two.  Refuse rather than conflate. *)
+  (let k = Platform_desc.num_clusters desc in
+   for i = 0 to k - 1 do
+     if Platform_desc.cluster_name desc i = "critical" then
+       invalid_arg
+         "Events.for_platform: cluster name \"critical\" collides with the \
+          reserved decreaseCriticalPower command"
+   done);
+  let digest = Platform_desc.digest desc in
+  locked (fun () ->
+      seed_index_locked ();
+      match Hashtbl.find_opt families digest with
+      | Some f -> f
+      | None ->
+          let k = Platform_desc.num_clusters desc in
+          let mint verb i =
+            let e = Event.controllable (command_name verb desc i) in
+            Hashtbl.replace name_index (Event.name e) e;
+            e
+          in
+          let f =
+            {
+              fam_platform = desc;
+              increase = Array.init k (mint "increase");
+              decrease = Array.init k (mint "decrease");
+            }
+          in
+          Hashtbl.replace families digest f;
+          f)
+
+let family_platform f = f.fam_platform
+let increase f i = f.increase.(i)
+let decrease f i = f.decrease.(i)

@@ -21,8 +21,10 @@ let make ?(seed = 17L) () =
     meas.(0) <- obs.Soc.qos_rate;
     meas.(1) <- obs.Soc.chip_power;
     Mimo.step_into ctrl ~measured:meas ~dst:u;
-    Manager.apply_cluster_quiet soc Soc.Big ~freq_ghz:u.(0) ~cores:u.(1);
-    Manager.apply_cluster_quiet soc Soc.Little ~freq_ghz:u.(2) ~cores:u.(3)
+    (* Exynos cluster indices: FS is identified on the reference
+       big.LITTLE platform only (Scenario rejects it elsewhere). *)
+    Manager.apply_cluster_quiet soc 0 ~freq_ghz:u.(0) ~cores:u.(1);
+    Manager.apply_cluster_quiet soc 1 ~freq_ghz:u.(2) ~cores:u.(3)
   in
   let persist =
     {

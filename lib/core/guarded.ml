@@ -90,11 +90,17 @@ let channel_filter ch v =
   end
   else accept v
 
+type filtered = {
+  mutable qos : float;
+  powers : float array; (* per-cluster, owned by the guard *)
+  mutable healthy : bool;
+}
+
 type t = {
   config : config;
   qos_ch : channel;
-  big_power_ch : channel;
-  little_power_ch : channel;
+  power_chs : channel array; (* one per cluster, description order *)
+  filtered : filtered; (* preallocated result buffer for [filter] *)
   mutable sensor_bad_streak : int;
   mutable actuator_bad_streak : int;
   mutable good_streak : int;
@@ -104,12 +110,14 @@ type t = {
   mutable total : int;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(clusters = 2) () =
+  if clusters < 1 then invalid_arg "Guarded.create: clusters < 1";
   {
     config;
     qos_ch = make_channel config.qos;
-    big_power_ch = make_channel config.power;
-    little_power_ch = make_channel config.power;
+    power_chs = Array.init clusters (fun _ -> make_channel config.power);
+    filtered =
+      { qos = 0.; powers = Array.make clusters 0.; healthy = false };
     sensor_bad_streak = 0;
     actuator_bad_streak = 0;
     good_streak = 0;
@@ -118,6 +126,8 @@ let create ?(config = default_config) () =
     substituted = 0;
     total = 0;
   }
+
+let clusters t = Array.length t.power_chs
 
 let degraded t = t.is_degraded
 let substituted_samples t = t.substituted
@@ -163,19 +173,27 @@ let update_watchdog t ~now =
   else if t.is_degraded && t.good_streak >= c.recover_count then
     exit_degraded t ~now
 
-type filtered = {
-  qos : float;
-  big_power : float;
-  little_power : float;
-  healthy : bool;
-}
-
-let filter t ~now ~qos ~big_power ~little_power =
+(* Channel order is qos first, then the power channels in cluster
+   order — on the 2-cluster platform exactly the old qos/big/little
+   sequence, so the per-channel state evolution is unchanged.  The
+   result lives in the guard-owned [filtered] buffer: the tick path
+   reads it before the next call, and the old per-call record was the
+   one allocation left on the guarded manager's hot path. *)
+let filter t ~now ~qos ~powers =
+  if Array.length powers <> Array.length t.power_chs then
+    invalid_arg "Guarded.filter: power reading count <> cluster count";
   t.total <- t.total + 1;
   let qos, qos_ok = channel_filter t.qos_ch qos in
-  let big_power, bp_ok = channel_filter t.big_power_ch big_power in
-  let little_power, lp_ok = channel_filter t.little_power_ch little_power in
-  let healthy = qos_ok && bp_ok && lp_ok in
+  let f = t.filtered in
+  f.qos <- qos;
+  let all_ok = ref qos_ok in
+  for i = 0 to Array.length t.power_chs - 1 do
+    let v, ok = channel_filter t.power_chs.(i) powers.(i) in
+    f.powers.(i) <- v;
+    all_ok := !all_ok && ok
+  done;
+  let healthy = !all_ok in
+  f.healthy <- healthy;
   if not healthy then begin
     t.substituted <- t.substituted + 1;
     Obs.Counters.incr c_interventions
@@ -191,7 +209,7 @@ let filter t ~now ~qos ~big_power ~little_power =
     t.good_streak <- 0
   end;
   update_watchdog t ~now;
-  { qos; big_power; little_power; healthy }
+  f
 
 type channel_snapshot = {
   snap_last_good : float;
@@ -204,8 +222,7 @@ type channel_snapshot = {
 
 type snapshot = {
   snap_qos : channel_snapshot;
-  snap_big_power : channel_snapshot;
-  snap_little_power : channel_snapshot;
+  snap_power : channel_snapshot array; (* per cluster, description order *)
   snap_sensor_bad_streak : int;
   snap_actuator_bad_streak : int;
   snap_good_streak : int;
@@ -236,8 +253,7 @@ let restore_channel ch s =
 let snapshot t =
   {
     snap_qos = snapshot_channel t.qos_ch;
-    snap_big_power = snapshot_channel t.big_power_ch;
-    snap_little_power = snapshot_channel t.little_power_ch;
+    snap_power = Array.map snapshot_channel t.power_chs;
     snap_sensor_bad_streak = t.sensor_bad_streak;
     snap_actuator_bad_streak = t.actuator_bad_streak;
     snap_good_streak = t.good_streak;
@@ -248,9 +264,13 @@ let snapshot t =
   }
 
 let restore t s =
+  if Array.length s.snap_power <> Array.length t.power_chs then
+    invalid_arg
+      (Printf.sprintf "Guarded.restore: %d power channels, guard has %d"
+         (Array.length s.snap_power)
+         (Array.length t.power_chs));
   restore_channel t.qos_ch s.snap_qos;
-  restore_channel t.big_power_ch s.snap_big_power;
-  restore_channel t.little_power_ch s.snap_little_power;
+  Array.iteri (fun i cs -> restore_channel t.power_chs.(i) cs) s.snap_power;
   t.sensor_bad_streak <- s.snap_sensor_bad_streak;
   t.actuator_bad_streak <- s.snap_actuator_bad_streak;
   t.good_streak <- s.snap_good_streak;

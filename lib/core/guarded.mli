@@ -38,7 +38,7 @@ type channel_config = {
 
 type config = {
   qos : channel_config;
-  power : channel_config;  (** Shared by both cluster power sensors. *)
+  power : channel_config;  (** Shared by every cluster power sensor. *)
   trip_count : int;  (** Consecutive unhealthy periods before degrading. *)
   recover_count : int;  (** Consecutive healthy periods before resuming. *)
 }
@@ -51,22 +51,29 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?clusters:int -> unit -> t
+(** [clusters] (default 2) is the number of per-cluster power channels
+    the guard tracks — one per platform cluster, in description order.
+    Raises [Invalid_argument] when < 1. *)
+
+val clusters : t -> int
 
 (** {1 Per-period protocol} *)
 
 type filtered = {
-  qos : float;
-  big_power : float;
-  little_power : float;
-  healthy : bool;  (** No channel needed substitution this period. *)
+  mutable qos : float;
+  powers : float array;
+      (** Per-cluster sanitized powers, description order. *)
+  mutable healthy : bool;
+      (** No channel needed substitution this period. *)
 }
 
-val filter :
-  t -> now:float -> qos:float -> big_power:float -> little_power:float ->
-  filtered
-(** Sanitize one observation and advance the sensor side of the
-    watchdog.  Every returned field is finite. *)
+val filter : t -> now:float -> qos:float -> powers:float array -> filtered
+(** Sanitize one observation (QoS plus one power reading per cluster)
+    and advance the sensor side of the watchdog.  Every returned field
+    is finite.  The result is a guard-owned buffer overwritten by the
+    next call — read it before then.  Raises [Invalid_argument] when
+    [powers] does not have exactly {!clusters} entries. *)
 
 val note_actuation : t -> now:float -> ok:bool -> unit
 (** Report whether the platform applied the last command as expected
@@ -112,8 +119,8 @@ type channel_snapshot = {
 
 type snapshot = {
   snap_qos : channel_snapshot;
-  snap_big_power : channel_snapshot;
-  snap_little_power : channel_snapshot;
+  snap_power : channel_snapshot array;
+      (** Per cluster, description order. *)
   snap_sensor_bad_streak : int;
   snap_actuator_bad_streak : int;
   snap_good_streak : int;
@@ -124,4 +131,7 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+
 val restore : t -> snapshot -> unit
+(** Raises [Invalid_argument] when the snapshot's power-channel count
+    does not match {!clusters}. *)

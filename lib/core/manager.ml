@@ -84,14 +84,16 @@ let sanitize_freq_mhz table freq_ghz =
     float_of_int (Opp.min_freq table)
   else f_mhz
 
-let sanitize_cores cores =
+let sanitize_cores ?(max_cores = 4) cores =
   if Float.is_nan cores then 1
-  else int_of_float (Float.round (Float.max 1. (Float.min 4. cores)))
+  else
+    int_of_float
+      (Float.round (Float.max 1. (Float.min (float_of_int max_cores) cores)))
 
 (* Tick-path actuation: sanitize, quantize and apply, nothing else — no
    applied-record, no log message (even an unemitted [Log.debug] call
    allocates its message closure).  Managers that do not consume the
-   readback use this one. *)
+   readback use this one.  [cluster] is the platform cluster index. *)
 let apply_cluster_quiet soc cluster ~freq_ghz ~cores =
   Obs.Counters.incr c_actuations;
   (if Obs.enabled () then
@@ -100,10 +102,11 @@ let apply_cluster_quiet soc cluster ~freq_ghz ~cores =
      let f_mhz = freq_ghz *. 1000. in
      if (not (Float.is_finite f_mhz)) || f_mhz < 0. || Float.is_nan cores then
        Obs.Counters.incr c_sanitized);
-  let table = match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little in
+  let table = Soc.opp_table soc cluster in
   ignore
     (Soc.set_frequency soc cluster (sanitize_freq_mhz table freq_ghz) : int);
-  Soc.set_active_cores soc cluster (sanitize_cores cores)
+  Soc.set_active_cores soc cluster
+    (sanitize_cores ~max_cores:(Soc.cluster_cores soc cluster) cores)
 
 let apply_cluster soc cluster ~freq_ghz ~cores =
   apply_cluster_quiet soc cluster ~freq_ghz ~cores;
@@ -115,6 +118,6 @@ let apply_cluster soc cluster ~freq_ghz ~cores =
   in
   Log.debug (fun m ->
       m "%s: commanded %.3f GHz / %.2f cores, applied %d MHz / %d cores"
-        (match cluster with Soc.Big -> "big" | Soc.Little -> "little")
+        (Platform_desc.cluster_name (Soc.platform soc) cluster)
         freq_ghz cores applied.freq_mhz applied.cores);
   applied

@@ -64,9 +64,9 @@ val sanitize_freq_mhz : Spectr_platform.Opp.t -> float -> float
     non-finite and negative values clamp to the table's legal range
     (NaN conservatively to the minimum OPP). *)
 
-val sanitize_cores : float -> int
-(** The core count a [cores] command resolves to: clamped to [1, 4],
-    NaN conservatively to 1. *)
+val sanitize_cores : ?max_cores:int -> float -> int
+(** The core count a [cores] command resolves to: clamped to
+    [1, max_cores] (default 4), NaN conservatively to 1. *)
 
 type applied = { freq_mhz : int; cores : int }
 (** What the platform actually did with a command: the quantized OPP
@@ -75,17 +75,16 @@ type applied = { freq_mhz : int; cores : int }
     the request — comparing them against the expectation is how the
     guarded manager detects stuck actuators. *)
 
-val apply_cluster :
-  Soc.t -> Soc.cluster -> freq_ghz:float -> cores:float -> applied
+val apply_cluster : Soc.t -> int -> freq_ghz:float -> cores:float -> applied
 (** Helper shared by all managers: sanitize (non-finite or negative
     commands clamp to the nearest legal value, NaN conservatively to the
     low end), quantize and apply a (frequency GHz, core count) command
-    pair to one cluster, and return what was actually applied.  The
-    applied settings are logged at debug level on the
-    ["spectr.manager"] source. *)
+    pair to one cluster — addressed by its platform description index —
+    and return what was actually applied.  Core commands clamp to the
+    cluster's physical core count.  The applied settings are logged at
+    debug level on the ["spectr.manager"] source. *)
 
-val apply_cluster_quiet :
-  Soc.t -> Soc.cluster -> freq_ghz:float -> cores:float -> unit
+val apply_cluster_quiet : Soc.t -> int -> freq_ghz:float -> cores:float -> unit
 (** {!apply_cluster} for the tick path: identical sanitize/quantize/apply
     behaviour, but no readback record and no debug log (whose message
     closure allocates even when the level is off).  For managers that do

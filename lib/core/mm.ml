@@ -10,50 +10,59 @@ let design_or_fail ~seed subsystem goals =
   | Ok gains -> gains
   | Error msg -> failwith ("Mm: " ^ msg)
 
-let make ~label ~name ?(seed = 17L) () =
-  let ident_big = Design_flow.identify ~seed Design_flow.Big_2x2 in
-  let ident_little = Design_flow.identify ~seed Design_flow.Little_2x2 in
+let make ~label ~name ?(seed = 17L) ?(platform = Platform_desc.exynos5422) () =
+  let k = Platform_desc.num_clusters platform in
+  let host = Platform_desc.host platform in
+  let subsystem_for i = Design_flow.cluster_subsystem platform i in
+  let idents =
+    Array.init k (fun i -> Design_flow.identify ~seed (subsystem_for i))
+  in
   let goals =
     [
       { Design_flow.label = "qos"; q_y = qos_weights };
       { Design_flow.label = "power"; q_y = power_weights };
     ]
   in
-  let big =
-    Design_flow.build_mimo ident_big
-      ~gains:(design_or_fail ~seed Design_flow.Big_2x2 goals)
-      ~initial:label ~refs:[| 60.; 4. |]
+  (* A performance-oriented manager wants the secondary clusters fast
+     (they absorb background work, shielding the QoS app); a
+     power-oriented one wants them capped.  The priority output of the
+     chosen gain set is the one that gets pinned. *)
+  let secondary_gips_ref = if label = "qos" then 3.0 else 0.0 in
+  let refs_for i =
+    if i = host then [| 60.; 4. |]
+    else [| secondary_gips_ref; little_power_budget |]
   in
-  (* A performance-oriented manager wants the Little cluster fast (it
-     absorbs background work, shielding the QoS app); a power-oriented
-     one wants it capped.  The priority output of the chosen gain set is
-     the one that gets pinned. *)
-  let little_gips_ref = if label = "qos" then 3.0 else 0.0 in
-  let little =
-    Design_flow.build_mimo ident_little
-      ~gains:(design_or_fail ~seed Design_flow.Little_2x2 goals)
-      ~initial:label
-      ~refs:[| little_gips_ref; little_power_budget |]
+  let ctrls =
+    Array.init k (fun i ->
+        Design_flow.build_mimo idents.(i)
+          ~gains:(design_or_fail ~seed (subsystem_for i) goals)
+          ~initial:label ~refs:(refs_for i))
   in
-  let meas_big = [| 0.; 0. |] and meas_little = [| 0.; 0. |] in
-  let u_big = [| 0.; 0. |] and u_little = [| 0.; 0. |] in
+  (* The fixed budget split: each secondary cluster gets its static
+     budget; the host is offered what the envelope leaves. *)
+  let secondary_reserve = little_power_budget *. float_of_int (k - 1) in
+  let meas = Array.init k (fun _ -> [| 0.; 0. |]) in
+  let cmd = Array.init k (fun _ -> [| 0.; 0. |]) in
   let step ~now:_ ~qos_ref ~envelope ~obs soc =
     (* The fixed managers still receive the system references; they lack
        coordination, not information. *)
-    Mimo.set_reference big ~index:0 qos_ref;
-    Mimo.set_reference big ~index:1
-      (Float.max 0.5 (envelope -. little_power_budget));
-    Mimo.set_reference little ~index:1 little_power_budget;
-    meas_big.(0) <- obs.Soc.qos_rate;
-    meas_big.(1) <- obs.Soc.big_power;
-    Mimo.step_into big ~measured:meas_big ~dst:u_big;
-    Manager.apply_cluster_quiet soc Soc.Big ~freq_ghz:u_big.(0)
-      ~cores:u_big.(1);
-    meas_little.(0) <- obs.Soc.little_ips /. 1e9;
-    meas_little.(1) <- obs.Soc.little_power;
-    Mimo.step_into little ~measured:meas_little ~dst:u_little;
-    Manager.apply_cluster_quiet soc Soc.Little ~freq_ghz:u_little.(0)
-      ~cores:u_little.(1)
+    Mimo.set_reference ctrls.(host) ~index:0 qos_ref;
+    Mimo.set_reference ctrls.(host) ~index:1
+      (Float.max 0.5 (envelope -. secondary_reserve));
+    for i = 0 to k - 1 do
+      if i <> host then
+        Mimo.set_reference ctrls.(i) ~index:1 little_power_budget
+    done;
+    let powers = Soc.sensor_powers soc in
+    let ips = Soc.ips_totals soc in
+    for i = 0 to k - 1 do
+      let m = meas.(i) in
+      let u = cmd.(i) in
+      m.(0) <- (if i = host then obs.Soc.qos_rate else ips.(i) /. 1e9);
+      m.(1) <- powers.(i);
+      Mimo.step_into ctrls.(i) ~measured:m ~dst:u;
+      Manager.apply_cluster_quiet soc i ~freq_ghz:u.(0) ~cores:u.(1)
+    done
   in
   let persist =
     {
@@ -61,21 +70,27 @@ let make ~label ~name ?(seed = 17L) () =
         (fun () ->
           {
             Manager.variant = name;
-            payload =
-              Marshal.to_string (Mimo.snapshot big, Mimo.snapshot little) [];
+            payload = Marshal.to_string (Array.map Mimo.snapshot ctrls) [];
           });
       restore =
         (fun c ->
           Manager.require_variant ~expect:name c;
-          let sb, sl =
-            (Marshal.from_string c.Manager.payload 0
-              : Mimo.snapshot * Mimo.snapshot)
+          let snaps =
+            (Marshal.from_string c.Manager.payload 0 : Mimo.snapshot array)
           in
-          Mimo.restore big sb;
-          Mimo.restore little sl);
+          if Array.length snaps <> k then
+            invalid_arg
+              (Printf.sprintf
+                 "Mm.restore: %d controller snapshots, platform has %d \
+                  clusters"
+                 (Array.length snaps) k);
+          Array.iteri (fun i s -> Mimo.restore ctrls.(i) s) snaps);
     }
   in
   { Manager.name; step; persist = Some persist }
 
-let make_perf ?seed () = make ~label:"qos" ~name:"MM-Perf" ?seed ()
-let make_pow ?seed () = make ~label:"power" ~name:"MM-Pow" ?seed ()
+let make_perf ?seed ?platform () =
+  make ~label:"qos" ~name:"MM-Perf" ?seed ?platform ()
+
+let make_pow ?seed ?platform () =
+  make ~label:"power" ~name:"MM-Pow" ?seed ?platform ()

@@ -1,4 +1,4 @@
-(** The uncoordinated multi-MIMO baselines of §5: two fixed-gain 2×2 LQG
+(** The uncoordinated multi-MIMO baselines of §5: fixed-gain 2×2 LQG
     controllers, one per cluster, "representatives of a state-of-the-art
     solution [Pothukuchi et al. ISCA'16], one prioritizing power and the
     other prioritizing performance".
@@ -18,10 +18,16 @@ val power_weights : float array
 (** The power-over-performance mirror of {!qos_weights}. *)
 
 val little_power_budget : float
-(** Static share of the envelope reserved for the Little cluster (W). *)
+(** Static share of the envelope reserved for each secondary cluster
+    (W).  The host cluster is offered whatever the envelope leaves after
+    every secondary's share is subtracted. *)
 
-val make_perf : ?seed:int64 -> unit -> Manager.t
-(** MM-Perf: performance-oriented gains on both clusters. *)
+val make_perf :
+  ?seed:int64 -> ?platform:Spectr_platform.Platform_desc.t -> unit -> Manager.t
+(** MM-Perf: performance-oriented gains on every cluster.  [platform]
+    (default [Platform_desc.exynos5422]) selects the platform
+    description: one fixed-gain 2×2 controller per cluster. *)
 
-val make_pow : ?seed:int64 -> unit -> Manager.t
-(** MM-Pow: power-oriented gains on both clusters. *)
+val make_pow :
+  ?seed:int64 -> ?platform:Spectr_platform.Platform_desc.t -> unit -> Manager.t
+(** MM-Pow: power-oriented gains on every cluster. *)

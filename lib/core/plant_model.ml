@@ -1,27 +1,38 @@
 open Spectr_automata
+module Platform_desc = Spectr_platform.Platform_desc
 
-let qos_management =
-  Automaton.create ~marked:[ "Eval" ] ~name:"QoSManagement" ~initial:"Eval"
-    ~transitions:
+(* Both sub-plants are generated from the platform description: the QoS
+   loop's Raise/Lower states react with one budget command per cluster
+   (in description order), the capping loop is cluster-count invariant.
+   On exynos5422 the generated lists are exactly the paper's figures. *)
+
+let generate_qos desc =
+  let fam = Events.for_platform desc in
+  let k = Platform_desc.num_clusters desc in
+  let each verb = List.init k verb in
+  let transitions =
+    List.concat
       [
-        (* QoS observations *)
-        ("Eval", Events.qos_not_met, "Raise");
-        ("Eval", Events.power_safe_qos_not_met, "Raise");
-        ("Eval", Events.qos_met, "Lower");
-        ("Eval", Events.power_safe_qos_met, "Lower");
+        [
+          (* QoS observations *)
+          ("Eval", Events.qos_not_met, "Raise");
+          ("Eval", Events.power_safe_qos_not_met, "Raise");
+          ("Eval", Events.qos_met, "Lower");
+          ("Eval", Events.power_safe_qos_met, "Lower");
+        ];
         (* budget reactions; holdBudget is the do-nothing fallback the
            supervisor uses when budget moves are disabled (capped mode)
            or inappropriate.  It must stay private to this sub-plant. *)
-        ("Raise", Events.increase_big_power, "Eval");
-        ("Raise", Events.increase_little_power, "Eval");
-        ("Raise", Events.hold_budget, "Eval");
-        ("Lower", Events.decrease_big_power, "Eval");
-        ("Lower", Events.decrease_little_power, "Eval");
-        ("Lower", Events.hold_budget, "Eval");
+        each (fun i -> ("Raise", Events.increase fam i, "Eval"));
+        [ ("Raise", Events.hold_budget, "Eval") ];
+        each (fun i -> ("Lower", Events.decrease fam i, "Eval"));
+        [ ("Lower", Events.hold_budget, "Eval") ];
       ]
-    ()
+  in
+  Automaton.create ~marked:[ "Eval" ] ~name:"QoSManagement" ~initial:"Eval"
+    ~transitions ()
 
-let power_capping =
+let generate_capping (_ : Platform_desc.t) =
   Automaton.create ~marked:[ "Safe" ] ~name:"PowerCapping" ~initial:"Safe"
     ~transitions:
       [
@@ -46,5 +57,30 @@ let power_capping =
         ("Restore", Events.switch_qos, "Safe");
       ]
     ()
+
+(* Memoized per digest, like [Spec.of_platform]: the pair feeds the
+   synthesis cache, and handing back identical automata keeps digest
+   computation amortized across manager constructions. *)
+let mutex = Mutex.create ()
+let cache : (string, Automaton.t * Automaton.t) Hashtbl.t = Hashtbl.create 8
+
+let of_platform desc =
+  let digest = Platform_desc.digest desc in
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache digest with
+      | Some pair -> pair
+      | None ->
+          let pair = (generate_qos desc, generate_capping desc) in
+          Hashtbl.replace cache digest pair;
+          pair)
+
+let qos_management, power_capping = of_platform Platform_desc.exynos5422
+
+let composed_for desc =
+  let qos, capping = of_platform desc in
+  Compose.pair qos capping
 
 let composed () = Compose.pair qos_management power_capping

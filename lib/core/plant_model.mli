@@ -31,3 +31,14 @@ val power_capping : Automaton.t
 val composed : unit -> Automaton.t
 (** [qos_management ‖ power_capping] — the automatically generated plant
     of Figure 12b. *)
+
+val of_platform : Spectr_platform.Platform_desc.t -> Automaton.t * Automaton.t
+(** The (QoS-management, power-capping) sub-plants generated for a
+    platform description: the QoS loop reacts with one budget command
+    per cluster (in description order), the capping loop is
+    cluster-count invariant.  Memoized per platform digest;
+    [of_platform exynos5422 = (qos_management, power_capping)]. *)
+
+val composed_for : Spectr_platform.Platform_desc.t -> Automaton.t
+(** Synchronous product of {!of_platform}'s pair — the plant handed to
+    synthesis for a description-driven supervisor. *)

@@ -10,6 +10,7 @@ type phase = {
 
 type config = {
   workload : Workload.t;
+  platform : Platform_desc.t;
   qos_ref : float;
   phases : phase list;
   controller_period : float;
@@ -41,40 +42,47 @@ let default_phases ?(tdp = 5.0) ?(emergency = 3.5) () =
     };
   ]
 
-let default_config ?(seed = 42L) ?qos_ref workload =
+let default_config ?(seed = 42L) ?qos_ref ?(platform = Platform_desc.exynos5422)
+    workload =
   let qos_ref =
     match qos_ref with
     | Some r -> r
     | None ->
-        if workload.Workload.name = "x264" then 60.
-        else 0.75 *. Perf_model.max_qos_rate workload
+        (* 60 FPS is only meaningful where it is achievable: x264 on the
+           reference Exynos.  Elsewhere the reference scales with the
+           host cluster's reachable rate, as in Phase 1 of the paper. *)
+        if
+          workload.Workload.name = "x264"
+          && Design_flow.is_reference_platform platform
+        then 60.
+        else 0.75 *. Perf_model.max_qos_rate_for platform workload
   in
   {
     workload;
+    platform;
     qos_ref;
     phases = default_phases ();
     controller_period = 0.05;
     seed;
   }
 
-let columns =
-  [
-    "time";
-    "qos";
-    "qos_ref";
-    "power";
-    "envelope";
-    "big_power";
-    "little_power";
-    "big_freq_mhz";
-    "big_cores";
-    "little_freq_mhz";
-    "little_cores";
-    "background";
-    "phase";
-  ]
+(* Trace columns are derived from the description: one [<name>_power]
+   per cluster, then a [<name>_freq_mhz]/[<name>_cores] pair per
+   cluster.  On exynos5422 (clusters "big", "little") this reproduces
+   the historical header byte for byte. *)
+let columns_of platform =
+  let k = Platform_desc.num_clusters platform in
+  let name i = Platform_desc.cluster_name platform i in
+  [ "time"; "qos"; "qos_ref"; "power"; "envelope" ]
+  @ List.init k (fun i -> name i ^ "_power")
+  @ List.concat_map
+      (fun i -> [ name i ^ "_freq_mhz"; name i ^ "_cores" ])
+      (List.init k Fun.id)
+  @ [ "background"; "phase" ]
 
-let fault_columns = columns @ [ "faults"; "true_power" ]
+let fault_columns_of platform = columns_of platform @ [ "faults"; "true_power" ]
+let columns = columns_of Platform_desc.exynos5422
+let fault_columns = fault_columns_of Platform_desc.exynos5422
 
 let steps_of_phase config ph =
   int_of_float (Float.round (ph.duration_s /. config.controller_period))
@@ -106,6 +114,7 @@ let fault_schedule config =
    not reboot when the resource-manager daemon crashes). *)
 type runner = {
   r_config : config;
+  r_k : int; (* cluster count, fixes the row layout *)
   r_soc : Soc.t;
   r_faults : Faults.t option;
   r_hb : Heartbeats.t;
@@ -124,8 +133,11 @@ type runner = {
 }
 
 let start config =
-  let soc_config = { Soc.default_config with seed = config.seed } in
-  let soc = Soc.create ~config:soc_config ~qos:config.workload () in
+  let soc_config = { (Soc.config_of config.platform) with seed = config.seed } in
+  let soc =
+    Soc.create ~config:soc_config ~platform:config.platform
+      ~qos:config.workload ()
+  in
   let injections = fault_schedule config in
   (* Fault injection is strictly opt-in: with no schedule the SoC keeps
      faults = None and the extra trace column is omitted, so existing
@@ -136,13 +148,15 @@ let start config =
     | _ :: _ -> Some (Faults.create injections)
   in
   Soc.set_faults soc faults;
+  let run_columns =
+    match faults with
+    | None -> columns_of config.platform
+    | Some _ -> fault_columns_of config.platform
+  in
   let trace =
     (* Preallocate the full run's rows: recording then never reallocates
        column storage mid-run. *)
-    Trace.create
-      ~cap:(max 1 (total_ticks config))
-      ~columns:(match faults with None -> columns | Some _ -> fault_columns)
-      ()
+    Trace.create ~cap:(max 1 (total_ticks config)) ~columns:run_columns ()
   in
   (* QoS is observed through the Heartbeats monitor (§5): the application
      issues heartbeats as it completes work and the managers read the
@@ -152,6 +166,7 @@ let start config =
   let r =
     {
       r_config = config;
+      r_k = Platform_desc.num_clusters config.platform;
       r_soc = soc;
       r_faults = faults;
       r_hb = hb;
@@ -162,11 +177,7 @@ let start config =
       r_done_in_phase = 0;
       r_tick = 0;
       r_obs = Soc.make_observation ();
-      r_row =
-        Array.make
-          (List.length
-             (match faults with None -> columns | Some _ -> fault_columns))
-          0.;
+      r_row = Array.make (List.length run_columns) 0.;
     }
   in
   (* Enter the first non-empty phase, applying the background load of
@@ -237,27 +248,31 @@ let tick r ~manager =
     manager.Manager.step ~now:obs.Soc.time ~qos_ref:config.qos_ref
       ~envelope:ph.envelope ~obs soc;
     let row = r.r_row in
+    let k = r.r_k in
     row.(0) <- obs.Soc.time;
     row.(1) <- obs.Soc.qos_rate;
     row.(2) <- config.qos_ref;
     row.(3) <- obs.Soc.chip_power;
     row.(4) <- ph.envelope;
-    row.(5) <- obs.Soc.big_power;
-    row.(6) <- obs.Soc.little_power;
-    row.(7) <- float_of_int (Soc.frequency soc Soc.Big);
-    row.(8) <- float_of_int (Soc.active_cores soc Soc.Big);
-    row.(9) <- float_of_int (Soc.frequency soc Soc.Little);
-    row.(10) <- float_of_int (Soc.active_cores soc Soc.Little);
-    row.(11) <- float_of_int ph.background_tasks;
-    row.(12) <- float_of_int phase_idx;
+    let powers = Soc.sensor_powers soc in
+    for i = 0 to k - 1 do
+      row.(5 + i) <- powers.(i)
+    done;
+    for i = 0 to k - 1 do
+      row.(5 + k + (2 * i)) <- float_of_int (Soc.frequency soc i);
+      row.(6 + k + (2 * i)) <- float_of_int (Soc.active_cores soc i)
+    done;
+    row.(5 + (3 * k)) <- float_of_int ph.background_tasks;
+    row.(6 + (3 * k)) <- float_of_int phase_idx;
     (match r.r_faults with
     | None -> ()
     | Some f ->
         (* Under sensor faults the [power] column records what the
            managers saw (the corrupted reading); [true_power] is
            the ground truth a safety evaluation must use. *)
-        row.(13) <- float_of_int (Faults.active_count f ~now:obs.Soc.time);
-        row.(14) <- Soc.true_chip_power soc);
+        row.(7 + (3 * k)) <-
+          float_of_int (Faults.active_count f ~now:obs.Soc.time);
+        row.(8 + (3 * k)) <- Soc.true_chip_power soc);
     Trace.add r.r_trace row;
     r.r_done_in_phase <- r.r_done_in_phase + 1;
     r.r_tick <- r.r_tick + 1;

@@ -9,7 +9,9 @@
 
     {!run} drives a manager through the phases on a fresh simulated SoC
     at the 50 ms controller period and records everything into a
-    {!Spectr_platform.Trace}. *)
+    {!Spectr_platform.Trace}.  The SoC is built from the config's
+    {!Platform_desc.t}; on the default [exynos5422] description traces
+    are byte-identical to the pre-description 2-cluster engine. *)
 
 open Spectr_platform
 
@@ -28,6 +30,8 @@ type phase = {
 
 type config = {
   workload : Workload.t;
+  platform : Platform_desc.t;
+      (** Platform description the SoC is built from. *)
   qos_ref : float;
   phases : phase list;
   controller_period : float;  (** Seconds; 0.05 as in §5. *)
@@ -40,30 +44,46 @@ val default_phases : ?tdp:float -> ?emergency:float -> unit -> phase list
     background tasks.  No faults. *)
 
 val columns : string list
-(** Base trace columns (no [faults] column). *)
+(** Base trace columns of the reference Exynos description (no [faults]
+    column) — [columns_of Platform_desc.exynos5422]. *)
 
 val fault_columns : string list
-(** Trace columns of a faulted run: {!columns} plus ["faults"] (number
-    of active injections) and ["true_power"] (ground-truth chip power —
-    under sensor faults the [power] column records the corrupted reading
-    the managers saw, so safety must be judged against this one). *)
+(** Exynos trace columns of a faulted run: {!columns} plus ["faults"]
+    (number of active injections) and ["true_power"] (ground-truth chip
+    power — under sensor faults the [power] column records the corrupted
+    reading the managers saw, so safety must be judged against this
+    one). *)
 
-val default_config : ?seed:int64 -> ?qos_ref:float -> Workload.t -> config
-(** 60 FPS reference for x264; for the other benchmarks the reference is
-    75 % of the workload's maximum achievable rate (an achievable-within-
-    TDP target, as in Phase 1 of the paper). *)
+val columns_of : Platform_desc.t -> string list
+(** Trace columns of a description: [time], [qos], [qos_ref], [power],
+    [envelope], one [<cluster>_power] per cluster, then a
+    [<cluster>_freq_mhz]/[<cluster>_cores] pair per cluster,
+    [background], [phase].  On [exynos5422] this is exactly
+    {!columns}. *)
+
+val fault_columns_of : Platform_desc.t -> string list
+(** [columns_of] plus the trailing [faults]/[true_power] pair. *)
+
+val default_config :
+  ?seed:int64 ->
+  ?qos_ref:float ->
+  ?platform:Platform_desc.t ->
+  Workload.t ->
+  config
+(** 60 FPS reference for x264 on the reference Exynos; everywhere else
+    the reference is 75 % of the workload's maximum achievable rate on
+    the description's host cluster (an achievable-within-TDP target, as
+    in Phase 1 of the paper).  [platform] defaults to
+    [Platform_desc.exynos5422]. *)
 
 val run : manager:Manager.t -> config -> Trace.t
-(** Execute the scenario.  The trace has columns [time], [qos],
-    [qos_ref], [power], [envelope], [big_power], [little_power],
-    [big_freq_mhz], [big_cores], [little_freq_mhz], [little_cores],
-    [background], [phase] (phase index as a float).  When any phase
-    carries fault injections, trailing [faults] and [true_power] columns
-    record the active-injection count and ground-truth chip power per
-    sample ({!fault_columns});
-    [big_freq_mhz]/[big_cores] (and Little counterparts) always read
-    back the {e actually applied} actuator state, so a stuck actuator is
-    visible in the trace. *)
+(** Execute the scenario.  The trace has the columns of
+    [columns_of config.platform]; when any phase carries fault
+    injections, trailing [faults] and [true_power] columns record the
+    active-injection count and ground-truth chip power per sample
+    ({!fault_columns_of}).  The per-cluster [_freq_mhz]/[_cores] columns
+    always read back the {e actually applied} actuator state, so a stuck
+    actuator is visible in the trace. *)
 
 val fault_schedule : config -> Faults.injection list
 (** The absolute-time fault schedule of a config (phase-relative windows

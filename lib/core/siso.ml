@@ -1,6 +1,12 @@
 open Spectr_control
 open Spectr_platform
 
+(* Exynos cluster indices: the SISO baseline is a hand-tuned PID chain
+   for the reference big.LITTLE platform, not a description-driven
+   manager — Scenario rejects it on any other platform. *)
+let big = 0
+let little = 1
+
 let make ?seed () =
   ignore seed;
   let dt = 0.05 in
@@ -27,15 +33,16 @@ let make ?seed () =
   (* Each PID produces a bounded deviation around a mid-range operating
      point (frequency 1.0 GHz, 2.5 cores, little 0.6 GHz). *)
   let step ~now:_ ~qos_ref ~envelope ~obs soc =
+    let powers = Soc.sensor_powers soc in
     Pid.set_reference qos_pid qos_ref;
     Pid.set_reference cores_pid (Float.max 0.5 (envelope -. Mm.little_power_budget));
     let freq = 1.0 +. Pid.step qos_pid ~measured:obs.Soc.qos_rate in
-    let cores = 2.5 +. Pid.step cores_pid ~measured:obs.Soc.big_power in
-    Manager.apply_cluster_quiet soc Soc.Big
+    let cores = 2.5 +. Pid.step cores_pid ~measured:powers.(big) in
+    Manager.apply_cluster_quiet soc big
       ~freq_ghz:(Float.max 0.2 (Float.min 2.0 freq))
       ~cores:(Float.max 1. (Float.min 4. cores));
-    let lfreq = 0.6 +. Pid.step little_pid ~measured:obs.Soc.little_power in
-    Manager.apply_cluster_quiet soc Soc.Little
+    let lfreq = 0.6 +. Pid.step little_pid ~measured:powers.(little) in
+    Manager.apply_cluster_quiet soc little
       ~freq_ghz:(Float.max 0.2 (Float.min 1.4 lfreq))
       ~cores:2.
   in

@@ -1,38 +1,69 @@
 open Spectr_automata
+module Platform_desc = Spectr_platform.Platform_desc
 
-let three_band =
-  Automaton.create ~marked:[ "Uncapped" ] ~forbidden:[ "Threshold" ]
-    ~name:"ThreeBandCapping" ~initial:"Uncapped"
-    ~transitions:
+(* The specification is generated from the platform description: one
+   budget-increase/decrease pair per cluster, everything else invariant.
+   On exynos5422 the generated transition list is exactly the paper's
+   hand-drawn figure (clusters in description order: big, little). *)
+let generate desc =
+  let fam = Events.for_platform desc in
+  let k = Platform_desc.num_clusters desc in
+  let each verb = List.init k verb in
+  let transitions =
+    List.concat
       [
         (* Normal operation: budget moves allowed. *)
-        ("Uncapped", Events.increase_big_power, "Uncapped");
-        ("Uncapped", Events.increase_little_power, "Uncapped");
-        ("Uncapped", Events.decrease_big_power, "Uncapped");
-        ("Uncapped", Events.decrease_little_power, "Uncapped");
-        ("Uncapped", Events.control_power, "Uncapped");
-        ("Uncapped", Events.safe_power, "Uncapped");
-        ("Uncapped", Events.critical, "C1");
-        (* Consecutive-violation counter: mitigation must complete before
-           the third critical interval. *)
-        ("C1", Events.switch_power, "Capped");
-        ("C1", Events.critical, "C2");
-        ("C2", Events.switch_power, "Capped");
-        ("C2", Events.critical, "Threshold");
+        each (fun i -> ("Uncapped", Events.increase fam i, "Uncapped"));
+        each (fun i -> ("Uncapped", Events.decrease fam i, "Uncapped"));
+        [
+          ("Uncapped", Events.control_power, "Uncapped");
+          ("Uncapped", Events.safe_power, "Uncapped");
+          ("Uncapped", Events.critical, "C1");
+          (* Consecutive-violation counter: mitigation must complete
+             before the third critical interval. *)
+          ("C1", Events.switch_power, "Capped");
+          ("C1", Events.critical, "C2");
+          ("C2", Events.switch_power, "Capped");
+          ("C2", Events.critical, "Threshold");
+        ];
         (* Capped mode: budget increases are explicitly forbidden (they
            lead to the forbidden state, so synthesis must disable them);
            cuts and bookkeeping only. *)
-        ("Capped", Events.increase_big_power, "Threshold");
-        ("Capped", Events.increase_little_power, "Threshold");
-        ("Capped", Events.decrease_big_power, "Capped");
-        ("Capped", Events.decrease_little_power, "Capped");
-        ("Capped", Events.decrease_critical_power, "Capped");
-        ("Capped", Events.control_power, "Capped");
-        ("Capped", Events.critical, "CapHot");
-        ("Capped", Events.safe_power, "CapSafe");
-        ("CapHot", Events.decrease_critical_power, "Capped");
-        ("CapHot", Events.control_power, "CapHot");
-        ("CapHot", Events.critical, "Threshold");
-        ("CapSafe", Events.switch_qos, "Uncapped");
+        each (fun i -> ("Capped", Events.increase fam i, "Threshold"));
+        each (fun i -> ("Capped", Events.decrease fam i, "Capped"));
+        [
+          ("Capped", Events.decrease_critical_power, "Capped");
+          ("Capped", Events.control_power, "Capped");
+          ("Capped", Events.critical, "CapHot");
+          ("Capped", Events.safe_power, "CapSafe");
+          ("CapHot", Events.decrease_critical_power, "Capped");
+          ("CapHot", Events.control_power, "CapHot");
+          ("CapHot", Events.critical, "Threshold");
+          ("CapSafe", Events.switch_qos, "Uncapped");
+        ];
       ]
-    ()
+  in
+  Automaton.create ~marked:[ "Uncapped" ] ~forbidden:[ "Threshold" ]
+    ~name:"ThreeBandCapping" ~initial:"Uncapped" ~transitions ()
+
+(* Memoized per platform digest: supervisor construction happens per
+   scenario cell and per bench task, and the synthesis cache downstream
+   keys on the automaton, so handing back the identical value also keeps
+   its digest computation amortized. *)
+let mutex = Mutex.create ()
+let cache : (string, Automaton.t) Hashtbl.t = Hashtbl.create 8
+
+let of_platform desc =
+  let digest = Platform_desc.digest desc in
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache digest with
+      | Some a -> a
+      | None ->
+          let a = generate desc in
+          Hashtbl.replace cache digest a;
+          a)
+
+let three_band = of_platform Platform_desc.exynos5422

@@ -13,44 +13,54 @@ let design_or_fail ~seed subsystem goals =
   | Error msg -> failwith ("Spectr_manager: " ^ msg)
 
 let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
-    ?guards () =
+    ?guards ?(platform = Platform_desc.exynos5422) () =
   if supervisor_divisor < 1 then
     invalid_arg "Spectr_manager.make: supervisor_divisor < 1";
-  let ident_big = Design_flow.identify ~seed Design_flow.Big_2x2 in
-  let ident_little = Design_flow.identify ~seed Design_flow.Little_2x2 in
+  let k = Platform_desc.num_clusters platform in
+  let host = Platform_desc.host platform in
+  (match guards with
+  | Some g when Guarded.clusters g <> k ->
+      invalid_arg
+        (Printf.sprintf
+           "Spectr_manager.make: guard tracks %d power channels, platform \
+            has %d clusters"
+           (Guarded.clusters g) k)
+  | _ -> ());
+  (* The Exynos description keeps the original Big_2x2/Little_2x2
+     subsystems (same memo keys, same identification experiments); any
+     other description identifies each cluster through the generic
+     Cluster_2x2 path. *)
+  let is_exynos = Design_flow.is_reference_platform platform in
+  let subsystem_for i = Design_flow.cluster_subsystem platform i in
+  let idents =
+    Array.init k (fun i -> Design_flow.identify ~seed (subsystem_for i))
+  in
   let goals =
     [
       { Design_flow.label = "qos"; q_y = Mm.qos_weights };
       { Design_flow.label = "power"; q_y = Mm.power_weights };
     ]
   in
-  let big =
-    Design_flow.build_mimo ident_big
-      ~gains:(design_or_fail ~seed Design_flow.Big_2x2 goals)
-      ~initial:"qos" ~refs:[| 60.; 4. |]
-  in
-  (* In QoS mode the Little cluster is kept moderately fast so it can
-     absorb background interference; in power mode the gain switch makes
-     its power budget the pinned objective. *)
-  let little =
-    Design_flow.build_mimo ident_little
-      ~gains:(design_or_fail ~seed Design_flow.Little_2x2 goals)
-      ~initial:"qos"
-      ~refs:[| 2.0; 0.3 |]
+  (* In QoS mode the secondary clusters are kept moderately fast so they
+     can absorb background interference; in power mode the gain switch
+     makes their power budgets the pinned objective. *)
+  let refs_for i = if i = host then [| 60.; 4. |] else [| 2.0; 0.3 |] in
+  let ctrls =
+    Array.init k (fun i ->
+        Design_flow.build_mimo idents.(i)
+          ~gains:(design_or_fail ~seed (subsystem_for i) goals)
+          ~initial:"qos" ~refs:(refs_for i))
   in
   let commands =
     {
       Supervisor.switch_gains =
         (fun label ->
-          if gain_scheduling then begin
-            Mimo.switch_gains big label;
-            Mimo.switch_gains little label
-          end);
-      set_big_power_ref = (fun v -> Mimo.set_reference big ~index:1 v);
-      set_little_power_ref = (fun v -> Mimo.set_reference little ~index:1 v);
+          if gain_scheduling then
+            Array.iter (fun c -> Mimo.switch_gains c label) ctrls);
+      set_power_ref = (fun i v -> Mimo.set_reference ctrls.(i) ~index:1 v);
     }
   in
-  let sup = Supervisor.create ~commands ~envelope:5.0 () in
+  let sup = Supervisor.create ~platform ~commands ~envelope:5.0 () in
   let tick = ref 0 in
   (* One cluster actuation, with actuator-fault detection when guarded:
      the applied OPP/core count read back from the platform must match
@@ -62,13 +72,14 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
         Manager.apply_cluster_quiet soc cluster ~freq_ghz ~cores
     | Some g ->
         let applied = Manager.apply_cluster soc cluster ~freq_ghz ~cores in
-        let table =
-          match cluster with Soc.Big -> Opp.big | Soc.Little -> Opp.little
-        in
+        let table = Soc.opp_table soc cluster in
         let expected_freq =
           Opp.nearest table (Manager.sanitize_freq_mhz table freq_ghz)
         in
-        let expected_cores = Manager.sanitize_cores cores in
+        let expected_cores =
+          Manager.sanitize_cores ~max_cores:(Soc.cluster_cores soc cluster)
+            cores
+        in
         let ok =
           applied.Manager.freq_mhz = expected_freq
           && applied.Manager.cores = expected_cores
@@ -76,66 +87,78 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
         if not ok then Obs.Counters.incr c_act_mismatch;
         Guarded.note_actuation g ~now ~ok
   in
-  (* Preallocated measurement/command buffers: the tick path writes them
-     in place instead of building fresh arrays every period. *)
-  let meas_big = [| 0.; 0. |] and meas_little = [| 0.; 0. |] in
-  let u_big = [| 0.; 0. |] and u_little = [| 0.; 0. |] in
+  (* Preallocated measurement/command buffers, one pair per cluster: the
+     tick path writes them in place instead of building fresh arrays
+     every period. *)
+  let meas = Array.init k (fun _ -> [| 0.; 0. |]) in
+  let cmd = Array.init k (fun _ -> [| 0.; 0. |]) in
   let step ~now ~qos_ref ~envelope ~obs soc =
     Obs.Counters.incr c_steps;
-    let qos, big_power, little_power =
+    (* SoC-owned per-cluster sensor array: read-only here, valid until
+       the next platform step. *)
+    let raw_powers = Soc.sensor_powers soc in
+    let qos, powers =
       match guards with
-      | None -> (obs.Soc.qos_rate, obs.Soc.big_power, obs.Soc.little_power)
+      | None -> ((obs.Soc.qos_rate : float), raw_powers)
       | Some g ->
           let f =
-            Guarded.filter g ~now ~qos:obs.Soc.qos_rate
-              ~big_power:obs.Soc.big_power ~little_power:obs.Soc.little_power
+            Guarded.filter g ~now ~qos:obs.Soc.qos_rate ~powers:raw_powers
           in
-          (f.Guarded.qos, f.Guarded.big_power, f.Guarded.little_power)
+          (f.Guarded.qos, f.Guarded.powers)
     in
     match guards with
     | Some g when Guarded.degraded g ->
         (* Open-loop fallback: sensors (or actuators) are untrustworthy,
            so pin the minimum-power configuration and freeze the
-           supervisor and both leaf controllers (their state resumes
-           unpolluted once readings return).  With both actuators driven
-           to their floor, any single surviving actuator keeps chip
+           supervisor and all leaf controllers (their state resumes
+           unpolluted once readings return).  With every actuator driven
+           to its floor, any single surviving actuator keeps chip
            power inside the envelope. *)
         Obs.Counters.incr c_degraded;
-        actuate guards soc Soc.Big ~freq_ghz:0.2 ~cores:1. ~now;
-        actuate guards soc Soc.Little ~freq_ghz:0.2 ~cores:1. ~now;
+        for i = 0 to k - 1 do
+          actuate guards soc i ~freq_ghz:0.2 ~cores:1. ~now
+        done;
         incr tick
     | _ ->
-        Mimo.set_reference big ~index:0 qos_ref;
+        Mimo.set_reference ctrls.(host) ~index:0 qos_ref;
         (* Supervisor period: every [supervisor_divisor] controller
            periods. *)
-        if !tick mod supervisor_divisor = 0 then
-          Supervisor.step sup ~qos ~qos_ref ~power:(big_power +. little_power)
-            ~envelope;
+        (if !tick mod supervisor_divisor = 0 then begin
+           let total = ref 0. in
+           for i = 0 to k - 1 do
+             total := !total +. powers.(i)
+           done;
+           Supervisor.step sup ~qos ~qos_ref ~power:!total ~envelope
+         end);
         incr tick;
-        meas_big.(0) <- qos;
-        meas_big.(1) <- big_power;
-        Mimo.step_into big ~measured:meas_big ~dst:u_big;
-        actuate guards soc Soc.Big ~freq_ghz:u_big.(0) ~cores:u_big.(1) ~now;
-        meas_little.(0) <- obs.Soc.little_ips /. 1e9;
-        meas_little.(1) <- little_power;
-        Mimo.step_into little ~measured:meas_little ~dst:u_little;
-        actuate guards soc Soc.Little ~freq_ghz:u_little.(0) ~cores:u_little.(1)
-          ~now
+        let ips = Soc.ips_totals soc in
+        for i = 0 to k - 1 do
+          let m = meas.(i) in
+          let u = cmd.(i) in
+          m.(0) <- (if i = host then qos else ips.(i) /. 1e9);
+          m.(1) <- powers.(i);
+          Mimo.step_into ctrls.(i) ~measured:m ~dst:u;
+          actuate guards soc i ~freq_ghz:u.(0) ~cores:u.(1) ~now
+        done
   in
   let name = match guards with None -> "SPECTR" | Some _ -> "SPECTR+G" in
   (* The checkpoint spans the whole supervisory stack: supervisor engine,
-     both leaf controllers, the supervisor-divisor tick phase and (when
-     armed) the watchdog.  The variant tag also encodes gain scheduling,
-     so a checkpoint can't cross ablation variants. *)
-  let variant = if gain_scheduling then name else name ^ "-nogs" in
+     every leaf controller, the supervisor-divisor tick phase and (when
+     armed) the watchdog.  The variant tag also encodes gain scheduling
+     and — off the reference platform — the platform digest, so a
+     checkpoint can't cross ablation variants or platforms. *)
+  let variant =
+    let base = if gain_scheduling then name else name ^ "-nogs" in
+    if is_exynos then base
+    else base ^ "@" ^ String.sub (Platform_desc.digest platform) 0 12
+  in
   let persist =
     {
       Manager.snapshot =
         (fun () ->
           let state =
             ( Supervisor.snapshot sup,
-              Mimo.snapshot big,
-              Mimo.snapshot little,
+              Array.map Mimo.snapshot ctrls,
               !tick,
               Option.map Guarded.snapshot guards )
           in
@@ -143,17 +166,21 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
       restore =
         (fun c ->
           Manager.require_variant ~expect:variant c;
-          let ssup, sbig, slittle, stick, sguards =
+          let ssup, sctrls, stick, sguards =
             (Marshal.from_string c.Manager.payload 0
               : Supervisor.snapshot
-                * Mimo.snapshot
-                * Mimo.snapshot
+                * Mimo.snapshot array
                 * int
                 * Guarded.snapshot option)
           in
+          if Array.length sctrls <> k then
+            invalid_arg
+              (Printf.sprintf
+                 "Spectr_manager.restore: %d controller snapshots, platform \
+                  has %d clusters"
+                 (Array.length sctrls) k);
           Supervisor.restore sup ssup;
-          Mimo.restore big sbig;
-          Mimo.restore little slittle;
+          Array.iteri (fun i s -> Mimo.restore ctrls.(i) s) sctrls;
           tick := stick;
           match (guards, sguards) with
           | Some g, Some s -> Guarded.restore g s

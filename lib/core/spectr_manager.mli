@@ -1,5 +1,5 @@
-(** The full SPECTR resource manager (Figure 9 / Figure 10): two
-    per-cluster 2×2 LQG leaf controllers, each carrying both QoS- and
+(** The full SPECTR resource manager (Figure 9 / Figure 10): one 2×2 LQG
+    leaf controller per cluster, each carrying both QoS- and
     power-oriented gain sets, orchestrated by the synthesized supervisory
     controller.
 
@@ -13,6 +13,7 @@ val make :
   ?supervisor_divisor:int ->
   ?gain_scheduling:bool ->
   ?guards:Guarded.t ->
+  ?platform:Spectr_platform.Platform_desc.t ->
   unit ->
   Manager.t * Supervisor.t
 (** Returns the manager and a handle on its supervisor (for inspecting
@@ -20,10 +21,18 @@ val make :
     builds the ablation variant whose supervisor still regulates budgets
     but never switches gains.
 
+    [platform] (default [Platform_desc.exynos5422]) selects the platform
+    description: one leaf controller per cluster, identified through
+    {!Design_flow.Cluster_2x2} and supervised by the description-derived
+    synthesis.  On the Exynos description the original
+    [Big_2x2]/[Little_2x2] subsystems (and their memo keys) are used, so
+    behaviour is bit-identical to previous releases.
+
     [guards] arms the graceful-degradation layer (named ["SPECTR+G"]):
     observations pass through {!Guarded.filter}, actuation readbacks
     feed {!Guarded.note_actuation}, and while {!Guarded.degraded} holds
     the manager pins the minimum-power open-loop fallback with the
-    supervisor and both leaf controllers frozen.  Without [guards]
-    (the default) behaviour is bit-identical to previous releases.
-    Raises [Invalid_argument] when [supervisor_divisor < 1]. *)
+    supervisor and every leaf controller frozen.  The guard must have
+    been created with [clusters] equal to the platform's cluster count.
+    Raises [Invalid_argument] when [supervisor_divisor < 1] or on a
+    guard/platform cluster-count mismatch. *)

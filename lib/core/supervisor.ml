@@ -1,5 +1,6 @@
 open Spectr_automata
 module Obs = Spectr_obs
+module Platform_desc = Spectr_platform.Platform_desc
 
 (* Observability handles (no-ops while instrumentation is disabled). *)
 let c_steps = Obs.Counters.counter "supervisor.steps"
@@ -10,10 +11,16 @@ let h_step = Obs.Histogram.histogram "supervisor.step_ns"
 
 type commands = {
   switch_gains : string -> unit;
-  set_big_power_ref : float -> unit;
-  set_little_power_ref : float -> unit;
+  set_power_ref : int -> float -> unit;
+      (* per-cluster power-reference update, cluster in description
+         order *)
 }
 
+(* Config field names keep the paper's Big/Little vocabulary: "big" is
+   the host cluster (the one running the QoS application), "little" is
+   every secondary cluster — each secondary gets its own budget between
+   [little_budget_min] and [little_budget_max], moved in
+   [little_budget_step] increments. *)
 type config = {
   qos_tolerance : float;
   capping_target : float;
@@ -45,12 +52,15 @@ let default_config =
     min_capped_dwell = 10;
   }
 
-let synthesize () =
-  let plant = Plant_model.composed () in
+let synthesize ?(platform = Platform_desc.exynos5422) () =
+  let plant = Plant_model.composed_for platform in
   (* Memoized: every scenario constructs its managers from scratch (a
-     requirement of the parallel bench harness), but the synthesis of
-     the case-study supervisor only ever runs once per process. *)
-  match Spectr_exec.Synth_cache.supcon ~plant ~spec:Spec.three_band with
+     requirement of the parallel bench harness), but synthesis only ever
+     runs once per (plant, spec) digest pair — i.e. once per platform
+     description. *)
+  match
+    Spectr_exec.Synth_cache.supcon ~plant ~spec:(Spec.of_platform platform)
+  with
   | Error Synthesis.Empty_supervisor ->
       failwith "Supervisor.synthesize: empty supervisor"
   | Ok (sup, stats) ->
@@ -68,13 +78,19 @@ let synthesize () =
 type t = {
   config : config;
   commands : commands;
+  platform : Platform_desc.t;
   auto : Automaton.t;
   stats : Synthesis.stats;
+  k : int; (* cluster count *)
+  host : int; (* host-cluster index *)
+  (* Per-cluster budget-command ids, indexed by cluster. *)
+  id_increase : int array;
+  id_decrease : int array;
+  refs : float array; (* per-cluster power references *)
+  ref_targets : string array; (* decision-log labels, "<name>_power_ref" *)
   mutable current : int; (* supervisor-automaton state index *)
   mutable mode : string; (* "qos" | "power" *)
   mutable mode_age : int; (* supervisor periods since the last switch *)
-  mutable big_ref : float;
-  mutable little_ref : float;
   (* Most recent measurements, consulted by the action policy. *)
   mutable last_qos : float;
   mutable last_qos_ref : float;
@@ -82,23 +98,36 @@ type t = {
   mutable last_envelope : float;
 }
 
-let create ?(config = default_config) ~commands ~envelope () =
+let create ?(config = default_config) ?(platform = Platform_desc.exynos5422)
+    ~commands ~envelope () =
   if envelope <= 0. then invalid_arg "Supervisor.create: envelope <= 0";
-  let auto, stats = synthesize () in
-  let big_ref = Float.max config.big_budget_min (envelope -. 0.6) in
-  let little_ref = 0.3 in
-  commands.set_big_power_ref big_ref;
-  commands.set_little_power_ref little_ref;
+  let auto, stats = synthesize ~platform () in
+  let fam = Events.for_platform platform in
+  let k = Platform_desc.num_clusters platform in
+  let host = Platform_desc.host platform in
+  let refs = Array.make k 0.3 in
+  refs.(host) <- Float.max config.big_budget_min (envelope -. 0.6);
+  commands.set_power_ref host refs.(host);
+  for i = 0 to k - 1 do
+    if i <> host then commands.set_power_ref i refs.(i)
+  done;
   {
     config;
     commands;
+    platform;
     auto;
     stats;
+    k;
+    host;
+    id_increase = Array.init k (fun i -> Event.id (Events.increase fam i));
+    id_decrease = Array.init k (fun i -> Event.id (Events.decrease fam i));
+    refs;
+    ref_targets =
+      Array.init k (fun i ->
+          Platform_desc.cluster_name platform i ^ "_power_ref");
     current = Automaton.initial_index auto;
     mode = "qos";
     mode_age = 0;
-    big_ref;
-    little_ref;
     last_qos = 0.;
     last_qos_ref = 1.;
     last_power = 0.;
@@ -109,8 +138,14 @@ let create ?(config = default_config) ~commands ~envelope () =
    path below tracks the state purely as an index. *)
 let state t = Automaton.state_of_index t.auto t.current
 let gains_mode t = t.mode
-let big_power_ref t = t.big_ref
-let little_power_ref t = t.little_ref
+let platform t = t.platform
+let num_clusters t = t.k
+let host_cluster t = t.host
+
+let power_ref t i =
+  if i < 0 || i >= t.k then invalid_arg "Supervisor.power_ref: cluster index";
+  t.refs.(i)
+
 let synthesis_stats t = t.stats
 let automaton t = t.auto
 
@@ -118,8 +153,7 @@ type snapshot = {
   snap_state : int;
   snap_mode : string;
   snap_mode_age : int;
-  snap_big_ref : float;
-  snap_little_ref : float;
+  snap_refs : float array;
   snap_last_qos : float;
   snap_last_qos_ref : float;
   snap_last_power : float;
@@ -131,8 +165,7 @@ let snapshot t =
     snap_state = t.current;
     snap_mode = t.mode;
     snap_mode_age = t.mode_age;
-    snap_big_ref = t.big_ref;
-    snap_little_ref = t.little_ref;
+    snap_refs = Array.copy t.refs;
     snap_last_qos = t.last_qos;
     snap_last_qos_ref = t.last_qos_ref;
     snap_last_power = t.last_power;
@@ -144,11 +177,14 @@ let restore t s =
     invalid_arg "Supervisor.restore: state index out of range";
   if s.snap_mode <> "qos" && s.snap_mode <> "power" then
     invalid_arg (Printf.sprintf "Supervisor.restore: mode %S" s.snap_mode);
+  if Array.length s.snap_refs <> t.k then
+    invalid_arg
+      (Printf.sprintf "Supervisor.restore: %d budget refs, platform has %d"
+         (Array.length s.snap_refs) t.k);
   t.current <- s.snap_state;
   t.mode <- s.snap_mode;
   t.mode_age <- s.snap_mode_age;
-  t.big_ref <- s.snap_big_ref;
-  t.little_ref <- s.snap_little_ref;
+  Array.blit s.snap_refs 0 t.refs 0 t.k;
   t.last_qos <- s.snap_last_qos;
   t.last_qos_ref <- s.snap_last_qos_ref;
   t.last_power <- s.snap_last_power;
@@ -156,10 +192,11 @@ let restore t s =
 
 (* --- actions --------------------------------------------------------- *)
 
-(* The runtime engine works purely in event-id space: the ids below are
-   interned once at module load, and every per-step automaton query is
-   an int binary search ({!Automaton.step_index_raw}) — no event lists,
-   no options, no string comparisons on the tick path. *)
+(* The runtime engine works purely in event-id space: the global ids
+   below are interned once at module load (per-cluster command ids live
+   in [t], filled at creation), and every per-step automaton query is an
+   int binary search ({!Automaton.step_index_raw}) — no event lists, no
+   options, no string comparisons on the tick path. *)
 let id_critical = Event.id Events.critical
 let id_above_target = Event.id Events.above_target
 let id_below_target = Event.id Events.below_target
@@ -170,10 +207,6 @@ let id_power_safe_qos_met = Event.id Events.power_safe_qos_met
 let id_power_safe_qos_not_met = Event.id Events.power_safe_qos_not_met
 let id_switch_power = Event.id Events.switch_power
 let id_switch_qos = Event.id Events.switch_qos
-let id_increase_big_power = Event.id Events.increase_big_power
-let id_decrease_big_power = Event.id Events.decrease_big_power
-let id_increase_little_power = Event.id Events.increase_little_power
-let id_decrease_little_power = Event.id Events.decrease_little_power
 let id_decrease_critical_power = Event.id Events.decrease_critical_power
 let id_control_power = Event.id Events.control_power
 let id_hold_budget = Event.id Events.hold_budget
@@ -183,34 +216,68 @@ let id_hold_budget = Event.id Events.hold_budget
    controllability filter is needed. *)
 let[@inline] has t eid = Automaton.step_index_raw t.auto t.current eid >= 0
 
-(* The two cluster budgets must jointly respect the envelope: the Big
-   budget is clamped to what the Little allocation leaves.  The Little
-   cluster rarely draws its full budget, so only 90 % of it is reserved —
-   transient overshoots are caught by the critical-event feedback loop
-   rather than by static conservatism. *)
-let[@inline] big_budget_cap t = t.last_envelope -. (0.9 *. t.little_ref)
+(* The cluster budgets must jointly respect the envelope: the host
+   budget is clamped to what the secondary allocations leave.  The
+   secondary clusters rarely draw their full budgets, so only 90 % of
+   them is reserved — transient overshoots are caught by the
+   critical-event feedback loop rather than by static conservatism. *)
+let[@inline] host_budget_cap t =
+  let reserved = ref 0. in
+  for i = 0 to t.k - 1 do
+    if i <> t.host then reserved := !reserved +. t.refs.(i)
+  done;
+  t.last_envelope -. (0.9 *. !reserved)
 
-let set_big t v =
-  let v = Float.max t.config.big_budget_min (Float.min v (big_budget_cap t)) in
-  if v <> t.big_ref then begin
-    t.big_ref <- v;
-    t.commands.set_big_power_ref v;
-    if Obs.enabled () then
-      Obs.Decision_log.record
-        (Obs.Decision_log.Rebudget { target = "big_power_ref"; value = v })
-  end
+let[@inline] record_rebudget t i v =
+  if Obs.enabled () then
+    Obs.Decision_log.record
+      (Obs.Decision_log.Rebudget { target = t.ref_targets.(i); value = v })
 
-let set_little t v =
+let set_host t v =
   let v =
-    Float.max t.config.little_budget_min (Float.min v t.config.little_budget_max)
+    Float.max t.config.big_budget_min (Float.min v (host_budget_cap t))
   in
-  if v <> t.little_ref then begin
-    t.little_ref <- v;
-    t.commands.set_little_power_ref v;
-    if Obs.enabled () then
-      Obs.Decision_log.record
-        (Obs.Decision_log.Rebudget { target = "little_power_ref"; value = v })
+  if v <> t.refs.(t.host) then begin
+    t.refs.(t.host) <- v;
+    t.commands.set_power_ref t.host v;
+    record_rebudget t t.host v
   end
+
+let set_secondary t i v =
+  let v =
+    Float.max t.config.little_budget_min
+      (Float.min v t.config.little_budget_max)
+  in
+  if v <> t.refs.(i) then begin
+    t.refs.(i) <- v;
+    t.commands.set_power_ref i v;
+    record_rebudget t i v
+  end
+
+(* Dispatch one per-cluster budget command; returns false when [eid] is
+   not one of them. *)
+let execute_cluster t eid =
+  let matched = ref false in
+  let i = ref 0 in
+  while (not !matched) && !i < t.k do
+    let ci = !i in
+    (if eid = t.id_increase.(ci) then begin
+       matched := true;
+       if ci = t.host then set_host t (t.refs.(ci) +. t.config.big_budget_step)
+       else begin
+         set_secondary t ci (t.refs.(ci) +. t.config.little_budget_step);
+         (* a bigger secondary allocation shrinks the host budget cap *)
+         set_host t t.refs.(t.host)
+       end
+     end
+     else if eid = t.id_decrease.(ci) then begin
+       matched := true;
+       if ci = t.host then set_host t (t.refs.(ci) -. t.config.big_budget_step)
+       else set_secondary t ci (t.refs.(ci) -. t.config.little_budget_step)
+     end);
+    incr i
+  done;
+  !matched
 
 let execute t eid =
   Obs.Counters.incr c_fired;
@@ -233,62 +300,81 @@ let execute t eid =
      if Obs.enabled () then
        Obs.Decision_log.record (Obs.Decision_log.Gain_switch { mode = "qos" })
    end
-   else if eid = id_increase_big_power then
-     set_big t (t.big_ref +. t.config.big_budget_step)
-   else if eid = id_decrease_big_power then
-     set_big t (t.big_ref -. t.config.big_budget_step)
-   else if eid = id_increase_little_power then begin
-     set_little t (t.little_ref +. t.config.little_budget_step);
-     (* a bigger Little allocation shrinks the Big budget cap *)
-     set_big t t.big_ref
-   end
-   else if eid = id_decrease_little_power then
-     set_little t (t.little_ref -. t.config.little_budget_step)
    else if eid = id_decrease_critical_power then begin
-     set_big t (t.big_ref *. t.config.critical_cut);
-     set_little t t.config.little_budget_min
+     set_host t (t.refs.(t.host) *. t.config.critical_cut);
+     for i = 0 to t.k - 1 do
+       if i <> t.host then set_secondary t i t.config.little_budget_min
+     done
    end
    else if eid = id_control_power then begin
      (* Capping-band bookkeeping: re-clamp budgets to the envelope. *)
-     set_big t t.big_ref;
-     set_little t t.little_ref
+     set_host t t.refs.(t.host);
+     for i = 0 to t.k - 1 do
+       if i <> t.host then set_secondary t i t.refs.(i)
+     done
    end
+   else if execute_cluster t eid then ()
    else () (* holdBudget and anything unknown: state step only *));
   let next = Automaton.step_index_raw t.auto t.current eid in
   if next >= 0 then t.current <- next
 (* execute is only called on enabled events, so next >= 0 in practice *)
 
+(* Secondary-cluster scans of the action policy: first enabled
+   budget-raise (resp. -cut) command among the secondary clusters in
+   description order.  Returns the event id or [-1]. *)
+let first_secondary_increase t =
+  let c = t.config in
+  let pick = ref (-1) in
+  let i = ref 0 in
+  while !pick < 0 && !i < t.k do
+    (if !i <> t.host
+        && t.refs.(!i) < c.little_budget_max -. 0.01
+        && has t t.id_increase.(!i)
+     then pick := t.id_increase.(!i));
+    incr i
+  done;
+  !pick
+
+let first_secondary_decrease t =
+  let c = t.config in
+  let pick = ref (-1) in
+  let i = ref 0 in
+  while !pick < 0 && !i < t.k do
+    (if !i <> t.host
+        && t.refs.(!i) > c.little_budget_min +. 0.01
+        && has t t.id_decrease.(!i)
+     then pick := t.id_decrease.(!i));
+    incr i
+  done;
+  !pick
+
 (* The budget policy: among the controllable events the supervisor leaves
    enabled in the current state, pick the most useful one.  Returns the
    event id, or [-1] when no enabled controllable remains.  Each [has]
-   probe is one binary search of the current CSR row — the old
-   list-based scan (filter + exists over [enabled_index]) allocated a
-   fresh event list per probe round. *)
+   probe is one binary search of the current CSR row. *)
 let choose_action t =
   let c = t.config in
   let qos_surplus = t.last_qos -. (t.last_qos_ref *. (1. +. c.qos_tolerance)) in
-  let headroom = big_budget_cap t -. t.big_ref in
+  let headroom = host_budget_cap t -. t.refs.(t.host) in
   if has t id_switch_power then id_switch_power
   else if has t id_decrease_critical_power then id_decrease_critical_power
   else if has t id_switch_qos && t.mode_age >= c.min_capped_dwell then
     id_switch_qos
-  else if has t id_increase_big_power && headroom > 0.01 then
-    id_increase_big_power
-  else if
-    has t id_increase_little_power
-    && t.little_ref < c.little_budget_max -. 0.01
-    && headroom <= 0.01
-  then id_increase_little_power
-  else if has t id_decrease_big_power && qos_surplus > 0. then
-    id_decrease_big_power
-  else if
-    has t id_decrease_little_power
-    && t.little_ref > c.little_budget_min +. 0.01
-    && qos_surplus > 0.
-  then id_decrease_little_power
-  else if has t id_control_power then id_control_power
-  else if has t id_hold_budget then id_hold_budget
-  else -1
+  else if has t t.id_increase.(t.host) && headroom > 0.01 then
+    t.id_increase.(t.host)
+  else begin
+    let raise_eid = if headroom <= 0.01 then first_secondary_increase t else -1 in
+    if raise_eid >= 0 then raise_eid
+    else if has t t.id_decrease.(t.host) && qos_surplus > 0. then
+      t.id_decrease.(t.host)
+    else begin
+      let cut_eid = if qos_surplus > 0. then first_secondary_decrease t else -1 in
+      if cut_eid >= 0 then cut_eid
+      else if has t id_control_power then id_control_power
+      else if has t id_hold_budget then id_hold_budget
+      else -1
+    end
+  end
 
 (* A counted while-loop (a local [let rec] would allocate a closure
    over [t] on every call). *)
@@ -348,7 +434,7 @@ let do_step t ~qos ~qos_ref ~power ~envelope =
      t.last_envelope <- envelope;
      (* Re-clamp budgets immediately on an envelope change (thermal
         emergency or recovery). *)
-     set_big t t.big_ref
+     set_host t t.refs.(t.host)
    end);
   let c = t.config in
   (* Power-band event ([-1]: inside the capping band, nothing fires). *)

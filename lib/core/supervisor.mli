@@ -5,7 +5,9 @@
     {!Plant_model} sub-plants, restrict by the {!Spec}, synthesize with
     {!Spectr_automata.Synthesis.supcon} and verify non-blocking and
     controllability — producing the verified supervisor automaton
-    (Fig. 12d).
+    (Fig. 12d).  Both models are generated from a
+    {!Spectr_platform.Platform_desc.t}, so the pipeline covers any
+    cluster count; the default is the paper's Exynos 5422.
 
     At runtime (every supervisor period, 2× the controller period in
     §5), {!step} translates sensor readings into the uncontrollable
@@ -18,15 +20,21 @@
     any pre-verified off-the-shelf controllers"). *)
 
 open Spectr_automata
+module Platform_desc = Spectr_platform.Platform_desc
 
 type commands = {
   switch_gains : string -> unit;
       (** Called with ["qos"] or ["power"] on a gain-schedule switch. *)
-  set_big_power_ref : float -> unit;
-      (** New Big-cluster power budget (W). *)
-  set_little_power_ref : float -> unit;
+  set_power_ref : int -> float -> unit;
+      (** New power budget (W) for the given cluster index (description
+          order; on exynos5422: 0 = Big, 1 = Little). *)
 }
 
+(** Configuration keeps the paper's Big/Little vocabulary: the [big_*]
+    fields govern the {e host} cluster's budget, the [little_*] fields
+    every {e secondary} cluster's (each secondary gets its own budget
+    between the min and max, moved in [little_budget_step]
+    increments). *)
 type config = {
   qos_tolerance : float;  (** Relative QoS-met band (default 0.02). *)
   capping_target : float;
@@ -34,7 +42,7 @@ type config = {
           (default 0.97) — middle band of the three-band algorithm. *)
   uncapping_threshold : float;  (** Lowest band edge (default 0.90). *)
   big_budget_step : float;  (** Budget increment, W (default 0.25). *)
-  big_budget_min : float;  (** Floor for the Big budget (default 0.8). *)
+  big_budget_min : float;  (** Floor for the host budget (default 0.8). *)
   little_budget_step : float;  (** Default 0.1. *)
   little_budget_min : float;  (** Default 0.15. *)
   little_budget_max : float;  (** Default 1.0. *)
@@ -51,18 +59,26 @@ type config = {
 
 val default_config : config
 
-val synthesize : unit -> Automaton.t * Synthesis.stats
-(** Synthesize and verify the case-study supervisor.  Raises [Failure]
-    if the supervisor were empty or failed verification — both are
-    structurally impossible for the shipped models and covered by
-    tests. *)
+val synthesize :
+  ?platform:Platform_desc.t -> unit -> Automaton.t * Synthesis.stats
+(** Synthesize and verify the supervisor for a platform description
+    (default: exynos5422, the case study).  Raises [Failure] if the
+    supervisor were empty or failed verification — both are structurally
+    impossible for the generated models and covered by tests. *)
 
 type t
 
-val create : ?config:config -> commands:commands -> envelope:float -> unit -> t
-(** A runtime supervisor starting in QoS mode with the Big budget at
-    [envelope] minus the Little floor.  Synthesis runs once per
-    {!create}.  Raises [Invalid_argument] when [envelope <= 0]. *)
+val create :
+  ?config:config ->
+  ?platform:Platform_desc.t ->
+  commands:commands ->
+  envelope:float ->
+  unit ->
+  t
+(** A runtime supervisor starting in QoS mode with the host budget at
+    [envelope] minus the secondary floor and every secondary budget at
+    0.3 W.  Synthesis runs once per {!create} (memoized per platform).
+    Raises [Invalid_argument] when [envelope <= 0]. *)
 
 val step :
   t -> qos:float -> qos_ref:float -> power:float -> envelope:float -> unit
@@ -87,26 +103,31 @@ val state : t -> string
 val gains_mode : t -> string
 (** ["qos"] or ["power"]. *)
 
-val big_power_ref : t -> float
-val little_power_ref : t -> float
+val platform : t -> Platform_desc.t
+val num_clusters : t -> int
+val host_cluster : t -> int
+
+val power_ref : t -> int -> float
+(** Current power reference of the given cluster index.  Raises
+    [Invalid_argument] outside [0, num_clusters). *)
+
 val synthesis_stats : t -> Synthesis.stats
 val automaton : t -> Automaton.t
 
 (** {1 Checkpoint/restore}
 
     The runtime engine's full mutable state — automaton state index,
-    gain mode, dwell age, both budgets and the last trustworthy
-    measurements — as plain data (safe to [Marshal]).  The synthesized
-    automaton itself is {e not} captured: synthesis is deterministic and
-    memoized, so a fresh {!create} rebuilds the identical automaton and
-    the saved index stays valid. *)
+    gain mode, dwell age, the per-cluster budgets and the last
+    trustworthy measurements — as plain data (safe to [Marshal]).  The
+    synthesized automaton itself is {e not} captured: synthesis is
+    deterministic and memoized, so a fresh {!create} rebuilds the
+    identical automaton and the saved index stays valid. *)
 
 type snapshot = {
   snap_state : int;
   snap_mode : string;
   snap_mode_age : int;
-  snap_big_ref : float;
-  snap_little_ref : float;
+  snap_refs : float array;  (** Per-cluster budgets, description order. *)
   snap_last_qos : float;
   snap_last_qos_ref : float;
   snap_last_power : float;
@@ -120,5 +141,6 @@ val restore : t -> snapshot -> unit
     re-invoked — the leaf controllers carry their own snapshots and are
     restored separately; stepping after [restore] continues exactly as
     the snapshotted instance would have.  Raises [Invalid_argument] on a
-    state index outside the automaton or an unknown mode (a corrupted
+    state index outside the automaton, an unknown mode, or a budget
+    array whose length does not match the platform (a corrupted
     checkpoint must fail loudly, not walk an illegal state). *)

@@ -15,6 +15,7 @@ type spec = {
   kill_rate : float;
   down_epochs : int;
   shard_size : int;
+  platforms : Platform_desc.t array;
 }
 
 let default_spec =
@@ -31,6 +32,7 @@ let default_spec =
     kill_rate = 0.5;
     down_epochs = 2;
     shard_size = 64;
+    platforms = [| Platform_desc.exynos5422 |];
   }
 
 type result = {
@@ -73,7 +75,9 @@ let validate spec =
   if spec.shard_size <= 0 then bad "shard_size";
   if spec.down_epochs <= 0 then bad "down_epochs";
   if spec.arrival_rate < 0. then bad "arrival_rate";
-  if spec.kill_rate < 0. then bad "kill_rate"
+  if spec.kill_rate < 0. then bad "kill_rate";
+  if Array.length spec.platforms = 0 then
+    invalid_arg "Fleet.run: empty platforms"
 
 (* One epoch's worth of ticking for one shard of nodes.  Node-outer,
    tick-inner: per-tick power lands in a shard-local array summed by the
@@ -116,7 +120,8 @@ let run ?pool spec =
      reuse it. *)
   let nodes =
     Array.init spec.nodes (fun i ->
-        Node.create ~config:spec.node_config ~id:i
+        Node.create ~config:spec.node_config
+          ~platform:spec.platforms.(i mod Array.length spec.platforms) ~id:i
           ~seed:(mix_seed spec.seed i) ~workload:(workload_for i) ())
   in
   (* A coordinated fleet starts from an even split of the global budget

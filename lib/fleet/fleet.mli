@@ -32,13 +32,17 @@ type spec = {
   shard_size : int;
       (** Nodes per parallel shard — part of the spec, {e not} derived
           from the job count, so results are job-count independent. *)
+  platforms : Spectr_platform.Platform_desc.t array;
+      (** Node [i] runs description [platforms.(i mod length)] — a
+          singleton array gives a homogeneous fleet, more entries an
+          interleaved heterogeneous one.  Must be non-empty. *)
 }
 
 val default_spec : spec
 (** 64 nodes × 20 epochs × 50 ticks, [dt] = 0.05 s, global cap of
     2.5 W per node (half the per-chip TDP), water-filling policy,
     2 arrivals and 0.5 kills per epoch, 2 epochs of downtime,
-    [shard_size] = 64. *)
+    [shard_size] = 64, a homogeneous [exynos5422] fleet. *)
 
 type result = {
   total_ticks : int;  (** epochs × ticks_per_epoch. *)

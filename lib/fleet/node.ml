@@ -22,6 +22,7 @@ type t = {
   config : config;
   seed : int64;
   workload : Workload.t;
+  platform : Platform_desc.t;
   qos_ref : float;
   mutable soc : Soc.t;
   mutable hb : Heartbeats.t;
@@ -45,9 +46,12 @@ type t = {
   mutable saved : Spectr.Manager.checkpoint option;
 }
 
-let qos_ref_for workload =
-  if workload.Workload.name = "x264" then 60.
-  else 0.75 *. Perf_model.max_qos_rate workload
+let qos_ref_for platform workload =
+  if
+    workload.Workload.name = "x264"
+    && Spectr.Design_flow.is_reference_platform platform
+  then 60.
+  else 0.75 *. Perf_model.max_qos_rate_for platform workload
 
 let make_soc t generation =
   (* Reseed each life: SplitMix-style mix of the node seed and the
@@ -57,30 +61,35 @@ let make_soc t generation =
     Int64.add t
       (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (generation + 1)))
   in
-  fun workload ->
+  fun platform workload ->
     let soc =
-      Soc.create ~config:{ Soc.default_config with seed } ~qos:workload ()
+      Soc.create
+        ~config:{ (Soc.config_of platform) with seed }
+        ~platform ~qos:workload ()
     in
     (* Boot throttled: a node comes up at the lowest OPP and lets its
        manager ramp it.  Booting at the mid-range default made every
        fleet start (and every reboot) a synchronized power spike that
        transiently broke the global cap through no fault of the
        coordinator. *)
-    ignore (Soc.set_frequency soc Soc.Big 0.);
-    ignore (Soc.set_frequency soc Soc.Little 0.);
+    for i = 0 to Soc.num_clusters soc - 1 do
+      ignore (Soc.set_frequency soc i 0.)
+    done;
     soc
 
-let create ?(config = default_config) ~id ~seed ~workload () =
+let create ?(config = default_config)
+    ?(platform = Platform_desc.exynos5422) ~id ~seed ~workload () =
   if config.node_tdp <= 0. || config.cap_floor <= 0. then
     invalid_arg "Node.create: non-positive tdp/floor";
-  let qos_ref = qos_ref_for workload in
-  let soc = (make_soc seed 0) workload in
-  let manager, _sup = Spectr.Spectr_manager.make () in
+  let qos_ref = qos_ref_for platform workload in
+  let soc = (make_soc seed 0) platform workload in
+  let manager, _sup = Spectr.Spectr_manager.make ~platform () in
   {
     id;
     config;
     seed;
     workload;
+    platform;
     qos_ref;
     soc;
     hb = Heartbeats.create ~window:config.hb_window ~reference:qos_ref ();
@@ -200,14 +209,14 @@ let kill t =
 let restart t =
   if not t.alive then begin
     t.restarts <- t.restarts + 1;
-    t.soc <- (make_soc t.seed t.restarts) t.workload;
+    t.soc <- (make_soc t.seed t.restarts) t.platform t.workload;
     t.hb <-
       Heartbeats.create ~window:t.config.hb_window ~reference:t.qos_ref ();
     Soc.set_background_tasks t.soc t.bg;
     (* The manager daemon restarts from scratch and restores its last
        persisted checkpoint — the chaos engine's kill-drill mechanics at
        node granularity.  Never-checkpointed nodes come back cold. *)
-    let manager, _sup = Spectr.Spectr_manager.make () in
+    let manager, _sup = Spectr.Spectr_manager.make ~platform:t.platform () in
     t.manager <- manager;
     (match (t.saved, manager.Spectr.Manager.persist) with
     | Some c, Some p -> p.Spectr.Manager.restore c

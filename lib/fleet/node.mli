@@ -43,12 +43,21 @@ val default_config : config
 type t
 
 val create :
-  ?config:config -> id:int -> seed:int64 -> workload:Workload.t -> unit -> t
-(** Build a node: fresh SoC seeded with [seed], fresh SPECTR manager
-    (gain design is memoized process-wide, so the 10 000th node costs
+  ?config:config ->
+  ?platform:Platform_desc.t ->
+  id:int ->
+  seed:int64 ->
+  workload:Workload.t ->
+  unit ->
+  t
+(** Build a node: fresh SoC seeded with [seed] on the given platform
+    description (default [Platform_desc.exynos5422] — fleets may mix
+    descriptions), fresh SPECTR manager for that description (gain
+    design is memoized process-wide, so the 10 000th node costs
     microseconds, not the full LQG pipeline), QoS reference derived as
-    in {!Spectr.Scenario.default_config} (60 FPS for x264, else 75 % of
-    the workload's maximum rate).  The initial cap is [node_tdp]. *)
+    in {!Spectr.Scenario.default_config} (60 FPS for x264 on the
+    reference Exynos, else 75 % of the workload's maximum rate on the
+    description's host cluster).  The initial cap is [node_tdp]. *)
 
 val id : t -> int
 val workload_name : t -> string

@@ -1,6 +1,10 @@
 open Spectr_linalg
 
-type sensor = Power | Qos | Temp
+type sensor = Power | Power_cluster of int | Qos | Temp
+
+(* How many per-cluster stuck-at slots the schedule carries; matches
+   [Platform_desc]'s 16-cluster ceiling. *)
+let max_clusters = 16
 
 type kind =
   | Dropout of sensor
@@ -12,10 +16,21 @@ type kind =
 
 let spike_probability = 0.3
 
-let validate_kind = function
-  | Spike_burst (_, mag) when not (Float.is_finite mag && mag > 0.) ->
+let validate_sensor = function
+  | Power_cluster i when i < 0 || i >= max_clusters ->
       invalid_arg
-        (Printf.sprintf "Faults: spike magnitude %g not finite and positive" mag)
+        (Printf.sprintf "Faults: power channel %d not in 0..%d" i
+           (max_clusters - 1))
+  | _ -> ()
+
+let validate_kind = function
+  | Spike_burst (s, mag) ->
+      validate_sensor s;
+      if not (Float.is_finite mag && mag > 0.) then
+        invalid_arg
+          (Printf.sprintf "Faults: spike magnitude %g not finite and positive"
+             mag)
+  | Dropout s | Stuck_at_last s -> validate_sensor s
   | _ -> ()
 
 type injection = { fault : kind; start_s : float; stop_s : float }
@@ -36,8 +51,7 @@ let injection fault ~start_s ~stop_s =
 type t = {
   injections : injection list;
   rng : Prng.t; (* spike noise only; independent of the SoC's stream *)
-  mutable last_power_big : float;
-  mutable last_power_little : float;
+  last_power : float array; (* per-cluster stuck-at slots *)
   mutable last_qos : float;
   mutable last_temp : float;
 }
@@ -49,8 +63,7 @@ let create ?(seed = 0xFA17L) injections =
   {
     injections;
     rng = Prng.create seed;
-    last_power_big = 0.;
-    last_power_little = 0.;
+    last_power = Array.make max_clusters 0.;
     last_qos = 0.;
     last_temp = 0.;
   }
@@ -74,20 +87,24 @@ let gating_refused t ~now = active_on t ~now (fun f -> f = Gating_refused)
 let heartbeat_stalled t ~now = active_on t ~now (fun f -> f = Heartbeat_stall)
 
 (* Sensor transforms compose in severity order: a spike burst corrupts a
-   live reading, stuck-at freezes it, dropout kills it outright. *)
-let apply_sensor t ~now ~sensor ~get_last ~set_last v =
+   live reading, stuck-at freezes it, dropout kills it outright.
+   [matches] decides whether a fault's sensor designator hits this
+   channel — a plain [Power] fault hits every cluster's power sensor, a
+   [Power_cluster i] fault only cluster [i]'s. *)
+let apply_sensor t ~now ~matches ~get_last ~set_last v =
   let active pred = active_on t ~now pred in
   let spiked =
     List.fold_left
       (fun v i ->
         match i.fault with
-        | Spike_burst (s, mag) when s = sensor && window_active i ~now ->
+        | Spike_burst (s, mag) when matches s && window_active i ~now ->
             if Prng.float t.rng < spike_probability then v *. mag else v
         | _ -> v)
       v t.injections
   in
-  if active (fun f -> f = Dropout sensor) then 0.
-  else if active (fun f -> f = Stuck_at_last sensor) then get_last ()
+  if active (function Dropout s -> matches s | _ -> false) then 0.
+  else if active (function Stuck_at_last s -> matches s | _ -> false) then
+    get_last ()
   else begin
     set_last spiked;
     spiked
@@ -100,22 +117,19 @@ let apply_sensor t ~now ~sensor ~get_last ~set_last v =
    "record last healthy reading, return v", which is what each fast path
    does directly. *)
 
-let apply_power t ~now ~channel v =
+let apply_power t ~now ~cluster v =
+  if cluster < 0 || cluster >= max_clusters then
+    invalid_arg "Faults.apply_power: cluster out of range";
   match t.injections with
   | [] ->
-      (match channel with
-      | `Big -> t.last_power_big <- v
-      | `Little -> t.last_power_little <- v);
+      t.last_power.(cluster) <- v;
       v
   | _ :: _ ->
-      let get_last, set_last =
-        match channel with
-        | `Big ->
-            ((fun () -> t.last_power_big), fun v -> t.last_power_big <- v)
-        | `Little ->
-            ((fun () -> t.last_power_little), fun v -> t.last_power_little <- v)
-      in
-      apply_sensor t ~now ~sensor:Power ~get_last ~set_last v
+      apply_sensor t ~now
+        ~matches:(fun s -> s = Power || s = Power_cluster cluster)
+        ~get_last:(fun () -> t.last_power.(cluster))
+        ~set_last:(fun v -> t.last_power.(cluster) <- v)
+        v
 
 let apply_qos t ~now v =
   match t.injections with
@@ -124,7 +138,8 @@ let apply_qos t ~now v =
       v
   | _ :: _ ->
       let v =
-        apply_sensor t ~now ~sensor:Qos
+        apply_sensor t ~now
+          ~matches:(fun s -> s = Qos)
           ~get_last:(fun () -> t.last_qos)
           ~set_last:(fun v -> t.last_qos <- v)
           v
@@ -137,7 +152,8 @@ let apply_temp t ~now v =
       t.last_temp <- v;
       v
   | _ :: _ ->
-      apply_sensor t ~now ~sensor:Temp
+      apply_sensor t ~now
+        ~matches:(fun s -> s = Temp)
         ~get_last:(fun () -> t.last_temp)
         ~set_last:(fun v -> t.last_temp <- v)
         v
@@ -151,6 +167,7 @@ let shift injections ~by =
 
 let sensor_to_string = function
   | Power -> "power"
+  | Power_cluster i -> "power" ^ string_of_int i
   | Qos -> "qos"
   | Temp -> "temp"
 
@@ -158,7 +175,13 @@ let sensor_of_string = function
   | "power" -> Power
   | "qos" -> Qos
   | "temp" -> Temp
-  | s -> invalid_arg (Printf.sprintf "Faults.sensor_of_string: %S" s)
+  | s ->
+      let bad () = invalid_arg (Printf.sprintf "Faults.sensor_of_string: %S" s) in
+      if String.length s > 5 && String.sub s 0 5 = "power" then
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some i when i >= 0 && i < max_clusters -> Power_cluster i
+        | _ -> bad ()
+      else bad ()
 
 (* %.17g round-trips every finite double exactly. *)
 let flt v = Printf.sprintf "%.17g" v

@@ -26,9 +26,12 @@
     SoC's), so a run with an empty — or never-active — schedule is
     bit-identical to a run with no schedule at all. *)
 
-type sensor = Power | Qos | Temp
-(** Which sensor class a sensor fault hits ([Temp] is the die-temperature
-    sensor). *)
+type sensor = Power | Power_cluster of int | Qos | Temp
+(** Which sensor class a sensor fault hits.  [Power] is every cluster's
+    power sensor at once (the classic correlated failure of a shared
+    sense rail); [Power_cluster i] is cluster [i]'s sensor alone, so
+    sensor-lie and dropout schedules compose on any cluster count.
+    [Temp] is the die-temperature sensor. *)
 
 type kind =
   | Dropout of sensor  (** The sensor reads 0 (dead line). *)
@@ -83,10 +86,11 @@ val heartbeat_stalled : t -> now:float -> bool
     are active, and records the last healthy reading so that
     [Stuck_at_last] has something to repeat. *)
 
-val apply_power : t -> now:float -> channel:[ `Big | `Little ] -> float -> float
-(** [channel] selects which last-healthy slot backs [Stuck_at_last] (the
-    two cluster power sensors fail together but repeat their own last
-    readings). *)
+val apply_power : t -> now:float -> cluster:int -> float -> float
+(** [cluster] is the platform cluster index of the power sensor being
+    read: it selects which last-healthy slot backs [Stuck_at_last] and
+    which [Power_cluster] faults apply (plain [Power] faults hit every
+    cluster).  Raises [Invalid_argument] outside [0, 16). *)
 
 val apply_qos : t -> now:float -> float -> float
 
@@ -103,7 +107,8 @@ val shift : injection list -> by:float -> injection list
 
     Stable textual forms used by the chaos-engine reproducer artifacts
     (see {!Spectr_chaos.Artifact}): kinds as e.g. ["dropout:power"],
-    ["spike:qos:5"], ["dvfs-stuck"]; injections as ["KIND@START/STOP"]
+    ["stuck:power2"] (cluster-2 power channel), ["spike:qos:5"],
+    ["dvfs-stuck"]; injections as ["KIND@START/STOP"]
     with times printed at full precision, so
     [injection_of_string (injection_to_string i) = i] for every valid
     injection. *)

@@ -20,6 +20,12 @@ val create : name:string -> points:(int * float) list -> t
 (** Raises [Invalid_argument] on an empty table, non-ascending
     frequencies, or non-positive voltage. *)
 
+val ramp :
+  name:string -> lo_mhz:int -> hi_mhz:int -> lo_v:float -> hi_v:float -> t
+(** Evenly spaced 100 MHz table from [lo_mhz] to [hi_mhz] with a linear
+    voltage ramp — the shape of every cpufreq table we model.  Platform
+    descriptions use this for built-in and synthetic clusters. *)
+
 val big : t
 (** Cortex-A15 cluster table (200–2000 MHz). *)
 
@@ -33,6 +39,10 @@ val num_points : t -> int
 val nearest : t -> float -> int
 (** [nearest table f_mhz] is the available frequency closest to [f_mhz]
     (ties resolve downward), clamped to the table range. *)
+
+val nearest_scan : t -> float -> int
+(** The O(n) fallback behind {!nearest} for unevenly spaced tables;
+    exposed so tests can pin the scan path against the O(1) fast path. *)
 
 val voltage : t -> int -> float
 (** Voltage at an exact table frequency.  Raises [Invalid_argument] when

@@ -14,11 +14,26 @@
     Frequencies in MHz throughout, matching {!Opp}. *)
 
 type cluster = Big | Little
+(** The Exynos 5422 calibration reference.  Description-driven code
+    uses {!coefficients_for} with a cluster index instead. *)
 
 val cpi_coefficients : Workload.t -> cluster -> float * float
 (** (a, b) of the CPI law for one core of the given cluster.  Little
     cores share the memory coefficient [b] (same DRAM) but scale the
     compute term by [1 / little_ipc_ratio]. *)
+
+val base_coefficients : Workload.t -> opp:Opp.t -> float * float
+(** The host-cluster derivation over an arbitrary DVFS table: anchored
+    on [base_ipc_big] at 1 GHz with the workload's [freq_scaling]
+    spanning the table's range.  Raises [Invalid_argument] when the
+    range ratio is too narrow to represent the measured speedup.
+    [base_coefficients ~opp:Opp.big] is exactly the Big-cluster law. *)
+
+val coefficients_for : Workload.t -> Platform_desc.t -> int -> float * float
+(** CPI law of cluster [i] of a platform description: the host cluster
+    from {!base_coefficients} over its own table, other clusters per
+    their [Platform_desc.cpi_law].  Bit-identical to {!cpi_coefficients}
+    on [Platform_desc.exynos5422]. *)
 
 val contention : float
 (** Shared-DRAM bandwidth contention: fractional inflation of the
@@ -62,3 +77,10 @@ val max_qos_rate : Workload.t -> float
 
 val min_qos_rate : Workload.t -> float
 (** Rate at the minimum allocation: 1 Big core at the bottom OPP. *)
+
+val max_qos_rate_for : Platform_desc.t -> Workload.t -> float
+(** {!max_qos_rate} on the description's host cluster (all host cores at
+    its top OPP); equals {!max_qos_rate} on [exynos5422]. *)
+
+val min_qos_rate_for : Platform_desc.t -> Workload.t -> float
+(** {!min_qos_rate} on the description's host cluster. *)

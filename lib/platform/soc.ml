@@ -4,8 +4,6 @@ module Obs = Spectr_obs
 (* Observability handles (no-ops while instrumentation is disabled). *)
 let c_steps = Obs.Counters.counter "soc.steps"
 
-type cluster = Big | Little
-
 type config = {
   seed : int64;
   power_noise : float;
@@ -31,48 +29,59 @@ let default_config =
     thermal_tau = 3.;
   }
 
+(* [default_config]'s thermal triple IS exynos5422's, so on the default
+   platform this is the identity and pre-description call sites that
+   spliced [{ default_config with seed }] remain bit-identical. *)
+let config_of desc =
+  let th = Platform_desc.thermal desc in
+  {
+    default_config with
+    ambient_c = th.Platform_desc.ambient_c;
+    thermal_resistance = th.Platform_desc.resistance_c_per_w;
+    thermal_tau = th.Platform_desc.tau_s;
+  }
+
 (* All-float and all-mutable: the record is flat, so [step_into] fills it
-   with unboxed stores and a steady-state tick allocates nothing. *)
+   with unboxed stores and a steady-state tick allocates nothing.  The
+   per-cluster readings live in SoC-owned arrays ({!sensor_powers},
+   {!ips_totals}) because adding an array field here would turn the
+   record into a mixed block and box every float store. *)
 type observation = {
   mutable time : float;
-  mutable big_power : float;
-  mutable little_power : float;
   mutable chip_power : float;
   mutable qos_rate : float;
-  mutable little_ips : float;
   mutable temperature_c : float;
 }
 
 let make_observation () =
-  {
-    time = 0.;
-    big_power = 0.;
-    little_power = 0.;
-    chip_power = 0.;
-    qos_rate = 0.;
-    little_ips = 0.;
-    temperature_c = 0.;
-  }
+  { time = 0.; chip_power = 0.; qos_rate = 0.; temperature_c = 0. }
 
 (* Hot mutable floats live in their own all-float record: a float store
    into a mixed record boxes the value, an all-float record is flat. *)
 type hot = {
   mutable now : float;
   mutable temperature_c : float;
-  mutable big_volt : float;
-  mutable little_volt : float;
 }
 
 type t = {
   config : config;
+  platform : Platform_desc.t;
   qos : Workload.t;
   rng : Prng.t;
   hot : hot;
-  mutable big_freq : int;
-  mutable little_freq : int;
-  mutable big_active : int;
-  mutable little_active : int;
-  idle : float array; (* 8 entries *)
+  (* Cluster geometry unpacked from the description so the kernel indexes
+     flat arrays instead of chasing the description's records. *)
+  k : int; (* cluster count *)
+  host : int; (* index of the QoS-hosting cluster *)
+  total : int; (* total core count *)
+  offs : int array; (* k+1 core offsets, last = total *)
+  n_cores : int array; (* cores per cluster *)
+  opps : Opp.t array;
+  pw : Power_model.params array;
+  freqs : int array; (* current OPP per cluster *)
+  volts : float array; (* cached OPP voltage per cluster *)
+  active : int array; (* un-gated cores per cluster *)
+  idle : float array; (* total entries *)
   mutable n_background : int;
   mutable faults : Faults.t option;
   mutable obs_active_faults : int;
@@ -80,23 +89,28 @@ type t = {
          decisions; only maintained while observability is enabled *)
   (* CPI-law coefficients cached per cluster so the kernel never crosses
      a module boundary for a float result on the tick path. *)
-  big_a : float;
-  big_b : float;
-  little_a : float;
-  little_b : float;
+  a : float array;
+  b : float array;
   (* Workload phase table flattened to parallel arrays: [ph_end.(i)] is
      the cumulative end time of phase i (the last entry is never
      consulted — the final phase repeats, as in [Workload.phase_at]). *)
   ph_end : float array;
   ph_pf : float array;
   ph_ds : float array;
-  (* Scratch for the sensor draws: big power, little power, qos, temp. *)
+  (* Scratch for the sensor draws: k cluster powers, qos, temp. *)
   sens : float array;
+  (* Per-cluster kernel scratch. *)
+  cap : float array; (* capacity after idle injection *)
+  bg : float array; (* background placement, core-fractions *)
+  rawtot : float array; (* noise-free per-cluster aggregate IPS *)
+  (* Last-step per-cluster outputs exposed to managers and traces. *)
+  pow_out : float array;
+  ips_out : float array;
   (* Per-core PMU readings are skipped, not drawn, on the hot path (no
      scenario column consumes them): [raw_ips] holds the noise-free
-     values, [ips_snap] the generator state just before the eight
-     per-core draws, and {!per_core_ips}/{!big_ips} replay the exact
-     draws on demand into [noisy_ips]. *)
+     values, [ips_snap] the generator state just before the per-core
+     draws, and {!per_core_ips}/{!host_ips} replay the exact draws on
+     demand into [noisy_ips]. *)
   raw_ips : float array;
   noisy_ips : float array;
   ips_snap : Prng.t;
@@ -104,9 +118,33 @@ type t = {
   mutable ips_done : bool;
 }
 
-let create ?(config = default_config) ~qos () =
-  let big_a, big_b = Perf_model.cpi_coefficients qos Perf_model.Big in
-  let little_a, little_b = Perf_model.cpi_coefficients qos Perf_model.Little in
+let create ?config ?(platform = Platform_desc.exynos5422) ~qos () =
+  let config =
+    match config with Some c -> c | None -> config_of platform
+  in
+  let k = Platform_desc.num_clusters platform in
+  let total = Platform_desc.total_cores platform in
+  let offs = Array.init (k + 1) (Platform_desc.core_offset platform) in
+  let n_cores =
+    Array.init k (fun i -> (Platform_desc.cluster platform i).Platform_desc.cores)
+  in
+  let opps =
+    Array.init k (fun i -> (Platform_desc.cluster platform i).Platform_desc.opp)
+  in
+  let pw =
+    Array.init k (fun i -> (Platform_desc.cluster platform i).Platform_desc.power)
+  in
+  let a = Array.make k 0. in
+  let b = Array.make k 0. in
+  for i = 0 to k - 1 do
+    let ai, bi = Perf_model.coefficients_for qos platform i in
+    a.(i) <- ai;
+    b.(i) <- bi
+  done;
+  (* Boot at (the nearest OPP to) 1 GHz with every core un-gated — the
+     mid-range default the pre-description SoC hard-coded. *)
+  let freqs = Array.init k (fun i -> Opp.nearest opps.(i) 1000.) in
+  let volts = Array.init k (fun i -> Opp.voltage opps.(i) freqs.(i)) in
   (* Flatten the phase list, replicating [Workload.phase_at]'s cumulative
      boundary arithmetic exactly (left-to-right [+.] over durations). *)
   let ph_end, ph_pf, ph_ds =
@@ -132,84 +170,99 @@ let create ?(config = default_config) ~qos () =
   in
   {
     config;
+    platform;
     qos;
     rng = Prng.create config.seed;
-    hot =
-      {
-        now = 0.;
-        temperature_c = config.ambient_c;
-        big_volt = Opp.voltage Opp.big 1000;
-        little_volt = Opp.voltage Opp.little 1000;
-      };
-    big_freq = 1000;
-    little_freq = 1000;
-    big_active = 4;
-    little_active = 4;
-    idle = Array.make 8 0.;
+    hot = { now = 0.; temperature_c = config.ambient_c };
+    k;
+    host = Platform_desc.host platform;
+    total;
+    offs;
+    n_cores;
+    opps;
+    pw;
+    freqs;
+    volts;
+    active = Array.copy n_cores;
+    idle = Array.make total 0.;
     n_background = 0;
     faults = None;
     obs_active_faults = 0;
-    big_a;
-    big_b;
-    little_a;
-    little_b;
+    a;
+    b;
     ph_end;
     ph_pf;
     ph_ds;
-    sens = Array.make 4 0.;
-    raw_ips = Array.make 8 0.;
-    noisy_ips = Array.make 8 0.;
+    sens = Array.make (k + 2) 0.;
+    cap = Array.make k 0.;
+    bg = Array.make k 0.;
+    rawtot = Array.make k 0.;
+    pow_out = Array.make k 0.;
+    ips_out = Array.make k 0.;
+    raw_ips = Array.make total 0.;
+    noisy_ips = Array.make total 0.;
     ips_snap = Prng.create config.seed;
     scratch_rng = Prng.create config.seed;
     ips_done = true;
   }
 
+let platform soc = soc.platform
+let num_clusters soc = soc.k
+let host_cluster soc = soc.host
+let total_cores soc = soc.total
+
+let[@inline] check_cluster_pub soc i name =
+  if i < 0 || i >= soc.k then
+    invalid_arg (Printf.sprintf "Soc.%s: cluster %d not in 0..%d" name i
+                   (soc.k - 1))
+
+let opp_table soc i =
+  check_cluster_pub soc i "opp_table";
+  soc.opps.(i)
+
+let cluster_cores soc i =
+  check_cluster_pub soc i "cluster_cores";
+  soc.n_cores.(i)
 let set_faults soc faults = soc.faults <- faults
 let faults soc = soc.faults
 
 let fault_active soc pred =
   match soc.faults with None -> false | Some f -> pred f ~now:soc.hot.now
 
-let table = function Big -> Opp.big | Little -> Opp.little
+let check_cluster soc i =
+  if i < 0 || i >= soc.k then invalid_arg "Soc: cluster index out of range"
 
-let frequency soc = function Big -> soc.big_freq | Little -> soc.little_freq
+let frequency soc i =
+  check_cluster soc i;
+  soc.freqs.(i)
 
-let set_frequency soc cluster f_mhz =
-  if fault_active soc Faults.dvfs_stuck then frequency soc cluster
+let set_frequency soc i f_mhz =
+  check_cluster soc i;
+  if fault_active soc Faults.dvfs_stuck then soc.freqs.(i)
   else begin
-    let f = Opp.nearest (table cluster) f_mhz in
-    (match cluster with
-    | Big ->
-        if f <> soc.big_freq then begin
-          soc.big_freq <- f;
-          soc.hot.big_volt <- Opp.voltage Opp.big f
-        end
-    | Little ->
-        if f <> soc.little_freq then begin
-          soc.little_freq <- f;
-          soc.hot.little_volt <- Opp.voltage Opp.little f
-        end);
+    let f = Opp.nearest soc.opps.(i) f_mhz in
+    if f <> soc.freqs.(i) then begin
+      soc.freqs.(i) <- f;
+      soc.volts.(i) <- Opp.voltage soc.opps.(i) f
+    end;
     f
   end
 
-let set_active_cores soc cluster n =
-  if not (fault_active soc Faults.gating_refused) then begin
-    let n = max 1 (min 4 n) in
-    match cluster with
-    | Big -> soc.big_active <- n
-    | Little -> soc.little_active <- n
-  end
+let set_active_cores soc i n =
+  check_cluster soc i;
+  if not (fault_active soc Faults.gating_refused) then
+    soc.active.(i) <- max 1 (min soc.n_cores.(i) n)
 
-let active_cores soc = function
-  | Big -> soc.big_active
-  | Little -> soc.little_active
+let active_cores soc i =
+  check_cluster soc i;
+  soc.active.(i)
 
 let set_idle_fraction soc ~core f =
-  if core < 0 || core >= 8 then invalid_arg "Soc.set_idle_fraction: core";
+  if core < 0 || core >= soc.total then invalid_arg "Soc.set_idle_fraction: core";
   soc.idle.(core) <- Float.max 0. (Float.min 0.9 f)
 
 let idle_fraction soc ~core =
-  if core < 0 || core >= 8 then invalid_arg "Soc.idle_fraction: core";
+  if core < 0 || core >= soc.total then invalid_arg "Soc.idle_fraction: core";
   soc.idle.(core)
 
 let set_background_tasks soc n =
@@ -219,55 +272,57 @@ let set_background_tasks soc n =
 let background_tasks soc = soc.n_background
 let time soc = soc.hot.now
 let temperature soc = soc.hot.temperature_c
+let sensor_powers soc = soc.pow_out
+let ips_totals soc = soc.ips_out
 
 (* --- internal physics ------------------------------------------------ *)
 
 (* Capacity (in core-fractions) of the active cores of a cluster after
-   idle-cycle injection.  Big cores are 0-3, Little 4-7. *)
-let capacity soc = function
-  | Big ->
-      let c = ref 0. in
-      for i = 0 to soc.big_active - 1 do
-        c := !c +. (1. -. soc.idle.(i))
-      done;
-      !c
-  | Little ->
-      let c = ref 0. in
-      for i = 0 to soc.little_active - 1 do
-        c := !c +. (1. -. soc.idle.(4 + i))
-      done;
-      !c
+   idle-cycle injection.  Cores of cluster i are
+   [offs.(i), offs.(i+1)). *)
+let capacity soc i =
+  let o = soc.offs.(i) in
+  let c = ref 0. in
+  for j = 0 to soc.active.(i) - 1 do
+    c := !c +. (1. -. soc.idle.(o + j))
+  done;
+  !c
 
-(* HMP placement of background work: the scheduler fills the Little
-   cluster first, then spills onto Big where the spilled tasks time-share
-   with the QoS application's four threads CFS-style (proportional to
-   runnable demand).  Returns (little_bg_util, big_bg_util) in
-   core-fractions. *)
+(* HMP placement of background work: the scheduler fills the non-host
+   clusters in index order, then spills onto the host where the spilled
+   tasks time-share with the QoS application's threads CFS-style
+   (proportional to runnable demand).  Writes per-cluster background
+   utilizations (core-fractions) into [dst]. *)
 let qos_threads = 4.
 
-let background_placement soc =
+let background_placement_into soc dst =
   let demand =
     float_of_int soc.n_background *. soc.config.background_task_util
   in
-  let little_cap = capacity soc Little in
-  let little_used = Float.min demand little_cap in
-  let spill = demand -. little_used in
-  let big_cap = capacity soc Big in
-  let big_used =
-    if spill <= 0. then 0.
-    else begin
-      (* Fair sharing on the Big cluster: the QoS app's threads and the
-         spilled background demand split capacity proportionally. *)
-      let share = big_cap *. spill /. (qos_threads +. spill) in
-      Float.min spill share
+  let remaining = ref demand in
+  for i = 0 to soc.k - 1 do
+    if i <> soc.host then begin
+      let used = Float.min !remaining (capacity soc i) in
+      dst.(i) <- used;
+      remaining := !remaining -. used
     end
-  in
-  (little_used, big_used)
+  done;
+  let spill = !remaining in
+  let host_cap = capacity soc soc.host in
+  dst.(soc.host) <-
+    (if spill <= 0. then 0.
+     else begin
+       (* Fair sharing on the host cluster: the QoS app's threads and the
+          spilled background demand split capacity proportionally. *)
+       let share = host_cap *. spill /. (qos_threads +. spill) in
+       Float.min spill share
+     end)
 
-(* Effective cores available to the QoS application on the Big cluster. *)
+(* Effective cores available to the QoS application on its host
+   cluster. *)
 let qos_effective_cores soc =
-  let _, big_bg = background_placement soc in
-  Float.max 0.1 (capacity soc Big -. big_bg)
+  background_placement_into soc soc.bg;
+  Float.max 0.1 (capacity soc soc.host -. soc.bg.(soc.host))
 
 (* Slow sinusoidal scene-complexity variation. *)
 let complexity_factor soc =
@@ -279,9 +334,18 @@ let current_phase soc = Workload.phase_at soc.qos soc.hot.now
 
 let qos_ips_now soc =
   let phase = current_phase soc in
-  Perf_model.cluster_ips soc.qos Perf_model.Big ~freq_mhz:soc.big_freq
-    ~effective_cores:(qos_effective_cores soc)
-    ~parallel_fraction:phase.Workload.parallel_fraction
+  let eff = qos_effective_cores soc in
+  let f_ghz = float_of_int soc.freqs.(soc.host) /. 1000. in
+  let core =
+    f_ghz *. 1e9
+    /. (soc.a.(soc.host)
+       +. (soc.b.(soc.host)
+          *. Perf_model.contention_factor ~busy_cores:eff
+          *. f_ghz))
+  in
+  core
+  *. Workload.amdahl_speedup
+       ~parallel_fraction:phase.Workload.parallel_fraction ~cores:eff
 
 let true_qos_rate soc =
   let phase = current_phase soc in
@@ -289,34 +353,32 @@ let true_qos_rate soc =
   /. (soc.qos.Workload.instructions_per_heartbeat
      *. phase.Workload.demand_scale *. complexity_factor soc)
 
-let utilization soc cluster =
-  (* The QoS application saturates whatever Big capacity it is given;
-     background work saturates its stolen share too.  Little runs only
-     background work. *)
-  match cluster with
-  | Big ->
-      let cap = capacity soc Big in
-      if soc.big_active = 0 then 0.
-      else Float.min 1. (cap /. float_of_int soc.big_active)
-  | Little ->
-      let little_bg, _ = background_placement soc in
-      if soc.little_active = 0 then 0.
-      else Float.min 1. (little_bg /. float_of_int soc.little_active)
+let utilization soc i =
+  (* The QoS application saturates whatever host capacity it is given;
+     background work saturates its stolen share too.  Non-host clusters
+     run only background work. *)
+  if i = soc.host then begin
+    let cap = capacity soc i in
+    if soc.active.(i) = 0 then 0.
+    else Float.min 1. (cap /. float_of_int soc.active.(i))
+  end
+  else begin
+    background_placement_into soc soc.bg;
+    if soc.active.(i) = 0 then 0.
+    else Float.min 1. (soc.bg.(i) /. float_of_int soc.active.(i))
+  end
 
-let cluster_power_now soc cluster =
-  let params =
-    match cluster with
-    | Big -> Power_model.big_params
-    | Little -> Power_model.little_params
-  in
-  Power_model.cluster_power params ~table:(table cluster)
-    ~freq_mhz:(frequency soc cluster)
-    ~active_cores:(active_cores soc cluster)
-    ~total_cores:4
-    ~utilization:(utilization soc cluster)
+let cluster_power_now soc i =
+  Power_model.cluster_power soc.pw.(i) ~table:soc.opps.(i)
+    ~freq_mhz:soc.freqs.(i) ~active_cores:soc.active.(i)
+    ~total_cores:soc.n_cores.(i) ~utilization:(utilization soc i)
 
 let true_chip_power soc =
-  cluster_power_now soc Big +. cluster_power_now soc Little
+  let p = ref (cluster_power_now soc 0) in
+  for i = 1 to soc.k - 1 do
+    p := !p +. cluster_power_now soc i
+  done;
+  !p
 
 (* --- tick kernel ------------------------------------------------------ *)
 
@@ -327,14 +389,16 @@ let true_chip_power soc =
 let z_bound = 8.572
 
 (* The per-tick physics and sensor model, written as one monolithic body
-   over unboxed locals.  Every expression replicates the corresponding
-   helper above token-for-token (same literals, same association), so
-   the kernel's observations are bit-identical to the pre-kernel
-   implementation that composed [Perf_model]/[Power_model] calls — the
-   scenario CSV digests pin this.  Cross-module calls on this path
-   either return unit/int or are replaced by cached state ([big_a..],
-   [hot.big_volt], [ph_*]): without the optimizing native backend a
-   cross-module float return boxes ~16 B per call. *)
+   over unboxed locals and flat per-cluster arrays.  Every expression
+   replicates the corresponding helper above token-for-token (same
+   literals, same association), and on [Platform_desc.exynos5422] the
+   cluster loops unroll to the exact float-op sequence — and the exact
+   PRNG draw order — of the pre-description 2-cluster kernel, so the
+   scenario CSV digests pin this refactor as behavior-preserving.
+   Cross-module calls on this path either return unit/int or are
+   replaced by cached state ([a]/[b], [volts], [ph_*]): without the
+   optimizing native backend a cross-module float return boxes ~16 B per
+   call. *)
 let step_into soc ~dt obs =
   if dt <= 0. then invalid_arg "Soc.step: dt <= 0";
   let c = soc.config in
@@ -357,6 +421,8 @@ let step_into soc ~dt obs =
         soc.obs_active_faults <- active
   end;
   let now = hot.now in
+  let k = soc.k in
+  let host = soc.host in
   (* Workload phase (flattened [Workload.phase_at]). *)
   let np = Array.length soc.ph_end in
   let pi = ref 0 in
@@ -366,43 +432,46 @@ let step_into soc ~dt obs =
   let ph_pf = soc.ph_pf.(!pi) in
   let ph_ds = soc.ph_ds.(!pi) in
   (* Cluster capacities after idle injection ([capacity]). *)
-  let big_cap =
-    let c = ref 0. in
-    for i = 0 to soc.big_active - 1 do
-      c := !c +. (1. -. soc.idle.(i))
+  let cap = soc.cap in
+  for i = 0 to k - 1 do
+    let o = soc.offs.(i) in
+    let s = ref 0. in
+    for j = 0 to soc.active.(i) - 1 do
+      s := !s +. (1. -. soc.idle.(o + j))
     done;
-    !c
-  in
-  let little_cap =
-    let c = ref 0. in
-    for i = 0 to soc.little_active - 1 do
-      c := !c +. (1. -. soc.idle.(4 + i))
-    done;
-    !c
-  in
-  (* HMP background placement ([background_placement]). *)
+    cap.(i) <- !s
+  done;
+  (* HMP background placement ([background_placement_into]). *)
+  let bg = soc.bg in
   let demand = float_of_int soc.n_background *. c.background_task_util in
-  let little_bg = Float.min demand little_cap in
-  let spill = demand -. little_bg in
-  let big_bg =
-    if spill <= 0. then 0.
-    else begin
-      let share = big_cap *. spill /. (qos_threads +. spill) in
-      Float.min spill share
+  let remaining = ref demand in
+  for i = 0 to k - 1 do
+    if i <> host then begin
+      let used = Float.min !remaining cap.(i) in
+      bg.(i) <- used;
+      remaining := !remaining -. used
     end
-  in
+  done;
+  let spill = !remaining in
+  bg.(host) <-
+    (if spill <= 0. then 0.
+     else begin
+       let share = cap.(host) *. spill /. (qos_threads +. spill) in
+       Float.min spill share
+     end);
   (* QoS application throughput ([qos_ips_now] with [Perf_model]'s
      core_ips/cluster_ips and [Workload.amdahl_speedup] inlined). *)
-  let qos_eff = Float.max 0.1 (big_cap -. big_bg) in
-  let f_big_ghz = float_of_int soc.big_freq /. 1000. in
+  let qos_eff = Float.max 0.1 (cap.(host) -. bg.(host)) in
+  let f_host_ghz = float_of_int soc.freqs.(host) /. 1000. in
   let kappa_eff =
     1. +. (Perf_model.contention *. Float.max 0. (qos_eff -. 1.))
   in
-  let core_ips_big =
-    f_big_ghz *. 1e9 /. (soc.big_a +. (soc.big_b *. kappa_eff *. f_big_ghz))
+  let core_ips_host =
+    f_host_ghz *. 1e9
+    /. (soc.a.(host) +. (soc.b.(host) *. kappa_eff *. f_host_ghz))
   in
   let amdahl = 1. /. (1. -. ph_pf +. (ph_pf /. qos_eff)) in
-  let qos_ips = core_ips_big *. amdahl in
+  let qos_ips = core_ips_host *. amdahl in
   (* True heartbeat rate ([true_qos_rate] with [complexity_factor]). *)
   let complexity =
     (* With no wobble the sine is multiplied by zero: 1. +. (0. *. s)
@@ -417,140 +486,178 @@ let step_into soc ~dt obs =
     /. (soc.qos.Workload.instructions_per_heartbeat *. ph_ds *. complexity)
   in
   (* Cluster powers ([cluster_power_now] with [Power_model.cluster_power]
-     inlined over the cached OPP voltages). *)
-  let util_big =
-    if soc.big_active = 0 then 0.
-    else Float.min 1. (big_cap /. float_of_int soc.big_active)
-  in
-  let util_little =
-    if soc.little_active = 0 then 0.
-    else Float.min 1. (little_bg /. float_of_int soc.little_active)
-  in
-  let p_big =
-    let p = Power_model.big_params in
-    let v = hot.big_volt in
-    let dynamic = p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_big_ghz *. util_big in
+     inlined over the cached OPP voltages), staged in [sens] for the
+     noise draws. *)
+  let sens = soc.sens in
+  for i = 0 to k - 1 do
+    let util =
+      if i = host then
+        if soc.active.(i) = 0 then 0.
+        else Float.min 1. (cap.(i) /. float_of_int soc.active.(i))
+      else if soc.active.(i) = 0 then 0.
+      else Float.min 1. (bg.(i) /. float_of_int soc.active.(i))
+    in
+    let p = soc.pw.(i) in
+    let v = soc.volts.(i) in
+    let f_ghz = float_of_int soc.freqs.(i) /. 1000. in
+    let dynamic = p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_ghz *. util in
     let leak =
       p.Power_model.leak_w_per_core *. (v /. Power_model.v0) *. (v /. Power_model.v0)
     in
-    (float_of_int soc.big_active *. (dynamic +. leak))
-    +. (float_of_int (4 - soc.big_active) *. p.Power_model.gated_w_per_core)
-    +. p.Power_model.uncore_w
-  in
-  let f_little_ghz = float_of_int soc.little_freq /. 1000. in
-  let p_little =
-    let p = Power_model.little_params in
-    let v = hot.little_volt in
-    let dynamic =
-      p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_little_ghz *. util_little
-    in
-    let leak =
-      p.Power_model.leak_w_per_core *. (v /. Power_model.v0) *. (v /. Power_model.v0)
-    in
-    (float_of_int soc.little_active *. (dynamic +. leak))
-    +. (float_of_int (4 - soc.little_active) *. p.Power_model.gated_w_per_core)
-    +. p.Power_model.uncore_w
-  in
+    sens.(i) <-
+      (float_of_int soc.active.(i) *. (dynamic +. leak))
+      +. (float_of_int (soc.n_cores.(i) - soc.active.(i))
+         *. p.Power_model.gated_w_per_core)
+      +. p.Power_model.uncore_w
+  done;
   (* First-order thermal RC: the die relaxes toward ambient + R_th * P
      with time constant tau. *)
-  let t_target = c.ambient_c +. (c.thermal_resistance *. (p_big +. p_little)) in
+  let p_total = ref sens.(0) in
+  for i = 1 to k - 1 do
+    p_total := !p_total +. sens.(i)
+  done;
+  let t_target = c.ambient_c +. (c.thermal_resistance *. !p_total) in
   let alpha = Float.min 1. (dt /. c.thermal_tau) in
   hot.temperature_c <- hot.temperature_c +. (alpha *. (t_target -. hot.temperature_c));
-  (* Sensor noise, drawn in the fixed stream order big power, little
-     power, qos, 8 per-core IPS, temperature.  Values round-trip through
-     [sens] (unboxed float-array traffic) so the unit-returning
-     [Prng.noisy_into] can write them. *)
-  let sens = soc.sens in
-  sens.(0) <- p_big;
-  sens.(1) <- p_little;
-  sens.(2) <- true_qos;
-  Prng.noisy_into soc.rng ~sigma:c.power_noise ~dst:sens ~pos:0 ~len:2;
-  Prng.noisy_into soc.rng ~sigma:c.qos_noise ~dst:sens ~pos:2 ~len:1;
+  (* Sensor noise, drawn in the fixed stream order cluster powers (index
+     order), qos, per-core IPS (core order), temperature.  Values
+     round-trip through [sens] (unboxed float-array traffic) so the
+     unit-returning [Prng.noisy_into] can write them. *)
+  sens.(k) <- true_qos;
+  Prng.noisy_into soc.rng ~sigma:c.power_noise ~dst:sens ~pos:0 ~len:k;
+  Prng.noisy_into soc.rng ~sigma:c.qos_noise ~dst:sens ~pos:k ~len:1;
   (* Noise-free per-core IPS ([per_core_ips_now] of the pre-kernel SoC):
      cluster throughput spread over active cores proportionally to their
-     non-idled capacity; background work on Big runs at the core's
+     non-idled capacity; background work on the host runs at the core's
      native (contended) rate. *)
   let raw = soc.raw_ips in
-  Array.fill raw 0 8 0.;
-  let kappa_big_cap =
-    1. +. (Perf_model.contention *. Float.max 0. (big_cap -. 1.))
+  Array.fill raw 0 soc.total 0.;
+  let kappa_host_cap =
+    1. +. (Perf_model.contention *. Float.max 0. (cap.(host) -. 1.))
   in
-  let bg_big_ips =
-    big_bg
-    *. (f_big_ghz *. 1e9
-       /. (soc.big_a +. (soc.big_b *. kappa_big_cap *. f_big_ghz)))
+  let bg_host_ips =
+    bg.(host)
+    *. (f_host_ghz *. 1e9
+       /. (soc.a.(host) +. (soc.b.(host) *. kappa_host_cap *. f_host_ghz)))
   in
-  for i = 0 to soc.big_active - 1 do
-    let share = if big_cap > 0. then (1. -. soc.idle.(i)) /. big_cap else 0. in
-    raw.(i) <- share *. (qos_ips +. bg_big_ips)
-  done;
-  let little_busy = Float.max 1. little_bg in
-  let kappa_little =
-    1. +. (Perf_model.contention *. Float.max 0. (little_busy -. 1.))
-  in
-  let little_ips_total =
-    little_bg
-    *. (f_little_ghz *. 1e9
-       /. (soc.little_a +. (soc.little_b *. kappa_little *. f_little_ghz)))
-  in
-  for i = 0 to soc.little_active - 1 do
+  let oh = soc.offs.(host) in
+  for j = 0 to soc.active.(host) - 1 do
     let share =
-      if little_cap > 0. then (1. -. soc.idle.(4 + i)) /. little_cap else 0.
+      if cap.(host) > 0. then (1. -. soc.idle.(oh + j)) /. cap.(host) else 0.
     in
-    raw.(4 + i) <- share *. little_ips_total
+    raw.(oh + j) <- share *. (qos_ips +. bg_host_ips)
   done;
-  (* The four Big per-core draws advance the stream without being
-     materialized; {!per_core_ips}/{!big_ips} replay them from
-     [ips_snap] if a caller asks.  The Little aggregate IS consumed
-     every tick, so the Little draws happen for real (a materialized
-     gaussian advances the state exactly as a skipped one) — unless
-     every Little raw is exactly zero, where the sigma bound proves the
-     noisy readings are zero too and all eight draws can be skipped. *)
+  let rawtot = soc.rawtot in
+  for i = 0 to k - 1 do
+    if i <> host then begin
+      let busy = Float.max 1. bg.(i) in
+      let kappa =
+        1. +. (Perf_model.contention *. Float.max 0. (busy -. 1.))
+      in
+      let f_ghz = float_of_int soc.freqs.(i) /. 1000. in
+      let total_i =
+        bg.(i)
+        *. (f_ghz *. 1e9 /. (soc.a.(i) +. (soc.b.(i) *. kappa *. f_ghz)))
+      in
+      rawtot.(i) <- total_i;
+      let o = soc.offs.(i) in
+      for j = 0 to soc.active.(i) - 1 do
+        let share =
+          if cap.(i) > 0. then (1. -. soc.idle.(o + j)) /. cap.(i) else 0.
+        in
+        raw.(o + j) <- share *. total_i
+      done
+    end
+    else rawtot.(i) <- 0.
+  done;
+  (* The host cluster's per-core draws advance the stream without being
+     materialized; {!per_core_ips}/{!host_ips} replay them from
+     [ips_snap] if a caller asks.  Each non-host aggregate IS consumed
+     every tick, so those draws happen for real (a materialized gaussian
+     advances the state exactly as a skipped one) — unless every
+     non-host raw total is exactly zero, where the sigma bound proves
+     the noisy readings are zero too and all draws can be skipped. *)
   Prng.blit ~src:soc.rng ~dst:soc.ips_snap;
   soc.ips_done <- false;
   let sigma_ips = c.ips_noise in
-  let little_ips =
-    if sigma_ips <= 0. then ((raw.(4) +. raw.(5)) +. raw.(6)) +. raw.(7)
-    else if little_ips_total = 0. && sigma_ips *. z_bound < 1. then begin
-      for _ = 1 to 8 do
+  let ips_out = soc.ips_out in
+  if sigma_ips <= 0. then
+    for i = 0 to k - 1 do
+      if i = host then ips_out.(i) <- 0.
+      else begin
+        let o = soc.offs.(i) in
+        let s = ref raw.(o) in
+        for j = 1 to soc.n_cores.(i) - 1 do
+          s := !s +. raw.(o + j)
+        done;
+        ips_out.(i) <- !s
+      end
+    done
+  else begin
+    let all_zero = ref true in
+    for i = 0 to k - 1 do
+      if i <> host && not (rawtot.(i) = 0.) then all_zero := false
+    done;
+    if !all_zero && sigma_ips *. z_bound < 1. then begin
+      for _ = 1 to soc.total do
         Prng.skip_gaussian soc.rng
       done;
-      0.
+      for i = 0 to k - 1 do
+        ips_out.(i) <- 0.
+      done
     end
-    else begin
-      for _ = 1 to 4 do
-        Prng.skip_gaussian soc.rng
-      done;
-      let nz = soc.noisy_ips in
-      nz.(4) <- raw.(4);
-      nz.(5) <- raw.(5);
-      nz.(6) <- raw.(6);
-      nz.(7) <- raw.(7);
-      Prng.noisy_into soc.rng ~sigma:sigma_ips ~dst:nz ~pos:4 ~len:4;
-      ((nz.(4) +. nz.(5)) +. nz.(6)) +. nz.(7)
-    end
-  in
+    else
+      for i = 0 to k - 1 do
+        if i = host then begin
+          for _ = 1 to soc.n_cores.(i) do
+            Prng.skip_gaussian soc.rng
+          done;
+          ips_out.(i) <- 0.
+        end
+        else begin
+          let o = soc.offs.(i) in
+          let n = soc.n_cores.(i) in
+          let nz = soc.noisy_ips in
+          for j = 0 to n - 1 do
+            nz.(o + j) <- raw.(o + j)
+          done;
+          Prng.noisy_into soc.rng ~sigma:sigma_ips ~dst:nz ~pos:o ~len:n;
+          let s = ref nz.(o) in
+          for j = 1 to n - 1 do
+            s := !s +. nz.(o + j)
+          done;
+          ips_out.(i) <- !s
+        end
+      done
+  end;
   (* Temperature sensor: last draw of the tick. *)
-  sens.(3) <- hot.temperature_c;
-  Prng.noisy_into soc.rng ~sigma:c.temp_noise ~dst:sens ~pos:3 ~len:1;
+  sens.(k + 1) <- hot.temperature_c;
+  Prng.noisy_into soc.rng ~sigma:c.temp_noise ~dst:sens ~pos:(k + 1) ~len:1;
   (* Sensor faults corrupt the readings only after every draw from the
      SoC's own noise stream, so an inactive (or absent) schedule leaves
-     the no-fault trace bit-identical. *)
+     the no-fault trace bit-identical.  Power channels apply in
+     descending cluster index, preserving the pre-description order
+     (little, then big) on exynos5422. *)
   (match soc.faults with
   | None -> ()
   | Some f ->
       let now = hot.now in
-      sens.(2) <- Faults.apply_qos f ~now sens.(2);
-      sens.(1) <- Faults.apply_power f ~now ~channel:`Little sens.(1);
-      sens.(0) <- Faults.apply_power f ~now ~channel:`Big sens.(0);
-      sens.(3) <- Faults.apply_temp f ~now sens.(3));
+      sens.(k) <- Faults.apply_qos f ~now sens.(k);
+      for i = k - 1 downto 0 do
+        sens.(i) <- Faults.apply_power f ~now ~cluster:i sens.(i)
+      done;
+      sens.(k + 1) <- Faults.apply_temp f ~now sens.(k + 1));
   obs.time <- hot.now;
-  obs.big_power <- sens.(0);
-  obs.little_power <- sens.(1);
-  obs.chip_power <- sens.(0) +. sens.(1);
-  obs.qos_rate <- sens.(2);
-  obs.little_ips <- little_ips;
-  obs.temperature_c <- sens.(3)
+  let pow_out = soc.pow_out in
+  pow_out.(0) <- sens.(0);
+  let chip = ref sens.(0) in
+  for i = 1 to k - 1 do
+    pow_out.(i) <- sens.(i);
+    chip := !chip +. sens.(i)
+  done;
+  obs.chip_power <- !chip;
+  obs.qos_rate <- sens.(k);
+  obs.temperature_c <- sens.(k + 1)
 
 let step soc ~dt =
   let obs = make_observation () in
@@ -562,11 +669,11 @@ let step soc ~dt =
 let materialize_ips soc =
   if not soc.ips_done then begin
     let nz = soc.noisy_ips in
-    Array.blit soc.raw_ips 0 nz 0 8;
+    Array.blit soc.raw_ips 0 nz 0 soc.total;
     if soc.config.ips_noise > 0. then begin
       Prng.blit ~src:soc.ips_snap ~dst:soc.scratch_rng;
       Prng.noisy_into soc.scratch_rng ~sigma:soc.config.ips_noise ~dst:nz
-        ~pos:0 ~len:8
+        ~pos:0 ~len:soc.total
     end;
     soc.ips_done <- true
   end
@@ -575,7 +682,11 @@ let per_core_ips soc =
   materialize_ips soc;
   Array.copy soc.noisy_ips
 
-let big_ips soc =
+let host_ips soc =
   materialize_ips soc;
-  ((soc.noisy_ips.(0) +. soc.noisy_ips.(1)) +. soc.noisy_ips.(2))
-  +. soc.noisy_ips.(3)
+  let o = soc.offs.(soc.host) in
+  let s = ref soc.noisy_ips.(o) in
+  for j = 1 to soc.n_cores.(soc.host) - 1 do
+    s := !s +. soc.noisy_ips.(o + j)
+  done;
+  !s

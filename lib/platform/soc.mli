@@ -1,20 +1,28 @@
-(** The simulated Exynos-class big.LITTLE SoC.
+(** The simulated many-core SoC, driven by a {!Platform_desc.t}.
 
-    Two quad-core clusters sharing memory: an out-of-order Big cluster
-    hosting the (pinned) QoS application's four threads, and an in-order
-    Little cluster absorbing background work, mirroring the experimental
-    setup of Figure 10.  Actuators and sensors match the ODROID-XU3:
-    per-cluster DVFS and active-core count as control inputs, per-cluster
-    power sensors and a Heartbeats QoS monitor as measured outputs, plus
-    per-core PMU (IPS) readings and per-core idle-cycle injection for the
-    large-controller experiments of Figures 4/5/15.
+    A platform is a set of named core clusters sharing memory; one of
+    them (the {e host} cluster) runs the pinned QoS application's
+    threads, the others absorb background work, mirroring the
+    experimental setup of Figure 10.  The default description is
+    {!Platform_desc.exynos5422} — the paper's ODROID-XU3 with its
+    out-of-order Big (host) and in-order Little clusters — on which this
+    module is bit-identical to the pre-description 2-cluster simulator.
+    Actuators and sensors match the hardware: per-cluster DVFS and
+    active-core count as control inputs, per-cluster power sensors and a
+    Heartbeats QoS monitor as measured outputs, plus per-core PMU (IPS)
+    readings and per-core idle-cycle injection for the large-controller
+    experiments of Figures 4/5/15.
+
+    Clusters are addressed by their description index ([0 ..
+    num_clusters-1], e.g. 0 = big and 1 = little on exynos5422); cores
+    by their global index ([Platform_desc.core_offset] gives each
+    cluster's first core).
 
     The simulator advances in discrete steps ({!step_into}/{!step}); all
     noise comes from an explicit seed, so runs are reproducible.  The
     steady-state tick path is allocation-free: {!step_into} writes a
-    caller-owned {!observation} in place (DESIGN.md §13). *)
-
-type cluster = Big | Little
+    caller-owned {!observation} and the SoC-owned per-cluster arrays
+    ({!sensor_powers}, {!ips_totals}) in place (DESIGN.md §13). *)
 
 type config = {
   seed : int64;
@@ -34,56 +42,81 @@ type config = {
 }
 
 val default_config : config
+(** Exynos5422 noise and thermal parameters. *)
+
+val config_of : Platform_desc.t -> config
+(** [default_config] with the description's thermal triple spliced in —
+    the right base when creating a SoC on a non-default platform
+    ([config_of Platform_desc.exynos5422 = default_config]). *)
 
 type observation = {
   mutable time : float;  (** Simulated seconds since creation. *)
-  mutable big_power : float;  (** Noisy Big-cluster power sensor (W). *)
-  mutable little_power : float;
-  mutable chip_power : float;  (** Sum of the two cluster sensors. *)
+  mutable chip_power : float;  (** Sum of all cluster power sensors. *)
   mutable qos_rate : float;
       (** Noisy heartbeat rate of the QoS app (HB/s or FPS). *)
-  mutable little_ips : float;  (** Aggregate Little-cluster instructions/s. *)
   mutable temperature_c : float;  (** Noisy die-temperature sensor (°C). *)
 }
 (** All fields are mutable floats so the record is flat and {!step_into}
-    fills it without allocating.  Per-core PMU readings (and the Big
-    aggregate) moved out of the record to the pull-based {!per_core_ips}
-    and {!big_ips}: no per-tick consumer reads them, so the hot path
-    skips their noise draws and replays the stream on demand. *)
+    fills it without allocating.  Per-cluster readings live in the
+    SoC-owned {!sensor_powers}/{!ips_totals} arrays (an array field here
+    would make the record a mixed block and box every float store);
+    per-core PMU readings are pull-based via {!per_core_ips} and
+    {!host_ips}, whose noise draws the hot path skips and replays on
+    demand. *)
 
 val make_observation : unit -> observation
 (** A zeroed observation buffer for {!step_into}. *)
 
 type t
 
-val create : ?config:config -> qos:Workload.t -> unit -> t
+val create : ?config:config -> ?platform:Platform_desc.t -> qos:Workload.t -> unit -> t
+(** [platform] defaults to {!Platform_desc.exynos5422}.  When [config]
+    is omitted it defaults to [config_of platform]; an explicit [config]
+    wins entirely (including its thermal parameters). *)
+
+val platform : t -> Platform_desc.t
+val num_clusters : t -> int
+val host_cluster : t -> int
+(** Index of the cluster hosting the QoS application. *)
+
+val total_cores : t -> int
+
+val opp_table : t -> int -> Opp.t
+(** DVFS table of the given cluster (for command sanitization and
+    readback checks).  Raises [Invalid_argument] on a bad index. *)
+
+val cluster_cores : t -> int -> int
+(** Physical core count of the given cluster. *)
 
 (** {1 Actuators (control inputs)} *)
 
-val set_frequency : t -> cluster -> float -> int
-(** Request a cluster frequency in MHz; the value is quantized to the
-    nearest OPP, which is returned.  Under an active {!Faults.Dvfs_stuck}
+val set_frequency : t -> int -> float -> int
+(** [set_frequency soc cluster f_mhz] requests a cluster frequency in
+    MHz; the value is quantized to the nearest OPP of that cluster's
+    table, which is returned.  Under an active {!Faults.Dvfs_stuck}
     injection the request is ignored and the {e current} frequency is
     returned — callers must treat the return value as the ground truth
     of what was applied. *)
 
-val frequency : t -> cluster -> int
+val frequency : t -> int -> int
 
-val set_active_cores : t -> cluster -> int -> unit
-(** Number of un-gated cores, clamped to [1, 4]. *)
+val set_active_cores : t -> int -> int -> unit
+(** Number of un-gated cores, clamped to [1, cores-of-cluster]. *)
 
-val active_cores : t -> cluster -> int
+val active_cores : t -> int -> int
 
 val set_idle_fraction : t -> core:int -> float -> unit
-(** Per-core idle-cycle injection, core ∈ [0,8), fraction clamped to
-    [0, 0.9] — the fine-grained actuator of the 10×10 system (Fig. 4). *)
+(** Per-core idle-cycle injection, core ∈ [0, total_cores), fraction
+    clamped to [0, 0.9] — the fine-grained actuator of the 10×10 system
+    (Fig. 4). *)
 
 val idle_fraction : t -> core:int -> float
 
 val set_background_tasks : t -> int -> unit
 (** Number of single-threaded background tasks currently running
-    (placed by the HMP scheduler: Little cluster first, spilling onto
-    Big where they steal capacity from the QoS app). *)
+    (placed by the HMP scheduler: non-host clusters in index order,
+    spilling onto the host where they steal capacity from the QoS
+    app). *)
 
 val background_tasks : t -> int
 
@@ -105,24 +138,36 @@ val faults : t -> Faults.t option
 
 val step_into : t -> dt:float -> observation -> unit
 (** Advance simulated time by [dt] seconds (one controller period) and
-    write the sensor readings for that period into the given buffer.
-    Allocation-free in steady state (no faults attached, observability
-    disabled).  Raises on [dt <= 0]. *)
+    write the sensor readings for that period into the given buffer and
+    the SoC-owned per-cluster arrays.  Allocation-free in steady state
+    (no faults attached, observability disabled).  Raises on
+    [dt <= 0]. *)
 
 val step : t -> dt:float -> observation
 (** {!step_into} into a freshly allocated observation. *)
 
 val time : t -> float
 
-val big_ips : t -> float
-(** Aggregate Big-cluster instructions/s as of the last step — the same
-    noisy reading the observation record used to carry, replayed from
-    the saved generator state on demand.  Zero before the first step. *)
+val sensor_powers : t -> float array
+(** Per-cluster noisy power-sensor readings of the last step, indexed by
+    cluster.  The returned array is owned by the SoC and overwritten on
+    the next step — read, don't keep or mutate. *)
+
+val ips_totals : t -> float array
+(** Per-cluster aggregate noisy IPS of the last step, indexed by
+    cluster.  The host cluster's entry is 0 — its per-core draws are
+    skipped on the hot path; use {!host_ips} for the replayed value.
+    Same ownership rules as {!sensor_powers}. *)
+
+val host_ips : t -> float
+(** Aggregate host-cluster instructions/s as of the last step — the
+    noisy reading whose draws the hot path skipped, replayed from the
+    saved generator state on demand.  Zero before the first step. *)
 
 val per_core_ips : t -> float array
-(** Per-core PMU (IPS) readings as of the last step, 8 entries: Big
-    cores 0–3, Little 4–7.  Fresh array per call; replayed on demand
-    like {!big_ips}. *)
+(** Per-core PMU (IPS) readings as of the last step, [total_cores]
+    entries in global core order.  Fresh array per call; replayed on
+    demand like {!host_ips}. *)
 
 val true_qos_rate : t -> float
 (** Noise-free QoS rate at the current actuator settings (for tests and

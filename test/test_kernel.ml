@@ -64,8 +64,7 @@ let test_supervisor_step_zero_alloc () =
   let commands =
     {
       Spectr.Supervisor.switch_gains = (fun _ -> ());
-      set_big_power_ref = (fun _ -> ());
-      set_little_power_ref = (fun _ -> ());
+      set_power_ref = (fun _ _ -> ());
     }
   in
   let sup = Spectr.Supervisor.create ~commands ~envelope:2.0 () in

@@ -29,6 +29,37 @@ let test_opp_nearest () =
   check_int "clamp low" 200 (Opp.nearest Opp.big (-50.));
   check_int "clamp high" 2000 (Opp.nearest Opp.big 9999.)
 
+(* The O(n) scan behind [nearest] on unevenly spaced tables: midpoint
+   ties resolve downward, single-entry tables absorb everything, and
+   out-of-range queries clamp — and on a uniform table the scan and the
+   O(1) fast path must agree at every query. *)
+let test_opp_nearest_scan () =
+  let bumpy =
+    Opp.create ~name:"bumpy"
+      ~points:[ (200, 0.9); (600, 0.95); (700, 1.0); (1500, 1.1) ]
+  in
+  check_int "non-uniform detected" 0 bumpy.Opp.uniform_step_mhz;
+  check_int "midpoint tie resolves down" 200 (Opp.nearest bumpy 400.);
+  check_int "midpoint tie resolves down (narrow)" 600 (Opp.nearest bumpy 650.);
+  check_int "just above midpoint" 600 (Opp.nearest bumpy 401.);
+  check_int "just below midpoint" 200 (Opp.nearest bumpy 399.);
+  check_int "wide gap rounds up" 1500 (Opp.nearest bumpy 1101.);
+  check_int "clamp low" 200 (Opp.nearest bumpy (-300.));
+  check_int "clamp high" 1500 (Opp.nearest bumpy 1.e7);
+  check_int "scan agrees" (Opp.nearest_scan bumpy 650.) (Opp.nearest bumpy 650.);
+  let single = Opp.create ~name:"single" ~points:[ (800, 1.0) ] in
+  check_int "single below" 800 (Opp.nearest single 0.);
+  check_int "single above" 800 (Opp.nearest single 5000.);
+  check_int "single exact" 800 (Opp.nearest single 800.);
+  check_int "single scan" 800 (Opp.nearest_scan single 123.);
+  (* Every half-step query on the uniform Big table: scan = fast path. *)
+  for f10 = 0 to 250 do
+    let f = float_of_int f10 *. 10. -. 100. in
+    check_int
+      (Printf.sprintf "scan/fast agree at %.0f" f)
+      (Opp.nearest_scan Opp.big f) (Opp.nearest Opp.big f)
+  done
+
 let test_opp_voltage_monotone () =
   let prev = ref 0. in
   Array.iter
@@ -227,13 +258,13 @@ let fresh_soc ?config () = Soc.create ?config ~qos:Benchmarks.x264 ()
 
 let test_soc_actuators () =
   let soc = fresh_soc () in
-  let f = Soc.set_frequency soc Soc.Big 1234. in
+  let f = Soc.set_frequency soc 0 1234. in
   check_int "quantized" 1200 f;
-  check_int "readback" 1200 (Soc.frequency soc Soc.Big);
-  Soc.set_active_cores soc Soc.Big 0;
-  check_int "clamped to 1" 1 (Soc.active_cores soc Soc.Big);
-  Soc.set_active_cores soc Soc.Big 9;
-  check_int "clamped to 4" 4 (Soc.active_cores soc Soc.Big)
+  check_int "readback" 1200 (Soc.frequency soc 0);
+  Soc.set_active_cores soc 0 0;
+  check_int "clamped to 1" 1 (Soc.active_cores soc 0);
+  Soc.set_active_cores soc 0 9;
+  check_int "clamped to 4" 4 (Soc.active_cores soc 0)
 
 let test_soc_idle_insertion () =
   let soc = fresh_soc () in
@@ -256,24 +287,24 @@ let test_soc_idle_reduces_qos () =
 
 let test_soc_qos_responds_to_frequency () =
   let soc = fresh_soc () in
-  ignore (Soc.set_frequency soc Soc.Big 400.);
+  ignore (Soc.set_frequency soc 0 400.);
   let slow = Soc.true_qos_rate soc in
-  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  ignore (Soc.set_frequency soc 0 2000.);
   let fast = Soc.true_qos_rate soc in
   check_bool "faster clock more FPS" true (fast > slow *. 1.3)
 
 let test_soc_qos_responds_to_cores () =
   let soc = fresh_soc () in
-  Soc.set_active_cores soc Soc.Big 1;
+  Soc.set_active_cores soc 0 1;
   let one = Soc.true_qos_rate soc in
-  Soc.set_active_cores soc Soc.Big 4;
+  Soc.set_active_cores soc 0 4;
   let four = Soc.true_qos_rate soc in
   check_bool "more cores more FPS" true (four > one *. 1.5)
 
 let test_soc_background_interference () =
   let soc = fresh_soc () in
-  ignore (Soc.set_frequency soc Soc.Big 2000.);
-  ignore (Soc.set_frequency soc Soc.Little 1400.);
+  ignore (Soc.set_frequency soc 0 2000.);
+  ignore (Soc.set_frequency soc 1 1400.);
   let clean_rate = Soc.true_qos_rate soc in
   let clean_power = Soc.true_chip_power soc in
   Soc.set_background_tasks soc 16;
@@ -296,15 +327,15 @@ let test_soc_background_little_first () =
 
 let test_soc_power_range () =
   let soc = fresh_soc () in
-  ignore (Soc.set_frequency soc Soc.Big 2000.);
-  ignore (Soc.set_frequency soc Soc.Little 1400.);
+  ignore (Soc.set_frequency soc 0 2000.);
+  ignore (Soc.set_frequency soc 1 1400.);
   Soc.set_background_tasks soc 10;
   let peak = Soc.true_chip_power soc in
-  ignore (Soc.set_frequency soc Soc.Big 200.);
-  ignore (Soc.set_frequency soc Soc.Little 200.);
+  ignore (Soc.set_frequency soc 0 200.);
+  ignore (Soc.set_frequency soc 1 200.);
   Soc.set_background_tasks soc 0;
-  Soc.set_active_cores soc Soc.Big 1;
-  Soc.set_active_cores soc Soc.Little 1;
+  Soc.set_active_cores soc 0 1;
+  Soc.set_active_cores soc 1 1;
   let trough = Soc.true_chip_power soc in
   check_bool "peak < 7W" true (peak < 7.);
   check_bool "peak > 5W (TDP can bind)" true (peak > 5.);
@@ -348,9 +379,9 @@ let test_soc_per_core_ips_idle_sensitive () =
 let test_soc_canneal_serial_phase () =
   (* During canneal's serialized phase, adding cores barely helps. *)
   let soc = Soc.create ~qos:Benchmarks.canneal () in
-  Soc.set_active_cores soc Soc.Big 1;
+  Soc.set_active_cores soc 0 1;
   let one = Soc.true_qos_rate soc in
-  Soc.set_active_cores soc Soc.Big 4;
+  Soc.set_active_cores soc 0 4;
   let four = Soc.true_qos_rate soc in
   check_bool "core scaling < 1.4x in serial phase" true (four /. one < 1.4)
 
@@ -365,7 +396,7 @@ let test_thermal_starts_ambient () =
 
 let test_thermal_heats_under_load () =
   let soc = fresh_soc () in
-  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  ignore (Soc.set_frequency soc 0 2000.);
   for _ = 1 to 200 do
     ignore (Soc.step soc ~dt:0.05)
   done;
@@ -376,13 +407,13 @@ let test_thermal_heats_under_load () =
 
 let test_thermal_cools_when_idle () =
   let soc = fresh_soc () in
-  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  ignore (Soc.set_frequency soc 0 2000.);
   for _ = 1 to 200 do
     ignore (Soc.step soc ~dt:0.05)
   done;
   let hot = Soc.temperature soc in
-  ignore (Soc.set_frequency soc Soc.Big 200.);
-  Soc.set_active_cores soc Soc.Big 1;
+  ignore (Soc.set_frequency soc 0 200.);
+  Soc.set_active_cores soc 0 1;
   for _ = 1 to 200 do
     ignore (Soc.step soc ~dt:0.05)
   done;
@@ -392,7 +423,7 @@ let test_thermal_time_constant () =
   (* After one time constant the gap to the steady state closes by
      roughly 63 %. *)
   let soc = fresh_soc () in
-  ignore (Soc.set_frequency soc Soc.Big 2000.);
+  ignore (Soc.set_frequency soc 0 2000.);
   let target =
     Soc.default_config.Soc.ambient_c
     +. (Soc.default_config.Soc.thermal_resistance *. Soc.true_chip_power soc)
@@ -635,8 +666,10 @@ let soc_with fault ~start_s ~stop_s =
 let test_faults_power_dropout () =
   let soc = soc_with (Faults.Dropout Power) ~start_s:0. ~stop_s:10. in
   let obs = Soc.step soc ~dt:0.05 in
-  check_float "big reads dead" 0. obs.Soc.big_power;
-  check_float "little reads dead" 0. obs.Soc.little_power;
+  ignore obs;
+  let powers = Soc.sensor_powers soc in
+  check_float "big reads dead" 0. powers.(0);
+  check_float "little reads dead" 0. powers.(1);
   check_bool "chip still burns power" true (Soc.true_chip_power soc > 0.5)
 
 let test_faults_qos_stuck () =
@@ -659,7 +692,7 @@ let test_faults_spikes () =
   in
   let spiked = ref 0 and clean = ref 0 in
   for _ = 1 to 100 do
-    let v = Faults.apply_power f ~now:1. ~channel:`Big 2. in
+    let v = Faults.apply_power f ~now:1. ~cluster:0 2. in
     if v = 10. then incr spiked
     else if v = 2. then incr clean
     else Alcotest.failf "unexpected sample %g" v
@@ -677,26 +710,26 @@ let test_faults_heartbeat_stall () =
 
 let test_faults_dvfs_stuck () =
   let soc = soc_with Faults.Dvfs_stuck ~start_s:0. ~stop_s:1. in
-  let before = Soc.frequency soc Soc.Big in
-  let applied = Soc.set_frequency soc Soc.Big 2000. in
+  let before = Soc.frequency soc 0 in
+  let applied = Soc.set_frequency soc 0 2000. in
   check_int "request ignored" before applied;
-  check_int "frequency unchanged" before (Soc.frequency soc Soc.Big);
+  check_int "frequency unchanged" before (Soc.frequency soc 0);
   (* Advance past the window; the driver obeys again. *)
   for _ = 1 to 25 do
     ignore (Soc.step soc ~dt:0.05)
   done;
-  check_int "works after window" 2000 (Soc.set_frequency soc Soc.Big 2000.)
+  check_int "works after window" 2000 (Soc.set_frequency soc 0 2000.)
 
 let test_faults_gating_refused () =
   let soc = soc_with Faults.Gating_refused ~start_s:0. ~stop_s:1. in
-  let before = Soc.active_cores soc Soc.Big in
-  Soc.set_active_cores soc Soc.Big 1;
-  check_int "request refused" before (Soc.active_cores soc Soc.Big);
+  let before = Soc.active_cores soc 0 in
+  Soc.set_active_cores soc 0 1;
+  check_int "request refused" before (Soc.active_cores soc 0);
   for _ = 1 to 25 do
     ignore (Soc.step soc ~dt:0.05)
   done;
-  Soc.set_active_cores soc Soc.Big 1;
-  check_int "works after window" 1 (Soc.active_cores soc Soc.Big)
+  Soc.set_active_cores soc 0 1;
+  check_int "works after window" 1 (Soc.active_cores soc 0)
 
 (* ------------------------------------------------------------------ *)
 (* Integration: sysid on the simulated platform                        *)
@@ -719,12 +752,12 @@ let test_identify_big_cluster () =
   let u = Array.make steps [||] in
   let y = Array.make steps [||] in
   for t = 0 to steps - 1 do
-    let f = Soc.set_frequency soc Soc.Big freq_sig.(t) in
-    Soc.set_active_cores soc Soc.Big
+    let f = Soc.set_frequency soc 0 freq_sig.(t) in
+    Soc.set_active_cores soc 0
       (int_of_float (Float.round cores_sig.(t)));
     let obs = Soc.step soc ~dt:0.05 in
     u.(t) <- [| float_of_int f /. 1000.; Float.round cores_sig.(t) |];
-    y.(t) <- [| obs.Soc.qos_rate; obs.Soc.big_power |]
+    y.(t) <- [| obs.Soc.qos_rate; (Soc.sensor_powers soc).(0) |]
   done;
   let data = Spectr_sysid.Dataset.create ~u ~y in
   let normalized, _ = Spectr_sysid.Dataset.normalize data in
@@ -746,6 +779,104 @@ let test_identify_big_cluster () =
         report.Spectr_sysid.Validation.channels
 
 (* ------------------------------------------------------------------ *)
+(* Platform_desc                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_desc_builtins () =
+  List.iter
+    (fun p ->
+      check_bool
+        (Platform_desc.name p ^ " has clusters")
+        true
+        (Platform_desc.num_clusters p >= 1);
+      check_bool
+        (Platform_desc.name p ^ " host in range")
+        true
+        (Platform_desc.host p >= 0
+        && Platform_desc.host p < Platform_desc.num_clusters p);
+      check_bool
+        (Platform_desc.name p ^ " describes")
+        true
+        (String.length (Platform_desc.describe p) > 0))
+    (Platform_desc.builtins ());
+  (* The reference platform's identity is load-bearing: design-flow memo
+     keys, checkpoint tags and the byte-identity gate all hang off it. *)
+  Alcotest.(check string)
+    "exynos5422 digest pinned" "0c8dadf6e533fd63e717d00fbe39844a"
+    (Platform_desc.digest Platform_desc.exynos5422);
+  check_int "exynos clusters" 2
+    (Platform_desc.num_clusters Platform_desc.exynos5422);
+  check_int "exynos cores" 8 (Platform_desc.total_cores Platform_desc.exynos5422);
+  check_int "pixel8pro clusters" 3
+    (Platform_desc.num_clusters Platform_desc.pixel8pro);
+  check_int "pixel8pro cores" 9
+    (Platform_desc.total_cores Platform_desc.pixel8pro)
+
+let test_desc_csv_roundtrip () =
+  List.iter
+    (fun p ->
+      match Platform_desc.of_csv_string (Platform_desc.to_csv_string p) with
+      | Ok q ->
+          Alcotest.(check string)
+            (Platform_desc.name p ^ " round-trips")
+            (Platform_desc.digest p) (Platform_desc.digest q)
+      | Error e ->
+          Alcotest.failf "%s: %s" (Platform_desc.name p)
+            (Format.asprintf "%a" Platform_desc.pp_parse_error e))
+    (Platform_desc.builtins ())
+
+let test_desc_csv_errors () =
+  let reject ?line what csv =
+    match Platform_desc.of_csv_string csv with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+    | Error e -> (
+        match line with
+        | Some l -> check_int (what ^ " line") l e.Platform_desc.line
+        | None -> ())
+  in
+  reject "empty" "";
+  reject ~line:1 "unknown row kind" "bogus,1,2\n";
+  reject ~line:2 "bad core count"
+    "platform,p\ncluster,big,zero,0.3,0.1,0.01,0.1,host\n";
+  reject "missing thermal"
+    "platform,p\nhost,big\ncluster,big,4,0.3,0.1,0.01,0.1,host\n\
+     opp,big,1000,1.0\n";
+  reject "unknown host cluster"
+    "platform,p\nthermal,25,2,8\nhost,nope\n\
+     cluster,big,4,0.3,0.1,0.01,0.1,host\nopp,big,1000,1.0\n";
+  reject "cluster without opps"
+    "platform,p\nthermal,25,2,8\nhost,big\n\
+     cluster,big,4,0.3,0.1,0.01,0.1,host\n"
+
+let test_desc_k_cluster () =
+  let p = Platform_desc.k_cluster 5 in
+  check_int "k5 clusters" 5 (Platform_desc.num_clusters p);
+  check_int "k5 host" 0 (Platform_desc.host p);
+  Alcotest.check_raises "k0 rejected"
+    (Invalid_argument "Platform_desc.k_cluster: k = 0 not in 1..16")
+    (fun () -> ignore (Platform_desc.k_cluster 0));
+  (* Core offsets tile the global core index space. *)
+  let off = ref 0 in
+  for i = 0 to Platform_desc.num_clusters p - 1 do
+    check_int
+      (Printf.sprintf "offset %d" i)
+      !off
+      (Platform_desc.core_offset p i);
+    off := !off + (Platform_desc.cluster p i).Platform_desc.cores
+  done;
+  check_int "offsets cover all cores" (Platform_desc.total_cores p) !off
+
+let test_desc_find_cluster () =
+  let p = Platform_desc.pixel8pro in
+  Alcotest.(check (option int))
+    "big found"
+    (Some (Platform_desc.host p))
+    (Platform_desc.find_cluster p "big");
+  Alcotest.(check (option int))
+    "unknown cluster" None
+    (Platform_desc.find_cluster p "gpu")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "spectr_platform"
@@ -754,6 +885,8 @@ let () =
         [
           Alcotest.test_case "tables" `Quick test_opp_tables;
           Alcotest.test_case "nearest" `Quick test_opp_nearest;
+          Alcotest.test_case "nearest scan (non-uniform)" `Quick
+            test_opp_nearest_scan;
           Alcotest.test_case "voltage monotone" `Quick test_opp_voltage_monotone;
           Alcotest.test_case "voltage unknown" `Quick test_opp_voltage_unknown;
           Alcotest.test_case "create validation" `Quick
@@ -856,6 +989,14 @@ let () =
             test_faults_heartbeat_stall;
           Alcotest.test_case "dvfs stuck" `Quick test_faults_dvfs_stuck;
           Alcotest.test_case "gating refused" `Quick test_faults_gating_refused;
+        ] );
+      ( "platform-desc",
+        [
+          Alcotest.test_case "builtins validate" `Quick test_desc_builtins;
+          Alcotest.test_case "csv round-trip" `Quick test_desc_csv_roundtrip;
+          Alcotest.test_case "csv parse errors" `Quick test_desc_csv_errors;
+          Alcotest.test_case "k-cluster generator" `Quick test_desc_k_cluster;
+          Alcotest.test_case "find cluster" `Quick test_desc_find_cluster;
         ] );
       ( "integration",
         [

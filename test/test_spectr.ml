@@ -134,6 +134,126 @@ let test_synthesized_supervisor_can_recover () =
         (String.length st >= 4 && String.sub st 0 4 <> "Cap")
 
 (* ------------------------------------------------------------------ *)
+(* Description-driven synthesis: N-cluster platforms                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_synthesis_legal () =
+  List.iter
+    (fun platform ->
+      let name = Platform_desc.name platform in
+      let sup, stats = Supervisor.synthesize ~platform () in
+      let plant = Plant_model.composed_for platform in
+      check_bool (name ^ " nonblocking") true (Verify.is_nonblocking sup);
+      check_bool (name ^ " controllable") true
+        (Verify.is_controllable ~plant ~supervisor:sup);
+      check_bool (name ^ " nonempty") true (Automaton.num_states sup > 0);
+      check_bool (name ^ " no states invented") true
+        (Automaton.num_states sup <= stats.Spectr_automata.Synthesis.product_states);
+      (* Every cluster's budget-command family must survive synthesis:
+         a supervisor that lost a cluster's increase or decrease event
+         could never regulate that cluster again. *)
+      let fam = Events.for_platform platform in
+      let alphabet = Automaton.alphabet sup in
+      for i = 0 to Platform_desc.num_clusters platform - 1 do
+        check_bool
+          (Printf.sprintf "%s: increase c%d in alphabet" name i)
+          true
+          (Event.Set.mem (Events.increase fam i) alphabet);
+        check_bool
+          (Printf.sprintf "%s: decrease c%d in alphabet" name i)
+          true
+          (Event.Set.mem (Events.decrease fam i) alphabet)
+      done)
+    [
+      Platform_desc.pixel8pro;
+      Platform_desc.k_cluster 3;
+      Platform_desc.k_cluster 6;
+    ]
+
+(* The per-cluster command families are minted through the interner:
+   exynos5422's family IS the hand-written constants, and pixel8pro's
+   names follow the increase<Name>Power scheme. *)
+let test_platform_event_families () =
+  let ex = Events.for_platform Platform_desc.exynos5422 in
+  check_bool "exynos increase host is the constant" true
+    (Event.equal (Events.increase ex 0) Events.increase_big_power);
+  check_bool "exynos decrease little is the constant" true
+    (Event.equal (Events.decrease ex 1) Events.decrease_little_power);
+  let px = Events.for_platform Platform_desc.pixel8pro in
+  List.iteri
+    (fun i expected ->
+      check_string
+        (Printf.sprintf "pixel8pro increase c%d name" i)
+        expected
+        (Event.name (Events.increase px i)))
+    [ "increaseLittlePower"; "increaseBigPower"; "increasePrimePower" ];
+  (* by_name covers minted per-cluster events, not just the constants. *)
+  match Events.by_name "increasePrimePower" with
+  | None -> Alcotest.fail "by_name misses minted per-cluster events"
+  | Some e -> check_bool "same event" true (Event.equal e (Events.increase px 2))
+
+(* Run a pixel8pro supervisor through miss, surplus, emergency and
+   recovery, and pin the per-cluster command flow: every cluster's
+   reference is seeded at create, the host budget moves on QoS
+   error, and every reference stays positive and finite throughout. *)
+let test_platform_event_flow () =
+  let platform = Platform_desc.pixel8pro in
+  let k = Platform_desc.num_clusters platform in
+  let host = Platform_desc.host platform in
+  let refs = Array.make k nan in
+  let sets = Array.make k 0 in
+  let gains = ref [] in
+  let commands =
+    {
+      Supervisor.switch_gains = (fun l -> gains := l :: !gains);
+      set_power_ref =
+        (fun i v ->
+          refs.(i) <- v;
+          sets.(i) <- sets.(i) + 1);
+    }
+  in
+  let sup = Supervisor.create ~commands ~platform ~envelope:5.0 () in
+  check_int "supervisor sees 3 clusters" k (Supervisor.num_clusters sup);
+  check_int "host index" host (Supervisor.host_cluster sup);
+  Array.iteri
+    (fun i v ->
+      check_bool (Printf.sprintf "cluster %d seeded at create" i) true
+        (Float.is_finite v && v > 0.))
+    refs;
+  (* QoS miss with safe power: the host budget must rise. *)
+  let host_before = Supervisor.power_ref sup host in
+  Supervisor.step sup ~qos:40. ~qos_ref:60. ~power:2.0 ~envelope:5.0;
+  check_bool "host budget raised on miss" true
+    (Supervisor.power_ref sup host > host_before);
+  (* QoS surplus: the host budget must come back down. *)
+  let host_high = Supervisor.power_ref sup host in
+  Supervisor.step sup ~qos:80. ~qos_ref:60. ~power:2.0 ~envelope:5.0;
+  check_bool "host budget lowered on surplus" true
+    (Supervisor.power_ref sup host < host_high);
+  (* Emergency: gains switch to power mode. *)
+  Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:6.0 ~envelope:5.0;
+  check_string "emergency switches gains" "power" (Supervisor.gains_mode sup);
+  check_bool "switch delivered" true (List.mem "power" !gains);
+  (* Long mixed run: every cluster's reference stays physical. *)
+  for t = 1 to 200 do
+    let qos = if t mod 3 = 0 then 40. else 75. in
+    let power = if t mod 7 = 0 then 5.6 else 2.5 in
+    Supervisor.step sup ~qos ~qos_ref:60. ~power ~envelope:5.0;
+    for i = 0 to k - 1 do
+      let r = Supervisor.power_ref sup i in
+      check_bool
+        (Printf.sprintf "t=%d cluster %d ref finite positive" t i)
+        true
+        (Float.is_finite r && r > 0. && r <= 5.5)
+    done
+  done;
+  (* The mock and the supervisor agree on the final per-cluster refs. *)
+  Array.iteri
+    (fun i v -> check_float (Printf.sprintf "cluster %d agrees" i) v
+        (Supervisor.power_ref sup i))
+    refs
+
+(* ------------------------------------------------------------------ *)
 (* Runtime supervisor against mock commands                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -148,8 +268,8 @@ let make_mock () =
   let commands =
     {
       Supervisor.switch_gains = (fun l -> m.gains <- l :: m.gains);
-      set_big_power_ref = (fun v -> m.big_ref <- v);
-      set_little_power_ref = (fun v -> m.little_ref <- v);
+      set_power_ref =
+        (fun i v -> if i = 0 then m.big_ref <- v else m.little_ref <- v);
     }
   in
   (m, commands)
@@ -158,7 +278,7 @@ let test_supervisor_initial_budgets () =
   let m, commands = make_mock () in
   let sup = Supervisor.create ~commands ~envelope:5.0 () in
   check_bool "initial big ref set" true (m.big_ref > 0.);
-  check_float "reported" m.big_ref (Supervisor.big_power_ref sup);
+  check_float "reported" m.big_ref (Supervisor.power_ref sup 0);
   check_string "starts in qos mode" "qos" (Supervisor.gains_mode sup)
 
 let test_supervisor_validation () =
@@ -193,18 +313,18 @@ let test_supervisor_recovers_to_qos_mode () =
 let test_supervisor_raises_budget_on_qos_miss () =
   let _, commands = make_mock () in
   let sup = Supervisor.create ~commands ~envelope:5.0 () in
-  let before = Supervisor.big_power_ref sup in
+  let before = Supervisor.power_ref sup 0 in
   (* QoS below reference, power safe -> Raise -> increaseBigPower *)
   Supervisor.step sup ~qos:40. ~qos_ref:60. ~power:2.0 ~envelope:5.0;
-  check_bool "budget raised" true (Supervisor.big_power_ref sup > before)
+  check_bool "budget raised" true (Supervisor.power_ref sup 0 > before)
 
 let test_supervisor_lowers_budget_on_qos_surplus () =
   let _, commands = make_mock () in
   let sup = Supervisor.create ~commands ~envelope:5.0 () in
-  let before = Supervisor.big_power_ref sup in
+  let before = Supervisor.power_ref sup 0 in
   (* QoS well above reference -> Lower -> decreaseBigPower *)
   Supervisor.step sup ~qos:80. ~qos_ref:60. ~power:2.0 ~envelope:5.0;
-  check_bool "budget lowered" true (Supervisor.big_power_ref sup < before)
+  check_bool "budget lowered" true (Supervisor.power_ref sup 0 < before)
 
 let test_supervisor_budget_cap_respects_envelope () =
   let _, commands = make_mock () in
@@ -216,8 +336,8 @@ let test_supervisor_budget_cap_respects_envelope () =
   (* 90 % of the Little budget is reserved against the envelope; the
      rest is left to the critical-event feedback loop. *)
   check_bool "big + 0.9*little within envelope" true
-    (Supervisor.big_power_ref sup
-     +. (0.9 *. Supervisor.little_power_ref sup)
+    (Supervisor.power_ref sup 0
+     +. (0.9 *. Supervisor.power_ref sup 1)
     <= 5.0 +. 1e-9)
 
 let test_supervisor_envelope_drop_reclamps () =
@@ -229,17 +349,17 @@ let test_supervisor_envelope_drop_reclamps () =
   (* thermal emergency: envelope drops; budgets must re-clamp *)
   Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:3.0 ~envelope:3.5;
   check_bool "reclamped under new envelope" true
-    (Supervisor.big_power_ref sup <= 3.5 +. 1e-9)
+    (Supervisor.power_ref sup 0 <= 3.5 +. 1e-9)
 
 let test_supervisor_critical_cut () =
   let _, commands = make_mock () in
   let sup = Supervisor.create ~commands ~envelope:5.0 () in
   (* enter capped mode *)
   Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
-  let capped_ref = Supervisor.big_power_ref sup in
+  let capped_ref = Supervisor.power_ref sup 0 in
   (* still critical while capped -> decreaseCriticalPower *)
   Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
-  check_bool "deep cut applied" true (Supervisor.big_power_ref sup < capped_ref)
+  check_bool "deep cut applied" true (Supervisor.power_ref sup 0 < capped_ref)
 
 let test_supervisor_state_never_stuck () =
   (* Drive with adversarial random measurements; the supervisor must keep
@@ -276,8 +396,8 @@ let test_supervisor_budget_invariants_random_walk () =
       [| 5.0; 3.5; 2.5 |].(Spectr_linalg.Prng.int g 3)
     in
     Supervisor.step sup ~qos ~qos_ref:60. ~power ~envelope;
-    let b = Supervisor.big_power_ref sup in
-    let l = Supervisor.little_power_ref sup in
+    let b = Supervisor.power_ref sup 0 in
+    let l = Supervisor.power_ref sup 1 in
     check_bool "big >= min" true (b >= c.Supervisor.big_budget_min -. 1e-9);
     check_bool "big <= envelope" true (b <= 5.0 +. 1e-9);
     check_bool "little in box" true
@@ -811,8 +931,7 @@ let test_synthesis_uncontrollable_worklist () =
    streaks would (correctly) trip the stuck detector. *)
 let healthy_step g ~now i =
   let wiggle = if i mod 2 = 0 then 0. else 0.11 in
-  Guarded.filter g ~now ~qos:(60. +. wiggle) ~big_power:(2. +. wiggle)
-    ~little_power:(1. +. wiggle)
+  Guarded.filter g ~now ~qos:(60. +. wiggle) ~powers:[| 2. +. wiggle; 1. +. wiggle |]
 
 let warmed_guards () =
   let g = Guarded.create () in
@@ -829,11 +948,11 @@ let test_guarded_filter_never_nonfinite () =
       let f =
         Guarded.filter g
           ~now:(0.3 +. (float_of_int i *. 0.05))
-          ~qos:v ~big_power:v ~little_power:v
+          ~qos:v ~powers:[| v; v |]
       in
       check_bool "qos finite" true (Float.is_finite f.Guarded.qos);
-      check_bool "big finite" true (Float.is_finite f.Guarded.big_power);
-      check_bool "little finite" true (Float.is_finite f.Guarded.little_power);
+      check_bool "big finite" true (Float.is_finite f.Guarded.powers.(0));
+      check_bool "little finite" true (Float.is_finite f.Guarded.powers.(1));
       check_bool "flagged unhealthy" false f.Guarded.healthy)
     garbage
 
@@ -844,7 +963,7 @@ let test_guarded_watchdog_trip_and_recover () =
      floor).  The watchdog must trip after trip_count periods... *)
   for i = 1 to cfg.Guarded.trip_count do
     let now = 0.25 +. (float_of_int i *. 0.05) in
-    ignore (Guarded.filter g ~now ~qos:0. ~big_power:2. ~little_power:1.)
+    ignore (Guarded.filter g ~now ~qos:0. ~powers:[| 2.; 1. |])
   done;
   check_bool "degraded after persistent loss" true (Guarded.degraded g);
   (* ... and hand control back only after recover_count healthy ones. *)
@@ -876,8 +995,7 @@ let test_guarded_watchdog_rearms () =
     while (not (Guarded.degraded g)) && !n < 4 * cfg.Guarded.trip_count do
       incr n;
       ignore
-        (Guarded.filter g ~now:(advance ()) ~qos:0. ~big_power:2.
-           ~little_power:1.)
+        (Guarded.filter g ~now:(advance ()) ~qos:0. ~powers:[| 2.; 1. |])
     done;
     check_bool "tripped" true (Guarded.degraded g)
   in
@@ -909,11 +1027,11 @@ let test_guarded_spike_vs_level_shift () =
   (* One outlier spike on the Big power sensor: substituted, and the
      spiked value itself must never come back out of the filter. *)
   let f =
-    Guarded.filter g ~now:0.3 ~qos:60. ~big_power:9.5 ~little_power:1.
+    Guarded.filter g ~now:0.3 ~qos:60. ~powers:[| 9.5; 1. |]
   in
   check_bool "spike rejected" false f.Guarded.healthy;
   check_bool "substitute near last good" true
-    (Float.abs (f.Guarded.big_power -. 2.) < 0.5);
+    (Float.abs (f.Guarded.powers.(0) -. 2.) < 0.5);
   (* A genuine level shift persists and must eventually be accepted
      without tripping the watchdog. *)
   let accepted = ref 0. in
@@ -923,10 +1041,9 @@ let test_guarded_spike_vs_level_shift () =
       Guarded.filter g
         ~now:(0.3 +. (float_of_int i *. 0.05))
         ~qos:(60. +. wiggle)
-        ~big_power:(6. +. wiggle)
-        ~little_power:(1. +. wiggle)
+        ~powers:[| 6. +. wiggle; 1. +. wiggle |]
     in
-    accepted := f.Guarded.big_power
+    accepted := f.Guarded.powers.(0)
   done;
   check_bool "level shift accepted" true (Float.abs (!accepted -. 6.) < 0.5);
   check_bool "no degradation for a shift" false (Guarded.degraded g)
@@ -942,8 +1059,7 @@ let test_guarded_stuck_sensor () =
       Guarded.filter g
         ~now:(0.25 +. (float_of_int i *. 0.05))
         ~qos:57.25
-        ~big_power:(2. +. wiggle)
-        ~little_power:(1. +. wiggle)
+        ~powers:[| 2. +. wiggle; 1. +. wiggle |]
     in
     last := f.Guarded.healthy
   done;
@@ -981,13 +1097,13 @@ let test_manager_sanitize () =
 
 let test_manager_apply_cluster () =
   let soc = Soc.create ~qos:Benchmarks.x264 () in
-  let a = Manager.apply_cluster soc Soc.Big ~freq_ghz:1.26 ~cores:2.4 in
+  let a = Manager.apply_cluster soc 0 ~freq_ghz:1.26 ~cores:2.4 in
   check_int "quantized OPP returned" 1300 a.Manager.freq_mhz;
   check_int "rounded cores returned" 2 a.Manager.cores;
-  check_int "applied to the platform" 1300 (Soc.frequency soc Soc.Big);
+  check_int "applied to the platform" 1300 (Soc.frequency soc 0);
   (* NaN commands must land on the conservative end, not on
      int_of_float garbage. *)
-  let b = Manager.apply_cluster soc Soc.Big ~freq_ghz:nan ~cores:nan in
+  let b = Manager.apply_cluster soc 0 ~freq_ghz:nan ~cores:nan in
   check_int "nan freq -> min OPP" 200 b.Manager.freq_mhz;
   check_int "nan cores -> 1" 1 b.Manager.cores
 
@@ -1001,8 +1117,8 @@ let test_supervisor_nonfinite_guard () =
   Supervisor.step sup ~qos:nan ~qos_ref:60. ~power:nan ~envelope:5.0;
   check_string "nan sample dropped" state (Supervisor.state sup);
   check_bool "budgets stay finite" true
-    (Float.is_finite (Supervisor.big_power_ref sup)
-    && Float.is_finite (Supervisor.little_power_ref sup));
+    (Float.is_finite (Supervisor.power_ref sup 0)
+    && Float.is_finite (Supervisor.power_ref sup 1));
   (* and the supervisor must still react to the next real sample *)
   Supervisor.step sup ~qos:60. ~qos_ref:60. ~power:5.5 ~envelope:5.0;
   check_string "still responsive" "power" (Supervisor.gains_mode sup)
@@ -1342,6 +1458,15 @@ let () =
             test_synthesis_uncontrollable_worklist;
           Alcotest.test_case "pinned pre-refactor fixture" `Quick
             test_supervisor_pinned_fixture;
+        ] );
+      ( "platform-synthesis",
+        [
+          Alcotest.test_case "N-cluster legality" `Quick
+            test_platform_synthesis_legal;
+          Alcotest.test_case "event families" `Quick
+            test_platform_event_families;
+          Alcotest.test_case "pixel8pro event flow" `Quick
+            test_platform_event_flow;
         ] );
       ( "supervisor-runtime",
         [
