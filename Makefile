@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke platform-smoke robustness check clean
+.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke platform-smoke synth-smoke robustness check clean
 
 all: build
 
@@ -67,6 +67,18 @@ fleet-smoke:
 	SPECTR_JOBS=4 dune exec bench/main.exe -- fleet --smoke > /tmp/spectr-fleet-j4.txt
 	diff /tmp/spectr-fleet-j1.txt /tmp/spectr-fleet-j4.txt
 
+# Parallel-synthesis smoke: the sharded supcon engine is pinned
+# byte-identical to the sequential path (digest + stats gates inside the
+# bench), and the whole smoke output must not depend on SPECTR_JOBS.
+# Includes one mid-size modular row under a wall-clock budget.
+synth-smoke:
+	SPECTR_JOBS=1 dune exec bench/main.exe -- synthesis-scale --smoke > /tmp/spectr-synth-j1.txt
+	SPECTR_JOBS=4 dune exec bench/main.exe -- synthesis-scale --smoke > /tmp/spectr-synth-j4.txt
+	diff /tmp/spectr-synth-j1.txt /tmp/spectr-synth-j4.txt
+	grep -Eq '^ +4 +3 +81 +89 +33$$' /tmp/spectr-synth-j4.txt
+	grep -q 'isomorphic to monolithic at jobs=1 and 4' /tmp/spectr-synth-j4.txt
+	grep -q 'modular k=10 cap=6: product 39045, supervisor 12585' /tmp/spectr-synth-j4.txt
+
 # Platform smoke: the data-driven platform layer end to end.  Built-in
 # descriptions list and validate (`platforms` digests each one), a
 # short scenario runs on every built-in shape (2-cluster board,
@@ -92,7 +104,7 @@ platform-smoke:
 	done
 
 # What CI runs.
-check: build fmt test obs-smoke chaos-smoke fleet-smoke platform-smoke
+check: build fmt test obs-smoke chaos-smoke fleet-smoke platform-smoke synth-smoke
 
 clean:
 	dune clean

@@ -81,7 +81,8 @@ let run () =
   Printf.printf "\n  %3s %4s %9s %9s %9s" "k" "cap" "plant-Q" "product-Q"
     "sup-Q";
   if not !smoke then
-    Printf.printf " %9s %9s %9s" "compose-s" "supcon-s" "verify-s";
+    Printf.printf " %9s %9s %9s %9s %9s" "compose-s" "supcon-s" "par1-s"
+      "par4-s" "verify-s";
   print_newline ();
   List.iter
     (fun (k, cap) ->
@@ -95,6 +96,24 @@ let run () =
       | Error Synthesis.Empty_supervisor ->
           failwith "synthesis-scale: unexpectedly empty supervisor"
       | Ok (sup, stats) ->
+          (* The sharded engine is pinned byte-identical to the
+             sequential path: digest and stats equality gate every row,
+             at 1 and 4 jobs. *)
+          let par jobs =
+            timed (fun () -> Synthesis.supcon_par ~jobs ~plant ~spec ())
+          in
+          let par1, t_par1 = par 1 in
+          let par4, t_par4 = par 4 in
+          (match (par1, par4) with
+          | Ok (s1, st1), Ok (s4, st4) ->
+              let dig = Automaton.structural_digest sup in
+              if
+                Automaton.structural_digest s1 <> dig
+                || Automaton.structural_digest s4 <> dig
+              then failwith "synthesis-scale: supcon_par digest diverged";
+              if st1 <> stats || st4 <> stats then
+                failwith "synthesis-scale: supcon_par stats diverged"
+          | _ -> failwith "synthesis-scale: supcon_par unexpectedly empty");
           let checks, t_verify =
             timed (fun () ->
                 ( Verify.is_nonblocking sup,
@@ -112,9 +131,79 @@ let run () =
             (Automaton.num_states plant)
             stats.Synthesis.product_states (Automaton.num_states sup);
           if not !smoke then
-            Printf.printf " %9.3f %9.3f %9.3f" t_compose t_supcon t_verify;
+            Printf.printf " %9.3f %9.3f %9.3f %9.3f %9.3f" t_compose t_supcon
+              t_par1 t_par4 t_verify;
           print_newline ())
     (grid ());
+  (* Modular synthesis: the plant components and the spec composed
+     jointly, on the fly — the regime where the composed plant (3^k
+     states) can no longer be materialized.  Gated for determinism in
+     both modes; rows and timings differ. *)
+  Util.subheading
+    "modular synthesis: plant components never composed up front";
+  if !smoke then begin
+    (* Pin modular against monolithic where the monolith is still cheap,
+       then run one mid-size row under a wall-clock budget; output stays
+       byte-deterministic (no timings printed). *)
+    let plants = List.init 6 (fun i -> cluster (i + 1)) in
+    let spec = budget_spec ~k:6 ~cap:5 in
+    let mono = Synthesis.supcon ~plant:(Compose.all plants) ~spec in
+    List.iter
+      (fun jobs ->
+        match (mono, Synthesis.supcon_modular ~jobs ~plants ~spec ()) with
+        | Ok (sa, ta), Ok (sb, tb) ->
+            if not (Automaton.isomorphic sa sb) then
+              failwith "synthesis-scale: modular diverged from monolithic";
+            if ta <> tb then
+              failwith "synthesis-scale: modular stats diverged"
+        | _ -> failwith "synthesis-scale: modular unexpectedly empty")
+      [ 1; 4 ];
+    Printf.printf
+      "  modular k=6 cap=5: isomorphic to monolithic at jobs=1 and 4\n";
+    let k = 10 and cap = 6 in
+    let plants = List.init k (fun i -> cluster (i + 1)) in
+    let spec = budget_spec ~k ~cap in
+    let run jobs = Synthesis.supcon_modular ~jobs ~plants ~spec () in
+    let r1, t1 = timed (fun () -> run 1) in
+    let r4, t4 = timed (fun () -> run 4) in
+    (match (r1, r4) with
+    | Ok (s1, st1), Ok (s4, st4) ->
+        if Automaton.structural_digest s1 <> Automaton.structural_digest s4
+        then failwith "synthesis-scale: modular digest depends on jobs";
+        if st1 <> st4 then
+          failwith "synthesis-scale: modular stats depend on jobs";
+        if not (Verify.is_nonblocking s1) then
+          failwith "synthesis-scale: modular supervisor blocks";
+        if t1 +. t4 > 60. then
+          failwith "synthesis-scale: mid-size modular row over time budget";
+        Printf.printf "  modular k=%d cap=%d: product %d, supervisor %d\n" k
+          cap st1.Synthesis.product_states (Automaton.num_states s1)
+    | _ -> failwith "synthesis-scale: mid-size modular row empty")
+  end
+  else begin
+    Printf.printf "  %3s %4s %9s %9s %9s %9s\n" "k" "cap" "product-Q" "sup-Q"
+      "par1-s" "par4-s";
+    List.iter
+      (fun (k, cap) ->
+        let plants = List.init k (fun i -> cluster (i + 1)) in
+        let spec = budget_spec ~k ~cap in
+        let run jobs = Synthesis.supcon_modular ~jobs ~plants ~spec () in
+        let r1, t1 = timed (fun () -> run 1) in
+        let r4, t4 = timed (fun () -> run 4) in
+        match (r1, r4) with
+        | Ok (s1, st1), Ok (s4, st4) ->
+            if
+              Automaton.structural_digest s1 <> Automaton.structural_digest s4
+            then failwith "synthesis-scale: modular digest depends on jobs";
+            if st1 <> st4 then
+              failwith "synthesis-scale: modular stats depend on jobs";
+            if not (Verify.is_nonblocking s1) then
+              failwith "synthesis-scale: modular supervisor blocks";
+            Printf.printf "  %3d %4d %9d %9d %9.3f %9.3f\n" k cap
+              st1.Synthesis.product_states (Automaton.num_states s1) t1 t4
+        | _ -> failwith "synthesis-scale: modular unexpectedly empty")
+      [ (12, 9); (14, 7); (16, 6) ]
+  end;
   (* The process-wide synthesis cache: a second synthesis of the smallest
      grid cell must be a hit (same structural digests), costing only the
      digest.  Deltas, not totals — other experiments in the same

@@ -133,24 +133,29 @@ let make_index name n names_lazy =
 
 (* Counting-sort the transition triples into CSR rows, then sort each row
    by event id.  [describe] names the offending state in the
-   nondeterminism error (lazily — only on the error path). *)
-let make_csr ~who ~describe n trans =
+   nondeterminism error (lazily — only on the error path).  The parallel
+   arrays variant is the workhorse: the tuple variant boxes a triple per
+   transition, which the parallel synthesis engine cannot afford at
+   tens of millions of transitions. *)
+let make_csr_arrays ~who ~describe n ~src ~event ~target =
+  let total = Array.length src in
+  if Array.length event <> total || Array.length target <> total then
+    invalid_arg (Printf.sprintf "%s: transition array length mismatch" who);
   let deg = Array.make n 0 in
-  Array.iter (fun (s, _, _) -> deg.(s) <- deg.(s) + 1) trans;
+  Array.iter (fun s -> deg.(s) <- deg.(s) + 1) src;
   let row = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
     row.(i + 1) <- row.(i) + deg.(i)
   done;
-  let total = row.(n) in
   let ev = Array.make total 0 and dst = Array.make total 0 in
   let cursor = Array.copy row in
-  Array.iter
-    (fun (s, e, d) ->
-      let k = cursor.(s) in
-      ev.(k) <- e;
-      dst.(k) <- d;
-      cursor.(s) <- k + 1)
-    trans;
+  for k = 0 to total - 1 do
+    let s = src.(k) in
+    let p = cursor.(s) in
+    ev.(p) <- event.(k);
+    dst.(p) <- target.(k);
+    cursor.(s) <- p + 1
+  done;
   (* Sort each row by event id (rows are short; extract-sort-writeback). *)
   for s = 0 to n - 1 do
     let lo = row.(s) and hi = row.(s + 1) in
@@ -171,6 +176,63 @@ let make_csr ~who ~describe n trans =
     end
   done;
   (row, ev, dst)
+
+let make_csr ~who ~describe n trans =
+  let total = Array.length trans in
+  let src = Array.make total 0 in
+  let event = Array.make total 0 in
+  let target = Array.make total 0 in
+  Array.iteri
+    (fun k (s, e, d) ->
+      src.(k) <- s;
+      event.(k) <- e;
+      target.(k) <- d)
+    trans;
+  make_csr_arrays ~who ~describe n ~src ~event ~target
+
+let of_indexed_arrays ~name ~names ~alphabet ~initial ~marked ~forbidden ~src
+    ~event ~target =
+  let n = Array.length marked in
+  if Array.length forbidden <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Automaton.of_indexed %s: marked/forbidden length mismatch (%d vs %d)"
+         name n (Array.length forbidden));
+  if initial < 0 || initial >= n then
+    invalid_arg
+      (Printf.sprintf "Automaton.of_indexed %s: initial %d out of range" name
+         initial);
+  let names_lazy =
+    lazy
+      (let a = names () in
+       if Array.length a <> n then
+         invalid_arg
+           (Printf.sprintf
+              "Automaton.of_indexed %s: names () returned %d names for %d \
+               states"
+              name (Array.length a) n);
+       a)
+  in
+  let row, ev, dst =
+    make_csr_arrays
+      ~who:(Printf.sprintf "Automaton.of_indexed %s" name)
+      ~describe:string_of_int n ~src ~event ~target
+  in
+  {
+    name;
+    n;
+    names = names_lazy;
+    index = make_index name n names_lazy;
+    alphabet;
+    decode = make_decode alphabet;
+    row;
+    ev;
+    dst;
+    initial;
+    marked = Array.copy marked;
+    forbidden = Array.copy forbidden;
+    digest = None;
+  }
 
 let of_indexed ~name ~names ~alphabet ~initial ~marked ~forbidden trans =
   let n = Array.length marked in
@@ -448,6 +510,9 @@ let escape_component s =
   else s
 
 let product_state_name qa qb = escape_component qa ^ "." ^ escape_component qb
+
+let product_state_name_n parts =
+  String.concat "." (List.map escape_component parts)
 
 let unescape_state_name s =
   if String.contains s '\\' then begin

@@ -89,6 +89,24 @@ val of_indexed :
       products).  Duplicate names are reported — [Invalid_argument] —
       when the name table is first materialized, not at construction. *)
 
+val of_indexed_arrays :
+  name:string ->
+  names:(unit -> string array) ->
+  alphabet:Event.Set.t ->
+  initial:int ->
+  marked:bool array ->
+  forbidden:bool array ->
+  src:int array ->
+  event:int array ->
+  target:int array ->
+  t
+(** {!of_indexed} with the transitions as three parallel int arrays
+    instead of a tuple array: identical semantics and identical result
+    for the same logical triples, but no boxed triple per transition —
+    the constructor the parallel synthesis engine uses at
+    tens-of-millions-of-transitions scale.  Same caller contract as
+    {!of_indexed}. *)
+
 (** {1 Inspection} *)
 
 val name : t -> string
@@ -200,6 +218,13 @@ val product_state_name : string -> string -> string
     verbatim.  Used by {!Compose.pair} and {!Synthesis.supcon}, so
     re-composing an automaton whose states are themselves product states
     is safe. *)
+
+val product_state_name_n : string list -> string
+(** Flat n-ary {!product_state_name}: each component escaped once and
+    all joined with ['.'] at a single level.  For two components this is
+    exactly [product_state_name]; {!Synthesis.supcon_modular} uses it to
+    name joint states of many plant components and the spec without the
+    nested re-escaping a pairwise fold would introduce. *)
 
 val unescape_state_name : string -> string
 (** Strip the {!product_state_name} escaping for human-readable display

@@ -12,4 +12,10 @@ val pair : Automaton.t -> Automaton.t -> Automaton.t
     is Σ_A ∪ Σ_B. *)
 
 val all : Automaton.t list -> Automaton.t
-(** Left fold of {!pair}.  Raises [Invalid_argument] on the empty list. *)
+(** n-ary ‖ as a size-ordered balanced tree of {!pair}: components are
+    stable-sorted by state count and adjacent ones paired, round by
+    round, so no intermediate product dwarfs the final one the way the
+    old left fold's skewed chain did.  The result is isomorphic to (and
+    accepts the same language as) the fold of {!pair} in list order —
+    only composite state names and hence the structural digest depend on
+    the tree shape.  Raises [Invalid_argument] on the empty list. *)

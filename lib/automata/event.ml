@@ -1,15 +1,19 @@
 type t = { id : int; name : string; controllable : bool }
 
 (* Process-wide intern table: one value per (name, controllability) pair,
-   ids dense in intern order.  Guarded by a mutex — automata are built
-   from multiple domains by the bench pool.  Reads of an event's fields
-   never touch the table (the fields live in the value itself), so only
-   interning and [of_id] pay for the lock. *)
+   ids dense in intern order.  Interning takes a mutex — automata are
+   built from multiple domains by the bench pool — but the id→event
+   mapping is additionally published as an immutable snapshot array
+   behind an [Atomic.t], so [of_id] and [count] never lock: witness
+   decoding and scratch-array sizing from parallel shard workers must
+   not serialize on the intern mutex.  Each intern rebuilds the snapshot
+   (append-copy, O(n) — interning is a startup activity, n stays small)
+   and publishes it with [Atomic.set] before releasing the lock; readers
+   see a frozen array that is never mutated after publication. *)
 
 let mutex = Mutex.create ()
 let table : (string * bool, t) Hashtbl.t = Hashtbl.create 64
-let store = ref (Array.make 64 None)
-let next_id = ref 0
+let snapshot : t array Atomic.t = Atomic.make [||]
 
 let locked f =
   Mutex.lock mutex;
@@ -21,16 +25,13 @@ let intern name controllable =
       match Hashtbl.find_opt table key with
       | Some e -> e
       | None ->
-          let id = !next_id in
+          let s = Atomic.get snapshot in
+          let id = Array.length s in
           let e = { id; name; controllable } in
           Hashtbl.add table key e;
-          if id >= Array.length !store then begin
-            let bigger = Array.make (2 * Array.length !store) None in
-            Array.blit !store 0 bigger 0 (Array.length !store);
-            store := bigger
-          end;
-          !store.(id) <- Some e;
-          incr next_id;
+          let bigger = Array.make (id + 1) e in
+          Array.blit s 0 bigger 0 id;
+          Atomic.set snapshot bigger;
           e)
 
 let controllable name = intern name true
@@ -40,12 +41,11 @@ let is_controllable e = e.controllable
 let id e = e.id
 
 let of_id i =
-  locked (fun () ->
-      if i < 0 || i >= !next_id then
-        invalid_arg (Printf.sprintf "Event.of_id: unknown id %d" i);
-      match !store.(i) with Some e -> e | None -> assert false)
+  let s = Atomic.get snapshot in
+  if i >= 0 && i < Array.length s then s.(i)
+  else invalid_arg (Printf.sprintf "Event.of_id: unknown id %d" i)
 
-let count () = locked (fun () -> !next_id)
+let count () = Array.length (Atomic.get snapshot)
 
 let compare a b =
   if a.id = b.id then 0

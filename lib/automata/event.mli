@@ -35,12 +35,17 @@ val id : t -> int
 
 val of_id : int -> t
 (** Inverse of {!id}.  Raises [Invalid_argument] on an id never returned
-    by {!id}.  Takes the intern lock — not for hot paths; algorithms keep
-    per-automaton decode tables instead. *)
+    by {!id}.  Lock-free: reads an immutable snapshot published behind an
+    [Atomic.t], so decoding from parallel workers never serializes on the
+    intern mutex.  An id obtained through any properly synchronized
+    channel (a spawned domain, a pool task result, a barrier) is always
+    resolvable — the snapshot containing it is published before the
+    interning call returns. *)
 
 val count : unit -> int
 (** Number of interned events so far; ids range over [0 .. count()-1].
-    Useful for sizing id-indexed scratch arrays. *)
+    Useful for sizing id-indexed scratch arrays.  Lock-free, same
+    snapshot read as {!of_id}. *)
 
 val compare : t -> t -> int
 (** Total order by (name, controllability); uncontrollable sorts before

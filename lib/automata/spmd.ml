@@ -1,0 +1,102 @@
+(* Bulk-synchronous SPMD execution over scoped domains, for the parallel
+   synthesis engine.  [run ~jobs f] executes [f w barrier] on [jobs]
+   workers — worker 0 on the calling domain, the rest on freshly spawned
+   domains that are joined before [run] returns.  Workers coordinate
+   through barrier waits; between two waits each worker owns its shard
+   of the data exclusively (or reads shared data that is quiescent), so
+   the barrier's mutex is the only synchronization the phases need: it
+   publishes every write of phase r to every reader in phase r+1.
+
+   Scoped domains, not the Spectr_exec pool, on purpose: the automata
+   library sits below the exec layer in the dependency order, and
+   synthesis is routinely invoked from *inside* pool tasks (bench grids
+   synthesize per scenario cell) — blocking pool workers on a barrier
+   that other pool tasks must reach would deadlock.  Spawning is ~30 µs
+   per domain, noise against any product large enough to parallelize.
+
+   Abort protocol: a worker that raises unwinds to [run], which flips
+   the barrier's abort flag and wakes every waiter; their [wait] raises
+   [Aborted], unwinding them out of the phase loop.  The first failing
+   worker's exception (lowest worker index, deterministically) is
+   re-raised on the caller after all domains are joined. *)
+
+type barrier = {
+  m : Mutex.t;
+  c : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable phase : int;
+  mutable aborted : bool;
+}
+
+exception Aborted
+
+let make_barrier parties =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    parties;
+    arrived = 0;
+    phase = 0;
+    aborted = false;
+  }
+
+let wait b =
+  if b.parties > 1 then begin
+    Mutex.lock b.m;
+    if b.aborted then begin
+      Mutex.unlock b.m;
+      raise Aborted
+    end;
+    b.arrived <- b.arrived + 1;
+    if b.arrived = b.parties then begin
+      b.arrived <- 0;
+      b.phase <- b.phase + 1;
+      Condition.broadcast b.c;
+      Mutex.unlock b.m
+    end
+    else begin
+      let ph = b.phase in
+      while b.phase = ph && not b.aborted do
+        Condition.wait b.c b.m
+      done;
+      let ab = b.aborted in
+      Mutex.unlock b.m;
+      if ab then raise Aborted
+    end
+  end
+
+let abort b =
+  Mutex.lock b.m;
+  b.aborted <- true;
+  Condition.broadcast b.c;
+  Mutex.unlock b.m
+
+let run ~jobs f =
+  let jobs = max 1 jobs in
+  if jobs = 1 then f 0 (make_barrier 1)
+  else begin
+    let b = make_barrier jobs in
+    let failed = Array.make jobs None in
+    let body w =
+      try f w b
+      with
+      | Aborted -> ()
+      | e ->
+          failed.(w) <- Some (e, Printexc.get_raw_backtrace ());
+          abort b
+    in
+    let backtraces = Printexc.backtrace_status () in
+    let doms =
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Printexc.record_backtrace backtraces;
+              body (i + 1)))
+    in
+    body 0;
+    List.iter Domain.join doms;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      failed
+  end

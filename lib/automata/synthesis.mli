@@ -44,3 +44,40 @@ val supcon :
 val supcon_exn : plant:Automaton.t -> spec:Automaton.t -> Automaton.t
 (** Like {!supcon} but raising [Failure] on an empty result and dropping
     the statistics; convenient in examples. *)
+
+val supcon_par :
+  ?jobs:int ->
+  plant:Automaton.t ->
+  spec:Automaton.t ->
+  unit ->
+  (Automaton.t * stats, error) result
+(** Sharded parallel {!supcon}.  [jobs] workers (default 1) explore the
+    reachable product with per-shard open-addressing state tables and
+    per-worker frontiers, then run the uncontrollable/blocking fixpoint
+    over contiguous state ranges with cross-shard spill queues.
+
+    {b Determinism contract}: for any [jobs], the result — supervisor
+    states, names, transitions, {!Automaton.structural_digest} and
+    {!stats} — is byte-identical to [supcon ~plant ~spec].  The parallel
+    exploration's interim numbering is canonicalized by a sequential BFS
+    renumbering that reproduces the sequential discovery order exactly,
+    and each fixpoint pass computes a unique complete fixpoint, so its
+    removal counts are traversal-order-free. *)
+
+val supcon_modular :
+  ?jobs:int ->
+  plants:Automaton.t list ->
+  spec:Automaton.t ->
+  unit ->
+  (Automaton.t * stats, error) result
+(** Modular synthesis: the product of all plant components and the spec
+    is built {e jointly}, on the fly — only spec-feasible joint states
+    are ever materialized, so a [3^k]-state unconstrained composition
+    that the spec confines to a sliver never exists in memory.  The
+    result equals [supcon ~plant:(Compose.all plants) ~spec] up to state
+    naming (joint states are named by the flat
+    {!Automaton.product_state_name_n} join rather than the nested
+    pairwise join): same state count, same transition structure
+    ({!Automaton.isomorphic}), same {!stats}.  Deterministic in [jobs]
+    like {!supcon_par}.  Raises [Invalid_argument] when [plants] is
+    empty or the joint index space overflows the int key range. *)

@@ -8,6 +8,20 @@ let c_hits = Spectr_obs.Counters.counter "synth_cache.hits"
 let c_misses = Spectr_obs.Counters.counter "synth_cache.misses"
 let h_synthesis = Spectr_obs.Histogram.histogram "synth_cache.synthesis_ns"
 
+(* Below this many product-grid cells (plant states × spec states) the
+   sequential path wins outright: sharding, domain spawns and barrier
+   rounds cost more than the whole synthesis.  Above it, route through
+   the sharded engine when the environment grants more than one job.
+   [Synthesis.supcon_par] is pinned byte-identical to [Synthesis.supcon]
+   for any job count, so the routing is invisible to callers — including
+   this cache's digest keys. *)
+let par_threshold = 32768
+
+let jobs_for ~plant ~spec =
+  if Automaton.num_states plant * Automaton.num_states spec < par_threshold
+  then 1
+  else Pool.default_jobs ()
+
 let supcon ~plant ~spec =
   let key =
     Automaton.structural_digest plant ^ ":" ^ Automaton.structural_digest spec
@@ -16,7 +30,10 @@ let supcon ~plant ~spec =
   let result =
     Single_flight.find_or_compute cache ~key ~compute:(fun () ->
         computed := true;
-        Spectr_obs.time h_synthesis (fun () -> Synthesis.supcon ~plant ~spec))
+        Spectr_obs.time h_synthesis (fun () ->
+            match jobs_for ~plant ~spec with
+            | 1 -> Synthesis.supcon ~plant ~spec
+            | jobs -> Synthesis.supcon_par ~jobs ~plant ~spec ()))
   in
   if !computed then Spectr_obs.Counters.incr c_misses
   else Spectr_obs.Counters.incr c_hits;

@@ -868,6 +868,240 @@ let test_unescape_state_name () =
     (Automaton.unescape_state_name "plain")
 
 (* ------------------------------------------------------------------ *)
+(* Parallel synthesis: supcon_par / supcon_modular / the bugfixed      *)
+(* passes, pinned against their sequential references.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The bench's k-cluster plant family and shared budget spec, reduced:
+   the canonical many-component workload for the modular engine. *)
+let cluster_plant i =
+  let e fmt = Printf.sprintf fmt i in
+  Automaton.create ~marked:[ "Idle" ] ~name:(e "Cl%d") ~initial:"Idle"
+    ~transitions:
+      [
+        ("Idle", Event.controllable (e "start%d"), "Busy");
+        ("Busy", Event.uncontrollable (e "done%d"), "Idle");
+        ("Busy", Event.uncontrollable (e "overheat%d"), "Hot");
+        ("Hot", Event.controllable (e "cool%d"), "Idle");
+      ]
+    ()
+
+let cluster_budget_spec ~k ~cap =
+  let state j = Printf.sprintf "B%d" j in
+  let transitions = ref [] in
+  let add t = transitions := t :: !transitions in
+  for i = 1 to k do
+    let e fmt = Printf.sprintf fmt i in
+    for j = 0 to cap - 1 do
+      add (state j, Event.controllable (e "start%d"), state (j + 1));
+      add (state j, Event.uncontrollable (e "overheat%d"), state j)
+    done;
+    for j = 1 to cap do
+      add (state j, Event.uncontrollable (e "done%d"), state (j - 1));
+      add (state j, Event.controllable (e "cool%d"), state (j - 1))
+    done;
+    add (state cap, Event.uncontrollable (e "overheat%d"), "Over")
+  done;
+  Automaton.create ~marked:[ state 0 ] ~forbidden:[ "Over" ]
+    ~name:(Printf.sprintf "Bud%d" cap)
+    ~initial:(state 0) ~transitions:!transitions ()
+
+(* The tentpole's hard pin: for any job count, supcon_par returns a
+   byte-identical result — same digest (hence same states, names and
+   transitions), same stats, same Verify verdicts. *)
+let test_supcon_par_matches_sequential () =
+  for seed = 0 to 59 do
+    let plant = random_automaton ~seed ~name:"PP" in
+    let spec = random_automaton ~seed:(seed + 3000) ~name:"PS" in
+    let seq = Synthesis.supcon ~plant ~spec in
+    List.iter
+      (fun jobs ->
+        match (seq, Synthesis.supcon_par ~jobs ~plant ~spec ()) with
+        | Error Synthesis.Empty_supervisor, Error Synthesis.Empty_supervisor ->
+            ()
+        | Ok (sa, ta), Ok (sb, tb) ->
+            if
+              Automaton.structural_digest sa
+              <> Automaton.structural_digest sb
+            then
+              Alcotest.failf "seed %d jobs %d: supcon_par digest differs" seed
+                jobs;
+            if ta <> tb then
+              Alcotest.failf "seed %d jobs %d: supcon_par stats differ" seed
+                jobs;
+            let verdict s = Verify.controllable ~plant ~supervisor:s = Ok () in
+            if verdict sa <> verdict sb then
+              Alcotest.failf "seed %d jobs %d: controllability verdicts differ"
+                seed jobs
+        | Ok _, Error _ ->
+            Alcotest.failf "seed %d jobs %d: par empty, sequential not" seed
+              jobs
+        | Error _, Ok _ ->
+            Alcotest.failf "seed %d jobs %d: sequential empty, par not" seed
+              jobs)
+      [ 1; 4 ]
+  done
+
+let test_supcon_par_cluster_family () =
+  List.iter
+    (fun (k, cap) ->
+      let plant = Compose.all (List.init k (fun i -> cluster_plant (i + 1))) in
+      let spec = cluster_budget_spec ~k ~cap in
+      match
+        ( Synthesis.supcon ~plant ~spec,
+          Synthesis.supcon_par ~jobs:4 ~plant ~spec () )
+      with
+      | Ok (sa, ta), Ok (sb, tb) ->
+          check_string
+            (Printf.sprintf "k=%d digest identical" k)
+            (Automaton.structural_digest sa)
+            (Automaton.structural_digest sb);
+          check_bool (Printf.sprintf "k=%d stats identical" k) true (ta = tb)
+      | _ -> Alcotest.failf "k=%d: unexpected empty supervisor" k)
+    [ (2, 1); (4, 3); (5, 4) ]
+
+(* Modular synthesis never materializes the composed plant; its result
+   is pinned to the monolithic one up to the (flat vs nested) naming. *)
+let test_supcon_modular_matches_monolithic () =
+  List.iter
+    (fun (k, cap) ->
+      let plants = List.init k (fun i -> cluster_plant (i + 1)) in
+      let spec = cluster_budget_spec ~k ~cap in
+      let mono = Synthesis.supcon ~plant:(Compose.all plants) ~spec in
+      List.iter
+        (fun jobs ->
+          match (mono, Synthesis.supcon_modular ~jobs ~plants ~spec ()) with
+          | Ok (sa, ta), Ok (sb, tb) ->
+              check_bool
+                (Printf.sprintf "k=%d jobs=%d isomorphic" k jobs)
+                true
+                (Automaton.isomorphic sa sb);
+              check_bool
+                (Printf.sprintf "k=%d jobs=%d stats" k jobs)
+                true (ta = tb);
+              check_bool
+                (Printf.sprintf "k=%d jobs=%d nonblocking" k jobs)
+                true
+                (Verify.nonblocking sb = Ok ())
+          | _ -> Alcotest.failf "k=%d jobs=%d: unexpected empty" k jobs)
+        [ 1; 4 ])
+    [ (2, 1); (3, 2); (4, 3) ]
+
+(* Empty-supervisor edge case: the initial state is uncontrollably bad
+   on every path, sequential and parallel alike. *)
+let test_supcon_par_empty () =
+  let breaks = Event.uncontrollable "par_breaks" in
+  let plant =
+    Automaton.create ~name:"PE" ~initial:"Up"
+      ~transitions:[ ("Up", breaks, "Down") ]
+      ()
+  in
+  let spec =
+    Automaton.create ~forbidden:[ "Bad" ] ~name:"SE" ~initial:"Ok"
+      ~transitions:[ ("Ok", breaks, "Bad") ]
+      ()
+  in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "jobs=%d empty" jobs)
+        true
+        (Synthesis.supcon_par ~jobs ~plant ~spec ()
+        = Error Synthesis.Empty_supervisor))
+    [ 1; 4 ]
+
+(* A spec-private uncontrollable event is not a plant escape: the plant
+   cannot generate it, so disabling it is free.  Pinned against the
+   sequential engine, which encodes the same ownership rule. *)
+let test_supcon_par_spec_private_uncontrollable () =
+  let shared = Event.controllable "par_shared" in
+  let private_u = Event.uncontrollable "par_spec_priv" in
+  let plant =
+    Automaton.create ~name:"PV" ~initial:"P0"
+      ~transitions:[ ("P0", shared, "P1"); ("P1", shared, "P0") ]
+      ()
+  in
+  let spec =
+    Automaton.create ~marked:[ "S0" ] ~name:"SV" ~initial:"S0"
+      ~transitions:[ ("S0", shared, "S1"); ("S1", private_u, "S0") ]
+      ()
+  in
+  match
+    (Synthesis.supcon ~plant ~spec, Synthesis.supcon_par ~jobs:4 ~plant ~spec ())
+  with
+  | Ok (sa, ta), Ok (sb, tb) ->
+      check_string "digest identical" (Automaton.structural_digest sa)
+        (Automaton.structural_digest sb);
+      check_bool "stats identical" true (ta = tb);
+      (* the private uncontrollable event must have survived synthesis *)
+      check_bool "spec-private event kept" true
+        (Event.Set.mem private_u (Automaton.alphabet sb))
+  | _ -> Alcotest.fail "unexpected empty supervisor"
+
+(* Reference for the mask-based Reach.trim: the pre-fix algorithm, which
+   re-restricted the automaton and recomputed reachability every round. *)
+let ref_trim a =
+  let rec go a =
+    let n = Automaton.num_states a in
+    let acc = Reach.accessible_indices a in
+    let coa = Reach.coaccessible_indices a in
+    let keep = Array.init n (fun i -> acc.(i) && coa.(i)) in
+    match Reach.restrict_indices a keep with
+    | None -> None
+    | Some a' -> if Automaton.num_states a' = n then Some a' else go a'
+  in
+  go a
+
+let test_trim_matches_reference () =
+  for seed = 0 to 59 do
+    let a = random_automaton ~seed ~name:"TR" in
+    match (Reach.trim a, ref_trim a) with
+    | None, None -> ()
+    | Some x, Some y ->
+        if not (Automaton.isomorphic x y) then
+          Alcotest.failf "seed %d: trim differs from reference" seed;
+        if
+          List.sort String.compare (Automaton.states x)
+          <> List.sort String.compare (Automaton.states y)
+        then Alcotest.failf "seed %d: trimmed state names differ" seed
+    | Some _, None | None, Some _ ->
+        Alcotest.failf "seed %d: trim None-ness differs" seed
+  done
+
+(* Balanced Compose.all is pinned to the old left fold: parallel
+   composition is associative and commutative up to state renaming, so
+   the results must be isomorphic with equal counts (names differ — the
+   tree joins in size order). *)
+let test_compose_all_matches_fold () =
+  let check_family what comps =
+    let balanced = Compose.all comps in
+    let folded =
+      List.fold_left Compose.pair (List.hd comps) (List.tl comps)
+    in
+    check_int
+      (what ^ ": state count")
+      (Automaton.num_states folded)
+      (Automaton.num_states balanced);
+    check_int
+      (what ^ ": transition count")
+      (Automaton.num_transitions folded)
+      (Automaton.num_transitions balanced);
+    check_bool (what ^ ": isomorphic") true
+      (Automaton.isomorphic balanced folded)
+  in
+  check_family "clusters k=4" (List.init 4 (fun i -> cluster_plant (i + 1)));
+  check_family "clusters k=5" (List.init 5 (fun i -> cluster_plant (i + 1)));
+  for seed = 0 to 19 do
+    check_family
+      (Printf.sprintf "random seed %d" seed)
+      [
+        random_automaton ~seed ~name:"CA";
+        random_automaton ~seed:(seed + 4000) ~name:"CB";
+        random_automaton ~seed:(seed + 5000) ~name:"CC";
+      ]
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Dot                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1028,6 +1262,23 @@ let () =
             test_digest_deterministic;
           Alcotest.test_case "unescape_state_name" `Quick
             test_unescape_state_name;
+        ] );
+      ( "parallel-synthesis",
+        [
+          Alcotest.test_case "supcon_par matches sequential (60 seeds)" `Quick
+            test_supcon_par_matches_sequential;
+          Alcotest.test_case "supcon_par on the cluster family" `Quick
+            test_supcon_par_cluster_family;
+          Alcotest.test_case "supcon_modular matches monolithic" `Quick
+            test_supcon_modular_matches_monolithic;
+          Alcotest.test_case "supcon_par empty supervisor" `Quick
+            test_supcon_par_empty;
+          Alcotest.test_case "spec-private uncontrollable event" `Quick
+            test_supcon_par_spec_private_uncontrollable;
+          Alcotest.test_case "trim matches restrict-per-round reference" `Quick
+            test_trim_matches_reference;
+          Alcotest.test_case "balanced Compose.all matches fold" `Quick
+            test_compose_all_matches_fold;
         ] );
       ( "dot",
         [

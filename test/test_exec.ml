@@ -138,6 +138,53 @@ let test_parmap_combinators () =
       check_bool "iter barrier" true (Array.for_all (( = ) 1) hits))
 
 (* ------------------------------------------------------------------ *)
+(* Event snapshot reads under contention                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_reads_lock_free_under_contention () =
+  (* Regression for the read-path fix: [Event.of_id]/[Event.count] used
+     to take the global intern mutex on every call, serializing every
+     domain that merely *decodes* an event.  They now read an immutable
+     snapshot, so a multi-domain pool hammering reads while another task
+     interns new events must see only consistent (id, name) pairs and a
+     monotonically growing count — and finish quickly.  Under the old
+     locking this test still passes but is a convoy; under a broken
+     unsynchronized publication it fails on a torn or stale decode. *)
+  let base = Event.count () in
+  let tagged i = Printf.sprintf "contention_ev_%d" i in
+  let writer () =
+    for i = 0 to 199 do
+      ignore (Event.controllable (tagged i))
+    done;
+    0
+  in
+  let reader seed =
+    (* Decode every event interned so far, repeatedly, while the writer
+       runs; every decode must round-trip id -> t -> id. *)
+    let errors = ref 0 in
+    for _ = 1 to 2000 do
+      let n = Event.count () in
+      if n < base then incr errors;
+      let i = seed mod max 1 n in
+      let e = Event.of_id i in
+      if Event.id e <> i then incr errors
+    done;
+    !errors
+  in
+  with_pool ~jobs:4 (fun pool ->
+      let results =
+        Pool.map pool
+          (fun w -> if w = 0 then writer () else reader w)
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      check_bool "no torn or stale reads" true
+        (List.for_all (( = ) 0) results));
+  check_bool "all writes visible afterwards" true (Event.count () >= base + 200);
+  (* And the ids decode to the names the writer interned. *)
+  let e0 = Event.controllable (tagged 0) in
+  check_string "round trip by id" (tagged 0) (Event.name (Event.of_id (Event.id e0)))
+
+(* ------------------------------------------------------------------ *)
 (* Synthesis cache                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,6 +411,8 @@ let () =
             test_pool_backtrace_preserved;
           Alcotest.test_case "parmap combinators" `Quick
             test_parmap_combinators;
+          Alcotest.test_case "event reads lock-free under contention" `Quick
+            test_event_reads_lock_free_under_contention;
         ] );
       ( "single-flight",
         [
