@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke platform-smoke synth-smoke robustness check clean
+.PHONY: all build test fmt bench bench-smoke obs-smoke chaos-smoke fleet-smoke platform-smoke synth-smoke reconfig-smoke robustness check clean
 
 all: build
 
@@ -103,8 +103,38 @@ platform-smoke:
 	  [ $$code -eq 2 ] || { echo "$$f: expected exit 2, got $$code"; exit 1; }; \
 	done
 
+# Reconfiguration smoke: degraded-mode self-healing end to end.
+# Part 1 — the reconfig bench table (exynos cells only under --smoke):
+# SPECTR+R must end every permanent-fault cell reconfigured with
+# bounded excess while SPECTR+G is left in open-loop fallback with a
+# >2x QoS gap (the PASS line), and stdout must be byte-identical under
+# SPECTR_JOBS=1 and 4 (re-synthesis wall times go to stderr).
+# Part 2 — a fixed-seed chaos campaign in which EVERY cell latches one
+# permanent fault: SPECTR+R must stay invariant-clean (exit 3
+# otherwise), every cell must end on the reconfigured rung of the FDIR
+# ladder, and the campaign summary must also be job-count-independent.
+# Findings (if any) are shrunk into reconfig-artifacts/, which CI
+# uploads on failure.
+reconfig-smoke:
+	SPECTR_JOBS=1 dune exec bench/main.exe -- reconfig --smoke 2>/dev/null > /tmp/spectr-reconfig-j1.txt
+	SPECTR_JOBS=4 dune exec bench/main.exe -- reconfig --smoke 2>/dev/null > /tmp/spectr-reconfig-j4.txt
+	diff /tmp/spectr-reconfig-j1.txt /tmp/spectr-reconfig-j4.txt
+	grep -q '^  PASS' /tmp/spectr-reconfig-j4.txt
+	rm -rf reconfig-artifacts
+	SPECTR_JOBS=1 dune exec bin/spectr_cli.exe -- chaos --seed 11 --cells 12 \
+	  --variants spectr+r --kinds spike:qos:4 --max-faults 1 --kill-prob 0 \
+	  --reconfig-prob 1 --fail-on spectr+r --artifact-dir reconfig-artifacts \
+	  > /tmp/spectr-reconfig-chaos-j1.txt
+	SPECTR_JOBS=4 dune exec bin/spectr_cli.exe -- chaos --seed 11 --cells 12 \
+	  --variants spectr+r --kinds spike:qos:4 --max-faults 1 --kill-prob 0 \
+	  --reconfig-prob 1 --fail-on spectr+r --artifact-dir reconfig-artifacts \
+	  > /tmp/spectr-reconfig-chaos-j4.txt
+	diff /tmp/spectr-reconfig-chaos-j1.txt /tmp/spectr-reconfig-chaos-j4.txt
+	grep -q 'reconfig drills: 12 SPECTR+R cells — 12 end reconfigured' \
+	  /tmp/spectr-reconfig-chaos-j4.txt
+
 # What CI runs.
-check: build fmt test obs-smoke chaos-smoke fleet-smoke platform-smoke synth-smoke
+check: build fmt test obs-smoke chaos-smoke fleet-smoke platform-smoke synth-smoke reconfig-smoke
 
 clean:
 	dune clean

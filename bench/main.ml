@@ -25,6 +25,7 @@ let experiments =
     ("overhead", Overhead.run);
     ("ablations", Ablations.run);
     ("robustness", Robustness.run);
+    ("reconfig", Reconfig.run);
     ("synthesis-scale", Synthesis_scale.run);
     ("throughput", Throughput.run);
     ("fleet", Fleet.run);
@@ -43,7 +44,8 @@ let () =
   if List.mem "--smoke" flags then begin
     Synthesis_scale.smoke := true;
     Throughput.smoke := true;
-    Fleet.smoke := true
+    Fleet.smoke := true;
+    Reconfig.smoke := true
   end;
   let obs = List.mem "--obs" flags in
   (* Real monotonic clock for latency histograms; with --obs off the

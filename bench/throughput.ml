@@ -153,11 +153,11 @@ let digest_section arena =
   List.iter
     (fun v ->
       let cfg = Spectr.Scenario.default_config ~seed:42L Benchmarks.x264 in
-      let fresh, _, _ = Spectr_chaos.Campaign.make_manager v in
+      let fresh, _, _, _ = Spectr_chaos.Campaign.make_manager v in
       let d_fresh = digest_of_trace (run_config cfg fresh) in
-      let warm, _, _ = Spectr_chaos.Arena.checkout arena v in
+      let warm, _, _, _ = Spectr_chaos.Arena.checkout arena v in
       (* Second checkout exercises the reset path, not first build. *)
-      let warm, _, _ =
+      let warm, _, _, _ =
         ignore (run_config cfg warm : Trace.t);
         Spectr_chaos.Arena.checkout arena v
       in
@@ -190,7 +190,7 @@ let batch_section one_shot_rate =
     let ticks = Spectr.Scenario.total_ticks cfg in
     let cells = 64 * jobs in
     let run_cell _i =
-      let mgr, _, _ =
+      let mgr, _, _, _ =
         Spectr_chaos.Arena.checkout arena Spectr_chaos.Campaign.Spectr
       in
       ignore (run_config cfg mgr : Trace.t)

@@ -287,8 +287,8 @@ let parse_list ~what ~parse s =
              Printf.eprintf "unknown %s %S\n" what tok;
              exit 1)
 
-let chaos seed cells variants kinds max_faults kill_prob artifact_dir
-    shrink_budget max_findings fail_on require_violation =
+let chaos seed cells variants kinds max_faults kill_prob reconfig_prob
+    artifact_dir shrink_budget max_findings fail_on require_violation =
   let variants =
     match parse_list ~what:"variant" ~parse:Spectr_chaos.Campaign.variant_of_string variants with
     | [] -> Spectr_chaos.Campaign.all_variants
@@ -315,7 +315,7 @@ let chaos seed cells variants kinds max_faults kill_prob artifact_dir
   let spec =
     try
       Spectr_chaos.Campaign.default_spec ~seed ~cells ~variants ~kinds
-        ~max_faults ~kill_prob ()
+        ~max_faults ~kill_prob ~reconfig_prob ()
     with Invalid_argument msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
@@ -406,6 +406,16 @@ let chaos_cmd =
       & info [ "kill-prob" ]
           ~doc:"Probability a cell kills and hot-restarts its manager.")
   in
+  let reconfig_prob =
+    Arg.(
+      value & opt float 0.
+      & info [ "reconfig-prob" ]
+          ~doc:
+            "Probability a cell latches one PERMANENT fault (dead cluster, \
+             dead power sensor, latched DVFS rail) — the reconfiguration \
+             drill for the spectr+r variant.  0 (default) leaves existing \
+             campaigns byte-identical.")
+  in
   let artifact_dir =
     Arg.(
       value
@@ -445,7 +455,7 @@ let chaos_cmd =
        ~doc:"Run a seeded randomized fault campaign with invariant monitors")
     Term.(
       const chaos $ seed $ cells $ variants $ kinds $ max_faults $ kill_prob
-      $ artifact_dir $ shrink_budget $ max_findings $ fail_on
+      $ reconfig_prob $ artifact_dir $ shrink_budget $ max_findings $ fail_on
       $ require_violation)
 
 (* ------------------------------------------------------------------ *)

@@ -44,9 +44,9 @@ let checkout t variant =
   match Hashtbl.find_opt slots variant with
   | Some s ->
       s.sl_restore s.sl_pristine;
-      (s.sl_mgr, s.sl_sup, s.sl_guards)
+      (s.sl_mgr, s.sl_sup, s.sl_guards, None)
   | None ->
-      let mgr, sup, guards = Campaign.make_manager variant in
+      let mgr, sup, guards, handle = Campaign.make_manager variant in
       (match mgr.Spectr.Manager.persist with
       | Some p ->
           Hashtbl.replace slots variant
@@ -59,6 +59,8 @@ let checkout t variant =
             }
       | None ->
           (* No persistence hook means no way to reset state between
-             cells; such a manager is simply rebuilt every checkout. *)
+             cells; such a manager is simply rebuilt every checkout.
+             SPECTR+R lands here by design: the supervised description
+             itself is runtime state, so a warm slot cannot be reset. *)
           ());
-      (mgr, sup, guards)
+      (mgr, sup, guards, handle)

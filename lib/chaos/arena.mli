@@ -16,12 +16,17 @@ val create : unit -> t
 val checkout :
   t ->
   Campaign.variant ->
-  Spectr.Manager.t * Spectr.Supervisor.t option * Spectr.Guarded.t option
+  Spectr.Manager.t
+  * Spectr.Supervisor.t option
+  * Spectr.Guarded.t option
+  * Spectr.Spectr_manager.Reconfig.handle option
 (** Return the domain's manager for [variant], reset to its
     just-constructed state.  The first checkout per (domain, variant)
     builds the manager (gain design is shared process-wide underneath);
     later checkouts restore the pristine checkpoint.  Invalidates
-    whatever the previous checkout of this variant returned. *)
+    whatever the previous checkout of this variant returned.
+    Persist-less variants ([Spectr_r]) cannot be warmed and are rebuilt
+    on every checkout. *)
 
 val checkouts : t -> int
 (** Total checkouts served (diagnostic; approximate under parallel

@@ -1,10 +1,14 @@
 open Spectr_platform
 
-type variant = Spectr_g | Spectr | Mm_pow | Mm_perf | Siso | Fs
+type variant = Spectr_r | Spectr_g | Spectr | Mm_pow | Mm_perf | Siso | Fs
 
+(* [Spectr_r] is deliberately absent: the default round-robin variant
+   assignment of existing campaigns (and their pinned digests) must not
+   shift.  Reconfiguration campaigns opt in with [variants = [Spectr_r; …]]. *)
 let all_variants = [ Spectr_g; Spectr; Mm_pow; Mm_perf; Siso; Fs ]
 
 let variant_name = function
+  | Spectr_r -> "SPECTR+R"
   | Spectr_g -> "SPECTR+G"
   | Spectr -> "SPECTR"
   | Mm_pow -> "MM-Pow"
@@ -14,6 +18,7 @@ let variant_name = function
 
 let variant_of_string s =
   match String.lowercase_ascii s with
+  | "spectr+r" | "spectr-r" | "spectr_r" -> Spectr_r
   | "spectr+g" | "spectr-g" | "spectr_g" -> Spectr_g
   | "spectr" -> Spectr
   | "mm-pow" | "mm_pow" | "mmpow" -> Mm_pow
@@ -23,17 +28,26 @@ let variant_of_string s =
   | _ -> invalid_arg (Printf.sprintf "Campaign.variant_of_string: %S" s)
 
 let make_manager = function
+  | Spectr_r ->
+      let mgr, handle = Spectr.Spectr_manager.make_reconfigurable () in
+      (* The supervisor slot stays [None]: SPECTR+R's supervisor changes
+         identity on every hot-swap, so monitors must query the live one
+         through the handle, never a cached copy. *)
+      ( mgr,
+        None,
+        Some (Spectr.Spectr_manager.Reconfig.guard handle),
+        Some handle )
   | Spectr_g ->
       let guards = Spectr.Guarded.create () in
       let mgr, sup = Spectr.Spectr_manager.make ~guards () in
-      (mgr, Some sup, Some guards)
+      (mgr, Some sup, Some guards, None)
   | Spectr ->
       let mgr, sup = Spectr.Spectr_manager.make () in
-      (mgr, Some sup, None)
-  | Mm_pow -> (Spectr.Mm.make_pow (), None, None)
-  | Mm_perf -> (Spectr.Mm.make_perf (), None, None)
-  | Siso -> (Spectr.Siso.make (), None, None)
-  | Fs -> (Spectr.Fs.make (), None, None)
+      (mgr, Some sup, None, None)
+  | Mm_pow -> (Spectr.Mm.make_pow (), None, None, None)
+  | Mm_perf -> (Spectr.Mm.make_perf (), None, None, None)
+  | Siso -> (Spectr.Siso.make (), None, None, None)
+  | Fs -> (Spectr.Fs.make (), None, None, None)
 
 (* --- scenario shape --------------------------------------------------- *)
 
@@ -129,9 +143,13 @@ type spec = {
   kinds : Faults.kind list;
   max_faults : int;
   kill_prob : float;
+  reconfig_prob : float;
   profile : profile;
 }
 
+(* Transient kinds only — permanent faults enter a cell exclusively
+   through the reconfiguration drill, so existing campaign digests stay
+   byte-identical. *)
 let all_kinds =
   [
     Faults.Dropout Power;
@@ -145,14 +163,24 @@ let all_kinds =
     Heartbeat_stall;
   ]
 
+let permanent_kinds =
+  [
+    Faults.Cluster_dead 1;
+    Faults.Sensor_dead (Power_cluster 1);
+    Faults.Dvfs_stuck_permanent;
+  ]
+
 let default_spec ?(seed = 1) ?(cells = 64) ?(variants = all_variants)
-    ?(kinds = all_kinds) ?(max_faults = 3) ?(kill_prob = 0.25) () =
+    ?(kinds = all_kinds) ?(max_faults = 3) ?(kill_prob = 0.25)
+    ?(reconfig_prob = 0.) () =
   if cells < 1 then invalid_arg "Campaign.default_spec: cells < 1";
   if variants = [] then invalid_arg "Campaign.default_spec: no variants";
   if kinds = [] then invalid_arg "Campaign.default_spec: no fault kinds";
   if max_faults < 1 then invalid_arg "Campaign.default_spec: max_faults < 1";
   if not (kill_prob >= 0. && kill_prob <= 1.) then
     invalid_arg "Campaign.default_spec: kill_prob outside [0, 1]";
+  if not (reconfig_prob >= 0. && reconfig_prob <= 1.) then
+    invalid_arg "Campaign.default_spec: reconfig_prob outside [0, 1]";
   {
     campaign_seed = seed;
     cells;
@@ -160,6 +188,7 @@ let default_spec ?(seed = 1) ?(cells = 64) ?(variants = all_variants)
     kinds;
     max_faults;
     kill_prob;
+    reconfig_prob;
     profile = default_profile;
   }
 
@@ -197,6 +226,29 @@ let cell_of_spec spec index =
         let duration = Spectr_linalg.Prng.uniform g ~lo:0.4 ~hi:4.0 in
         let stop_s = Float.min (start_s +. duration) total in
         Faults.injection kind ~start_s ~stop_s)
+  in
+  (* Reconfiguration drill: one permanent fault, latched early enough
+     that detection (~3 s of persistence), re-synthesis and
+     re-convergence all land inside the run.  The guard on
+     [reconfig_prob > 0.] is load-bearing: it keeps the PRNG stream —
+     and therefore every existing campaign digest — untouched unless a
+     campaign opts into the drill. *)
+  let injections =
+    if
+      spec.reconfig_prob > 0.
+      && Spectr_linalg.Prng.float g < spec.reconfig_prob
+    then begin
+      let kind =
+        List.nth permanent_kinds
+          (Spectr_linalg.Prng.int g (List.length permanent_kinds))
+      in
+      let start_s =
+        Spectr_linalg.Prng.uniform g ~lo:0.5
+          ~hi:(Float.max 1.0 (total -. 8.))
+      in
+      injections @ [ Faults.permanent kind ~start_s ]
+    end
+    else injections
   in
   let kill =
     if Spectr_linalg.Prng.float g < spec.kill_prob then begin

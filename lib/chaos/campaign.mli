@@ -14,6 +14,9 @@ open Spectr_platform
 (** {1 Manager variants} *)
 
 type variant =
+  | Spectr_r
+      (** Self-healing SPECTR: guards plus FDIR-driven supervisor
+          re-synthesis ({!Spectr.Spectr_manager.make_reconfigurable}). *)
   | Spectr_g  (** SPECTR with the graceful-degradation guards armed. *)
   | Spectr  (** Unguarded SPECTR. *)
   | Mm_pow
@@ -22,20 +25,32 @@ type variant =
   | Fs
 
 val all_variants : variant list
+(** Every variant {e except} [Spectr_r], which is opt-in: adding it here
+    would shift the round-robin variant assignment (and the pinned
+    digests) of every existing campaign. *)
 
 val variant_name : variant -> string
-(** Display names matching the bench harness: ["SPECTR+G"], ["SPECTR"],
-    ["MM-Pow"], ["MM-Perf"], ["SISO"], ["FS"]. *)
+(** Display names matching the bench harness: ["SPECTR+R"],
+    ["SPECTR+G"], ["SPECTR"], ["MM-Pow"], ["MM-Perf"], ["SISO"],
+    ["FS"]. *)
 
 val variant_of_string : string -> variant
 (** Case-insensitive; accepts the display names and CLI-friendly forms
-    (["spectr+g"], ["mm-pow"], …).  Raises [Invalid_argument] otherwise. *)
+    (["spectr+r"], ["mm-pow"], …).  Raises [Invalid_argument] otherwise. *)
 
 val make_manager :
-  variant -> Spectr.Manager.t * Spectr.Supervisor.t option * Spectr.Guarded.t option
-(** Fresh manager instance plus, for the SPECTR variants, the supervisor
-    handle (the legality monitor inspects it) and, for SPECTR+G, the
-    guard state (watchdog statistics). *)
+  variant ->
+  Spectr.Manager.t
+  * Spectr.Supervisor.t option
+  * Spectr.Guarded.t option
+  * Spectr.Spectr_manager.Reconfig.handle option
+(** Fresh manager instance plus, for the static SPECTR variants, the
+    supervisor handle (the legality monitor inspects it), for the
+    guarded variants the guard state (watchdog statistics), and for
+    [Spectr_r] the reconfiguration handle.  [Spectr_r]'s supervisor
+    slot is [None] — its supervisor changes identity on every hot-swap,
+    so monitors must query {!Spectr.Spectr_manager.Reconfig.supervisor}
+    through the handle instead of caching one. *)
 
 (** {1 Scenario shape} *)
 
@@ -101,11 +116,22 @@ type spec = {
           list is the {e upper bound} of a uniform magnitude draw. *)
   max_faults : int;  (** Faults per cell drawn uniformly in [1, max]. *)
   kill_prob : float;  (** Probability a cell carries a kill drill. *)
+  reconfig_prob : float;
+      (** Probability a cell carries a reconfiguration drill: one extra
+          {e permanent} fault ({!permanent_kinds}) latched in the first
+          third of the run.  0 (the default) draws nothing from the
+          PRNG, so pre-existing campaigns keep their exact cells. *)
   profile : profile;
 }
 
 val all_kinds : Faults.kind list
-(** Every fault class, spike magnitudes bounded by 8×. *)
+(** Every {e transient} fault class, spike magnitudes bounded by 8×.
+    Permanent kinds are excluded — they enter only through the
+    reconfiguration drill. *)
+
+val permanent_kinds : Faults.kind list
+(** The reconfiguration-drill pool: a dead secondary cluster, a dead
+    secondary power sensor, a permanently latched DVFS rail. *)
 
 val default_spec :
   ?seed:int ->
@@ -114,11 +140,13 @@ val default_spec :
   ?kinds:Faults.kind list ->
   ?max_faults:int ->
   ?kill_prob:float ->
+  ?reconfig_prob:float ->
   unit ->
   spec
 (** Defaults: 64 cells over all variants and all fault kinds, up to 3
-    faults per cell, kill drills in a quarter of the cells.  Raises
-    [Invalid_argument] on empty lists or out-of-range parameters. *)
+    faults per cell, kill drills in a quarter of the cells, no
+    reconfiguration drills.  Raises [Invalid_argument] on empty lists
+    or out-of-range parameters. *)
 
 val cell_of_spec : spec -> int -> cell
 (** The [index]-th cell — a pure function of [(spec, index)]; equal

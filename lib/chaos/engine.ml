@@ -7,6 +7,8 @@ type outcome = {
   digest : string;
   watchdog_recoveries : int;
   checkpointed : bool;
+  reconfigurations : int;
+  reconfig_status : string option;
 }
 
 let digest_of_trace trace = Digest.to_hex (Digest.string (Trace.to_csv trace))
@@ -28,8 +30,16 @@ let run_cell ?arena ?limits (cell : Campaign.cell) =
       cell.Campaign.kill
   in
   let monitor = Invariants.create ?limits ~config ?kill_time () in
-  let mgr0, sup0, guards0 = make_manager () in
+  let mgr0, sup0, guards0, handle0 = make_manager () in
   let mgr = ref mgr0 and sup = ref sup0 and guards = ref guards0 in
+  let handle = ref handle0 in
+  (* SPECTR+R replaces its supervisor on every hot-swap; the legality
+     monitor must see the live one, never a cached pre-swap copy. *)
+  let live_sup () =
+    match !handle with
+    | Some h -> Some (Spectr.Spectr_manager.Reconfig.supervisor h)
+    | None -> !sup
+  in
   let runner = Spectr.Scenario.start config in
   let ckpt = ref None in
   let restarted = ref false in
@@ -52,18 +62,19 @@ let run_cell ?arena ?limits (cell : Campaign.cell) =
            heartbeat monitor, fault schedule, trace — keeps running;
            hardware does not reboot when the daemon crashes. *)
         restarted := true;
-        let m2, s2, g2 = make_manager () in
+        let m2, s2, g2, h2 = make_manager () in
         (match m2.Spectr.Manager.persist with
         | Some p -> p.Spectr.Manager.restore c
         | None -> ());
         mgr := m2;
         sup := s2;
-        guards := g2
+        guards := g2;
+        handle := h2
     | _ -> ());
     match Spectr.Scenario.tick runner ~manager:!mgr with
     | None -> ()
     | Some obs ->
-        ignore (Invariants.check monitor ~runner ~sup:!sup ~obs);
+        ignore (Invariants.check monitor ~runner ~sup:(live_sup ()) ~obs);
         loop ()
   in
   loop ();
@@ -77,6 +88,15 @@ let run_cell ?arena ?limits (cell : Campaign.cell) =
       | None -> 0
       | Some g -> List.length (Spectr.Guarded.recovery_times g));
     checkpointed = Option.is_some !ckpt;
+    reconfigurations =
+      (match !handle with
+      | None -> 0
+      | Some h -> Spectr.Spectr_manager.Reconfig.reconfigurations h);
+    reconfig_status =
+      Option.map
+        (fun h ->
+          Spectr.Spectr_manager.Reconfig.(status_label (status h)))
+        !handle;
   }
 
 let violates ?kind outcome =

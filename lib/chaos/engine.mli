@@ -20,7 +20,17 @@ type outcome = {
           traces, the replay-determinism currency of the artifacts. *)
   watchdog_recoveries : int;
       (** Completed guard degradations (0 for unguarded variants). *)
-  checkpointed : bool;  (** The kill drill actually took a snapshot. *)
+  checkpointed : bool;
+      (** The kill drill actually took a snapshot.  Always false for
+          [Spectr_r] (no persist hook), whose kill drills therefore
+          degenerate to no-ops. *)
+  reconfigurations : int;
+      (** Completed supervisor hot-swaps (0 for every variant but
+          [Spectr_r]). *)
+  reconfig_status : string option;
+      (** Final FDIR-ladder rung of a [Spectr_r] cell
+          ({!Spectr.Spectr_manager.Reconfig.status_label}); [None] for
+          other variants. *)
 }
 
 val run_cell :

@@ -91,7 +91,9 @@ type t = {
 let eps = 1e-9
 
 let is_actuator = function
-  | Faults.Dvfs_stuck | Faults.Gating_refused -> true
+  | Faults.Dvfs_stuck | Faults.Gating_refused | Faults.Dvfs_stuck_permanent
+    ->
+      true
   | _ -> false
 
 let create ?(limits = default_limits) ~config ?kill_time () =

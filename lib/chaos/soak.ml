@@ -120,6 +120,29 @@ let summary report =
         (Campaign.variant_name s.vs_variant)
         s.vs_cells s.vs_violating s.vs_violations)
     report.r_variant_stats;
+  (* Reconfiguration-drill roll-up: only SPECTR+R cells carry a ladder
+     status, so this line appears only in campaigns that ran them —
+     pre-existing campaign summaries stay byte-identical. *)
+  let r_cells =
+    List.filter
+      (fun o -> o.Engine.reconfig_status <> None)
+      report.r_outcomes
+  in
+  (if r_cells <> [] then
+     let ended s =
+       List.length
+         (List.filter (fun o -> o.Engine.reconfig_status = Some s) r_cells)
+     in
+     let swaps =
+       List.fold_left (fun a o -> a + o.Engine.reconfigurations) 0 r_cells
+     in
+     line
+       "reconfig drills: %d SPECTR+R cell%s — %d end reconfigured, %d \
+        nominal, %d fallback (%d hot-swap%s)"
+       (List.length r_cells)
+       (if List.length r_cells = 1 then "" else "s")
+       (ended "reconfigured") (ended "nominal") (ended "fallback") swaps
+       (if swaps = 1 then "" else "s"));
   (match report.r_kind_counts with
   | [] -> line "no invariant violations"
   | counts ->

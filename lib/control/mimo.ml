@@ -39,6 +39,11 @@ type t = {
   scr_m1 : Matrix.t; (* m x 1 unsaturated command *)
   scr_m2 : Matrix.t; (* m x 1 scratch *)
   last : float array; (* m, last physical command *)
+  innov : float array;
+      (* 1 entry: ‖Kalman innovation‖₂ of the last step, in normalized
+         output units — the FDIR residual monitor's signal.  A float
+         array (not a mutable float field) so the store stays unboxed in
+         this mixed record. *)
   mutable last_valid : bool;
 }
 
@@ -94,6 +99,7 @@ let create ?(z_clamp = 20.) ~gains ~initial ~inputs ~outputs ~refs () =
     scr_m1 = Matrix.zeros ~rows:m ~cols:1;
     scr_m2 = Matrix.zeros ~rows:m ~cols:1;
     last = Array.make m 0.;
+    innov = Array.make 1 0.;
     last_valid = false;
   }
 
@@ -123,6 +129,15 @@ let step_into ctrl ~measured ~dst =
   (* 2. Kalman measurement update on the predicted state *)
   Kalman.correct_into ~l:g.Lqg.l ~c:model.Statespace.c ~xhat:ctrl.xhat
     ~y:ctrl.scr_y ~tmp_p:ctrl.scr_p ~tmp_n:ctrl.scr_n1 ~dst:ctrl.scr_xf;
+  (* [correct_into] leaves the innovation y − C·x̂ in [scr_p]; its norm
+     is the model-consistency residual the FDIR layer watches.  Pure
+     extra reads — no draw, no store the control law observes. *)
+  let pd = Matrix.data ctrl.scr_p in
+  let s2 = ref 0. in
+  for i = 0 to p - 1 do
+    s2 := !s2 +. (pd.(i) *. pd.(i))
+  done;
+  ctrl.innov.(0) <- Float.sqrt !s2;
   (* 3. integrator update with the current tracking error (conditional
         anti-windup applied after saturation below) *)
   Matrix.sub_into ~dst:ctrl.scr_err ctrl.scr_r ctrl.scr_y;
@@ -205,10 +220,12 @@ let reset ctrl =
   ctrl.xhat <- Matrix.zeros ~rows:n ~cols:1;
   ctrl.z <- Matrix.zeros ~rows:p ~cols:1;
   ctrl.u_prev <- Matrix.zeros ~rows:m ~cols:1;
+  ctrl.innov.(0) <- 0.;
   ctrl.last_valid <- false
 
 let num_inputs ctrl = Array.length ctrl.inputs
 let num_outputs ctrl = Array.length ctrl.outputs
+let last_innovation_norm ctrl = ctrl.innov.(0)
 
 let last_command ctrl =
   if ctrl.last_valid then Some (Array.copy ctrl.last) else None

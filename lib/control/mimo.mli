@@ -92,6 +92,14 @@ val num_outputs : t -> int
 val last_command : t -> float array option
 (** Most recent actuator command, if any step has executed. *)
 
+val last_innovation_norm : t -> float
+(** ‖y − C·x̂‖₂ of the last step's Kalman measurement update, in
+    normalized output units — how badly the last measurement surprised
+    the identified model.  A persistently large residual means the plant
+    no longer matches the model (dead sensor, dead cluster, latched
+    actuator); the FDIR layer ([Spectr.Fdir]) watches this.  0 before
+    the first step and after {!reset}. *)
+
 (** {1 Checkpoint/restore}
 
     The controller's full mutable state — active gain label, physical

@@ -1,0 +1,252 @@
+(* Fault detection and isolation: the sensing half of the FDIR ladder
+   (healthy -> guarded -> reconfigured -> open-loop-fallback).
+
+   The detector never consults ground truth.  It watches exactly what a
+   runtime daemon on real silicon could watch:
+
+   - {e exact-zero streaks} on the power sensors, the QoS heartbeat rate
+     and the per-cluster IPS aggregates.  A live cluster's power reading
+     is never exactly 0.0 (uncore and leakage draw are strictly
+     positive, and the SoC's multiplicative sensor noise maps nonzero to
+     nonzero), so a sustained exact zero is sensor death, line dropout
+     or cluster death — never physics;
+   - {e actuation mismatches}: the per-cluster readback comparison the
+     guarded layer already performs (requested OPP vs. applied OPP);
+   - {e Kalman innovation residuals}: ‖y − C·x̂‖₂ from each cluster's
+     MIMO controller ({!Mimo.last_innovation_norm}), the
+     model-consistency signal that flags a plant that stopped matching
+     its identified model.  Residuals corroborate and are surfaced as
+     verdicts/counters, but never drive reconfiguration on their own —
+     a noisy residual must not amputate a healthy cluster.
+
+   Persistence counters (generalizing {!Guarded}'s streak logic) turn
+   raw evidence into a two-stage classification: a streak crossing
+   [transient_ticks] yields a "transient" verdict (logged, counted, no
+   action — the guarded layer's clamps already cover it); a streak
+   crossing [permanent_ticks] latches a "permanent" verdict and emits a
+   {!finding} for the reconfiguration engine.  Isolation — naming the
+   failed channel — disambiguates with cross-channel evidence: a
+   permanently-zero power sensor whose cluster still reports instruction
+   throughput is a dead {e sensor}; zero power with zero throughput is a
+   dead {e cluster}.  With no work placed on a cluster the two are
+   indistinguishable from sensors alone, and the detector deliberately
+   errs on the safe side (cluster death → the cluster is removed from
+   the supervised plant; losing a healthy-but-idle cluster costs
+   capacity, never safety).
+
+   Every verdict increments an [fdir.*] counter and, when observability
+   is enabled, appends a {!Spectr_obs.Decision_log.Fdir} entry. *)
+
+module Obs = Spectr_obs
+
+let c_transient = Obs.Counters.counter "fdir.transient_verdicts"
+let c_permanent = Obs.Counters.counter "fdir.permanent_verdicts"
+let c_cleared = Obs.Counters.counter "fdir.cleared_verdicts"
+
+type finding =
+  | Cluster_down of int
+  | Power_sensor_down of int
+  | Qos_sensor_down
+  | Dvfs_latched of int
+
+let finding_channel = function
+  | Cluster_down i -> "cluster" ^ string_of_int i
+  | Power_sensor_down i -> "power" ^ string_of_int i
+  | Qos_sensor_down -> "qos"
+  | Dvfs_latched i -> "dvfs" ^ string_of_int i
+
+(* Per-channel classification stage: quiet, transient-flagged, or
+   permanently latched (permanent never un-latches — recovery is the
+   reconfiguration engine's job, not the detector's). *)
+let quiet = 0
+let flagged = 1
+let latched = 2
+
+type t = {
+  k : int;
+  host : int;
+  transient_ticks : int;
+  permanent_ticks : int;
+  innovation_threshold : float;
+  (* Evidence streaks. *)
+  pow_zero : int array; (* per cluster: power sensor reads exact 0.0 *)
+  ips_zero : int array; (* per cluster: aggregate IPS reads exact 0.0 *)
+  mutable qos_zero : int;
+  act_bad : int array; (* per cluster: actuation readback mismatches *)
+  innov_high : int array; (* per cluster: residual above threshold *)
+  (* Classification stages per monitored channel. *)
+  pow_stage : int array;
+  mutable qos_stage : int;
+  act_stage : int array;
+  innov_stage : int array;
+  (* Permanent findings awaiting {!poll}; emitted exactly once. *)
+  mutable pending : finding list;
+}
+
+let create ?(transient_ticks = 6) ?(permanent_ticks = 60)
+    ?(innovation_threshold = 4.0) ~k ~host () =
+  if k < 1 then invalid_arg "Fdir.create: k < 1";
+  if host < 0 || host >= k then invalid_arg "Fdir.create: host out of range";
+  if transient_ticks < 1 || permanent_ticks <= transient_ticks then
+    invalid_arg "Fdir.create: want 1 <= transient_ticks < permanent_ticks";
+  if not (Float.is_finite innovation_threshold && innovation_threshold > 0.)
+  then invalid_arg "Fdir.create: innovation_threshold";
+  {
+    k;
+    host;
+    transient_ticks;
+    permanent_ticks;
+    innovation_threshold;
+    pow_zero = Array.make k 0;
+    ips_zero = Array.make k 0;
+    qos_zero = 0;
+    act_bad = Array.make k 0;
+    innov_high = Array.make k 0;
+    pow_stage = Array.make k quiet;
+    qos_stage = quiet;
+    act_stage = Array.make k quiet;
+    innov_stage = Array.make k quiet;
+    pending = [];
+  }
+
+let log_verdict ~channel ~verdict =
+  (match verdict with
+  | "transient" -> Obs.Counters.incr c_transient
+  | "permanent" -> Obs.Counters.incr c_permanent
+  | _ -> Obs.Counters.incr c_cleared);
+  if Obs.enabled () then
+    Obs.Decision_log.record (Obs.Decision_log.Fdir { channel; verdict })
+
+(* Advance one channel's stage machine given its current streak; calls
+   [isolate ()] exactly once, at the permanent crossing, to produce the
+   finding (or [None] for corroborating-only channels). *)
+let classify t ~channel ~streak ~stage ~set_stage ~isolate =
+  if stage <> latched then begin
+    if streak >= t.permanent_ticks then begin
+      set_stage latched;
+      log_verdict ~channel ~verdict:"permanent";
+      match isolate () with
+      | None -> ()
+      | Some f -> t.pending <- f :: t.pending
+    end
+    else if streak >= t.transient_ticks then begin
+      if stage = quiet then begin
+        set_stage flagged;
+        log_verdict ~channel ~verdict:"transient"
+      end
+    end
+    else if streak = 0 && stage = flagged then begin
+      set_stage quiet;
+      log_verdict ~channel ~verdict:"cleared"
+    end
+  end
+
+let[@inline] bump streak hit = if hit then streak + 1 else 0
+
+let observe t ~qos ~powers ~ips =
+  if Array.length powers <> t.k then invalid_arg "Fdir.observe: powers length";
+  if Array.length ips <> t.k then invalid_arg "Fdir.observe: ips length";
+  for i = 0 to t.k - 1 do
+    t.pow_zero.(i) <- bump t.pow_zero.(i) (powers.(i) = 0.);
+    t.ips_zero.(i) <- bump t.ips_zero.(i) (ips.(i) = 0.)
+  done;
+  t.qos_zero <- bump t.qos_zero (qos = 0.);
+  for i = 0 to t.k - 1 do
+    classify t
+      ~channel:("power" ^ string_of_int i)
+      ~streak:t.pow_zero.(i) ~stage:t.pow_stage.(i)
+      ~set_stage:(fun s -> t.pow_stage.(i) <- s)
+      ~isolate:(fun () ->
+        (* Dead sensor vs. dead cluster: does anything else prove the
+           cluster is still executing?  The host's execution witness is
+           the heartbeat rate (its IPS aggregate is not materialized on
+           the hot path); secondaries witness through their IPS sum. *)
+        let executing =
+          if i = t.host then t.qos_zero < t.permanent_ticks
+          else t.ips_zero.(i) < t.permanent_ticks
+        in
+        if executing then Some (Power_sensor_down i) else Some (Cluster_down i))
+  done;
+  classify t ~channel:"qos" ~streak:t.qos_zero ~stage:t.qos_stage
+    ~set_stage:(fun s -> t.qos_stage <- s)
+    ~isolate:(fun () ->
+      (* Host power also permanently zero means the host cluster is dead
+         — the power channel's finding already covers it. *)
+      if t.pow_zero.(t.host) >= t.permanent_ticks then None
+      else Some Qos_sensor_down)
+
+let note_actuation t ~cluster ~ok =
+  if cluster < 0 || cluster >= t.k then
+    invalid_arg "Fdir.note_actuation: cluster";
+  t.act_bad.(cluster) <- bump t.act_bad.(cluster) (not ok);
+  classify t
+    ~channel:("dvfs" ^ string_of_int cluster)
+    ~streak:t.act_bad.(cluster) ~stage:t.act_stage.(cluster)
+    ~set_stage:(fun s -> t.act_stage.(cluster) <- s)
+    ~isolate:(fun () -> Some (Dvfs_latched cluster))
+
+let note_innovation t ~cluster ~norm =
+  if cluster < 0 || cluster >= t.k then
+    invalid_arg "Fdir.note_innovation: cluster";
+  t.innov_high.(cluster) <-
+    bump t.innov_high.(cluster) (norm > t.innovation_threshold);
+  classify t
+    ~channel:("model" ^ string_of_int cluster)
+    ~streak:t.innov_high.(cluster) ~stage:t.innov_stage.(cluster)
+    ~set_stage:(fun s -> t.innov_stage.(cluster) <- s)
+    ~isolate:(fun () -> None)
+
+let poll t =
+  match t.pending with
+  | [] -> []
+  | pending ->
+      t.pending <- [];
+      List.rev pending
+
+let residual_flagged t ~cluster =
+  if cluster < 0 || cluster >= t.k then
+    invalid_arg "Fdir.residual_flagged: cluster";
+  t.innov_stage.(cluster) <> quiet
+
+(* --- checkpoint/restore ----------------------------------------------- *)
+
+type snapshot = {
+  snap_pow_zero : int array;
+  snap_ips_zero : int array;
+  snap_qos_zero : int;
+  snap_act_bad : int array;
+  snap_innov_high : int array;
+  snap_pow_stage : int array;
+  snap_qos_stage : int;
+  snap_act_stage : int array;
+  snap_innov_stage : int array;
+  snap_pending : finding list;
+}
+
+let snapshot t =
+  {
+    snap_pow_zero = Array.copy t.pow_zero;
+    snap_ips_zero = Array.copy t.ips_zero;
+    snap_qos_zero = t.qos_zero;
+    snap_act_bad = Array.copy t.act_bad;
+    snap_innov_high = Array.copy t.innov_high;
+    snap_pow_stage = Array.copy t.pow_stage;
+    snap_qos_stage = t.qos_stage;
+    snap_act_stage = Array.copy t.act_stage;
+    snap_innov_stage = Array.copy t.innov_stage;
+    snap_pending = t.pending;
+  }
+
+let restore t s =
+  if Array.length s.snap_pow_zero <> t.k then
+    invalid_arg "Fdir.restore: snapshot dimension mismatch";
+  Array.blit s.snap_pow_zero 0 t.pow_zero 0 t.k;
+  Array.blit s.snap_ips_zero 0 t.ips_zero 0 t.k;
+  t.qos_zero <- s.snap_qos_zero;
+  Array.blit s.snap_act_bad 0 t.act_bad 0 t.k;
+  Array.blit s.snap_innov_high 0 t.innov_high 0 t.k;
+  Array.blit s.snap_pow_stage 0 t.pow_stage 0 t.k;
+  t.qos_stage <- s.snap_qos_stage;
+  Array.blit s.snap_act_stage 0 t.act_stage 0 t.k;
+  Array.blit s.snap_innov_stage 0 t.innov_stage 0 t.k;
+  t.pending <- s.snap_pending

@@ -4,6 +4,14 @@ module Obs = Spectr_obs
 let c_interventions = Obs.Counters.counter "guard.interventions"
 let c_trips = Obs.Counters.counter "guard.trips"
 
+(* How long the watchdog has held the system in open-loop fallback:
+   cumulative ticks as a gauge (how much open-loop exposure this run),
+   per-span tick counts as a histogram (were the individual fallbacks
+   bounded?).  [guard.trips] alone cannot distinguish one 10 s fallback
+   from ten 50 ms blips. *)
+let g_fallback_ticks = Obs.Counters.gauge "guard.fallback_ticks"
+let h_fallback_span = Obs.Histogram.histogram "guard.fallback_span_ticks"
+
 type channel_config = {
   lo : float;
   hi : float;
@@ -36,6 +44,12 @@ type channel = {
   mutable suspect_value : float; (* last off-trend candidate level *)
   mutable last_raw : float;
   mutable same_streak : int;
+  mutable masked : bool;
+      (* A masked channel belongs to a cluster the reconfiguration
+         engine has removed from the supervised plant: its readings are
+         substituted with 0.0 and always count as healthy, so a dead
+         sensor cannot pin the watchdog in fallback forever after the
+         plant has already been reconfigured around it. *)
 }
 
 let make_channel cfg =
@@ -47,11 +61,14 @@ let make_channel cfg =
     suspect_value = nan;
     last_raw = nan;
     same_streak = 0;
+    masked = false;
   }
 
 (* Classify one sample; returns the value to hand to the controller
    (always finite once a good sample has been seen). *)
 let channel_filter ch v =
+  if ch.masked then (0., true)
+  else
   let cfg = ch.cfg in
   (* Stuck detection: real sensors are noisy, so a long bit-identical
      streak is a fault, not a coincidence. *)
@@ -108,6 +125,8 @@ type t = {
   mutable spans : (float * float option) list; (* newest first *)
   mutable substituted : int;
   mutable total : int;
+  mutable fb_ticks : int; (* cumulative ticks spent in fallback *)
+  mutable span_ticks : int; (* ticks of the span in progress *)
 }
 
 let create ?(config = default_config) ?(clusters = 2) () =
@@ -125,9 +144,30 @@ let create ?(config = default_config) ?(clusters = 2) () =
     spans = [];
     substituted = 0;
     total = 0;
+    fb_ticks = 0;
+    span_ticks = 0;
   }
 
 let clusters t = Array.length t.power_chs
+
+let set_power_masked t ~cluster on =
+  if cluster < 0 || cluster >= Array.length t.power_chs then
+    invalid_arg "Guarded.set_power_masked: cluster";
+  let ch = t.power_chs.(cluster) in
+  if ch.masked <> on then begin
+    ch.masked <- on;
+    (* Unmasking starts the channel clean — stale pre-mask streaks must
+       not trip the watchdog on the first live reading. *)
+    ch.suspects <- 0;
+    ch.same_streak <- 0;
+    ch.last_raw <- nan;
+    ch.have_good <- false
+  end
+
+let power_masked t ~cluster =
+  if cluster < 0 || cluster >= Array.length t.power_chs then
+    invalid_arg "Guarded.power_masked: cluster";
+  t.power_chs.(cluster).masked
 
 let degraded t = t.is_degraded
 let substituted_samples t = t.substituted
@@ -138,6 +178,8 @@ let recovery_times t =
   List.filter_map
     (function enter, Some exit -> Some (exit -. enter) | _, None -> None)
     (degradation_spans t)
+
+let fallback_ticks t = t.fb_ticks
 
 let enter_degraded t ~now =
   if not t.is_degraded then begin
@@ -157,6 +199,8 @@ let exit_degraded t ~now =
     (match t.spans with
     | (enter, None) :: rest -> t.spans <- (enter, Some now) :: rest
     | _ -> ());
+    Obs.Histogram.observe h_fallback_span t.span_ticks;
+    t.span_ticks <- 0;
     if Obs.enabled () then
       Obs.Decision_log.record
         (Obs.Decision_log.Guard_fallback { entered = false })
@@ -209,6 +253,11 @@ let filter t ~now ~qos ~powers =
     t.good_streak <- 0
   end;
   update_watchdog t ~now;
+  if t.is_degraded then begin
+    t.fb_ticks <- t.fb_ticks + 1;
+    t.span_ticks <- t.span_ticks + 1;
+    Obs.Counters.set g_fallback_ticks (float_of_int t.fb_ticks)
+  end;
   f
 
 type channel_snapshot = {
@@ -218,6 +267,7 @@ type channel_snapshot = {
   snap_suspect_value : float;
   snap_last_raw : float;
   snap_same_streak : int;
+  snap_masked : bool;
 }
 
 type snapshot = {
@@ -230,6 +280,8 @@ type snapshot = {
   snap_spans : (float * float option) list;
   snap_substituted : int;
   snap_total : int;
+  snap_fb_ticks : int;
+  snap_span_ticks : int;
 }
 
 let snapshot_channel ch =
@@ -240,6 +292,7 @@ let snapshot_channel ch =
     snap_suspect_value = ch.suspect_value;
     snap_last_raw = ch.last_raw;
     snap_same_streak = ch.same_streak;
+    snap_masked = ch.masked;
   }
 
 let restore_channel ch s =
@@ -248,7 +301,8 @@ let restore_channel ch s =
   ch.suspects <- s.snap_suspects;
   ch.suspect_value <- s.snap_suspect_value;
   ch.last_raw <- s.snap_last_raw;
-  ch.same_streak <- s.snap_same_streak
+  ch.same_streak <- s.snap_same_streak;
+  ch.masked <- s.snap_masked
 
 let snapshot t =
   {
@@ -261,6 +315,8 @@ let snapshot t =
     snap_spans = t.spans;
     snap_substituted = t.substituted;
     snap_total = t.total;
+    snap_fb_ticks = t.fb_ticks;
+    snap_span_ticks = t.span_ticks;
   }
 
 let restore t s =
@@ -277,7 +333,9 @@ let restore t s =
   t.is_degraded <- s.snap_is_degraded;
   t.spans <- s.snap_spans;
   t.substituted <- s.snap_substituted;
-  t.total <- s.snap_total
+  t.total <- s.snap_total;
+  t.fb_ticks <- s.snap_fb_ticks;
+  t.span_ticks <- s.snap_span_ticks
 
 let note_actuation t ~now ~ok =
   if ok then t.actuator_bad_streak <- 0

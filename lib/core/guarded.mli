@@ -100,6 +100,25 @@ val recovery_times : t -> float list
 (** Durations of the completed degradations, oldest first — the
     recovery-time metric of the robustness bench. *)
 
+val fallback_ticks : t -> int
+(** Cumulative control periods spent in open-loop fallback.  Also
+    exported as the [guard.fallback_ticks] obs gauge, with per-span tick
+    counts in the [guard.fallback_span_ticks] histogram (observed as
+    each span closes) — [guard.trips] counts fallbacks, this measures
+    how long each one lasted. *)
+
+(** {1 Channel masking (reconfiguration support)}
+
+    After the reconfiguration engine removes a dead cluster from the
+    supervised plant, that cluster's power sensor keeps reading 0 —
+    which would otherwise trip the watchdog forever.  Masking a channel
+    substitutes 0.0 and always counts it healthy; unmasking resets the
+    channel's streak state so stale evidence cannot trip on the first
+    live reading. *)
+
+val set_power_masked : t -> cluster:int -> bool -> unit
+val power_masked : t -> cluster:int -> bool
+
 (** {1 Checkpoint/restore}
 
     The watchdog's full mutable state — per-channel filter memory,
@@ -115,6 +134,7 @@ type channel_snapshot = {
   snap_suspect_value : float;
   snap_last_raw : float;
   snap_same_streak : int;
+  snap_masked : bool;
 }
 
 type snapshot = {
@@ -128,6 +148,8 @@ type snapshot = {
   snap_spans : (float * float option) list;
   snap_substituted : int;
   snap_total : int;
+  snap_fb_ticks : int;
+  snap_span_ticks : int;
 }
 
 val snapshot : t -> snapshot

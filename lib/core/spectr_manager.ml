@@ -6,6 +6,8 @@ module Obs = Spectr_obs
 let c_steps = Obs.Counters.counter "manager.steps"
 let c_degraded = Obs.Counters.counter "manager.degraded_steps"
 let c_act_mismatch = Obs.Counters.counter "guard.actuation_mismatches"
+let c_reconfigs = Obs.Counters.counter "manager.reconfigurations"
+let c_swap_ticks = Obs.Counters.counter "manager.swap_window_ticks"
 
 let design_or_fail ~seed subsystem goals =
   match Design_flow.design_gains_for ~seed subsystem goals with
@@ -192,3 +194,313 @@ let make ?(seed = 17L) ?(supervisor_divisor = 2) ?(gain_scheduling = true)
     }
   in
   ({ Manager.name; step; persist = Some persist }, sup)
+
+(* --- degraded-mode reconfiguration ------------------------------------- *)
+
+module Reconfig = struct
+  (* The FDIR ladder's reconfiguration rungs.  [Nominal] and
+     [Reconfigured] are both closed-loop (the distinction records whether
+     the supervised plant is still the boot-time description);
+     [Swapping] is the bounded open-loop window while a re-synthesized
+     supervisor is hot-swapped in; [Fallback] is the permanent open-loop
+     floor for unrecoverable faults (dead host, blind QoS sensor, or a
+     degradation the description cannot express). *)
+  type status = Nominal | Swapping | Reconfigured | Fallback
+
+  let status_label = function
+    | Nominal -> "nominal"
+    | Swapping -> "swapping"
+    | Reconfigured -> "reconfigured"
+    | Fallback -> "fallback"
+
+  type handle = {
+    host_phys : int; (* host's physical cluster index; never remapped *)
+    mutable desc : Platform_desc.t; (* current supervised description *)
+    mutable phys : int array; (* description index -> physical cluster *)
+    ctrls : Mimo.t array ref; (* description order; shared with commands *)
+    mutable sup : Supervisor.t;
+    fdir : Fdir.t;
+    guard : Guarded.t;
+    excluded : bool array; (* physical: removed from the supervised plant *)
+    dead : bool array; (* physical: believed dead — never actuated again *)
+    pinned_freq : int option array; (* physical: DVFS rail latched here *)
+    last_applied_freq : int array; (* physical: last actuation readback *)
+    mutable status : status;
+    mutable swap_left : int;
+    mutable reconfigs : int;
+    mutable resynth_s : float; (* last re-synthesis CPU seconds *)
+  }
+
+  let status h = h.status
+  let reconfigurations h = h.reconfigs
+  let platform h = h.desc
+  let supervisor h = h.sup
+  let fdir h = h.fdir
+  let guard h = h.guard
+  let last_resynth_s h = h.resynth_s
+
+  let excluded_clusters h =
+    let acc = ref [] in
+    for p = Array.length h.excluded - 1 downto 0 do
+      if h.excluded.(p) then acc := p :: !acc
+    done;
+    !acc
+
+  let log_status h =
+    if Obs.enabled () then
+      Obs.Decision_log.record
+        (Obs.Decision_log.Reconfig
+           {
+             platform = Platform_desc.name h.desc;
+             status = status_label h.status;
+           })
+end
+
+let make_reconfigurable ?(seed = 17L) ?(supervisor_divisor = 2)
+    ?(gain_scheduling = true) ?(swap_ticks = 4) ?guards
+    ?(platform = Platform_desc.exynos5422) () =
+  if supervisor_divisor < 1 then
+    invalid_arg "Spectr_manager.make_reconfigurable: supervisor_divisor < 1";
+  if swap_ticks < 1 then
+    invalid_arg "Spectr_manager.make_reconfigurable: swap_ticks < 1";
+  let k0 = Platform_desc.num_clusters platform in
+  let host_phys = Platform_desc.host platform in
+  let guard =
+    match guards with
+    | Some g ->
+        if Guarded.clusters g <> k0 then
+          invalid_arg
+            (Printf.sprintf
+               "Spectr_manager.make_reconfigurable: guard tracks %d power \
+                channels, platform has %d clusters"
+               (Guarded.clusters g) k0);
+        g
+    | None -> Guarded.create ~clusters:k0 ()
+  in
+  let subsystem_for i = Design_flow.cluster_subsystem platform i in
+  let idents =
+    Array.init k0 (fun i -> Design_flow.identify ~seed (subsystem_for i))
+  in
+  let goals =
+    [
+      { Design_flow.label = "qos"; q_y = Mm.qos_weights };
+      { Design_flow.label = "power"; q_y = Mm.power_weights };
+    ]
+  in
+  let refs_for i = if i = host_phys then [| 60.; 4. |] else [| 2.0; 0.3 |] in
+  let ctrls =
+    ref
+      (Array.init k0 (fun i ->
+           Design_flow.build_mimo idents.(i)
+             ~gains:(design_or_fail ~seed (subsystem_for i) goals)
+             ~initial:"qos" ~refs:(refs_for i)))
+  in
+  (* The command closures index through the shared [ctrls] cell, so the
+     one closure pair installed at boot keeps working across supervisor
+     hot-swaps — the freshly synthesized supervisor pushes its budgets
+     into whatever controller array is current. *)
+  let commands =
+    {
+      Supervisor.switch_gains =
+        (fun label ->
+          if gain_scheduling then
+            Array.iter (fun c -> Mimo.switch_gains c label) !ctrls);
+      set_power_ref = (fun i v -> Mimo.set_reference !ctrls.(i) ~index:1 v);
+    }
+  in
+  let sup = Supervisor.create ~platform ~commands ~envelope:5.0 () in
+  let fdir = Fdir.create ~k:k0 ~host:host_phys () in
+  let h =
+    {
+      Reconfig.host_phys;
+      desc = platform;
+      phys = Array.init k0 Fun.id;
+      ctrls;
+      sup;
+      fdir;
+      guard;
+      excluded = Array.make k0 false;
+      dead = Array.make k0 false;
+      pinned_freq = Array.make k0 None;
+      last_applied_freq = Array.make k0 0;
+      status = Reconfig.Nominal;
+      swap_left = 0;
+      reconfigs = 0;
+      resynth_s = 0.;
+    }
+  in
+  let enter_fallback () =
+    if h.status <> Reconfig.Fallback then begin
+      h.status <- Reconfig.Fallback;
+      Reconfig.log_status h
+    end
+  in
+  (* Hot-swap onto [newdesc]: surviving controllers are reused untouched
+     (the physics of a surviving cluster did not change, so neither did
+     its identified model), only the supervisor is re-synthesized — the
+     warm Synth_cache makes this sub-second — and the outgoing engine
+     state is carried across via {!Supervisor.adopt}.  The open-loop swap
+     window ([swap_ticks] periods of floor actuation) then drains before
+     the new closed loop takes over. *)
+  let resynthesize newdesc newphys newctrls =
+    let prev = Supervisor.snapshot h.sup in
+    let prev_platform = h.desc in
+    h.desc <- newdesc;
+    h.phys <- newphys;
+    h.ctrls := newctrls;
+    let t0 = Sys.time () in
+    let sup = Supervisor.create ~platform:newdesc ~commands ~envelope:5.0 () in
+    h.resynth_s <- Sys.time () -. t0;
+    Supervisor.adopt sup ~prev ~prev_platform;
+    h.sup <- sup;
+    h.reconfigs <- h.reconfigs + 1;
+    Obs.Counters.incr c_reconfigs;
+    h.status <- Reconfig.Swapping;
+    h.swap_left <- swap_ticks;
+    Reconfig.log_status h
+  in
+  let desc_index_of_phys p =
+    let r = ref (-1) in
+    Array.iteri (fun j q -> if q = p then r := j) h.phys;
+    !r
+  in
+  let without j arr =
+    Array.init
+      (Array.length arr - 1)
+      (fun i -> if i < j then arr.(i) else arr.(i + 1))
+  in
+  (* Remove physical cluster [p] from the supervised plant.  [believed_dead]
+     distinguishes a dead cluster (never actuated again) from a live
+     cluster with a dead power sensor (pinned to its floor OPP — running
+     it any faster would be unobservable power draw). *)
+  let remove_cluster p ~believed_dead =
+    if believed_dead then h.dead.(p) <- true;
+    if not h.excluded.(p) then begin
+      if p = h.host_phys then enter_fallback ()
+      else
+        match desc_index_of_phys p with
+        | -1 -> ()
+        | j -> (
+            match Platform_desc.degrade h.desc (Platform_desc.Remove_cluster j) with
+            | exception Invalid_argument _ -> enter_fallback ()
+            | newdesc ->
+                h.excluded.(p) <- true;
+                Guarded.set_power_masked guard ~cluster:p true;
+                resynthesize newdesc (without j h.phys) (without j !(h.ctrls)))
+    end
+  in
+  let handle_finding = function
+    | Fdir.Cluster_down p -> remove_cluster p ~believed_dead:true
+    | Fdir.Power_sensor_down p -> remove_cluster p ~believed_dead:false
+    | Fdir.Qos_sensor_down -> enter_fallback ()
+    | Fdir.Dvfs_latched p ->
+        if h.pinned_freq.(p) = None && not h.excluded.(p) then begin
+          match desc_index_of_phys p with
+          | -1 -> ()
+          | j -> (
+              let f = h.last_applied_freq.(p) in
+              match
+                Platform_desc.degrade h.desc
+                  (Platform_desc.Pin_opp { cluster = j; freq_mhz = f })
+              with
+              | exception Invalid_argument _ -> enter_fallback ()
+              | newdesc ->
+                  h.pinned_freq.(p) <- Some f;
+                  (* Cluster set unchanged: controllers and the
+                     description->physical map carry over as-is. *)
+                  resynthesize newdesc h.phys !(h.ctrls))
+        end
+  in
+  let tick = ref 0 in
+  (* One physical-cluster actuation with readback comparison feeding both
+     the watchdog and the FDIR detector.  A cluster whose DVFS rail is
+     known-latched is expected to read back its latched frequency — the
+     rail ignoring requests is no longer a fault once the plant has been
+     re-synthesized around it. *)
+  let actuate soc p ~freq_ghz ~cores ~now =
+    let applied = Manager.apply_cluster soc p ~freq_ghz ~cores in
+    h.last_applied_freq.(p) <- applied.Manager.freq_mhz;
+    let table = Soc.opp_table soc p in
+    let expected_freq =
+      match h.pinned_freq.(p) with
+      | Some f -> f
+      | None -> Opp.nearest table (Manager.sanitize_freq_mhz table freq_ghz)
+    in
+    let expected_cores =
+      Manager.sanitize_cores ~max_cores:(Soc.cluster_cores soc p) cores
+    in
+    let ok =
+      applied.Manager.freq_mhz = expected_freq
+      && applied.Manager.cores = expected_cores
+    in
+    if not ok then Obs.Counters.incr c_act_mismatch;
+    Guarded.note_actuation guard ~now ~ok;
+    Fdir.note_actuation fdir ~cluster:p ~ok
+  in
+  (* Conservative floor sweep: every cluster not believed dead is pinned
+     to its minimum-power configuration. *)
+  let floor_all soc ~now =
+    for p = 0 to k0 - 1 do
+      if not h.dead.(p) then actuate soc p ~freq_ghz:0.2 ~cores:1. ~now
+    done
+  in
+  let meas = Array.init k0 (fun _ -> [| 0.; 0. |]) in
+  let cmd = Array.init k0 (fun _ -> [| 0.; 0. |]) in
+  let step ~now ~qos_ref ~envelope ~obs soc =
+    Obs.Counters.incr c_steps;
+    let raw_powers = Soc.sensor_powers soc in
+    let ips = Soc.ips_totals soc in
+    (* FDIR watches the raw (pre-guard) evidence: substitution would hide
+       exactly the exact-zero streaks it needs to see. *)
+    Fdir.observe fdir ~qos:obs.Soc.qos_rate ~powers:raw_powers ~ips;
+    let f = Guarded.filter guard ~now ~qos:obs.Soc.qos_rate ~powers:raw_powers in
+    let qos = f.Guarded.qos and powers = f.Guarded.powers in
+    if h.status <> Reconfig.Fallback then List.iter handle_finding (Fdir.poll fdir);
+    incr tick;
+    match h.status with
+    | Reconfig.Fallback -> floor_all soc ~now
+    | Reconfig.Swapping ->
+        Obs.Counters.incr c_swap_ticks;
+        floor_all soc ~now;
+        h.swap_left <- h.swap_left - 1;
+        if h.swap_left <= 0 then begin
+          h.status <- Reconfig.Reconfigured;
+          Reconfig.log_status h
+        end
+    | Reconfig.Nominal | Reconfig.Reconfigured ->
+        if Guarded.degraded guard then begin
+          Obs.Counters.incr c_degraded;
+          floor_all soc ~now
+        end
+        else begin
+          let k = Array.length h.phys in
+          let host_d = Platform_desc.host h.desc in
+          let cs = !(h.ctrls) in
+          Mimo.set_reference cs.(host_d) ~index:0 qos_ref;
+          (if (!tick - 1) mod supervisor_divisor = 0 then begin
+             let total = ref 0. in
+             for j = 0 to k - 1 do
+               total := !total +. powers.(h.phys.(j))
+             done;
+             Supervisor.step h.sup ~qos ~qos_ref ~power:!total ~envelope
+           end);
+          for j = 0 to k - 1 do
+            let p = h.phys.(j) in
+            let m = meas.(j) in
+            let u = cmd.(j) in
+            m.(0) <- (if p = h.host_phys then qos else ips.(p) /. 1e9);
+            m.(1) <- powers.(p);
+            Mimo.step_into cs.(j) ~measured:m ~dst:u;
+            Fdir.note_innovation fdir ~cluster:p
+              ~norm:(Mimo.last_innovation_norm cs.(j));
+            actuate soc p ~freq_ghz:u.(0) ~cores:u.(1) ~now
+          done;
+          (* A live cluster removed from the plant (dead power sensor)
+             stays pinned to its floor. *)
+          for p = 0 to k0 - 1 do
+            if h.excluded.(p) && not h.dead.(p) then
+              actuate soc p ~freq_ghz:0.2 ~cores:1. ~now
+          done
+        end
+  in
+  ({ Manager.name = "SPECTR+R"; step; persist = None }, h)

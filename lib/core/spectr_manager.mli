@@ -36,3 +36,84 @@ val make :
     been created with [clusters] equal to the platform's cluster count.
     Raises [Invalid_argument] when [supervisor_divisor < 1] or on a
     guard/platform cluster-count mismatch. *)
+
+(** {1 Degraded-mode reconfiguration (SPECTR+R)} *)
+
+(** Handle on the reconfiguration engine of a manager built by
+    {!make_reconfigurable}: the current rung of the FDIR ladder, the
+    (possibly degraded) supervised description, and the live supervisor
+    (which changes identity on every hot-swap — do not cache it). *)
+module Reconfig : sig
+  type status =
+    | Nominal  (** Closed loop on the boot-time description. *)
+    | Swapping
+        (** Bounded open-loop window (floor actuation) while the
+            re-synthesized supervisor is swapped in. *)
+    | Reconfigured  (** Closed loop on a degraded description. *)
+    | Fallback
+        (** Permanent open-loop floor: dead host cluster, blind QoS
+            sensor, or a degradation the description cannot express. *)
+
+  val status_label : status -> string
+  (** ["nominal"], ["swapping"], ["reconfigured"] or ["fallback"] — the
+      strings used in [Decision_log.Reconfig] entries. *)
+
+  type handle
+
+  val status : handle -> status
+
+  val reconfigurations : handle -> int
+  (** Completed supervisor hot-swaps. *)
+
+  val platform : handle -> Spectr_platform.Platform_desc.t
+  (** The currently supervised description ({!status} [Reconfigured]
+      implies it differs from the boot-time description). *)
+
+  val supervisor : handle -> Supervisor.t
+  (** The live supervisor.  Replaced on every hot-swap. *)
+
+  val fdir : handle -> Fdir.t
+  val guard : handle -> Guarded.t
+
+  val last_resynth_s : handle -> float
+  (** CPU seconds spent synthesizing the most recent replacement
+      supervisor (0 before the first reconfiguration).  Warm
+      {!Synth_cache} hits make this well under a second. *)
+
+  val excluded_clusters : handle -> int list
+  (** Physical cluster indices removed from the supervised plant,
+      ascending. *)
+end
+
+val make_reconfigurable :
+  ?seed:int64 ->
+  ?supervisor_divisor:int ->
+  ?gain_scheduling:bool ->
+  ?swap_ticks:int ->
+  ?guards:Guarded.t ->
+  ?platform:Spectr_platform.Platform_desc.t ->
+  unit ->
+  Manager.t * Reconfig.handle
+(** The self-healing variant (named ["SPECTR+R"]): {!make}'s guarded
+    closed loop plus an {!Fdir} detector and a reconfiguration engine
+    walking the FDIR ladder healthy → guarded → reconfigured →
+    open-loop-fallback.
+
+    On a permanent FDIR verdict the engine derives a degraded
+    description ({!Spectr_platform.Platform_desc.degrade}), re-runs
+    supervisor synthesis on it (warm through {!Synth_cache}), maps the
+    outgoing engine state across with {!Supervisor.adopt}, and resumes
+    closed-loop control after a bounded open-loop swap window of
+    [swap_ticks] periods (default 4) at floor actuation.  Surviving
+    clusters keep their leaf controllers — their physics did not change.
+    Dead clusters are never actuated again; live clusters whose power
+    sensor died are pinned to their floor OPP; a latched DVFS rail keeps
+    its cluster in the plant on a {!Spectr_platform.Platform_desc.Pin_opp}
+    description.  Unrecoverable faults (dead host, blind QoS sensor)
+    drop to the permanent open-loop floor.
+
+    [guards] defaults to a fresh {!Guarded.create} — the guard is
+    integral to the ladder, not optional.  The manager does not support
+    checkpointing ([persist = None]): the supervised description itself
+    is runtime state.  Raises [Invalid_argument] as {!make}, or when
+    [swap_ticks < 1]. *)

@@ -222,11 +222,21 @@ let[@inline] has t eid = Automaton.step_index_raw t.auto t.current eid >= 0
    them is reserved — transient overshoots are caught by the
    critical-event feedback loop rather than by static conservatism. *)
 let[@inline] host_budget_cap t =
-  let reserved = ref 0. in
-  for i = 0 to t.k - 1 do
-    if i <> t.host then reserved := !reserved +. t.refs.(i)
-  done;
-  t.last_envelope -. (0.9 *. !reserved)
+  if t.k = 1 then
+    (* Host-only plant (a degraded description with every secondary
+       removed): there is no fine-grained secondary to absorb the last
+       watts, and the host's OPP grid is coarse — an OPP step is ~0.4 W
+       near the top of the big cluster's table — so capping at the full
+       envelope limit-cycles across it.  Cap at the supervisor's own
+       capping target instead, less half an OPP step of slack. *)
+    (t.last_envelope *. t.config.capping_target) -. 0.2
+  else begin
+    let reserved = ref 0. in
+    for i = 0 to t.k - 1 do
+      if i <> t.host then reserved := !reserved +. t.refs.(i)
+    done;
+    t.last_envelope -. (0.9 *. !reserved)
+  end
 
 let[@inline] record_rebudget t i v =
   if Obs.enabled () then
@@ -458,6 +468,64 @@ let do_step t ~qos ~qos_ref ~power ~envelope =
   feed t qos_eid;
   (* Give the budget policy a chance even when no event fired. *)
   run_controllables t
+
+(* --- hot-swap state mapping ------------------------------------------- *)
+
+(* The reconfiguration engine replaces a supervisor synthesized for the
+   healthy platform with one synthesized for the degraded description.
+   The two automata have different state spaces (different event
+   alphabets when a cluster disappeared), so the old state index is
+   meaningless in the new automaton.  The mapping rule:
+
+   1. the new supervisor starts at its {e initial} state (the only state
+      guaranteed to exist and to be safe in the new automaton);
+   2. the outgoing budget references carry over {e by cluster name} —
+      clusters removed by the degradation drop their allocation, the
+      survivors' carry-overs are re-clamped against the (possibly
+      smaller) envelope through the normal [set_host]/[set_secondary]
+      clamps, so the carried configuration is expressible in the new
+      automaton's budget lattice;
+   3. the gains mode carries over by replaying the uncontrollable
+      history that would have produced it: a supervisor that was capping
+      ("power" mode) re-enters capping by feeding [aboveTarget] from the
+      initial state and letting the policy fire [switchPower], keeping
+      the capping dwell-age so un-capping hysteresis does not restart;
+   4. one ordinary [do_step] on the last carried measurements settles
+      the band events, so the first live tick after the swap sees a
+      supervisor already consistent with the measured world.
+
+   Everything else (Kalman states, integrators) lives in the MIMO layer
+   and is carried there by reusing the surviving controllers. *)
+let adopt t ~prev ~prev_platform =
+  let kp = Platform_desc.num_clusters prev_platform in
+  if Array.length prev.snap_refs <> kp then
+    invalid_arg
+      (Printf.sprintf "Supervisor.adopt: %d budget refs, previous platform \
+                       has %d clusters"
+         (Array.length prev.snap_refs) kp);
+  let qos = prev.snap_last_qos in
+  let qos_ref = prev.snap_last_qos_ref in
+  let power = prev.snap_last_power in
+  let envelope = prev.snap_last_envelope in
+  t.last_qos <- qos;
+  t.last_qos_ref <- qos_ref;
+  t.last_power <- power;
+  if Float.is_finite envelope && envelope > 0. then t.last_envelope <- envelope;
+  Array.iteri
+    (fun j v ->
+      match
+        Platform_desc.find_cluster t.platform
+          (Platform_desc.cluster_name prev_platform j)
+      with
+      | None -> () (* removed by the degradation: allocation dropped *)
+      | Some i -> if i = t.host then set_host t v else set_secondary t i v)
+    prev.snap_refs;
+  if prev.snap_mode = "power" && t.mode <> "power" then begin
+    feed t id_above_target;
+    if t.mode <> "power" && has t id_switch_power then execute t id_switch_power;
+    if t.mode = "power" then t.mode_age <- prev.snap_mode_age
+  end;
+  do_step t ~qos ~qos_ref ~power ~envelope
 
 (* One supervisory invocation: counted and latency-timed when
    observability is enabled; otherwise exactly [do_step]. *)

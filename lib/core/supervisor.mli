@@ -144,3 +144,20 @@ val restore : t -> snapshot -> unit
     state index outside the automaton, an unknown mode, or a budget
     array whose length does not match the platform (a corrupted
     checkpoint must fail loudly, not walk an illegal state). *)
+
+(** {1 Hot-swap state mapping (reconfiguration support)} *)
+
+val adopt : t -> prev:snapshot -> prev_platform:Platform_desc.t -> unit
+(** Map the outgoing supervisor's state onto [t], a freshly created
+    supervisor synthesized for a (typically degraded) platform whose
+    automaton need not share the old state space.  The mapping rule —
+    the new automaton starts at its {e initial} state; budgets carry
+    over by cluster name (removed clusters drop theirs, survivors are
+    re-clamped); "power" gain mode carries over by replaying the
+    uncontrollable capping history ([aboveTarget] → [switchPower]) from
+    the initial state, keeping the capping dwell age; one ordinary step
+    on the last carried measurements then settles the band events — is
+    documented in full in DESIGN.md §17.  [restore] is its dual for the
+    {e same} automaton; [adopt] is for a {e different} one.  Raises
+    [Invalid_argument] when [prev]'s budget count does not match
+    [prev_platform]. *)

@@ -21,6 +21,12 @@ let clamp lo hi x = Float.min hi (Float.max lo x)
    applied one level up. *)
 let default_headroom = 0.05
 
+(* The most a node can usefully be budgeted: its reported degraded
+   capacity (a reconfigured node cannot convert budget beyond it into
+   work), never below the boot floor, never above chip TDP. *)
+let capacity ~(config : Node.config) (r : Node.report) =
+  clamp config.cap_floor config.node_tdp r.Node.r_max_power
+
 (* A node's demand for next epoch, anchored on what it actually drew:
    a node meeting its reference asks for its draw plus a 5 % margin
    (freeing the rest of its cap), while QoS debt scales the ask up to
@@ -28,14 +34,16 @@ let default_headroom = 0.05
    cap — is what keeps demands heterogeneous when every node is
    somewhat starved: the old cap-anchored rule saturated the whole
    fleet at TDP and degenerated water-filling into an even split.
-   Dead nodes hold the floor — their allocation is reclaimable but
-   they must be able to boot. *)
+   Dead nodes are excluded outright (demand 0): their entire former
+   allocation redistributes to the survivors in the same epoch, and
+   {!Node.set_cap}'s floor clamp still guarantees a later reboot can
+   run its minimum-power configuration. *)
 let demand ~(config : Node.config) ~epoch_s (r : Node.report) =
-  if not r.Node.r_alive then config.cap_floor
+  if not r.Node.r_alive then 0.
   else begin
     let debt_frac = clamp 0. 1. (r.Node.r_debt /. epoch_s) in
     let want = r.Node.r_power *. (1.05 +. (0.8 *. debt_frac)) in
-    clamp config.cap_floor config.node_tdp want
+    clamp config.cap_floor (capacity ~config r) want
   end
 
 let rebudget ?(headroom = default_headroom) ~policy ~global_cap
@@ -45,38 +53,62 @@ let rebudget ?(headroom = default_headroom) ~policy ~global_cap
   else begin
     let floor = config.cap_floor and tdp = config.node_tdp in
     let budget = global_cap *. (1. -. headroom) in
+    let alive = Array.map (fun r -> r.Node.r_alive) reports in
+    let n_alive = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
+    (* Dead nodes get 0 in every coordinated policy — exclusion, not a
+       parked floor allocation.  Only alive nodes draw on the budget. *)
+    let masked caps = Array.mapi (fun i c -> if alive.(i) then c else 0.) caps in
     match policy with
-    | Uncoordinated -> Array.make n tdp
+    | Uncoordinated ->
+        (* The no-coordination baseline: a node enforces its own chip
+           TDP and nobody reclaims anything — dead or degraded. *)
+        Array.make n tdp
     | Static_split ->
-        Array.make n (clamp floor tdp (budget /. float_of_int n))
+        if n_alive = 0 then Array.make n 0.
+        else
+          let share = budget /. float_of_int n_alive in
+          masked
+            (Array.map
+               (fun r -> clamp floor (capacity ~config r) share)
+               reports)
     | Water_filling ->
-        let demands = Array.map (demand ~config ~epoch_s) reports in
-        let alloc_sum level =
-          let s = ref 0. in
-          for i = 0 to n - 1 do
-            s := !s +. Float.max floor (Float.min demands.(i) level)
-          done;
-          !s
-        in
-        let total_demand = alloc_sum tdp in
-        if total_demand <= budget then
-          (* Budget is abundant: everyone gets their demand. *)
-          Array.map (fun d -> Float.max floor d) demands
-        else if alloc_sum floor >= budget then
-          (* Infeasible below n × floor: hold every node at its floor
-             (the closest feasible point the node interface allows). *)
-          Array.make n floor
+        if n_alive = 0 then Array.make n 0.
         else begin
-          (* Bisect the water level λ so Σ max floor (min demand λ)
-             meets the cap.  [lo] keeps the under-budget invariant; a
-             fixed iteration count keeps the result bit-deterministic
-             regardless of inputs. *)
-          let lo = ref floor and hi = ref tdp in
-          for _ = 1 to 60 do
-            let mid = 0.5 *. (!lo +. !hi) in
-            if alloc_sum mid <= budget then lo := mid else hi := mid
-          done;
-          let level = !lo in
-          Array.map (fun d -> Float.max floor (Float.min d level)) demands
+          let demands = Array.map (demand ~config ~epoch_s) reports in
+          (* Dead nodes have demand 0 < floor, so [max floor] must skip
+             them: allocations apply the floor only to alive nodes. *)
+          let alloc i level =
+            if alive.(i) then Float.max floor (Float.min demands.(i) level)
+            else 0.
+          in
+          let alloc_sum level =
+            let s = ref 0. in
+            for i = 0 to n - 1 do
+              s := !s +. alloc i level
+            done;
+            !s
+          in
+          let total_demand = alloc_sum tdp in
+          if total_demand <= budget then
+            (* Budget is abundant: everyone gets their demand. *)
+            Array.init n (fun i -> alloc i tdp)
+          else if alloc_sum floor >= budget then
+            (* Infeasible below n_alive × floor: hold every alive node
+               at its floor (the closest feasible point the node
+               interface allows). *)
+            masked (Array.make n floor)
+          else begin
+            (* Bisect the water level λ so Σ max floor (min demand λ)
+               meets the cap.  [lo] keeps the under-budget invariant; a
+               fixed iteration count keeps the result bit-deterministic
+               regardless of inputs. *)
+            let lo = ref floor and hi = ref tdp in
+            for _ = 1 to 60 do
+              let mid = 0.5 *. (!lo +. !hi) in
+              if alloc_sum mid <= budget then lo := mid else hi := mid
+            done;
+            let level = !lo in
+            Array.init n (fun i -> alloc i level)
+          end
         end
   end

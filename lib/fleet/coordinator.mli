@@ -47,10 +47,18 @@ val rebudget :
   float array
 (** New cap per report index (same order as the input).  [epoch_s] is
     the reported epoch's duration in seconds — it normalizes each
-    node's QoS debt into a starvation fraction.  Every cap lies in
-    [[config.cap_floor, config.node_tdp]]; writing
-    [budget = global_cap × (1 - headroom)], the two coordinated
-    policies' caps sum to at most [budget] whenever
-    [budget >= n × cap_floor] (below that floor the problem is
-    infeasible and every node gets [cap_floor]).  Deterministic: fixed
-    bisection iteration count, fixed summation order. *)
+    node's QoS debt into a starvation fraction.
+
+    Under the two coordinated policies dead nodes ([r_alive = false])
+    are {e excluded}: they are allocated 0 and their former share
+    redistributes to the survivors within the same rebudget call
+    ({!Node.set_cap}'s floor clamp still lets a later reboot run its
+    minimum-power configuration).  Alive nodes' caps lie in
+    [[config.cap_floor, min config.node_tdp r_max_power]] — a
+    reconfigured node's allocation is capped at its reported degraded
+    capacity, freeing headroom its silicon can no longer use.  Writing
+    [budget = global_cap × (1 - headroom)], the coordinated caps sum to
+    at most [budget] whenever [budget >= n_alive × cap_floor] (below
+    that floor the problem is infeasible and every alive node gets
+    [cap_floor]).  Deterministic: fixed bisection iteration count,
+    fixed summation order. *)

@@ -24,6 +24,9 @@ type t = {
   workload : Workload.t;
   platform : Platform_desc.t;
   qos_ref : float;
+  reconfigurable : bool;
+  full_power_est : float; (* healthy-description capacity anchor *)
+  mutable reconfig : Spectr.Spectr_manager.Reconfig.handle option;
   mutable soc : Soc.t;
   mutable hb : Heartbeats.t;
   mutable manager : Spectr.Manager.t;
@@ -77,13 +80,25 @@ let make_soc t generation =
     done;
     soc
 
+let make_manager ~reconfigurable platform =
+  if reconfigurable then begin
+    let manager, handle =
+      Spectr.Spectr_manager.make_reconfigurable ~platform ()
+    in
+    (manager, Some handle)
+  end
+  else
+    let manager, _sup = Spectr.Spectr_manager.make ~platform () in
+    (manager, None)
+
 let create ?(config = default_config)
-    ?(platform = Platform_desc.exynos5422) ~id ~seed ~workload () =
+    ?(platform = Platform_desc.exynos5422) ?(reconfigurable = false) ~id
+    ~seed ~workload () =
   if config.node_tdp <= 0. || config.cap_floor <= 0. then
     invalid_arg "Node.create: non-positive tdp/floor";
   let qos_ref = qos_ref_for platform workload in
   let soc = (make_soc seed 0) platform workload in
-  let manager, _sup = Spectr.Spectr_manager.make ~platform () in
+  let manager, reconfig = make_manager ~reconfigurable platform in
   {
     id;
     config;
@@ -91,6 +106,9 @@ let create ?(config = default_config)
     workload;
     platform;
     qos_ref;
+    reconfigurable;
+    full_power_est = Platform_desc.max_power_estimate platform;
+    reconfig;
     soc;
     hb = Heartbeats.create ~window:config.hb_window ~reference:qos_ref ();
     manager;
@@ -120,6 +138,39 @@ let background t = t.bg
 let last_true_power t = t.last_power
 let kills t = t.kills
 let restarts t = t.restarts
+let reconfig_handle t = t.reconfig
+
+(* Degraded capacity: the most the node's {e current} (possibly
+   degraded) description can draw, as a fraction of the healthy
+   description's estimate, scaled onto the chip TDP.  A healthy node
+   reports exactly [node_tdp]; a node that reconfigured around a dead
+   cluster reports less, and the coordinator stops budgeting power the
+   silicon can no longer convert into work. *)
+let max_power t =
+  match t.reconfig with
+  | None -> t.config.node_tdp
+  | Some h ->
+      let est =
+        Platform_desc.max_power_estimate
+          (Spectr.Spectr_manager.Reconfig.platform h)
+      in
+      let frac =
+        if t.full_power_est > 0. then Float.min 1. (est /. t.full_power_est)
+        else 1.
+      in
+      Float.max t.config.cap_floor (t.config.node_tdp *. frac)
+
+let inject_permanent t kind =
+  if not (Faults.is_permanent kind) then
+    invalid_arg "Node.inject_permanent: not a permanent fault kind";
+  if t.alive then begin
+    let now = t.obs.Soc.time in
+    let prev =
+      match Soc.faults t.soc with None -> [] | Some f -> Faults.injections f
+    in
+    Soc.set_faults t.soc
+      (Some (Faults.create (prev @ [ Faults.permanent kind ~start_s:now ])))
+  end
 
 let set_cap t cap =
   let cap = Float.min t.config.node_tdp (Float.max t.config.cap_floor cap) in
@@ -216,8 +267,14 @@ let restart t =
     (* The manager daemon restarts from scratch and restores its last
        persisted checkpoint — the chaos engine's kill-drill mechanics at
        node granularity.  Never-checkpointed nodes come back cold. *)
-    let manager, _sup = Spectr.Spectr_manager.make ~platform:t.platform () in
+    let manager, reconfig =
+      make_manager ~reconfigurable:t.reconfigurable t.platform
+    in
     t.manager <- manager;
+    (* A restart is new hardware: the fault schedule does not carry
+       over, and a reconfigurable node comes back on the full healthy
+       description (its FDIR starts from scratch). *)
+    t.reconfig <- reconfig;
     (match (t.saved, manager.Spectr.Manager.persist) with
     | Some c, Some p -> p.Spectr.Manager.restore c
     | _ -> ());
@@ -232,6 +289,7 @@ let restart t =
 type report = {
   r_id : int;
   r_alive : bool;
+  r_max_power : float;
   r_cap : float;
   r_power : float;
   r_sensor_power : float;
@@ -252,6 +310,7 @@ let report t =
     {
       r_id = t.id;
       r_alive = t.alive;
+      r_max_power = max_power t;
       r_cap = t.cap;
       r_power = mean t.e_power;
       r_sensor_power = mean t.e_sensor;

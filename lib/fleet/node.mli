@@ -45,6 +45,7 @@ type t
 val create :
   ?config:config ->
   ?platform:Platform_desc.t ->
+  ?reconfigurable:bool ->
   id:int ->
   seed:int64 ->
   workload:Workload.t ->
@@ -57,7 +58,16 @@ val create :
     microseconds, not the full LQG pipeline), QoS reference derived as
     in {!Spectr.Scenario.default_config} (60 FPS for x264 on the
     reference Exynos, else 75 % of the workload's maximum rate on the
-    description's host cluster).  The initial cap is [node_tdp]. *)
+    description's host cluster).  The initial cap is [node_tdp].
+
+    [reconfigurable:true] runs the node under the self-healing
+    {!Spectr.Spectr_manager.make_reconfigurable} manager (SPECTR+R): an
+    on-node FDIR monitor that isolates permanent faults and hot-swaps a
+    supervisor re-synthesized for the degraded description.  The node
+    then reports a reduced [r_max_power] capacity so the coordinator
+    can re-budget the lost headroom to healthy nodes.  SPECTR+R does not
+    checkpoint ([persist = None]): a {!restart} always comes back cold,
+    on the full healthy description. *)
 
 val id : t -> int
 val workload_name : t -> string
@@ -119,11 +129,33 @@ val restart : t -> unit
 val kills : t -> int
 val restarts : t -> int
 
+val reconfig_handle : t -> Spectr.Spectr_manager.Reconfig.handle option
+(** The reconfiguration-engine handle of a node created with
+    [reconfigurable:true] ([None] otherwise).  Replaced by {!restart} —
+    do not cache it across reboots. *)
+
+val inject_permanent : t -> Spectr_platform.Faults.kind -> unit
+(** Fault drill: latch a permanent hardware fault
+    ({!Spectr_platform.Faults.is_permanent}) onto the node's SoC,
+    starting now.  Composes with any injections already attached.  A
+    later {!restart} clears it — a rebooted node is new hardware.
+    No-op on a dead node; raises [Invalid_argument] on a transient
+    kind. *)
+
 (** {1 Epoch reporting} *)
 
 type report = {
   r_id : int;
   r_alive : bool;
+  r_max_power : float;
+      (** Degraded capacity (W): the most this node's {e current}
+          platform description can draw — [node_tdp] for a healthy
+          node, proportionally less after a reconfiguration removed a
+          cluster ({!Spectr_platform.Platform_desc.max_power_estimate}
+          ratio of degraded vs healthy description, floored at
+          [cap_floor]).  The coordinator caps the node's allocation
+          here: budget beyond a degraded node's capacity is dead
+          headroom better spent on healthy nodes. *)
   r_cap : float;  (** Cap in force during the reported epoch (W). *)
   r_power : float;  (** Epoch-mean ground-truth chip power (W). *)
   r_sensor_power : float;  (** Epoch-mean sensed chip power (W). *)

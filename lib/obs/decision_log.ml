@@ -12,6 +12,8 @@ type decision =
   | Rebudget of { target : string; value : float }
   | Guard_fallback of { entered : bool }
   | Fault of { active : int; onset : bool }
+  | Fdir of { channel : string; verdict : string }
+  | Reconfig of { platform : string; status : string }
 
 type entry = { seq : int; t_ns : int64; decision : decision }
 
@@ -87,6 +89,8 @@ let kind_of = function
   | Rebudget _ -> "rebudget"
   | Guard_fallback _ -> "guard_fallback"
   | Fault _ -> "fault"
+  | Fdir _ -> "fdir"
+  | Reconfig _ -> "reconfig"
 
 let decision_fields = function
   | Event_fired { event; controllable } ->
@@ -100,6 +104,12 @@ let decision_fields = function
   | Guard_fallback { entered } -> Printf.sprintf "\"entered\":%b" entered
   | Fault { active; onset } ->
       Printf.sprintf "\"active\":%d,\"onset\":%b" active onset
+  | Fdir { channel; verdict } ->
+      Printf.sprintf "\"channel\":\"%s\",\"verdict\":\"%s\""
+        (json_escape channel) (json_escape verdict)
+  | Reconfig { platform; status } ->
+      Printf.sprintf "\"platform\":\"%s\",\"status\":\"%s\""
+        (json_escape platform) (json_escape status)
 
 let entry_to_json e =
   Printf.sprintf "{\"seq\":%d,\"t_ns\":%Ld,\"kind\":\"%s\",%s}" e.seq e.t_ns

@@ -23,6 +23,14 @@ type decision =
   | Fault of { active : int; onset : bool }
       (** The fault schedule became active ([onset]) or cleared; [active]
           is the number of concurrently active injections. *)
+  | Fdir of { channel : string; verdict : string }
+      (** The fault detector classified [channel] (e.g. ["power1"],
+          ["dvfs0"], ["cluster1"]) as ["transient"], ["permanent"] or
+          ["cleared"]. *)
+  | Reconfig of { platform : string; status : string }
+      (** The reconfiguration engine changed rung on the FDIR ladder:
+          [status] is ["swapping"], ["reconfigured"] or ["fallback"],
+          [platform] the (possibly degraded) description name. *)
 
 type entry = { seq : int; t_ns : int64; decision : decision }
 

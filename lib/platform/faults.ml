@@ -13,8 +13,17 @@ type kind =
   | Dvfs_stuck
   | Gating_refused
   | Heartbeat_stall
+  | Cluster_dead of int
+  | Sensor_dead of sensor
+  | Dvfs_stuck_permanent
 
 let spike_probability = 0.3
+
+let is_permanent = function
+  | Cluster_dead _ | Sensor_dead _ | Dvfs_stuck_permanent -> true
+  | Dropout _ | Stuck_at_last _ | Spike_burst _ | Dvfs_stuck | Gating_refused
+  | Heartbeat_stall ->
+      false
 
 let validate_sensor = function
   | Power_cluster i when i < 0 || i >= max_clusters ->
@@ -30,23 +39,46 @@ let validate_kind = function
         invalid_arg
           (Printf.sprintf "Faults: spike magnitude %g not finite and positive"
              mag)
-  | Dropout s | Stuck_at_last s -> validate_sensor s
+  | Dropout s | Stuck_at_last s | Sensor_dead s -> validate_sensor s
+  | Cluster_dead i when i < 0 || i >= max_clusters ->
+      invalid_arg
+        (Printf.sprintf "Faults: dead cluster %d not in 0..%d" i
+           (max_clusters - 1))
   | _ -> ()
 
 type injection = { fault : kind; start_s : float; stop_s : float }
 
+(* Permanent faults are onset-only: their window never closes
+   ([stop_s = infinity], which [window_active]'s [now < stop_s] handles
+   without a special case and which %.17g/"float_of_string" round-trip
+   as "inf").  Transient faults keep the original finite-window rule;
+   giving a permanent kind a finite stop (or a transient kind an
+   infinite one) is a schedule bug and rejected loudly. *)
 let injection fault ~start_s ~stop_s =
   validate_kind fault;
   if not (Float.is_finite start_s) || start_s < 0. then
     invalid_arg
       (Printf.sprintf "Faults.injection: onset %g negative or not finite"
          start_s);
-  if not (Float.is_finite stop_s) || stop_s <= start_s then
+  if is_permanent fault then begin
+    if stop_s <> Float.infinity then
+      invalid_arg
+        (Printf.sprintf
+           "Faults.injection: permanent fault %s requires stop_s = inf, got %g"
+           (match fault with
+           | Cluster_dead i -> Printf.sprintf "cluster-dead:%d" i
+           | Sensor_dead _ -> "sensor-dead"
+           | _ -> "dvfs-stuck-perm")
+           stop_s)
+  end
+  else if not (Float.is_finite stop_s) || stop_s <= start_s then
     invalid_arg
       (Printf.sprintf
          "Faults.injection: window [%g, %g) has non-positive duration" start_s
          stop_s);
   { fault; start_s; stop_s }
+
+let permanent fault ~start_s = injection fault ~start_s ~stop_s:Float.infinity
 
 type t = {
   injections : injection list;
@@ -82,9 +114,17 @@ let active_count t ~now =
 let active_on t ~now pred =
   List.exists (fun i -> window_active i ~now && pred i.fault) t.injections
 
-let dvfs_stuck t ~now = active_on t ~now (fun f -> f = Dvfs_stuck)
+let dvfs_stuck t ~now =
+  active_on t ~now (fun f -> f = Dvfs_stuck || f = Dvfs_stuck_permanent)
+
 let gating_refused t ~now = active_on t ~now (fun f -> f = Gating_refused)
 let heartbeat_stalled t ~now = active_on t ~now (fun f -> f = Heartbeat_stall)
+let cluster_dead t ~now ~cluster = active_on t ~now (fun f -> f = Cluster_dead cluster)
+
+let any_cluster_dead t ~now =
+  active_on t ~now (function Cluster_dead _ -> true | _ -> false)
+
+let has_permanent t = List.exists (fun i -> is_permanent i.fault) t.injections
 
 (* Sensor transforms compose in severity order: a spike burst corrupts a
    live reading, stuck-at freezes it, dropout kills it outright.
@@ -102,7 +142,8 @@ let apply_sensor t ~now ~matches ~get_last ~set_last v =
         | _ -> v)
       v t.injections
   in
-  if active (function Dropout s -> matches s | _ -> false) then 0.
+  if active (function Dropout s | Sensor_dead s -> matches s | _ -> false)
+  then 0.
   else if active (function Stuck_at_last s -> matches s | _ -> false) then
     get_last ()
   else begin
@@ -194,6 +235,9 @@ let kind_to_string = function
   | Dvfs_stuck -> "dvfs-stuck"
   | Gating_refused -> "gating-refused"
   | Heartbeat_stall -> "heartbeat-stall"
+  | Cluster_dead i -> "cluster-dead:" ^ string_of_int i
+  | Sensor_dead s -> "sensor-dead:" ^ sensor_to_string s
+  | Dvfs_stuck_permanent -> "dvfs-stuck-perm"
 
 let float_field ~what s =
   match float_of_string_opt s with
@@ -210,6 +254,12 @@ let kind_of_string s =
     | [ "dvfs-stuck" ] -> Dvfs_stuck
     | [ "gating-refused" ] -> Gating_refused
     | [ "heartbeat-stall" ] -> Heartbeat_stall
+    | [ "cluster-dead"; i ] -> (
+        match int_of_string_opt i with
+        | Some i -> Cluster_dead i
+        | None -> invalid_arg (Printf.sprintf "Faults: bad cluster %S" i))
+    | [ "sensor-dead"; sensor ] -> Sensor_dead (sensor_of_string sensor)
+    | [ "dvfs-stuck-perm" ] -> Dvfs_stuck_permanent
     | _ -> invalid_arg (Printf.sprintf "Faults.kind_of_string: %S" s)
   in
   validate_kind kind;

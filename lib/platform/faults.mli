@@ -46,10 +46,26 @@ type kind =
       (** The QoS monitor reports no progress while the app still runs
           (the {!Soc} zeroes the heartbeat-rate sensor; scenario drivers
           additionally stop delivering beats to their monitor). *)
+  | Cluster_dead of int
+      (** {e Permanent}: the cluster stops executing — zero capacity,
+          zero power draw, zero per-core IPS; actuation requests against
+          it are ignored.  Onset-only ([stop_s] must be [infinity]). *)
+  | Sensor_dead of sensor
+      (** {e Permanent}: the sensor reads 0 forever (a dead line that
+          never heals, unlike the transient {!Dropout}).  Onset-only. *)
+  | Dvfs_stuck_permanent
+      (** {e Permanent}: {!Soc.set_frequency} is ignored forever — a
+          latched DVFS rail, unlike the transient {!Dvfs_stuck}.
+          Onset-only. *)
 
 val spike_probability : float
 (** Per-sample probability that a {!Spike_burst} sample actually spikes
     (0.3). *)
+
+val is_permanent : kind -> bool
+(** Permanent kinds never clear: their injection windows are onset-only
+    ([stop_s = infinity]) and recovery requires reconfiguration (FDIR),
+    not waiting. *)
 
 type injection = { fault : kind; start_s : float; stop_s : float }
 
@@ -57,9 +73,15 @@ val injection : kind -> start_s:float -> stop_s:float -> injection
 (** Convenience constructor.  Raises [Invalid_argument] with a precise
     message when the onset is negative or non-finite, the window has a
     non-positive duration ([stop_s <= start_s] or non-finite), or a
-    {!Spike_burst} magnitude is not finite and positive.  {!create}
-    applies the same validation to every element, so a schedule that was
-    constructed successfully never silently misapplies. *)
+    {!Spike_burst} magnitude is not finite and positive.  Permanent
+    kinds ({!is_permanent}) invert the window rule: they require
+    [stop_s = infinity] and reject finite stops.  {!create} applies the
+    same validation to every element, so a schedule that was constructed
+    successfully never silently misapplies. *)
+
+val permanent : kind -> start_s:float -> injection
+(** [permanent k ~start_s] = [injection k ~start_s ~stop_s:infinity] —
+    the onset-only constructor for permanent kinds. *)
 
 type t
 
@@ -76,8 +98,21 @@ val active_count : t -> now:float -> int
 (** Number of currently-active injections (the [faults] trace column). *)
 
 val dvfs_stuck : t -> now:float -> bool
+(** True under a transient {!Dvfs_stuck} window or a latched
+    {!Dvfs_stuck_permanent}. *)
+
 val gating_refused : t -> now:float -> bool
 val heartbeat_stalled : t -> now:float -> bool
+
+val cluster_dead : t -> now:float -> cluster:int -> bool
+(** Is cluster [cluster] permanently dead at [now]? *)
+
+val any_cluster_dead : t -> now:float -> bool
+
+val has_permanent : t -> bool
+(** Does the schedule contain any permanent injection at all?  Used by
+    the SoC to keep the empty/transient-only fast paths allocation-free
+    and byte-identical to the pre-FDIR build. *)
 
 (** {1 Sensor transforms}
 
@@ -108,8 +143,10 @@ val shift : injection list -> by:float -> injection list
     Stable textual forms used by the chaos-engine reproducer artifacts
     (see {!Spectr_chaos.Artifact}): kinds as e.g. ["dropout:power"],
     ["stuck:power2"] (cluster-2 power channel), ["spike:qos:5"],
-    ["dvfs-stuck"]; injections as ["KIND@START/STOP"]
-    with times printed at full precision, so
+    ["dvfs-stuck"], ["cluster-dead:1"], ["sensor-dead:power0"],
+    ["dvfs-stuck-perm"]; injections as ["KIND@START/STOP"]
+    with times printed at full precision (permanent kinds print and
+    parse their stop as ["inf"]), so
     [injection_of_string (injection_to_string i) = i] for every valid
     injection. *)
 

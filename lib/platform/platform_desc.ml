@@ -509,6 +509,77 @@ let of_csv_file path =
   | s -> of_csv_string s
   | exception Sys_error msg -> Error { line = 0; msg }
 
+(* --- degradation ------------------------------------------------------ *)
+
+type degradation =
+  | Remove_cluster of int
+  | Pin_opp of { cluster : int; freq_mhz : int }
+
+(* A degraded description is a first-class description: its digest keys
+   Design_flow/Synth_cache memo entries and checkpoint variant tags, so
+   a reconfigured manager never collides with the healthy one.  The name
+   suffix makes traces and logs self-describing; platform names carry no
+   identifier restriction, so "exynos5422!no-little" is valid. *)
+let degrade t = function
+  | Remove_cluster i ->
+      let n = Array.length t.clusters in
+      if i < 0 || i >= n then
+        invalid_arg
+          (Printf.sprintf "Platform_desc.degrade: cluster %d not in [0,%d)" i n);
+      if i = t.host then
+        invalid_arg
+          (Printf.sprintf
+             "Platform_desc.degrade: cluster %d hosts the QoS application — \
+              a dead host is unrecoverable, not degradable"
+             i);
+      if n = 1 then
+        invalid_arg "Platform_desc.degrade: cannot remove the last cluster";
+      let removed = t.clusters.(i).cl_name in
+      let clusters =
+        Array.of_list
+          (List.filteri
+             (fun j _ -> j <> i)
+             (Array.to_list t.clusters))
+      in
+      let host = if t.host > i then t.host - 1 else t.host in
+      create
+        ~name:(t.name ^ "!no-" ^ removed)
+        ~clusters ~host ~thermal:t.thermal
+  | Pin_opp { cluster; freq_mhz } ->
+      let n = Array.length t.clusters in
+      if cluster < 0 || cluster >= n then
+        invalid_arg
+          (Printf.sprintf "Platform_desc.degrade: cluster %d not in [0,%d)"
+             cluster n);
+      let c = t.clusters.(cluster) in
+      let f = Opp.nearest c.opp (float_of_int freq_mhz) in
+      let pinned =
+        Opp.create
+          ~name:(c.opp.Opp.name ^ "-pinned")
+          ~points:[ (f, Opp.voltage c.opp f) ]
+      in
+      let clusters =
+        Array.mapi
+          (fun j cj -> if j = cluster then { cj with opp = pinned } else cj)
+          t.clusters
+      in
+      create
+        ~name:(Printf.sprintf "%s!%s@%d" t.name c.cl_name f)
+        ~clusters ~host:t.host ~thermal:t.thermal
+
+(* Peak chip power of a description: every cluster at its top OPP, all
+   cores active, full utilization.  The fleet layer uses the ratio of a
+   degraded description's peak to the healthy one's to derive remaining
+   capacity for [Node.report]. *)
+let max_power_estimate t =
+  Array.fold_left
+    (fun acc c ->
+      acc
+      +. Power_model.cluster_power c.power ~table:c.opp
+           ~freq_mhz:(Opp.max_freq c.opp) ~active_cores:c.cores
+           ~total_cores:c.cores ~utilization:1.0)
+    0. t.clusters
+
 (* --- description ------------------------------------------------------ *)
 
 let describe t =

@@ -87,6 +87,34 @@ val k_cluster : ?cores_per_cluster:int -> int -> t
 
 val builtins : unit -> t list
 
+(** {1 Degradation}
+
+    Permanent-fault reconfiguration (FDIR) re-derives specs, plant
+    models and gains from a {e degraded} description — a first-class
+    description with its own distinct {!digest}, so every downstream
+    memo key (design flow, synthesis cache, checkpoint variant tags)
+    separates healthy from degraded automatically. *)
+
+type degradation =
+  | Remove_cluster of int
+      (** The cluster is permanently dead: drop it from the description
+          (host index re-mapped; name suffixed ["!no-<cluster>"]). *)
+  | Pin_opp of { cluster : int; freq_mhz : int }
+      (** The cluster's DVFS rail is latched: collapse its OPP table to
+          the single point nearest [freq_mhz] (name suffixed
+          ["!<cluster>@<mhz>"]). *)
+
+val degrade : t -> degradation -> t
+(** Raises [Invalid_argument] when the index is out of range, the
+    cluster to remove hosts the QoS application (a dead host is
+    unrecoverable — the manager falls back to open loop instead), or it
+    is the last cluster. *)
+
+val max_power_estimate : t -> float
+(** Peak chip power: every cluster at its top OPP, all cores active,
+    utilization 1.  The fleet layer reports degraded capacity as the
+    ratio of a degraded description's peak to the healthy one's. *)
+
 (** {1 Serialization} *)
 
 type parse_error = { line : int; msg : string }

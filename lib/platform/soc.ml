@@ -99,6 +99,10 @@ type t = {
   ph_ds : float array;
   (* Scratch for the sensor draws: k cluster powers, qos, temp. *)
   sens : float array;
+  (* Per-tick permanent-death mask; only written (and only read) when
+     the schedule carries a [Cluster_dead] injection, so fault-free and
+     transient-only runs never touch it. *)
+  dead : bool array;
   (* Per-cluster kernel scratch. *)
   cap : float array; (* capacity after idle injection *)
   bg : float array; (* background placement, core-fractions *)
@@ -194,6 +198,7 @@ let create ?config ?(platform = Platform_desc.exynos5422) ~qos () =
     ph_pf;
     ph_ds;
     sens = Array.make (k + 2) 0.;
+    dead = Array.make k false;
     cap = Array.make k 0.;
     bg = Array.make k 0.;
     rawtot = Array.make k 0.;
@@ -229,6 +234,15 @@ let faults soc = soc.faults
 let fault_active soc pred =
   match soc.faults with None -> false | Some f -> pred f ~now:soc.hot.now
 
+(* Is cluster [i] permanently dead right now?  Ground-truth helpers and
+   actuators consult this; the tick kernel keeps its own per-tick mask so
+   the fault-free path stays allocation-free. *)
+let cluster_dead_now soc i =
+  match soc.faults with
+  | None -> false
+  | Some f ->
+      Faults.has_permanent f && Faults.cluster_dead f ~now:soc.hot.now ~cluster:i
+
 let check_cluster soc i =
   if i < 0 || i >= soc.k then invalid_arg "Soc: cluster index out of range"
 
@@ -238,7 +252,8 @@ let frequency soc i =
 
 let set_frequency soc i f_mhz =
   check_cluster soc i;
-  if fault_active soc Faults.dvfs_stuck then soc.freqs.(i)
+  if fault_active soc Faults.dvfs_stuck || cluster_dead_now soc i then
+    soc.freqs.(i)
   else begin
     let f = Opp.nearest soc.opps.(i) f_mhz in
     if f <> soc.freqs.(i) then begin
@@ -250,8 +265,9 @@ let set_frequency soc i f_mhz =
 
 let set_active_cores soc i n =
   check_cluster soc i;
-  if not (fault_active soc Faults.gating_refused) then
-    soc.active.(i) <- max 1 (min soc.n_cores.(i) n)
+  if
+    not (fault_active soc Faults.gating_refused || cluster_dead_now soc i)
+  then soc.active.(i) <- max 1 (min soc.n_cores.(i) n)
 
 let active_cores soc i =
   check_cluster soc i;
@@ -281,12 +297,15 @@ let ips_totals soc = soc.ips_out
    idle-cycle injection.  Cores of cluster i are
    [offs.(i), offs.(i+1)). *)
 let capacity soc i =
-  let o = soc.offs.(i) in
-  let c = ref 0. in
-  for j = 0 to soc.active.(i) - 1 do
-    c := !c +. (1. -. soc.idle.(o + j))
-  done;
-  !c
+  if cluster_dead_now soc i then 0.
+  else begin
+    let o = soc.offs.(i) in
+    let c = ref 0. in
+    for j = 0 to soc.active.(i) - 1 do
+      c := !c +. (1. -. soc.idle.(o + j))
+    done;
+    !c
+  end
 
 (* HMP placement of background work: the scheduler fills the non-host
    clusters in index order, then spills onto the host where the spilled
@@ -333,6 +352,8 @@ let complexity_factor soc =
 let current_phase soc = Workload.phase_at soc.qos soc.hot.now
 
 let qos_ips_now soc =
+  if cluster_dead_now soc soc.host then 0.
+  else
   let phase = current_phase soc in
   let eff = qos_effective_cores soc in
   let f_ghz = float_of_int soc.freqs.(soc.host) /. 1000. in
@@ -369,9 +390,11 @@ let utilization soc i =
   end
 
 let cluster_power_now soc i =
-  Power_model.cluster_power soc.pw.(i) ~table:soc.opps.(i)
-    ~freq_mhz:soc.freqs.(i) ~active_cores:soc.active.(i)
-    ~total_cores:soc.n_cores.(i) ~utilization:(utilization soc i)
+  if cluster_dead_now soc i then 0.
+  else
+    Power_model.cluster_power soc.pw.(i) ~table:soc.opps.(i)
+      ~freq_mhz:soc.freqs.(i) ~active_cores:soc.active.(i)
+      ~total_cores:soc.n_cores.(i) ~utilization:(utilization soc i)
 
 let true_chip_power soc =
   let p = ref (cluster_power_now soc 0) in
@@ -423,6 +446,28 @@ let step_into soc ~dt obs =
   let now = hot.now in
   let k = soc.k in
   let host = soc.host in
+  (* Permanent-death mask for this tick.  Transient-only (and fault-free)
+     schedules take the [false] constant without touching the mask — the
+     allocation-free steady-state path and the pinned pre-FDIR digests
+     are untouched.  A dead cluster has zero capacity (so the background
+     scheduler routes around it), draws zero power (no dynamic, leak,
+     gated or uncore terms — the rail is off), and executes nothing; its
+     sensor channels read exact 0.0, which multiplicative noise maps to
+     0.0 while advancing the PRNG stream exactly as a live reading
+     would. *)
+  let any_dead =
+    match soc.faults with
+    | Some f when Faults.has_permanent f ->
+        let dead = soc.dead in
+        let any = ref false in
+        for i = 0 to k - 1 do
+          let d = Faults.cluster_dead f ~now ~cluster:i in
+          dead.(i) <- d;
+          if d then any := true
+        done;
+        !any
+    | _ -> false
+  in
   (* Workload phase (flattened [Workload.phase_at]). *)
   let np = Array.length soc.ph_end in
   let pi = ref 0 in
@@ -434,12 +479,15 @@ let step_into soc ~dt obs =
   (* Cluster capacities after idle injection ([capacity]). *)
   let cap = soc.cap in
   for i = 0 to k - 1 do
-    let o = soc.offs.(i) in
-    let s = ref 0. in
-    for j = 0 to soc.active.(i) - 1 do
-      s := !s +. (1. -. soc.idle.(o + j))
-    done;
-    cap.(i) <- !s
+    if any_dead && soc.dead.(i) then cap.(i) <- 0.
+    else begin
+      let o = soc.offs.(i) in
+      let s = ref 0. in
+      for j = 0 to soc.active.(i) - 1 do
+        s := !s +. (1. -. soc.idle.(o + j))
+      done;
+      cap.(i) <- !s
+    end
   done;
   (* HMP background placement ([background_placement_into]). *)
   let bg = soc.bg in
@@ -471,7 +519,9 @@ let step_into soc ~dt obs =
     /. (soc.a.(host) +. (soc.b.(host) *. kappa_eff *. f_host_ghz))
   in
   let amdahl = 1. /. (1. -. ph_pf +. (ph_pf /. qos_eff)) in
-  let qos_ips = core_ips_host *. amdahl in
+  let qos_ips =
+    if any_dead && soc.dead.(host) then 0. else core_ips_host *. amdahl
+  in
   (* True heartbeat rate ([true_qos_rate] with [complexity_factor]). *)
   let complexity =
     (* With no wobble the sine is multiplied by zero: 1. +. (0. *. s)
@@ -490,25 +540,28 @@ let step_into soc ~dt obs =
      noise draws. *)
   let sens = soc.sens in
   for i = 0 to k - 1 do
-    let util =
-      if i = host then
-        if soc.active.(i) = 0 then 0.
-        else Float.min 1. (cap.(i) /. float_of_int soc.active.(i))
-      else if soc.active.(i) = 0 then 0.
-      else Float.min 1. (bg.(i) /. float_of_int soc.active.(i))
-    in
-    let p = soc.pw.(i) in
-    let v = soc.volts.(i) in
-    let f_ghz = float_of_int soc.freqs.(i) /. 1000. in
-    let dynamic = p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_ghz *. util in
-    let leak =
-      p.Power_model.leak_w_per_core *. (v /. Power_model.v0) *. (v /. Power_model.v0)
-    in
-    sens.(i) <-
-      (float_of_int soc.active.(i) *. (dynamic +. leak))
-      +. (float_of_int (soc.n_cores.(i) - soc.active.(i))
-         *. p.Power_model.gated_w_per_core)
-      +. p.Power_model.uncore_w
+    if any_dead && soc.dead.(i) then sens.(i) <- 0.
+    else begin
+      let util =
+        if i = host then
+          if soc.active.(i) = 0 then 0.
+          else Float.min 1. (cap.(i) /. float_of_int soc.active.(i))
+        else if soc.active.(i) = 0 then 0.
+        else Float.min 1. (bg.(i) /. float_of_int soc.active.(i))
+      in
+      let p = soc.pw.(i) in
+      let v = soc.volts.(i) in
+      let f_ghz = float_of_int soc.freqs.(i) /. 1000. in
+      let dynamic = p.Power_model.cdyn_w_per_v2ghz *. v *. v *. f_ghz *. util in
+      let leak =
+        p.Power_model.leak_w_per_core *. (v /. Power_model.v0) *. (v /. Power_model.v0)
+      in
+      sens.(i) <-
+        (float_of_int soc.active.(i) *. (dynamic +. leak))
+        +. (float_of_int (soc.n_cores.(i) - soc.active.(i))
+           *. p.Power_model.gated_w_per_core)
+        +. p.Power_model.uncore_w
+    end
   done;
   (* First-order thermal RC: the die relaxes toward ambient + R_th * P
      with time constant tau. *)

@@ -176,6 +176,14 @@ val true_qos_rate : t -> float
 val true_chip_power : t -> float
 (** Noise-free total power at the current settings. *)
 
+val cluster_dead_now : t -> int -> bool
+(** Ground truth: is cluster [i] under an active {!Faults.Cluster_dead}
+    injection right now?  A dead cluster has zero capacity (background
+    work routes around it), draws zero power, reads exact 0.0 on its
+    power sensor, and ignores actuation; a dead {e host} cluster also
+    zeroes the QoS rate.  For invariant monitors and tests — managers
+    must infer death from sensors (see [Spectr.Fdir]). *)
+
 val temperature : t -> float
 (** Noise-free die temperature (°C).  A first-order RC response to chip
     power: the physical variable behind the paper's "thermal emergency"

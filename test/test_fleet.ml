@@ -112,14 +112,74 @@ let test_node_items_survive_restart () =
   (* The work queue outlives the node. *)
   check_int "items survive reboot" 3 (Node.background node)
 
+(* End-to-end degraded-mode node: a reconfigurable node that loses a
+   cluster must detect it (FDIR), hot-swap onto the degraded
+   description, and report the reduced capacity to the coordinator. *)
+let test_node_reconfigurable () =
+  let node = Node.create ~reconfigurable:true ~id:0 ~seed:7L
+      ~workload:Benchmarks.x264 () in
+  let handle =
+    match Node.reconfig_handle node with
+    | Some h -> h
+    | None -> Alcotest.fail "reconfigurable node must expose a handle"
+  in
+  check_bool "default nodes have no handle" true
+    (Node.reconfig_handle (make_node ()) = None);
+  (* Transient kinds are not permanent faults. *)
+  (match Node.inject_permanent node (Faults.Dropout Faults.Power) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "transient kind must be rejected");
+  Node.warm_up node;
+  let r0 = Node.report node in
+  check_float "healthy capacity is TDP" 5.0 r0.Node.r_max_power;
+  check_bool "boots nominal" true
+    (Spectr.Spectr_manager.Reconfig.status handle
+    = Spectr.Spectr_manager.Reconfig.Nominal);
+  Node.inject_permanent node (Faults.Cluster_dead 1);
+  (* Detection needs 3.0 s of persistent residuals, plus the bounded
+     swap window; 15 s of wall time is ample. *)
+  for _ = 1 to 300 do
+    Node.tick node ~dt:0.05
+  done;
+  check_bool "ends reconfigured" true
+    (Spectr.Spectr_manager.Reconfig.status handle
+    = Spectr.Spectr_manager.Reconfig.Reconfigured);
+  check_bool "at least one hot-swap" true
+    (Spectr.Spectr_manager.Reconfig.reconfigurations handle >= 1);
+  check_bool "cluster 1 excluded" true
+    (List.mem 1 (Spectr.Spectr_manager.Reconfig.excluded_clusters handle));
+  let r1 = Node.report node in
+  check_bool
+    (Printf.sprintf "degraded capacity shrinks (%.3f)" r1.Node.r_max_power)
+    true
+    (r1.Node.r_max_power < 5.0 && r1.Node.r_max_power >= 1.0);
+  check_bool "still serving QoS degraded" true (r1.Node.r_qos > 0.);
+  (* A restart is a hardware swap: the replacement boots on the healthy
+     description with full capacity and a fresh handle. *)
+  Node.kill node;
+  Node.restart node;
+  let h2 =
+    match Node.reconfig_handle node with
+    | Some h -> h
+    | None -> Alcotest.fail "restart must rebuild the handle"
+  in
+  check_bool "replacement boots nominal" true
+    (Spectr.Spectr_manager.Reconfig.status h2
+    = Spectr.Spectr_manager.Reconfig.Nominal);
+  Node.tick node ~dt:0.05;
+  let r2 = Node.report node in
+  check_float "replacement reports full capacity" 5.0 r2.Node.r_max_power
+
 (* ------------------------------------------------------------------ *)
 (* Coordinator                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let report ?(alive = true) ?(cap = 5.) ?(power = 2.) ?(debt = 0.) id =
+let report ?(alive = true) ?(max_power = 5.) ?(cap = 5.) ?(power = 2.)
+    ?(debt = 0.) id =
   {
     Node.r_id = id;
     r_alive = alive;
+    r_max_power = max_power;
     r_cap = cap;
     r_power = power;
     r_sensor_power = power;
@@ -195,7 +255,7 @@ let test_coordinator_waterfill_infeasible () =
   in
   Array.iter (fun c -> check_float "floor each" config.Node.cap_floor c) caps
 
-let test_coordinator_dead_node_floor () =
+let test_coordinator_dead_node_excluded () =
   let reports =
     [| report 0; report ~alive:false 1; report ~power:4. ~debt:1. 2 |]
   in
@@ -203,9 +263,71 @@ let test_coordinator_dead_node_floor () =
     Coordinator.rebudget ~policy:Coordinator.Water_filling ~global_cap:7.
       ~config ~epoch_s:1. reports
   in
-  check_float "dead node holds the floor" config.Node.cap_floor caps.(1);
+  check_float "dead node is excluded" 0. caps.(1);
   check_bool "freed budget flows to the starved node" true
-    (caps.(2) > caps.(0))
+    (caps.(2) > caps.(0));
+  let static =
+    Coordinator.rebudget ~policy:Coordinator.Static_split ~global_cap:7.
+      ~config ~epoch_s:1. reports
+  in
+  check_float "static split also excludes the dead node" 0. static.(1);
+  check_float "static share divides among survivors only"
+    (7. *. (1. -. Coordinator.default_headroom) /. 2.)
+    static.(0)
+
+let test_coordinator_kill_redistributes_within_epoch () =
+  (* Satellite regression: killing a node must free its budget to the
+     survivors in the very next rebudget call — one epoch, not a decay.
+     Scarce budget so the water level binds and the redistribution is
+     visible in the surviving nodes' caps. *)
+  let mk alive = [| report ~power:4. 0; report ~power:4. ~alive 1 |] in
+  let global_cap = 6. in
+  let before =
+    Coordinator.rebudget ~policy:Coordinator.Water_filling ~global_cap
+      ~config ~epoch_s:1. (mk true)
+  in
+  let after =
+    Coordinator.rebudget ~policy:Coordinator.Water_filling ~global_cap
+      ~config ~epoch_s:1. (mk false)
+  in
+  let budget = global_cap *. (1. -. Coordinator.default_headroom) in
+  check_bool "scarce before the kill" true (before.(0) < 4.);
+  check_float "dead node allocated nothing" 0. after.(1);
+  check_bool "survivor's cap grows in the same epoch" true
+    (after.(0) > before.(0) +. 0.5);
+  check_bool "still under the guardbanded budget" true (sum after <= budget)
+
+let test_coordinator_degraded_capacity_capped () =
+  (* A reconfigured node advertises a reduced r_max_power; its cap must
+     not exceed it even when the budget is abundant, and the headroom it
+     frees must reach the starved healthy node under scarcity. *)
+  let abundant =
+    Coordinator.rebudget ~policy:Coordinator.Water_filling ~global_cap:1000.
+      ~config ~epoch_s:1.
+      [| report ~max_power:2.5 ~power:4. ~debt:1. 0 |]
+  in
+  check_bool "abundant cap stays at degraded capacity" true
+    (abundant.(0) <= 2.5 +. 1e-9);
+  let reports =
+    [|
+      report ~max_power:2.0 ~power:4. ~debt:1. 0;
+      report ~power:4. ~debt:1. 1;
+    |]
+  in
+  let caps =
+    Coordinator.rebudget ~policy:Coordinator.Water_filling ~global_cap:7.
+      ~config ~epoch_s:1. reports
+  in
+  check_bool "degraded node capped at its capacity" true
+    (caps.(0) <= 2.0 +. 1e-9);
+  check_bool "healthy node takes the freed headroom" true
+    (caps.(1) > caps.(0));
+  let static =
+    Coordinator.rebudget ~policy:Coordinator.Static_split ~global_cap:11.
+      ~config ~epoch_s:1. reports
+  in
+  check_bool "static split respects capacity too" true
+    (static.(0) <= 2.0 +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
 (* Placer                                                              *)
@@ -372,6 +494,8 @@ let () =
           Alcotest.test_case "kill and restart" `Quick test_node_kill_restart;
           Alcotest.test_case "cap clamping" `Quick test_node_cap_clamp;
           Alcotest.test_case "work items" `Quick test_node_work_items;
+          Alcotest.test_case "reconfigurable degraded capacity" `Quick
+            test_node_reconfigurable;
           Alcotest.test_case "items survive restart" `Quick
             test_node_items_survive_restart;
         ] );
@@ -386,8 +510,12 @@ let () =
             test_coordinator_waterfill_abundant;
           Alcotest.test_case "infeasible budget" `Quick
             test_coordinator_waterfill_infeasible;
-          Alcotest.test_case "dead node at floor" `Quick
-            test_coordinator_dead_node_floor;
+          Alcotest.test_case "dead node excluded" `Quick
+            test_coordinator_dead_node_excluded;
+          Alcotest.test_case "kill redistributes within one epoch" `Quick
+            test_coordinator_kill_redistributes_within_epoch;
+          Alcotest.test_case "degraded capacity capped" `Quick
+            test_coordinator_degraded_capacity_capped;
         ] );
       ( "placer",
         [

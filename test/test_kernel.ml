@@ -125,15 +125,15 @@ let test_arena_checkout_equals_fresh () =
   List.iter
     (fun variant ->
       let cfg = Spectr.Scenario.default_config ~seed:42L Benchmarks.x264 in
-      let fresh, _, _ = Spectr_chaos.Campaign.make_manager variant in
+      let fresh, _, _, _ = Spectr_chaos.Campaign.make_manager variant in
       let d_fresh =
         Digest.string (Trace.to_csv (Spectr.Scenario.run ~manager:fresh cfg))
       in
       (* First checkout builds; run it dirty, then check out again so
          the pristine-reset path is what's under test. *)
-      let warm, _, _ = Spectr_chaos.Arena.checkout arena variant in
+      let warm, _, _, _ = Spectr_chaos.Arena.checkout arena variant in
       ignore (Spectr.Scenario.run ~manager:warm cfg : Trace.t);
-      let warm, _, _ = Spectr_chaos.Arena.checkout arena variant in
+      let warm, _, _, _ = Spectr_chaos.Arena.checkout arena variant in
       let d_warm =
         Digest.string (Trace.to_csv (Spectr.Scenario.run ~manager:warm cfg))
       in

@@ -605,6 +605,110 @@ let test_faults_serialization () =
   check_invalid "deserialized negative onset" (fun () ->
       Faults.injection_of_string "dvfs-stuck@-1/2")
 
+(* Exhaustive round-trip over the full kind space: every sensor channel
+   (including all 16 per-cluster power channels) under every
+   sensor-indexed constructor, every per-cluster Cluster_dead, the
+   nullary kinds, and awkward spike magnitudes.  Permanent kinds
+   round-trip through their onset-only windows ([stop_s = infinity]
+   prints as "inf" and parses back exactly). *)
+let test_faults_serialization_exhaustive () =
+  let sensors =
+    Faults.[ Power; Qos; Temp ]
+    @ List.init 16 (fun i -> Faults.Power_cluster i)
+  in
+  let magnitudes = [ 0.5; 1.; 4.; 0.1234567890123456789; 1e-3; 1e6 ] in
+  let transient =
+    List.concat_map
+      (fun s ->
+        [ Faults.Dropout s; Faults.Stuck_at_last s ]
+        @ List.map (fun m -> Faults.Spike_burst (s, m)) magnitudes)
+      sensors
+    @ Faults.[ Dvfs_stuck; Gating_refused; Heartbeat_stall ]
+  in
+  let permanent =
+    List.map (fun s -> Faults.Sensor_dead s) sensors
+    @ List.init 16 (fun i -> Faults.Cluster_dead i)
+    @ [ Faults.Dvfs_stuck_permanent ]
+  in
+  let roundtrip k =
+    Alcotest.(check bool)
+      ("kind roundtrip " ^ Faults.kind_to_string k)
+      true
+      (Faults.kind_of_string (Faults.kind_to_string k) = k)
+  in
+  List.iter roundtrip transient;
+  List.iter roundtrip permanent;
+  (* Partition agreement: the permanent predicate matches the split. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        ("transient " ^ Faults.kind_to_string k)
+        false (Faults.is_permanent k))
+    transient;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        ("permanent " ^ Faults.kind_to_string k)
+        true (Faults.is_permanent k))
+    permanent;
+  (* Injection round-trip: transient kinds over finite windows with
+     non-representable decimal endpoints, permanent kinds onset-only. *)
+  List.iter
+    (fun k ->
+      let i = Faults.injection k ~start_s:0.30000000000000004 ~stop_s:9.7 in
+      Alcotest.(check bool)
+        ("injection roundtrip " ^ Faults.injection_to_string i)
+        true
+        (Faults.injection_of_string (Faults.injection_to_string i) = i))
+    transient;
+  List.iter
+    (fun k ->
+      let i = Faults.permanent k ~start_s:2.05 in
+      let s = Faults.injection_to_string i in
+      Alcotest.(check bool)
+        ("onset-only roundtrip " ^ s)
+        true
+        (Faults.injection_of_string s = i);
+      Alcotest.(check bool)
+        ("onset-only prints inf: " ^ s)
+        true
+        (String.length s >= 4
+        && String.sub s (String.length s - 4) 4 = "/inf"))
+    permanent;
+  (* Malformed strings: every rejection is a parse error, never a
+     silently-misread schedule. *)
+  let bad = check_invalid in
+  bad "channel index at ceiling" (fun () ->
+      Faults.kind_of_string "stuck:power16");
+  bad "negative channel index" (fun () ->
+      Faults.kind_of_string "dropout:power-1");
+  bad "bare channel digits" (fun () -> Faults.kind_of_string "stuck:16");
+  bad "dead cluster at ceiling" (fun () ->
+      Faults.kind_of_string "cluster-dead:16");
+  bad "dead cluster negative" (fun () ->
+      Faults.kind_of_string "cluster-dead:-1");
+  bad "dead cluster non-numeric" (fun () ->
+      Faults.kind_of_string "cluster-dead:big");
+  bad "dead sensor unknown" (fun () ->
+      Faults.kind_of_string "sensor-dead:banana");
+  bad "spike magnitude infinite" (fun () ->
+      Faults.kind_of_string "spike:qos:inf");
+  bad "spike magnitude negative" (fun () ->
+      Faults.kind_of_string "spike:power:-2");
+  bad "trailing colon" (fun () -> Faults.kind_of_string "dvfs-stuck:");
+  bad "empty string" (fun () -> Faults.kind_of_string "");
+  (* Window re-validation through the injection parser: a permanent
+     kind with a finite stop, and a transient kind with an infinite
+     one, are both schedule bugs. *)
+  bad "permanent kind with finite stop" (fun () ->
+      Faults.injection_of_string "cluster-dead:1@2/8");
+  bad "transient kind with infinite stop" (fun () ->
+      Faults.injection_of_string "dvfs-stuck@2/inf");
+  bad "missing window" (fun () ->
+      Faults.injection_of_string "sensor-dead:power");
+  bad "garbled window" (fun () ->
+      Faults.injection_of_string "cluster-dead:1@2")
+
 let test_faults_windows () =
   let f =
     Faults.create
@@ -978,6 +1082,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_faults_validation;
           Alcotest.test_case "serialization roundtrip" `Quick
             test_faults_serialization;
+          Alcotest.test_case "serialization exhaustive" `Quick
+            test_faults_serialization_exhaustive;
           Alcotest.test_case "windows" `Quick test_faults_windows;
           Alcotest.test_case "shift" `Quick test_faults_shift;
           Alcotest.test_case "inactive is bit-identical" `Quick

@@ -703,6 +703,75 @@ let test_thermal_governor_validation () =
     (fun () ->
       ignore (Thermal_governor.create ~tdp:5. ~emergency_envelope:5. ()))
 
+(* Hysteresis boundaries are strict comparisons: a reading exactly at
+   [trip_c] does not trip (the thermostat trips strictly above), and a
+   tripped governor reading exactly [release_c] stays tripped (release
+   is strictly below).  Pinning the boundary semantics keeps the
+   governor's behaviour stable under sensor quantization that lands
+   samples exactly on the thresholds. *)
+let test_thermal_governor_boundaries () =
+  let gov =
+    Thermal_governor.create ~trip_c:70. ~release_c:62. ~tdp:5.0
+      ~emergency_envelope:3.5 ()
+  in
+  check_float "exactly at trip stays nominal" 5.0
+    (Thermal_governor.envelope gov ~temperature_c:70.);
+  check_bool "not tripped at trip_c" false (Thermal_governor.tripped gov);
+  check_float "epsilon above trips" 3.5
+    (Thermal_governor.envelope gov ~temperature_c:70.0000001);
+  check_bool "tripped" true (Thermal_governor.tripped gov);
+  check_float "exactly at release stays tripped" 3.5
+    (Thermal_governor.envelope gov ~temperature_c:62.);
+  check_bool "still tripped at release_c" true (Thermal_governor.tripped gov);
+  check_float "epsilon below releases" 5.0
+    (Thermal_governor.envelope gov ~temperature_c:61.9999999);
+  check_bool "released" false (Thermal_governor.tripped gov);
+  (* State updates before the envelope is produced, so the very sample
+     that crosses a threshold already yields the new envelope — no
+     one-sample lag on either edge. *)
+  check_float "crossing sample already emergency" 3.5
+    (Thermal_governor.envelope gov ~temperature_c:80.)
+
+(* Interaction with reconfiguration: a degraded description has a
+   smaller peak power, so the emergency envelope must be re-derived —
+   the healthy platform's emergency envelope can sit at or above the
+   degraded plant's whole thermal design power, where the governor
+   rightly refuses it (an "emergency" cap that caps nothing is a config
+   bug).  Scaling the envelope by the degraded/healthy capacity ratio —
+   exactly how the fleet layer reports degraded capacity — always
+   yields a valid governor. *)
+let test_thermal_governor_degraded_envelope () =
+  let healthy = Platform_desc.exynos5422 in
+  let degraded = Platform_desc.degrade healthy (Platform_desc.Remove_cluster 1) in
+  let full = Platform_desc.max_power_estimate healthy in
+  let reduced = Platform_desc.max_power_estimate degraded in
+  check_bool "degraded peak strictly smaller" true (reduced < full);
+  (* A mild healthy emergency envelope (90 % of peak — losing the
+     little cluster only costs ~12 % of exynos5422's budget) already
+     exceeds the degraded peak. *)
+  let healthy_emergency = 0.9 *. full in
+  check_bool "healthy emergency envelope exceeds degraded TDP" true
+    (healthy_emergency >= reduced);
+  Alcotest.check_raises "stale envelope rejected on degraded platform"
+    (Invalid_argument "Thermal_governor.create: emergency envelope >= TDP")
+    (fun () ->
+      ignore
+        (Thermal_governor.create ~tdp:reduced
+           ~emergency_envelope:healthy_emergency ()));
+  (* Re-derived by capacity ratio: valid, and the governor enforces the
+     smaller envelope through a trip/release cycle. *)
+  let scaled = healthy_emergency *. (reduced /. full) in
+  let gov =
+    Thermal_governor.create ~tdp:reduced ~emergency_envelope:scaled ()
+  in
+  check_float "degraded TDP when cool" reduced
+    (Thermal_governor.envelope gov ~temperature_c:50.);
+  check_float "degraded emergency when hot" scaled
+    (Thermal_governor.envelope gov ~temperature_c:75.);
+  check_bool "scaled envelope below degraded TDP" true (scaled < reduced);
+  check_float "releases to degraded TDP" reduced
+    (Thermal_governor.envelope gov ~temperature_c:55.)
+
 let test_closed_thermal_loop () =
   (* End-to-end: a hot QoS demand under the governor; SPECTR must keep
      the die from running away (bounded temperature) while still doing
@@ -1449,6 +1518,348 @@ let test_fault_schedule_order () =
     (Scenario.fault_schedule cfg = expect)
 
 (* ------------------------------------------------------------------ *)
+(* FDIR: detection and isolation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a detector with [n] identical evidence ticks. *)
+let feed_fdir fd n ~qos ~powers ~ips =
+  for _ = 1 to n do
+    Fdir.observe fd ~qos ~powers ~ips
+  done
+
+let test_fdir_isolates_dead_power_sensor () =
+  let fd = Fdir.create ~k:2 ~host:0 () in
+  (* Cluster 1's power reads exactly 0 while its IPS aggregate proves it
+     still executes: dead sensor, not dead cluster. *)
+  feed_fdir fd 60 ~qos:60. ~powers:[| 2.; 0. |] ~ips:[| 0.; 3e9 |];
+  (match Fdir.poll fd with
+  | [ Fdir.Power_sensor_down 1 ] -> ()
+  | l -> Alcotest.failf "expected [Power_sensor_down 1], got %d findings"
+           (List.length l));
+  check_bool "emitted exactly once" true (Fdir.poll fd = [])
+
+let test_fdir_isolates_dead_cluster () =
+  let fd = Fdir.create ~k:2 ~host:0 () in
+  (* Zero power and zero throughput: the cluster itself is gone. *)
+  feed_fdir fd 60 ~qos:60. ~powers:[| 2.; 0. |] ~ips:[| 0.; 0. |];
+  match Fdir.poll fd with
+  | [ Fdir.Cluster_down 1 ] -> ()
+  | l ->
+      Alcotest.failf "expected [Cluster_down 1], got %d findings"
+        (List.length l)
+
+let test_fdir_isolates_dead_qos_sensor () =
+  let fd = Fdir.create ~k:2 ~host:0 () in
+  (* Heartbeats gone while the host still draws power: blind QoS sensor. *)
+  feed_fdir fd 60 ~qos:0. ~powers:[| 2.; 1. |] ~ips:[| 0.; 0.5e9 |];
+  match Fdir.poll fd with
+  | [ Fdir.Qos_sensor_down ] -> ()
+  | _ -> Alcotest.fail "expected [Qos_sensor_down]"
+
+let test_fdir_dead_host_subsumes_qos () =
+  let fd = Fdir.create ~k:2 ~host:0 () in
+  (* Host power AND heartbeats both permanently zero: one dead-host
+     finding, not a spurious extra QoS-sensor verdict. *)
+  feed_fdir fd 60 ~qos:0. ~powers:[| 0.; 1. |] ~ips:[| 0.; 0.5e9 |];
+  match Fdir.poll fd with
+  | [ Fdir.Cluster_down 0 ] -> ()
+  | l ->
+      Alcotest.failf "expected [Cluster_down 0] alone, got %d findings"
+        (List.length l)
+
+let test_fdir_latched_dvfs_and_transients () =
+  let fd = Fdir.create ~k:2 ~host:0 () in
+  (* A short mismatch burst (transient) must not latch... *)
+  for _ = 1 to 10 do
+    Fdir.note_actuation fd ~cluster:1 ~ok:false
+  done;
+  Fdir.note_actuation fd ~cluster:1 ~ok:true;
+  check_bool "transient burst does not latch" true (Fdir.poll fd = []);
+  (* ...a 60-tick one is a latched rail. *)
+  for _ = 1 to 60 do
+    Fdir.note_actuation fd ~cluster:1 ~ok:false
+  done;
+  (match Fdir.poll fd with
+  | [ Fdir.Dvfs_latched 1 ] -> ()
+  | _ -> Alcotest.fail "expected [Dvfs_latched 1]");
+  (* Innovation residuals corroborate but never amputate on their own. *)
+  for _ = 1 to 120 do
+    Fdir.note_innovation fd ~cluster:0 ~norm:25.
+  done;
+  check_bool "residual flagged" true (Fdir.residual_flagged fd ~cluster:0);
+  check_bool "residual alone emits no finding" true (Fdir.poll fd = [])
+
+let test_fdir_validation () =
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check_bool "k < 1" true (raises (fun () -> Fdir.create ~k:0 ~host:0 ()));
+  check_bool "host range" true (raises (fun () -> Fdir.create ~k:2 ~host:2 ()));
+  check_bool "tick order" true
+    (raises (fun () ->
+         Fdir.create ~transient_ticks:60 ~permanent_ticks:60 ~k:2 ~host:0 ()));
+  let fd = Fdir.create ~k:2 ~host:0 () in
+  check_bool "powers length" true
+    (raises (fun () ->
+         Fdir.observe fd ~qos:1. ~powers:[| 1. |] ~ips:[| 0.; 0. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Guarded fallback-duration metrics                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite: two trip/recover cycles must report two bounded fallback
+   spans through the tick accounting, the [guard.fallback_ticks] gauge
+   and the [guard.fallback_span_ticks] histogram. *)
+let test_guarded_fallback_span_metrics () =
+  Spectr_obs.enable ();
+  Fun.protect ~finally:Spectr_obs.disable (fun () ->
+      let h = Spectr_obs.Histogram.histogram "guard.fallback_span_ticks" in
+      let gauge = Spectr_obs.Counters.gauge "guard.fallback_ticks" in
+      let spans_before = Spectr_obs.Histogram.count h in
+      let g = warmed_guards () in
+      let cfg = Guarded.default_config in
+      let now = ref 0.25 in
+      let advance () =
+        now := !now +. 0.05;
+        !now
+      in
+      let cycle () =
+        for _ = 1 to cfg.Guarded.trip_count do
+          ignore (Guarded.filter g ~now:(advance ()) ~qos:0. ~powers:[| 2.; 1. |])
+        done;
+        check_bool "tripped" true (Guarded.degraded g);
+        let n = ref 0 in
+        while Guarded.degraded g && !n < 4 * cfg.Guarded.recover_count do
+          incr n;
+          ignore (healthy_step g ~now:(advance ()) !n)
+        done;
+        check_bool "recovered" false (Guarded.degraded g)
+      in
+      cycle ();
+      let first_span = Guarded.fallback_ticks g in
+      cycle ();
+      let total = Guarded.fallback_ticks g in
+      check_bool "two completed spans" true
+        (List.length (Guarded.recovery_times g) = 2);
+      check_int "histogram saw both spans" (spans_before + 2)
+        (Spectr_obs.Histogram.count h);
+      (* Each span is bounded: it cannot exceed the trip tick plus the
+         recovery dwell. *)
+      let bound = cfg.Guarded.recover_count + cfg.Guarded.trip_count in
+      check_bool "first span bounded" true
+        (first_span > 0 && first_span <= bound);
+      check_bool "second span bounded" true
+        (total - first_span > 0 && total - first_span <= bound);
+      check_bool "gauge tracks cumulative ticks" true
+        (Spectr_obs.Counters.gauge_value gauge = float_of_int total))
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode reconfiguration (SPECTR+R)                            *)
+(* ------------------------------------------------------------------ *)
+
+let reconfig_cfg ?(bg = 0) fault ~start_s =
+  let phase name ~duration_s ~envelope ~background_tasks ~faults =
+    {
+      Scenario.phase_name = name;
+      duration_s;
+      envelope;
+      background_tasks;
+      phase_faults = faults;
+    }
+  in
+  {
+    (Scenario.default_config Benchmarks.x264) with
+    Scenario.phases =
+      [
+        phase "healthy-then-fault" ~duration_s:8. ~envelope:5.0
+          ~background_tasks:bg
+          ~faults:[ Faults.permanent fault ~start_s ];
+        phase "disturb" ~duration_s:4. ~envelope:5.0 ~background_tasks:8
+          ~faults:[];
+      ];
+  }
+
+let run_reconfigurable ?bg fault ~start_s =
+  let cfg = reconfig_cfg ?bg fault ~start_s in
+  let manager, h = Spectr_manager.make_reconfigurable () in
+  let trace = Scenario.run ~manager cfg in
+  (trace, h)
+
+(* Post-settle safety: once detection (3.0 s), the swap window and the
+   guard's recovery dwell have drained, true chip power must respect the
+   envelope in the sense the robustness bench scores it — no sustained
+   excess.  The capping switch reacts one supervisor period after a
+   crossing, so single-OPP-step excursions of a tick or two are part of
+   nominal closed-loop behaviour (they exist on the healthy platform
+   too); what reconfiguration must guarantee is that they stay bounded
+   and never accumulate. *)
+let check_post_settle_safety trace ~settle_s =
+  let time = Trace.column trace "time" in
+  let true_power = Trace.column trace "true_power" in
+  let envelope = Trace.column trace "envelope" in
+  let excess_s = ref 0. in
+  Array.iteri
+    (fun i t ->
+      if t >= settle_s then begin
+        check_bool
+          (Printf.sprintf "power %.2f within hard bound at t=%.2f"
+             true_power.(i) t)
+          true
+          (true_power.(i) <= envelope.(i) *. 1.15);
+        if true_power.(i) > envelope.(i) *. 1.05 then
+          excess_s := !excess_s +. 0.05
+      end)
+    time;
+  check_bool
+    (Printf.sprintf "no sustained post-settle excess (%.2f s)" !excess_s)
+    true (!excess_s <= 0.5)
+
+let mean_qos_after trace ~after_s =
+  let time = Trace.column trace "time" in
+  let qos = Trace.column trace "qos" in
+  let sum = ref 0. and n = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if t >= after_s then begin
+        sum := !sum +. qos.(i);
+        incr n
+      end)
+    time;
+  if !n = 0 then 0. else !sum /. float_of_int !n
+
+let test_reconfig_cluster_dead () =
+  let trace, h = run_reconfigurable (Faults.Cluster_dead 1) ~start_s:2.0 in
+  check_string "reconfigured" "reconfigured"
+    (Spectr_manager.Reconfig.status_label (Spectr_manager.Reconfig.status h));
+  check_int "one hot-swap" 1 (Spectr_manager.Reconfig.reconfigurations h);
+  check_bool "cluster 1 excluded" true
+    (Spectr_manager.Reconfig.excluded_clusters h = [ 1 ]);
+  let desc = Spectr_manager.Reconfig.platform h in
+  check_int "one-cluster plant" 1 (Platform_desc.num_clusters desc);
+  check_bool "degraded description named" true
+    (String.length (Platform_desc.name desc) > String.length "exynos5422"
+    && Platform_desc.name desc <> "exynos5422");
+  check_bool "warm re-synthesis under a second" true
+    (Spectr_manager.Reconfig.last_resynth_s h < 1.0);
+  check_bool "supervisor follows the degraded plant" true
+    (Supervisor.num_clusters (Spectr_manager.Reconfig.supervisor h) = 1);
+  (* Fault at 2.0 s + 3.0 s detection + swap window + guard recovery:
+     settled well before 7.0 s. *)
+  check_post_settle_safety trace ~settle_s:7.0;
+  (* Closed-loop QoS re-convergence: the host cluster alone still earns
+     a live heartbeat rate, far above the open-loop floor. *)
+  check_bool "QoS re-converged" true (mean_qos_after trace ~after_s:10.0 > 20.);
+  check_bool "guard recovered after reconfiguration" false
+    (Guarded.degraded (Spectr_manager.Reconfig.guard h))
+
+let test_reconfig_beats_guarded_fallback () =
+  (* The contrast SPECTR+R exists for: under a permanently dead cluster
+     SPECTR+G never leaves the open-loop floor, SPECTR+R re-converges. *)
+  let cfg = reconfig_cfg (Faults.Cluster_dead 1) ~start_s:2.0 in
+  let guards = Guarded.create () in
+  let manager, _ = Spectr_manager.make ~guards () in
+  let trace_g = Scenario.run ~manager cfg in
+  check_bool "SPECTR+G still in fallback at run end" true
+    (Guarded.degraded guards);
+  let _, h = run_reconfigurable (Faults.Cluster_dead 1) ~start_s:2.0 in
+  check_bool "SPECTR+R closed the loop again" true
+    (Spectr_manager.Reconfig.status h = Spectr_manager.Reconfig.Reconfigured);
+  (* Same ladder, different last rung: both stayed safe, only +R gets
+     QoS back. *)
+  let qos_g = mean_qos_after trace_g ~after_s:10.0 in
+  let trace_r, _ = run_reconfigurable (Faults.Cluster_dead 1) ~start_s:2.0 in
+  let qos_r = mean_qos_after trace_r ~after_s:10.0 in
+  check_bool
+    (Printf.sprintf "+R QoS %.1f well above +G floor %.1f" qos_r qos_g)
+    true
+    (qos_r > qos_g *. 1.5)
+
+let test_reconfig_power_sensor_dead () =
+  (* Background work keeps cluster 1 demonstrably executing, so FDIR
+     isolates the dead sensor (not the cluster) — the plant is still
+     reconfigured around it, pinning the unobservable cluster to its
+     floor. *)
+  let trace, h =
+    run_reconfigurable ~bg:8
+      (Faults.Sensor_dead (Faults.Power_cluster 1))
+      ~start_s:2.0
+  in
+  check_bool "reconfigured" true
+    (Spectr_manager.Reconfig.status h = Spectr_manager.Reconfig.Reconfigured);
+  check_bool "cluster 1 out of the plant" true
+    (Spectr_manager.Reconfig.excluded_clusters h = [ 1 ]);
+  check_post_settle_safety trace ~settle_s:7.0;
+  check_bool "guard recovered" false
+    (Guarded.degraded (Spectr_manager.Reconfig.guard h))
+
+let test_reconfig_dvfs_latched () =
+  let trace, h =
+    run_reconfigurable Faults.Dvfs_stuck_permanent ~start_s:2.0
+  in
+  (* The latched rail hits every cluster; each gets its OPP table pinned
+     and the plant is re-synthesized — no cluster is amputated. *)
+  check_bool "reconfigured" true
+    (Spectr_manager.Reconfig.status h = Spectr_manager.Reconfig.Reconfigured);
+  check_bool "at least one hot-swap" true
+    (Spectr_manager.Reconfig.reconfigurations h >= 1);
+  check_bool "no cluster excluded" true
+    (Spectr_manager.Reconfig.excluded_clusters h = []);
+  check_post_settle_safety trace ~settle_s:7.0;
+  check_bool "guard recovered (latched rail is the expectation now)" false
+    (Guarded.degraded (Spectr_manager.Reconfig.guard h))
+
+let test_reconfig_host_dead_falls_back () =
+  let trace, h = run_reconfigurable (Faults.Cluster_dead 0) ~start_s:2.0 in
+  check_bool "permanent fallback" true
+    (Spectr_manager.Reconfig.status h = Spectr_manager.Reconfig.Fallback);
+  check_int "no hot-swap" 0 (Spectr_manager.Reconfig.reconfigurations h);
+  (* A dead host is unrecoverable, but the floor must still be safe. *)
+  check_post_settle_safety trace ~settle_s:7.0
+
+let test_reconfig_no_fault_is_nominal () =
+  (* Without a permanent fault the engine must stay on the boot rung
+     with zero reconfigurations — the detector must not false-positive
+     on a healthy closed-loop run. *)
+  let cfg = Scenario.default_config Benchmarks.x264 in
+  let manager, h = Spectr_manager.make_reconfigurable () in
+  let _ = Scenario.run ~manager cfg in
+  check_bool "nominal" true
+    (Spectr_manager.Reconfig.status h = Spectr_manager.Reconfig.Nominal);
+  check_int "no reconfigurations" 0
+    (Spectr_manager.Reconfig.reconfigurations h);
+  check_bool "nothing excluded" true
+    (Spectr_manager.Reconfig.excluded_clusters h = [])
+
+let test_supervisor_adopt_mapping () =
+  (* The state-mapping rule in isolation: budgets carry by name (the
+     removed cluster's allocation is dropped), capping mode carries by
+     replay, and the result lands in a legal state of the new
+     automaton. *)
+  let noop =
+    { Supervisor.switch_gains = (fun _ -> ()); set_power_ref = (fun _ _ -> ()) }
+  in
+  let healthy = Platform_desc.exynos5422 in
+  let old_sup = Supervisor.create ~platform:healthy ~commands:noop ~envelope:5.0 () in
+  (* Drive the old supervisor into capping mode. *)
+  Supervisor.step old_sup ~qos:60. ~qos_ref:60. ~power:5.6 ~envelope:5.0;
+  check_string "old supervisor capping" "power" (Supervisor.gains_mode old_sup);
+  let degraded = Platform_desc.degrade healthy (Platform_desc.Remove_cluster 1) in
+  let new_sup =
+    Supervisor.create ~platform:degraded ~commands:noop ~envelope:5.0 ()
+  in
+  Supervisor.adopt new_sup ~prev:(Supervisor.snapshot old_sup)
+    ~prev_platform:healthy;
+  check_string "capping mode carried" "power" (Supervisor.gains_mode new_sup);
+  check_bool "host budget carried within clamps" true
+    (let v = Supervisor.power_ref new_sup 0 in
+     Float.is_finite v && v > 0.);
+  (* Dimension mismatch between snapshot and claimed platform is loud. *)
+  let bad = { (Supervisor.snapshot old_sup) with Supervisor.snap_refs = [| 1. |] } in
+  match Supervisor.adopt new_sup ~prev:bad ~prev_platform:healthy with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "short snapshot must raise"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "spectr_core"
@@ -1559,6 +1970,10 @@ let () =
           Alcotest.test_case "thermal governor" `Quick test_thermal_governor;
           Alcotest.test_case "thermal governor validation" `Quick
             test_thermal_governor_validation;
+          Alcotest.test_case "thermal governor boundaries" `Quick
+            test_thermal_governor_boundaries;
+          Alcotest.test_case "thermal governor degraded envelope" `Quick
+            test_thermal_governor_degraded_envelope;
           Alcotest.test_case "closed thermal loop" `Slow
             test_closed_thermal_loop;
           Alcotest.test_case "SISO baseline" `Slow test_siso_baseline;
@@ -1612,5 +2027,38 @@ let () =
             test_metrics_compliance_boundaries;
           Alcotest.test_case "fault schedule order" `Quick
             test_fault_schedule_order;
+        ] );
+      ( "fdir",
+        [
+          Alcotest.test_case "isolates dead power sensor" `Quick
+            test_fdir_isolates_dead_power_sensor;
+          Alcotest.test_case "isolates dead cluster" `Quick
+            test_fdir_isolates_dead_cluster;
+          Alcotest.test_case "isolates dead qos sensor" `Quick
+            test_fdir_isolates_dead_qos_sensor;
+          Alcotest.test_case "dead host subsumes qos verdict" `Quick
+            test_fdir_dead_host_subsumes_qos;
+          Alcotest.test_case "latched dvfs and transients" `Quick
+            test_fdir_latched_dvfs_and_transients;
+          Alcotest.test_case "validation" `Quick test_fdir_validation;
+          Alcotest.test_case "fallback span metrics" `Quick
+            test_guarded_fallback_span_metrics;
+        ] );
+      ( "reconfiguration",
+        [
+          Alcotest.test_case "adopt state mapping" `Quick
+            test_supervisor_adopt_mapping;
+          Alcotest.test_case "cluster death reconfigures" `Slow
+            test_reconfig_cluster_dead;
+          Alcotest.test_case "beats guarded fallback" `Slow
+            test_reconfig_beats_guarded_fallback;
+          Alcotest.test_case "dead power sensor reconfigures" `Slow
+            test_reconfig_power_sensor_dead;
+          Alcotest.test_case "latched dvfs pins the rail" `Slow
+            test_reconfig_dvfs_latched;
+          Alcotest.test_case "dead host falls back" `Slow
+            test_reconfig_host_dead_falls_back;
+          Alcotest.test_case "no fault stays nominal" `Slow
+            test_reconfig_no_fault_is_nominal;
         ] );
     ]
